@@ -1,0 +1,153 @@
+//===- BenchUtil.h - shared benchmark harness utilities ---------*- C++ -*-===//
+///
+/// \file
+/// Shared plumbing for the per-figure benchmark binaries: checkpoint
+/// loading (with a quick in-process training fallback so every binary is
+/// self-contained), leakage-free evaluation task construction, the
+/// retrieval baseline index, and the paper-style row printer.
+///
+//===----------------------------------------------------------------------===//
+#ifndef SLADE_BENCH_BENCHUTIL_H
+#define SLADE_BENCH_BENCHUTIL_H
+
+#include "cc/Lexer.h"
+#include "core/Eval.h"
+#include "core/Trainer.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <string>
+
+namespace slade {
+namespace benchutil {
+
+/// Training-corpus knobs; must match tools/slade-train defaults so that
+/// checkpoint models and bench-side retrieval/dedup agree.
+inline constexpr uint64_t TrainSeed = 20240101;
+inline size_t trainSamples() {
+  const char *V = std::getenv("SLADE_TRAIN_SAMPLES");
+  return V && *V ? static_cast<size_t>(std::atoi(V)) : 2200;
+}
+
+/// Loads a checkpoint or trains a reduced stand-in model in-process so
+/// `for b in build/bench/*; do $b; done` works without preparation.
+inline core::TrainedSystem loadOrTrain(const std::string &Name,
+                                       asmx::Dialect D, bool Optimize,
+                                       bool IsBTC) {
+  auto Sys = core::loadSystem(core::checkpointDir(), Name);
+  if (Sys) {
+    std::fprintf(stderr, "[bench] loaded checkpoint %s\n", Name.c_str());
+    return std::move(*Sys);
+  }
+  std::fprintf(stderr,
+               "[bench] checkpoint %s missing; quick-training a reduced "
+               "model (run tools/slade-train for the full one)\n",
+               Name.c_str());
+  dataset::Corpus Corpus =
+      dataset::buildCorpus(dataset::Suite::ExeBench, 700, 0, TrainSeed);
+  core::TrainConfig TC;
+  TC.D = D;
+  TC.Optimize = Optimize;
+  TC.Steps = IsBTC ? 150 : 300;
+  TC.Seed = IsBTC ? 99 : 7;
+  TC.Verbose = false;
+  return core::trainSystem(core::buildTrainPairs(Corpus.Train, D, Optimize),
+                           TC);
+}
+
+/// Token-level hashes of the training split (§V-A dedup), regenerated
+/// deterministically so eval tasks can be guaranteed leakage-free.
+inline const std::set<uint64_t> &trainHashes() {
+  static const std::set<uint64_t> Hashes = [] {
+    std::set<uint64_t> H;
+    dataset::Corpus Corpus = dataset::buildCorpus(
+        dataset::Suite::ExeBench, trainSamples(), 0, TrainSeed);
+    for (const dataset::Sample &S : Corpus.Train)
+      H.insert(fnv1a64(
+          joinStrings(cc::cTokenSpellings(S.FunctionSource), "\x1f")));
+    return H;
+  }();
+  return Hashes;
+}
+
+/// Generates \p N held-out samples for \p Suite (dropping any token-level
+/// collision with the training split).
+inline std::vector<dataset::Sample>
+holdoutSamples(dataset::Suite Suite, size_t N, uint64_t Seed) {
+  std::vector<dataset::Sample> Out;
+  SplitMix64 Rng(Seed);
+  const auto &Cats = dataset::synthCategories();
+  size_t Attempts = 0;
+  std::set<uint64_t> Local;
+  while (Out.size() < N && ++Attempts < N * 300 + 500) {
+    std::string Cat = Suite == dataset::Suite::Synth
+                          ? Cats[Rng.below(Cats.size())]
+                          : std::string();
+    dataset::Sample S = dataset::generateSample(Rng, Suite, Cat);
+    uint64_t H =
+        fnv1a64(joinStrings(cc::cTokenSpellings(S.FunctionSource), "\x1f"));
+    if (trainHashes().count(H) || !Local.insert(H).second)
+      continue;
+    Out.push_back(std::move(S));
+  }
+  return Out;
+}
+
+/// Balanced per-category Synth samples (Fig. 11).
+inline std::vector<dataset::Sample> synthByCategory(size_t PerCategory,
+                                                    uint64_t Seed) {
+  std::vector<dataset::Sample> Out;
+  SplitMix64 Rng(Seed);
+  std::set<uint64_t> Local;
+  for (const std::string &Cat : dataset::synthCategories()) {
+    size_t Got = 0, Attempts = 0;
+    while (Got < PerCategory && ++Attempts < PerCategory * 300 + 200) {
+      dataset::Sample S =
+          dataset::generateSample(Rng, dataset::Suite::Synth, Cat);
+      uint64_t H = fnv1a64(
+          joinStrings(cc::cTokenSpellings(S.FunctionSource), "\x1f"));
+      if (trainHashes().count(H) || !Local.insert(H).second)
+        continue;
+      Out.push_back(std::move(S));
+      ++Got;
+    }
+  }
+  return Out;
+}
+
+/// Builds the retrieval (ChatGPT-analogue) index from the train split.
+inline baselines::RetrievalDecompiler buildRetrieval(asmx::Dialect D,
+                                                     bool Optimize,
+                                                     size_t MaxEntries = 600) {
+  dataset::Corpus Corpus = dataset::buildCorpus(dataset::Suite::ExeBench,
+                                                MaxEntries, 0, TrainSeed);
+  baselines::RetrievalDecompiler R;
+  for (const dataset::Sample &S : Corpus.Train) {
+    auto Prog = core::compileProgram(S.FunctionSource, S.ContextSource,
+                                     S.Name, D, Optimize);
+    if (Prog)
+      R.add(Prog->TargetAsm, S.FunctionSource);
+  }
+  R.finalize();
+  return R;
+}
+
+inline void printHeader(const std::string &Title) {
+  std::printf("\n==== %s ====\n", Title.c_str());
+  std::printf("%-24s %-12s %10s %10s %10s %6s\n", "config", "tool",
+              "IO-acc(%)", "edit-sim(%)", "compiles(%)", "N");
+}
+
+inline void printRow(const std::string &Config, const std::string &Tool,
+                     const core::ToolScores &S) {
+  std::printf("%-24s %-12s %10.1f %10.1f %10.1f %6d\n", Config.c_str(),
+              Tool.c_str(), S.IOAccuracy, S.EditSimilarity, S.CompileRate,
+              S.N);
+}
+
+} // namespace benchutil
+} // namespace slade
+
+#endif // SLADE_BENCH_BENCHUTIL_H

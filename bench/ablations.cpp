@@ -1,0 +1,105 @@
+//===- ablations.cpp - design-choice ablations ---------------------------------===//
+//
+// Ablation benches for the design choices the paper calls out:
+//  - dropout-free training vs dropout 0.1 (§V-C: "weight decay
+//    regularization alone yielded better results");
+//  - digit-split UnigramLM tokenizer vs character-level fallback (§IV);
+//  - beam width and IO-filtered candidate selection (§VI-A).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "nn/Beam.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace slade;
+using namespace slade::benchutil;
+
+namespace {
+
+/// Dropout vs no dropout: identical data, steps, and seed.
+void BM_AblationDropout(benchmark::State &State) {
+  for (auto _ : State) {
+    dataset::Corpus Corpus =
+        dataset::buildCorpus(dataset::Suite::ExeBench, 500, 24, 555300);
+    auto Pairs = core::buildTrainPairs(Corpus.Train, asmx::Dialect::X86,
+                                       false);
+    std::printf("\n==== Ablation - dropout-free vs dropout 0.1 ====\n");
+    std::printf("%-16s %10s %10s\n", "regularization", "IO-acc(%)",
+                "edit(%)");
+    for (float P : {0.0f, 0.1f}) {
+      core::TrainConfig TC;
+      TC.Steps = 220;
+      TC.DropoutP = P;
+      TC.Verbose = false;
+      core::TrainedSystem Sys = core::trainSystem(Pairs, TC);
+      core::Decompiler D(std::move(Sys.Tok), std::move(Sys.Model));
+      auto Tasks = core::buildTasks(Corpus.Test, asmx::Dialect::X86, false);
+      core::ToolScores S = core::aggregate(core::evalSlade(D, Tasks, true));
+      std::printf("%-16s %10.1f %10.1f\n",
+                  P == 0.0f ? "none (paper)" : "dropout 0.1", S.IOAccuracy,
+                  S.EditSimilarity);
+      State.counters[P == 0.0f ? "no_dropout_io" : "dropout_io"] =
+          S.IOAccuracy;
+    }
+  }
+}
+BENCHMARK(BM_AblationDropout)->Iterations(1)->Unit(benchmark::kSecond);
+
+/// Tokenizer ablation: sequence-length economy of subword UnigramLM vs a
+/// pure character alphabet (vocab budget too small to learn merges).
+void BM_AblationTokenizer(benchmark::State &State) {
+  for (auto _ : State) {
+    dataset::Corpus Corpus =
+        dataset::buildCorpus(dataset::Suite::ExeBench, 400, 0, 555301);
+    auto Pairs = core::buildTrainPairs(Corpus.Train, asmx::Dialect::X86,
+                                       false);
+    std::vector<std::string> Texts;
+    for (const auto &P : Pairs) {
+      Texts.push_back(P.Asm);
+      Texts.push_back(P.CSource);
+    }
+    std::printf("\n==== Ablation - UnigramLM subwords vs char-level ====\n");
+    std::printf("%-18s %12s %14s\n", "tokenizer", "vocab", "avg-src-toks");
+    for (unsigned Vocab : {512u, 200u}) {
+      tok::Tokenizer::Config TC;
+      TC.VocabSize = Vocab;
+      tok::Tokenizer Tok = tok::Tokenizer::train(Texts, TC);
+      double Total = 0;
+      for (const auto &P : Pairs)
+        Total += static_cast<double>(Tok.encode(P.Asm).size());
+      double Avg = Total / Pairs.size();
+      std::printf("%-18s %12zu %14.1f\n",
+                  Vocab == 512 ? "UnigramLM-512" : "near-char-level",
+                  Tok.vocabSize(), Avg);
+      State.counters[Vocab == 512 ? "subword_len" : "char_len"] = Avg;
+    }
+  }
+}
+BENCHMARK(BM_AblationTokenizer)->Iterations(1)->Unit(benchmark::kSecond);
+
+/// Beam ablation: greedy vs beam-5, with and without IO-filtered selection.
+void BM_AblationBeam(benchmark::State &State) {
+  for (auto _ : State) {
+    auto Samples = holdoutSamples(dataset::Suite::ExeBench, 16, 555302);
+    auto Tasks = core::buildTasks(Samples, asmx::Dialect::X86, false);
+    core::TrainedSystem Sys = loadOrTrain("slade_x86_O0",
+                                          asmx::Dialect::X86, false, false);
+    core::Decompiler Slade(std::move(Sys.Tok), std::move(Sys.Model));
+    std::printf("\n==== Ablation - beam width (IO-filtered selection, "
+                "§VI-A) ====\n");
+    std::printf("%-12s %10s\n", "beam", "IO-acc(%)");
+    for (int K : {1, 3, 5}) {
+      core::ToolScores S =
+          core::aggregate(core::evalSlade(Slade, Tasks, true, K));
+      std::printf("k=%-10d %10.1f\n", K, S.IOAccuracy);
+      State.counters["beam" + std::to_string(K)] = S.IOAccuracy;
+    }
+  }
+}
+BENCHMARK(BM_AblationBeam)->Iterations(1)->Unit(benchmark::kSecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

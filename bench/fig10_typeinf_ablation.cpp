@@ -1,0 +1,72 @@
+//===- fig10_typeinf_ablation.cpp - Fig. 10: type-inference ablation ----------===//
+//
+// Regenerates Fig. 10: SLaDe with and without the PsycheC-style type
+// inference stage across all eight (suite x ISA x opt) configurations.
+// The delta comes from hypotheses that are semantically right but
+// reference typedefs missing from the context (§VIII-B).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace slade;
+using namespace slade::benchutil;
+
+namespace {
+
+int evalN() {
+  const char *V = std::getenv("SLADE_EVAL_N");
+  return V && *V ? std::atoi(V) : 20;
+}
+
+void runFigure(benchmark::State &State) {
+  std::printf("\n==== Fig. 10 - SLaDe with/without type inference ====\n");
+  std::printf("%-24s %12s %12s %8s\n", "config", "with-TI(%)", "no-TI(%)",
+              "delta");
+  double TotalDelta = 0;
+  int Configs = 0;
+  for (dataset::Suite Suite :
+       {dataset::Suite::Synth, dataset::Suite::ExeBench}) {
+    for (asmx::Dialect D : {asmx::Dialect::X86, asmx::Dialect::Arm}) {
+      for (bool Optimize : {false, true}) {
+        std::string Cfg =
+            std::string(Suite == dataset::Suite::Synth ? "Synth" : "Exe") +
+            (D == asmx::Dialect::X86 ? "-x86-" : "-arm-") +
+            (Optimize ? "O3" : "O0");
+        auto Samples =
+            Suite == dataset::Suite::Synth
+                ? synthByCategory(2, 555100 + Configs)
+                : holdoutSamples(Suite, static_cast<size_t>(evalN()),
+                                 555100 + Configs);
+        auto Tasks = core::buildTasks(Samples, D, Optimize);
+        core::TrainedSystem Sys = loadOrTrain(
+            core::systemName("slade", D, Optimize), D, Optimize, false);
+        core::Decompiler Slade(std::move(Sys.Tok), std::move(Sys.Model));
+        core::ToolScores With =
+            core::aggregate(core::evalSlade(Slade, Tasks, true));
+        core::ToolScores Without =
+            core::aggregate(core::evalSlade(Slade, Tasks, false));
+        double Delta = With.IOAccuracy - Without.IOAccuracy;
+        std::printf("%-24s %12.1f %12.1f %+7.1f\n", Cfg.c_str(),
+                    With.IOAccuracy, Without.IOAccuracy, Delta);
+        TotalDelta += Delta;
+        ++Configs;
+      }
+    }
+  }
+  std::printf("average type-inference gain: %+.1f%% (paper: +14%%)\n",
+              TotalDelta / Configs);
+  State.counters["avg_gain"] = TotalDelta / Configs;
+}
+
+void BM_Fig10TypeInfAblation(benchmark::State &State) {
+  for (auto _ : State)
+    runFigure(State);
+}
+BENCHMARK(BM_Fig10TypeInfAblation)->Iterations(1)->Unit(benchmark::kSecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

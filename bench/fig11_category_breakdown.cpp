@@ -1,0 +1,78 @@
+//===- fig11_category_breakdown.cpp - Fig. 11: per-category IO accuracy -------===//
+//
+// Regenerates Fig. 11: IO accuracy per Synth category at -O3 on both ISAs
+// for ChatGPT(retrieval), Ghidra(rule), and SLaDe.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+using namespace slade;
+using namespace slade::benchutil;
+
+namespace {
+
+size_t perCategory() {
+  const char *V = std::getenv("SLADE_EVAL_PER_CAT");
+  return V && *V ? static_cast<size_t>(std::atoi(V)) : 3;
+}
+
+std::map<std::string, double>
+perCategoryIO(const std::vector<core::ItemRecord> &Records) {
+  std::map<std::string, std::pair<int, int>> Acc;
+  for (const core::ItemRecord &R : Records) {
+    Acc[R.Category].first += R.IOCorrect ? 1 : 0;
+    Acc[R.Category].second += 1;
+  }
+  std::map<std::string, double> Out;
+  for (const auto &[Cat, P] : Acc)
+    Out[Cat] = P.second ? 100.0 * P.first / P.second : 0.0;
+  return Out;
+}
+
+void runFigure(benchmark::State &State) {
+  auto Samples = synthByCategory(perCategory(), 555007);
+  for (asmx::Dialect D : {asmx::Dialect::X86, asmx::Dialect::Arm}) {
+    std::string ISA = D == asmx::Dialect::X86 ? "x86" : "ARM";
+    auto Tasks = core::buildTasks(Samples, D, /*Optimize=*/true);
+
+    auto Retr = buildRetrieval(D, true);
+    core::TrainedSystem Sys =
+        loadOrTrain(core::systemName("slade", D, true), D, true, false);
+    core::Decompiler Slade(std::move(Sys.Tok), std::move(Sys.Model));
+
+    auto RetrIO = perCategoryIO(core::evalRetrieval(Retr, Tasks));
+    auto RuleIO = perCategoryIO(core::evalRuleBased(Tasks));
+    auto SladeIO = perCategoryIO(core::evalSlade(Slade, Tasks, true));
+
+    std::printf("\n==== Fig. 11 - Synth %s -O3: IO accuracy by category "
+                "====\n",
+                ISA.c_str());
+    std::printf("%-14s %10s %10s %10s\n", "category", "ChatGPT*",
+                "Ghidra*", "SLaDe");
+    for (const std::string &Cat : dataset::synthCategories())
+      std::printf("%-14s %9.1f%% %9.1f%% %9.1f%%\n", Cat.c_str(),
+                  RetrIO[Cat], RuleIO[Cat], SladeIO[Cat]);
+    double Avg = 0;
+    for (const auto &[Cat, V] : SladeIO)
+      Avg += V;
+    State.counters[ISA + "_slade_avg"] =
+        SladeIO.empty() ? 0 : Avg / SladeIO.size();
+  }
+}
+
+void BM_Fig11CategoryBreakdown(benchmark::State &State) {
+  for (auto _ : State)
+    runFigure(State);
+}
+BENCHMARK(BM_Fig11CategoryBreakdown)
+    ->Iterations(1)
+    ->Unit(benchmark::kSecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+//===- fig4_exebench_x86.cpp - Fig. 4: ExeBench x86 O0/O3 --------------------===//
+//
+// Regenerates Fig. 4: IO accuracy and edit similarity on the ExeBench-style
+// suite, x86, at -O0 and -O3, for BTC, ChatGPT(retrieval), Ghidra(rule),
+// and SLaDe.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace slade;
+using namespace slade::benchutil;
+
+namespace {
+
+int evalN() {
+  const char *V = std::getenv("SLADE_EVAL_N");
+  return V && *V ? std::atoi(V) : 40;
+}
+
+void runFigure(benchmark::State &State) {
+  auto Samples = holdoutSamples(dataset::Suite::ExeBench,
+                                static_cast<size_t>(evalN()), 555001);
+  printHeader("Fig. 4 - ExeBench x86: IO accuracy and edit similarity");
+  for (bool Optimize : {false, true}) {
+    std::string Cfg = std::string("ExeBench-x86-") + (Optimize ? "O3" : "O0");
+    auto Tasks = core::buildTasks(Samples, asmx::Dialect::X86, Optimize);
+
+    if (!Optimize) {
+      // BTC only supports x86 -O0 (§VII-A2c).
+      core::TrainedSystem BTCSys = loadOrTrain("btc_x86_O0",
+                                               asmx::Dialect::X86, false,
+                                               /*IsBTC=*/true);
+      core::Decompiler BTC(std::move(BTCSys.Tok), std::move(BTCSys.Model));
+      printRow(Cfg, "BTC", core::aggregate(core::evalBTC(BTC, Tasks)));
+    }
+
+    auto Retr = buildRetrieval(asmx::Dialect::X86, Optimize);
+    printRow(Cfg, "ChatGPT*", core::aggregate(core::evalRetrieval(Retr,
+                                                                  Tasks)));
+    printRow(Cfg, "Ghidra*",
+             core::aggregate(core::evalRuleBased(Tasks)));
+
+    core::TrainedSystem Sys = loadOrTrain(
+        core::systemName("slade", asmx::Dialect::X86, Optimize),
+        asmx::Dialect::X86, Optimize, false);
+    core::Decompiler Slade(std::move(Sys.Tok), std::move(Sys.Model));
+    core::ToolScores S = core::aggregate(
+        core::evalSlade(Slade, Tasks, /*UseTypeInference=*/true));
+    printRow(Cfg, "SLaDe", S);
+    State.counters[Cfg + "_slade_io"] = S.IOAccuracy;
+    State.counters[Cfg + "_slade_edit"] = S.EditSimilarity;
+  }
+  std::printf("(* retrieval / rule-based analogues; see DESIGN.md)\n");
+}
+
+void BM_Fig4ExeBenchX86(benchmark::State &State) {
+  for (auto _ : State)
+    runFigure(State);
+}
+BENCHMARK(BM_Fig4ExeBenchX86)->Iterations(1)->Unit(benchmark::kSecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+//===- fig5_exebench_arm.cpp - Fig. 5: ExeBench ARM O0/O3 --------------------===//
+//
+// Regenerates Fig. 5: the ARM portability experiment. Same protocol as
+// Fig. 4 on the second ISA (no BTC: it only supports x86 -O0).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace slade;
+using namespace slade::benchutil;
+
+namespace {
+
+int evalN() {
+  const char *V = std::getenv("SLADE_EVAL_N");
+  return V && *V ? std::atoi(V) : 40;
+}
+
+void runFigure(benchmark::State &State) {
+  auto Samples = holdoutSamples(dataset::Suite::ExeBench,
+                                static_cast<size_t>(evalN()), 555002);
+  printHeader("Fig. 5 - ExeBench ARM: IO accuracy and edit similarity");
+  for (bool Optimize : {false, true}) {
+    std::string Cfg = std::string("ExeBench-arm-") + (Optimize ? "O3" : "O0");
+    auto Tasks = core::buildTasks(Samples, asmx::Dialect::Arm, Optimize);
+
+    auto Retr = buildRetrieval(asmx::Dialect::Arm, Optimize);
+    printRow(Cfg, "ChatGPT*", core::aggregate(core::evalRetrieval(Retr,
+                                                                  Tasks)));
+    printRow(Cfg, "Ghidra*",
+             core::aggregate(core::evalRuleBased(Tasks)));
+
+    core::TrainedSystem Sys = loadOrTrain(
+        core::systemName("slade", asmx::Dialect::Arm, Optimize),
+        asmx::Dialect::Arm, Optimize, false);
+    core::Decompiler Slade(std::move(Sys.Tok), std::move(Sys.Model));
+    core::ToolScores S = core::aggregate(
+        core::evalSlade(Slade, Tasks, /*UseTypeInference=*/true));
+    printRow(Cfg, "SLaDe", S);
+    State.counters[Cfg + "_slade_io"] = S.IOAccuracy;
+    State.counters[Cfg + "_slade_edit"] = S.EditSimilarity;
+  }
+  std::printf("(* retrieval / rule-based analogues; see DESIGN.md)\n");
+}
+
+void BM_Fig5ExeBenchArm(benchmark::State &State) {
+  for (auto _ : State)
+    runFigure(State);
+}
+BENCHMARK(BM_Fig5ExeBenchArm)->Iterations(1)->Unit(benchmark::kSecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+//===- fig6_synth_o0.cpp - Fig. 6: Synth -O0 x86/ARM --------------------------===//
+//
+// Regenerates Fig. 6: the simpler Synth suite, unoptimized, both ISAs.
+// Expected shape: the rule-based decompiler is at or slightly above SLaDe
+// in IO accuracy here (simple types, no external declarations) while SLaDe
+// is far ahead on edit similarity.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace slade;
+using namespace slade::benchutil;
+
+namespace {
+
+size_t perCategory() {
+  const char *V = std::getenv("SLADE_EVAL_PER_CAT");
+  return V && *V ? static_cast<size_t>(std::atoi(V)) : 4;
+}
+
+void runFigure(benchmark::State &State) {
+  auto Samples = synthByCategory(perCategory(), 555003);
+  printHeader("Fig. 6 - Synth -O0: IO accuracy and edit similarity");
+  for (asmx::Dialect D : {asmx::Dialect::X86, asmx::Dialect::Arm}) {
+    std::string Cfg = std::string("Synth-") +
+                      (D == asmx::Dialect::X86 ? "x86" : "arm") + "-O0";
+    auto Tasks = core::buildTasks(Samples, D, /*Optimize=*/false);
+
+    if (D == asmx::Dialect::X86) {
+      core::TrainedSystem BTCSys =
+          loadOrTrain("btc_x86_O0", D, false, /*IsBTC=*/true);
+      core::Decompiler BTC(std::move(BTCSys.Tok), std::move(BTCSys.Model));
+      printRow(Cfg, "BTC", core::aggregate(core::evalBTC(BTC, Tasks)));
+    }
+    auto Retr = buildRetrieval(D, false);
+    printRow(Cfg, "ChatGPT*",
+             core::aggregate(core::evalRetrieval(Retr, Tasks)));
+    printRow(Cfg, "Ghidra*", core::aggregate(core::evalRuleBased(Tasks)));
+
+    core::TrainedSystem Sys =
+        loadOrTrain(core::systemName("slade", D, false), D, false, false);
+    core::Decompiler Slade(std::move(Sys.Tok), std::move(Sys.Model));
+    core::ToolScores S =
+        core::aggregate(core::evalSlade(Slade, Tasks, true));
+    printRow(Cfg, "SLaDe", S);
+    State.counters[Cfg + "_slade_io"] = S.IOAccuracy;
+  }
+  std::printf("(* retrieval / rule-based analogues; see DESIGN.md)\n");
+}
+
+void BM_Fig6SynthO0(benchmark::State &State) {
+  for (auto _ : State)
+    runFigure(State);
+}
+BENCHMARK(BM_Fig6SynthO0)->Iterations(1)->Unit(benchmark::kSecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+//===- fig7_synth_o3.cpp - Fig. 7: Synth -O3 x86/ARM --------------------------===//
+//
+// Regenerates Fig. 7: the Synth suite under -O3. Optimization (register
+// promotion, unrolling, vectorization) obscures structure; the rule-based
+// decompiler degrades sharply while SLaDe holds up.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace slade;
+using namespace slade::benchutil;
+
+namespace {
+
+size_t perCategory() {
+  const char *V = std::getenv("SLADE_EVAL_PER_CAT");
+  return V && *V ? static_cast<size_t>(std::atoi(V)) : 4;
+}
+
+void runFigure(benchmark::State &State) {
+  auto Samples = synthByCategory(perCategory(), 555004);
+  printHeader("Fig. 7 - Synth -O3: IO accuracy and edit similarity");
+  for (asmx::Dialect D : {asmx::Dialect::X86, asmx::Dialect::Arm}) {
+    std::string Cfg = std::string("Synth-") +
+                      (D == asmx::Dialect::X86 ? "x86" : "arm") + "-O3";
+    auto Tasks = core::buildTasks(Samples, D, /*Optimize=*/true);
+
+    auto Retr = buildRetrieval(D, true);
+    printRow(Cfg, "ChatGPT*",
+             core::aggregate(core::evalRetrieval(Retr, Tasks)));
+    printRow(Cfg, "Ghidra*", core::aggregate(core::evalRuleBased(Tasks)));
+
+    core::TrainedSystem Sys =
+        loadOrTrain(core::systemName("slade", D, true), D, true, false);
+    core::Decompiler Slade(std::move(Sys.Tok), std::move(Sys.Model));
+    core::ToolScores S =
+        core::aggregate(core::evalSlade(Slade, Tasks, true));
+    printRow(Cfg, "SLaDe", S);
+    State.counters[Cfg + "_slade_io"] = S.IOAccuracy;
+  }
+  std::printf("(* retrieval / rule-based analogues; see DESIGN.md)\n");
+}
+
+void BM_Fig7SynthO3(benchmark::State &State) {
+  for (auto _ : State)
+    runFigure(State);
+}
+BENCHMARK(BM_Fig7SynthO3)->Iterations(1)->Unit(benchmark::kSecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+//===- fig8_length_accuracy.cpp - Fig. 8: IO accuracy vs assembly length -----===//
+//
+// Regenerates Fig. 8: IO accuracy as a function of assembly length
+// (ExeBench, x86, -O0), binned by character length. Expected shape: all
+// tools decline with length; the neural tools decline faster than the
+// rule-based one.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <algorithm>
+#include <benchmark/benchmark.h>
+
+using namespace slade;
+using namespace slade::benchutil;
+
+namespace {
+
+int evalN() {
+  const char *V = std::getenv("SLADE_EVAL_N");
+  return V && *V ? std::atoi(V) : 48;
+}
+
+void printBinned(const std::string &Tool,
+                 const std::vector<core::ItemRecord> &Records,
+                 const std::vector<size_t> &Cuts) {
+  std::printf("%-12s", Tool.c_str());
+  for (size_t B = 0; B + 1 < Cuts.size(); ++B) {
+    int N = 0, Correct = 0;
+    for (const core::ItemRecord &R : Records)
+      if (R.AsmChars >= Cuts[B] && R.AsmChars < Cuts[B + 1]) {
+        ++N;
+        Correct += R.IOCorrect ? 1 : 0;
+      }
+    if (N == 0)
+      std::printf(" %9s", "-");
+    else
+      std::printf(" %8.1f%%", 100.0 * Correct / N);
+  }
+  std::printf("\n");
+}
+
+void runFigure(benchmark::State &State) {
+  auto Samples = holdoutSamples(dataset::Suite::ExeBench,
+                                static_cast<size_t>(evalN()), 555005);
+  auto Tasks = core::buildTasks(Samples, asmx::Dialect::X86, false);
+
+  // Terciles of assembly length define the bins.
+  std::vector<size_t> Lens;
+  for (const core::EvalTask &T : Tasks)
+    Lens.push_back(T.Prog.TargetAsm.size());
+  std::sort(Lens.begin(), Lens.end());
+  std::vector<size_t> Cuts = {0, Lens[Lens.size() / 3],
+                              Lens[2 * Lens.size() / 3],
+                              Lens.back() + 1};
+
+  core::TrainedSystem Sys = loadOrTrain("slade_x86_O0", asmx::Dialect::X86,
+                                        false, false);
+  core::Decompiler Slade(std::move(Sys.Tok), std::move(Sys.Model));
+  auto Retr = buildRetrieval(asmx::Dialect::X86, false);
+
+  auto SladeRec = core::evalSlade(Slade, Tasks, true);
+  auto RuleRec = core::evalRuleBased(Tasks);
+  auto RetrRec = core::evalRetrieval(Retr, Tasks);
+
+  std::printf("\n==== Fig. 8 - IO accuracy vs assembly length "
+              "(ExeBench x86 -O0) ====\n");
+  std::printf("%-12s", "tool");
+  for (size_t B = 0; B + 1 < Cuts.size(); ++B)
+    std::printf("  len<%5zu", Cuts[B + 1]);
+  std::printf("\n");
+  printBinned("ChatGPT*", RetrRec, Cuts);
+  printBinned("Ghidra*", RuleRec, Cuts);
+  printBinned("SLaDe", SladeRec, Cuts);
+  State.counters["bins"] = static_cast<double>(Cuts.size() - 1);
+}
+
+void BM_Fig8LengthAccuracy(benchmark::State &State) {
+  for (auto _ : State)
+    runFigure(State);
+}
+BENCHMARK(BM_Fig8LengthAccuracy)->Iterations(1)->Unit(benchmark::kSecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+//===- fig9_length_distribution.cpp - Fig. 9: assembly length histogram ------===//
+//
+// Regenerates Fig. 9: the distribution of assembly lengths (by character
+// count) in the ExeBench-style corpus, x86 -O0. Expected shape: strongly
+// right-skewed, biased toward shorter functions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace slade;
+using namespace slade::benchutil;
+
+namespace {
+
+void runFigure(benchmark::State &State) {
+  dataset::Corpus Corpus =
+      dataset::buildCorpus(dataset::Suite::ExeBench, 600, 0, 555006);
+  std::vector<size_t> Lens;
+  for (const dataset::Sample &S : Corpus.Train) {
+    auto Prog = core::compileProgram(S.FunctionSource, S.ContextSource,
+                                     S.Name, asmx::Dialect::X86, false);
+    if (Prog)
+      Lens.push_back(Prog->TargetAsm.size());
+  }
+  std::printf("\n==== Fig. 9 - distribution of assembly lengths "
+              "(characters, x86 -O0) ====\n");
+  const size_t BinWidth = 250;
+  size_t MaxLen = 0;
+  for (size_t L : Lens)
+    MaxLen = std::max(MaxLen, L);
+  std::vector<int> Hist(MaxLen / BinWidth + 1, 0);
+  for (size_t L : Lens)
+    ++Hist[L / BinWidth];
+  int Peak = 0;
+  for (int H : Hist)
+    Peak = std::max(Peak, H);
+  for (size_t B = 0; B < Hist.size(); ++B) {
+    std::printf("%5zu-%5zu %5d ", B * BinWidth, (B + 1) * BinWidth - 1,
+                Hist[B]);
+    int Stars = Peak ? Hist[B] * 50 / Peak : 0;
+    for (int S = 0; S < Stars; ++S)
+      std::printf("#");
+    std::printf("\n");
+  }
+  // Tail-asymmetry summary: a right-skewed distribution has a longer
+  // upper tail (p90 - median > median - p10).
+  std::sort(Lens.begin(), Lens.end());
+  double Mean = 0;
+  for (size_t L : Lens)
+    Mean += static_cast<double>(L);
+  Mean /= static_cast<double>(Lens.size());
+  size_t Median = Lens[Lens.size() / 2];
+  size_t P10 = Lens[Lens.size() / 10];
+  size_t P90 = Lens[9 * Lens.size() / 10];
+  bool RightTail = P90 - Median > Median - P10;
+  std::printf("n=%zu  p10=%zu  median=%zu  p90=%zu  mean=%.0f  max=%zu  "
+              "(longer upper tail: %s)\n",
+              Lens.size(), P10, Median, P90, Mean, MaxLen,
+              RightTail ? "yes" : "no");
+  State.counters["median"] = static_cast<double>(Median);
+  State.counters["mean"] = Mean;
+}
+
+void BM_Fig9LengthDistribution(benchmark::State &State) {
+  for (auto _ : State)
+    runFigure(State);
+}
+BENCHMARK(BM_Fig9LengthDistribution)->Iterations(1)->Unit(benchmark::kSecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,135 @@
+//===- perf_micro.cpp - component micro-benchmarks ------------------------------===//
+//
+// Conventional google-benchmark timings for the substrate components:
+// compiler throughput, assembly parsing, interpreter speed, tokenizer
+// encode, GEMM, edit distance, and a single decode step. These bound the
+// end-to-end evaluation cost reported in EXPERIMENTS.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "baselines/RuleDecompiler.h"
+#include "core/Metrics.h"
+#include "nn/Beam.h"
+#include "vm/Interp.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace slade;
+
+namespace {
+
+const char *SumSrc = "int sum(int *arr, int n) {\n"
+                     "  int total = 0;\n"
+                     "  for (int i = 0; i < n; i++) {\n"
+                     "    total += arr[i];\n"
+                     "  }\n"
+                     "  return total;\n}\n";
+
+void BM_CompileX86O0(benchmark::State &State) {
+  for (auto _ : State) {
+    auto P = core::compileProgram(SumSrc, "", "sum", asmx::Dialect::X86,
+                                  false);
+    benchmark::DoNotOptimize(P);
+  }
+}
+BENCHMARK(BM_CompileX86O0);
+
+void BM_CompileArmO3(benchmark::State &State) {
+  for (auto _ : State) {
+    auto P = core::compileProgram(SumSrc, "", "sum", asmx::Dialect::Arm,
+                                  true);
+    benchmark::DoNotOptimize(P);
+  }
+}
+BENCHMARK(BM_CompileArmO3);
+
+void BM_AsmParse(benchmark::State &State) {
+  auto P = core::compileProgram(SumSrc, "", "sum", asmx::Dialect::X86,
+                                false);
+  for (auto _ : State) {
+    auto F = asmx::parseAsm(P->TargetAsm, asmx::Dialect::X86);
+    benchmark::DoNotOptimize(F);
+  }
+}
+BENCHMARK(BM_AsmParse);
+
+void BM_InterpreterRun(benchmark::State &State) {
+  auto P = core::compileProgram(SumSrc, "", "sum", asmx::Dialect::X86,
+                                false);
+  vm::HarnessConfig HC;
+  for (auto _ : State) {
+    vm::TestProfile Prof =
+        vm::runProfile(P->Image, *P->Target, P->Globals, asmx::Dialect::X86,
+                       HC);
+    benchmark::DoNotOptimize(Prof);
+  }
+}
+BENCHMARK(BM_InterpreterRun);
+
+void BM_TokenizerEncode(benchmark::State &State) {
+  std::vector<std::string> Texts(20, SumSrc);
+  tok::Tokenizer::Config TC;
+  tok::Tokenizer Tok = tok::Tokenizer::train(Texts, TC);
+  auto P = core::compileProgram(SumSrc, "", "sum", asmx::Dialect::X86,
+                                false);
+  for (auto _ : State) {
+    auto Ids = Tok.encode(P->TargetAsm);
+    benchmark::DoNotOptimize(Ids);
+  }
+}
+BENCHMARK(BM_TokenizerEncode);
+
+void BM_Gemm64(benchmark::State &State) {
+  std::vector<float> A(64 * 64, 1.0f), B(64 * 64, 2.0f), C(64 * 64);
+  for (auto _ : State) {
+    std::fill(C.begin(), C.end(), 0.0f);
+    nn::gemmAcc(A.data(), B.data(), C.data(), 64, 64, 64);
+    benchmark::DoNotOptimize(C.data());
+  }
+  State.SetItemsProcessed(State.iterations() * 64 * 64 * 64 * 2);
+}
+BENCHMARK(BM_Gemm64);
+
+void BM_EditDistance(benchmark::State &State) {
+  std::string A(SumSrc), B(SumSrc);
+  B[10] = 'x';
+  for (auto _ : State) {
+    double S = core::editSimilarity(A, B);
+    benchmark::DoNotOptimize(S);
+  }
+}
+BENCHMARK(BM_EditDistance);
+
+void BM_RuleDecompile(benchmark::State &State) {
+  auto P = core::compileProgram(SumSrc, "", "sum", asmx::Dialect::X86,
+                                false);
+  auto F = asmx::parseAsm(P->TargetAsm, asmx::Dialect::X86);
+  for (auto _ : State) {
+    auto C = baselines::ruleDecompile(*F, asmx::Dialect::X86);
+    benchmark::DoNotOptimize(C);
+  }
+}
+BENCHMARK(BM_RuleDecompile);
+
+void BM_DecodeStep(benchmark::State &State) {
+  nn::TransformerConfig MC;
+  MC.Vocab = 512;
+  nn::Transformer Model(MC);
+  std::vector<int> Src(128, 5);
+  nn::Transformer::DecodeState St = Model.startDecode(Src);
+  std::vector<float> Logits = Model.stepDecode(St, nn::Transformer::BosId);
+  for (auto _ : State) {
+    Logits = Model.stepDecode(St, 7);
+    benchmark::DoNotOptimize(Logits);
+    if (St.Len > 200) {
+      St = Model.startDecode(Src);
+      Model.stepDecode(St, nn::Transformer::BosId);
+    }
+  }
+}
+BENCHMARK(BM_DecodeStep);
+
+} // namespace
+
+BENCHMARK_MAIN();

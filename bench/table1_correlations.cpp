@@ -1,0 +1,89 @@
+//===- table1_correlations.cpp - Table I: feature/IO-accuracy correlation -----===//
+//
+// Regenerates Table I: Pearson's correlation coefficient between code
+// features (compiles, edit similarity, assembly length, C length, number
+// of arguments, number of pointer arguments) and IO accuracy, per tool,
+// on the ExeBench-style suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "core/Metrics.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace slade;
+using namespace slade::benchutil;
+
+namespace {
+
+int evalN() {
+  const char *V = std::getenv("SLADE_EVAL_N");
+  return V && *V ? std::atoi(V) : 40;
+}
+
+struct FeatureTable {
+  std::vector<double> IO, Compiles, EditSim, AsmLen, CLen, Args, Ptrs;
+  void add(const core::ItemRecord &R) {
+    IO.push_back(R.IOCorrect ? 1 : 0);
+    Compiles.push_back(R.Compiles ? 1 : 0);
+    EditSim.push_back(R.EditSim);
+    AsmLen.push_back(static_cast<double>(R.AsmChars));
+    CLen.push_back(static_cast<double>(R.CTokens));
+    Args.push_back(R.NumArgs);
+    Ptrs.push_back(R.NumPointers);
+  }
+};
+
+void printTool(const std::string &Tool, const FeatureTable &F) {
+  std::printf("%-10s %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f\n", Tool.c_str(),
+              core::pearson(F.Compiles, F.IO),
+              core::pearson(F.EditSim, F.IO), core::pearson(F.AsmLen, F.IO),
+              core::pearson(F.CLen, F.IO), core::pearson(F.Args, F.IO),
+              core::pearson(F.Ptrs, F.IO));
+}
+
+void runTable(benchmark::State &State) {
+  for (bool Optimize : {false, true}) {
+    auto Samples = holdoutSamples(dataset::Suite::ExeBench,
+                                  static_cast<size_t>(evalN()),
+                                  555008 + (Optimize ? 1 : 0));
+    auto Tasks = core::buildTasks(Samples, asmx::Dialect::X86, Optimize);
+
+    auto Retr = buildRetrieval(asmx::Dialect::X86, Optimize);
+    core::TrainedSystem Sys = loadOrTrain(
+        core::systemName("slade", asmx::Dialect::X86, Optimize),
+        asmx::Dialect::X86, Optimize, false);
+    core::Decompiler Slade(std::move(Sys.Tok), std::move(Sys.Model));
+
+    FeatureTable FR, FG, FS;
+    for (const auto &R : core::evalRetrieval(Retr, Tasks))
+      FR.add(R);
+    for (const auto &R : core::evalRuleBased(Tasks))
+      FG.add(R);
+    for (const auto &R : core::evalSlade(Slade, Tasks, true))
+      FS.add(R);
+
+    std::printf("\n==== Table I - Pearson r of features vs IO accuracy "
+                "(ExeBench x86 %s) ====\n",
+                Optimize ? "-O3" : "-O0");
+    std::printf("%-10s %9s %9s %9s %9s %9s %9s\n", "tool", "compiles",
+                "edit-sim", "asm-len", "c-len", "n-args", "n-ptrs");
+    printTool("ChatGPT*", FR);
+    printTool("Ghidra*", FG);
+    printTool("SLaDe", FS);
+    State.counters[std::string("compiles_r_slade_") +
+                   (Optimize ? "O3" : "O0")] =
+        core::pearson(FS.Compiles, FS.IO);
+  }
+}
+
+void BM_Table1Correlations(benchmark::State &State) {
+  for (auto _ : State)
+    runTable(State);
+}
+BENCHMARK(BM_Table1Correlations)->Iterations(1)->Unit(benchmark::kSecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+//===- decompile_asm.cpp - decompile an assembly file --------------------------===//
+//
+// Command-line decompiler over the repository's assembly dialects: reads a
+// .s file (as emitted by the built-in backends or tools/slade-train's
+// corpus), lifts it with the rule-based decompiler, and -- when a trained
+// checkpoint is available -- also translates it with the SLaDe model.
+//
+// Run: ./build/examples/decompile_asm [x86|arm] [O0|O3] [file.s]
+//      (with no arguments, a built-in demo is compiled and decompiled)
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/RuleDecompiler.h"
+#include "core/Compile.h"
+#include "core/Trainer.h"
+#include "core/Slade.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace slade;
+
+int main(int argc, char **argv) {
+  asmx::Dialect D = asmx::Dialect::X86;
+  bool Optimize = false;
+  std::string AsmText;
+  if (argc >= 2 && std::string(argv[1]) == "arm")
+    D = asmx::Dialect::Arm;
+  if (argc >= 3 && std::string(argv[2]) == "O3")
+    Optimize = true;
+  if (argc >= 4) {
+    std::ifstream In(argv[3]);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open %s\n", argv[3]);
+      return 1;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    AsmText = SS.str();
+  } else {
+    const char *Demo = "int count_pos(int *a, int n) {\n"
+                       "  int c = 0;\n"
+                       "  for (int i = 0; i < n; i++) {\n"
+                       "    if (a[i] > 0) {\n"
+                       "      c++;\n"
+                       "    }\n"
+                       "  }\n"
+                       "  return c;\n}\n";
+    auto Prog = core::compileProgram(Demo, "", "count_pos", D, Optimize);
+    if (!Prog) {
+      std::fprintf(stderr, "demo compile error: %s\n",
+                   Prog.errorMessage().c_str());
+      return 1;
+    }
+    AsmText = Prog->TargetAsm;
+    std::printf("== demo input (built-in compiler output) ==\n%s\n",
+                AsmText.c_str());
+  }
+
+  auto F = asmx::parseAsm(AsmText, D);
+  if (!F) {
+    std::fprintf(stderr, "assembly parse error: %s\n",
+                 F.errorMessage().c_str());
+    return 1;
+  }
+
+  auto Lifted = baselines::ruleDecompile(*F, D);
+  std::printf("== rule-based decompiler ==\n%s\n",
+              Lifted ? Lifted->c_str()
+                     : ("failed: " + Lifted.errorMessage()).c_str());
+
+  std::string Name = core::systemName("slade", D, Optimize);
+  auto Sys = core::loadSystem(core::checkpointDir(), Name);
+  if (!Sys) {
+    std::printf("== SLaDe ==\n(no checkpoint %s; run tools/slade-train)\n",
+                Name.c_str());
+    return 0;
+  }
+  core::Decompiler Slade(std::move(Sys->Tok), std::move(Sys->Model));
+  std::printf("== SLaDe (beam=5, top hypothesis) ==\n%s\n",
+              Slade.translate(AsmText, 5, 220).c_str());
+  return 0;
+}

@@ -1,0 +1,77 @@
+//===- Asm.h - structured assembly model ------------------------*- C++ -*-===//
+///
+/// \file
+/// Structured representation of the GCC-flavoured assembly the backends
+/// emit, plus parsers for both dialects. Consumed by the vm interpreters
+/// and by the rule-based decompiler baseline (the Ghidra analogue).
+///
+//===----------------------------------------------------------------------===//
+#ifndef SLADE_ASMX_ASM_H
+#define SLADE_ASMX_ASM_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace slade {
+namespace asmx {
+
+/// Operand of a parsed instruction; a closed union over the operand shapes
+/// the backends produce.
+struct Operand {
+  enum Kind {
+    Reg,     ///< %eax / w9 / xmm0 / v18.4s ...
+    Imm,     ///< $5 / #5 / 5
+    Mem,     ///< -24(%rbp) / [sp, 16] / [x9] / sym(%rip)
+    Label,   ///< .L4, function names in call/bl
+    Lo12,    ///< :lo12:sym (AArch64 page-offset relocation)
+    Shifter, ///< lsl <imm> (AArch64 movk)
+  } K = Imm;
+
+  std::string RegName;  ///< Without '%': "eax", "w9", "v18.4s", "sp".
+  int64_t ImmValue = 0;
+  // Mem payload:
+  std::string BaseReg;  ///< "" for absolute/symbolic.
+  int64_t Disp = 0;
+  std::string SymName;  ///< Non-empty for sym(%rip) and adrp symbols.
+  bool WriteBackPre = false;  ///< [sp, -32]!  (pre-index)
+  bool WriteBackPost = false; ///< [sp], 32    (post-index)
+  std::string LabelName;
+};
+
+struct AsmInstr {
+  std::string Mnemonic; ///< Lower-case, e.g. "movl", "b.le", "add".
+  std::vector<Operand> Ops;
+  int Line = 0;
+};
+
+/// A parsed function: a linear instruction list with label positions.
+struct AsmFunction {
+  std::string Name;
+  std::vector<AsmInstr> Instrs;
+  std::map<std::string, size_t> Labels; ///< label -> instruction index.
+};
+
+enum class Dialect { X86, Arm };
+
+/// Parses one function of backend-emitted assembly. Unknown directives are
+/// skipped; malformed operands are errors.
+Expected<AsmFunction> parseAsm(const std::string &Text, Dialect D);
+
+/// Parses a whole image: multiple functions concatenated (the evaluation
+/// links the target with the context's external function definitions).
+Expected<std::vector<AsmFunction>> parseAsmImage(const std::string &Text,
+                                                 Dialect D);
+
+/// Number of characters in \p Text (the paper's Fig. 9 length measure).
+size_t asmCharLength(const std::string &Text);
+/// Number of instruction lines (used for length binning in Fig. 8).
+size_t asmInstrCount(const AsmFunction &F);
+
+} // namespace asmx
+} // namespace slade
+
+#endif // SLADE_ASMX_ASM_H

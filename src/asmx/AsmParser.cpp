@@ -1,0 +1,282 @@
+//===- AsmParser.cpp - parsers for both assembly dialects -------------------===//
+
+#include "asmx/Asm.h"
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace slade;
+using namespace slade::asmx;
+
+namespace {
+
+/// Splits an operand list on commas that are not inside brackets.
+std::vector<std::string> splitOperands(std::string_view Text) {
+  std::vector<std::string> Out;
+  int Depth = 0;
+  std::string Cur;
+  for (char C : Text) {
+    if (C == '[' || C == '(')
+      ++Depth;
+    if (C == ']' || C == ')')
+      --Depth;
+    if (C == ',' && Depth == 0) {
+      Out.push_back(std::string(trim(Cur)));
+      Cur.clear();
+      continue;
+    }
+    Cur.push_back(C);
+  }
+  std::string Last(trim(Cur));
+  if (!Last.empty())
+    Out.push_back(Last);
+  return Out;
+}
+
+bool parseInt(std::string_view S, int64_t *Out) {
+  if (S.empty())
+    return false;
+  char *End = nullptr;
+  std::string Buf(S);
+  long long V = std::strtoll(Buf.c_str(), &End, 0);
+  if (End != Buf.c_str() + Buf.size())
+    return false;
+  *Out = V;
+  return true;
+}
+
+Status parseX86Operand(std::string_view Text, Operand *Op) {
+  if (Text.empty())
+    return Status::error("empty operand");
+  if (Text[0] == '%') {
+    Op->K = Operand::Reg;
+    Op->RegName = std::string(Text.substr(1));
+    return Status::success();
+  }
+  if (Text[0] == '$') {
+    int64_t V;
+    if (!parseInt(Text.substr(1), &V))
+      return Status::error("bad immediate '" + std::string(Text) + "'");
+    Op->K = Operand::Imm;
+    Op->ImmValue = V;
+    return Status::success();
+  }
+  size_t Open = Text.find('(');
+  if (Open != std::string_view::npos && Text.back() == ')') {
+    std::string_view DispStr = Text.substr(0, Open);
+    std::string_view Inner = Text.substr(Open + 1,
+                                         Text.size() - Open - 2);
+    Op->K = Operand::Mem;
+    if (Inner == "%rip") {
+      Op->SymName = std::string(trim(DispStr));
+      return Status::success();
+    }
+    if (!Inner.empty() && Inner[0] == '%')
+      Op->BaseReg = std::string(Inner.substr(1));
+    else
+      return Status::error("bad memory base '" + std::string(Text) + "'");
+    if (!DispStr.empty()) {
+      int64_t D;
+      if (!parseInt(DispStr, &D))
+        return Status::error("bad displacement '" + std::string(Text) + "'");
+      Op->Disp = D;
+    }
+    return Status::success();
+  }
+  // Bare token: numeric immediates appear only behind '$'; treat as label.
+  Op->K = Operand::Label;
+  Op->LabelName = std::string(Text);
+  return Status::success();
+}
+
+bool isArmRegName(std::string_view S) {
+  if (S == "sp" || S == "xzr" || S == "wzr")
+    return true;
+  if (S.size() < 2)
+    return false;
+  char C = S[0];
+  if (C != 'w' && C != 'x' && C != 's' && C != 'd' && C != 'q' && C != 'v')
+    return false;
+  for (size_t I = 1; I < S.size(); ++I) {
+    if (S[I] == '.')
+      return C == 'v'; // v18.4s
+    if (!std::isdigit(static_cast<unsigned char>(S[I])))
+      return false;
+  }
+  return true;
+}
+
+Status parseArmOperand(std::string_view Text, Operand *Op) {
+  if (Text.empty())
+    return Status::error("empty operand");
+  if (Text[0] == '[') {
+    bool Pre = Text.back() == '!';
+    std::string_view Inner =
+        Text.substr(1, Text.size() - (Pre ? 3 : 2)); // Strip [ ] (and !).
+    Op->K = Operand::Mem;
+    Op->WriteBackPre = Pre;
+    auto Parts = splitString(Inner, ',');
+    if (Parts.empty() || Parts.size() > 2)
+      return Status::error("bad memory operand '" + std::string(Text) + "'");
+    std::string Base(trim(Parts[0]));
+    if (!isArmRegName(Base))
+      return Status::error("bad base register '" + Base + "'");
+    Op->BaseReg = Base;
+    if (Parts.size() == 2) {
+      std::string D(trim(Parts[1]));
+      if (!D.empty() && D[0] == '#')
+        D.erase(0, 1);
+      int64_t V;
+      if (!parseInt(D, &V))
+        return Status::error("bad displacement '" + std::string(Text) + "'");
+      Op->Disp = V;
+    }
+    return Status::success();
+  }
+  if (startsWith(Text, ":lo12:")) {
+    Op->K = Operand::Lo12;
+    Op->SymName = std::string(Text.substr(6));
+    return Status::success();
+  }
+  if (Text[0] == '#') {
+    int64_t V;
+    if (!parseInt(Text.substr(1), &V))
+      return Status::error("bad immediate '" + std::string(Text) + "'");
+    Op->K = Operand::Imm;
+    Op->ImmValue = V;
+    return Status::success();
+  }
+  if (isArmRegName(Text)) {
+    Op->K = Operand::Reg;
+    Op->RegName = std::string(Text);
+    return Status::success();
+  }
+  {
+    int64_t V;
+    if (parseInt(Text, &V)) {
+      Op->K = Operand::Imm;
+      Op->ImmValue = V;
+      return Status::success();
+    }
+  }
+  if (startsWith(Text, "lsl ") || startsWith(Text, "lsl\t")) {
+    std::string Amount(trim(Text.substr(4)));
+    if (!Amount.empty() && Amount[0] == '#')
+      Amount.erase(0, 1);
+    int64_t V;
+    if (!parseInt(Amount, &V))
+      return Status::error("bad shifter '" + std::string(Text) + "'");
+    Op->K = Operand::Shifter;
+    Op->ImmValue = V;
+    return Status::success();
+  }
+  Op->K = Operand::Label;
+  Op->LabelName = std::string(Text);
+  return Status::success();
+}
+
+} // namespace
+
+Expected<std::vector<AsmFunction>>
+slade::asmx::parseAsmImage(const std::string &Text, Dialect D) {
+  std::vector<AsmFunction> Funcs;
+  AsmFunction Cur;
+  bool InFunction = false;
+  int LineNo = 0;
+  std::string PendingGlobl;
+
+  for (const std::string &RawLine : splitString(Text, '\n')) {
+    ++LineNo;
+    std::string Line(trim(RawLine));
+    if (Line.empty() || Line[0] == '#' || startsWith(Line, "//"))
+      continue;
+
+    // Directives.
+    if (Line[0] == '.') {
+      if (startsWith(Line, ".globl") || startsWith(Line, ".global")) {
+        PendingGlobl = std::string(trim(Line.substr(Line.find_first_of(
+            " \t"))));
+        continue;
+      }
+      if (startsWith(Line, ".size")) {
+        if (InFunction) {
+          Funcs.push_back(std::move(Cur));
+          Cur = AsmFunction();
+          InFunction = false;
+        }
+        continue;
+      }
+      if (Line.back() == ':') {
+        // Local label (.L4:).
+        std::string L = Line.substr(0, Line.size() - 1);
+        Cur.Labels[L] = Cur.Instrs.size();
+        continue;
+      }
+      continue; // .type, .text, alignment etc.
+    }
+
+    // Labels.
+    if (Line.back() == ':') {
+      std::string L = Line.substr(0, Line.size() - 1);
+      if (!InFunction || (!PendingGlobl.empty() && L == PendingGlobl)) {
+        if (InFunction) {
+          Funcs.push_back(std::move(Cur));
+          Cur = AsmFunction();
+        }
+        Cur.Name = L;
+        InFunction = true;
+        PendingGlobl.clear();
+      } else {
+        Cur.Labels[L] = Cur.Instrs.size();
+      }
+      continue;
+    }
+
+    if (!InFunction)
+      continue; // Stray code outside functions is ignored.
+
+    // Instruction.
+    size_t SpacePos = Line.find_first_of(" \t");
+    AsmInstr Ins;
+    Ins.Line = LineNo;
+    if (SpacePos == std::string::npos) {
+      Ins.Mnemonic = Line;
+    } else {
+      Ins.Mnemonic = Line.substr(0, SpacePos);
+      std::string Rest(trim(Line.substr(SpacePos)));
+      for (const std::string &OpText : splitOperands(Rest)) {
+        Operand Op;
+        Status S = D == Dialect::X86 ? parseX86Operand(OpText, &Op)
+                                     : parseArmOperand(OpText, &Op);
+        if (!S.ok())
+          return Expected<std::vector<AsmFunction>>::error(
+              formatString("line %d: %s", LineNo, S.message().c_str()));
+        Ins.Ops.push_back(std::move(Op));
+      }
+    }
+    Cur.Instrs.push_back(std::move(Ins));
+  }
+  if (InFunction)
+    Funcs.push_back(std::move(Cur));
+  return Funcs;
+}
+
+Expected<AsmFunction> slade::asmx::parseAsm(const std::string &Text,
+                                            Dialect D) {
+  auto Image = parseAsmImage(Text, D);
+  if (!Image)
+    return Expected<AsmFunction>::error(Image.errorMessage());
+  if (Image->empty())
+    return Expected<AsmFunction>::error("no function found in assembly");
+  return std::move(Image->front());
+}
+
+size_t slade::asmx::asmCharLength(const std::string &Text) {
+  return Text.size();
+}
+
+size_t slade::asmx::asmInstrCount(const AsmFunction &F) {
+  return F.Instrs.size();
+}

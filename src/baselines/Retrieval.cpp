@@ -1,0 +1,96 @@
+//===- Retrieval.cpp - LLM-analogue retrieval decompiler ---------------------===//
+
+#include "baselines/Retrieval.h"
+
+#include "support/StringUtils.h"
+
+#include <cmath>
+
+using namespace slade;
+using namespace slade::baselines;
+
+static std::map<std::string, int> tokenCounts(const std::string &Asm) {
+  std::map<std::string, int> Counts;
+  for (const std::string &T : splitWhitespace(Asm)) {
+    // Strip addresses/offsets so similarity reflects structure, not
+    // accidental frame layout.
+    std::string Clean;
+    for (char C : T)
+      if (!std::isdigit(static_cast<unsigned char>(C)) && C != '-')
+        Clean.push_back(C);
+    if (!Clean.empty())
+      ++Counts[Clean];
+  }
+  return Counts;
+}
+
+void RetrievalDecompiler::add(const std::string &Asm,
+                              const std::string &CSource) {
+  Entry E;
+  E.CSource = CSource;
+  Entries.push_back(std::move(E));
+  RawCounts.push_back(tokenCounts(Asm));
+}
+
+void RetrievalDecompiler::finalize() {
+  std::map<std::string, int> DocFreq;
+  for (const auto &Counts : RawCounts)
+    for (const auto &[Tok, N] : Counts)
+      ++DocFreq[Tok];
+  double NDocs = static_cast<double>(RawCounts.size());
+  for (const auto &[Tok, DF] : DocFreq)
+    IDF[Tok] = static_cast<float>(
+        std::log((NDocs + 1.0) / (static_cast<double>(DF) + 1.0)) + 1.0);
+  for (size_t I = 0; I < Entries.size(); ++I) {
+    double NormSq = 0;
+    for (const auto &[Tok, N] : RawCounts[I]) {
+      float W = static_cast<float>(N) * IDF[Tok];
+      Entries[I].Vec[Tok] = W;
+      NormSq += static_cast<double>(W) * W;
+    }
+    float Inv = NormSq > 0 ? static_cast<float>(1.0 / std::sqrt(NormSq))
+                           : 0.0f;
+    for (auto &[Tok, W] : Entries[I].Vec)
+      W *= Inv;
+  }
+  RawCounts.clear();
+  Finalized = true;
+}
+
+std::map<std::string, float>
+RetrievalDecompiler::vectorize(const std::string &Asm) const {
+  std::map<std::string, float> Vec;
+  double NormSq = 0;
+  for (const auto &[Tok, N] : tokenCounts(Asm)) {
+    auto It = IDF.find(Tok);
+    float W = static_cast<float>(N) * (It == IDF.end() ? 1.0f : It->second);
+    Vec[Tok] = W;
+    NormSq += static_cast<double>(W) * W;
+  }
+  float Inv = NormSq > 0 ? static_cast<float>(1.0 / std::sqrt(NormSq)) : 0.0f;
+  for (auto &[Tok, W] : Vec)
+    W *= Inv;
+  return Vec;
+}
+
+std::string RetrievalDecompiler::decompile(const std::string &Asm) const {
+  if (Entries.empty() || !Finalized)
+    return std::string();
+  std::map<std::string, float> Q = vectorize(Asm);
+  double BestScore = -1;
+  size_t BestIdx = 0;
+  for (size_t I = 0; I < Entries.size(); ++I) {
+    double Dot = 0;
+    const auto &V = Entries[I].Vec;
+    for (const auto &[Tok, W] : Q) {
+      auto It = V.find(Tok);
+      if (It != V.end())
+        Dot += static_cast<double>(W) * It->second;
+    }
+    if (Dot > BestScore) {
+      BestScore = Dot;
+      BestIdx = I;
+    }
+  }
+  return Entries[BestIdx].CSource;
+}

@@ -1,0 +1,50 @@
+//===- Retrieval.h - LLM-analogue retrieval decompiler ----------*- C++ -*-===//
+///
+/// \file
+/// Stand-in for the ChatGPT baseline (§VII-A2b, see DESIGN.md): a
+/// nearest-neighbour decompiler that embeds the query assembly as a TF-IDF
+/// bag of tokens and returns the C source of the most similar training
+/// function. This reproduces the LLM failure signature the paper reports:
+/// output that is plausible and frequently compilable, with mid-range edit
+/// similarity, but often the wrong semantics.
+///
+//===----------------------------------------------------------------------===//
+#ifndef SLADE_BASELINES_RETRIEVAL_H
+#define SLADE_BASELINES_RETRIEVAL_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace slade {
+namespace baselines {
+
+class RetrievalDecompiler {
+public:
+  /// Indexes (assembly, C) training pairs.
+  void add(const std::string &Asm, const std::string &CSource);
+  void finalize(); ///< Computes IDF weights; call once after adds.
+
+  /// Returns the C source of the nearest training assembly (empty if the
+  /// index is empty).
+  std::string decompile(const std::string &Asm) const;
+
+  size_t size() const { return Entries.size(); }
+
+private:
+  struct Entry {
+    std::map<std::string, float> Vec; ///< Normalized TF-IDF.
+    std::string CSource;
+  };
+  std::vector<Entry> Entries;
+  std::map<std::string, float> IDF;
+  std::vector<std::map<std::string, int>> RawCounts;
+  bool Finalized = false;
+
+  std::map<std::string, float> vectorize(const std::string &Asm) const;
+};
+
+} // namespace baselines
+} // namespace slade
+
+#endif // SLADE_BASELINES_RETRIEVAL_H

@@ -1,0 +1,32 @@
+//===- RuleDecompiler.h - Ghidra-style rule-based decompiler ----*- C++ -*-===//
+///
+/// \file
+/// The repository's stand-in for Ghidra (§VII-A2a): a pattern-matching
+/// lifter from parsed assembly to verbose C. Registers become uVarN/param_N
+/// variables, stack slots become local_N, loads go through explicit casts,
+/// and control flow is re-structured from the CFG. Like Ghidra it never
+/// invents external type declarations (§VII-D) and fails on instructions
+/// outside its pattern tables (e.g. the O3 vectorizer's SIMD ops), which is
+/// exactly the degradation mode the paper measures.
+///
+//===----------------------------------------------------------------------===//
+#ifndef SLADE_BASELINES_RULEDECOMPILER_H
+#define SLADE_BASELINES_RULEDECOMPILER_H
+
+#include "asmx/Asm.h"
+#include "support/Error.h"
+
+#include <string>
+
+namespace slade {
+namespace baselines {
+
+/// Lifts \p F to C source; fails when an instruction has no lifting rule
+/// or the CFG cannot be structured without goto.
+Expected<std::string> ruleDecompile(const asmx::AsmFunction &F,
+                                    asmx::Dialect D);
+
+} // namespace baselines
+} // namespace slade
+
+#endif // SLADE_BASELINES_RULEDECOMPILER_H

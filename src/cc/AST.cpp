@@ -1,0 +1,172 @@
+//===- AST.cpp - mini-C abstract syntax tree -------------------------------===//
+
+#include "cc/AST.h"
+
+#include "support/Unreachable.h"
+
+using namespace slade;
+using namespace slade::cc;
+
+bool slade::cc::isAssignOp(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Assign:
+  case BinaryOp::AddAssign:
+  case BinaryOp::SubAssign:
+  case BinaryOp::MulAssign:
+  case BinaryOp::DivAssign:
+  case BinaryOp::RemAssign:
+  case BinaryOp::AndAssign:
+  case BinaryOp::OrAssign:
+  case BinaryOp::XorAssign:
+  case BinaryOp::ShlAssign:
+  case BinaryOp::ShrAssign:
+    return true;
+  default:
+    return false;
+  }
+}
+
+BinaryOp slade::cc::strippedCompound(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::AddAssign:
+    return BinaryOp::Add;
+  case BinaryOp::SubAssign:
+    return BinaryOp::Sub;
+  case BinaryOp::MulAssign:
+    return BinaryOp::Mul;
+  case BinaryOp::DivAssign:
+    return BinaryOp::Div;
+  case BinaryOp::RemAssign:
+    return BinaryOp::Rem;
+  case BinaryOp::AndAssign:
+    return BinaryOp::BitAnd;
+  case BinaryOp::OrAssign:
+    return BinaryOp::BitOr;
+  case BinaryOp::XorAssign:
+    return BinaryOp::BitXor;
+  case BinaryOp::ShlAssign:
+    return BinaryOp::Shl;
+  case BinaryOp::ShrAssign:
+    return BinaryOp::Shr;
+  default:
+    SLADE_UNREACHABLE("not a compound assignment");
+  }
+}
+
+bool slade::cc::isComparisonOp(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Lt:
+  case BinaryOp::Gt:
+  case BinaryOp::Le:
+  case BinaryOp::Ge:
+  case BinaryOp::Eq:
+  case BinaryOp::Ne:
+    return true;
+  default:
+    return false;
+  }
+}
+
+const char *slade::cc::binaryOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Rem:
+    return "%";
+  case BinaryOp::Shl:
+    return "<<";
+  case BinaryOp::Shr:
+    return ">>";
+  case BinaryOp::BitAnd:
+    return "&";
+  case BinaryOp::BitOr:
+    return "|";
+  case BinaryOp::BitXor:
+    return "^";
+  case BinaryOp::Lt:
+    return "<";
+  case BinaryOp::Gt:
+    return ">";
+  case BinaryOp::Le:
+    return "<=";
+  case BinaryOp::Ge:
+    return ">=";
+  case BinaryOp::Eq:
+    return "==";
+  case BinaryOp::Ne:
+    return "!=";
+  case BinaryOp::LogAnd:
+    return "&&";
+  case BinaryOp::LogOr:
+    return "||";
+  case BinaryOp::Assign:
+    return "=";
+  case BinaryOp::AddAssign:
+    return "+=";
+  case BinaryOp::SubAssign:
+    return "-=";
+  case BinaryOp::MulAssign:
+    return "*=";
+  case BinaryOp::DivAssign:
+    return "/=";
+  case BinaryOp::RemAssign:
+    return "%=";
+  case BinaryOp::AndAssign:
+    return "&=";
+  case BinaryOp::OrAssign:
+    return "|=";
+  case BinaryOp::XorAssign:
+    return "^=";
+  case BinaryOp::ShlAssign:
+    return "<<=";
+  case BinaryOp::ShrAssign:
+    return ">>=";
+  case BinaryOp::Comma:
+    return ",";
+  }
+  SLADE_UNREACHABLE("covered switch");
+}
+
+const char *slade::cc::unaryOpSpelling(UnaryOp Op) {
+  switch (Op) {
+  case UnaryOp::Neg:
+    return "-";
+  case UnaryOp::Plus:
+    return "+";
+  case UnaryOp::LogNot:
+    return "!";
+  case UnaryOp::BitNot:
+    return "~";
+  case UnaryOp::Deref:
+    return "*";
+  case UnaryOp::AddrOf:
+    return "&";
+  case UnaryOp::PreInc:
+  case UnaryOp::PostInc:
+    return "++";
+  case UnaryOp::PreDec:
+  case UnaryOp::PostDec:
+    return "--";
+  }
+  SLADE_UNREACHABLE("covered switch");
+}
+
+FunctionDecl *TranslationUnit::findFunction(const std::string &Name) const {
+  for (const auto &F : Functions)
+    if (F->Name == Name)
+      return F.get();
+  return nullptr;
+}
+
+VarDecl *TranslationUnit::findGlobal(const std::string &Name) const {
+  for (const auto &G : Globals)
+    if (G->Name == Name)
+      return G.get();
+  return nullptr;
+}

@@ -1,0 +1,472 @@
+//===- AST.h - mini-C abstract syntax tree ----------------------*- C++ -*-===//
+///
+/// \file
+/// AST for the mini-C dialect. Nodes use LLVM-style RTTI (classof +
+/// isa/cast/dyn_cast). Expressions carry a type and lvalue-ness that the
+/// Sema pass fills in. A TranslationUnit owns all declarations; Types are
+/// owned by the associated TypeContext.
+///
+//===----------------------------------------------------------------------===//
+#ifndef SLADE_CC_AST_H
+#define SLADE_CC_AST_H
+
+#include "cc/Type.h"
+#include "support/Casting.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace slade {
+namespace cc {
+
+class VarDecl;
+class FunctionDecl;
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class ExprKind {
+  IntLit,
+  FloatLit,
+  StringLit,
+  VarRef,
+  Unary,
+  Binary,
+  Conditional,
+  Call,
+  Index,
+  Member,
+  Cast,
+};
+
+enum class UnaryOp {
+  Neg,     ///< -x
+  Plus,    ///< +x
+  LogNot,  ///< !x
+  BitNot,  ///< ~x
+  Deref,   ///< *p
+  AddrOf,  ///< &x
+  PreInc,  ///< ++x
+  PreDec,  ///< --x
+  PostInc, ///< x++
+  PostDec, ///< x--
+};
+
+enum class BinaryOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Shl,
+  Shr,
+  BitAnd,
+  BitOr,
+  BitXor,
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  Eq,
+  Ne,
+  LogAnd,
+  LogOr,
+  Assign,
+  AddAssign,
+  SubAssign,
+  MulAssign,
+  DivAssign,
+  RemAssign,
+  AndAssign,
+  OrAssign,
+  XorAssign,
+  ShlAssign,
+  ShrAssign,
+  Comma,
+};
+
+/// True for `=` and all compound assignment operators.
+bool isAssignOp(BinaryOp Op);
+/// For a compound assignment, the underlying arithmetic op (AddAssign→Add).
+BinaryOp strippedCompound(BinaryOp Op);
+/// Source spelling of the operator, e.g. "+=" for AddAssign.
+const char *binaryOpSpelling(BinaryOp Op);
+const char *unaryOpSpelling(UnaryOp Op);
+bool isComparisonOp(BinaryOp Op);
+
+class Expr {
+public:
+  virtual ~Expr() = default;
+
+  ExprKind getKind() const { return Kind; }
+
+  /// Type of this expression; set during Sema.
+  const Type *Ty = nullptr;
+  /// True if this expression designates an object (set during Sema).
+  bool IsLValue = false;
+
+protected:
+  explicit Expr(ExprKind Kind) : Kind(Kind) {}
+
+private:
+  ExprKind Kind;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+class IntLit : public Expr {
+public:
+  explicit IntLit(int64_t Value, bool IsUnsigned = false)
+      : Expr(ExprKind::IntLit), Value(Value), IsUnsigned(IsUnsigned) {}
+
+  int64_t Value;
+  bool IsUnsigned;
+
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::IntLit;
+  }
+};
+
+class FloatLit : public Expr {
+public:
+  FloatLit(double Value, bool IsFloat)
+      : Expr(ExprKind::FloatLit), Value(Value), IsFloat(IsFloat) {}
+
+  double Value;
+  /// True if spelled with an `f` suffix (type float rather than double).
+  bool IsFloat;
+
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::FloatLit;
+  }
+};
+
+class StringLit : public Expr {
+public:
+  explicit StringLit(std::string Value)
+      : Expr(ExprKind::StringLit), Value(std::move(Value)) {}
+
+  std::string Value;
+
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::StringLit;
+  }
+};
+
+class VarRef : public Expr {
+public:
+  explicit VarRef(std::string Name)
+      : Expr(ExprKind::VarRef), Name(std::move(Name)) {}
+
+  std::string Name;
+  /// Resolved declaration; set during Sema. Null for enum-like constants.
+  const VarDecl *Decl = nullptr;
+
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::VarRef;
+  }
+};
+
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(UnaryOp Op, ExprPtr Operand)
+      : Expr(ExprKind::Unary), Op(Op), Operand(std::move(Operand)) {}
+
+  UnaryOp Op;
+  ExprPtr Operand;
+
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::Unary;
+  }
+};
+
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinaryOp Op, ExprPtr LHS, ExprPtr RHS)
+      : Expr(ExprKind::Binary), Op(Op), LHS(std::move(LHS)),
+        RHS(std::move(RHS)) {}
+
+  BinaryOp Op;
+  ExprPtr LHS, RHS;
+
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::Binary;
+  }
+};
+
+class ConditionalExpr : public Expr {
+public:
+  ConditionalExpr(ExprPtr Cond, ExprPtr Then, ExprPtr Else)
+      : Expr(ExprKind::Conditional), Cond(std::move(Cond)),
+        Then(std::move(Then)), Else(std::move(Else)) {}
+
+  ExprPtr Cond, Then, Else;
+
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::Conditional;
+  }
+};
+
+class CallExpr : public Expr {
+public:
+  CallExpr(std::string Callee, std::vector<ExprPtr> Args)
+      : Expr(ExprKind::Call), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+  /// Resolved callee; set during Sema. Null for unknown externals.
+  const FunctionDecl *Decl = nullptr;
+
+  static bool classof(const Expr *E) { return E->getKind() == ExprKind::Call; }
+};
+
+class IndexExpr : public Expr {
+public:
+  IndexExpr(ExprPtr Base, ExprPtr Index)
+      : Expr(ExprKind::Index), Base(std::move(Base)),
+        Index(std::move(Index)) {}
+
+  ExprPtr Base, Index;
+
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::Index;
+  }
+};
+
+class MemberExpr : public Expr {
+public:
+  MemberExpr(ExprPtr Base, std::string Member, bool IsArrow)
+      : Expr(ExprKind::Member), Base(std::move(Base)),
+        Member(std::move(Member)), IsArrow(IsArrow) {}
+
+  ExprPtr Base;
+  std::string Member;
+  bool IsArrow;
+  /// Byte offset of the member; set during Sema.
+  unsigned Offset = 0;
+
+  static bool classof(const Expr *E) {
+    return E->getKind() == ExprKind::Member;
+  }
+};
+
+class CastExpr : public Expr {
+public:
+  CastExpr(const Type *Target, ExprPtr Operand)
+      : Expr(ExprKind::Cast), Target(Target), Operand(std::move(Operand)) {}
+
+  const Type *Target;
+  ExprPtr Operand;
+
+  static bool classof(const Expr *E) { return E->getKind() == ExprKind::Cast; }
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind {
+  Compound,
+  Expr,
+  Decl,
+  If,
+  While,
+  DoWhile,
+  For,
+  Return,
+  Break,
+  Continue,
+  Empty,
+};
+
+class Stmt {
+public:
+  virtual ~Stmt() = default;
+  StmtKind getKind() const { return Kind; }
+
+protected:
+  explicit Stmt(StmtKind Kind) : Kind(Kind) {}
+
+private:
+  StmtKind Kind;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+class CompoundStmt : public Stmt {
+public:
+  CompoundStmt() : Stmt(StmtKind::Compound) {}
+
+  std::vector<StmtPtr> Body;
+
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::Compound;
+  }
+};
+
+class ExprStmt : public Stmt {
+public:
+  explicit ExprStmt(ExprPtr E) : Stmt(StmtKind::Expr), E(std::move(E)) {}
+
+  ExprPtr E;
+
+  static bool classof(const Stmt *S) { return S->getKind() == StmtKind::Expr; }
+};
+
+class DeclStmt : public Stmt {
+public:
+  DeclStmt() : Stmt(StmtKind::Decl) {}
+
+  std::vector<std::unique_ptr<VarDecl>> Decls;
+
+  static bool classof(const Stmt *S) { return S->getKind() == StmtKind::Decl; }
+};
+
+class IfStmt : public Stmt {
+public:
+  IfStmt(ExprPtr Cond, StmtPtr Then, StmtPtr Else)
+      : Stmt(StmtKind::If), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+
+  ExprPtr Cond;
+  StmtPtr Then;
+  StmtPtr Else; ///< May be null.
+
+  static bool classof(const Stmt *S) { return S->getKind() == StmtKind::If; }
+};
+
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(ExprPtr Cond, StmtPtr Body)
+      : Stmt(StmtKind::While), Cond(std::move(Cond)), Body(std::move(Body)) {}
+
+  ExprPtr Cond;
+  StmtPtr Body;
+
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::While;
+  }
+};
+
+class DoWhileStmt : public Stmt {
+public:
+  DoWhileStmt(StmtPtr Body, ExprPtr Cond)
+      : Stmt(StmtKind::DoWhile), Body(std::move(Body)),
+        Cond(std::move(Cond)) {}
+
+  StmtPtr Body;
+  ExprPtr Cond;
+
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::DoWhile;
+  }
+};
+
+class ForStmt : public Stmt {
+public:
+  ForStmt(StmtPtr Init, ExprPtr Cond, ExprPtr Step, StmtPtr Body)
+      : Stmt(StmtKind::For), Init(std::move(Init)), Cond(std::move(Cond)),
+        Step(std::move(Step)), Body(std::move(Body)) {}
+
+  StmtPtr Init; ///< DeclStmt, ExprStmt or null.
+  ExprPtr Cond; ///< May be null (infinite loop).
+  ExprPtr Step; ///< May be null.
+  StmtPtr Body;
+
+  static bool classof(const Stmt *S) { return S->getKind() == StmtKind::For; }
+};
+
+class ReturnStmt : public Stmt {
+public:
+  explicit ReturnStmt(ExprPtr Value)
+      : Stmt(StmtKind::Return), Value(std::move(Value)) {}
+
+  ExprPtr Value; ///< May be null for `return;`.
+
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::Return;
+  }
+};
+
+class BreakStmt : public Stmt {
+public:
+  BreakStmt() : Stmt(StmtKind::Break) {}
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::Break;
+  }
+};
+
+class ContinueStmt : public Stmt {
+public:
+  ContinueStmt() : Stmt(StmtKind::Continue) {}
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::Continue;
+  }
+};
+
+class EmptyStmt : public Stmt {
+public:
+  EmptyStmt() : Stmt(StmtKind::Empty) {}
+  static bool classof(const Stmt *S) {
+    return S->getKind() == StmtKind::Empty;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+/// A variable: local, parameter, or global.
+class VarDecl {
+public:
+  VarDecl(std::string Name, const Type *Ty)
+      : Name(std::move(Name)), Ty(Ty) {}
+
+  std::string Name;
+  const Type *Ty;
+  ExprPtr Init;           ///< May be null.
+  bool IsGlobal = false;  ///< File-scope variable.
+  bool IsExtern = false;  ///< Declared but defined elsewhere.
+  bool IsParam = false;   ///< Function parameter.
+};
+
+/// A function definition or declaration.
+class FunctionDecl {
+public:
+  FunctionDecl(std::string Name, const Type *RetTy)
+      : Name(std::move(Name)), RetTy(RetTy) {}
+
+  std::string Name;
+  const Type *RetTy;
+  std::vector<std::unique_ptr<VarDecl>> Params;
+  std::unique_ptr<CompoundStmt> Body; ///< Null for declarations.
+
+  bool isDefinition() const { return Body != nullptr; }
+};
+
+/// typedef Name = Ty (only required for pretty-printing the context).
+struct TypedefDecl {
+  std::string Name;
+  const Type *Ty;
+};
+
+/// A parsed translation unit. Owns declarations; types live in the
+/// TypeContext supplied at parse time.
+class TranslationUnit {
+public:
+  std::vector<TypedefDecl> Typedefs;
+  std::vector<StructType *> Structs; ///< In declaration order.
+  std::vector<std::unique_ptr<VarDecl>> Globals;
+  std::vector<std::unique_ptr<FunctionDecl>> Functions;
+
+  FunctionDecl *findFunction(const std::string &Name) const;
+  VarDecl *findGlobal(const std::string &Name) const;
+};
+
+} // namespace cc
+} // namespace slade
+
+#endif // SLADE_CC_AST_H

@@ -1,0 +1,299 @@
+//===- Lexer.cpp - mini-C lexer --------------------------------------------===//
+
+#include "cc/Lexer.h"
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <set>
+
+using namespace slade;
+using namespace slade::cc;
+
+bool slade::cc::isCKeyword(std::string_view Name) {
+  static const std::set<std::string, std::less<>> Keywords = {
+      "void",     "char",   "short",    "int",      "long",   "float",
+      "double",   "signed", "unsigned", "if",       "else",   "while",
+      "for",      "do",     "return",   "break",    "continue", "struct",
+      "typedef",  "sizeof", "extern",   "static",   "const",  "volatile",
+      "restrict", "inline", "register", "__restrict", "union", "enum",
+      "switch",   "case",   "default",  "goto",     "_Bool"};
+  return Keywords.count(Name) != 0;
+}
+
+namespace {
+
+/// Internal cursor over the source text.
+class Cursor {
+public:
+  Cursor(std::string_view Source) : Src(Source) {}
+
+  bool atEnd() const { return Pos >= Src.size(); }
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+  char advance() {
+    char C = Src[Pos++];
+    if (C == '\n')
+      ++Line;
+    return C;
+  }
+  int line() const { return Line; }
+
+private:
+  std::string_view Src;
+  size_t Pos = 0;
+  int Line = 1;
+};
+
+} // namespace
+
+static bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+}
+static bool isIdentChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+}
+
+/// Multi-character punctuators, longest first so maximal munch works.
+static const char *const MultiPuncts[] = {
+    "<<=", ">>=", "...", "->", "++", "--", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||", "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=",  "^=",
+};
+
+static char decodeEscape(char C) {
+  switch (C) {
+  case 'n':
+    return '\n';
+  case 't':
+    return '\t';
+  case 'r':
+    return '\r';
+  case '0':
+    return '\0';
+  case '\\':
+    return '\\';
+  case '\'':
+    return '\'';
+  case '"':
+    return '"';
+  default:
+    return C;
+  }
+}
+
+std::vector<Token> slade::cc::lexC(std::string_view Source, bool Tolerant,
+                                   std::string *Error) {
+  std::vector<Token> Tokens;
+  if (Error)
+    Error->clear();
+  Cursor Cur(Source);
+
+  auto fail = [&](const std::string &Msg, int Line) {
+    if (Error && Error->empty())
+      *Error = formatString("line %d: %s", Line, Msg.c_str());
+  };
+
+  while (!Cur.atEnd()) {
+    char C = Cur.peek();
+    // Whitespace.
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      Cur.advance();
+      continue;
+    }
+    // Comments.
+    if (C == '/' && Cur.peek(1) == '/') {
+      while (!Cur.atEnd() && Cur.peek() != '\n')
+        Cur.advance();
+      continue;
+    }
+    if (C == '/' && Cur.peek(1) == '*') {
+      Cur.advance();
+      Cur.advance();
+      while (!Cur.atEnd() && !(Cur.peek() == '*' && Cur.peek(1) == '/'))
+        Cur.advance();
+      if (!Cur.atEnd()) {
+        Cur.advance();
+        Cur.advance();
+      }
+      continue;
+    }
+    // Preprocessor lines: skipped (hypotheses sometimes include #include).
+    if (C == '#') {
+      while (!Cur.atEnd() && Cur.peek() != '\n')
+        Cur.advance();
+      continue;
+    }
+
+    Token Tok;
+    Tok.Line = Cur.line();
+
+    // Identifiers and keywords.
+    if (isIdentStart(C)) {
+      std::string Text;
+      while (!Cur.atEnd() && isIdentChar(Cur.peek()))
+        Text.push_back(Cur.advance());
+      Tok.Kind = isCKeyword(Text) ? TokKind::Keyword : TokKind::Identifier;
+      Tok.Text = std::move(Text);
+      Tokens.push_back(std::move(Tok));
+      continue;
+    }
+
+    // Numeric literals (decimal, hex, float).
+    if (std::isdigit(static_cast<unsigned char>(C)) ||
+        (C == '.' && std::isdigit(static_cast<unsigned char>(Cur.peek(1))))) {
+      std::string Text;
+      bool IsFloat = false;
+      if (C == '0' && (Cur.peek(1) == 'x' || Cur.peek(1) == 'X')) {
+        Text.push_back(Cur.advance());
+        Text.push_back(Cur.advance());
+        while (!Cur.atEnd() &&
+               std::isxdigit(static_cast<unsigned char>(Cur.peek())))
+          Text.push_back(Cur.advance());
+      } else {
+        while (!Cur.atEnd() &&
+               std::isdigit(static_cast<unsigned char>(Cur.peek())))
+          Text.push_back(Cur.advance());
+        if (Cur.peek() == '.') {
+          IsFloat = true;
+          Text.push_back(Cur.advance());
+          while (!Cur.atEnd() &&
+                 std::isdigit(static_cast<unsigned char>(Cur.peek())))
+            Text.push_back(Cur.advance());
+        }
+        if (Cur.peek() == 'e' || Cur.peek() == 'E') {
+          IsFloat = true;
+          Text.push_back(Cur.advance());
+          if (Cur.peek() == '+' || Cur.peek() == '-')
+            Text.push_back(Cur.advance());
+          while (!Cur.atEnd() &&
+                 std::isdigit(static_cast<unsigned char>(Cur.peek())))
+            Text.push_back(Cur.advance());
+        }
+      }
+      // Suffixes (u, l, f) are consumed and ignored.
+      while (Cur.peek() == 'u' || Cur.peek() == 'U' || Cur.peek() == 'l' ||
+             Cur.peek() == 'L' || Cur.peek() == 'f' || Cur.peek() == 'F') {
+        if (Cur.peek() == 'f' || Cur.peek() == 'F')
+          IsFloat = true;
+        Cur.advance();
+      }
+      if (IsFloat) {
+        Tok.Kind = TokKind::FloatLiteral;
+        Tok.FloatValue = std::strtod(Text.c_str(), nullptr);
+      } else {
+        Tok.Kind = TokKind::IntLiteral;
+        Tok.IntValue = std::strtoull(Text.c_str(), nullptr, 0);
+      }
+      Tok.Text = std::move(Text);
+      Tokens.push_back(std::move(Tok));
+      continue;
+    }
+
+    // Character literal.
+    if (C == '\'') {
+      Cur.advance();
+      char Value = 0;
+      if (Cur.peek() == '\\') {
+        Cur.advance();
+        Value = decodeEscape(Cur.advance());
+      } else if (!Cur.atEnd()) {
+        Value = Cur.advance();
+      }
+      if (Cur.peek() == '\'')
+        Cur.advance();
+      else
+        fail("unterminated character literal", Tok.Line);
+      Tok.Kind = TokKind::CharLiteral;
+      Tok.IntValue = static_cast<uint64_t>(static_cast<unsigned char>(Value));
+      Tok.Text = std::string("'") + Value + "'";
+      Tokens.push_back(std::move(Tok));
+      continue;
+    }
+
+    // String literal.
+    if (C == '"') {
+      Cur.advance();
+      std::string Value;
+      std::string Raw = "\"";
+      while (!Cur.atEnd() && Cur.peek() != '"') {
+        char D = Cur.advance();
+        Raw.push_back(D);
+        if (D == '\\' && !Cur.atEnd()) {
+          char E = Cur.advance();
+          Raw.push_back(E);
+          Value.push_back(decodeEscape(E));
+        } else {
+          Value.push_back(D);
+        }
+      }
+      if (!Cur.atEnd())
+        Cur.advance();
+      else
+        fail("unterminated string literal", Tok.Line);
+      Raw.push_back('"');
+      Tok.Kind = TokKind::StringLiteral;
+      Tok.StrValue = std::move(Value);
+      Tok.Text = std::move(Raw);
+      Tokens.push_back(std::move(Tok));
+      continue;
+    }
+
+    // Punctuation: maximal munch over the multi-char table.
+    bool Matched = false;
+    for (const char *P : MultiPuncts) {
+      size_t Len = std::string_view(P).size();
+      bool Eq = true;
+      for (size_t I = 0; I < Len && Eq; ++I)
+        Eq = Cur.peek(I) == P[I];
+      if (Eq) {
+        for (size_t I = 0; I < Len; ++I)
+          Cur.advance();
+        Tok.Kind = TokKind::Punct;
+        Tok.Text = P;
+        Tokens.push_back(std::move(Tok));
+        Matched = true;
+        break;
+      }
+    }
+    if (Matched)
+      continue;
+
+    static const std::string SinglePuncts = "+-*/%<>=!&|^~?:;,.(){}[]";
+    if (SinglePuncts.find(C) != std::string::npos) {
+      Cur.advance();
+      Tok.Kind = TokKind::Punct;
+      Tok.Text = std::string(1, C);
+      Tokens.push_back(std::move(Tok));
+      continue;
+    }
+
+    // Unrecognized character.
+    Cur.advance();
+    if (Tolerant) {
+      Tok.Kind = TokKind::Unknown;
+      Tok.Text = std::string(1, C);
+      Tokens.push_back(std::move(Tok));
+    } else {
+      fail(formatString("unexpected character '%c'", C), Tok.Line);
+    }
+  }
+
+  Token Eof;
+  Eof.Kind = TokKind::Eof;
+  Eof.Line = Cur.line();
+  Tokens.push_back(std::move(Eof));
+  return Tokens;
+}
+
+std::vector<std::string> slade::cc::cTokenSpellings(std::string_view Source) {
+  std::vector<Token> Tokens = lexC(Source, /*Tolerant=*/true, nullptr);
+  std::vector<std::string> Out;
+  Out.reserve(Tokens.size());
+  for (const Token &T : Tokens)
+    if (!T.is(TokKind::Eof))
+      Out.push_back(T.Text);
+  return Out;
+}

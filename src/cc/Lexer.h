@@ -1,0 +1,68 @@
+//===- Lexer.h - mini-C lexer -----------------------------------*- C++ -*-===//
+///
+/// \file
+/// Lexer for the mini-C dialect. Also used in a tolerant mode to produce
+/// the canonical token stream for edit-similarity computation (§III-B):
+/// unknown characters become single-character tokens instead of errors.
+///
+//===----------------------------------------------------------------------===//
+#ifndef SLADE_CC_LEXER_H
+#define SLADE_CC_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace slade {
+namespace cc {
+
+enum class TokKind {
+  Eof,
+  Identifier,
+  Keyword,
+  IntLiteral,
+  FloatLiteral,
+  CharLiteral,
+  StringLiteral,
+  Punct,
+  Unknown, // Tolerant mode only: an unrecognized character.
+};
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;      ///< Spelling (for literals, the raw spelling).
+  uint64_t IntValue = 0; ///< Value for Int/Char literals.
+  double FloatValue = 0; ///< Value for Float literals.
+  std::string StrValue;  ///< Decoded value for string literals.
+  int Line = 0;
+
+  bool is(TokKind K) const { return Kind == K; }
+  bool isPunct(std::string_view P) const {
+    return Kind == TokKind::Punct && Text == P;
+  }
+  bool isKeyword(std::string_view K) const {
+    return Kind == TokKind::Keyword && Text == K;
+  }
+  bool isIdent() const { return Kind == TokKind::Identifier; }
+};
+
+/// Lexes \p Source into a token vector ending with an Eof token.
+///
+/// In strict mode an unrecognized character aborts lexing and records an
+/// error; in tolerant mode it becomes an Unknown token. \p Error receives
+/// the first diagnostic (empty on success).
+std::vector<Token> lexC(std::string_view Source, bool Tolerant,
+                        std::string *Error);
+
+/// True if \p Name is a keyword of the mini-C dialect.
+bool isCKeyword(std::string_view Name);
+
+/// Canonical token spellings of \p Source for edit-distance computation.
+/// Comments and whitespace are dropped; lexing never fails.
+std::vector<std::string> cTokenSpellings(std::string_view Source);
+
+} // namespace cc
+} // namespace slade
+
+#endif // SLADE_CC_LEXER_H

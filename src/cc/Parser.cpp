@@ -1,0 +1,876 @@
+//===- Parser.cpp - mini-C parser ------------------------------------------===//
+
+#include "cc/Parser.h"
+
+#include "cc/Lexer.h"
+#include "support/StringUtils.h"
+#include "support/Unreachable.h"
+
+#include <cassert>
+
+using namespace slade;
+using namespace slade::cc;
+
+namespace {
+
+/// Recursive-descent parser over a pre-lexed token stream.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, TypeContext &Ctx,
+         const ParseOptions &Options)
+      : Tokens(std::move(Tokens)), Ctx(Ctx), Options(Options),
+        Typedefs(Options.KnownTypedefs) {}
+
+  Expected<std::unique_ptr<TranslationUnit>> run();
+
+private:
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  TypeContext &Ctx;
+  ParseOptions Options;
+  std::map<std::string, const Type *> Typedefs;
+  std::string Error;
+  std::unique_ptr<TranslationUnit> TU;
+
+  // -- token helpers -------------------------------------------------------
+  const Token &cur() const { return Tokens[Pos]; }
+  const Token &peek(size_t Ahead = 1) const {
+    size_t I = Pos + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  void advance() {
+    if (Pos + 1 < Tokens.size())
+      ++Pos;
+  }
+  bool accept(std::string_view Punct) {
+    if (cur().isPunct(Punct)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  bool acceptKw(std::string_view Kw) {
+    if (cur().isKeyword(Kw)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  bool expect(std::string_view Punct) {
+    if (accept(Punct))
+      return true;
+    fail(formatString("expected '%s', found '%s'",
+                      std::string(Punct).c_str(), cur().Text.c_str()));
+    return false;
+  }
+  void fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = formatString("line %d: %s", cur().Line, Msg.c_str());
+  }
+  bool failed() const { return !Error.empty(); }
+
+  // -- types ---------------------------------------------------------------
+  bool isTypeStart() const;
+  bool isKnownTypeName(const std::string &Name) const {
+    return Typedefs.count(Name) != 0 || Ctx.findNamed(Name) != nullptr;
+  }
+  const Type *parseTypeSpecifier();
+  const Type *parseDeclaratorPointers(const Type *Base);
+  const Type *parseTypeName(); // type-specifier + abstract declarator
+
+  // -- declarations --------------------------------------------------------
+  void parseTopLevel();
+  void parseTypedef();
+  StructType *parseStructSpecifier();
+  void parseFunctionOrGlobal(bool IsExtern);
+  std::unique_ptr<FunctionDecl> parseFunctionRest(const Type *RetTy,
+                                                  std::string Name);
+  std::unique_ptr<DeclStmt> parseLocalDecl();
+
+  // -- statements ----------------------------------------------------------
+  StmtPtr parseStmt();
+  std::unique_ptr<CompoundStmt> parseCompound();
+  bool startsLocalDecl() const;
+
+  // -- expressions ---------------------------------------------------------
+  ExprPtr parseExpr();       // includes comma
+  ExprPtr parseAssign();     // assignment-expression
+  ExprPtr parseConditional();
+  ExprPtr parseBinaryRHS(int MinPrec, ExprPtr LHS);
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix(ExprPtr Base);
+  ExprPtr parsePrimary();
+  bool looksLikeCast() const;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+static bool isBuiltinTypeKeyword(const Token &T) {
+  return T.isKeyword("void") || T.isKeyword("char") || T.isKeyword("short") ||
+         T.isKeyword("int") || T.isKeyword("long") || T.isKeyword("float") ||
+         T.isKeyword("double") || T.isKeyword("signed") ||
+         T.isKeyword("unsigned") || T.isKeyword("_Bool");
+}
+
+static bool isIgnoredQualifier(const Token &T) {
+  return T.isKeyword("const") || T.isKeyword("volatile") ||
+         T.isKeyword("restrict") || T.isKeyword("__restrict") ||
+         T.isKeyword("inline") || T.isKeyword("register") ||
+         T.isKeyword("static");
+}
+
+bool Parser::isTypeStart() const {
+  const Token &T = cur();
+  if (isBuiltinTypeKeyword(T) || T.isKeyword("struct") ||
+      isIgnoredQualifier(T))
+    return true;
+  if (T.isIdent() && Typedefs.count(T.Text))
+    return true;
+  return false;
+}
+
+const Type *Parser::parseTypeSpecifier() {
+  while (isIgnoredQualifier(cur()))
+    advance();
+
+  if (cur().isKeyword("struct")) {
+    StructType *S = parseStructSpecifier();
+    return S;
+  }
+
+  if (cur().isIdent()) {
+    std::string Name = cur().Text;
+    auto It = Typedefs.find(Name);
+    if (It != Typedefs.end()) {
+      advance();
+      return It->second;
+    }
+    if (Options.Partial) {
+      advance();
+      return Ctx.getOrCreateNamed(Name);
+    }
+    fail(formatString("unknown type name '%s'", Name.c_str()));
+    return Ctx.int32Ty();
+  }
+
+  // Builtin combinations: {signed|unsigned}? {void|char|short|int|long|
+  // long long|float|double}.
+  bool SawUnsigned = false, SawSigned = false;
+  int Longs = 0;
+  bool SawShort = false, SawChar = false, SawInt = false, SawVoid = false;
+  bool SawFloat = false, SawDouble = false, SawBool = false;
+  bool SawAny = false;
+  while (true) {
+    if (acceptKw("unsigned")) {
+      SawUnsigned = true;
+    } else if (acceptKw("signed")) {
+      SawSigned = true;
+    } else if (acceptKw("long")) {
+      ++Longs;
+    } else if (acceptKw("short")) {
+      SawShort = true;
+    } else if (acceptKw("char")) {
+      SawChar = true;
+    } else if (acceptKw("int")) {
+      SawInt = true;
+    } else if (acceptKw("void")) {
+      SawVoid = true;
+    } else if (acceptKw("float")) {
+      SawFloat = true;
+    } else if (acceptKw("double")) {
+      SawDouble = true;
+    } else if (acceptKw("_Bool")) {
+      SawBool = true;
+    } else if (isIgnoredQualifier(cur())) {
+      advance();
+      continue;
+    } else {
+      break;
+    }
+    SawAny = true;
+  }
+  if (!SawAny) {
+    fail(formatString("expected type, found '%s'", cur().Text.c_str()));
+    return Ctx.int32Ty();
+  }
+  (void)SawSigned;
+  (void)SawInt;
+  if (SawVoid)
+    return Ctx.voidTy();
+  if (SawFloat)
+    return Ctx.floatTy();
+  if (SawDouble)
+    return Ctx.doubleTy();
+  if (SawBool)
+    return Ctx.intTy(8, false);
+  if (SawChar)
+    return Ctx.intTy(8, !SawUnsigned);
+  if (SawShort)
+    return Ctx.intTy(16, !SawUnsigned);
+  if (Longs > 0)
+    return Ctx.intTy(64, !SawUnsigned);
+  return Ctx.intTy(32, !SawUnsigned);
+}
+
+const Type *Parser::parseDeclaratorPointers(const Type *Base) {
+  const Type *T = Base;
+  while (accept("*")) {
+    T = Ctx.pointerTo(T);
+    while (isIgnoredQualifier(cur()))
+      advance();
+  }
+  return T;
+}
+
+const Type *Parser::parseTypeName() {
+  const Type *T = parseTypeSpecifier();
+  T = parseDeclaratorPointers(T);
+  // Abstract array declarators are not supported (not needed).
+  return T;
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+StructType *Parser::parseStructSpecifier() {
+  assert(cur().isKeyword("struct") && "caller checks");
+  advance();
+  if (!cur().isIdent()) {
+    fail("anonymous structs are not supported");
+    return Ctx.getOrCreateStruct("__anon");
+  }
+  std::string Name = cur().Text;
+  advance();
+  StructType *S = Ctx.getOrCreateStruct(Name);
+  if (!accept("{"))
+    return S;
+
+  if (S->isComplete()) {
+    fail(formatString("redefinition of struct %s", Name.c_str()));
+    return S;
+  }
+  std::vector<StructType::Field> Fields;
+  while (!cur().isPunct("}") && !cur().is(TokKind::Eof) && !failed()) {
+    const Type *FieldBase = parseTypeSpecifier();
+    // One or more declarators separated by commas.
+    while (true) {
+      const Type *FieldTy = parseDeclaratorPointers(FieldBase);
+      if (!cur().isIdent()) {
+        fail("expected field name");
+        break;
+      }
+      std::string FieldName = cur().Text;
+      advance();
+      if (accept("[")) {
+        if (!cur().is(TokKind::IntLiteral)) {
+          fail("expected constant array size");
+          break;
+        }
+        uint64_t Count = cur().IntValue;
+        advance();
+        expect("]");
+        FieldTy = Ctx.arrayOf(FieldTy, Count);
+      }
+      Fields.push_back({FieldName, FieldTy, 0});
+      if (!accept(","))
+        break;
+    }
+    expect(";");
+  }
+  expect("}");
+  if (!failed()) {
+    S->setFields(std::move(Fields));
+    TU->Structs.push_back(S);
+  }
+  return S;
+}
+
+void Parser::parseTypedef() {
+  assert(cur().isKeyword("typedef") && "caller checks");
+  advance();
+  const Type *Base = parseTypeSpecifier();
+  const Type *T = parseDeclaratorPointers(Base);
+  if (!cur().isIdent()) {
+    fail("expected typedef name");
+    return;
+  }
+  std::string Name = cur().Text;
+  advance();
+  expect(";");
+  Typedefs[Name] = T;
+  TU->Typedefs.push_back({Name, T});
+  // If a hypothesis earlier used this name as an unknown type, resolve it.
+  if (NamedType *N = Ctx.findNamed(Name))
+    if (!N->isResolved())
+      N->resolve(T);
+}
+
+void Parser::parseTopLevel() {
+  if (acceptKw("typedef")) {
+    --Pos; // parseTypedef re-checks the keyword.
+    parseTypedef();
+    return;
+  }
+  if (cur().isKeyword("struct") && peek().isIdent() && peek(2).isPunct("{")) {
+    parseStructSpecifier();
+    expect(";");
+    return;
+  }
+  bool IsExtern = false;
+  while (acceptKw("extern"))
+    IsExtern = true;
+  parseFunctionOrGlobal(IsExtern);
+}
+
+void Parser::parseFunctionOrGlobal(bool IsExtern) {
+  const Type *Base = parseTypeSpecifier();
+  if (failed())
+    return;
+  const Type *T = parseDeclaratorPointers(Base);
+  if (!cur().isIdent()) {
+    fail(formatString("expected declarator, found '%s'", cur().Text.c_str()));
+    return;
+  }
+  std::string Name = cur().Text;
+  advance();
+
+  if (cur().isPunct("(")) {
+    auto F = parseFunctionRest(T, std::move(Name));
+    if (F)
+      TU->Functions.push_back(std::move(F));
+    return;
+  }
+
+  // Global variable(s).
+  while (!failed()) {
+    const Type *VarTy = T;
+    if (accept("[")) {
+      if (!cur().is(TokKind::IntLiteral)) {
+        fail("expected constant array size");
+        return;
+      }
+      uint64_t Count = cur().IntValue;
+      advance();
+      expect("]");
+      VarTy = Ctx.arrayOf(VarTy, Count);
+    }
+    auto G = std::make_unique<VarDecl>(Name, VarTy);
+    G->IsGlobal = true;
+    G->IsExtern = IsExtern;
+    if (accept("="))
+      G->Init = parseAssign();
+    TU->Globals.push_back(std::move(G));
+    if (!accept(","))
+      break;
+    const Type *Next = parseDeclaratorPointers(T);
+    if (!cur().isIdent()) {
+      fail("expected declarator after ','");
+      return;
+    }
+    Name = cur().Text;
+    T = Next;
+    advance();
+  }
+  expect(";");
+}
+
+std::unique_ptr<FunctionDecl> Parser::parseFunctionRest(const Type *RetTy,
+                                                        std::string Name) {
+  expect("(");
+  auto F = std::make_unique<FunctionDecl>(std::move(Name), RetTy);
+  if (!accept(")")) {
+    if (cur().isKeyword("void") && peek().isPunct(")")) {
+      advance();
+      advance();
+    } else {
+      while (!failed()) {
+        const Type *PBase = parseTypeSpecifier();
+        const Type *PTy = parseDeclaratorPointers(PBase);
+        std::string PName;
+        if (cur().isIdent()) {
+          PName = cur().Text;
+          advance();
+        } else {
+          PName = formatString("__arg%zu", F->Params.size());
+        }
+        // Array parameters decay to pointers.
+        if (accept("[")) {
+          if (cur().is(TokKind::IntLiteral))
+            advance();
+          expect("]");
+          PTy = Ctx.pointerTo(PTy);
+        }
+        auto P = std::make_unique<VarDecl>(PName, PTy);
+        P->IsParam = true;
+        F->Params.push_back(std::move(P));
+        if (!accept(","))
+          break;
+      }
+      expect(")");
+    }
+  }
+  if (accept(";"))
+    return F; // Declaration only.
+  F->Body = parseCompound();
+  return F;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+bool Parser::startsLocalDecl() const {
+  if (isTypeStart())
+    return true;
+  if (!Options.Partial || !cur().isIdent() || isCKeyword(cur().Text))
+    return false;
+  // Partial-mode heuristic for `UnknownType x ...` and `UnknownType *x ...`:
+  // prefer a declaration when the shape is unambiguous.
+  if (isKnownTypeName(cur().Text) &&
+      (peek().isIdent() || peek().isPunct("*")))
+    return true;
+  if (peek().isIdent() &&
+      (peek(2).isPunct(";") || peek(2).isPunct("=") || peek(2).isPunct(",") ||
+       peek(2).isPunct("[")))
+    return true;
+  if (peek().isPunct("*") && peek(2).isIdent() &&
+      (peek(3).isPunct(";") || peek(3).isPunct("=") || peek(3).isPunct(",")))
+    return true;
+  return false;
+}
+
+std::unique_ptr<DeclStmt> Parser::parseLocalDecl() {
+  auto DS = std::make_unique<DeclStmt>();
+  const Type *Base = parseTypeSpecifier();
+  while (!failed()) {
+    const Type *T = parseDeclaratorPointers(Base);
+    if (!cur().isIdent()) {
+      fail("expected variable name");
+      break;
+    }
+    std::string Name = cur().Text;
+    advance();
+    while (accept("[")) {
+      if (!cur().is(TokKind::IntLiteral)) {
+        fail("expected constant array size");
+        return DS;
+      }
+      uint64_t Count = cur().IntValue;
+      advance();
+      expect("]");
+      T = Ctx.arrayOf(T, Count);
+    }
+    auto V = std::make_unique<VarDecl>(Name, T);
+    if (accept("="))
+      V->Init = parseAssign();
+    DS->Decls.push_back(std::move(V));
+    if (!accept(","))
+      break;
+  }
+  expect(";");
+  return DS;
+}
+
+std::unique_ptr<CompoundStmt> Parser::parseCompound() {
+  expect("{");
+  auto C = std::make_unique<CompoundStmt>();
+  while (!cur().isPunct("}") && !cur().is(TokKind::Eof) && !failed())
+    C->Body.push_back(parseStmt());
+  expect("}");
+  return C;
+}
+
+StmtPtr Parser::parseStmt() {
+  if (cur().isPunct("{"))
+    return parseCompound();
+  if (accept(";"))
+    return std::make_unique<EmptyStmt>();
+
+  if (acceptKw("if")) {
+    expect("(");
+    ExprPtr Cond = parseExpr();
+    expect(")");
+    StmtPtr Then = parseStmt();
+    StmtPtr Else;
+    if (acceptKw("else"))
+      Else = parseStmt();
+    return std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                    std::move(Else));
+  }
+  if (acceptKw("while")) {
+    expect("(");
+    ExprPtr Cond = parseExpr();
+    expect(")");
+    StmtPtr Body = parseStmt();
+    return std::make_unique<WhileStmt>(std::move(Cond), std::move(Body));
+  }
+  if (acceptKw("do")) {
+    StmtPtr Body = parseStmt();
+    if (!acceptKw("while"))
+      fail("expected 'while' after do-body");
+    expect("(");
+    ExprPtr Cond = parseExpr();
+    expect(")");
+    expect(";");
+    return std::make_unique<DoWhileStmt>(std::move(Body), std::move(Cond));
+  }
+  if (acceptKw("for")) {
+    expect("(");
+    StmtPtr Init;
+    if (!accept(";")) {
+      if (startsLocalDecl()) {
+        Init = parseLocalDecl();
+      } else {
+        Init = std::make_unique<ExprStmt>(parseExpr());
+        expect(";");
+      }
+    }
+    ExprPtr Cond;
+    if (!cur().isPunct(";"))
+      Cond = parseExpr();
+    expect(";");
+    ExprPtr Step;
+    if (!cur().isPunct(")"))
+      Step = parseExpr();
+    expect(")");
+    StmtPtr Body = parseStmt();
+    return std::make_unique<ForStmt>(std::move(Init), std::move(Cond),
+                                     std::move(Step), std::move(Body));
+  }
+  if (acceptKw("return")) {
+    ExprPtr Value;
+    if (!cur().isPunct(";"))
+      Value = parseExpr();
+    expect(";");
+    return std::make_unique<ReturnStmt>(std::move(Value));
+  }
+  if (acceptKw("break")) {
+    expect(";");
+    return std::make_unique<BreakStmt>();
+  }
+  if (acceptKw("continue")) {
+    expect(";");
+    return std::make_unique<ContinueStmt>();
+  }
+
+  if (startsLocalDecl())
+    return parseLocalDecl();
+
+  ExprPtr E = parseExpr();
+  expect(";");
+  return std::make_unique<ExprStmt>(std::move(E));
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+ExprPtr Parser::parseExpr() {
+  ExprPtr E = parseAssign();
+  while (cur().isPunct(",") && !failed()) {
+    advance();
+    ExprPtr RHS = parseAssign();
+    E = std::make_unique<BinaryExpr>(BinaryOp::Comma, std::move(E),
+                                     std::move(RHS));
+  }
+  return E;
+}
+
+ExprPtr Parser::parseAssign() {
+  ExprPtr LHS = parseConditional();
+  static const std::pair<const char *, BinaryOp> AssignOps[] = {
+      {"=", BinaryOp::Assign},      {"+=", BinaryOp::AddAssign},
+      {"-=", BinaryOp::SubAssign},  {"*=", BinaryOp::MulAssign},
+      {"/=", BinaryOp::DivAssign},  {"%=", BinaryOp::RemAssign},
+      {"&=", BinaryOp::AndAssign},  {"|=", BinaryOp::OrAssign},
+      {"^=", BinaryOp::XorAssign},  {"<<=", BinaryOp::ShlAssign},
+      {">>=", BinaryOp::ShrAssign},
+  };
+  for (const auto &[Spelling, Op] : AssignOps) {
+    if (cur().isPunct(Spelling)) {
+      advance();
+      ExprPtr RHS = parseAssign(); // Right-associative.
+      return std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS));
+    }
+  }
+  return LHS;
+}
+
+ExprPtr Parser::parseConditional() {
+  ExprPtr Cond = parseBinaryRHS(0, parseUnary());
+  if (!accept("?"))
+    return Cond;
+  ExprPtr Then = parseExpr();
+  expect(":");
+  ExprPtr Else = parseConditional();
+  return std::make_unique<ConditionalExpr>(std::move(Cond), std::move(Then),
+                                           std::move(Else));
+}
+
+/// Binary operator precedence (C levels, conditional handled separately).
+static int binOpPrec(const Token &T, BinaryOp *Op) {
+  if (!T.is(TokKind::Punct))
+    return -1;
+  struct Entry {
+    const char *Spelling;
+    BinaryOp Op;
+    int Prec;
+  };
+  static const Entry Table[] = {
+      {"||", BinaryOp::LogOr, 1},   {"&&", BinaryOp::LogAnd, 2},
+      {"|", BinaryOp::BitOr, 3},    {"^", BinaryOp::BitXor, 4},
+      {"&", BinaryOp::BitAnd, 5},   {"==", BinaryOp::Eq, 6},
+      {"!=", BinaryOp::Ne, 6},      {"<", BinaryOp::Lt, 7},
+      {">", BinaryOp::Gt, 7},       {"<=", BinaryOp::Le, 7},
+      {">=", BinaryOp::Ge, 7},      {"<<", BinaryOp::Shl, 8},
+      {">>", BinaryOp::Shr, 8},     {"+", BinaryOp::Add, 9},
+      {"-", BinaryOp::Sub, 9},      {"*", BinaryOp::Mul, 10},
+      {"/", BinaryOp::Div, 10},     {"%", BinaryOp::Rem, 10},
+  };
+  for (const Entry &E : Table) {
+    if (T.Text == E.Spelling) {
+      *Op = E.Op;
+      return E.Prec;
+    }
+  }
+  return -1;
+}
+
+ExprPtr Parser::parseBinaryRHS(int MinPrec, ExprPtr LHS) {
+  while (!failed()) {
+    BinaryOp Op;
+    int Prec = binOpPrec(cur(), &Op);
+    if (Prec < MinPrec || Prec == -1)
+      return LHS;
+    advance();
+    ExprPtr RHS = parseUnary();
+    BinaryOp NextOp;
+    int NextPrec = binOpPrec(cur(), &NextOp);
+    if (NextPrec > Prec)
+      RHS = parseBinaryRHS(Prec + 1, std::move(RHS));
+    LHS = std::make_unique<BinaryExpr>(Op, std::move(LHS), std::move(RHS));
+  }
+  return LHS;
+}
+
+bool Parser::looksLikeCast() const {
+  // Called with cur() == '('. Decides whether this opens a cast.
+  const Token &T1 = peek(1);
+  if (isBuiltinTypeKeyword(T1) || T1.isKeyword("struct") ||
+      isIgnoredQualifier(T1))
+    return true;
+  if (!T1.isIdent())
+    return false;
+  bool Known = Typedefs.count(T1.Text) != 0;
+  bool SeenAsType = Options.Partial && Ctx.findNamed(T1.Text) != nullptr;
+  if (!Known && !SeenAsType) {
+    // `(name *)` is a cast even for an unknown name.
+    return Options.Partial && peek(2).isPunct("*") &&
+           (peek(3).isPunct(")") || peek(3).isPunct("*"));
+  }
+  // Known type name: `(name)` or `(name*...)` followed by ')' is a cast.
+  size_t I = 2;
+  while (peek(I).isPunct("*"))
+    ++I;
+  return peek(I).isPunct(")");
+}
+
+ExprPtr Parser::parseUnary() {
+  if (cur().isPunct("(") && looksLikeCast()) {
+    advance();
+    const Type *T = parseTypeName();
+    expect(")");
+    ExprPtr Operand = parseUnary();
+    return std::make_unique<CastExpr>(T, std::move(Operand));
+  }
+
+  static const std::pair<const char *, UnaryOp> UnaryOps[] = {
+      {"-", UnaryOp::Neg},    {"+", UnaryOp::Plus},  {"!", UnaryOp::LogNot},
+      {"~", UnaryOp::BitNot}, {"*", UnaryOp::Deref}, {"&", UnaryOp::AddrOf},
+  };
+  for (const auto &[Spelling, Op] : UnaryOps) {
+    if (cur().isPunct(Spelling)) {
+      advance();
+      return std::make_unique<UnaryExpr>(Op, parseUnary());
+    }
+  }
+  if (accept("++"))
+    return std::make_unique<UnaryExpr>(UnaryOp::PreInc, parseUnary());
+  if (accept("--"))
+    return std::make_unique<UnaryExpr>(UnaryOp::PreDec, parseUnary());
+
+  if (acceptKw("sizeof")) {
+    // sizeof(type) folds to a constant immediately. For an unresolved
+    // named type we assume 4 bytes (documented approximation; the strict
+    // re-parse after type inference sees the resolved type and folds
+    // exactly).
+    if (cur().isPunct("(") && looksLikeCast()) {
+      advance();
+      const Type *T = parseTypeName();
+      expect(")");
+      unsigned Size = 4;
+      if (!(T->isNamed() && !cast<NamedType>(T)->isResolved()))
+        Size = T->size();
+      return std::make_unique<IntLit>(static_cast<int64_t>(Size), true);
+    }
+    ExprPtr Operand = parseUnary();
+    // sizeof expr: folded during Sema via a cast-free marker is overkill;
+    // encode as sizeof of the expression's type at Sema time. We keep the
+    // operand inside a unary marker using BitNot? No: represent via
+    // Conditional would be worse. We fold to 4 here only if we cannot do
+    // better; Sema-level folding handles the common cases by re-walking.
+    // To keep the AST simple we approximate sizeof(expr) by the size of
+    // the expression type after Sema; Parser wraps it:
+    auto Wrapper = std::make_unique<UnaryExpr>(UnaryOp::Plus,
+                                               std::move(Operand));
+    // Mark with a call "sizeof" so Sema can fold precisely.
+    std::vector<ExprPtr> Args;
+    Args.push_back(std::move(Wrapper));
+    return std::make_unique<CallExpr>("__builtin_sizeof", std::move(Args));
+  }
+
+  return parsePostfix(parsePrimary());
+}
+
+ExprPtr Parser::parsePostfix(ExprPtr Base) {
+  while (!failed()) {
+    if (accept("[")) {
+      ExprPtr Index = parseExpr();
+      expect("]");
+      Base = std::make_unique<IndexExpr>(std::move(Base), std::move(Index));
+      continue;
+    }
+    if (accept(".")) {
+      if (!cur().isIdent()) {
+        fail("expected member name after '.'");
+        return Base;
+      }
+      std::string Member = cur().Text;
+      advance();
+      Base = std::make_unique<MemberExpr>(std::move(Base), std::move(Member),
+                                          /*IsArrow=*/false);
+      continue;
+    }
+    if (accept("->")) {
+      if (!cur().isIdent()) {
+        fail("expected member name after '->'");
+        return Base;
+      }
+      std::string Member = cur().Text;
+      advance();
+      Base = std::make_unique<MemberExpr>(std::move(Base), std::move(Member),
+                                          /*IsArrow=*/true);
+      continue;
+    }
+    if (accept("++")) {
+      Base = std::make_unique<UnaryExpr>(UnaryOp::PostInc, std::move(Base));
+      continue;
+    }
+    if (accept("--")) {
+      Base = std::make_unique<UnaryExpr>(UnaryOp::PostDec, std::move(Base));
+      continue;
+    }
+    if (cur().isPunct("(")) {
+      // Calls are only supported on direct names.
+      auto *Ref = dyn_cast<VarRef>(Base.get());
+      if (!Ref) {
+        fail("indirect calls are not supported");
+        return Base;
+      }
+      advance();
+      std::vector<ExprPtr> Args;
+      if (!accept(")")) {
+        while (!failed()) {
+          Args.push_back(parseAssign());
+          if (!accept(","))
+            break;
+        }
+        expect(")");
+      }
+      Base = std::make_unique<CallExpr>(Ref->Name, std::move(Args));
+      continue;
+    }
+    return Base;
+  }
+  return Base;
+}
+
+ExprPtr Parser::parsePrimary() {
+  const Token &T = cur();
+  switch (T.Kind) {
+  case TokKind::IntLiteral: {
+    bool IsUnsigned = T.IntValue > 0x7fffffffffffffffULL;
+    auto E = std::make_unique<IntLit>(static_cast<int64_t>(T.IntValue),
+                                      IsUnsigned);
+    advance();
+    return E;
+  }
+  case TokKind::CharLiteral: {
+    auto E = std::make_unique<IntLit>(static_cast<int64_t>(T.IntValue));
+    advance();
+    return E;
+  }
+  case TokKind::FloatLiteral: {
+    bool IsFloat = T.Text.find('f') != std::string::npos ||
+                   T.Text.find('F') != std::string::npos;
+    auto E = std::make_unique<FloatLit>(T.FloatValue, IsFloat);
+    advance();
+    return E;
+  }
+  case TokKind::StringLiteral: {
+    auto E = std::make_unique<StringLit>(T.StrValue);
+    advance();
+    return E;
+  }
+  case TokKind::Identifier: {
+    auto E = std::make_unique<VarRef>(T.Text);
+    advance();
+    return E;
+  }
+  case TokKind::Punct:
+    if (T.Text == "(") {
+      advance();
+      ExprPtr E = parseExpr();
+      expect(")");
+      return E;
+    }
+    break;
+  default:
+    break;
+  }
+  fail(formatString("expected expression, found '%s'", T.Text.c_str()));
+  return std::make_unique<IntLit>(0);
+}
+
+//===----------------------------------------------------------------------===//
+// Entry point
+//===----------------------------------------------------------------------===//
+
+Expected<std::unique_ptr<TranslationUnit>> Parser::run() {
+  TU = std::make_unique<TranslationUnit>();
+  while (!cur().is(TokKind::Eof) && !failed()) {
+    if (accept(";"))
+      continue;
+    parseTopLevel();
+  }
+  if (failed())
+    return Expected<std::unique_ptr<TranslationUnit>>::error(Error);
+  return std::move(TU);
+}
+
+Expected<std::unique_ptr<TranslationUnit>>
+slade::cc::parseC(const std::string &Source, TypeContext &Ctx,
+                  const ParseOptions &Options) {
+  std::string LexError;
+  std::vector<Token> Tokens =
+      lexC(Source, /*Tolerant=*/Options.Partial, &LexError);
+  if (!LexError.empty())
+    return Expected<std::unique_ptr<TranslationUnit>>::error(LexError);
+  Parser P(std::move(Tokens), Ctx, Options);
+  return P.run();
+}

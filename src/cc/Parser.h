@@ -1,0 +1,44 @@
+//===- Parser.h - mini-C parser ---------------------------------*- C++ -*-===//
+///
+/// \file
+/// Recursive-descent parser for the mini-C dialect.
+///
+/// Two modes:
+///  - strict: unknown identifiers in type position are errors;
+///  - partial: unknown identifiers in type position become unresolved
+///    NamedTypes (the input to the type-inference engine, §VI-B). The
+///    `(a)*b` cast-vs-multiply ambiguity is resolved with a PsycheC-style
+///    heuristic lattice (prefer expression unless the name is already known
+///    to be a type).
+///
+//===----------------------------------------------------------------------===//
+#ifndef SLADE_CC_PARSER_H
+#define SLADE_CC_PARSER_H
+
+#include "cc/AST.h"
+#include "support/Error.h"
+
+#include <map>
+#include <memory>
+#include <string>
+
+namespace slade {
+namespace cc {
+
+struct ParseOptions {
+  /// Tolerate unknown type names / declarations (hypothesis parsing).
+  bool Partial = false;
+  /// Typedef names already in scope (from previously parsed context),
+  /// mapping to their underlying types.
+  std::map<std::string, const Type *> KnownTypedefs;
+};
+
+/// Parses \p Source into a TranslationUnit whose types live in \p Ctx.
+Expected<std::unique_ptr<TranslationUnit>>
+parseC(const std::string &Source, TypeContext &Ctx,
+       const ParseOptions &Options = {});
+
+} // namespace cc
+} // namespace slade
+
+#endif // SLADE_CC_PARSER_H

@@ -1,0 +1,452 @@
+//===- Printer.cpp - mini-C pretty printer ---------------------------------===//
+
+#include "cc/Printer.h"
+
+#include "support/StringUtils.h"
+#include "support/Unreachable.h"
+
+using namespace slade;
+using namespace slade::cc;
+
+namespace {
+
+/// C operator precedence levels used to decide where parentheses are
+/// required when rendering expressions.
+enum Prec {
+  PrecComma = 0,
+  PrecAssign = 1,
+  PrecCond = 2,
+  PrecLogOr = 3,
+  PrecLogAnd = 4,
+  PrecBitOr = 5,
+  PrecBitXor = 6,
+  PrecBitAnd = 7,
+  PrecEq = 8,
+  PrecRel = 9,
+  PrecShift = 10,
+  PrecAdd = 11,
+  PrecMul = 12,
+  PrecUnary = 13,
+  PrecPostfix = 14,
+  PrecPrimary = 15,
+};
+
+int binaryPrec(BinaryOp Op) {
+  if (isAssignOp(Op))
+    return PrecAssign;
+  switch (Op) {
+  case BinaryOp::Comma:
+    return PrecComma;
+  case BinaryOp::LogOr:
+    return PrecLogOr;
+  case BinaryOp::LogAnd:
+    return PrecLogAnd;
+  case BinaryOp::BitOr:
+    return PrecBitOr;
+  case BinaryOp::BitXor:
+    return PrecBitXor;
+  case BinaryOp::BitAnd:
+    return PrecBitAnd;
+  case BinaryOp::Eq:
+  case BinaryOp::Ne:
+    return PrecEq;
+  case BinaryOp::Lt:
+  case BinaryOp::Gt:
+  case BinaryOp::Le:
+  case BinaryOp::Ge:
+    return PrecRel;
+  case BinaryOp::Shl:
+  case BinaryOp::Shr:
+    return PrecShift;
+  case BinaryOp::Add:
+  case BinaryOp::Sub:
+    return PrecAdd;
+  case BinaryOp::Mul:
+  case BinaryOp::Div:
+  case BinaryOp::Rem:
+    return PrecMul;
+  default:
+    SLADE_UNREACHABLE("assignment handled above");
+  }
+}
+
+class PrinterImpl {
+public:
+  std::string Out;
+  int Indent = 0;
+
+  void line(const std::string &Text) {
+    for (int I = 0; I < Indent; ++I)
+      Out += "  ";
+    Out += Text;
+    Out += '\n';
+  }
+
+  void expr(const Expr &E, int ParentPrec);
+  void stmt(const Stmt &S);
+  void function(const FunctionDecl &F);
+  std::string exprStr(const Expr &E, int ParentPrec) {
+    PrinterImpl Sub;
+    Sub.expr(E, ParentPrec);
+    return Sub.Out;
+  }
+};
+
+std::string escapeString(const std::string &S) {
+  std::string Out = "\"";
+  for (char C : S) {
+    switch (C) {
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\0':
+      Out += "\\0";
+      break;
+    default:
+      Out.push_back(C);
+    }
+  }
+  Out += '"';
+  return Out;
+}
+
+void PrinterImpl::expr(const Expr &E, int ParentPrec) {
+  switch (E.getKind()) {
+  case ExprKind::IntLit:
+    Out += std::to_string(cast<IntLit>(&E)->Value);
+    return;
+  case ExprKind::FloatLit: {
+    const auto *F = cast<FloatLit>(&E);
+    std::string Text = formatString("%g", F->Value);
+    if (Text.find('.') == std::string::npos &&
+        Text.find('e') == std::string::npos)
+      Text += ".0";
+    Out += Text;
+    if (F->IsFloat)
+      Out += 'f';
+    return;
+  }
+  case ExprKind::StringLit:
+    Out += escapeString(cast<StringLit>(&E)->Value);
+    return;
+  case ExprKind::VarRef:
+    Out += cast<VarRef>(&E)->Name;
+    return;
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(&E);
+    bool Postfix = U->Op == UnaryOp::PostInc || U->Op == UnaryOp::PostDec;
+    int MyPrec = Postfix ? PrecPostfix : PrecUnary;
+    bool Paren = MyPrec < ParentPrec;
+    if (Paren)
+      Out += '(';
+    if (Postfix) {
+      expr(*U->Operand, PrecPostfix);
+      Out += unaryOpSpelling(U->Op);
+    } else {
+      Out += unaryOpSpelling(U->Op);
+      // Avoid `--x` when printing -(-x).
+      if ((U->Op == UnaryOp::Neg &&
+           U->Operand->getKind() == ExprKind::Unary &&
+           cast<UnaryExpr>(U->Operand.get())->Op == UnaryOp::Neg))
+        Out += ' ';
+      expr(*U->Operand, PrecUnary);
+    }
+    if (Paren)
+      Out += ')';
+    return;
+  }
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(&E);
+    int MyPrec = binaryPrec(B->Op);
+    bool Paren = MyPrec < ParentPrec;
+    if (Paren)
+      Out += '(';
+    bool RightAssoc = isAssignOp(B->Op);
+    expr(*B->LHS, RightAssoc ? MyPrec + 1 : MyPrec);
+    Out += ' ';
+    Out += binaryOpSpelling(B->Op);
+    Out += ' ';
+    expr(*B->RHS, RightAssoc ? MyPrec : MyPrec + 1);
+    if (Paren)
+      Out += ')';
+    return;
+  }
+  case ExprKind::Conditional: {
+    const auto *C = cast<ConditionalExpr>(&E);
+    bool Paren = PrecCond < ParentPrec;
+    if (Paren)
+      Out += '(';
+    expr(*C->Cond, PrecCond + 1);
+    Out += " ? ";
+    expr(*C->Then, PrecAssign);
+    Out += " : ";
+    expr(*C->Else, PrecCond);
+    if (Paren)
+      Out += ')';
+    return;
+  }
+  case ExprKind::Call: {
+    const auto *C = cast<CallExpr>(&E);
+    Out += C->Callee;
+    Out += '(';
+    for (size_t I = 0; I < C->Args.size(); ++I) {
+      if (I)
+        Out += ", ";
+      expr(*C->Args[I], PrecAssign);
+    }
+    Out += ')';
+    return;
+  }
+  case ExprKind::Index: {
+    const auto *I = cast<IndexExpr>(&E);
+    expr(*I->Base, PrecPostfix);
+    Out += '[';
+    expr(*I->Index, PrecComma + 1);
+    Out += ']';
+    return;
+  }
+  case ExprKind::Member: {
+    const auto *M = cast<MemberExpr>(&E);
+    expr(*M->Base, PrecPostfix);
+    Out += M->IsArrow ? "->" : ".";
+    Out += M->Member;
+    return;
+  }
+  case ExprKind::Cast: {
+    const auto *C = cast<CastExpr>(&E);
+    bool Paren = PrecUnary < ParentPrec;
+    if (Paren)
+      Out += '(';
+    Out += '(';
+    Out += C->Target->spelling();
+    Out += ')';
+    expr(*C->Operand, PrecUnary);
+    if (Paren)
+      Out += ')';
+    return;
+  }
+  }
+  SLADE_UNREACHABLE("covered expression kind switch");
+}
+
+std::string declString(const VarDecl &V) {
+  std::string Decl = printDeclarator(V.Ty, V.Name);
+  if (V.Init) {
+    PrinterImpl P;
+    P.expr(*V.Init, PrecAssign + 1);
+    Decl += " = " + P.Out;
+  }
+  return Decl;
+}
+
+void PrinterImpl::stmt(const Stmt &S) {
+  switch (S.getKind()) {
+  case StmtKind::Compound: {
+    line("{");
+    ++Indent;
+    for (const StmtPtr &Child : cast<CompoundStmt>(&S)->Body)
+      stmt(*Child);
+    --Indent;
+    line("}");
+    return;
+  }
+  case StmtKind::Expr:
+    line(exprStr(*cast<ExprStmt>(&S)->E, PrecComma) + ";");
+    return;
+  case StmtKind::Decl: {
+    for (const auto &V : cast<DeclStmt>(&S)->Decls)
+      line(declString(*V) + ";");
+    return;
+  }
+  case StmtKind::If: {
+    const auto *I = cast<IfStmt>(&S);
+    line("if (" + exprStr(*I->Cond, PrecComma) + ") {");
+    ++Indent;
+    if (const auto *C = dyn_cast<CompoundStmt>(I->Then.get())) {
+      for (const StmtPtr &Child : C->Body)
+        stmt(*Child);
+    } else {
+      stmt(*I->Then);
+    }
+    --Indent;
+    if (I->Else) {
+      line("} else {");
+      ++Indent;
+      if (const auto *C = dyn_cast<CompoundStmt>(I->Else.get())) {
+        for (const StmtPtr &Child : C->Body)
+          stmt(*Child);
+      } else {
+        stmt(*I->Else);
+      }
+      --Indent;
+    }
+    line("}");
+    return;
+  }
+  case StmtKind::While: {
+    const auto *W = cast<WhileStmt>(&S);
+    line("while (" + exprStr(*W->Cond, PrecComma) + ") {");
+    ++Indent;
+    if (const auto *C = dyn_cast<CompoundStmt>(W->Body.get())) {
+      for (const StmtPtr &Child : C->Body)
+        stmt(*Child);
+    } else {
+      stmt(*W->Body);
+    }
+    --Indent;
+    line("}");
+    return;
+  }
+  case StmtKind::DoWhile: {
+    const auto *D = cast<DoWhileStmt>(&S);
+    line("do {");
+    ++Indent;
+    if (const auto *C = dyn_cast<CompoundStmt>(D->Body.get())) {
+      for (const StmtPtr &Child : C->Body)
+        stmt(*Child);
+    } else {
+      stmt(*D->Body);
+    }
+    --Indent;
+    line("} while (" + exprStr(*D->Cond, PrecComma) + ");");
+    return;
+  }
+  case StmtKind::For: {
+    const auto *F = cast<ForStmt>(&S);
+    std::string Header = "for (";
+    if (F->Init) {
+      if (const auto *DS = dyn_cast<DeclStmt>(F->Init.get())) {
+        std::vector<std::string> Parts;
+        for (const auto &V : DS->Decls)
+          Parts.push_back(declString(*V));
+        Header += joinStrings(Parts, ", ");
+      } else {
+        Header += exprStr(*cast<ExprStmt>(F->Init.get())->E, PrecComma);
+      }
+    }
+    Header += "; ";
+    if (F->Cond)
+      Header += exprStr(*F->Cond, PrecComma);
+    Header += "; ";
+    if (F->Step)
+      Header += exprStr(*F->Step, PrecComma);
+    Header += ") {";
+    line(Header);
+    ++Indent;
+    if (const auto *C = dyn_cast<CompoundStmt>(F->Body.get())) {
+      for (const StmtPtr &Child : C->Body)
+        stmt(*Child);
+    } else {
+      stmt(*F->Body);
+    }
+    --Indent;
+    line("}");
+    return;
+  }
+  case StmtKind::Return: {
+    const auto *R = cast<ReturnStmt>(&S);
+    if (R->Value)
+      line("return " + exprStr(*R->Value, PrecComma) + ";");
+    else
+      line("return;");
+    return;
+  }
+  case StmtKind::Break:
+    line("break;");
+    return;
+  case StmtKind::Continue:
+    line("continue;");
+    return;
+  case StmtKind::Empty:
+    line(";");
+    return;
+  }
+  SLADE_UNREACHABLE("covered statement kind switch");
+}
+
+void PrinterImpl::function(const FunctionDecl &F) {
+  std::string Header = printDeclarator(F.RetTy, F.Name) + "(";
+  if (F.Params.empty()) {
+    Header += "void";
+  } else {
+    std::vector<std::string> Parts;
+    for (const auto &P : F.Params)
+      Parts.push_back(printDeclarator(P->Ty, P->Name));
+    Header += joinStrings(Parts, ", ");
+  }
+  Header += ")";
+  if (!F.Body) {
+    line(Header + ";");
+    return;
+  }
+  line(Header + " {");
+  ++Indent;
+  for (const StmtPtr &Child : F.Body->Body)
+    stmt(*Child);
+  --Indent;
+  line("}");
+}
+
+} // namespace
+
+std::string slade::cc::printDeclarator(const Type *Ty,
+                                       const std::string &Name) {
+  // Peel array dimensions so they print after the name.
+  std::string Dims;
+  const Type *T = Ty;
+  while (const auto *A = dyn_cast<ArrayType>(T)) {
+    Dims += "[" + std::to_string(A->count()) + "]";
+    T = A->element();
+  }
+  std::string Base = T->spelling();
+  if (!Base.empty() && Base.back() == '*')
+    return Base + Name + Dims;
+  return Base + " " + Name + Dims;
+}
+
+std::string slade::cc::printExpr(const Expr &E) {
+  PrinterImpl P;
+  P.expr(E, PrecComma);
+  return P.Out;
+}
+
+std::string slade::cc::printFunction(const FunctionDecl &F) {
+  PrinterImpl P;
+  P.function(F);
+  return P.Out;
+}
+
+std::string slade::cc::printTranslationUnit(const TranslationUnit &TU) {
+  PrinterImpl P;
+  for (const TypedefDecl &T : TU.Typedefs)
+    P.line("typedef " + printDeclarator(T.Ty, T.Name) + ";");
+  for (const StructType *S : TU.Structs) {
+    P.line("struct " + S->name() + " {");
+    ++P.Indent;
+    for (const StructType::Field &F : S->fields())
+      P.line(printDeclarator(F.Ty, F.Name) + ";");
+    --P.Indent;
+    P.line("};");
+  }
+  for (const auto &G : TU.Globals) {
+    std::string Decl = G->IsExtern ? "extern " : "";
+    Decl += printDeclarator(G->Ty, G->Name);
+    if (G->Init)
+      Decl += " = " + printExpr(*G->Init);
+    P.line(Decl + ";");
+  }
+  for (const auto &F : TU.Functions) {
+    P.function(*F);
+    P.Out += '\n';
+  }
+  return P.Out;
+}

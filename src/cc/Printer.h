@@ -1,0 +1,35 @@
+//===- Printer.h - mini-C pretty printer ------------------------*- C++ -*-===//
+///
+/// \file
+/// Canonical C rendering of AST nodes: the format ground-truth corpus
+/// functions are serialized in (and therefore the textual style the model
+/// learns to produce).
+///
+//===----------------------------------------------------------------------===//
+#ifndef SLADE_CC_PRINTER_H
+#define SLADE_CC_PRINTER_H
+
+#include "cc/AST.h"
+
+#include <string>
+
+namespace slade {
+namespace cc {
+
+/// Renders a full translation unit (typedefs, structs, globals, functions).
+std::string printTranslationUnit(const TranslationUnit &TU);
+
+/// Renders a single function definition (or declaration if no body).
+std::string printFunction(const FunctionDecl &F);
+
+/// Renders an expression (used in tests and the rule-based decompiler).
+std::string printExpr(const Expr &E);
+
+/// Renders `Ty Name` with correct array declarator placement, e.g.
+/// "int buf[8]" or "struct S *p".
+std::string printDeclarator(const Type *Ty, const std::string &Name);
+
+} // namespace cc
+} // namespace slade
+
+#endif // SLADE_CC_PRINTER_H

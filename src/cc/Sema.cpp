@@ -1,0 +1,677 @@
+//===- Sema.cpp - mini-C semantic analysis ---------------------------------===//
+
+#include "cc/Sema.h"
+
+#include "support/StringUtils.h"
+#include "support/Unreachable.h"
+
+#include <map>
+#include <vector>
+
+using namespace slade;
+using namespace slade::cc;
+
+namespace {
+
+/// Statement/expression checker with a lexical scope stack.
+class SemaChecker {
+public:
+  SemaChecker(TranslationUnit &TU, TypeContext &Ctx) : TU(TU), Ctx(Ctx) {}
+
+  Status run();
+
+private:
+  TranslationUnit &TU;
+  TypeContext &Ctx;
+  std::string Error;
+  std::vector<std::map<std::string, VarDecl *>> Scopes;
+  std::map<std::string, FunctionDecl *> Functions;
+  FunctionDecl *CurFunction = nullptr;
+  int LoopDepth = 0;
+
+  void fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = Msg;
+  }
+  bool failed() const { return !Error.empty(); }
+
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+  void declare(VarDecl *V) {
+    assert(!Scopes.empty() && "declare outside any scope");
+    Scopes.back()[V->Name] = V;
+  }
+  VarDecl *lookup(const std::string &Name) {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return Found->second;
+    }
+    return nullptr;
+  }
+
+  /// Rejects types that still contain an unresolved name.
+  bool validateResolved(const Type *T, const std::string &Where) {
+    const Type *C = T->canonical();
+    if (const auto *N = dyn_cast<NamedType>(C)) {
+      fail(formatString("unresolved type '%s' in %s", N->name().c_str(),
+                        Where.c_str()));
+      return false;
+    }
+    if (const auto *P = dyn_cast<PointerType>(C))
+      return validateResolved(P->pointee(), Where);
+    if (const auto *A = dyn_cast<ArrayType>(C))
+      return validateResolved(A->element(), Where);
+    return true;
+  }
+
+  void checkFunction(FunctionDecl &F);
+  void checkStmt(Stmt *S);
+  void checkVarDecl(VarDecl &V);
+  void checkExpr(ExprPtr &E);
+  /// checkExpr + array-to-pointer decay on the result type.
+  void checkRValue(ExprPtr &E);
+
+  const Type *usualArithmetic(const Type *A, const Type *B);
+  const Type *promoted(const Type *T);
+  bool isScalar(const Type *T) {
+    const Type *C = T->canonical();
+    return C->isArithmetic() || C->isPointer() || C->isArray();
+  }
+};
+
+} // namespace
+
+const Type *SemaChecker::promoted(const Type *T) {
+  const Type *C = T->canonical();
+  if (const auto *I = dyn_cast<IntType>(C))
+    if (I->bits() < 32)
+      return Ctx.int32Ty();
+  return C;
+}
+
+const Type *SemaChecker::usualArithmetic(const Type *A, const Type *B) {
+  const Type *CA = A->canonical(), *CB = B->canonical();
+  if (CA->isFloating() || CB->isFloating()) {
+    unsigned Bits = 32;
+    if (const auto *F = dyn_cast<FloatType>(CA))
+      Bits = std::max(Bits, F->bits());
+    if (const auto *F = dyn_cast<FloatType>(CB))
+      Bits = std::max(Bits, F->bits());
+    // int op float promotes to the float type.
+    if (CA->isInteger() || CB->isInteger())
+      Bits = dyn_cast<FloatType>(CA->isFloating() ? CA : CB)->bits();
+    return Bits == 64 ? static_cast<const Type *>(Ctx.doubleTy())
+                      : Ctx.floatTy();
+  }
+  const auto *IA = dyn_cast<IntType>(promoted(CA));
+  const auto *IB = dyn_cast<IntType>(promoted(CB));
+  if (!IA || !IB)
+    return Ctx.int32Ty();
+  unsigned Bits = std::max(IA->bits(), IB->bits());
+  bool Signed;
+  if (IA->isSigned() == IB->isSigned())
+    Signed = IA->isSigned();
+  else if (IA->bits() == IB->bits())
+    Signed = false; // Unsigned wins at equal width.
+  else
+    Signed = (IA->bits() > IB->bits()) ? IA->isSigned() : IB->isSigned();
+  return Ctx.intTy(Bits, Signed);
+}
+
+void SemaChecker::checkRValue(ExprPtr &E) {
+  checkExpr(E);
+  if (failed() || !E->Ty)
+    return;
+  if (const auto *A = dyn_cast<ArrayType>(E->Ty->canonical())) {
+    E->Ty = Ctx.pointerTo(A->element());
+    E->IsLValue = false;
+  }
+}
+
+void SemaChecker::checkExpr(ExprPtr &E) {
+  if (failed())
+    return;
+  assert(E && "null expression");
+
+  switch (E->getKind()) {
+  case ExprKind::IntLit: {
+    auto *L = cast<IntLit>(E.get());
+    if (L->Value > 0x7fffffffLL || L->Value < -0x80000000LL)
+      E->Ty = Ctx.intTy(64, !L->IsUnsigned);
+    else
+      E->Ty = L->IsUnsigned && static_cast<uint64_t>(L->Value) > 0x7fffffffULL
+                  ? Ctx.uint32Ty()
+                  : Ctx.int32Ty();
+    return;
+  }
+  case ExprKind::FloatLit:
+    E->Ty = cast<FloatLit>(E.get())->IsFloat
+                ? static_cast<const Type *>(Ctx.floatTy())
+                : Ctx.doubleTy();
+    return;
+  case ExprKind::StringLit:
+    E->Ty = Ctx.pointerTo(Ctx.charTy());
+    return;
+  case ExprKind::VarRef: {
+    auto *Ref = cast<VarRef>(E.get());
+    VarDecl *D = lookup(Ref->Name);
+    if (!D) {
+      fail(formatString("use of undeclared identifier '%s'",
+                        Ref->Name.c_str()));
+      return;
+    }
+    Ref->Decl = D;
+    E->Ty = D->Ty;
+    E->IsLValue = true;
+    return;
+  }
+  case ExprKind::Unary: {
+    auto *U = cast<UnaryExpr>(E.get());
+    switch (U->Op) {
+    case UnaryOp::AddrOf: {
+      checkExpr(U->Operand);
+      if (failed())
+        return;
+      if (!U->Operand->IsLValue) {
+        fail("cannot take the address of an rvalue");
+        return;
+      }
+      const Type *Pointee = U->Operand->Ty;
+      if (const auto *A = dyn_cast<ArrayType>(Pointee->canonical()))
+        Pointee = A->element(); // &arr[i] handled by Index; &arr decays.
+      E->Ty = Ctx.pointerTo(Pointee);
+      return;
+    }
+    case UnaryOp::Deref: {
+      checkRValue(U->Operand);
+      if (failed())
+        return;
+      const auto *P = dyn_cast<PointerType>(U->Operand->Ty->canonical());
+      if (!P) {
+        fail("cannot dereference a non-pointer");
+        return;
+      }
+      E->Ty = P->pointee();
+      E->IsLValue = true;
+      return;
+    }
+    case UnaryOp::PreInc:
+    case UnaryOp::PreDec:
+    case UnaryOp::PostInc:
+    case UnaryOp::PostDec: {
+      checkExpr(U->Operand);
+      if (failed())
+        return;
+      if (!U->Operand->IsLValue) {
+        fail("increment/decrement requires an lvalue");
+        return;
+      }
+      if (!isScalar(U->Operand->Ty)) {
+        fail("increment/decrement requires a scalar type");
+        return;
+      }
+      E->Ty = U->Operand->Ty->canonical();
+      return;
+    }
+    case UnaryOp::Neg:
+    case UnaryOp::Plus:
+    case UnaryOp::BitNot: {
+      checkRValue(U->Operand);
+      if (failed())
+        return;
+      const Type *T = U->Operand->Ty->canonical();
+      if (!T->isArithmetic() ||
+          (U->Op == UnaryOp::BitNot && !T->isInteger())) {
+        fail("invalid operand to unary operator");
+        return;
+      }
+      E->Ty = promoted(T);
+      return;
+    }
+    case UnaryOp::LogNot: {
+      checkRValue(U->Operand);
+      if (failed())
+        return;
+      if (!isScalar(U->Operand->Ty)) {
+        fail("invalid operand to '!'");
+        return;
+      }
+      E->Ty = Ctx.int32Ty();
+      return;
+    }
+    }
+    SLADE_UNREACHABLE("covered switch");
+  }
+  case ExprKind::Binary: {
+    auto *B = cast<BinaryExpr>(E.get());
+    if (B->Op == BinaryOp::Comma) {
+      checkRValue(B->LHS);
+      checkRValue(B->RHS);
+      if (!failed())
+        E->Ty = B->RHS->Ty;
+      return;
+    }
+    if (isAssignOp(B->Op)) {
+      checkExpr(B->LHS);
+      checkRValue(B->RHS);
+      if (failed())
+        return;
+      if (!B->LHS->IsLValue) {
+        fail("assignment requires an lvalue");
+        return;
+      }
+      const Type *L = B->LHS->Ty->canonical();
+      const Type *R = B->RHS->Ty->canonical();
+      if (L->isArray()) {
+        fail("cannot assign to an array");
+        return;
+      }
+      bool Compatible =
+          (L->isArithmetic() && R->isArithmetic()) ||
+          (L->isPointer() && (R->isPointer() || R->isInteger())) ||
+          (L->isStruct() && L == R) || (L->isInteger() && R->isPointer());
+      if (B->Op != BinaryOp::Assign) {
+        BinaryOp Inner = strippedCompound(B->Op);
+        bool PtrStep = L->isPointer() && R->isInteger() &&
+                       (Inner == BinaryOp::Add || Inner == BinaryOp::Sub);
+        Compatible = (L->isArithmetic() && R->isArithmetic()) || PtrStep;
+      }
+      if (!Compatible) {
+        fail(formatString("incompatible types in assignment ('%s' from '%s')",
+                          L->spelling().c_str(), R->spelling().c_str()));
+        return;
+      }
+      E->Ty = B->LHS->Ty->canonical();
+      return;
+    }
+    checkRValue(B->LHS);
+    checkRValue(B->RHS);
+    if (failed())
+      return;
+    const Type *L = B->LHS->Ty->canonical();
+    const Type *R = B->RHS->Ty->canonical();
+
+    if (B->Op == BinaryOp::LogAnd || B->Op == BinaryOp::LogOr) {
+      if (!isScalar(L) || !isScalar(R)) {
+        fail("invalid operands to logical operator");
+        return;
+      }
+      E->Ty = Ctx.int32Ty();
+      return;
+    }
+    if (isComparisonOp(B->Op)) {
+      if (!((L->isArithmetic() && R->isArithmetic()) ||
+            (L->isPointer() && (R->isPointer() || R->isInteger())) ||
+            (L->isInteger() && R->isPointer()))) {
+        fail("invalid operands to comparison");
+        return;
+      }
+      E->Ty = Ctx.int32Ty();
+      return;
+    }
+    // Pointer arithmetic.
+    if (L->isPointer() && R->isInteger() &&
+        (B->Op == BinaryOp::Add || B->Op == BinaryOp::Sub)) {
+      E->Ty = L;
+      return;
+    }
+    if (L->isInteger() && R->isPointer() && B->Op == BinaryOp::Add) {
+      E->Ty = R;
+      return;
+    }
+    if (L->isPointer() && R->isPointer() && B->Op == BinaryOp::Sub) {
+      E->Ty = Ctx.int64Ty();
+      return;
+    }
+    if (!L->isArithmetic() || !R->isArithmetic()) {
+      fail(formatString("invalid operands to binary '%s' ('%s' and '%s')",
+                        binaryOpSpelling(B->Op), L->spelling().c_str(),
+                        R->spelling().c_str()));
+      return;
+    }
+    bool IntOnly = B->Op == BinaryOp::Rem || B->Op == BinaryOp::Shl ||
+                   B->Op == BinaryOp::Shr || B->Op == BinaryOp::BitAnd ||
+                   B->Op == BinaryOp::BitOr || B->Op == BinaryOp::BitXor;
+    if (IntOnly && (!L->isInteger() || !R->isInteger())) {
+      fail(formatString("operator '%s' requires integer operands",
+                        binaryOpSpelling(B->Op)));
+      return;
+    }
+    if (B->Op == BinaryOp::Shl || B->Op == BinaryOp::Shr)
+      E->Ty = promoted(L);
+    else
+      E->Ty = usualArithmetic(L, R);
+    return;
+  }
+  case ExprKind::Conditional: {
+    auto *C = cast<ConditionalExpr>(E.get());
+    checkRValue(C->Cond);
+    checkRValue(C->Then);
+    checkRValue(C->Else);
+    if (failed())
+      return;
+    if (!isScalar(C->Cond->Ty)) {
+      fail("condition must be scalar");
+      return;
+    }
+    const Type *L = C->Then->Ty->canonical();
+    const Type *R = C->Else->Ty->canonical();
+    if (L->isArithmetic() && R->isArithmetic())
+      E->Ty = usualArithmetic(L, R);
+    else if (L->isPointer())
+      E->Ty = L;
+    else if (R->isPointer())
+      E->Ty = R;
+    else if (L == R)
+      E->Ty = L;
+    else {
+      fail("incompatible arms in conditional expression");
+      return;
+    }
+    return;
+  }
+  case ExprKind::Call: {
+    auto *C = cast<CallExpr>(E.get());
+    if (C->Callee == "__builtin_sizeof") {
+      // Fold sizeof(expr) now that operand types are known.
+      assert(C->Args.size() == 1 && "sizeof marker takes one operand");
+      checkExpr(C->Args[0]);
+      if (failed())
+        return;
+      const Type *T = C->Args[0]->Ty;
+      E = std::make_unique<IntLit>(static_cast<int64_t>(T->size()), true);
+      E->Ty = Ctx.uint64Ty();
+      return;
+    }
+    FunctionDecl *Callee = nullptr;
+    auto It = Functions.find(C->Callee);
+    if (It != Functions.end())
+      Callee = It->second;
+    if (!Callee) {
+      fail(formatString("call to undeclared function '%s'",
+                        C->Callee.c_str()));
+      return;
+    }
+    if (C->Args.size() != Callee->Params.size()) {
+      fail(formatString("call to '%s' with %zu arguments; expected %zu",
+                        C->Callee.c_str(), C->Args.size(),
+                        Callee->Params.size()));
+      return;
+    }
+    for (size_t I = 0; I < C->Args.size(); ++I) {
+      checkRValue(C->Args[I]);
+      if (failed())
+        return;
+      const Type *P = Callee->Params[I]->Ty->canonical();
+      const Type *A = C->Args[I]->Ty->canonical();
+      bool Ok = (P->isArithmetic() && A->isArithmetic()) ||
+                (P->isPointer() && (A->isPointer() || A->isInteger())) ||
+                (P->isInteger() && A->isPointer()) || P == A;
+      if (!Ok) {
+        fail(formatString("argument %zu to '%s' has incompatible type '%s'",
+                          I + 1, C->Callee.c_str(), A->spelling().c_str()));
+        return;
+      }
+    }
+    C->Decl = Callee;
+    E->Ty = Callee->RetTy->canonical();
+    return;
+  }
+  case ExprKind::Index: {
+    auto *I = cast<IndexExpr>(E.get());
+    checkRValue(I->Base);
+    checkRValue(I->Index);
+    if (failed())
+      return;
+    const auto *P = dyn_cast<PointerType>(I->Base->Ty->canonical());
+    if (!P || !I->Index->Ty->canonical()->isInteger()) {
+      fail("invalid array subscript");
+      return;
+    }
+    E->Ty = P->pointee();
+    E->IsLValue = true;
+    return;
+  }
+  case ExprKind::Member: {
+    auto *M = cast<MemberExpr>(E.get());
+    checkExpr(M->Base);
+    if (failed())
+      return;
+    const Type *BaseTy = M->Base->Ty->canonical();
+    const StructType *S = nullptr;
+    if (M->IsArrow) {
+      const auto *P = dyn_cast<PointerType>(BaseTy);
+      if (P)
+        S = dyn_cast<StructType>(P->pointee()->canonical());
+    } else {
+      S = dyn_cast<StructType>(BaseTy);
+    }
+    if (!S) {
+      fail(formatString("member access '%s' on non-struct type",
+                        M->Member.c_str()));
+      return;
+    }
+    if (!S->isComplete()) {
+      fail(formatString("member access on incomplete struct '%s'",
+                        S->name().c_str()));
+      return;
+    }
+    const StructType::Field *F = S->findField(M->Member);
+    if (!F) {
+      fail(formatString("no field '%s' in struct %s", M->Member.c_str(),
+                        S->name().c_str()));
+      return;
+    }
+    M->Offset = F->Offset;
+    E->Ty = F->Ty;
+    E->IsLValue = true;
+    return;
+  }
+  case ExprKind::Cast: {
+    auto *C = cast<CastExpr>(E.get());
+    checkRValue(C->Operand);
+    if (failed())
+      return;
+    if (!validateResolved(C->Target, "cast"))
+      return;
+    const Type *T = C->Target->canonical();
+    const Type *O = C->Operand->Ty->canonical();
+    if (!isScalar(T) && !T->isVoid()) {
+      fail("cast target must be scalar or void");
+      return;
+    }
+    if (!isScalar(O)) {
+      fail("cast operand must be scalar");
+      return;
+    }
+    E->Ty = T;
+    return;
+  }
+  }
+  SLADE_UNREACHABLE("covered expression kind switch");
+}
+
+void SemaChecker::checkVarDecl(VarDecl &V) {
+  if (!validateResolved(V.Ty, formatString("declaration of '%s'",
+                                           V.Name.c_str())))
+    return;
+  const Type *C = V.Ty->canonical();
+  if (C->isVoid()) {
+    fail(formatString("variable '%s' has void type", V.Name.c_str()));
+    return;
+  }
+  if (const auto *S = dyn_cast<StructType>(C))
+    if (!S->isComplete()) {
+      fail(formatString("variable '%s' has incomplete struct type",
+                        V.Name.c_str()));
+      return;
+    }
+  if (V.Init) {
+    checkRValue(V.Init);
+    if (failed())
+      return;
+    const Type *L = C;
+    const Type *R = V.Init->Ty->canonical();
+    bool Ok = (L->isArithmetic() && R->isArithmetic()) ||
+              (L->isPointer() && (R->isPointer() || R->isInteger()));
+    if (!Ok) {
+      fail(formatString("invalid initializer for '%s'", V.Name.c_str()));
+      return;
+    }
+  }
+  declare(&V);
+}
+
+void SemaChecker::checkStmt(Stmt *S) {
+  if (failed())
+    return;
+  switch (S->getKind()) {
+  case StmtKind::Compound: {
+    pushScope();
+    for (StmtPtr &Child : cast<CompoundStmt>(S)->Body)
+      checkStmt(Child.get());
+    popScope();
+    return;
+  }
+  case StmtKind::Expr:
+    checkRValue(cast<ExprStmt>(S)->E);
+    return;
+  case StmtKind::Decl:
+    for (auto &V : cast<DeclStmt>(S)->Decls)
+      checkVarDecl(*V);
+    return;
+  case StmtKind::If: {
+    auto *I = cast<IfStmt>(S);
+    checkRValue(I->Cond);
+    if (!failed() && !isScalar(I->Cond->Ty))
+      fail("if condition must be scalar");
+    checkStmt(I->Then.get());
+    if (I->Else)
+      checkStmt(I->Else.get());
+    return;
+  }
+  case StmtKind::While: {
+    auto *W = cast<WhileStmt>(S);
+    checkRValue(W->Cond);
+    if (!failed() && !isScalar(W->Cond->Ty))
+      fail("while condition must be scalar");
+    ++LoopDepth;
+    checkStmt(W->Body.get());
+    --LoopDepth;
+    return;
+  }
+  case StmtKind::DoWhile: {
+    auto *D = cast<DoWhileStmt>(S);
+    ++LoopDepth;
+    checkStmt(D->Body.get());
+    --LoopDepth;
+    checkRValue(D->Cond);
+    if (!failed() && !isScalar(D->Cond->Ty))
+      fail("do-while condition must be scalar");
+    return;
+  }
+  case StmtKind::For: {
+    auto *F = cast<ForStmt>(S);
+    pushScope();
+    if (F->Init)
+      checkStmt(F->Init.get());
+    if (F->Cond) {
+      checkRValue(F->Cond);
+      if (!failed() && !isScalar(F->Cond->Ty))
+        fail("for condition must be scalar");
+    }
+    if (F->Step)
+      checkRValue(F->Step);
+    ++LoopDepth;
+    checkStmt(F->Body.get());
+    --LoopDepth;
+    popScope();
+    return;
+  }
+  case StmtKind::Return: {
+    auto *R = cast<ReturnStmt>(S);
+    const Type *RetTy = CurFunction->RetTy->canonical();
+    if (R->Value) {
+      checkRValue(R->Value);
+      if (failed())
+        return;
+      if (RetTy->isVoid()) {
+        fail("returning a value from a void function");
+        return;
+      }
+      const Type *V = R->Value->Ty->canonical();
+      bool Ok = (RetTy->isArithmetic() && V->isArithmetic()) ||
+                (RetTy->isPointer() && (V->isPointer() || V->isInteger())) ||
+                (RetTy->isInteger() && V->isPointer());
+      if (!Ok)
+        fail("incompatible return type");
+    } else if (!RetTy->isVoid()) {
+      fail("non-void function must return a value");
+    }
+    return;
+  }
+  case StmtKind::Break:
+    if (LoopDepth == 0)
+      fail("'break' outside of a loop");
+    return;
+  case StmtKind::Continue:
+    if (LoopDepth == 0)
+      fail("'continue' outside of a loop");
+    return;
+  case StmtKind::Empty:
+    return;
+  }
+  SLADE_UNREACHABLE("covered statement kind switch");
+}
+
+void SemaChecker::checkFunction(FunctionDecl &F) {
+  CurFunction = &F;
+  if (!validateResolved(F.RetTy, formatString("return type of '%s'",
+                                              F.Name.c_str())))
+    return;
+  pushScope();
+  for (auto &P : F.Params) {
+    if (!validateResolved(P->Ty, formatString("parameter '%s'",
+                                              P->Name.c_str())))
+      break;
+    declare(P.get());
+  }
+  if (!failed() && F.Body)
+    checkStmt(F.Body.get());
+  popScope();
+  CurFunction = nullptr;
+}
+
+Status SemaChecker::run() {
+  // File scope: globals visible everywhere; functions by name.
+  pushScope();
+  for (auto &G : TU.Globals) {
+    checkVarDecl(*G);
+    if (failed())
+      break;
+  }
+  for (auto &F : TU.Functions) {
+    auto It = Functions.find(F->Name);
+    if (It != Functions.end() && It->second->isDefinition() &&
+        F->isDefinition()) {
+      fail(formatString("redefinition of function '%s'", F->Name.c_str()));
+      break;
+    }
+    if (It == Functions.end() || F->isDefinition())
+      Functions[F->Name] = F.get();
+  }
+  if (!failed())
+    for (auto &F : TU.Functions) {
+      checkFunction(*F);
+      if (failed())
+        break;
+    }
+  popScope();
+  return failed() ? Status::error(Error) : Status::success();
+}
+
+Status slade::cc::analyze(TranslationUnit &TU, TypeContext &Ctx) {
+  SemaChecker Checker(TU, Ctx);
+  return Checker.run();
+}

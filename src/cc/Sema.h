@@ -1,0 +1,26 @@
+//===- Sema.h - mini-C semantic analysis ------------------------*- C++ -*-===//
+///
+/// \file
+/// Type checking and name resolution for parsed translation units. Sema
+/// resolves VarRef/Call declarations, computes expression types with the
+/// usual arithmetic conversions, applies array decay, marks lvalues, folds
+/// `__builtin_sizeof`, and validates control flow. All types must be
+/// resolvable: unresolved NamedTypes are errors (run type inference first).
+///
+//===----------------------------------------------------------------------===//
+#ifndef SLADE_CC_SEMA_H
+#define SLADE_CC_SEMA_H
+
+#include "cc/AST.h"
+#include "support/Error.h"
+
+namespace slade {
+namespace cc {
+
+/// Type-checks \p TU in place. Returns the first diagnostic on failure.
+Status analyze(TranslationUnit &TU, TypeContext &Ctx);
+
+} // namespace cc
+} // namespace slade
+
+#endif // SLADE_CC_SEMA_H

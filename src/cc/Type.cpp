@@ -1,0 +1,214 @@
+//===- Type.cpp - mini-C type system --------------------------------------===//
+
+#include "cc/Type.h"
+
+#include "support/Unreachable.h"
+
+using namespace slade;
+using namespace slade::cc;
+
+static unsigned roundUp(unsigned Value, unsigned Align) {
+  return (Value + Align - 1) / Align * Align;
+}
+
+const Type *Type::canonical() const {
+  const Type *T = this;
+  while (const auto *N = dyn_cast<NamedType>(T)) {
+    if (!N->isResolved())
+      return T;
+    T = N->underlying();
+  }
+  return T;
+}
+
+unsigned Type::size() const {
+  if (const auto *N = dyn_cast<NamedType>(this)) {
+    assert(N->isResolved() && "layout query on unresolved named type");
+    return N->underlying()->size();
+  }
+  switch (Kind) {
+  case TypeKind::Void:
+    return 0;
+  case TypeKind::Int:
+    return cast<IntType>(this)->bits() / 8;
+  case TypeKind::Float:
+    return cast<FloatType>(this)->bits() / 8;
+  case TypeKind::Pointer:
+    return 8;
+  case TypeKind::Array: {
+    const auto *A = cast<ArrayType>(this);
+    return static_cast<unsigned>(A->element()->size() * A->count());
+  }
+  case TypeKind::Struct:
+    return cast<StructType>(this)->structSize();
+  case TypeKind::Named:
+    SLADE_UNREACHABLE("handled above");
+  }
+  SLADE_UNREACHABLE("covered switch");
+}
+
+unsigned Type::align() const {
+  if (const auto *N = dyn_cast<NamedType>(this)) {
+    assert(N->isResolved() && "layout query on unresolved named type");
+    return N->underlying()->align();
+  }
+  switch (Kind) {
+  case TypeKind::Void:
+    return 1;
+  case TypeKind::Int:
+  case TypeKind::Float:
+  case TypeKind::Pointer:
+    return size();
+  case TypeKind::Array:
+    return cast<ArrayType>(this)->element()->align();
+  case TypeKind::Struct:
+    return cast<StructType>(this)->structAlign();
+  case TypeKind::Named:
+    SLADE_UNREACHABLE("handled above");
+  }
+  SLADE_UNREACHABLE("covered switch");
+}
+
+std::string Type::spelling() const {
+  switch (Kind) {
+  case TypeKind::Void:
+    return "void";
+  case TypeKind::Int: {
+    const auto *I = cast<IntType>(this);
+    switch (I->bits()) {
+    case 8:
+      return I->isSigned() ? "char" : "unsigned char";
+    case 16:
+      return I->isSigned() ? "short" : "unsigned short";
+    case 32:
+      return I->isSigned() ? "int" : "unsigned int";
+    case 64:
+      return I->isSigned() ? "long" : "unsigned long";
+    }
+    SLADE_UNREACHABLE("unsupported int width");
+  }
+  case TypeKind::Float:
+    return cast<FloatType>(this)->bits() == 32 ? "float" : "double";
+  case TypeKind::Pointer: {
+    const auto *P = cast<PointerType>(this);
+    std::string Inner = P->pointee()->spelling();
+    if (!Inner.empty() && Inner.back() == '*')
+      return Inner + "*";
+    return Inner + " *";
+  }
+  case TypeKind::Array: {
+    const auto *A = cast<ArrayType>(this);
+    return A->element()->spelling() + "[" + std::to_string(A->count()) + "]";
+  }
+  case TypeKind::Struct:
+    return "struct " + cast<StructType>(this)->name();
+  case TypeKind::Named:
+    return cast<NamedType>(this)->name();
+  }
+  SLADE_UNREACHABLE("covered switch");
+}
+
+void StructType::setFields(std::vector<Field> NewFields) {
+  assert(!Complete && "struct fields set twice");
+  Fields = std::move(NewFields);
+  unsigned Offset = 0;
+  Align = 1;
+  for (Field &F : Fields) {
+    unsigned FieldAlign = F.Ty->align();
+    Offset = roundUp(Offset, FieldAlign);
+    F.Offset = Offset;
+    Offset += F.Ty->size();
+    if (FieldAlign > Align)
+      Align = FieldAlign;
+  }
+  Size = roundUp(Offset, Align);
+  if (Size == 0)
+    Size = Align; // Empty structs still occupy storage.
+  Complete = true;
+}
+
+const StructType::Field *StructType::findField(const std::string &Name) const {
+  for (const Field &F : Fields)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+TypeContext::TypeContext() = default;
+
+const IntType *TypeContext::intTy(unsigned Bits, bool Signed) const {
+  unsigned Index;
+  switch (Bits) {
+  case 8:
+    Index = 0;
+    break;
+  case 16:
+    Index = 2;
+    break;
+  case 32:
+    Index = 4;
+    break;
+  case 64:
+    Index = 6;
+    break;
+  default:
+    SLADE_UNREACHABLE("unsupported integer width");
+  }
+  return &Ints[Index + (Signed ? 0 : 1)];
+}
+
+const PointerType *TypeContext::pointerTo(const Type *Pointee) {
+  auto It = Pointers.find(Pointee);
+  if (It != Pointers.end())
+    return It->second.get();
+  auto Ptr = std::make_unique<PointerType>(Pointee);
+  const PointerType *Result = Ptr.get();
+  Pointers.emplace(Pointee, std::move(Ptr));
+  return Result;
+}
+
+const ArrayType *TypeContext::arrayOf(const Type *Elem, uint64_t Count) {
+  auto Key = std::make_pair(Elem, Count);
+  auto It = Arrays.find(Key);
+  if (It != Arrays.end())
+    return It->second.get();
+  auto Arr = std::make_unique<ArrayType>(Elem, Count);
+  const ArrayType *Result = Arr.get();
+  Arrays.emplace(Key, std::move(Arr));
+  return Result;
+}
+
+StructType *TypeContext::getOrCreateStruct(const std::string &Name) {
+  auto It = Structs.find(Name);
+  if (It != Structs.end())
+    return It->second.get();
+  auto S = std::make_unique<StructType>(Name);
+  StructType *Result = S.get();
+  Structs.emplace(Name, std::move(S));
+  return Result;
+}
+
+StructType *TypeContext::findStruct(const std::string &Name) {
+  auto It = Structs.find(Name);
+  return It == Structs.end() ? nullptr : It->second.get();
+}
+
+NamedType *TypeContext::getOrCreateNamed(const std::string &Name) {
+  auto It = Named.find(Name);
+  if (It != Named.end())
+    return It->second.get();
+  auto N = std::make_unique<NamedType>(Name);
+  NamedType *Result = N.get();
+  Named.emplace(Name, std::move(N));
+  NamedOrder.push_back(Result);
+  return Result;
+}
+
+NamedType *TypeContext::findNamed(const std::string &Name) {
+  auto It = Named.find(Name);
+  return It == Named.end() ? nullptr : It->second.get();
+}
+
+std::vector<NamedType *> TypeContext::namedTypes() const {
+  return NamedOrder;
+}

@@ -1,0 +1,261 @@
+//===- Type.h - mini-C type system ------------------------------*- C++ -*-===//
+///
+/// \file
+/// Canonical types for the mini-C dialect used throughout the repository.
+/// Types are interned in a TypeContext and referenced by const pointer, so
+/// pointer equality is type equality (except for struct types, which are
+/// nominal). Both target ISAs are LP64, so layout is target-independent.
+///
+//===----------------------------------------------------------------------===//
+#ifndef SLADE_CC_TYPE_H
+#define SLADE_CC_TYPE_H
+
+#include "support/Casting.h"
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace slade {
+namespace cc {
+
+enum class TypeKind { Void, Int, Float, Pointer, Array, Struct, Named };
+
+/// Base of the canonical type hierarchy. Instances are owned by a
+/// TypeContext and live as long as it does.
+class Type {
+public:
+  TypeKind getKind() const { return Kind; }
+
+  bool isVoid() const { return Kind == TypeKind::Void; }
+  bool isInteger() const { return Kind == TypeKind::Int; }
+  bool isFloating() const { return Kind == TypeKind::Float; }
+  bool isPointer() const { return Kind == TypeKind::Pointer; }
+  bool isArray() const { return Kind == TypeKind::Array; }
+  bool isStruct() const { return Kind == TypeKind::Struct; }
+  bool isNamed() const { return Kind == TypeKind::Named; }
+  bool isArithmetic() const {
+    return canonical()->isInteger() || canonical()->isFloating();
+  }
+  /// True for types usable in address arithmetic (pointer or array).
+  bool isPointerLike() const {
+    return canonical()->isPointer() || canonical()->isArray();
+  }
+
+  /// Strips Named wrappers. A Named type whose underlying type is still
+  /// unknown canonicalizes to itself (callers must handle that before
+  /// layout queries).
+  const Type *canonical() const;
+
+  /// Size in bytes; void has size 0.
+  unsigned size() const;
+  /// Alignment in bytes; void has alignment 1.
+  unsigned align() const;
+
+  /// C spelling of this type, e.g. "unsigned int *".
+  std::string spelling() const;
+
+protected:
+  explicit Type(TypeKind Kind) : Kind(Kind) {}
+  ~Type() = default;
+
+private:
+  TypeKind Kind;
+};
+
+class VoidType : public Type {
+public:
+  VoidType() : Type(TypeKind::Void) {}
+  static bool classof(const Type *T) { return T->getKind() == TypeKind::Void; }
+};
+
+/// Integer type of 8/16/32/64 bits, signed or unsigned. `char` is signed.
+class IntType : public Type {
+public:
+  IntType(unsigned Bits, bool Signed)
+      : Type(TypeKind::Int), Bits(Bits), Signed(Signed) {
+    assert((Bits == 8 || Bits == 16 || Bits == 32 || Bits == 64) &&
+           "unsupported integer width");
+  }
+
+  unsigned bits() const { return Bits; }
+  bool isSigned() const { return Signed; }
+
+  static bool classof(const Type *T) { return T->getKind() == TypeKind::Int; }
+
+private:
+  unsigned Bits;
+  bool Signed;
+};
+
+/// float (32 bits) or double (64 bits).
+class FloatType : public Type {
+public:
+  explicit FloatType(unsigned Bits) : Type(TypeKind::Float), Bits(Bits) {
+    assert((Bits == 32 || Bits == 64) && "unsupported float width");
+  }
+
+  unsigned bits() const { return Bits; }
+
+  static bool classof(const Type *T) {
+    return T->getKind() == TypeKind::Float;
+  }
+
+private:
+  unsigned Bits;
+};
+
+class PointerType : public Type {
+public:
+  explicit PointerType(const Type *Pointee)
+      : Type(TypeKind::Pointer), Pointee(Pointee) {}
+
+  const Type *pointee() const { return Pointee; }
+
+  static bool classof(const Type *T) {
+    return T->getKind() == TypeKind::Pointer;
+  }
+
+private:
+  const Type *Pointee;
+};
+
+/// Fixed-length array type. Arrays decay to pointers in expressions.
+class ArrayType : public Type {
+public:
+  ArrayType(const Type *Elem, uint64_t Count)
+      : Type(TypeKind::Array), Elem(Elem), Count(Count) {}
+
+  const Type *element() const { return Elem; }
+  uint64_t count() const { return Count; }
+
+  static bool classof(const Type *T) {
+    return T->getKind() == TypeKind::Array;
+  }
+
+private:
+  const Type *Elem;
+  uint64_t Count;
+};
+
+/// Nominal struct type. Fields are laid out with natural alignment.
+class StructType : public Type {
+public:
+  struct Field {
+    std::string Name;
+    const Type *Ty = nullptr;
+    unsigned Offset = 0;
+  };
+
+  explicit StructType(std::string Name)
+      : Type(TypeKind::Struct), Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+  bool isComplete() const { return Complete; }
+  const std::vector<Field> &fields() const { return Fields; }
+
+  /// Defines the field list and computes layout. May be called once.
+  void setFields(std::vector<Field> NewFields);
+
+  /// Returns the field with \p Name or null.
+  const Field *findField(const std::string &Name) const;
+
+  unsigned structSize() const { return Size; }
+  unsigned structAlign() const { return Align; }
+
+  static bool classof(const Type *T) {
+    return T->getKind() == TypeKind::Struct;
+  }
+
+private:
+  std::string Name;
+  std::vector<Field> Fields;
+  unsigned Size = 0;
+  unsigned Align = 1;
+  bool Complete = false;
+};
+
+/// A typedef-style name whose referent may be unknown. The parser creates
+/// these for identifiers used in type position that are not declared in the
+/// current context (the "missing typedef" situation §VI-B); the type
+/// inference engine later fills in the underlying type.
+class NamedType : public Type {
+public:
+  explicit NamedType(std::string Name)
+      : Type(TypeKind::Named), Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+  bool isResolved() const { return Underlying != nullptr; }
+  const Type *underlying() const { return Underlying; }
+  void resolve(const Type *T) {
+    assert(T && "resolving named type to null");
+    Underlying = T;
+  }
+
+  static bool classof(const Type *T) {
+    return T->getKind() == TypeKind::Named;
+  }
+
+private:
+  std::string Name;
+  const Type *Underlying = nullptr;
+};
+
+/// Owns and interns Type instances. Pointer/array/struct types created
+/// through the context are unique per (shape), so `==` on const Type*
+/// means structural equality (nominal for structs).
+class TypeContext {
+public:
+  TypeContext();
+  TypeContext(const TypeContext &) = delete;
+  TypeContext &operator=(const TypeContext &) = delete;
+
+  const VoidType *voidTy() const { return &VoidT; }
+  const IntType *intTy(unsigned Bits, bool Signed) const;
+  const IntType *charTy() const { return intTy(8, true); }
+  const IntType *shortTy() const { return intTy(16, true); }
+  const IntType *int32Ty() const { return intTy(32, true); }
+  const IntType *int64Ty() const { return intTy(64, true); }
+  const IntType *uint32Ty() const { return intTy(32, false); }
+  const IntType *uint64Ty() const { return intTy(64, false); }
+  const FloatType *floatTy() const { return &FloatT; }
+  const FloatType *doubleTy() const { return &DoubleT; }
+
+  const PointerType *pointerTo(const Type *Pointee);
+  const ArrayType *arrayOf(const Type *Elem, uint64_t Count);
+
+  /// Returns the struct named \p Name, creating an incomplete one if it
+  /// does not exist yet.
+  StructType *getOrCreateStruct(const std::string &Name);
+  /// Returns the struct named \p Name or null.
+  StructType *findStruct(const std::string &Name);
+
+  /// Returns the (unique) named type for \p Name, creating it unresolved.
+  NamedType *getOrCreateNamed(const std::string &Name);
+  NamedType *findNamed(const std::string &Name);
+  /// All named types created so far, in creation order.
+  std::vector<NamedType *> namedTypes() const;
+
+private:
+  VoidType VoidT;
+  IntType Ints[8] = {IntType(8, true),   IntType(8, false),
+                     IntType(16, true),  IntType(16, false),
+                     IntType(32, true),  IntType(32, false),
+                     IntType(64, true),  IntType(64, false)};
+  FloatType FloatT{32};
+  FloatType DoubleT{64};
+  std::map<const Type *, std::unique_ptr<PointerType>> Pointers;
+  std::map<std::pair<const Type *, uint64_t>, std::unique_ptr<ArrayType>>
+      Arrays;
+  std::map<std::string, std::unique_ptr<StructType>> Structs;
+  std::map<std::string, std::unique_ptr<NamedType>> Named;
+  std::vector<NamedType *> NamedOrder;
+};
+
+} // namespace cc
+} // namespace slade
+
+#endif // SLADE_CC_TYPE_H

@@ -1,0 +1,932 @@
+//===- ArmBackend.cpp - AArch64 assembly backend ----------------------------===//
+
+#include "codegen/Backend.h"
+
+#include "support/StringUtils.h"
+#include "support/Unreachable.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+using namespace slade;
+using namespace slade::ir;
+using namespace slade::codegen;
+
+namespace {
+
+/// Register numbers: scratch ring x9..x15, variables x19..x23.
+const int ScratchRing[] = {9, 10, 11, 12, 13, 14, 15};
+constexpr int NumScratch = 7;
+const int VarRegs[] = {19, 20, 21, 22, 23};
+constexpr int NumVarRegs = 5;
+
+std::string regName(int N, SC Cls) {
+  return formatString("%c%d", scBytes(Cls) == 8 ? 'x' : 'w', N);
+}
+
+const char *ccFor(Pred P) {
+  switch (P) {
+  case Pred::EQ:
+    return "eq";
+  case Pred::NE:
+    return "ne";
+  case Pred::SLT:
+    return "lt";
+  case Pred::SLE:
+    return "le";
+  case Pred::SGT:
+    return "gt";
+  case Pred::SGE:
+    return "ge";
+  case Pred::ULT:
+    return "cc";
+  case Pred::ULE:
+    return "ls";
+  case Pred::UGT:
+    return "hi";
+  case Pred::UGE:
+    return "cs";
+  }
+  SLADE_UNREACHABLE("covered switch");
+}
+
+class ArmEmitter {
+public:
+  ArmEmitter(const IRFunction &F, bool Optimize) : F(F), Optimize(Optimize) {}
+
+  Expected<std::string> run();
+
+private:
+  const IRFunction &F;
+  bool Optimize;
+  std::string Out;
+  std::string Error;
+
+  std::map<int, int> SlotOff;  ///< user slot id -> sp offset.
+  std::map<int, int> SpillOff; ///< vreg -> sp offset.
+  std::map<int, int> VarRegOf; ///< varlike vreg -> VarRegs index.
+  std::map<int, int> VecRegOf; ///< cross-block V128 vreg -> v21..v23.
+  std::map<int, int> CalleeSaveOff;
+  int FrameSize = 0;
+  int SpillBase = 0;
+  int NextSpill = 0;
+  std::set<int> VarLike;
+  std::set<int> CrossBlock;
+  std::set<int> BranchTargets;
+
+  struct ScratchState {
+    int VReg = -1;
+    bool Dirty = false;
+    bool Pinned = false;
+    uint64_t Stamp = 0;
+  };
+  ScratchState Scratch[NumScratch];
+  uint64_t Clock = 1;
+  std::map<int, int> VecTemp;
+  int NextVecTemp = 18; ///< v18..v20 block-local temporaries.
+
+  void fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = Msg;
+  }
+  void ins(const std::string &Text) { Out += "\t" + Text + "\n"; }
+  void label(const std::string &L) { Out += L + ":\n"; }
+  std::string blockLabel(int Id) const {
+    return formatString(".L%d", Id + 2);
+  }
+
+  int spillOffset(int VReg) {
+    auto It = SpillOff.find(VReg);
+    if (It != SpillOff.end())
+      return It->second;
+    int Off = SpillBase + NextSpill;
+    NextSpill += 8;
+    SpillOff[VReg] = Off;
+    return Off;
+  }
+
+  // -- scratch management ---------------------------------------------------
+  int findScratchOf(int VReg) {
+    for (int I = 0; I < NumScratch; ++I)
+      if (Scratch[I].VReg == VReg)
+        return I;
+    return -1;
+  }
+  void flushScratch(int I) {
+    if (Scratch[I].VReg >= 0 && Scratch[I].Dirty)
+      ins(formatString("str\tx%d, [sp, %d]", ScratchRing[I],
+                       spillOffset(Scratch[I].VReg)));
+    Scratch[I].VReg = -1;
+    Scratch[I].Dirty = false;
+    Scratch[I].Pinned = false;
+  }
+  void flushAllScratch() {
+    for (int I = 0; I < NumScratch; ++I)
+      flushScratch(I);
+  }
+  void unpinAll() {
+    for (int I = 0; I < NumScratch; ++I)
+      Scratch[I].Pinned = false;
+  }
+  int allocScratch() {
+    for (int I = 0; I < NumScratch; ++I)
+      if (Scratch[I].VReg < 0 && !Scratch[I].Pinned)
+        return I;
+    int Best = -1;
+    for (int I = 0; I < NumScratch; ++I)
+      if (!Scratch[I].Pinned &&
+          (Best < 0 || Scratch[I].Stamp < Scratch[Best].Stamp))
+        Best = I;
+    assert(Best >= 0 && "all scratch registers pinned");
+    flushScratch(Best);
+    return Best;
+  }
+  void bind(int I, int VReg, bool Dirty) {
+    Scratch[I].VReg = VReg;
+    Scratch[I].Dirty = Dirty;
+    Scratch[I].Pinned = true;
+    Scratch[I].Stamp = ++Clock;
+  }
+
+  void materializeImm(int RegNo, int64_t Imm, SC Cls) {
+    bool Is64 = scBytes(Cls) == 8;
+    std::string R = regName(RegNo, Is64 ? SC::I64 : SC::I32);
+    if (Imm >= 0 && Imm < 65536) {
+      ins(formatString("mov\t%s, %lld", R.c_str(),
+                       static_cast<long long>(Imm)));
+      return;
+    }
+    if (Imm < 0 && Imm >= -65536) {
+      ins(formatString("mov\t%s, %lld", R.c_str(),
+                       static_cast<long long>(Imm)));
+      return;
+    }
+    uint64_t U = static_cast<uint64_t>(Imm);
+    if (!Is64)
+      U &= 0xffffffffULL;
+    ins(formatString("movz\t%s, %llu", R.c_str(),
+                     static_cast<unsigned long long>(U & 0xffff)));
+    for (int Shift = 16; Shift < (Is64 ? 64 : 32); Shift += 16) {
+      uint64_t Part = (U >> Shift) & 0xffff;
+      if (Part)
+        ins(formatString("movk\t%s, %llu, lsl %d", R.c_str(),
+                         static_cast<unsigned long long>(Part), Shift));
+    }
+  }
+
+  /// Register currently holding \p VReg (pinned).
+  int fetchVReg(int VReg) {
+    auto VIt = VarRegOf.find(VReg);
+    if (VIt != VarRegOf.end())
+      return VarRegs[VIt->second];
+    int I = findScratchOf(VReg);
+    if (I >= 0) {
+      Scratch[I].Stamp = ++Clock;
+      Scratch[I].Pinned = true;
+      return ScratchRing[I];
+    }
+    I = allocScratch();
+    ins(formatString("ldr\tx%d, [sp, %d]", ScratchRing[I],
+                     spillOffset(VReg)));
+    bind(I, VReg, false);
+    return ScratchRing[I];
+  }
+  int fetchValue(const Value &V, SC Cls) {
+    if (V.isVReg())
+      return fetchVReg(V.Reg);
+    assert(V.K == Value::ImmI && "fetchValue on non-scalar");
+    int I = allocScratch();
+    materializeImm(ScratchRing[I], V.Imm, Cls);
+    bind(I, -1, false);
+    return ScratchRing[I];
+  }
+  int destReg(int VReg) {
+    auto VIt = VarRegOf.find(VReg);
+    if (VIt != VarRegOf.end())
+      return VarRegs[VIt->second];
+    int I = findScratchOf(VReg);
+    if (I < 0) {
+      I = allocScratch();
+      bind(I, VReg, true);
+    } else {
+      Scratch[I].Dirty = true;
+      Scratch[I].Pinned = true;
+      Scratch[I].Stamp = ++Clock;
+    }
+    return ScratchRing[I];
+  }
+  void defined(int VReg) {
+    if (VarRegOf.count(VReg))
+      return;
+    int I = findScratchOf(VReg);
+    assert(I >= 0 && "defined() without destReg()");
+    Scratch[I].Dirty = true;
+    // User variables live in frame slots at O0 (IRGen places them there);
+    // expression temporaries stay register-resident within a block in
+    // both modes, like GCC. Only cross-block and multiply-defined vregs
+    // must be flushed eagerly.
+    if (CrossBlock.count(VReg) || VarLike.count(VReg))
+      flushScratch(I);
+  }
+
+  /// Emits a load/store of width \p MemCls at an IR address operand.
+  /// \p IsLoad selects direction; \p RegStr is the data register text.
+  void memAccess(bool IsLoad, const std::string &RegStr, SC MemCls,
+                 bool SignExtend, const Value &Addr);
+
+  std::string fetchFloat(const Value &V, SC Cls, int Which);
+  int vecRegOf(const Value &V);
+
+  void classifyVRegs();
+  void layoutFrame();
+  void emitPrologue();
+  void emitEpilogue();
+  void emitBlock(const BasicBlock &B);
+  void emitInstr(const Instr &I, const Instr *Next, bool *FusedNext);
+  void emitCall(const Instr &I);
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Analysis and layout
+//===----------------------------------------------------------------------===//
+
+void ArmEmitter::classifyVRegs() {
+  std::map<int, int> DefCount;
+  std::map<int, int> DefBlock;
+  std::map<int, std::set<int>> UseBlocks;
+  for (const ParamInfo &P : F.Params)
+    if (P.HomeVReg >= 0) {
+      ++DefCount[P.HomeVReg];
+      DefBlock.emplace(P.HomeVReg, 0);
+    }
+  for (const BasicBlock &B : F.Blocks)
+    for (const Instr &I : B.Instrs) {
+      if (I.Dst.isVReg()) {
+        ++DefCount[I.Dst.Reg];
+        DefBlock.emplace(I.Dst.Reg, B.Id);
+      }
+      for (const Value &V : I.Ops)
+        if (V.isVReg())
+          UseBlocks[V.Reg].insert(B.Id);
+    }
+  for (const auto &[VReg, Count] : DefCount)
+    if (Count > 1)
+      VarLike.insert(VReg);
+  for (const auto &[VReg, Blocks] : UseBlocks) {
+    auto DIt = DefBlock.find(VReg);
+    int DB = DIt == DefBlock.end() ? -1 : DIt->second;
+    for (int UB : Blocks)
+      if (UB != DB) {
+        CrossBlock.insert(VReg);
+        break;
+      }
+  }
+  if (Optimize) {
+    int Next = 0;
+    for (const ParamInfo &P : F.Params)
+      if (P.HomeVReg >= 0 && Next < NumVarRegs && P.Cls != SC::V128)
+        VarRegOf[P.HomeVReg] = Next++;
+    for (const BasicBlock &B : F.Blocks)
+      for (const Instr &I : B.Instrs)
+        if (I.Dst.isVReg() && VarLike.count(I.Dst.Reg) &&
+            !VarRegOf.count(I.Dst.Reg) && I.Cls != SC::V128 &&
+            !scIsFloat(I.Cls) && Next < NumVarRegs)
+          VarRegOf[I.Dst.Reg] = Next++;
+  }
+  int NextVec = 21;
+  for (const BasicBlock &B : F.Blocks)
+    for (const Instr &I : B.Instrs)
+      if (I.Dst.isVReg() && I.Dst.Cls == SC::V128 &&
+          CrossBlock.count(I.Dst.Reg)) {
+        if (NextVec > 23) {
+          fail("out of vector registers");
+          return;
+        }
+        if (!VecRegOf.count(I.Dst.Reg))
+          VecRegOf[I.Dst.Reg] = NextVec++;
+      }
+  for (const BasicBlock &B : F.Blocks)
+    for (const Instr &I : B.Instrs) {
+      if (I.Target0 >= 0)
+        BranchTargets.insert(I.Target0);
+      if (I.Target1 >= 0)
+        BranchTargets.insert(I.Target1);
+    }
+}
+
+void ArmEmitter::layoutFrame() {
+  int Off = 16; // fp/lr pair at [sp, 0].
+  for (size_t S = 0; S < F.Slots.size(); ++S) {
+    const FrameSlot &Slot = F.Slots[S];
+    unsigned Align = std::max(1u, Slot.Align);
+    Off = (Off + Align - 1) / Align * Align;
+    SlotOff[static_cast<int>(S)] = Off;
+    Off += Slot.Size;
+  }
+  SpillBase = (Off + 7) / 8 * 8;
+  int NumSpills = F.NextVReg + 1;
+  int Cursor = SpillBase + NumSpills * 8;
+  std::set<int> Used;
+  for (const auto &[VReg, Idx] : VarRegOf)
+    Used.insert(Idx);
+  for (int Idx : Used) {
+    CalleeSaveOff[Idx] = Cursor;
+    Cursor += 8;
+  }
+  FrameSize = (Cursor + 15) / 16 * 16;
+}
+
+void ArmEmitter::emitPrologue() {
+  Out += formatString("\t.globl\t%s\n", F.Name.c_str());
+  Out += formatString("\t.type\t%s, %%function\n", F.Name.c_str());
+  Out += F.Name + ":\n";
+  ins(formatString("stp\tx29, x30, [sp, -%d]!", FrameSize));
+  ins("mov\tx29, sp");
+  for (const auto &[Idx, Off] : CalleeSaveOff)
+    ins(formatString("str\tx%d, [sp, %d]", VarRegs[Idx], Off));
+
+  int IntIdx = 0, FloatIdx = 0;
+  for (const ParamInfo &P : F.Params) {
+    if (scIsFloat(P.Cls)) {
+      char FC = P.Cls == SC::F32 ? 's' : 'd';
+      if (P.HomeSlot >= 0)
+        ins(formatString("str\t%c%d, [sp, %d]", FC, FloatIdx,
+                         SlotOff[P.HomeSlot]));
+      ++FloatIdx;
+      continue;
+    }
+    if (IntIdx >= 6) {
+      fail("more than six integer parameters are not supported");
+      return;
+    }
+    int Src = IntIdx++;
+    if (P.HomeSlot >= 0) {
+      const char *St = scBytes(P.Cls) == 1   ? "strb"
+                       : scBytes(P.Cls) == 2 ? "strh"
+                                             : "str";
+      ins(formatString("%s\t%s, [sp, %d]", St,
+                       regName(Src, scBytes(P.Cls) == 8 ? SC::I64 : SC::I32)
+                           .c_str(),
+                       SlotOff[P.HomeSlot]));
+    } else if (P.HomeVReg >= 0) {
+      auto VIt = VarRegOf.find(P.HomeVReg);
+      if (VIt != VarRegOf.end())
+        ins(formatString("mov\tx%d, x%d", VarRegs[VIt->second], Src));
+      else
+        ins(formatString("str\tx%d, [sp, %d]", Src,
+                         spillOffset(P.HomeVReg)));
+    }
+  }
+}
+
+void ArmEmitter::emitEpilogue() {
+  for (const auto &[Idx, Off] : CalleeSaveOff)
+    ins(formatString("ldr\tx%d, [sp, %d]", VarRegs[Idx], Off));
+  ins(formatString("ldp\tx29, x30, [sp], %d", FrameSize));
+  ins("ret");
+}
+
+//===----------------------------------------------------------------------===//
+// Memory, float, vector helpers
+//===----------------------------------------------------------------------===//
+
+void ArmEmitter::memAccess(bool IsLoad, const std::string &RegStr, SC MemCls,
+                           bool SignExtend, const Value &Addr) {
+  const char *Op;
+  if (IsLoad) {
+    switch (MemCls) {
+    case SC::I8:
+      Op = SignExtend ? "ldrsb" : "ldrb";
+      break;
+    case SC::I16:
+      Op = SignExtend ? "ldrsh" : "ldrh";
+      break;
+    default:
+      Op = "ldr";
+      break;
+    }
+  } else {
+    switch (MemCls) {
+    case SC::I8:
+      Op = "strb";
+      break;
+    case SC::I16:
+      Op = "strh";
+      break;
+    default:
+      Op = "str";
+      break;
+    }
+  }
+  switch (Addr.K) {
+  case Value::Frame:
+    ins(formatString("%s\t%s, [sp, %d]", Op, RegStr.c_str(),
+                     SlotOff[Addr.Slot]));
+    return;
+  case Value::Sym: {
+    int T = allocScratch();
+    int TR = ScratchRing[T];
+    bind(T, -1, false);
+    ins(formatString("adrp\tx%d, %s", TR, Addr.Name.c_str()));
+    ins(formatString("add\tx%d, x%d, :lo12:%s", TR, TR, Addr.Name.c_str()));
+    ins(formatString("%s\t%s, [x%d]", Op, RegStr.c_str(), TR));
+    return;
+  }
+  case Value::VReg: {
+    int A = fetchVReg(Addr.Reg);
+    ins(formatString("%s\t%s, [x%d]", Op, RegStr.c_str(), A));
+    return;
+  }
+  default:
+    fail("bad address operand");
+  }
+}
+
+std::string ArmEmitter::fetchFloat(const Value &V, SC Cls, int Which) {
+  char FC = Cls == SC::F32 ? 's' : 'd';
+  std::string R = formatString("%c%d", FC, 16 + Which);
+  if (V.isVReg()) {
+    ins(formatString("ldr\t%s, [sp, %d]", R.c_str(), spillOffset(V.Reg)));
+    return R;
+  }
+  assert(V.K == Value::ImmF && "bad float operand");
+  int T = allocScratch();
+  int TR = ScratchRing[T];
+  bind(T, -1, false);
+  if (Cls == SC::F32) {
+    float FV = static_cast<float>(V.FImm);
+    uint32_t Bits;
+    __builtin_memcpy(&Bits, &FV, 4);
+    materializeImm(TR, static_cast<int64_t>(Bits), SC::I32);
+    ins(formatString("fmov\t%s, w%d", R.c_str(), TR));
+  } else {
+    uint64_t Bits;
+    double DV = V.FImm;
+    __builtin_memcpy(&Bits, &DV, 8);
+    materializeImm(TR, static_cast<int64_t>(Bits), SC::I64);
+    ins(formatString("fmov\t%s, x%d", R.c_str(), TR));
+  }
+  return R;
+}
+
+int ArmEmitter::vecRegOf(const Value &V) {
+  assert(V.isVReg() && "vector operand must be a vreg");
+  auto It = VecRegOf.find(V.Reg);
+  if (It != VecRegOf.end())
+    return It->second;
+  auto TIt = VecTemp.find(V.Reg);
+  if (TIt != VecTemp.end())
+    return TIt->second;
+  if (NextVecTemp > 20) {
+    fail("out of vector temporaries");
+    return 18;
+  }
+  VecTemp[V.Reg] = NextVecTemp;
+  return NextVecTemp++;
+}
+
+//===----------------------------------------------------------------------===//
+// Instructions
+//===----------------------------------------------------------------------===//
+
+void ArmEmitter::emitCall(const Instr &I) {
+  flushAllScratch();
+  int IntIdx = 0, FloatIdx = 0;
+  for (const Value &A : I.Ops) {
+    if (scIsFloat(A.Cls)) {
+      char FC = A.Cls == SC::F32 ? 's' : 'd';
+      if (A.isVReg())
+        ins(formatString("ldr\t%c%d, [sp, %d]", FC, FloatIdx,
+                         spillOffset(A.Reg)));
+      else {
+        std::string R = fetchFloat(A, A.Cls, 0);
+        ins(formatString("fmov\t%c%d, %s", FC, FloatIdx, R.c_str()));
+      }
+      ++FloatIdx;
+      continue;
+    }
+    if (IntIdx >= 6) {
+      fail("more than six integer call arguments are not supported");
+      return;
+    }
+    if (A.isVReg()) {
+      auto VIt = VarRegOf.find(A.Reg);
+      if (VIt != VarRegOf.end())
+        ins(formatString("mov\tx%d, x%d", IntIdx, VarRegs[VIt->second]));
+      else
+        ins(formatString("ldr\tx%d, [sp, %d]", IntIdx, spillOffset(A.Reg)));
+    } else {
+      materializeImm(IntIdx, A.Imm, SC::I64);
+    }
+    ++IntIdx;
+  }
+  unpinAll();
+  for (int S = 0; S < NumScratch; ++S)
+    Scratch[S] = ScratchState(); // Caller-saved state dies at the call.
+  ins(formatString("bl\t%s", I.Callee.c_str()));
+  if (I.Dst.isVReg()) {
+    if (scIsFloat(I.Cls)) {
+      char FC = I.Cls == SC::F32 ? 's' : 'd';
+      ins(formatString("str\t%c0, [sp, %d]", FC, spillOffset(I.Dst.Reg)));
+    } else {
+      int D = destReg(I.Dst.Reg);
+      ins(formatString("mov\tx%d, x0", D));
+      defined(I.Dst.Reg);
+    }
+  }
+}
+
+void ArmEmitter::emitInstr(const Instr &I, const Instr *Next,
+                           bool *FusedNext) {
+  *FusedNext = false;
+  unpinAll();
+  SC Cls = I.Cls;
+  switch (I.Op) {
+  case Opcode::Add:
+  case Opcode::Sub: {
+    int A = fetchValue(I.Ops[0], Cls);
+    const char *Op = I.Op == Opcode::Add ? "add" : "sub";
+    if (I.Ops[1].isImmI() && I.Ops[1].Imm >= 0 && I.Ops[1].Imm < 4096) {
+      int D = destReg(I.Dst.Reg);
+      ins(formatString("%s\t%s, %s, %lld", Op, regName(D, Cls).c_str(),
+                       regName(A, Cls).c_str(),
+                       static_cast<long long>(I.Ops[1].Imm)));
+      defined(I.Dst.Reg);
+      return;
+    }
+    int B = fetchValue(I.Ops[1], Cls);
+    int D = destReg(I.Dst.Reg);
+    ins(formatString("%s\t%s, %s, %s", Op, regName(D, Cls).c_str(),
+                     regName(A, Cls).c_str(), regName(B, Cls).c_str()));
+    defined(I.Dst.Reg);
+    return;
+  }
+  case Opcode::Mul:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::SDiv:
+  case Opcode::UDiv: {
+    int A = fetchValue(I.Ops[0], Cls);
+    int B = fetchValue(I.Ops[1], Cls);
+    int D = destReg(I.Dst.Reg);
+    const char *Op = I.Op == Opcode::Mul    ? "mul"
+                     : I.Op == Opcode::And  ? "and"
+                     : I.Op == Opcode::Or   ? "orr"
+                     : I.Op == Opcode::Xor  ? "eor"
+                     : I.Op == Opcode::SDiv ? "sdiv"
+                                            : "udiv";
+    ins(formatString("%s\t%s, %s, %s", Op, regName(D, Cls).c_str(),
+                     regName(A, Cls).c_str(), regName(B, Cls).c_str()));
+    defined(I.Dst.Reg);
+    return;
+  }
+  case Opcode::SRem:
+  case Opcode::URem: {
+    // GCC's msub idiom: q = a / b; r = a - q * b.
+    int A = fetchValue(I.Ops[0], Cls);
+    int B = fetchValue(I.Ops[1], Cls);
+    int Q = allocScratch();
+    int QR = ScratchRing[Q];
+    bind(Q, -1, false);
+    const char *Div = I.Op == Opcode::SRem ? "sdiv" : "udiv";
+    ins(formatString("%s\t%s, %s, %s", Div, regName(QR, Cls).c_str(),
+                     regName(A, Cls).c_str(), regName(B, Cls).c_str()));
+    int D = destReg(I.Dst.Reg);
+    ins(formatString("msub\t%s, %s, %s, %s", regName(D, Cls).c_str(),
+                     regName(QR, Cls).c_str(), regName(B, Cls).c_str(),
+                     regName(A, Cls).c_str()));
+    defined(I.Dst.Reg);
+    return;
+  }
+  case Opcode::Shl:
+  case Opcode::AShr:
+  case Opcode::LShr: {
+    const char *Op = I.Op == Opcode::Shl    ? "lsl"
+                     : I.Op == Opcode::AShr ? "asr"
+                                            : "lsr";
+    int A = fetchValue(I.Ops[0], Cls);
+    if (I.Ops[1].isImmI()) {
+      int D = destReg(I.Dst.Reg);
+      unsigned Mask = scBytes(Cls) * 8 - 1;
+      ins(formatString("%s\t%s, %s, %lld", Op, regName(D, Cls).c_str(),
+                       regName(A, Cls).c_str(),
+                       static_cast<long long>(I.Ops[1].Imm) & Mask));
+      defined(I.Dst.Reg);
+      return;
+    }
+    int B = fetchValue(I.Ops[1], Cls);
+    int D = destReg(I.Dst.Reg);
+    ins(formatString("%s\t%s, %s, %s", Op, regName(D, Cls).c_str(),
+                     regName(A, Cls).c_str(), regName(B, Cls).c_str()));
+    defined(I.Dst.Reg);
+    return;
+  }
+  case Opcode::Neg:
+  case Opcode::Not: {
+    if (I.Op == Opcode::Neg && scIsFloat(Cls)) {
+      std::string A = fetchFloat(I.Ops[0], Cls, 0);
+      ins(formatString("fneg\t%s, %s", A.c_str(), A.c_str()));
+      ins(formatString("str\t%s, [sp, %d]", A.c_str(),
+                       spillOffset(I.Dst.Reg)));
+      return;
+    }
+    int A = fetchValue(I.Ops[0], Cls);
+    int D = destReg(I.Dst.Reg);
+    ins(formatString("%s\t%s, %s", I.Op == Opcode::Neg ? "neg" : "mvn",
+                     regName(D, Cls).c_str(), regName(A, Cls).c_str()));
+    defined(I.Dst.Reg);
+    return;
+  }
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FDiv: {
+    std::string A = fetchFloat(I.Ops[0], Cls, 0);
+    std::string B = fetchFloat(I.Ops[1], Cls, 1);
+    const char *Op = I.Op == Opcode::FAdd   ? "fadd"
+                     : I.Op == Opcode::FSub ? "fsub"
+                     : I.Op == Opcode::FMul ? "fmul"
+                                            : "fdiv";
+    ins(formatString("%s\t%s, %s, %s", Op, A.c_str(), A.c_str(), B.c_str()));
+    ins(formatString("str\t%s, [sp, %d]", A.c_str(),
+                     spillOffset(I.Dst.Reg)));
+    return;
+  }
+  case Opcode::FNeg: {
+    std::string A = fetchFloat(I.Ops[0], Cls, 0);
+    ins(formatString("fneg\t%s, %s", A.c_str(), A.c_str()));
+    ins(formatString("str\t%s, [sp, %d]", A.c_str(),
+                     spillOffset(I.Dst.Reg)));
+    return;
+  }
+  case Opcode::Mov: {
+    if (scIsFloat(Cls)) {
+      std::string A = fetchFloat(I.Ops[0], Cls, 0);
+      ins(formatString("str\t%s, [sp, %d]", A.c_str(),
+                       spillOffset(I.Dst.Reg)));
+      return;
+    }
+    if (I.Ops[0].isImmI()) {
+      int D = destReg(I.Dst.Reg);
+      materializeImm(D, I.Ops[0].Imm, Cls);
+      defined(I.Dst.Reg);
+      return;
+    }
+    int A = fetchValue(I.Ops[0], Cls);
+    int D = destReg(I.Dst.Reg);
+    if (D != A)
+      ins(formatString("mov\t%s, %s", regName(D, SC::I64).c_str(),
+                       regName(A, SC::I64).c_str()));
+    defined(I.Dst.Reg);
+    return;
+  }
+  case Opcode::Load: {
+    if (scIsFloat(I.FromCls)) {
+      char FC = I.FromCls == SC::F32 ? 's' : 'd';
+      std::string R = formatString("%c16", FC);
+      memAccess(true, R, I.FromCls, false, I.Ops[0]);
+      ins(formatString("str\t%s, [sp, %d]", R.c_str(),
+                       spillOffset(I.Dst.Reg)));
+      return;
+    }
+    int D = destReg(I.Dst.Reg);
+    SC DstCls = I.FromCls == SC::I64 ? SC::I64 : SC::I32;
+    memAccess(true, regName(D, DstCls), I.FromCls, I.SignExtend, I.Ops[0]);
+    defined(I.Dst.Reg);
+    return;
+  }
+  case Opcode::Store: {
+    if (scIsFloat(I.FromCls)) {
+      std::string R = fetchFloat(I.Ops[0], I.FromCls, 0);
+      memAccess(false, R, I.FromCls, false, I.Ops[1]);
+      return;
+    }
+    int S = fetchValue(I.Ops[0], I.FromCls);
+    SC RegCls = I.FromCls == SC::I64 ? SC::I64 : SC::I32;
+    memAccess(false, regName(S, RegCls), I.FromCls, false, I.Ops[1]);
+    return;
+  }
+  case Opcode::AddrOf: {
+    int D = destReg(I.Dst.Reg);
+    const Value &Src = I.Ops[0];
+    if (Src.K == Value::Frame) {
+      ins(formatString("add\tx%d, sp, %d", D, SlotOff[Src.Slot]));
+    } else {
+      ins(formatString("adrp\tx%d, %s", D, Src.Name.c_str()));
+      ins(formatString("add\tx%d, x%d, :lo12:%s", D, D, Src.Name.c_str()));
+    }
+    defined(I.Dst.Reg);
+    return;
+  }
+  case Opcode::SExt: {
+    int A = fetchValue(I.Ops[0], I.FromCls);
+    int D = destReg(I.Dst.Reg);
+    ins(formatString("sxtw\tx%d, w%d", D, A));
+    defined(I.Dst.Reg);
+    return;
+  }
+  case Opcode::ZExt: {
+    int A = fetchValue(I.Ops[0], I.FromCls);
+    int D = destReg(I.Dst.Reg);
+    ins(formatString("uxtw\tx%d, w%d", D, A));
+    defined(I.Dst.Reg);
+    return;
+  }
+  case Opcode::Trunc: {
+    int A = fetchValue(I.Ops[0], I.FromCls);
+    int D = destReg(I.Dst.Reg);
+    if (D != A)
+      ins(formatString("mov\tw%d, w%d", D, A));
+    else
+      ins(formatString("uxtw\tx%d, w%d", D, A)); // Normalize upper bits.
+    defined(I.Dst.Reg);
+    return;
+  }
+  case Opcode::SIToFP: {
+    int A = fetchValue(I.Ops[0], I.FromCls);
+    char FC = Cls == SC::F32 ? 's' : 'd';
+    std::string R = formatString("%c16", FC);
+    ins(formatString("scvtf\t%s, %s", R.c_str(),
+                     regName(A, I.FromCls).c_str()));
+    ins(formatString("str\t%s, [sp, %d]", R.c_str(),
+                     spillOffset(I.Dst.Reg)));
+    return;
+  }
+  case Opcode::FPToSI: {
+    std::string A = fetchFloat(I.Ops[0], I.FromCls, 0);
+    int D = destReg(I.Dst.Reg);
+    ins(formatString("fcvtzs\t%s, %s", regName(D, Cls).c_str(), A.c_str()));
+    defined(I.Dst.Reg);
+    return;
+  }
+  case Opcode::FPExt: {
+    std::string A = fetchFloat(I.Ops[0], SC::F32, 0);
+    ins("fcvt\td16, s16");
+    ins(formatString("str\td16, [sp, %d]", spillOffset(I.Dst.Reg)));
+    return;
+  }
+  case Opcode::FPTrunc: {
+    std::string A = fetchFloat(I.Ops[0], SC::F64, 0);
+    (void)A;
+    ins("fcvt\ts16, d16");
+    ins(formatString("str\ts16, [sp, %d]", spillOffset(I.Dst.Reg)));
+    return;
+  }
+  case Opcode::ICmp: {
+    int A = fetchValue(I.Ops[0], Cls);
+    if (I.Ops[1].isImmI() && I.Ops[1].Imm >= 0 && I.Ops[1].Imm < 4096) {
+      ins(formatString("cmp\t%s, %lld", regName(A, Cls).c_str(),
+                       static_cast<long long>(I.Ops[1].Imm)));
+    } else {
+      int B = fetchValue(I.Ops[1], Cls);
+      ins(formatString("cmp\t%s, %s", regName(A, Cls).c_str(),
+                       regName(B, Cls).c_str()));
+    }
+    if (Next && Next->Op == Opcode::CondBr && Next->Ops[0].isVReg() &&
+        Next->Ops[0].Reg == I.Dst.Reg) {
+      flushAllScratch();
+      ins(formatString("b.%s\t%s", ccFor(I.P),
+                       blockLabel(Next->Target0).c_str()));
+      ins(formatString("b\t%s", blockLabel(Next->Target1).c_str()));
+      *FusedNext = true;
+      return;
+    }
+    int D = destReg(I.Dst.Reg);
+    ins(formatString("cset\tw%d, %s", D, ccFor(I.P)));
+    defined(I.Dst.Reg);
+    return;
+  }
+  case Opcode::FCmp: {
+    std::string A = fetchFloat(I.Ops[0], Cls, 0);
+    std::string B = fetchFloat(I.Ops[1], Cls, 1);
+    ins(formatString("fcmp\t%s, %s", A.c_str(), B.c_str()));
+    if (Next && Next->Op == Opcode::CondBr && Next->Ops[0].isVReg() &&
+        Next->Ops[0].Reg == I.Dst.Reg) {
+      flushAllScratch();
+      ins(formatString("b.%s\t%s", ccFor(I.P),
+                       blockLabel(Next->Target0).c_str()));
+      ins(formatString("b\t%s", blockLabel(Next->Target1).c_str()));
+      *FusedNext = true;
+      return;
+    }
+    int D = destReg(I.Dst.Reg);
+    ins(formatString("cset\tw%d, %s", D, ccFor(I.P)));
+    defined(I.Dst.Reg);
+    return;
+  }
+  case Opcode::Br:
+    flushAllScratch();
+    ins(formatString("b\t%s", blockLabel(I.Target0).c_str()));
+    return;
+  case Opcode::CondBr: {
+    int C = fetchValue(I.Ops[0], SC::I32);
+    flushAllScratch();
+    ins(formatString("cmp\tw%d, 0", C));
+    ins(formatString("b.ne\t%s", blockLabel(I.Target0).c_str()));
+    ins(formatString("b\t%s", blockLabel(I.Target1).c_str()));
+    return;
+  }
+  case Opcode::Ret: {
+    if (!I.Ops.empty()) {
+      const Value &V = I.Ops[0];
+      if (scIsFloat(I.Cls)) {
+        std::string A = fetchFloat(V, I.Cls, 0);
+        char FC = I.Cls == SC::F32 ? 's' : 'd';
+        ins(formatString("fmov\t%c0, %s", FC, A.c_str()));
+      } else if (V.isVReg()) {
+        int A = fetchVReg(V.Reg);
+        if (A != 0)
+          ins(formatString("mov\tx0, x%d", A));
+      } else {
+        materializeImm(0, V.Imm, I.Cls);
+      }
+    }
+    for (int S = 0; S < NumScratch; ++S)
+      Scratch[S] = ScratchState();
+    emitEpilogue();
+    return;
+  }
+  case Opcode::Call:
+    emitCall(I);
+    return;
+  case Opcode::VBroadcast: {
+    int S = fetchValue(I.Ops[0], SC::I32);
+    int D = vecRegOf(I.Dst);
+    ins(formatString("dup\tv%d.4s, w%d", D, S));
+    return;
+  }
+  case Opcode::VLoad: {
+    int A = fetchVReg(I.Ops[0].Reg);
+    int D = vecRegOf(I.Dst);
+    ins(formatString("ldr\tq%d, [x%d]", D, A));
+    return;
+  }
+  case Opcode::VStore: {
+    int S = vecRegOf(I.Ops[0]);
+    int A = fetchVReg(I.Ops[1].Reg);
+    ins(formatString("str\tq%d, [x%d]", S, A));
+    return;
+  }
+  case Opcode::VAdd:
+  case Opcode::VSub:
+  case Opcode::VMul: {
+    int A = vecRegOf(I.Ops[0]);
+    int B = vecRegOf(I.Ops[1]);
+    int D = vecRegOf(I.Dst);
+    const char *Op = I.Op == Opcode::VAdd   ? "add"
+                     : I.Op == Opcode::VSub ? "sub"
+                                            : "mul";
+    ins(formatString("%s\tv%d.4s, v%d.4s, v%d.4s", Op, D, A, B));
+    return;
+  }
+  }
+  SLADE_UNREACHABLE("covered opcode switch");
+}
+
+void ArmEmitter::emitBlock(const BasicBlock &B) {
+  if (B.Instrs.empty())
+    return;
+  if (BranchTargets.count(B.Id))
+    label(blockLabel(B.Id));
+  for (int S = 0; S < NumScratch; ++S)
+    Scratch[S] = ScratchState();
+  VecTemp.clear();
+  NextVecTemp = 18;
+  for (size_t I = 0; I < B.Instrs.size(); ++I) {
+    const Instr *Next = I + 1 < B.Instrs.size() ? &B.Instrs[I + 1] : nullptr;
+    bool Fused = false;
+    emitInstr(B.Instrs[I], Next, &Fused);
+    if (!Error.empty())
+      return;
+    if (Fused)
+      ++I;
+  }
+}
+
+Expected<std::string> ArmEmitter::run() {
+  classifyVRegs();
+  if (!Error.empty())
+    return Expected<std::string>::error(Error);
+  layoutFrame();
+  emitPrologue();
+  if (!Error.empty())
+    return Expected<std::string>::error(Error);
+  for (const BasicBlock &B : F.Blocks) {
+    emitBlock(B);
+    if (!Error.empty())
+      return Expected<std::string>::error(Error);
+  }
+  Out += formatString("\t.size\t%s, .-%s\n", F.Name.c_str(),
+                      F.Name.c_str());
+  return Out;
+}
+
+Expected<std::string> slade::codegen::emitArm(const IRFunction &F,
+                                              const CodegenOptions &Options) {
+  ArmEmitter E(F, Options.Optimize);
+  return E.run();
+}

@@ -1,0 +1,37 @@
+//===- Backend.h - assembly backends ----------------------------*- C++ -*-===//
+///
+/// \file
+/// Text-assembly backends for the two evaluated ISAs (§VII: x86 and ARM).
+/// Both emit GCC-flavoured assembly that the asmx parsers and vm
+/// interpreters consume. The Optimize flag selects the O0 texture (every
+/// value round-trips through the frame) or the O3 texture (register
+/// residency, with variables in callee-saved registers).
+///
+//===----------------------------------------------------------------------===//
+#ifndef SLADE_CODEGEN_BACKEND_H
+#define SLADE_CODEGEN_BACKEND_H
+
+#include "ir/IR.h"
+#include "support/Error.h"
+
+#include <string>
+
+namespace slade {
+namespace codegen {
+
+struct CodegenOptions {
+  bool Optimize = false;
+};
+
+/// Emits AT&T-syntax x86-64 for \p F.
+Expected<std::string> emitX86(const ir::IRFunction &F,
+                              const CodegenOptions &Options);
+
+/// Emits AArch64 assembly for \p F.
+Expected<std::string> emitArm(const ir::IRFunction &F,
+                              const CodegenOptions &Options);
+
+} // namespace codegen
+} // namespace slade
+
+#endif // SLADE_CODEGEN_BACKEND_H

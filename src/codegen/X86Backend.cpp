@@ -1,0 +1,1190 @@
+//===- X86Backend.cpp - x86-64 AT&T assembly backend -----------------------===//
+
+#include "codegen/Backend.h"
+
+#include "support/StringUtils.h"
+#include "support/Unreachable.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+using namespace slade;
+using namespace slade::ir;
+using namespace slade::codegen;
+
+namespace {
+
+/// General-purpose registers addressable at four widths.
+struct GPR {
+  const char *Q;
+  const char *D;
+  const char *W;
+  const char *B;
+};
+
+const GPR RAX = {"rax", "eax", "ax", "al"};
+const GPR RCX = {"rcx", "ecx", "cx", "cl"};
+const GPR RDX = {"rdx", "edx", "dx", "dl"};
+const GPR RSI = {"rsi", "esi", "si", "sil"};
+const GPR RDI = {"rdi", "edi", "di", "dil"};
+const GPR R8 = {"r8", "r8d", "r8w", "r8b"};
+const GPR R9 = {"r9", "r9d", "r9w", "r9b"};
+const GPR R10 = {"r10", "r10d", "r10w", "r10b"};
+const GPR R11 = {"r11", "r11d", "r11w", "r11b"};
+const GPR RBX = {"rbx", "ebx", "bx", "bl"};
+const GPR R12 = {"r12", "r12d", "r12w", "r12b"};
+const GPR R13 = {"r13", "r13d", "r13w", "r13b"};
+const GPR R14 = {"r14", "r14d", "r14w", "r14b"};
+const GPR R15 = {"r15", "r15d", "r15w", "r15b"};
+
+/// Scratch ring used for temporaries. RDX stays out: it is the implicit
+/// second output of idiv.
+const GPR ScratchRing[] = {RAX, RCX, RSI, RDI, R8, R9, R10, R11};
+constexpr int NumScratch = 8;
+
+/// Callee-saved registers dedicated to promoted variables at O3.
+const GPR VarRegs[] = {RBX, R12, R13, R14, R15};
+constexpr int NumVarRegs = 5;
+
+std::string regName(const GPR &R, SC Cls) {
+  switch (scBytes(Cls)) {
+  case 1:
+    return std::string("%") + R.B;
+  case 2:
+    return std::string("%") + R.W;
+  case 4:
+    return std::string("%") + R.D;
+  default:
+    return std::string("%") + R.Q;
+  }
+}
+
+char suffixFor(SC Cls) {
+  switch (scBytes(Cls)) {
+  case 1:
+    return 'b';
+  case 2:
+    return 'w';
+  case 4:
+    return 'l';
+  default:
+    return 'q';
+  }
+}
+
+const char *ccFor(Pred P) {
+  switch (P) {
+  case Pred::EQ:
+    return "e";
+  case Pred::NE:
+    return "ne";
+  case Pred::SLT:
+    return "l";
+  case Pred::SLE:
+    return "le";
+  case Pred::SGT:
+    return "g";
+  case Pred::SGE:
+    return "ge";
+  case Pred::ULT:
+    return "b";
+  case Pred::ULE:
+    return "be";
+  case Pred::UGT:
+    return "a";
+  case Pred::UGE:
+    return "ae";
+  }
+  SLADE_UNREACHABLE("covered switch");
+}
+
+class X86Emitter {
+public:
+  X86Emitter(const IRFunction &F, bool Optimize) : F(F), Optimize(Optimize) {}
+
+  Expected<std::string> run();
+
+private:
+  const IRFunction &F;
+  bool Optimize;
+  std::string Out;
+  std::string Error;
+
+  // Frame layout: negative offsets from %rbp.
+  std::map<int, int> SlotOff;        ///< user slot id -> offset.
+  std::map<int, int> SpillOff;       ///< vreg -> offset (lazy).
+  std::map<int, int> VarRegOf;       ///< varlike vreg -> VarRegs index.
+  std::map<int, int> VecRegOf;       ///< cross-block V128 vreg -> xmm5..7.
+  int FrameSize = 0;
+  int NextSpill = 0;                 ///< grows downward from SpillBase.
+  int SpillBase = 0;
+  std::set<int> VarLike;             ///< multi-def vregs.
+  std::set<int> CrossBlock;          ///< single-def, used outside def block.
+  std::set<int> BranchTargets;
+
+  // Scratch register state.
+  struct ScratchState {
+    int VReg = -1;
+    bool Dirty = false;
+    bool Pinned = false; ///< Operand of the instruction being emitted.
+    uint64_t Stamp = 0;
+  };
+  ScratchState Scratch[NumScratch];
+  uint64_t Clock = 1;
+  // Block-local vector temporaries (xmm2..xmm4).
+  std::map<int, int> VecTemp;
+  int NextVecTemp = 2;
+
+  void fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = Msg;
+  }
+
+  void ins(const std::string &Text) { Out += "\t" + Text + "\n"; }
+  void label(const std::string &L) { Out += L + ":\n"; }
+  std::string blockLabel(int Id) const {
+    return formatString(".L%d", Id + 2);
+  }
+
+  int spillOffset(int VReg) {
+    auto It = SpillOff.find(VReg);
+    if (It != SpillOff.end())
+      return It->second;
+    NextSpill += 8;
+    int Off = -(SpillBase + NextSpill);
+    SpillOff[VReg] = Off;
+    return Off;
+  }
+
+  // -- scratch management ---------------------------------------------------
+  int findScratchOf(int VReg) {
+    for (int I = 0; I < NumScratch; ++I)
+      if (Scratch[I].VReg == VReg)
+        return I;
+    return -1;
+  }
+  void flushScratch(int I) {
+    if (Scratch[I].VReg >= 0 && Scratch[I].Dirty) {
+      int Off = spillOffset(Scratch[I].VReg);
+      ins(formatString("movq\t%s, %d(%%rbp)",
+                       regName(ScratchRing[I], SC::I64).c_str(), Off));
+    }
+    Scratch[I].VReg = -1;
+    Scratch[I].Dirty = false;
+    Scratch[I].Pinned = false;
+  }
+  void flushAllScratch() {
+    for (int I = 0; I < NumScratch; ++I)
+      flushScratch(I);
+  }
+  void unpinAll() {
+    for (int I = 0; I < NumScratch; ++I)
+      Scratch[I].Pinned = false;
+  }
+  /// Frees a specific physical register (for idiv/shift constraints).
+  void evictPhys(const GPR &R) {
+    for (int I = 0; I < NumScratch; ++I)
+      if (ScratchRing[I].Q == R.Q)
+        flushScratch(I);
+  }
+  /// Flushes \p R's current occupant and pins it as an anonymous fixed
+  /// operand (idiv dividend, shift count, immediate temporaries).
+  int claimPhys(const GPR &R) {
+    for (int I = 0; I < NumScratch; ++I)
+      if (ScratchRing[I].Q == R.Q) {
+        flushScratch(I);
+        Scratch[I].Pinned = true;
+        Scratch[I].Stamp = ++Clock;
+        return I;
+      }
+    return -1; // rdx is not in the ring; nothing to claim.
+  }
+  int allocScratch() {
+    for (int I = 0; I < NumScratch; ++I)
+      if (Scratch[I].VReg < 0 && !Scratch[I].Pinned)
+        return I;
+    // Evict the least recently touched unpinned register.
+    int Best = -1;
+    for (int I = 0; I < NumScratch; ++I)
+      if (!Scratch[I].Pinned &&
+          (Best < 0 || Scratch[I].Stamp < Scratch[Best].Stamp))
+        Best = I;
+    assert(Best >= 0 && "all scratch registers pinned");
+    flushScratch(Best);
+    return Best;
+  }
+  void bind(int I, int VReg, bool Dirty) {
+    Scratch[I].VReg = VReg;
+    Scratch[I].Dirty = Dirty;
+    Scratch[I].Pinned = true;
+    Scratch[I].Stamp = ++Clock;
+  }
+
+  /// Returns the GPR currently holding \p VReg, loading it if needed.
+  /// The register is pinned until the next instruction.
+  const GPR &fetchVReg(int VReg, SC Cls) {
+    auto VIt = VarRegOf.find(VReg);
+    if (VIt != VarRegOf.end())
+      return VarRegs[VIt->second];
+    int I = findScratchOf(VReg);
+    if (I >= 0) {
+      Scratch[I].Stamp = ++Clock;
+      Scratch[I].Pinned = true;
+      return ScratchRing[I];
+    }
+    I = allocScratch();
+    int Off = spillOffset(VReg);
+    (void)Cls;
+    ins(formatString("movq\t%d(%%rbp), %s", Off,
+                     regName(ScratchRing[I], SC::I64).c_str()));
+    bind(I, VReg, false);
+    return ScratchRing[I];
+  }
+
+  /// Returns a register that will hold the destination vreg; caller emits
+  /// the computation into it, then calls defined().
+  const GPR &destReg(int VReg) {
+    auto VIt = VarRegOf.find(VReg);
+    if (VIt != VarRegOf.end())
+      return VarRegs[VIt->second];
+    int I = findScratchOf(VReg);
+    if (I < 0) {
+      I = allocScratch();
+      bind(I, VReg, true);
+    } else {
+      Scratch[I].Dirty = true;
+      Scratch[I].Pinned = true;
+      Scratch[I].Stamp = ++Clock;
+    }
+    return ScratchRing[I];
+  }
+  /// Marks \p VReg defined (in its destReg); handles O0 + cross-block
+  /// flushing policy.
+  void defined(int VReg) {
+    if (VarRegOf.count(VReg))
+      return;
+    int I = findScratchOf(VReg);
+    assert(I >= 0 && "defined() without destReg()");
+    Scratch[I].Dirty = true;
+    // User variables live in frame slots at O0 (IRGen places them there);
+    // expression temporaries stay register-resident within a block in
+    // both modes, like GCC. Only cross-block and multiply-defined vregs
+    // must be flushed eagerly.
+    if (CrossBlock.count(VReg) || VarLike.count(VReg))
+      flushScratch(I);
+  }
+
+  /// Loads operand \p V into a register (imm gets materialized).
+  const GPR &fetchValue(const Value &V, SC Cls) {
+    if (V.isVReg())
+      return fetchVReg(V.Reg, Cls);
+    assert((V.K == Value::ImmI) && "fetchValue on non-scalar");
+    int I = allocScratch();
+    const GPR &R = ScratchRing[I];
+    emitMovImm(R, V.Imm, Cls);
+    bind(I, -1, false); // Anonymous pinned temporary.
+    return R;
+  }
+
+  void emitMovImm(const GPR &R, int64_t Imm, SC Cls) {
+    if (scBytes(Cls) == 8 &&
+        (Imm > 0x7fffffffLL || Imm < -0x80000000LL)) {
+      ins(formatString("movabsq\t$%lld, %s", static_cast<long long>(Imm),
+                       regName(R, SC::I64).c_str()));
+      return;
+    }
+    SC C = scBytes(Cls) == 8 ? SC::I64 : SC::I32;
+    ins(formatString("mov%c\t$%lld, %s", suffixFor(C),
+                     static_cast<long long>(Imm), regName(R, C).c_str()));
+  }
+
+  /// Renders an address operand (frame slot, symbol, or pointer vreg).
+  std::string addr(const Value &V) {
+    switch (V.K) {
+    case Value::Frame: {
+      auto It = SlotOff.find(V.Slot);
+      assert(It != SlotOff.end() && "unassigned slot");
+      return formatString("%d(%%rbp)", It->second);
+    }
+    case Value::Sym:
+      return V.Name + "(%rip)";
+    case Value::VReg: {
+      const GPR &R = fetchVReg(V.Reg, SC::I64);
+      return formatString("(%s)", regName(R, SC::I64).c_str());
+    }
+    default:
+      fail("bad address operand");
+      return "0(%rbp)";
+    }
+  }
+
+  std::string imm(int64_t X) {
+    return formatString("$%lld", static_cast<long long>(X));
+  }
+
+  // -- float/vector helpers -------------------------------------------------
+  /// Loads a float operand into xmm0 or xmm1 and returns its name.
+  std::string fetchFloat(const Value &V, SC Cls, int Which);
+  int vecRegOf(const Value &V); ///< xmm index for a V128 vreg.
+
+  void classifyVRegs();
+  void layoutFrame();
+  void emitPrologue();
+  void emitEpilogue();
+  void emitBlock(const BasicBlock &B);
+  void emitInstr(const Instr &I, const Instr *Next, bool *FusedNext);
+  void emitCall(const Instr &I);
+  void emitDiv(const Instr &I);
+  void emitShift(const Instr &I);
+  void emitFloatOp(const Instr &I);
+  void emitVectorOp(const Instr &I);
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Analysis and layout
+//===----------------------------------------------------------------------===//
+
+void X86Emitter::classifyVRegs() {
+  std::map<int, int> DefCount;
+  std::map<int, int> DefBlock;
+  std::map<int, std::set<int>> UseBlocks;
+  for (const ParamInfo &P : F.Params)
+    if (P.HomeVReg >= 0) {
+      ++DefCount[P.HomeVReg];
+      DefBlock.emplace(P.HomeVReg, 0);
+    }
+  for (const BasicBlock &B : F.Blocks)
+    for (const Instr &I : B.Instrs) {
+      if (I.Dst.isVReg()) {
+        ++DefCount[I.Dst.Reg];
+        DefBlock.emplace(I.Dst.Reg, B.Id);
+      }
+      for (const Value &V : I.Ops)
+        if (V.isVReg())
+          UseBlocks[V.Reg].insert(B.Id);
+    }
+  for (const auto &[VReg, Count] : DefCount)
+    if (Count > 1)
+      VarLike.insert(VReg);
+  for (const auto &[VReg, Blocks] : UseBlocks) {
+    auto DIt = DefBlock.find(VReg);
+    int DB = DIt == DefBlock.end() ? -1 : DIt->second;
+    for (int UB : Blocks)
+      if (UB != DB) {
+        CrossBlock.insert(VReg);
+        break;
+      }
+  }
+  // At O3 dedicate callee-saved registers to the hottest var-like vregs
+  // (and promoted params). Vector cross-block values get xmm5..xmm7.
+  if (Optimize) {
+    int Next = 0;
+    for (const ParamInfo &P : F.Params)
+      if (P.HomeVReg >= 0 && Next < NumVarRegs && P.Cls != SC::V128)
+        VarRegOf[P.HomeVReg] = Next++;
+    for (const BasicBlock &B : F.Blocks)
+      for (const Instr &I : B.Instrs)
+        if (I.Dst.isVReg() && VarLike.count(I.Dst.Reg) &&
+            !VarRegOf.count(I.Dst.Reg) && I.Cls != SC::V128 &&
+            !scIsFloat(I.Cls) && Next < NumVarRegs)
+          VarRegOf[I.Dst.Reg] = Next++;
+  }
+  int NextVec = 5;
+  for (const BasicBlock &B : F.Blocks)
+    for (const Instr &I : B.Instrs)
+      if (I.Dst.isVReg() && I.Dst.Cls == SC::V128 &&
+          CrossBlock.count(I.Dst.Reg)) {
+        if (NextVec > 7) {
+          fail("out of vector registers");
+          return;
+        }
+        if (!VecRegOf.count(I.Dst.Reg))
+          VecRegOf[I.Dst.Reg] = NextVec++;
+      }
+  for (const BasicBlock &B : F.Blocks) {
+    for (const Instr &I : B.Instrs) {
+      if (I.Target0 >= 0)
+        BranchTargets.insert(I.Target0);
+      if (I.Target1 >= 0)
+        BranchTargets.insert(I.Target1);
+    }
+  }
+}
+
+void X86Emitter::layoutFrame() {
+  int Off = 0;
+  for (size_t S = 0; S < F.Slots.size(); ++S) {
+    const FrameSlot &Slot = F.Slots[S];
+    unsigned Align = std::max(1u, Slot.Align);
+    Off += Slot.Size;
+    Off = (Off + Align - 1) / Align * Align;
+    SlotOff[static_cast<int>(S)] = -Off;
+  }
+  SpillBase = (Off + 7) / 8 * 8;
+  // Reserve a spill slot for every vreg (simple and safe); unused ones
+  // only cost stack bytes.
+  int NumSpills = F.NextVReg + 1;
+  FrameSize = SpillBase + NumSpills * 8 + 8 * NumVarRegs;
+  FrameSize = (FrameSize + 15) / 16 * 16;
+}
+
+void X86Emitter::emitPrologue() {
+  Out += formatString("\t.globl\t%s\n", F.Name.c_str());
+  Out += formatString("\t.type\t%s, @function\n", F.Name.c_str());
+  Out += F.Name + ":\n";
+  ins("pushq\t%rbp");
+  ins("movq\t%rsp, %rbp");
+  if (FrameSize > 0)
+    ins(formatString("subq\t$%d, %%rsp", FrameSize));
+  // Save callee-saved registers we will use into dedicated frame homes.
+  std::set<int> UsedVarRegs;
+  for (const auto &[VReg, Idx] : VarRegOf)
+    UsedVarRegs.insert(Idx);
+  for (int Idx : UsedVarRegs)
+    ins(formatString("movq\t%%%s, %d(%%rbp)", VarRegs[Idx].Q,
+                     -(FrameSize - 8 * Idx)));
+
+  // Home the parameters.
+  static const GPR ArgRegs[] = {RDI, RSI, RDX, RCX, R8, R9};
+  int IntIdx = 0, FloatIdx = 0;
+  for (const ParamInfo &P : F.Params) {
+    if (scIsFloat(P.Cls)) {
+      const char *Mov = P.Cls == SC::F32 ? "movss" : "movsd";
+      if (P.HomeSlot >= 0)
+        ins(formatString("%s\t%%xmm%d, %d(%%rbp)", Mov, FloatIdx,
+                         SlotOff[P.HomeSlot]));
+      ++FloatIdx;
+      continue;
+    }
+    if (IntIdx >= 6) {
+      fail("more than six integer parameters are not supported");
+      return;
+    }
+    const GPR &Src = ArgRegs[IntIdx++];
+    if (P.HomeSlot >= 0) {
+      ins(formatString("mov%c\t%s, %d(%%rbp)", suffixFor(P.Cls),
+                       regName(Src, P.Cls).c_str(), SlotOff[P.HomeSlot]));
+    } else if (P.HomeVReg >= 0) {
+      auto VIt = VarRegOf.find(P.HomeVReg);
+      if (VIt != VarRegOf.end()) {
+        ins(formatString("movq\t%s, %s", regName(Src, SC::I64).c_str(),
+                         regName(VarRegs[VIt->second], SC::I64).c_str()));
+      } else {
+        ins(formatString("movq\t%s, %d(%%rbp)",
+                         regName(Src, SC::I64).c_str(),
+                         spillOffset(P.HomeVReg)));
+      }
+    }
+  }
+}
+
+void X86Emitter::emitEpilogue() {
+  std::set<int> UsedVarRegs;
+  for (const auto &[VReg, Idx] : VarRegOf)
+    UsedVarRegs.insert(Idx);
+  for (int Idx : UsedVarRegs)
+    ins(formatString("movq\t%d(%%rbp), %%%s", -(FrameSize - 8 * Idx),
+                     VarRegs[Idx].Q));
+  ins("leave");
+  ins("ret");
+}
+
+//===----------------------------------------------------------------------===//
+// Floating point and vectors
+//===----------------------------------------------------------------------===//
+
+std::string X86Emitter::fetchFloat(const Value &V, SC Cls, int Which) {
+  std::string X = formatString("%%xmm%d", Which);
+  const char *Mov = Cls == SC::F32 ? "movss" : "movsd";
+  if (V.isVReg()) {
+    int Off = spillOffset(V.Reg);
+    ins(formatString("%s\t%d(%%rbp), %s", Mov, Off, X.c_str()));
+    return X;
+  }
+  assert(V.K == Value::ImmF && "bad float operand");
+  // Materialize through an integer register (bit pattern), the
+  // rodata-free idiom.
+  if (Cls == SC::F32) {
+    float FV = static_cast<float>(V.FImm);
+    uint32_t Bits;
+    __builtin_memcpy(&Bits, &FV, 4);
+    evictPhys(RAX);
+    ins(formatString("movl\t$%u, %%eax", Bits));
+    ins(formatString("movd\t%%eax, %s", X.c_str()));
+  } else {
+    uint64_t Bits;
+    double DV = V.FImm;
+    __builtin_memcpy(&Bits, &DV, 8);
+    evictPhys(RAX);
+    ins(formatString("movabsq\t$%llu, %%rax",
+                     static_cast<unsigned long long>(Bits)));
+    ins(formatString("movq\t%%rax, %s", X.c_str()));
+  }
+  return X;
+}
+
+int X86Emitter::vecRegOf(const Value &V) {
+  assert(V.isVReg() && "vector operand must be a vreg");
+  auto It = VecRegOf.find(V.Reg);
+  if (It != VecRegOf.end())
+    return It->second;
+  auto TIt = VecTemp.find(V.Reg);
+  if (TIt != VecTemp.end())
+    return TIt->second;
+  if (NextVecTemp > 4) {
+    fail("out of vector temporaries");
+    return 2;
+  }
+  VecTemp[V.Reg] = NextVecTemp;
+  return NextVecTemp++;
+}
+
+void X86Emitter::emitVectorOp(const Instr &I) {
+  switch (I.Op) {
+  case Opcode::VBroadcast: {
+    const GPR &S = fetchValue(I.Ops[0], SC::I32);
+    int D = vecRegOf(I.Dst);
+    ins(formatString("movd\t%s, %%xmm%d", regName(S, SC::I32).c_str(), D));
+    ins(formatString("pshufd\t$0, %%xmm%d, %%xmm%d", D, D));
+    return;
+  }
+  case Opcode::VLoad: {
+    std::string A = addr(I.Ops[0]);
+    int D = vecRegOf(I.Dst);
+    ins(formatString("movdqu\t%s, %%xmm%d", A.c_str(), D));
+    return;
+  }
+  case Opcode::VStore: {
+    int S = vecRegOf(I.Ops[0]);
+    std::string A = addr(I.Ops[1]);
+    ins(formatString("movups\t%%xmm%d, %s", S, A.c_str()));
+    return;
+  }
+  case Opcode::VAdd:
+  case Opcode::VSub:
+  case Opcode::VMul: {
+    int A = vecRegOf(I.Ops[0]);
+    int B = vecRegOf(I.Ops[1]);
+    int D = vecRegOf(I.Dst);
+    const char *Op = I.Op == Opcode::VAdd   ? "paddd"
+                     : I.Op == Opcode::VSub ? "psubd"
+                                            : "pmulld";
+    if (D != A)
+      ins(formatString("movdqa\t%%xmm%d, %%xmm%d", A, D));
+    ins(formatString("%s\t%%xmm%d, %%xmm%d", Op, B, D));
+    return;
+  }
+  default:
+    SLADE_UNREACHABLE("not a vector op");
+  }
+}
+
+void X86Emitter::emitFloatOp(const Instr &I) {
+  SC Cls = I.Cls;
+  const char *Suf = Cls == SC::F32 ? "ss" : "sd";
+  switch (I.Op) {
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FDiv: {
+    std::string A = fetchFloat(I.Ops[0], Cls, 0);
+    std::string B = fetchFloat(I.Ops[1], Cls, 1);
+    const char *Op = I.Op == Opcode::FAdd   ? "add"
+                     : I.Op == Opcode::FSub ? "sub"
+                     : I.Op == Opcode::FMul ? "mul"
+                                            : "div";
+    ins(formatString("%s%s\t%s, %s", Op, Suf, B.c_str(), A.c_str()));
+    ins(formatString("mov%s\t%s, %d(%%rbp)", Suf, A.c_str(),
+                     spillOffset(I.Dst.Reg)));
+    return;
+  }
+  case Opcode::FNeg: {
+    // 0 - x (sign-flip via subtraction keeps the instruction set small).
+    std::string B = fetchFloat(I.Ops[0], Cls, 1);
+    evictPhys(RAX);
+    ins("xorl\t%eax, %eax");
+    if (Cls == SC::F32)
+      ins("movd\t%eax, %xmm0");
+    else
+      ins("movq\t%rax, %xmm0");
+    ins(formatString("sub%s\t%s, %%xmm0", Suf, B.c_str()));
+    ins(formatString("mov%s\t%%xmm0, %d(%%rbp)", Suf,
+                     spillOffset(I.Dst.Reg)));
+    return;
+  }
+  case Opcode::Mov: { // Float-class move.
+    std::string A = fetchFloat(I.Ops[0], Cls, 0);
+    ins(formatString("mov%s\t%s, %d(%%rbp)", Suf, A.c_str(),
+                     spillOffset(I.Dst.Reg)));
+    return;
+  }
+  case Opcode::SIToFP: {
+    const GPR &S = fetchValue(I.Ops[0], I.FromCls);
+    const char *Conv = Cls == SC::F32 ? "cvtsi2ss" : "cvtsi2sd";
+    char WidthSuf = I.FromCls == SC::I64 ? 'q' : 'l';
+    ins(formatString("%s%c\t%s, %%xmm0", Conv, WidthSuf,
+                     regName(S, I.FromCls).c_str()));
+    ins(formatString("mov%s\t%%xmm0, %d(%%rbp)", Suf,
+                     spillOffset(I.Dst.Reg)));
+    return;
+  }
+  case Opcode::FPExt: {
+    std::string A = fetchFloat(I.Ops[0], SC::F32, 0);
+    ins(formatString("cvtss2sd\t%s, %s", A.c_str(), A.c_str()));
+    ins(formatString("movsd\t%s, %d(%%rbp)", A.c_str(),
+                     spillOffset(I.Dst.Reg)));
+    return;
+  }
+  case Opcode::FPTrunc: {
+    std::string A = fetchFloat(I.Ops[0], SC::F64, 0);
+    ins(formatString("cvtsd2ss\t%s, %s", A.c_str(), A.c_str()));
+    ins(formatString("movss\t%s, %d(%%rbp)", A.c_str(),
+                     spillOffset(I.Dst.Reg)));
+    return;
+  }
+  default:
+    SLADE_UNREACHABLE("not a float op");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Integer instructions
+//===----------------------------------------------------------------------===//
+
+void X86Emitter::emitDiv(const Instr &I) {
+  SC Cls = I.Cls;
+  char Suf = suffixFor(Cls);
+  bool IsRem = I.Op == Opcode::SRem || I.Op == Opcode::URem;
+  bool IsSigned = I.Op == Opcode::SDiv || I.Op == Opcode::SRem;
+  // Move the divisor to rcx first, then the dividend to rax; both stay
+  // pinned so neither fetch can evict the other.
+  if (I.Ops[1].isVReg()) {
+    const GPR &B = fetchVReg(I.Ops[1].Reg, Cls);
+    if (std::string(B.Q) != "rcx") {
+      claimPhys(RCX);
+      ins(formatString("mov%c\t%s, %s", Suf, regName(B, Cls).c_str(),
+                       regName(RCX, Cls).c_str()));
+    }
+  } else {
+    claimPhys(RCX);
+    emitMovImm(RCX, I.Ops[1].Imm, Cls);
+  }
+  if (I.Ops[0].isVReg()) {
+    const GPR &A = fetchVReg(I.Ops[0].Reg, Cls);
+    if (std::string(A.Q) != "rax") {
+      claimPhys(RAX);
+      ins(formatString("mov%c\t%s, %s", Suf, regName(A, Cls).c_str(),
+                       regName(RAX, Cls).c_str()));
+    }
+  } else {
+    claimPhys(RAX);
+    emitMovImm(RAX, I.Ops[0].Imm, Cls);
+  }
+  if (IsSigned) {
+    ins(Cls == SC::I64 ? "cqto" : "cltd");
+    ins(formatString("idiv%c\t%s", Suf, regName(RCX, Cls).c_str()));
+  } else {
+    ins("xorl\t%edx, %edx");
+    ins(formatString("div%c\t%s", Suf, regName(RCX, Cls).c_str()));
+  }
+  // Invalidate any stale bindings of rax/rcx created by fetches above.
+  evictPhys(RAX);
+  evictPhys(RCX);
+  const GPR &D = destReg(I.Dst.Reg);
+  const GPR &Src = IsRem ? RDX : RAX;
+  if (std::string(D.Q) != Src.Q)
+    ins(formatString("mov%c\t%s, %s", Suf, regName(Src, Cls).c_str(),
+                     regName(D, Cls).c_str()));
+  defined(I.Dst.Reg);
+}
+
+void X86Emitter::emitShift(const Instr &I) {
+  SC Cls = I.Cls;
+  char Suf = suffixFor(Cls);
+  const char *Op = I.Op == Opcode::Shl    ? "sal"
+                   : I.Op == Opcode::AShr ? "sar"
+                                          : "shr";
+  if (I.Ops[1].isImmI()) {
+    const GPR &A = fetchValue(I.Ops[0], Cls);
+    const GPR &D = destReg(I.Dst.Reg);
+    if (std::string(D.Q) != A.Q)
+      ins(formatString("mov%c\t%s, %s", Suf, regName(A, Cls).c_str(),
+                       regName(D, Cls).c_str()));
+    ins(formatString("%s%c\t$%lld, %s", Op, Suf,
+                     static_cast<long long>(I.Ops[1].Imm),
+                     regName(D, Cls).c_str()));
+    defined(I.Dst.Reg);
+    return;
+  }
+  const GPR &B = fetchVReg(I.Ops[1].Reg, Cls);
+  if (std::string(B.Q) != "rcx") {
+    claimPhys(RCX);
+    ins(formatString("mov%c\t%s, %s", Suf, regName(B, Cls).c_str(),
+                     regName(RCX, Cls).c_str()));
+  }
+  const GPR &A = fetchValue(I.Ops[0], Cls);
+  const GPR &D = destReg(I.Dst.Reg);
+  if (std::string(D.Q) == "rcx") {
+    // Destination aliases the count register: shift in a temporary.
+    int T = allocScratch();
+    const GPR &TR = ScratchRing[T];
+    bind(T, -1, false);
+    ins(formatString("mov%c\t%s, %s", Suf, regName(A, Cls).c_str(),
+                     regName(TR, Cls).c_str()));
+    ins(formatString("%s%c\t%%cl, %s", Op, Suf, regName(TR, Cls).c_str()));
+    ins(formatString("mov%c\t%s, %s", Suf, regName(TR, Cls).c_str(),
+                     regName(D, Cls).c_str()));
+  } else {
+    if (std::string(D.Q) != A.Q)
+      ins(formatString("mov%c\t%s, %s", Suf, regName(A, Cls).c_str(),
+                       regName(D, Cls).c_str()));
+    ins(formatString("%s%c\t%%cl, %s", Op, Suf, regName(D, Cls).c_str()));
+  }
+  defined(I.Dst.Reg);
+}
+
+void X86Emitter::emitCall(const Instr &I) {
+  flushAllScratch();
+  static const GPR ArgRegs[] = {RDI, RSI, RDX, RCX, R8, R9};
+  int IntIdx = 0, FloatIdx = 0;
+  for (const Value &A : I.Ops) {
+    if (scIsFloat(A.Cls)) {
+      const char *Mov = A.Cls == SC::F32 ? "movss" : "movsd";
+      if (A.isVReg())
+        ins(formatString("%s\t%d(%%rbp), %%xmm%d", Mov, spillOffset(A.Reg),
+                         FloatIdx));
+      else
+        fetchFloat(A, A.Cls, FloatIdx); // Materializes into %xmmN.
+      ++FloatIdx;
+      continue;
+    }
+    if (IntIdx >= 6) {
+      fail("more than six integer call arguments are not supported");
+      return;
+    }
+    const GPR &Dst = ArgRegs[IntIdx++];
+    if (A.isVReg()) {
+      auto VIt = VarRegOf.find(A.Reg);
+      if (VIt != VarRegOf.end())
+        ins(formatString("movq\t%s, %s",
+                         regName(VarRegs[VIt->second], SC::I64).c_str(),
+                         regName(Dst, SC::I64).c_str()));
+      else
+        ins(formatString("movq\t%d(%%rbp), %s", spillOffset(A.Reg),
+                         regName(Dst, SC::I64).c_str()));
+    } else {
+      emitMovImm(Dst, A.Imm, A.Cls);
+    }
+  }
+  ins(formatString("call\t%s", I.Callee.c_str()));
+  flushAllScratch(); // Caller-saved state is dead.
+  if (I.Dst.isVReg()) {
+    if (scIsFloat(I.Cls)) {
+      const char *Mov = I.Cls == SC::F32 ? "movss" : "movsd";
+      ins(formatString("%s\t%%xmm0, %d(%%rbp)", Mov,
+                       spillOffset(I.Dst.Reg)));
+    } else {
+      const GPR &D = destReg(I.Dst.Reg);
+      if (std::string(D.Q) != "rax")
+        ins(formatString("movq\t%%rax, %s", regName(D, SC::I64).c_str()));
+      else
+        bind(0, I.Dst.Reg, true); // rax is scratch slot 0.
+      defined(I.Dst.Reg);
+    }
+  }
+}
+
+void X86Emitter::emitInstr(const Instr &I, const Instr *Next,
+                           bool *FusedNext) {
+  *FusedNext = false;
+  unpinAll();
+  switch (I.Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor: {
+    if (scIsFloat(I.Cls))
+      SLADE_UNREACHABLE("float class on integer opcode");
+    SC Cls = I.Cls;
+    char Suf = suffixFor(Cls);
+    const char *Op = I.Op == Opcode::Add   ? "add"
+                     : I.Op == Opcode::Sub ? "sub"
+                     : I.Op == Opcode::Mul ? "imul"
+                     : I.Op == Opcode::And ? "and"
+                     : I.Op == Opcode::Or  ? "or"
+                                           : "xor";
+    const GPR &A = fetchValue(I.Ops[0], Cls);
+    bool SmallImm = I.Ops[1].isImmI() && I.Ops[1].Imm <= 0x7fffffffLL &&
+                    I.Ops[1].Imm >= -0x80000000LL;
+    std::string BStr;
+    const GPR *B = nullptr;
+    if (SmallImm) {
+      BStr = imm(I.Ops[1].Imm);
+    } else {
+      B = &fetchValue(I.Ops[1], Cls);
+      BStr = regName(*B, Cls);
+    }
+    const GPR &D = destReg(I.Dst.Reg);
+    if (B && std::string(D.Q) == B->Q && std::string(D.Q) != A.Q) {
+      // D aliases the second operand (x = y op x with x register-
+      // resident): compute via an anonymous temporary.
+      int T = allocScratch();
+      const GPR &TR = ScratchRing[T];
+      bind(T, -1, false);
+      ins(formatString("mov%c\t%s, %s", Suf, regName(A, Cls).c_str(),
+                       regName(TR, Cls).c_str()));
+      ins(formatString("%s%c\t%s, %s", Op, Suf, BStr.c_str(),
+                       regName(TR, Cls).c_str()));
+      ins(formatString("mov%c\t%s, %s", Suf, regName(TR, Cls).c_str(),
+                       regName(D, Cls).c_str()));
+    } else {
+      if (std::string(D.Q) != A.Q)
+        ins(formatString("mov%c\t%s, %s", Suf, regName(A, Cls).c_str(),
+                         regName(D, Cls).c_str()));
+      ins(formatString("%s%c\t%s, %s", Op, Suf, BStr.c_str(),
+                       regName(D, Cls).c_str()));
+    }
+    defined(I.Dst.Reg);
+    return;
+  }
+  case Opcode::SDiv:
+  case Opcode::UDiv:
+  case Opcode::SRem:
+  case Opcode::URem:
+    emitDiv(I);
+    return;
+  case Opcode::Shl:
+  case Opcode::AShr:
+  case Opcode::LShr:
+    emitShift(I);
+    return;
+  case Opcode::Neg:
+  case Opcode::Not: {
+    if (I.Op == Opcode::Neg && scIsFloat(I.Cls)) {
+      emitFloatOp(I);
+      return;
+    }
+    SC Cls = I.Cls;
+    char Suf = suffixFor(Cls);
+    const GPR &A = fetchValue(I.Ops[0], Cls);
+    const GPR &D = destReg(I.Dst.Reg);
+    if (std::string(D.Q) != A.Q)
+      ins(formatString("mov%c\t%s, %s", Suf, regName(A, Cls).c_str(),
+                       regName(D, Cls).c_str()));
+    ins(formatString("%s%c\t%s", I.Op == Opcode::Neg ? "neg" : "not", Suf,
+                     regName(D, Cls).c_str()));
+    defined(I.Dst.Reg);
+    return;
+  }
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FDiv:
+  case Opcode::FNeg:
+  case Opcode::SIToFP:
+  case Opcode::FPExt:
+  case Opcode::FPTrunc:
+    emitFloatOp(I);
+    return;
+  case Opcode::FPToSI: {
+    std::string X = fetchFloat(I.Ops[0], I.FromCls, 0);
+    const GPR &D = destReg(I.Dst.Reg);
+    const char *Conv = I.FromCls == SC::F32 ? "cvttss2si" : "cvttsd2si";
+    char WidthSuf = I.Cls == SC::I64 ? 'q' : 'l';
+    ins(formatString("%s%c\t%s, %s", Conv, WidthSuf, X.c_str(),
+                     regName(D, I.Cls).c_str()));
+    defined(I.Dst.Reg);
+    return;
+  }
+  case Opcode::Mov: {
+    if (scIsFloat(I.Cls)) {
+      emitFloatOp(I);
+      return;
+    }
+    SC Cls = I.Cls;
+    if (I.Ops[0].isImmI()) {
+      const GPR &D = destReg(I.Dst.Reg);
+      emitMovImm(D, I.Ops[0].Imm, Cls);
+      defined(I.Dst.Reg);
+      return;
+    }
+    const GPR &A = fetchValue(I.Ops[0], Cls);
+    const GPR &D = destReg(I.Dst.Reg);
+    if (std::string(D.Q) != A.Q)
+      ins(formatString("mov%c\t%s, %s", suffixFor(Cls),
+                       regName(A, Cls).c_str(), regName(D, Cls).c_str()));
+    defined(I.Dst.Reg);
+    return;
+  }
+  case Opcode::Load: {
+    if (I.Dst.Cls == SC::V128) {
+      emitVectorOp(I);
+      return;
+    }
+    std::string A = addr(I.Ops[0]);
+    if (scIsFloat(I.FromCls)) {
+      const char *Mov = I.FromCls == SC::F32 ? "movss" : "movsd";
+      ins(formatString("%s\t%s, %%xmm0", Mov, A.c_str()));
+      ins(formatString("%s\t%%xmm0, %d(%%rbp)", Mov,
+                       spillOffset(I.Dst.Reg)));
+      return;
+    }
+    const GPR &D = destReg(I.Dst.Reg);
+    const char *Mov;
+    switch (I.FromCls) {
+    case SC::I8:
+      Mov = I.SignExtend ? "movsbl" : "movzbl";
+      break;
+    case SC::I16:
+      Mov = I.SignExtend ? "movswl" : "movzwl";
+      break;
+    case SC::I32:
+      Mov = "movl";
+      break;
+    default:
+      Mov = "movq";
+      break;
+    }
+    SC DstCls = I.FromCls == SC::I64 ? SC::I64 : SC::I32;
+    ins(formatString("%s\t%s, %s", Mov, A.c_str(),
+                     regName(D, DstCls).c_str()));
+    defined(I.Dst.Reg);
+    return;
+  }
+  case Opcode::Store: {
+    if (I.Ops[0].Cls == SC::V128) {
+      emitVectorOp(I);
+      return;
+    }
+    if (scIsFloat(I.FromCls)) {
+      std::string X = fetchFloat(I.Ops[0], I.FromCls, 0);
+      std::string A = addr(I.Ops[1]);
+      const char *Mov = I.FromCls == SC::F32 ? "movss" : "movsd";
+      ins(formatString("%s\t%s, %s", Mov, X.c_str(), A.c_str()));
+      return;
+    }
+    char Suf = suffixFor(I.FromCls);
+    if (I.Ops[0].isImmI() && I.Ops[0].Imm <= 0x7fffffffLL &&
+        I.Ops[0].Imm >= -0x80000000LL) {
+      std::string A = addr(I.Ops[1]);
+      ins(formatString("mov%c\t$%lld, %s", Suf,
+                       static_cast<long long>(I.Ops[0].Imm), A.c_str()));
+      return;
+    }
+    const GPR &S = fetchValue(I.Ops[0], I.FromCls);
+    std::string A = addr(I.Ops[1]);
+    ins(formatString("mov%c\t%s, %s", Suf, regName(S, I.FromCls).c_str(),
+                     A.c_str()));
+    return;
+  }
+  case Opcode::AddrOf: {
+    const GPR &D = destReg(I.Dst.Reg);
+    const Value &Src = I.Ops[0];
+    if (Src.K == Value::Frame)
+      ins(formatString("leaq\t%d(%%rbp), %s", SlotOff[Src.Slot],
+                       regName(D, SC::I64).c_str()));
+    else
+      ins(formatString("leaq\t%s(%%rip), %s", Src.Name.c_str(),
+                       regName(D, SC::I64).c_str()));
+    defined(I.Dst.Reg);
+    return;
+  }
+  case Opcode::SExt: {
+    const GPR &A = fetchValue(I.Ops[0], I.FromCls);
+    const GPR &D = destReg(I.Dst.Reg);
+    assert(I.FromCls == SC::I32 && I.Cls == SC::I64 && "unexpected sext");
+    ins(formatString("movslq\t%s, %s", regName(A, SC::I32).c_str(),
+                     regName(D, SC::I64).c_str()));
+    defined(I.Dst.Reg);
+    return;
+  }
+  case Opcode::ZExt: {
+    const GPR &A = fetchValue(I.Ops[0], I.FromCls);
+    const GPR &D = destReg(I.Dst.Reg);
+    // 32-bit moves implicitly zero-extend.
+    ins(formatString("movl\t%s, %s", regName(A, SC::I32).c_str(),
+                     regName(D, SC::I32).c_str()));
+    defined(I.Dst.Reg);
+    return;
+  }
+  case Opcode::Trunc: {
+    const GPR &A = fetchValue(I.Ops[0], I.FromCls);
+    const GPR &D = destReg(I.Dst.Reg);
+    ins(formatString("movl\t%s, %s", regName(A, SC::I32).c_str(),
+                     regName(D, SC::I32).c_str()));
+    defined(I.Dst.Reg);
+    return;
+  }
+  case Opcode::ICmp: {
+    SC Cls = I.Cls;
+    char Suf = suffixFor(Cls);
+    const GPR &A = fetchValue(I.Ops[0], Cls);
+    std::string BStr;
+    if (I.Ops[1].isImmI() && I.Ops[1].Imm <= 0x7fffffffLL &&
+        I.Ops[1].Imm >= -0x80000000LL) {
+      BStr = imm(I.Ops[1].Imm);
+    } else {
+      const GPR &B = fetchValue(I.Ops[1], Cls);
+      BStr = regName(B, Cls);
+    }
+    ins(formatString("cmp%c\t%s, %s", Suf, BStr.c_str(),
+                     regName(A, Cls).c_str()));
+    // Fuse with an immediately following CondBr on this flag.
+    if (Next && Next->Op == Opcode::CondBr && Next->Ops[0].isVReg() &&
+        Next->Ops[0].Reg == I.Dst.Reg) {
+      flushAllScratch();
+      ins(formatString("j%s\t%s", ccFor(I.P),
+                       blockLabel(Next->Target0).c_str()));
+      ins(formatString("jmp\t%s", blockLabel(Next->Target1).c_str()));
+      *FusedNext = true;
+      return;
+    }
+    const GPR &D = destReg(I.Dst.Reg);
+    ins(formatString("set%s\t%s", ccFor(I.P), regName(D, SC::I8).c_str()));
+    ins(formatString("movzbl\t%s, %s", regName(D, SC::I8).c_str(),
+                     regName(D, SC::I32).c_str()));
+    defined(I.Dst.Reg);
+    return;
+  }
+  case Opcode::FCmp: {
+    std::string A = fetchFloat(I.Ops[0], I.Cls, 0);
+    std::string B = fetchFloat(I.Ops[1], I.Cls, 1);
+    const char *Cmp = I.Cls == SC::F32 ? "comiss" : "comisd";
+    ins(formatString("%s\t%s, %s", Cmp, B.c_str(), A.c_str()));
+    // Unsigned-style conditions reflect comiss flag semantics.
+    Pred MP = I.P;
+    switch (MP) {
+    case Pred::SLT:
+      MP = Pred::ULT;
+      break;
+    case Pred::SLE:
+      MP = Pred::ULE;
+      break;
+    case Pred::SGT:
+      MP = Pred::UGT;
+      break;
+    case Pred::SGE:
+      MP = Pred::UGE;
+      break;
+    default:
+      break;
+    }
+    if (Next && Next->Op == Opcode::CondBr && Next->Ops[0].isVReg() &&
+        Next->Ops[0].Reg == I.Dst.Reg) {
+      flushAllScratch();
+      ins(formatString("j%s\t%s", ccFor(MP),
+                       blockLabel(Next->Target0).c_str()));
+      ins(formatString("jmp\t%s", blockLabel(Next->Target1).c_str()));
+      *FusedNext = true;
+      return;
+    }
+    const GPR &D = destReg(I.Dst.Reg);
+    ins(formatString("set%s\t%s", ccFor(MP), regName(D, SC::I8).c_str()));
+    ins(formatString("movzbl\t%s, %s", regName(D, SC::I8).c_str(),
+                     regName(D, SC::I32).c_str()));
+    defined(I.Dst.Reg);
+    return;
+  }
+  case Opcode::Br:
+    flushAllScratch();
+    ins(formatString("jmp\t%s", blockLabel(I.Target0).c_str()));
+    return;
+  case Opcode::CondBr: {
+    const GPR &C = fetchValue(I.Ops[0], SC::I32);
+    std::string CR = regName(C, SC::I32);
+    flushAllScratch();
+    ins(formatString("testl\t%s, %s", CR.c_str(), CR.c_str()));
+    ins(formatString("jne\t%s", blockLabel(I.Target0).c_str()));
+    ins(formatString("jmp\t%s", blockLabel(I.Target1).c_str()));
+    return;
+  }
+  case Opcode::Ret: {
+    if (!I.Ops.empty()) {
+      const Value &V = I.Ops[0];
+      if (scIsFloat(I.Cls)) {
+        std::string X = fetchFloat(V, I.Cls, 0);
+        (void)X; // Result convention: xmm0, which fetchFloat(…,0) used.
+      } else if (V.isVReg()) {
+        const GPR &A = fetchVReg(V.Reg, I.Cls);
+        if (std::string(A.Q) != "rax")
+          ins(formatString("mov%c\t%s, %s", suffixFor(I.Cls),
+                           regName(A, I.Cls).c_str(),
+                           regName(RAX, I.Cls).c_str()));
+      } else {
+        emitMovImm(RAX, V.Imm, I.Cls);
+      }
+    }
+    for (int S = 0; S < NumScratch; ++S) {
+      Scratch[S].VReg = -1; // No flush needed past a return.
+      Scratch[S].Dirty = false;
+    }
+    emitEpilogue();
+    return;
+  }
+  case Opcode::Call:
+    emitCall(I);
+    return;
+  case Opcode::VBroadcast:
+  case Opcode::VLoad:
+  case Opcode::VStore:
+  case Opcode::VAdd:
+  case Opcode::VSub:
+  case Opcode::VMul:
+    emitVectorOp(I);
+    return;
+  }
+  SLADE_UNREACHABLE("covered opcode switch");
+}
+
+void X86Emitter::emitBlock(const BasicBlock &B) {
+  if (B.Instrs.empty())
+    return; // Unreachable block removed by simplifyControlFlow.
+  if (BranchTargets.count(B.Id))
+    label(blockLabel(B.Id));
+  // Reset block-local state.
+  for (int S = 0; S < NumScratch; ++S) {
+    Scratch[S].VReg = -1;
+    Scratch[S].Dirty = false;
+  }
+  VecTemp.clear();
+  NextVecTemp = 2;
+  for (size_t I = 0; I < B.Instrs.size(); ++I) {
+    const Instr *Next =
+        I + 1 < B.Instrs.size() ? &B.Instrs[I + 1] : nullptr;
+    bool Fused = false;
+    emitInstr(B.Instrs[I], Next, &Fused);
+    if (!Error.empty())
+      return;
+    if (Fused)
+      ++I;
+  }
+}
+
+Expected<std::string> X86Emitter::run() {
+  classifyVRegs();
+  if (!Error.empty())
+    return Expected<std::string>::error(Error);
+  layoutFrame();
+  emitPrologue();
+  if (!Error.empty())
+    return Expected<std::string>::error(Error);
+  for (const BasicBlock &B : F.Blocks) {
+    emitBlock(B);
+    if (!Error.empty())
+      return Expected<std::string>::error(Error);
+  }
+  Out += formatString("\t.size\t%s, .-%s\n", F.Name.c_str(),
+                      F.Name.c_str());
+  return Out;
+}
+
+Expected<std::string> slade::codegen::emitX86(const IRFunction &F,
+                                              const CodegenOptions &Options) {
+  X86Emitter E(F, Options.Optimize);
+  return E.run();
+}

@@ -1,0 +1,79 @@
+//===- Compile.cpp - source-to-image compilation helpers ---------------------===//
+
+#include "core/Compile.h"
+
+#include "cc/Parser.h"
+#include "cc/Sema.h"
+#include "codegen/Backend.h"
+#include "ir/IRGen.h"
+#include "ir/Passes.h"
+
+#include <cstring>
+
+using namespace slade;
+using namespace slade::core;
+
+Expected<CompiledProgram> slade::core::compileProgram(
+    const std::string &FunctionSource, const std::string &ContextSource,
+    const std::string &TargetName, asmx::Dialect D, bool Optimize) {
+  CompiledProgram Out;
+  Out.Ctx = std::make_shared<cc::TypeContext>();
+  std::string Source = ContextSource + "\n" + FunctionSource;
+  auto TU = cc::parseC(Source, *Out.Ctx);
+  if (!TU)
+    return Expected<CompiledProgram>::error("parse: " + TU.errorMessage());
+  Out.TU = std::shared_ptr<cc::TranslationUnit>(std::move(*TU));
+  Status S = cc::analyze(*Out.TU, *Out.Ctx);
+  if (!S.ok())
+    return Expected<CompiledProgram>::error("sema: " + S.message());
+
+  Out.Target = Out.TU->findFunction(TargetName);
+  if (!Out.Target || !Out.Target->isDefinition())
+    return Expected<CompiledProgram>::error("target function not defined: " +
+                                            TargetName);
+
+  for (const auto &F : Out.TU->Functions) {
+    if (!F->isDefinition())
+      continue;
+    ir::IRGenOptions GO;
+    GO.Optimize = Optimize;
+    auto IR = ir::generateIR(*F, GO);
+    if (!IR)
+      return Expected<CompiledProgram>::error("irgen(" + F->Name +
+                                              "): " + IR.errorMessage());
+    if (Optimize)
+      ir::optimize(*IR);
+    codegen::CodegenOptions CO;
+    CO.Optimize = Optimize;
+    auto Text = D == asmx::Dialect::X86 ? codegen::emitX86(*IR, CO)
+                                        : codegen::emitArm(*IR, CO);
+    if (!Text)
+      return Expected<CompiledProgram>::error("codegen(" + F->Name +
+                                              "): " + Text.errorMessage());
+    if (F->Name == TargetName)
+      Out.TargetAsm = *Text;
+    Out.FullAsm += *Text;
+  }
+
+  auto Image = asmx::parseAsmImage(Out.FullAsm, D);
+  if (!Image)
+    return Expected<CompiledProgram>::error("asm parse: " +
+                                            Image.errorMessage());
+  Out.Image = std::move(*Image);
+
+  for (const auto &G : Out.TU->Globals) {
+    vm::GlobalSpec Spec;
+    Spec.Name = G->Name;
+    Spec.Size = std::max(1u, G->Ty->canonical()->size());
+    if (G->Init) {
+      if (const auto *IL = dyn_cast<cc::IntLit>(G->Init.get())) {
+        Spec.Init.resize(Spec.Size, 0);
+        int64_t V = IL->Value;
+        std::memcpy(Spec.Init.data(), &V,
+                    std::min<size_t>(8, Spec.Init.size()));
+      }
+    }
+    Out.Globals.push_back(std::move(Spec));
+  }
+  return Out;
+}

@@ -1,0 +1,44 @@
+//===- Compile.h - source-to-image compilation helpers ----------*- C++ -*-===//
+///
+/// \file
+/// Drives the compiler substrate end to end for the evaluation: compiles a
+/// generated sample (context + target function) into the textual assembly
+/// the decompilers consume, the executable image the vm runs, and the
+/// global layout the IO harness materializes.
+///
+//===----------------------------------------------------------------------===//
+#ifndef SLADE_CORE_COMPILE_H
+#define SLADE_CORE_COMPILE_H
+
+#include "asmx/Asm.h"
+#include "cc/AST.h"
+#include "support/Error.h"
+#include "vm/IOHarness.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace slade {
+namespace core {
+
+struct CompiledProgram {
+  std::shared_ptr<cc::TypeContext> Ctx;
+  std::shared_ptr<cc::TranslationUnit> TU;
+  std::string TargetAsm;  ///< Assembly of the target function only.
+  std::string FullAsm;    ///< Target + context function definitions.
+  std::vector<asmx::AsmFunction> Image;
+  std::vector<vm::GlobalSpec> Globals;
+  const cc::FunctionDecl *Target = nullptr;
+};
+
+/// Compiles `Context + Function`, singling out \p TargetName.
+Expected<CompiledProgram> compileProgram(const std::string &FunctionSource,
+                                         const std::string &ContextSource,
+                                         const std::string &TargetName,
+                                         asmx::Dialect D, bool Optimize);
+
+} // namespace core
+} // namespace slade
+
+#endif // SLADE_CORE_COMPILE_H

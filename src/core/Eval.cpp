@@ -1,0 +1,140 @@
+//===- Eval.cpp - benchmark evaluation orchestration ---------------------------===//
+
+#include "core/Eval.h"
+
+#include "baselines/RuleDecompiler.h"
+#include "cc/Lexer.h"
+#include "core/Metrics.h"
+
+using namespace slade;
+using namespace slade::core;
+
+std::vector<EvalTask>
+slade::core::buildTasks(const std::vector<dataset::Sample> &Samples,
+                        asmx::Dialect D, bool Optimize) {
+  std::vector<EvalTask> Tasks;
+  for (const dataset::Sample &S : Samples) {
+    auto Prog = compileProgram(S.FunctionSource, S.ContextSource, S.Name, D,
+                               Optimize);
+    if (!Prog)
+      continue; // "We discard the benchmarks GCC couldn't compile."
+    EvalTask T;
+    T.Name = S.Name;
+    T.Category = S.Category;
+    T.FunctionSource = S.FunctionSource;
+    T.ContextSource = S.ContextSource;
+    T.UsesExternalTypedef = S.UsesExternalTypedef;
+    T.D = D;
+    T.Optimize = Optimize;
+    vm::HarnessConfig HC;
+    T.RefProfile = vm::runProfile(Prog->Image, *Prog->Target, Prog->Globals,
+                                  D, HC);
+    T.Prog = std::move(*Prog);
+    Tasks.push_back(std::move(T));
+  }
+  return Tasks;
+}
+
+namespace {
+
+ItemRecord baseRecord(const EvalTask &Task) {
+  ItemRecord R;
+  R.AsmChars = Task.Prog.TargetAsm.size();
+  R.CTokens = cc::cTokenSpellings(Task.FunctionSource).size();
+  R.NumArgs = static_cast<int>(Task.Prog.Target->Params.size());
+  for (const auto &P : Task.Prog.Target->Params)
+    if (P->Ty->canonical()->isPointer())
+      ++R.NumPointers;
+  R.Category = Task.Category;
+  return R;
+}
+
+void fillFromOutcome(ItemRecord &R, const HypothesisOutcome &Out) {
+  R.Produced = Out.Produced;
+  R.Compiles = Out.Compiles;
+  R.IOCorrect = Out.IOCorrect;
+  R.UsedTypeInference = Out.UsedTypeInference;
+  R.EditSim = Out.EditSim;
+}
+
+} // namespace
+
+std::vector<ItemRecord>
+slade::core::evalSlade(const Decompiler &Slade,
+                       const std::vector<EvalTask> &Tasks,
+                       bool UseTypeInference, int BeamSize) {
+  std::vector<ItemRecord> Records;
+  for (const EvalTask &T : Tasks) {
+    ItemRecord R = baseRecord(T);
+    Decompiler::Options Opts;
+    Opts.BeamSize = BeamSize;
+    Opts.UseTypeInference = UseTypeInference;
+    fillFromOutcome(R, Slade.decompile(T, Opts));
+    Records.push_back(std::move(R));
+  }
+  return Records;
+}
+
+std::vector<ItemRecord>
+slade::core::evalRuleBased(const std::vector<EvalTask> &Tasks) {
+  std::vector<ItemRecord> Records;
+  for (const EvalTask &T : Tasks) {
+    ItemRecord R = baseRecord(T);
+    auto Asm = asmx::parseAsm(T.Prog.TargetAsm, T.D);
+    if (Asm) {
+      auto CSource = baselines::ruleDecompile(*Asm, T.D);
+      if (CSource)
+        // Like Ghidra, no external type synthesis (§VII-D).
+        fillFromOutcome(R, evaluateHypothesis(T, *CSource,
+                                              /*UseTypeInference=*/false));
+    }
+    Records.push_back(std::move(R));
+  }
+  return Records;
+}
+
+std::vector<ItemRecord>
+slade::core::evalRetrieval(const baselines::RetrievalDecompiler &Retr,
+                           const std::vector<EvalTask> &Tasks) {
+  std::vector<ItemRecord> Records;
+  for (const EvalTask &T : Tasks) {
+    ItemRecord R = baseRecord(T);
+    std::string CSource = Retr.decompile(T.Prog.TargetAsm);
+    if (!CSource.empty())
+      fillFromOutcome(R, evaluateHypothesis(T, CSource,
+                                            /*UseTypeInference=*/false));
+    Records.push_back(std::move(R));
+  }
+  return Records;
+}
+
+std::vector<ItemRecord>
+slade::core::evalBTC(const Decompiler &BTC,
+                     const std::vector<EvalTask> &Tasks) {
+  std::vector<ItemRecord> Records;
+  for (const EvalTask &T : Tasks) {
+    ItemRecord R = baseRecord(T);
+    Decompiler::Options Opts;
+    Opts.BeamSize = 1; // Greedy.
+    Opts.UseTypeInference = false;
+    fillFromOutcome(R, BTC.decompile(T, Opts));
+    Records.push_back(std::move(R));
+  }
+  return Records;
+}
+
+ToolScores slade::core::aggregate(const std::vector<ItemRecord> &Records) {
+  ToolScores S;
+  S.N = static_cast<int>(Records.size());
+  if (Records.empty())
+    return S;
+  for (const ItemRecord &R : Records) {
+    S.IOAccuracy += R.IOCorrect ? 1 : 0;
+    S.EditSimilarity += R.EditSim;
+    S.CompileRate += R.Compiles ? 1 : 0;
+  }
+  S.IOAccuracy = 100.0 * S.IOAccuracy / S.N;
+  S.EditSimilarity = 100.0 * S.EditSimilarity / S.N;
+  S.CompileRate = 100.0 * S.CompileRate / S.N;
+  return S;
+}

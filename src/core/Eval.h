@@ -1,0 +1,72 @@
+//===- Eval.h - benchmark evaluation orchestration --------------*- C++ -*-===//
+///
+/// \file
+/// Builds evaluation tasks from generated benchmarks and runs the four
+/// decompilers (SLaDe, the rule-based Ghidra analogue, the retrieval LLM
+/// analogue, and the BTC analogue) over them, producing the per-item
+/// records the figures and Table I aggregate.
+///
+//===----------------------------------------------------------------------===//
+#ifndef SLADE_CORE_EVAL_H
+#define SLADE_CORE_EVAL_H
+
+#include "baselines/Retrieval.h"
+#include "core/Slade.h"
+#include "core/Trainer.h"
+#include "dataset/Generator.h"
+
+#include <string>
+#include <vector>
+
+namespace slade {
+namespace core {
+
+/// One evaluated benchmark item (feeds Figs. 4-11 and Table I).
+struct ItemRecord {
+  bool Produced = false;
+  bool Compiles = false;
+  bool IOCorrect = false;
+  bool UsedTypeInference = false;
+  double EditSim = 0;
+  size_t AsmChars = 0;   ///< Fig. 8/9 length measure.
+  size_t CTokens = 0;    ///< Ground-truth C length.
+  int NumArgs = 0;
+  int NumPointers = 0;
+  std::string Category;
+};
+
+struct ToolScores {
+  double IOAccuracy = 0;   ///< Percent.
+  double EditSimilarity = 0; ///< Percent.
+  double CompileRate = 0;  ///< Percent.
+  int N = 0;
+};
+
+/// Compiles benchmark samples into tasks; samples our compiler rejects are
+/// discarded (the paper discards benchmarks GCC cannot compile, §VII-A1).
+std::vector<EvalTask> buildTasks(const std::vector<dataset::Sample> &Samples,
+                                 asmx::Dialect D, bool Optimize);
+
+/// SLaDe (optionally without type inference, for Fig. 10).
+std::vector<ItemRecord> evalSlade(const Decompiler &Slade,
+                                  const std::vector<EvalTask> &Tasks,
+                                  bool UseTypeInference, int BeamSize = 5);
+
+/// The rule-based (Ghidra-analogue) decompiler.
+std::vector<ItemRecord> evalRuleBased(const std::vector<EvalTask> &Tasks);
+
+/// The retrieval (ChatGPT-analogue) decompiler.
+std::vector<ItemRecord>
+evalRetrieval(const baselines::RetrievalDecompiler &Retr,
+              const std::vector<EvalTask> &Tasks);
+
+/// The BTC analogue: greedy decoding, no type inference.
+std::vector<ItemRecord> evalBTC(const Decompiler &BTC,
+                                const std::vector<EvalTask> &Tasks);
+
+ToolScores aggregate(const std::vector<ItemRecord> &Records);
+
+} // namespace core
+} // namespace slade
+
+#endif // SLADE_CORE_EVAL_H

@@ -1,0 +1,67 @@
+//===- Metrics.cpp - evaluation metrics ---------------------------------------===//
+
+#include "core/Metrics.h"
+
+#include "cc/Lexer.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace slade;
+using namespace slade::core;
+
+size_t slade::core::editDistance(const std::vector<std::string> &A,
+                                 const std::vector<std::string> &B) {
+  size_t N = A.size(), M = B.size();
+  std::vector<size_t> Prev(M + 1), Cur(M + 1);
+  for (size_t J = 0; J <= M; ++J)
+    Prev[J] = J;
+  for (size_t I = 1; I <= N; ++I) {
+    Cur[0] = I;
+    for (size_t J = 1; J <= M; ++J) {
+      size_t Sub = Prev[J - 1] + (A[I - 1] == B[J - 1] ? 0 : 1);
+      Cur[J] = std::min({Prev[J] + 1, Cur[J - 1] + 1, Sub});
+    }
+    std::swap(Prev, Cur);
+  }
+  return Prev[M];
+}
+
+double slade::core::editSimilarity(const std::string &Hypothesis,
+                                   const std::string &GroundTruth) {
+  std::vector<std::string> H = cc::cTokenSpellings(Hypothesis);
+  std::vector<std::string> G = cc::cTokenSpellings(GroundTruth);
+  if (G.empty() || H.empty())
+    return H.size() == G.size() ? 1.0 : 0.0;
+  double Dist = static_cast<double>(editDistance(H, G));
+  // Normalized by the longer sequence so that hypotheses much longer than
+  // the ground truth (the rule-based decompiler's failure mode) degrade
+  // smoothly instead of clamping at zero.
+  double Len = static_cast<double>(std::max(H.size(), G.size()));
+  double Sim = 1.0 - Dist / Len;
+  return Sim < 0 ? 0.0 : Sim;
+}
+
+double slade::core::pearson(const std::vector<double> &X,
+                            const std::vector<double> &Y) {
+  size_t N = std::min(X.size(), Y.size());
+  if (N < 2)
+    return 0.0;
+  double MX = 0, MY = 0;
+  for (size_t I = 0; I < N; ++I) {
+    MX += X[I];
+    MY += Y[I];
+  }
+  MX /= static_cast<double>(N);
+  MY /= static_cast<double>(N);
+  double Cov = 0, VX = 0, VY = 0;
+  for (size_t I = 0; I < N; ++I) {
+    double DX = X[I] - MX, DY = Y[I] - MY;
+    Cov += DX * DY;
+    VX += DX * DX;
+    VY += DY * DY;
+  }
+  if (VX <= 0 || VY <= 0)
+    return 0.0;
+  return Cov / std::sqrt(VX * VY);
+}

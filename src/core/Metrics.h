@@ -1,0 +1,35 @@
+//===- Metrics.h - evaluation metrics ---------------------------*- C++ -*-===//
+///
+/// \file
+/// The paper's two headline metrics plus the Table-I statistic:
+///  - edit similarity (§III-B, Fig. 3): 1 - levenshtein/|ground truth| on
+///    the canonical C token stream, clamped to [0, 1];
+///  - IO accuracy lives in vm::profilesEquivalent;
+///  - Pearson's correlation coefficient (Table I).
+///
+//===----------------------------------------------------------------------===//
+#ifndef SLADE_CORE_METRICS_H
+#define SLADE_CORE_METRICS_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace slade {
+namespace core {
+
+/// Levenshtein distance between two token sequences (Fig. 3 algorithm).
+size_t editDistance(const std::vector<std::string> &A,
+                    const std::vector<std::string> &B);
+
+/// Token-level edit similarity of \p Hypothesis against \p GroundTruth.
+double editSimilarity(const std::string &Hypothesis,
+                      const std::string &GroundTruth);
+
+/// Pearson's r of two equal-length series (0 when degenerate).
+double pearson(const std::vector<double> &X, const std::vector<double> &Y);
+
+} // namespace core
+} // namespace slade
+
+#endif // SLADE_CORE_METRICS_H

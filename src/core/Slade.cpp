@@ -1,0 +1,86 @@
+//===- Slade.cpp - the SLaDe decompilation pipeline ---------------------------===//
+
+#include "core/Slade.h"
+
+#include "core/Metrics.h"
+#include "typeinf/TypeInference.h"
+
+using namespace slade;
+using namespace slade::core;
+
+HypothesisOutcome slade::core::evaluateHypothesis(
+    const EvalTask &Task, const std::string &HypothesisSource,
+    bool UseTypeInference) {
+  HypothesisOutcome Out;
+  Out.CSource = HypothesisSource;
+  Out.Produced = !HypothesisSource.empty();
+  if (!Out.Produced)
+    return Out;
+  Out.EditSim = editSimilarity(HypothesisSource, Task.FunctionSource);
+
+  std::string Prelude;
+  if (UseTypeInference) {
+    typeinf::InferenceResult Inf = typeinf::inferMissingDeclarations(
+        HypothesisSource, Task.ContextSource);
+    if (Inf.ParseOk && Inf.NeededInference) {
+      Prelude = Inf.Prelude;
+      Out.UsedTypeInference = true;
+    }
+  }
+
+  // Insert the hypothesis into the original calling context (§VII-A2) and
+  // recompile. The hypothesis must define the target function.
+  std::string Combined = Prelude + Task.ContextSource + "\n" +
+                         HypothesisSource;
+  auto Compiled = compileProgram(HypothesisSource,
+                                 Prelude + Task.ContextSource,
+                                 Task.Prog.Target->Name, Task.D,
+                                 /*Optimize=*/false);
+  (void)Combined;
+  if (!Compiled)
+    return Out;
+  Out.Compiles = true;
+
+  vm::HarnessConfig HC;
+  vm::TestProfile Profile =
+      vm::runProfile(Compiled->Image, *Task.Prog.Target, Task.Prog.Globals,
+                     Task.D, HC);
+  Out.IOCorrect = vm::profilesEquivalent(Task.RefProfile, Profile);
+  return Out;
+}
+
+std::string Decompiler::translate(const std::string &Asm, int BeamSize,
+                                  int MaxLen) const {
+  std::vector<int> Src = Tok.encode(Asm);
+  nn::BeamConfig BC;
+  BC.BeamSize = BeamSize;
+  BC.MaxLen = MaxLen;
+  std::vector<nn::Hypothesis> Hyps = nn::beamSearch(Model, Src, BC);
+  if (Hyps.empty())
+    return std::string();
+  return Tok.decode(Hyps.front().Tokens);
+}
+
+HypothesisOutcome Decompiler::decompile(const EvalTask &Task,
+                                        const Options &Opts) const {
+  std::vector<int> Src = Tok.encode(Task.Prog.TargetAsm);
+  nn::BeamConfig BC;
+  BC.BeamSize = Opts.BeamSize;
+  BC.MaxLen = Opts.MaxLen;
+  std::vector<nn::Hypothesis> Hyps = nn::beamSearch(Model, Src, BC);
+
+  HypothesisOutcome First;
+  bool HaveFirst = false;
+  for (const nn::Hypothesis &H : Hyps) {
+    std::string CSource = Tok.decode(H.Tokens);
+    HypothesisOutcome Out =
+        evaluateHypothesis(Task, CSource, Opts.UseTypeInference);
+    if (!HaveFirst) {
+      First = Out;
+      HaveFirst = true;
+    }
+    if (Out.IOCorrect)
+      return Out; // First candidate passing the IO tests (§VI-A).
+  }
+  return First; // None passed: report the top beam candidate.
+}

@@ -1,0 +1,86 @@
+//===- Slade.h - the SLaDe decompilation pipeline ---------------*- C++ -*-===//
+///
+/// \file
+/// Public entry point of the reproduction: the full SLaDe pipeline (Fig. 2
+/// right half). Assembly is tokenized, the small seq2seq model beam-decodes
+/// k=5 C hypotheses, missing declarations are reconstructed by the type
+/// inference engine, candidates are compiled and IO-tested, and the first
+/// candidate passing the IO tests is selected (§VI).
+///
+//===----------------------------------------------------------------------===//
+#ifndef SLADE_CORE_SLADE_H
+#define SLADE_CORE_SLADE_H
+
+#include "core/Compile.h"
+#include "nn/Beam.h"
+#include "nn/Transformer.h"
+#include "tok/Tokenizer.h"
+
+#include <memory>
+#include <string>
+
+namespace slade {
+namespace core {
+
+/// One benchmark item: the compiled ground truth and its IO profile.
+struct EvalTask {
+  std::string Name;
+  std::string Category;
+  std::string FunctionSource; ///< Ground truth C.
+  std::string ContextSource;
+  bool UsesExternalTypedef = false;
+  CompiledProgram Prog;
+  vm::TestProfile RefProfile;
+  asmx::Dialect D = asmx::Dialect::X86;
+  bool Optimize = false;
+};
+
+/// Result of evaluating one hypothesis against a task.
+struct HypothesisOutcome {
+  bool Produced = false;
+  bool Compiles = false;
+  bool IOCorrect = false;
+  bool UsedTypeInference = false;
+  double EditSim = 0;
+  std::string CSource;
+};
+
+/// Recompiles \p HypothesisSource into the task's context and runs the IO
+/// tests. This is the shared evaluation path for every tool.
+HypothesisOutcome evaluateHypothesis(const EvalTask &Task,
+                                     const std::string &HypothesisSource,
+                                     bool UseTypeInference);
+
+/// The trained SLaDe system: tokenizer + model + the inference pipeline.
+class Decompiler {
+public:
+  Decompiler(tok::Tokenizer Tok, nn::Transformer Model)
+      : Tok(std::move(Tok)), Model(std::move(Model)) {}
+
+  struct Options {
+    int BeamSize = 5; ///< Paper: k = 5.
+    bool UseTypeInference = true;
+    int MaxLen = 220;
+  };
+
+  /// Runs the pipeline on a task; candidates are tried in beam order and
+  /// the first IO-passing one wins (§VI-A).
+  HypothesisOutcome decompile(const EvalTask &Task,
+                              const Options &Opts) const;
+
+  /// Raw model output for an assembly string (no verification).
+  std::string translate(const std::string &Asm, int BeamSize,
+                        int MaxLen) const;
+
+  const tok::Tokenizer &tokenizer() const { return Tok; }
+  const nn::Transformer &model() const { return Model; }
+
+private:
+  tok::Tokenizer Tok;
+  nn::Transformer Model;
+};
+
+} // namespace core
+} // namespace slade
+
+#endif // SLADE_CORE_SLADE_H

@@ -1,0 +1,134 @@
+//===- Trainer.cpp - corpus building and model training -----------------------===//
+
+#include "core/Trainer.h"
+
+#include "core/Compile.h"
+#include "support/RNG.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace slade;
+using namespace slade::core;
+
+std::vector<TrainPair> slade::core::buildTrainPairs(
+    const std::vector<dataset::Sample> &Samples, asmx::Dialect D,
+    bool Optimize) {
+  std::vector<TrainPair> Pairs;
+  for (const dataset::Sample &S : Samples) {
+    auto Prog = compileProgram(S.FunctionSource, S.ContextSource, S.Name, D,
+                               Optimize);
+    if (!Prog)
+      continue;
+    Pairs.push_back({Prog->TargetAsm, S.FunctionSource});
+  }
+  return Pairs;
+}
+
+TrainedSystem slade::core::trainSystem(const std::vector<TrainPair> &Pairs,
+                                       const TrainConfig &Cfg) {
+  // 1. Tokenizer over both sides of the corpus (§IV: one shared subword
+  //    vocabulary).
+  std::vector<std::string> Texts;
+  Texts.reserve(Pairs.size() * 2);
+  for (const TrainPair &P : Pairs) {
+    Texts.push_back(P.Asm);
+    Texts.push_back(P.CSource);
+  }
+  tok::Tokenizer::Config TC;
+  TC.VocabSize = Cfg.VocabSize;
+  tok::Tokenizer Tok = tok::Tokenizer::train(Texts, TC);
+
+  // 2. Encode and filter to the context window.
+  struct Encoded {
+    std::vector<int> Src, Tgt;
+  };
+  std::vector<Encoded> Data;
+  for (const TrainPair &P : Pairs) {
+    Encoded E;
+    E.Src = Tok.encode(P.Asm);
+    E.Tgt = Tok.encode(P.CSource);
+    if (static_cast<int>(E.Src.size()) > Cfg.MaxSrcTokens ||
+        static_cast<int>(E.Tgt.size()) > Cfg.MaxTgtTokens)
+      continue;
+    Data.push_back(std::move(E));
+  }
+
+  nn::TransformerConfig MC;
+  MC.Vocab = static_cast<int>(Tok.vocabSize());
+  MC.DModel = Cfg.DModel;
+  MC.NHeads = Cfg.NHeads;
+  MC.FF = Cfg.FF;
+  MC.EncLayers = Cfg.EncLayers;
+  MC.DecLayers = Cfg.DecLayers;
+  MC.MaxLen = Cfg.MaxSrcTokens + 8;
+  MC.DropoutP = Cfg.DropoutP;
+  MC.Seed = Cfg.Seed;
+  nn::Transformer Model(MC);
+
+  if (Data.empty())
+    return TrainedSystem(std::move(Tok), std::move(Model));
+
+  nn::AdamW::Config AC;
+  AC.WarmupSteps = std::max(40, Cfg.Steps / 10);
+  nn::AdamW Opt(Model.params(), AC);
+
+  SplitMix64 Rng(Cfg.Seed * 77ULL + 13);
+  double RunningLoss = 0;
+  int LossCount = 0;
+  for (int Step = 1; Step <= Cfg.Steps; ++Step) {
+    nn::Graph G;
+    float BatchLoss = 0;
+    for (int B = 0; B < Cfg.BatchSize; ++B) {
+      const Encoded &E = Data[Rng.below(Data.size())];
+      BatchLoss += Model.pairLoss(G, E.Src, E.Tgt, /*Train=*/true);
+    }
+    G.backward();
+    Opt.step();
+    G.clear();
+    RunningLoss += BatchLoss / Cfg.BatchSize;
+    ++LossCount;
+    if (Cfg.Verbose && (Step % 50 == 0 || Step == Cfg.Steps)) {
+      std::fprintf(stderr,
+                   "[train] step %4d/%d  loss %.4f  (%zu pairs, vocab %zu, "
+                   "%zu params)\n",
+                   Step, Cfg.Steps, RunningLoss / LossCount, Data.size(),
+                   Tok.vocabSize(), Model.parameterCount());
+      RunningLoss = 0;
+      LossCount = 0;
+    }
+  }
+  return TrainedSystem(std::move(Tok), std::move(Model));
+}
+
+std::string slade::core::systemName(const std::string &Prefix,
+                                    asmx::Dialect D, bool Optimize) {
+  return Prefix + (D == asmx::Dialect::X86 ? "_x86" : "_arm") +
+         (Optimize ? "_O3" : "_O0");
+}
+
+std::string slade::core::checkpointDir() {
+  const char *Env = std::getenv("SLADE_CKPT_DIR");
+  return Env && *Env ? Env : "checkpoints";
+}
+
+Status slade::core::saveSystem(const TrainedSystem &Sys,
+                               const std::string &Dir,
+                               const std::string &Name) {
+  Status S = Sys.Tok.save(Dir + "/" + Name + ".tok");
+  if (!S.ok())
+    return S;
+  return Sys.Model.save(Dir + "/" + Name + ".model");
+}
+
+Expected<TrainedSystem> slade::core::loadSystem(const std::string &Dir,
+                                                const std::string &Name) {
+  auto Tok = tok::Tokenizer::load(Dir + "/" + Name + ".tok");
+  if (!Tok)
+    return Expected<TrainedSystem>::error(Tok.errorMessage());
+  auto Model = nn::Transformer::load(Dir + "/" + Name + ".model");
+  if (!Model)
+    return Expected<TrainedSystem>::error(Model.errorMessage());
+  return TrainedSystem(std::move(*Tok), std::move(*Model));
+}

@@ -1,0 +1,84 @@
+//===- Trainer.h - corpus building and model training -----------*- C++ -*-===//
+///
+/// \file
+/// Reproduces the paper's training setup (§V): (assembly, C) pairs from
+/// the corpus generator compiled at a fixed (ISA, optimization level), a
+/// UnigramLM tokenizer shared between source and target, and a dropout-free
+/// Transformer trained with teacher forcing under AdamW. One model is
+/// trained per (ISA, opt level) configuration, exactly as in the paper.
+///
+//===----------------------------------------------------------------------===//
+#ifndef SLADE_CORE_TRAINER_H
+#define SLADE_CORE_TRAINER_H
+
+#include "asmx/Asm.h"
+#include "dataset/Generator.h"
+#include "nn/Transformer.h"
+#include "tok/Tokenizer.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace slade {
+namespace core {
+
+struct TrainConfig {
+  asmx::Dialect D = asmx::Dialect::X86;
+  bool Optimize = false;
+  int Steps = 900;
+  int BatchSize = 8;
+  int MaxSrcTokens = 420;
+  int MaxTgtTokens = 220;
+  unsigned VocabSize = 512;
+  int DModel = 64;
+  int NHeads = 4;
+  int FF = 128;
+  int EncLayers = 2;
+  int DecLayers = 2;
+  float DropoutP = 0.0f; ///< Paper: no dropout (§V-C).
+  uint64_t Seed = 7;
+  bool Verbose = true;
+};
+
+struct TrainedSystem {
+  tok::Tokenizer Tok;
+  nn::Transformer Model;
+
+  TrainedSystem(tok::Tokenizer Tok, nn::Transformer Model)
+      : Tok(std::move(Tok)), Model(std::move(Model)) {}
+};
+
+/// One compiled training pair.
+struct TrainPair {
+  std::string Asm;
+  std::string CSource;
+};
+
+/// Compiles corpus samples into (assembly, C) pairs; silently skips the
+/// (rare) samples outside the compilable subset.
+std::vector<TrainPair> buildTrainPairs(
+    const std::vector<dataset::Sample> &Samples, asmx::Dialect D,
+    bool Optimize);
+
+/// Trains tokenizer and model; returns the deployable system.
+TrainedSystem trainSystem(const std::vector<TrainPair> &Pairs,
+                          const TrainConfig &Cfg);
+
+/// Checkpoint management: <Dir>/<Name>.model and <Dir>/<Name>.tok.
+Status saveSystem(const TrainedSystem &Sys, const std::string &Dir,
+                  const std::string &Name);
+Expected<TrainedSystem> loadSystem(const std::string &Dir,
+                                   const std::string &Name);
+
+/// Conventional checkpoint name, e.g. "slade_x86_O0".
+std::string systemName(const std::string &Prefix, asmx::Dialect D,
+                       bool Optimize);
+
+/// Checkpoint directory: $SLADE_CKPT_DIR or "checkpoints".
+std::string checkpointDir();
+
+} // namespace core
+} // namespace slade
+
+#endif // SLADE_CORE_TRAINER_H

@@ -1,0 +1,742 @@
+//===- Generator.cpp - ExeBench/Synth-style corpus generation ----------------===//
+
+#include "dataset/Generator.h"
+
+#include "cc/Lexer.h"
+#include "support/StringUtils.h"
+#include "support/Unreachable.h"
+
+#include <set>
+
+using namespace slade;
+using namespace slade::dataset;
+
+const std::vector<std::string> &slade::dataset::synthCategories() {
+  static const std::vector<std::string> Cats = {
+      "makespeare", "simpl_int", "simpl_array", "L2", "SKETCHADAPT",
+      "string",     "mathfu",    "BLAS",        "DSP"};
+  return Cats;
+}
+
+namespace {
+
+/// Random naming / snippet helpers shared by all template families.
+struct Gen {
+  SplitMix64 &R;
+  std::string Fn;            ///< Function name.
+  std::string Context;       ///< Accumulated context declarations.
+  bool UsedTypedef = false;
+
+  explicit Gen(SplitMix64 &R) : R(R) {}
+
+  std::string pick(std::initializer_list<const char *> Xs) {
+    std::vector<std::string> V(Xs.begin(), Xs.end());
+    return R.pick(V);
+  }
+  int64_t num(int64_t Lo, int64_t Hi) { return R.range(Lo, Hi); }
+  bool chance(double P) { return R.chance(P); }
+
+  std::string arrName() { return pick({"buf", "arr", "data", "v", "a"}); }
+  std::string idxName() { return pick({"i", "j", "k"}); }
+  std::string lenName() { return pick({"n", "len", "count", "size"}); }
+  std::string accName() { return pick({"sum", "total", "acc", "result"}); }
+  std::string valName() { return pick({"x", "val", "v", "t"}); }
+  std::string cmpOp() { return pick({"<", "<="}); }
+  std::string arithOp() { return pick({"+", "-", "*"}); }
+
+  /// An `int`-like type spelling; sometimes an external typedef
+  /// (ExeBench mode only, enabled by the caller).
+  std::string intType(bool AllowTypedef) {
+    if (AllowTypedef && chance(0.35)) {
+      std::string Name = pick({"my_int", "num_t", "val_t", "counter_t",
+                               "idx_t", "i32_t"});
+      std::string Under = pick({"int", "int", "long", "unsigned int"});
+      Context += "typedef " + Under + " " + Name + ";\n";
+      UsedTypedef = true;
+      return Name;
+    }
+    return pick({"int", "int", "int", "long", "unsigned int", "short",
+                 "char"});
+  }
+};
+
+using Family = std::string (*)(Gen &);
+
+//===----------------------------------------------------------------------===//
+// simpl_int: integer scalars and trivial control flow
+//===----------------------------------------------------------------------===//
+
+std::string famIntExpr(Gen &G) {
+  std::string A = G.pick({"a", "x", "p"});
+  std::string B = G.pick({"b", "y", "q"});
+  std::string Op1 = G.arithOp(), Op2 = G.arithOp();
+  int64_t K1 = G.num(1, 9), K2 = G.num(1, 9);
+  std::string Body;
+  switch (G.num(0, 3)) {
+  case 0:
+    Body = formatString("return %s %s %s %s %lld;", A.c_str(), Op1.c_str(),
+                        B.c_str(), Op2.c_str(), (long long)K1);
+    break;
+  case 1:
+    Body = formatString("return (%s + %lld) %s (%s - %lld);", A.c_str(),
+                        (long long)K1, Op1.c_str(), B.c_str(),
+                        (long long)K2);
+    break;
+  case 2:
+    Body = formatString("return %s * %s + %s %% %lld;", A.c_str(), B.c_str(),
+                        A.c_str(), (long long)(K1 + 1));
+    break;
+  default:
+    Body = formatString("return (%s << %lld) - %s;", A.c_str(),
+                        (long long)G.num(1, 3), B.c_str());
+    break;
+  }
+  G.Fn = G.pick({"combine", "calc", "mix", "apply", "eval"});
+  return formatString("int %s(int %s, int %s) {\n  %s\n}\n", G.Fn.c_str(),
+                      A.c_str(), B.c_str(), Body.c_str());
+}
+
+std::string famAbsMinMax(Gen &G) {
+  std::string A = G.pick({"a", "x"});
+  std::string B = G.pick({"b", "y"});
+  int Which = static_cast<int>(G.num(0, 2));
+  if (Which == 0) {
+    G.Fn = G.pick({"my_abs", "absolute", "magnitude"});
+    if (G.chance(0.5))
+      return formatString("int %s(int %s) {\n"
+                          "  if (%s < 0) {\n    return -%s;\n  }\n"
+                          "  return %s;\n}\n",
+                          G.Fn.c_str(), A.c_str(), A.c_str(), A.c_str(),
+                          A.c_str());
+    return formatString("int %s(int %s) {\n  return %s < 0 ? -%s : %s;\n}\n",
+                        G.Fn.c_str(), A.c_str(), A.c_str(), A.c_str(),
+                        A.c_str());
+  }
+  const char *Op = Which == 1 ? "<" : ">";
+  G.Fn = Which == 1 ? G.pick({"my_min", "smaller", "min2"})
+                    : G.pick({"my_max", "larger", "max2"});
+  if (G.chance(0.5))
+    return formatString(
+        "int %s(int %s, int %s) {\n"
+        "  if (%s %s %s) {\n    return %s;\n  }\n  return %s;\n}\n",
+        G.Fn.c_str(), A.c_str(), B.c_str(), A.c_str(), Op, B.c_str(),
+        A.c_str(), B.c_str());
+  return formatString("int %s(int %s, int %s) {\n  return %s %s %s ? %s : "
+                      "%s;\n}\n",
+                      G.Fn.c_str(), A.c_str(), B.c_str(), A.c_str(), Op,
+                      B.c_str(), A.c_str(), B.c_str());
+}
+
+std::string famCountLoop(Gen &G) {
+  std::string N = G.lenName();
+  std::string Acc = G.accName();
+  std::string I = G.idxName();
+  std::string Step = G.pick({"i * i", "i", "i * 2 + 1", "n - i"});
+  Step = replaceAll(Step, "i", I);
+  Step = replaceAll(Step, "n", N);
+  G.Fn = G.pick({"series", "accumulate", "tally", "sum_up"});
+  return formatString("int %s(int %s) {\n"
+                      "  int %s = 0;\n"
+                      "  for (int %s = 0; %s %s %s; %s++) {\n"
+                      "    %s += %s;\n"
+                      "  }\n"
+                      "  return %s;\n}\n",
+                      G.Fn.c_str(), N.c_str(), Acc.c_str(), I.c_str(),
+                      I.c_str(), G.cmpOp().c_str(), N.c_str(), I.c_str(),
+                      Acc.c_str(), Step.c_str(), Acc.c_str());
+}
+
+std::string famWhileReduce(Gen &G) {
+  std::string N = G.pick({"n", "x", "value"});
+  int Which = static_cast<int>(G.num(0, 2));
+  if (Which == 0) {
+    G.Fn = G.pick({"count_digits", "num_digits", "digits"});
+    return formatString("int %s(int %s) {\n"
+                        "  int d = 1;\n"
+                        "  while (%s > 9) {\n"
+                        "    %s /= 10;\n"
+                        "    d++;\n"
+                        "  }\n"
+                        "  return d;\n}\n",
+                        G.Fn.c_str(), N.c_str(), N.c_str(), N.c_str());
+  }
+  if (Which == 1) {
+    G.Fn = G.pick({"count_bits", "popcount_ish", "bits_set"});
+    return formatString("int %s(unsigned %s) {\n"
+                        "  int c = 0;\n"
+                        "  while (%s) {\n"
+                        "    c += %s & 1;\n"
+                        "    %s >>= 1;\n"
+                        "  }\n"
+                        "  return c;\n}\n",
+                        G.Fn.c_str(), N.c_str(), N.c_str(), N.c_str(),
+                        N.c_str());
+  }
+  G.Fn = G.pick({"ipow", "power", "pow_int"});
+  return formatString("int %s(int base, int %s) {\n"
+                      "  int r = 1;\n"
+                      "  while (%s > 0) {\n"
+                      "    r *= base;\n"
+                      "    %s--;\n"
+                      "  }\n"
+                      "  return r;\n}\n",
+                      G.Fn.c_str(), N.c_str(), N.c_str(), N.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// simpl_array / L2: array loops
+//===----------------------------------------------------------------------===//
+
+std::string famArrayReduce(Gen &G) {
+  std::string Arr = G.arrName(), N = G.lenName(), I = G.idxName(),
+              Acc = G.accName();
+  int Which = static_cast<int>(G.num(0, 3));
+  G.Fn = Which == 0   ? G.pick({"array_sum", "total_of", "sum_all"})
+         : Which == 1 ? G.pick({"array_max", "largest", "max_of"})
+         : Which == 2 ? G.pick({"count_pos", "count_matching", "num_above"})
+                      : G.pick({"dot", "inner", "dot_product"});
+  switch (Which) {
+  case 0:
+    return formatString("int %s(int *%s, int %s) {\n"
+                        "  int %s = 0;\n"
+                        "  for (int %s = 0; %s < %s; %s++) {\n"
+                        "    %s += %s[%s];\n"
+                        "  }\n"
+                        "  return %s;\n}\n",
+                        G.Fn.c_str(), Arr.c_str(), N.c_str(), Acc.c_str(),
+                        I.c_str(), I.c_str(), N.c_str(), I.c_str(),
+                        Acc.c_str(), Arr.c_str(), I.c_str(), Acc.c_str());
+  case 1:
+    return formatString("int %s(int *%s, int %s) {\n"
+                        "  int best = %s[0];\n"
+                        "  for (int %s = 1; %s < %s; %s++) {\n"
+                        "    if (%s[%s] > best) {\n"
+                        "      best = %s[%s];\n"
+                        "    }\n"
+                        "  }\n"
+                        "  return best;\n}\n",
+                        G.Fn.c_str(), Arr.c_str(), N.c_str(), Arr.c_str(),
+                        I.c_str(), I.c_str(), N.c_str(), I.c_str(),
+                        Arr.c_str(), I.c_str(), Arr.c_str(), I.c_str());
+  case 2: {
+    int64_t K = G.num(0, 5);
+    return formatString("int %s(int *%s, int %s) {\n"
+                        "  int %s = 0;\n"
+                        "  for (int %s = 0; %s < %s; %s++) {\n"
+                        "    if (%s[%s] > %lld) {\n"
+                        "      %s++;\n"
+                        "    }\n"
+                        "  }\n"
+                        "  return %s;\n}\n",
+                        G.Fn.c_str(), Arr.c_str(), N.c_str(), Acc.c_str(),
+                        I.c_str(), I.c_str(), N.c_str(), I.c_str(),
+                        Arr.c_str(), I.c_str(), (long long)K, Acc.c_str(),
+                        Acc.c_str());
+  }
+  default:
+    return formatString("int %s(int *a, int *b, int %s) {\n"
+                        "  int %s = 0;\n"
+                        "  for (int %s = 0; %s < %s; %s++) {\n"
+                        "    %s += a[%s] * b[%s];\n"
+                        "  }\n"
+                        "  return %s;\n}\n",
+                        G.Fn.c_str(), N.c_str(), Acc.c_str(), I.c_str(),
+                        I.c_str(), N.c_str(), I.c_str(), Acc.c_str(),
+                        I.c_str(), I.c_str(), Acc.c_str());
+  }
+}
+
+std::string famArrayMap(Gen &G) {
+  std::string Arr = G.arrName(), N = G.lenName(), I = G.idxName();
+  int Which = static_cast<int>(G.num(0, 3));
+  int64_t K = G.num(1, 9);
+  G.Fn = Which == 0   ? G.pick({"add_const", "offset_all", "shift_vals"})
+         : Which == 1 ? G.pick({"scale_all", "multiply_by", "amplify"})
+         : Which == 2 ? G.pick({"copy_into", "clone_array", "array_copy"})
+                      : G.pick({"fill_with", "set_all", "init_array"});
+  switch (Which) {
+  case 0:
+    return formatString("void %s(int *%s, int %s, int %s) {\n"
+                        "  for (int %s = 0; %s < %s; %s++) {\n"
+                        "    %s[%s] += %s;\n"
+                        "  }\n}\n",
+                        G.Fn.c_str(), Arr.c_str(), "val", N.c_str(),
+                        I.c_str(), I.c_str(), N.c_str(), I.c_str(),
+                        Arr.c_str(), I.c_str(), "val");
+  case 1:
+    return formatString("void %s(int *%s, int %s) {\n"
+                        "  for (int %s = 0; %s < %s; %s++) {\n"
+                        "    %s[%s] = %s[%s] * %lld;\n"
+                        "  }\n}\n",
+                        G.Fn.c_str(), Arr.c_str(), N.c_str(), I.c_str(),
+                        I.c_str(), N.c_str(), I.c_str(), Arr.c_str(),
+                        I.c_str(), Arr.c_str(), I.c_str(), (long long)K);
+  case 2:
+    return formatString("void %s(int *dst, int *src, int %s) {\n"
+                        "  for (int %s = 0; %s < %s; %s++) {\n"
+                        "    dst[%s] = src[%s];\n"
+                        "  }\n}\n",
+                        G.Fn.c_str(), N.c_str(), I.c_str(), I.c_str(),
+                        N.c_str(), I.c_str(), I.c_str(), I.c_str());
+  default:
+    return formatString("void %s(int *%s, int %s, int value) {\n"
+                        "  for (int %s = 0; %s < %s; %s++) {\n"
+                        "    %s[%s] = value;\n"
+                        "  }\n}\n",
+                        G.Fn.c_str(), Arr.c_str(), N.c_str(), I.c_str(),
+                        I.c_str(), N.c_str(), I.c_str(), Arr.c_str(),
+                        I.c_str());
+  }
+}
+
+std::string famL2(Gen &G) {
+  std::string N = G.lenName(), I = G.idxName();
+  int Which = static_cast<int>(G.num(0, 2));
+  if (Which == 0) {
+    G.Fn = G.pick({"zip_add", "pair_sum", "combine_arrays"});
+    std::string Op = G.arithOp();
+    return formatString("void %s(int *out, int *a, int *b, int %s) {\n"
+                        "  for (int %s = 0; %s < %s; %s++) {\n"
+                        "    out[%s] = a[%s] %s b[%s];\n"
+                        "  }\n}\n",
+                        G.Fn.c_str(), N.c_str(), I.c_str(), I.c_str(),
+                        N.c_str(), I.c_str(), I.c_str(), I.c_str(),
+                        Op.c_str(), I.c_str());
+  }
+  if (Which == 1) {
+    G.Fn = G.pick({"fold_diff", "reduce_sub", "alternating_sum"});
+    return formatString("int %s(int *a, int %s) {\n"
+                        "  int r = 0;\n"
+                        "  for (int %s = 0; %s < %s; %s++) {\n"
+                        "    if (%s %% 2 == 0) {\n"
+                        "      r += a[%s];\n"
+                        "    } else {\n"
+                        "      r -= a[%s];\n"
+                        "    }\n"
+                        "  }\n"
+                        "  return r;\n}\n",
+                        G.Fn.c_str(), N.c_str(), I.c_str(), I.c_str(),
+                        N.c_str(), I.c_str(), I.c_str(), I.c_str(),
+                        I.c_str());
+  }
+  G.Fn = G.pick({"running_max", "prefix_max", "scan_max"});
+  return formatString("void %s(int *out, int *a, int %s) {\n"
+                      "  int best = a[0];\n"
+                      "  for (int %s = 0; %s < %s; %s++) {\n"
+                      "    if (a[%s] > best) {\n"
+                      "      best = a[%s];\n"
+                      "    }\n"
+                      "    out[%s] = best;\n"
+                      "  }\n}\n",
+                      G.Fn.c_str(), N.c_str(), I.c_str(), I.c_str(),
+                      N.c_str(), I.c_str(), I.c_str(), I.c_str(), I.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// SKETCHADAPT: harder control flow
+//===----------------------------------------------------------------------===//
+
+std::string famSketch(Gen &G) {
+  std::string N = G.lenName(), I = G.idxName();
+  int Which = static_cast<int>(G.num(0, 2));
+  if (Which == 0) {
+    G.Fn = G.pick({"find_first", "index_of", "locate"});
+    return formatString("int %s(int *a, int %s, int key) {\n"
+                        "  for (int %s = 0; %s < %s; %s++) {\n"
+                        "    if (a[%s] == key) {\n"
+                        "      return %s;\n"
+                        "    }\n"
+                        "  }\n"
+                        "  return -1;\n}\n",
+                        G.Fn.c_str(), N.c_str(), I.c_str(), I.c_str(),
+                        N.c_str(), I.c_str(), I.c_str(), I.c_str());
+  }
+  if (Which == 1) {
+    G.Fn = G.pick({"longest_run", "max_streak", "run_length"});
+    return formatString("int %s(int *a, int %s) {\n"
+                        "  int best = 0;\n"
+                        "  int cur = 0;\n"
+                        "  for (int %s = 0; %s < %s; %s++) {\n"
+                        "    if (a[%s] > 0) {\n"
+                        "      cur++;\n"
+                        "      if (cur > best) {\n"
+                        "        best = cur;\n"
+                        "      }\n"
+                        "    } else {\n"
+                        "      cur = 0;\n"
+                        "    }\n"
+                        "  }\n"
+                        "  return best;\n}\n",
+                        G.Fn.c_str(), N.c_str(), I.c_str(), I.c_str(),
+                        N.c_str(), I.c_str(), I.c_str());
+  }
+  G.Fn = G.pick({"is_sorted", "check_order", "nondecreasing"});
+  return formatString("int %s(int *a, int %s) {\n"
+                      "  for (int %s = 1; %s < %s; %s++) {\n"
+                      "    if (a[%s - 1] > a[%s]) {\n"
+                      "      return 0;\n"
+                      "    }\n"
+                      "  }\n"
+                      "  return 1;\n}\n",
+                      G.Fn.c_str(), N.c_str(), I.c_str(), I.c_str(),
+                      N.c_str(), I.c_str(), I.c_str(), I.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// string
+//===----------------------------------------------------------------------===//
+
+std::string famString(Gen &G) {
+  int Which = static_cast<int>(G.num(0, 3));
+  if (Which == 0) {
+    G.Fn = G.pick({"my_strlen", "str_length", "text_len"});
+    return formatString("int %s(char *s) {\n"
+                        "  int n = 0;\n"
+                        "  while (s[n]) {\n"
+                        "    n++;\n"
+                        "  }\n"
+                        "  return n;\n}\n",
+                        G.Fn.c_str());
+  }
+  if (Which == 1) {
+    G.Fn = G.pick({"count_char", "occurrences", "char_count"});
+    return formatString("int %s(char *s, char c) {\n"
+                        "  int n = 0;\n"
+                        "  int i = 0;\n"
+                        "  while (s[i]) {\n"
+                        "    if (s[i] == c) {\n"
+                        "      n++;\n"
+                        "    }\n"
+                        "    i++;\n"
+                        "  }\n"
+                        "  return n;\n}\n",
+                        G.Fn.c_str());
+  }
+  if (Which == 2) {
+    G.Fn = G.pick({"str_copy", "copy_text", "my_strcpy"});
+    return formatString("void %s(char *dst, char *src) {\n"
+                        "  int i = 0;\n"
+                        "  while (src[i]) {\n"
+                        "    dst[i] = src[i];\n"
+                        "    i++;\n"
+                        "  }\n"
+                        "  dst[i] = 0;\n}\n",
+                        G.Fn.c_str());
+  }
+  G.Fn = G.pick({"to_upper", "upcase", "shout"});
+  return formatString("void %s(char *s) {\n"
+                      "  int i = 0;\n"
+                      "  while (s[i]) {\n"
+                      "    if (s[i] >= 97 && s[i] <= 122) {\n"
+                      "      s[i] -= 32;\n"
+                      "    }\n"
+                      "    i++;\n"
+                      "  }\n}\n",
+                      G.Fn.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// mathfu / BLAS / DSP: floating point
+//===----------------------------------------------------------------------===//
+
+std::string famMathfu(Gen &G) {
+  int Which = static_cast<int>(G.num(0, 2));
+  std::string T = G.pick({"float", "double"});
+  if (Which == 0) {
+    G.Fn = G.pick({"lerp", "mix_values", "interpolate"});
+    return formatString("%s %s(%s a, %s b, %s t) {\n"
+                        "  return a + (b - a) * t;\n}\n",
+                        T.c_str(), G.Fn.c_str(), T.c_str(), T.c_str(),
+                        T.c_str());
+  }
+  if (Which == 1) {
+    G.Fn = G.pick({"clampf", "saturate", "limit_range"});
+    return formatString("%s %s(%s x, %s lo, %s hi) {\n"
+                        "  if (x < lo) {\n    return lo;\n  }\n"
+                        "  if (x > hi) {\n    return hi;\n  }\n"
+                        "  return x;\n}\n",
+                        T.c_str(), G.Fn.c_str(), T.c_str(), T.c_str(),
+                        T.c_str());
+  }
+  G.Fn = G.pick({"poly2", "quadratic", "eval_poly"});
+  return formatString("%s %s(%s x, %s a, %s b) {\n"
+                      "  return a * x * x + b * x + %lld.0;\n}\n",
+                      T.c_str(), G.Fn.c_str(), T.c_str(), T.c_str(),
+                      T.c_str(), (long long)G.num(0, 4));
+}
+
+std::string famBlas(Gen &G) {
+  std::string N = G.lenName(), I = G.idxName();
+  int Which = static_cast<int>(G.num(0, 2));
+  if (Which == 0) {
+    G.Fn = G.pick({"saxpy", "axpy", "scaled_add"});
+    return formatString("void %s(int %s, float a, float *x, float *y) {\n"
+                        "  for (int %s = 0; %s < %s; %s++) {\n"
+                        "    y[%s] = a * x[%s] + y[%s];\n"
+                        "  }\n}\n",
+                        G.Fn.c_str(), N.c_str(), I.c_str(), I.c_str(),
+                        N.c_str(), I.c_str(), I.c_str(), I.c_str(),
+                        I.c_str());
+  }
+  if (Which == 1) {
+    G.Fn = G.pick({"sdot", "fdot", "dotf"});
+    return formatString("float %s(int %s, float *x, float *y) {\n"
+                        "  float r = 0.0f;\n"
+                        "  for (int %s = 0; %s < %s; %s++) {\n"
+                        "    r += x[%s] * y[%s];\n"
+                        "  }\n"
+                        "  return r;\n}\n",
+                        G.Fn.c_str(), N.c_str(), I.c_str(), I.c_str(),
+                        N.c_str(), I.c_str(), I.c_str(), I.c_str());
+  }
+  G.Fn = G.pick({"sscal", "scalef", "vec_scale"});
+  return formatString("void %s(int %s, float a, float *x) {\n"
+                      "  for (int %s = 0; %s < %s; %s++) {\n"
+                      "    x[%s] *= a;\n"
+                      "  }\n}\n",
+                      G.Fn.c_str(), N.c_str(), I.c_str(), I.c_str(),
+                      N.c_str(), I.c_str(), I.c_str());
+}
+
+std::string famDsp(Gen &G) {
+  std::string N = G.lenName(), I = G.idxName();
+  int Which = static_cast<int>(G.num(0, 2));
+  if (Which == 0) {
+    G.Fn = G.pick({"energy", "signal_power", "sq_sum"});
+    return formatString("float %s(float *sig, int %s) {\n"
+                        "  float e = 0.0f;\n"
+                        "  for (int %s = 0; %s < %s; %s++) {\n"
+                        "    e += sig[%s] * sig[%s];\n"
+                        "  }\n"
+                        "  return e;\n}\n",
+                        G.Fn.c_str(), N.c_str(), I.c_str(), I.c_str(),
+                        N.c_str(), I.c_str(), I.c_str(), I.c_str());
+  }
+  if (Which == 1) {
+    G.Fn = G.pick({"apply_gain", "amplify_signal", "gain"});
+    return formatString("void %s(float *sig, int %s, float g, float bias) "
+                        "{\n"
+                        "  for (int %s = 0; %s < %s; %s++) {\n"
+                        "    sig[%s] = sig[%s] * g + bias;\n"
+                        "  }\n}\n",
+                        G.Fn.c_str(), N.c_str(), I.c_str(), I.c_str(),
+                        N.c_str(), I.c_str(), I.c_str(), I.c_str());
+  }
+  G.Fn = G.pick({"moving_avg3", "smooth3", "box_filter"});
+  return formatString("void %s(float *out, float *in, int %s) {\n"
+                      "  for (int %s = 1; %s < %s - 1; %s++) {\n"
+                      "    out[%s] = (in[%s - 1] + in[%s] + in[%s + 1]) / "
+                      "3.0f;\n"
+                      "  }\n}\n",
+                      G.Fn.c_str(), N.c_str(), I.c_str(), I.c_str(),
+                      N.c_str(), I.c_str(), I.c_str(), I.c_str(), I.c_str(),
+                      I.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// makespeare: statement soup over scalars
+//===----------------------------------------------------------------------===//
+
+std::string famMakespeare(Gen &G) {
+  std::string A = "a", B = "b", C = "c";
+  G.Fn = G.pick({"scene", "passage", "verse", "stanza"});
+  std::string Body;
+  int Stmts = static_cast<int>(G.num(2, 4));
+  std::vector<std::string> Vars = {A, B, C};
+  for (int S = 0; S < Stmts; ++S) {
+    std::string L = G.R.pick(Vars), R1 = G.R.pick(Vars),
+                R2 = G.R.pick(Vars);
+    if (G.chance(0.4)) {
+      Body += formatString("  if (%s > %s) {\n    %s = %s %s %lld;\n  }\n",
+                           R1.c_str(), R2.c_str(), L.c_str(), R1.c_str(),
+                           G.arithOp().c_str(), (long long)G.num(1, 5));
+    } else {
+      Body += formatString("  %s = %s %s %s;\n", L.c_str(), R1.c_str(),
+                           G.arithOp().c_str(), R2.c_str());
+    }
+  }
+  Body += formatString("  return %s;\n", G.R.pick(Vars).c_str());
+  return formatString("int %s(int a, int b, int c) {\n%s}\n", G.Fn.c_str(),
+                      Body.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// ExeBench extras: structs, globals, external calls, typedefs
+//===----------------------------------------------------------------------===//
+
+std::string famStructUpdate(Gen &G) {
+  std::string SN = G.pick({"SPoint", "SPair", "SClock", "SAccum", "SRange"});
+  std::string F1 = G.pick({"x", "curtime", "lo", "first", "width"});
+  std::string F2 = G.pick({"y", "basetime", "hi", "second", "height"});
+  std::string F3 = G.pick({"seqno", "count", "flags", "tag"});
+  G.Context += formatString("struct %s {\n  int %s;\n  int %s;\n  int %s;\n"
+                            "};\n",
+                            SN.c_str(), F1.c_str(), F2.c_str(), F3.c_str());
+  G.Fn = G.pick({"advance", "update_state", "tick", "bump_all"});
+  std::string P = G.pick({"p", "obj", "st", "it"});
+  return formatString("void %s(struct %s *%s, int incr) {\n"
+                      "  if (%s) {\n"
+                      "    %s->%s += incr;\n"
+                      "    %s->%s += incr;\n"
+                      "    %s->%s++;\n"
+                      "  }\n}\n",
+                      G.Fn.c_str(), SN.c_str(), P.c_str(), P.c_str(),
+                      P.c_str(), F1.c_str(), P.c_str(), F2.c_str(),
+                      P.c_str(), F3.c_str());
+}
+
+std::string famGlobalCounter(Gen &G) {
+  std::string GV = G.pick({"g_total", "g_count", "g_state", "g_ticks"});
+  G.Context += formatString("int %s;\n", GV.c_str());
+  G.Fn = G.pick({"record", "log_event", "note_value", "track"});
+  if (G.chance(0.5))
+    return formatString("int %s(int x) {\n"
+                        "  %s += x;\n"
+                        "  return %s;\n}\n",
+                        G.Fn.c_str(), GV.c_str(), GV.c_str());
+  return formatString("void %s(int x) {\n"
+                      "  if (x > 0) {\n"
+                      "    %s += x;\n"
+                      "  } else {\n"
+                      "    %s -= x;\n"
+                      "  }\n}\n",
+                      G.Fn.c_str(), GV.c_str(), GV.c_str());
+}
+
+std::string famExternalCall(Gen &G) {
+  std::string H = G.pick({"clamp_small", "normalize_step", "adjust",
+                          "weight_of"});
+  int64_t K = G.num(3, 9);
+  G.Context += formatString("int %s(int v) {\n"
+                            "  if (v > %lld) {\n    return %lld;\n  }\n"
+                            "  return v;\n}\n",
+                            H.c_str(), (long long)K, (long long)K);
+  G.Fn = G.pick({"process_all", "apply_filter", "transform"});
+  std::string N = G.lenName(), I = G.idxName();
+  return formatString("void %s(int *data, int %s) {\n"
+                      "  for (int %s = 0; %s < %s; %s++) {\n"
+                      "    data[%s] = %s(data[%s]);\n"
+                      "  }\n}\n",
+                      G.Fn.c_str(), N.c_str(), I.c_str(), I.c_str(),
+                      N.c_str(), I.c_str(), I.c_str(), H.c_str(),
+                      I.c_str());
+}
+
+std::string famTypedefArith(Gen &G) {
+  std::string T = G.intType(/*AllowTypedef=*/true);
+  std::string A = G.pick({"a", "x", "lhs"});
+  std::string B = G.pick({"b", "y", "rhs"});
+  G.Fn = G.pick({"blend", "merge_vals", "fuse", "compose"});
+  std::string Op1 = G.arithOp();
+  return formatString("%s %s(%s %s, %s %s) {\n"
+                      "  %s r = %s %s %s;\n"
+                      "  if (r < 0) {\n"
+                      "    r = -r;\n"
+                      "  }\n"
+                      "  return r;\n}\n",
+                      T.c_str(), G.Fn.c_str(), T.c_str(), A.c_str(),
+                      T.c_str(), B.c_str(), T.c_str(), A.c_str(),
+                      Op1.c_str(), B.c_str());
+}
+
+std::string famTypedefArray(Gen &G) {
+  std::string T = G.intType(/*AllowTypedef=*/true);
+  std::string N = G.lenName(), I = G.idxName();
+  G.Fn = G.pick({"tally_up", "reduce_vals", "fold_sum"});
+  return formatString("%s %s(%s *vals, int %s) {\n"
+                      "  %s acc = 0;\n"
+                      "  for (int %s = 0; %s < %s; %s++) {\n"
+                      "    acc += vals[%s];\n"
+                      "  }\n"
+                      "  return acc;\n}\n",
+                      T.c_str(), G.Fn.c_str(), T.c_str(), N.c_str(),
+                      T.c_str(), I.c_str(), I.c_str(), N.c_str(), I.c_str(),
+                      I.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Family tables
+//===----------------------------------------------------------------------===//
+
+Family familyFor(Gen &G, Suite S, const std::string &Category) {
+  if (S == Suite::Synth) {
+    if (Category == "simpl_int")
+      return G.chance(0.5) ? famIntExpr
+                           : (G.chance(0.5) ? famAbsMinMax : famCountLoop);
+    if (Category == "simpl_array")
+      return G.chance(0.5) ? famArrayReduce : famArrayMap;
+    if (Category == "L2")
+      return famL2;
+    if (Category == "SKETCHADAPT")
+      return famSketch;
+    if (Category == "string")
+      return famString;
+    if (Category == "mathfu")
+      return famMathfu;
+    if (Category == "BLAS")
+      return famBlas;
+    if (Category == "DSP")
+      return famDsp;
+    if (Category == "makespeare")
+      return famMakespeare;
+    SLADE_UNREACHABLE("unknown Synth category");
+  }
+  // ExeBench: weighted mixture over everything, including the families
+  // with out-of-function context.
+  static const Family All[] = {
+      famIntExpr,     famAbsMinMax,    famCountLoop,   famWhileReduce,
+      famArrayReduce, famArrayMap,     famL2,          famSketch,
+      famString,      famMathfu,       famBlas,        famDsp,
+      famMakespeare,  famStructUpdate, famGlobalCounter,
+      famExternalCall, famTypedefArith, famTypedefArray};
+  static const double Weights[] = {1.0, 1.0, 1.0, 1.0, 1.3, 1.3,
+                                   1.0, 1.0, 0.8, 0.7, 0.7, 0.7,
+                                   1.0, 1.2, 1.0, 1.0, 1.2, 1.2};
+  std::vector<double> W(std::begin(Weights), std::end(Weights));
+  return All[G.R.weighted(W)];
+}
+
+} // namespace
+
+Sample slade::dataset::generateSample(SplitMix64 &Rng, Suite S,
+                                      const std::string &Category) {
+  Gen G(Rng);
+  Family Fam = familyFor(G, S, Category);
+  Sample Out;
+  Out.FunctionSource = Fam(G);
+  Out.Name = G.Fn;
+  Out.ContextSource = G.Context;
+  Out.Category = S == Suite::Synth ? Category : "exebench";
+  Out.UsesExternalTypedef = G.UsedTypedef;
+  return Out;
+}
+
+Corpus slade::dataset::buildCorpus(Suite S, size_t TrainN, size_t TestN,
+                                   uint64_t Seed) {
+  Corpus C;
+  SplitMix64 Rng(Seed);
+  std::set<uint64_t> SeenHashes;
+  const auto &Cats = synthCategories();
+  size_t Total = TrainN + TestN;
+  size_t Attempts = 0;
+  while (C.Train.size() + C.Test.size() < Total &&
+         Attempts < Total * 200 + 1000) {
+    ++Attempts;
+    std::string Cat = S == Suite::Synth
+                          ? Cats[Rng.below(Cats.size())]
+                          : std::string();
+    Sample Smp = generateSample(Rng, S, Cat);
+    // Token-level hash dedup (§V-A): identical token streams are dropped,
+    // so the test split can never leak into training.
+    std::string Joined =
+        joinStrings(cc::cTokenSpellings(Smp.FunctionSource), "\x1f");
+    uint64_t H = fnv1a64(Joined);
+    if (!SeenHashes.insert(H).second)
+      continue;
+    if (C.Test.size() < TestN)
+      C.Test.push_back(std::move(Smp));
+    else
+      C.Train.push_back(std::move(Smp));
+  }
+  return C;
+}

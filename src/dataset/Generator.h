@@ -1,0 +1,50 @@
+//===- Generator.h - ExeBench/Synth-style corpus generation -----*- C++ -*-===//
+///
+/// \file
+/// Deterministic generator of realistic mini-C functions, standing in for
+/// the paper's scraped corpora (AnghaBench/ExeBench, §V-A) and the Synth
+/// benchmark's nine categories (§VII-E, Fig. 11). Every sample carries the
+/// out-of-function context (typedefs, structs, globals, external function
+/// definitions) that ExeBench provides around each function.
+///
+//===----------------------------------------------------------------------===//
+#ifndef SLADE_DATASET_GENERATOR_H
+#define SLADE_DATASET_GENERATOR_H
+
+#include "support/RNG.h"
+
+#include <string>
+#include <vector>
+
+namespace slade {
+namespace dataset {
+
+enum class Suite { ExeBench, Synth };
+
+/// The Synth benchmark's category names (Fig. 11).
+const std::vector<std::string> &synthCategories();
+
+struct Sample {
+  std::string Name;           ///< Function name.
+  std::string FunctionSource; ///< Ground-truth C (canonical form).
+  std::string ContextSource;  ///< Surrounding declarations + definitions.
+  std::string Category;       ///< Synth category or "exebench".
+  bool UsesExternalTypedef = false; ///< Drives the Fig. 10 ablation.
+};
+
+/// Generates one sample. For Suite::Synth, \p Category must be one of
+/// synthCategories(); for ExeBench it is ignored.
+Sample generateSample(SplitMix64 &Rng, Suite S, const std::string &Category);
+
+/// A deduplicated train/test corpus (token-level hash dedup, §V-A).
+struct Corpus {
+  std::vector<Sample> Train;
+  std::vector<Sample> Test;
+};
+
+Corpus buildCorpus(Suite S, size_t TrainN, size_t TestN, uint64_t Seed);
+
+} // namespace dataset
+} // namespace slade
+
+#endif // SLADE_DATASET_GENERATOR_H

@@ -1,0 +1,245 @@
+//===- IR.cpp - three-address intermediate representation ------------------===//
+
+#include "ir/IR.h"
+
+#include "support/StringUtils.h"
+#include "support/Unreachable.h"
+
+using namespace slade;
+using namespace slade::ir;
+
+Pred slade::ir::invertPred(Pred P) {
+  switch (P) {
+  case Pred::EQ:
+    return Pred::NE;
+  case Pred::NE:
+    return Pred::EQ;
+  case Pred::SLT:
+    return Pred::SGE;
+  case Pred::SLE:
+    return Pred::SGT;
+  case Pred::SGT:
+    return Pred::SLE;
+  case Pred::SGE:
+    return Pred::SLT;
+  case Pred::ULT:
+    return Pred::UGE;
+  case Pred::ULE:
+    return Pred::UGT;
+  case Pred::UGT:
+    return Pred::ULE;
+  case Pred::UGE:
+    return Pred::ULT;
+  }
+  SLADE_UNREACHABLE("covered switch");
+}
+
+Pred slade::ir::swapPred(Pred P) {
+  switch (P) {
+  case Pred::EQ:
+  case Pred::NE:
+    return P;
+  case Pred::SLT:
+    return Pred::SGT;
+  case Pred::SLE:
+    return Pred::SGE;
+  case Pred::SGT:
+    return Pred::SLT;
+  case Pred::SGE:
+    return Pred::SLE;
+  case Pred::ULT:
+    return Pred::UGT;
+  case Pred::ULE:
+    return Pred::UGE;
+  case Pred::UGT:
+    return Pred::ULT;
+  case Pred::UGE:
+    return Pred::ULE;
+  }
+  SLADE_UNREACHABLE("covered switch");
+}
+
+const char *slade::ir::predName(Pred P) {
+  switch (P) {
+  case Pred::EQ:
+    return "eq";
+  case Pred::NE:
+    return "ne";
+  case Pred::SLT:
+    return "slt";
+  case Pred::SLE:
+    return "sle";
+  case Pred::SGT:
+    return "sgt";
+  case Pred::SGE:
+    return "sge";
+  case Pred::ULT:
+    return "ult";
+  case Pred::ULE:
+    return "ule";
+  case Pred::UGT:
+    return "ugt";
+  case Pred::UGE:
+    return "uge";
+  }
+  SLADE_UNREACHABLE("covered switch");
+}
+
+static const char *scName(SC C) {
+  switch (C) {
+  case SC::I8:
+    return "i8";
+  case SC::I16:
+    return "i16";
+  case SC::I32:
+    return "i32";
+  case SC::I64:
+    return "i64";
+  case SC::F32:
+    return "f32";
+  case SC::F64:
+    return "f64";
+  case SC::V128:
+    return "v128";
+  }
+  SLADE_UNREACHABLE("covered switch");
+}
+
+static std::string valueStr(const Value &V) {
+  switch (V.K) {
+  case Value::None:
+    return "<none>";
+  case Value::VReg:
+    return formatString("%%%d:%s", V.Reg, scName(V.Cls));
+  case Value::ImmI:
+    return formatString("%lld", static_cast<long long>(V.Imm));
+  case Value::ImmF:
+    return formatString("%g", V.FImm);
+  case Value::Frame:
+    return formatString("slot%d", V.Slot);
+  case Value::Sym:
+    return "@" + V.Name;
+  }
+  SLADE_UNREACHABLE("covered switch");
+}
+
+static const char *opName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::SDiv:
+    return "sdiv";
+  case Opcode::UDiv:
+    return "udiv";
+  case Opcode::SRem:
+    return "srem";
+  case Opcode::URem:
+    return "urem";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::Shl:
+    return "shl";
+  case Opcode::AShr:
+    return "ashr";
+  case Opcode::LShr:
+    return "lshr";
+  case Opcode::Neg:
+    return "neg";
+  case Opcode::Not:
+    return "not";
+  case Opcode::FAdd:
+    return "fadd";
+  case Opcode::FSub:
+    return "fsub";
+  case Opcode::FMul:
+    return "fmul";
+  case Opcode::FDiv:
+    return "fdiv";
+  case Opcode::FNeg:
+    return "fneg";
+  case Opcode::Mov:
+    return "mov";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::AddrOf:
+    return "addrof";
+  case Opcode::SExt:
+    return "sext";
+  case Opcode::ZExt:
+    return "zext";
+  case Opcode::Trunc:
+    return "trunc";
+  case Opcode::SIToFP:
+    return "sitofp";
+  case Opcode::FPToSI:
+    return "fptosi";
+  case Opcode::FPExt:
+    return "fpext";
+  case Opcode::FPTrunc:
+    return "fptrunc";
+  case Opcode::ICmp:
+    return "icmp";
+  case Opcode::FCmp:
+    return "fcmp";
+  case Opcode::Br:
+    return "br";
+  case Opcode::CondBr:
+    return "condbr";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::Call:
+    return "call";
+  case Opcode::VBroadcast:
+    return "vbroadcast";
+  case Opcode::VLoad:
+    return "vload";
+  case Opcode::VStore:
+    return "vstore";
+  case Opcode::VAdd:
+    return "vadd";
+  case Opcode::VSub:
+    return "vsub";
+  case Opcode::VMul:
+    return "vmul";
+  }
+  SLADE_UNREACHABLE("covered switch");
+}
+
+std::string IRFunction::dump() const {
+  std::string Out = formatString("func %s (%zu params, %zu slots)\n",
+                                 Name.c_str(), Params.size(), Slots.size());
+  for (const BasicBlock &B : Blocks) {
+    Out += formatString("bb%d:\n", B.Id);
+    for (const Instr &I : B.Instrs) {
+      Out += "  ";
+      if (!I.Dst.isNone())
+        Out += valueStr(I.Dst) + " = ";
+      Out += opName(I.Op);
+      if (I.Op == Opcode::ICmp || I.Op == Opcode::FCmp) {
+        Out += ".";
+        Out += predName(I.P);
+      }
+      Out += formatString(".%s", scName(I.Cls));
+      if (I.Op == Opcode::Call)
+        Out += " @" + I.Callee;
+      for (const Value &V : I.Ops)
+        Out += " " + valueStr(V);
+      if (I.Target0 >= 0)
+        Out += formatString(" ->bb%d", I.Target0);
+      if (I.Target1 >= 0)
+        Out += formatString(" ->bb%d", I.Target1);
+      Out += '\n';
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,242 @@
+//===- IR.h - three-address intermediate representation ---------*- C++ -*-===//
+///
+/// \file
+/// Non-SSA three-address IR with explicit basic blocks. Lowered from the
+/// mini-C AST and consumed by the x86-64/AArch64 backends. Integer virtual
+/// registers conceptually hold 64-bit values; an operation of class C
+/// defines the low C bits with the extension behaviour of the target ISAs
+/// (32-bit writes zero-extend, like both x86-64 and AArch64).
+///
+//===----------------------------------------------------------------------===//
+#ifndef SLADE_IR_IR_H
+#define SLADE_IR_IR_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace slade {
+namespace ir {
+
+/// Machine-level scalar class of a value or memory access.
+enum class SC { I8, I16, I32, I64, F32, F64, V128 };
+
+inline unsigned scBytes(SC C) {
+  switch (C) {
+  case SC::I8:
+    return 1;
+  case SC::I16:
+    return 2;
+  case SC::I32:
+  case SC::F32:
+    return 4;
+  case SC::I64:
+  case SC::F64:
+    return 8;
+  case SC::V128:
+    return 16;
+  }
+  return 8;
+}
+
+inline bool scIsFloat(SC C) { return C == SC::F32 || C == SC::F64; }
+
+/// An operand: virtual register, immediate, frame-slot address, or symbol
+/// address.
+struct Value {
+  enum Kind { None, VReg, ImmI, ImmF, Frame, Sym } K = None;
+  SC Cls = SC::I64;
+  int Reg = -1;       ///< VReg id.
+  int64_t Imm = 0;    ///< ImmI payload.
+  double FImm = 0;    ///< ImmF payload.
+  int Slot = -1;      ///< Frame slot id.
+  std::string Name;   ///< Sym payload.
+
+  static Value none() { return Value(); }
+  static Value vreg(int Reg, SC Cls) {
+    Value V;
+    V.K = VReg;
+    V.Reg = Reg;
+    V.Cls = Cls;
+    return V;
+  }
+  static Value immI(int64_t X, SC Cls = SC::I64) {
+    Value V;
+    V.K = ImmI;
+    V.Imm = X;
+    V.Cls = Cls;
+    return V;
+  }
+  static Value immF(double X, SC Cls) {
+    Value V;
+    V.K = ImmF;
+    V.FImm = X;
+    V.Cls = Cls;
+    return V;
+  }
+  static Value frame(int Slot) {
+    Value V;
+    V.K = Frame;
+    V.Slot = Slot;
+    V.Cls = SC::I64;
+    return V;
+  }
+  static Value sym(std::string Name) {
+    Value V;
+    V.K = Sym;
+    V.Name = std::move(Name);
+    V.Cls = SC::I64;
+    return V;
+  }
+
+  bool isNone() const { return K == None; }
+  bool isVReg() const { return K == VReg; }
+  bool isImmI() const { return K == ImmI; }
+};
+
+enum class Opcode {
+  // Integer arithmetic (class I32 or I64).
+  Add,
+  Sub,
+  Mul,
+  SDiv,
+  UDiv,
+  SRem,
+  URem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  AShr,
+  LShr,
+  Neg,
+  Not,
+  // Floating arithmetic (class F32 or F64).
+  FAdd,
+  FSub,
+  FMul,
+  FDiv,
+  FNeg,
+  // Data movement.
+  Mov,          ///< dst = op0 (any class).
+  Load,         ///< dst = *(op0) with MemCls + SignExtend.
+  Store,        ///< *(op1) = op0 with MemCls.
+  AddrOf,       ///< dst = address of frame slot / symbol (op0).
+  // Conversions.
+  SExt,         ///< dst(Cls) = sign-extend op0 (FromCls).
+  ZExt,         ///< dst(Cls) = zero-extend op0 (FromCls).
+  Trunc,        ///< dst(Cls) = truncate op0 (FromCls).
+  SIToFP,       ///< dst(Cls=F*) = (float)op0 (FromCls=I*).
+  FPToSI,       ///< dst(Cls=I*) = (int)op0 (FromCls=F*).
+  FPExt,        ///< F32 -> F64.
+  FPTrunc,      ///< F64 -> F32.
+  // Comparisons produce 0/1 in an I32 vreg.
+  ICmp,
+  FCmp,
+  // Control flow.
+  Br,           ///< Target0.
+  CondBr,       ///< op0 != 0 -> Target0 else Target1.
+  Ret,          ///< Optional op0.
+  Call,         ///< dst (optional) = Callee(ops...).
+  // 128-bit integer SIMD (4 x i32 lanes), used by the O3 vectorizer.
+  VBroadcast,   ///< dst.v4i32 = {op0, op0, op0, op0}.
+  VLoad,        ///< dst.v4i32 = *(op0).
+  VStore,       ///< *(op1) = op0.
+  VAdd,
+  VSub,
+  VMul,
+};
+
+enum class Pred {
+  EQ,
+  NE,
+  SLT,
+  SLE,
+  SGT,
+  SGE,
+  ULT,
+  ULE,
+  UGT,
+  UGE,
+};
+
+/// Negates a predicate (for branch inversion).
+Pred invertPred(Pred P);
+/// Swaps operand order (a < b  ->  b > a).
+Pred swapPred(Pred P);
+const char *predName(Pred P);
+
+struct Instr {
+  Opcode Op;
+  SC Cls = SC::I64;      ///< Class the operation works at.
+  SC FromCls = SC::I64;  ///< Source class for conversions / MemCls for
+                         ///< Load/Store.
+  bool SignExtend = false; ///< Load extension behaviour.
+  Value Dst;
+  std::vector<Value> Ops;
+  Pred P = Pred::EQ;
+  std::string Callee;
+  int Target0 = -1; ///< Branch targets (block ids).
+  int Target1 = -1;
+
+  bool isTerminator() const {
+    return Op == Opcode::Br || Op == Opcode::CondBr || Op == Opcode::Ret;
+  }
+};
+
+struct BasicBlock {
+  int Id = -1;
+  std::vector<Instr> Instrs;
+};
+
+struct FrameSlot {
+  unsigned Size = 0;
+  unsigned Align = 1;
+  std::string Name; ///< Debug label (variable name).
+};
+
+/// Where an incoming parameter is homed by the backend prologue: either a
+/// frame slot (O0 / address-taken) or a virtual register (O3 promoted).
+struct ParamInfo {
+  SC Cls = SC::I32;
+  int HomeSlot = -1;
+  int HomeVReg = -1;
+};
+
+/// One function's worth of IR.
+class IRFunction {
+public:
+  std::string Name;
+  bool RetVoid = true;
+  SC RetCls = SC::I32;
+  /// Parameters in ABI order.
+  std::vector<ParamInfo> Params;
+  std::vector<FrameSlot> Slots;
+  std::vector<BasicBlock> Blocks;
+  int NextVReg = 0;
+
+  int newVReg() { return NextVReg++; }
+  int newSlot(unsigned Size, unsigned Align, std::string Label) {
+    Slots.push_back({Size, Align, std::move(Label)});
+    return static_cast<int>(Slots.size()) - 1;
+  }
+  int newBlock() {
+    BasicBlock B;
+    B.Id = static_cast<int>(Blocks.size());
+    Blocks.push_back(std::move(B));
+    return B.Id;
+  }
+  BasicBlock &block(int Id) {
+    assert(Id >= 0 && Id < static_cast<int>(Blocks.size()) && "bad block id");
+    return Blocks[static_cast<size_t>(Id)];
+  }
+
+  /// Debug dump (textual IR), used in tests and --debug tools.
+  std::string dump() const;
+};
+
+} // namespace ir
+} // namespace slade
+
+#endif // SLADE_IR_IR_H

@@ -1,0 +1,1568 @@
+//===- IRGen.cpp - AST to IR lowering --------------------------------------===//
+
+#include "ir/IRGen.h"
+
+#include "support/StringUtils.h"
+#include "support/Unreachable.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace slade;
+using namespace slade::cc;
+using namespace slade::ir;
+
+namespace {
+
+/// Where a value lives: behind an address, or directly in a vreg (promoted
+/// variable at O3).
+struct Place {
+  bool IsReg = false;
+  Value Addr;       ///< Address (VReg/Frame/Sym) when !IsReg.
+  int Reg = -1;     ///< VReg id when IsReg.
+  SC MemCls = SC::I32;
+  bool Signed = true;
+  const cc::Type *Ty = nullptr;
+};
+
+class IRGen {
+public:
+  IRGen(const FunctionDecl &F, const IRGenOptions &Options)
+      : F(F), Options(Options) {}
+
+  Expected<IRFunction> run();
+
+private:
+  const FunctionDecl &F;
+  IRGenOptions Options;
+  IRFunction Fn;
+  int CurBB = -1;
+  std::string Error;
+  std::map<const VarDecl *, int> VarSlots;   ///< Memory-resident vars.
+  std::map<const VarDecl *, int> VarRegs;    ///< Promoted vars (O3).
+  std::set<const VarDecl *> AddrTaken;
+  std::vector<std::pair<int, int>> LoopStack; ///< (breakBB, continueBB).
+
+  void fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = Msg;
+  }
+  bool failed() const { return !Error.empty(); }
+
+  // -- emission helpers ----------------------------------------------------
+  Instr &emit(Instr I) {
+    BasicBlock &B = Fn.block(CurBB);
+    assert((B.Instrs.empty() || !B.Instrs.back().isTerminator()) &&
+           "emitting into a terminated block");
+    B.Instrs.push_back(std::move(I));
+    return B.Instrs.back();
+  }
+  bool terminated() const {
+    const BasicBlock &B = const_cast<IRGen *>(this)->Fn.block(CurBB);
+    return !B.Instrs.empty() && B.Instrs.back().isTerminator();
+  }
+  void setBlock(int BB) { CurBB = BB; }
+  void br(int Target) {
+    if (!terminated()) {
+      Instr I;
+      I.Op = Opcode::Br;
+      I.Target0 = Target;
+      emit(std::move(I));
+    }
+  }
+  Value binop(Opcode Op, SC Cls, Value A, Value B) {
+    Instr I;
+    I.Op = Op;
+    I.Cls = Cls;
+    I.Dst = Value::vreg(Fn.newVReg(), Cls);
+    I.Ops = {std::move(A), std::move(B)};
+    return emit(std::move(I)).Dst;
+  }
+  Value unop(Opcode Op, SC Cls, Value A) {
+    Instr I;
+    I.Op = Op;
+    I.Cls = Cls;
+    I.Dst = Value::vreg(Fn.newVReg(), Cls);
+    I.Ops = {std::move(A)};
+    return emit(std::move(I)).Dst;
+  }
+  Value conv(Opcode Op, SC To, SC From, Value A) {
+    Instr I;
+    I.Op = Op;
+    I.Cls = To;
+    I.FromCls = From;
+    I.Dst = Value::vreg(Fn.newVReg(), To);
+    I.Ops = {std::move(A)};
+    return emit(std::move(I)).Dst;
+  }
+  Value icmp(Pred P, SC Cls, Value A, Value B) {
+    Instr I;
+    I.Op = Opcode::ICmp;
+    I.P = P;
+    I.Cls = Cls;
+    I.Dst = Value::vreg(Fn.newVReg(), SC::I32);
+    I.Ops = {std::move(A), std::move(B)};
+    return emit(std::move(I)).Dst;
+  }
+  Value fcmp(Pred P, SC Cls, Value A, Value B) {
+    Instr I;
+    I.Op = Opcode::FCmp;
+    I.P = P;
+    I.Cls = Cls;
+    I.Dst = Value::vreg(Fn.newVReg(), SC::I32);
+    I.Ops = {std::move(A), std::move(B)};
+    return emit(std::move(I)).Dst;
+  }
+  Value load(Value Addr, SC MemCls, bool Signed) {
+    SC DstCls = scIsFloat(MemCls)           ? MemCls
+                : scBytes(MemCls) == 8      ? SC::I64
+                                            : SC::I32;
+    Instr I;
+    I.Op = Opcode::Load;
+    I.Cls = DstCls;
+    I.FromCls = MemCls;
+    I.SignExtend = Signed;
+    I.Dst = Value::vreg(Fn.newVReg(), DstCls);
+    I.Ops = {std::move(Addr)};
+    return emit(std::move(I)).Dst;
+  }
+  void store(Value V, Value Addr, SC MemCls) {
+    Instr I;
+    I.Op = Opcode::Store;
+    I.FromCls = MemCls;
+    I.Cls = MemCls;
+    I.Ops = {std::move(V), std::move(Addr)};
+    emit(std::move(I));
+  }
+  Value movTo(int Reg, SC Cls, Value V) {
+    Instr I;
+    I.Op = Opcode::Mov;
+    I.Cls = Cls;
+    I.Dst = Value::vreg(Reg, Cls);
+    I.Ops = {std::move(V)};
+    return emit(std::move(I)).Dst;
+  }
+  Value addrOf(Value FrameOrSym) {
+    Instr I;
+    I.Op = Opcode::AddrOf;
+    I.Cls = SC::I64;
+    I.Dst = Value::vreg(Fn.newVReg(), SC::I64);
+    I.Ops = {std::move(FrameOrSym)};
+    return emit(std::move(I)).Dst;
+  }
+
+  // -- type helpers --------------------------------------------------------
+  static SC typeSC(const cc::Type *T) {
+    const cc::Type *C = T->canonical();
+    if (const auto *I = dyn_cast<IntType>(C)) {
+      switch (I->bits()) {
+      case 8:
+        return SC::I8;
+      case 16:
+        return SC::I16;
+      case 32:
+        return SC::I32;
+      default:
+        return SC::I64;
+      }
+    }
+    if (const auto *Fl = dyn_cast<FloatType>(C))
+      return Fl->bits() == 32 ? SC::F32 : SC::F64;
+    return SC::I64; // Pointers, arrays (as addresses).
+  }
+  static bool typeSigned(const cc::Type *T) {
+    const cc::Type *C = T->canonical();
+    if (const auto *I = dyn_cast<IntType>(C))
+      return I->isSigned();
+    return true;
+  }
+  /// Register class values of this type are computed in (small ints
+  /// promote to I32).
+  static SC valueSC(const cc::Type *T) {
+    SC C = typeSC(T);
+    if (C == SC::I8 || C == SC::I16)
+      return SC::I32;
+    return C;
+  }
+
+  /// Converts \p V (an rvalue of type \p From) to type \p To's value class.
+  Value coerce(Value V, const cc::Type *From, const cc::Type *To);
+
+  // -- traversal -----------------------------------------------------------
+  void collectAddrTaken(const Stmt *S);
+  void collectAddrTakenExpr(const Expr *E);
+  bool shouldPromote(const VarDecl *V) const;
+  void declareLocal(const VarDecl *V);
+  Place placeOf(const Expr &E);
+  Value loadPlace(const Place &P);
+  void storePlace(const Place &P, Value V);
+  Value genExpr(const Expr &E);
+  void genCond(const Expr &E, int TrueBB, int FalseBB);
+  void genStmt(const Stmt &S);
+  void genFor(const ForStmt &S);
+  Value genCall(const CallExpr &C);
+
+  // -- O3 loop transforms ---------------------------------------------------
+  struct CountedLoop {
+    const VarDecl *Index = nullptr;
+    const Expr *Limit = nullptr; ///< VarRef or IntLit, loop-invariant.
+    bool Valid = false;
+  };
+  CountedLoop matchCountedLoop(const ForStmt &S);
+  bool bodyBlocksTransform(const Stmt *S, const VarDecl *Index,
+                           const VarDecl *LimitVar, bool ForbidCalls);
+  struct VecPattern {
+    const VarDecl *DstArray = nullptr;
+    const VarDecl *SrcArray = nullptr; ///< Null when Scalar broadcast.
+    const Expr *Scalar = nullptr;      ///< Invariant scalar operand.
+    cc::BinaryOp Op = cc::BinaryOp::Add;
+    bool Valid = false;
+  };
+  VecPattern matchVecPattern(const ForStmt &S, const CountedLoop &CL);
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Setup and variable placement
+//===----------------------------------------------------------------------===//
+
+void IRGen::collectAddrTakenExpr(const Expr *E) {
+  if (!E)
+    return;
+  if (const auto *U = dyn_cast<UnaryExpr>(E)) {
+    if (U->Op == UnaryOp::AddrOf)
+      if (const auto *Ref = dyn_cast<VarRef>(U->Operand.get()))
+        if (Ref->Decl)
+          AddrTaken.insert(Ref->Decl);
+    collectAddrTakenExpr(U->Operand.get());
+    return;
+  }
+  if (const auto *B = dyn_cast<BinaryExpr>(E)) {
+    collectAddrTakenExpr(B->LHS.get());
+    collectAddrTakenExpr(B->RHS.get());
+    return;
+  }
+  if (const auto *C = dyn_cast<ConditionalExpr>(E)) {
+    collectAddrTakenExpr(C->Cond.get());
+    collectAddrTakenExpr(C->Then.get());
+    collectAddrTakenExpr(C->Else.get());
+    return;
+  }
+  if (const auto *C = dyn_cast<CallExpr>(E)) {
+    for (const ExprPtr &A : C->Args)
+      collectAddrTakenExpr(A.get());
+    return;
+  }
+  if (const auto *I = dyn_cast<IndexExpr>(E)) {
+    collectAddrTakenExpr(I->Base.get());
+    collectAddrTakenExpr(I->Index.get());
+    return;
+  }
+  if (const auto *M = dyn_cast<MemberExpr>(E)) {
+    collectAddrTakenExpr(M->Base.get());
+    return;
+  }
+  if (const auto *C = dyn_cast<CastExpr>(E)) {
+    collectAddrTakenExpr(C->Operand.get());
+    return;
+  }
+}
+
+void IRGen::collectAddrTaken(const Stmt *S) {
+  if (!S)
+    return;
+  switch (S->getKind()) {
+  case StmtKind::Compound:
+    for (const StmtPtr &Child : cast<CompoundStmt>(S)->Body)
+      collectAddrTaken(Child.get());
+    return;
+  case StmtKind::Expr:
+    collectAddrTakenExpr(cast<ExprStmt>(S)->E.get());
+    return;
+  case StmtKind::Decl:
+    for (const auto &V : cast<DeclStmt>(S)->Decls)
+      collectAddrTakenExpr(V->Init.get());
+    return;
+  case StmtKind::If: {
+    const auto *I = cast<IfStmt>(S);
+    collectAddrTakenExpr(I->Cond.get());
+    collectAddrTaken(I->Then.get());
+    collectAddrTaken(I->Else.get());
+    return;
+  }
+  case StmtKind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    collectAddrTakenExpr(W->Cond.get());
+    collectAddrTaken(W->Body.get());
+    return;
+  }
+  case StmtKind::DoWhile: {
+    const auto *D = cast<DoWhileStmt>(S);
+    collectAddrTaken(D->Body.get());
+    collectAddrTakenExpr(D->Cond.get());
+    return;
+  }
+  case StmtKind::For: {
+    const auto *Fo = cast<ForStmt>(S);
+    collectAddrTaken(Fo->Init.get());
+    collectAddrTakenExpr(Fo->Cond.get());
+    collectAddrTakenExpr(Fo->Step.get());
+    collectAddrTaken(Fo->Body.get());
+    return;
+  }
+  case StmtKind::Return:
+    collectAddrTakenExpr(cast<ReturnStmt>(S)->Value.get());
+    return;
+  default:
+    return;
+  }
+}
+
+bool IRGen::shouldPromote(const VarDecl *V) const {
+  if (!Options.Optimize || AddrTaken.count(V) || V->IsGlobal)
+    return false;
+  const cc::Type *C = V->Ty->canonical();
+  if (C->isArray() || C->isStruct() || C->isFloating())
+    return false;
+  if (const auto *I = dyn_cast<IntType>(C))
+    if (I->bits() < 32)
+      return false;
+  return true;
+}
+
+void IRGen::declareLocal(const VarDecl *V) {
+  if (VarSlots.count(V) || VarRegs.count(V))
+    return; // Re-entered loop body (unrolling) reuses storage.
+  if (shouldPromote(V)) {
+    VarRegs[V] = Fn.newVReg();
+    return;
+  }
+  const cc::Type *C = V->Ty->canonical();
+  VarSlots[V] = Fn.newSlot(std::max(1u, C->size()), std::max(1u, C->align()),
+                           V->Name);
+}
+
+//===----------------------------------------------------------------------===//
+// Places and coercions
+//===----------------------------------------------------------------------===//
+
+Value IRGen::coerce(Value V, const cc::Type *From, const cc::Type *To) {
+  const cc::Type *CF = From->canonical(), *CT = To->canonical();
+  SC FromC = valueSC(CF), ToC = valueSC(CT);
+  if (CF->isFloating() && CT->isFloating()) {
+    if (FromC == ToC)
+      return V;
+    return conv(FromC == SC::F32 ? Opcode::FPExt : Opcode::FPTrunc, ToC,
+                FromC, V);
+  }
+  if (CF->isFloating() && !CT->isFloating()) {
+    Value IntV = conv(Opcode::FPToSI, ToC == SC::I64 ? SC::I64 : SC::I32,
+                      FromC, V);
+    return IntV;
+  }
+  if (!CF->isFloating() && CT->isFloating()) {
+    // Sign-extend the integer to its own width first if needed; SIToFP
+    // converts from I32 or I64.
+    return conv(Opcode::SIToFP, ToC, FromC == SC::I64 ? SC::I64 : SC::I32, V);
+  }
+  // Integer / pointer conversions.
+  if (FromC == ToC)
+    return V;
+  if (FromC == SC::I32 && ToC == SC::I64)
+    return conv(typeSigned(CF) ? Opcode::SExt : Opcode::ZExt, SC::I64,
+                SC::I32, V);
+  if (FromC == SC::I64 && ToC == SC::I32)
+    return conv(Opcode::Trunc, SC::I32, SC::I64, V);
+  return V;
+}
+
+Place IRGen::placeOf(const Expr &E) {
+  Place P;
+  P.Ty = E.Ty;
+  P.MemCls = typeSC(E.Ty);
+  P.Signed = typeSigned(E.Ty);
+  switch (E.getKind()) {
+  case ExprKind::VarRef: {
+    const auto *Ref = cast<VarRef>(&E);
+    const VarDecl *D = Ref->Decl;
+    assert(D && "unresolved VarRef reached IRGen");
+    // Use the declared type: Sema decays array-typed references to
+    // pointers, but the storage is still the array.
+    P.Ty = D->Ty;
+    P.MemCls = typeSC(D->Ty);
+    P.Signed = typeSigned(D->Ty);
+    auto RIt = VarRegs.find(D);
+    if (RIt != VarRegs.end()) {
+      P.IsReg = true;
+      P.Reg = RIt->second;
+      return P;
+    }
+    if (D->IsGlobal) {
+      P.Addr = Value::sym(D->Name);
+      return P;
+    }
+    auto SIt = VarSlots.find(D);
+    if (SIt == VarSlots.end()) {
+      fail(formatString("variable '%s' used before declaration",
+                        D->Name.c_str()));
+      return P;
+    }
+    P.Addr = Value::frame(SIt->second);
+    return P;
+  }
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(&E);
+    assert(U->Op == UnaryOp::Deref && "only deref unary is an lvalue");
+    P.Addr = genExpr(*U->Operand);
+    return P;
+  }
+  case ExprKind::Index: {
+    const auto *I = cast<IndexExpr>(&E);
+    Value Base = genExpr(*I->Base);
+    Value Idx = genExpr(*I->Index);
+    // Extend the index to 64 bits (the movslq idiom).
+    if (valueSC(I->Index->Ty) == SC::I32)
+      Idx = conv(typeSigned(I->Index->Ty) ? Opcode::SExt : Opcode::ZExt,
+                 SC::I64, SC::I32, Idx);
+    unsigned ElemSize = std::max(1u, E.Ty->canonical()->size());
+    Value Scaled = ElemSize == 1
+                       ? Idx
+                       : binop(Opcode::Mul, SC::I64, Idx,
+                               Value::immI(ElemSize, SC::I64));
+    P.Addr = binop(Opcode::Add, SC::I64, Base, Scaled);
+    return P;
+  }
+  case ExprKind::Member: {
+    const auto *M = cast<MemberExpr>(&E);
+    Value Base;
+    if (M->IsArrow) {
+      Base = genExpr(*M->Base);
+    } else {
+      Place BP = placeOf(*M->Base);
+      assert(!BP.IsReg && "struct value in register");
+      Base = BP.Addr.isVReg() ? BP.Addr : addrOf(BP.Addr);
+    }
+    P.Addr = M->Offset == 0 ? Base
+                            : binop(Opcode::Add, SC::I64, Base,
+                                    Value::immI(M->Offset, SC::I64));
+    return P;
+  }
+  default:
+    fail("expression is not assignable");
+    return P;
+  }
+}
+
+Value IRGen::loadPlace(const Place &P) {
+  if (P.IsReg) {
+    SC Cls = valueSC(P.Ty);
+    return Value::vreg(P.Reg, Cls);
+  }
+  const cc::Type *C = P.Ty->canonical();
+  if (C->isArray()) {
+    // Arrays decay: the value is the address.
+    return P.Addr.isVReg() ? P.Addr : addrOf(P.Addr);
+  }
+  return load(P.Addr.isVReg() ? P.Addr
+              : P.Addr.K == Value::Frame || P.Addr.K == Value::Sym
+                  ? P.Addr
+                  : P.Addr,
+              P.MemCls, P.Signed);
+}
+
+void IRGen::storePlace(const Place &P, Value V) {
+  if (P.IsReg) {
+    movTo(P.Reg, valueSC(P.Ty), V);
+    return;
+  }
+  store(V, P.Addr, P.MemCls);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+static Opcode binOpcode(cc::BinaryOp Op, bool FloatOp, bool Signed,
+                        bool *Unsupported) {
+  *Unsupported = false;
+  if (FloatOp) {
+    switch (Op) {
+    case cc::BinaryOp::Add:
+      return Opcode::FAdd;
+    case cc::BinaryOp::Sub:
+      return Opcode::FSub;
+    case cc::BinaryOp::Mul:
+      return Opcode::FMul;
+    case cc::BinaryOp::Div:
+      return Opcode::FDiv;
+    default:
+      *Unsupported = true;
+      return Opcode::FAdd;
+    }
+  }
+  switch (Op) {
+  case cc::BinaryOp::Add:
+    return Opcode::Add;
+  case cc::BinaryOp::Sub:
+    return Opcode::Sub;
+  case cc::BinaryOp::Mul:
+    return Opcode::Mul;
+  case cc::BinaryOp::Div:
+    return Signed ? Opcode::SDiv : Opcode::UDiv;
+  case cc::BinaryOp::Rem:
+    return Signed ? Opcode::SRem : Opcode::URem;
+  case cc::BinaryOp::Shl:
+    return Opcode::Shl;
+  case cc::BinaryOp::Shr:
+    return Signed ? Opcode::AShr : Opcode::LShr;
+  case cc::BinaryOp::BitAnd:
+    return Opcode::And;
+  case cc::BinaryOp::BitOr:
+    return Opcode::Or;
+  case cc::BinaryOp::BitXor:
+    return Opcode::Xor;
+  default:
+    *Unsupported = true;
+    return Opcode::Add;
+  }
+}
+
+static Pred cmpPred(cc::BinaryOp Op, bool Signed) {
+  switch (Op) {
+  case cc::BinaryOp::Eq:
+    return Pred::EQ;
+  case cc::BinaryOp::Ne:
+    return Pred::NE;
+  case cc::BinaryOp::Lt:
+    return Signed ? Pred::SLT : Pred::ULT;
+  case cc::BinaryOp::Le:
+    return Signed ? Pred::SLE : Pred::ULE;
+  case cc::BinaryOp::Gt:
+    return Signed ? Pred::SGT : Pred::UGT;
+  case cc::BinaryOp::Ge:
+    return Signed ? Pred::SGE : Pred::UGE;
+  default:
+    SLADE_UNREACHABLE("not a comparison");
+  }
+}
+
+Value IRGen::genCall(const CallExpr &C) {
+  Instr I;
+  I.Op = Opcode::Call;
+  I.Callee = C.Callee;
+  for (size_t A = 0; A < C.Args.size(); ++A) {
+    Value V = genExpr(*C.Args[A]);
+    if (failed())
+      return Value::immI(0, SC::I32);
+    if (C.Decl && A < C.Decl->Params.size())
+      V = coerce(V, C.Args[A]->Ty, C.Decl->Params[A]->Ty);
+    I.Ops.push_back(V);
+  }
+  const cc::Type *RetTy = C.Ty;
+  if (RetTy && !RetTy->canonical()->isVoid()) {
+    I.Cls = valueSC(RetTy);
+    I.Dst = Value::vreg(Fn.newVReg(), I.Cls);
+  } else {
+    I.Cls = SC::I32;
+  }
+  return emit(std::move(I)).Dst;
+}
+
+Value IRGen::genExpr(const Expr &E) {
+  if (failed())
+    return Value::immI(0, SC::I32);
+  assert(E.Ty && "untyped expression reached IRGen (run Sema)");
+
+  switch (E.getKind()) {
+  case ExprKind::IntLit:
+    return Value::immI(cast<IntLit>(&E)->Value, valueSC(E.Ty));
+  case ExprKind::FloatLit:
+    return Value::immF(cast<FloatLit>(&E)->Value, valueSC(E.Ty));
+  case ExprKind::StringLit:
+    fail("string literals are outside the compilable subset");
+    return Value::immI(0, SC::I64);
+  case ExprKind::VarRef:
+  case ExprKind::Index:
+  case ExprKind::Member: {
+    Place P = placeOf(E);
+    if (failed())
+      return Value::immI(0, SC::I32);
+    return loadPlace(P);
+  }
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(&E);
+    switch (U->Op) {
+    case UnaryOp::Plus:
+      return genExpr(*U->Operand);
+    case UnaryOp::Neg: {
+      Value V = genExpr(*U->Operand);
+      SC Cls = valueSC(E.Ty);
+      return unop(scIsFloat(Cls) ? Opcode::FNeg : Opcode::Neg, Cls, V);
+    }
+    case UnaryOp::BitNot: {
+      Value V = genExpr(*U->Operand);
+      return unop(Opcode::Not, valueSC(E.Ty), V);
+    }
+    case UnaryOp::LogNot: {
+      Value V = genExpr(*U->Operand);
+      SC Cls = valueSC(U->Operand->Ty);
+      if (scIsFloat(Cls))
+        return fcmp(Pred::EQ, Cls, V, Value::immF(0.0, Cls));
+      return icmp(Pred::EQ, Cls, V, Value::immI(0, Cls));
+    }
+    case UnaryOp::Deref: {
+      Place P = placeOf(E);
+      if (failed())
+        return Value::immI(0, SC::I32);
+      return loadPlace(P);
+    }
+    case UnaryOp::AddrOf: {
+      Place P = placeOf(*U->Operand);
+      if (failed())
+        return Value::immI(0, SC::I64);
+      if (P.IsReg) {
+        fail("address of a register variable");
+        return Value::immI(0, SC::I64);
+      }
+      return P.Addr.isVReg() ? P.Addr : addrOf(P.Addr);
+    }
+    case UnaryOp::PreInc:
+    case UnaryOp::PreDec:
+    case UnaryOp::PostInc:
+    case UnaryOp::PostDec: {
+      bool IsInc = U->Op == UnaryOp::PreInc || U->Op == UnaryOp::PostInc;
+      bool IsPost = U->Op == UnaryOp::PostInc || U->Op == UnaryOp::PostDec;
+      Place P = placeOf(*U->Operand);
+      if (failed())
+        return Value::immI(0, SC::I32);
+      Value Old = loadPlace(P);
+      const cc::Type *C = U->Operand->Ty->canonical();
+      Value New;
+      if (C->isPointer()) {
+        unsigned Step = std::max(
+            1u, cast<PointerType>(C)->pointee()->canonical()->size());
+        New = binop(IsInc ? Opcode::Add : Opcode::Sub, SC::I64, Old,
+                    Value::immI(Step, SC::I64));
+      } else if (C->isFloating()) {
+        SC Cls = valueSC(C);
+        New = binop(IsInc ? Opcode::FAdd : Opcode::FSub, Cls, Old,
+                    Value::immF(1.0, Cls));
+      } else {
+        SC Cls = valueSC(C);
+        New = binop(IsInc ? Opcode::Add : Opcode::Sub, Cls, Old,
+                    Value::immI(1, Cls));
+      }
+      storePlace(P, New);
+      return IsPost ? Old : New;
+    }
+    }
+    SLADE_UNREACHABLE("covered unary op switch");
+  }
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(&E);
+    if (B->Op == cc::BinaryOp::Comma) {
+      genExpr(*B->LHS);
+      return genExpr(*B->RHS);
+    }
+    if (B->Op == cc::BinaryOp::LogAnd || B->Op == cc::BinaryOp::LogOr) {
+      // Control-flow lowering into a 0/1 result register.
+      int Result = Fn.newVReg();
+      int TrueBB = Fn.newBlock(), FalseBB = Fn.newBlock(),
+          JoinBB = Fn.newBlock();
+      genCond(E, TrueBB, FalseBB);
+      setBlock(TrueBB);
+      movTo(Result, SC::I32, Value::immI(1, SC::I32));
+      br(JoinBB);
+      setBlock(FalseBB);
+      movTo(Result, SC::I32, Value::immI(0, SC::I32));
+      br(JoinBB);
+      setBlock(JoinBB);
+      return Value::vreg(Result, SC::I32);
+    }
+    if (cc::isAssignOp(B->Op)) {
+      Place P = placeOf(*B->LHS);
+      if (failed())
+        return Value::immI(0, SC::I32);
+      if (B->Op == cc::BinaryOp::Assign) {
+        Value R = genExpr(*B->RHS);
+        if (failed())
+          return Value::immI(0, SC::I32);
+        R = coerce(R, B->RHS->Ty, B->LHS->Ty);
+        storePlace(P, R);
+        return R;
+      }
+      // Compound assignment: load, op, store.
+      cc::BinaryOp Inner = cc::strippedCompound(B->Op);
+      Value Old = loadPlace(P);
+      Value R = genExpr(*B->RHS);
+      if (failed())
+        return Value::immI(0, SC::I32);
+      const cc::Type *LT = B->LHS->Ty->canonical();
+      Value New;
+      if (LT->isPointer()) {
+        unsigned Step =
+            std::max(1u, cast<PointerType>(LT)->pointee()->canonical()->size());
+        Value Idx = coerce(R, B->RHS->Ty, B->RHS->Ty); // No-op; kept 1:1.
+        if (valueSC(B->RHS->Ty) == SC::I32)
+          Idx = conv(typeSigned(B->RHS->Ty) ? Opcode::SExt : Opcode::ZExt,
+                     SC::I64, SC::I32, Idx);
+        Value Scaled = Step == 1 ? Idx
+                                 : binop(Opcode::Mul, SC::I64, Idx,
+                                         Value::immI(Step, SC::I64));
+        New = binop(Inner == cc::BinaryOp::Add ? Opcode::Add : Opcode::Sub,
+                    SC::I64, Old, Scaled);
+      } else {
+        // Compute in the promoted common type then narrow back.
+        SC Cls = valueSC(LT);
+        Value RC = coerce(R, B->RHS->Ty, B->LHS->Ty);
+        bool Unsupported = false;
+        Opcode Op = binOpcode(Inner, scIsFloat(Cls), typeSigned(LT),
+                              &Unsupported);
+        if (Unsupported) {
+          fail("unsupported compound assignment");
+          return Value::immI(0, SC::I32);
+        }
+        New = binop(Op, Cls, Old, RC);
+      }
+      storePlace(P, New);
+      return New;
+    }
+    if (cc::isComparisonOp(B->Op)) {
+      Value L = genExpr(*B->LHS);
+      Value R = genExpr(*B->RHS);
+      if (failed())
+        return Value::immI(0, SC::I32);
+      const cc::Type *LT = B->LHS->Ty->canonical();
+      const cc::Type *RT = B->RHS->Ty->canonical();
+      if (LT->isFloating() || RT->isFloating()) {
+        // Promote both to the wider float class.
+        const cc::Type *Common =
+            (typeSC(LT) == SC::F64 || typeSC(RT) == SC::F64)
+                ? static_cast<const cc::Type *>(nullptr)
+                : nullptr;
+        (void)Common;
+        SC Cls = (valueSC(LT) == SC::F64 || valueSC(RT) == SC::F64)
+                     ? SC::F64
+                     : SC::F32;
+        if (!LT->isFloating())
+          L = conv(Opcode::SIToFP, Cls, valueSC(LT), L);
+        else if (valueSC(LT) != Cls)
+          L = conv(Opcode::FPExt, Cls, valueSC(LT), L);
+        if (!RT->isFloating())
+          R = conv(Opcode::SIToFP, Cls, valueSC(RT), R);
+        else if (valueSC(RT) != Cls)
+          R = conv(Opcode::FPExt, Cls, valueSC(RT), R);
+        return fcmp(cmpPred(B->Op, true), Cls, L, R);
+      }
+      bool PtrCmp = LT->isPointerLike() || RT->isPointerLike();
+      SC Cls;
+      bool Signed;
+      if (PtrCmp) {
+        Cls = SC::I64;
+        Signed = false;
+        if (valueSC(LT) == SC::I32)
+          L = conv(typeSigned(LT) ? Opcode::SExt : Opcode::ZExt, SC::I64,
+                   SC::I32, L);
+        if (valueSC(RT) == SC::I32)
+          R = conv(typeSigned(RT) ? Opcode::SExt : Opcode::ZExt, SC::I64,
+                   SC::I32, R);
+      } else {
+        const auto *LI = cast<IntType>(LT->canonical());
+        const auto *RI = cast<IntType>(RT->canonical());
+        unsigned Bits = std::max({LI->bits(), RI->bits(), 32u});
+        Cls = Bits == 64 ? SC::I64 : SC::I32;
+        if (LI->isSigned() == RI->isSigned())
+          Signed = LI->isSigned();
+        else if (LI->bits() == RI->bits())
+          Signed = false;
+        else
+          Signed = (LI->bits() > RI->bits()) ? LI->isSigned()
+                                             : RI->isSigned();
+        if (Cls == SC::I64) {
+          if (valueSC(LT) == SC::I32)
+            L = conv(LI->isSigned() ? Opcode::SExt : Opcode::ZExt, SC::I64,
+                     SC::I32, L);
+          if (valueSC(RT) == SC::I32)
+            R = conv(RI->isSigned() ? Opcode::SExt : Opcode::ZExt, SC::I64,
+                     SC::I32, R);
+        }
+      }
+      return icmp(cmpPred(B->Op, Signed), Cls, L, R);
+    }
+    // Pointer arithmetic and plain arithmetic.
+    const cc::Type *LT = B->LHS->Ty->canonical();
+    const cc::Type *RT = B->RHS->Ty->canonical();
+    if (LT->isPointerLike() && RT->isPointerLike() &&
+        B->Op == cc::BinaryOp::Sub) {
+      Value L = genExpr(*B->LHS);
+      Value R = genExpr(*B->RHS);
+      Value Diff = binop(Opcode::Sub, SC::I64, L, R);
+      unsigned Elem = std::max(
+          1u, cast<PointerType>(LT)->pointee()->canonical()->size());
+      if (Elem == 1)
+        return Diff;
+      return binop(Opcode::SDiv, SC::I64, Diff, Value::immI(Elem, SC::I64));
+    }
+    if (LT->isPointerLike() || RT->isPointerLike()) {
+      const Expr *PtrE = LT->isPointerLike() ? B->LHS.get() : B->RHS.get();
+      const Expr *IntE = LT->isPointerLike() ? B->RHS.get() : B->LHS.get();
+      Value P = genExpr(*PtrE);
+      Value Idx = genExpr(*IntE);
+      if (valueSC(IntE->Ty) == SC::I32)
+        Idx = conv(typeSigned(IntE->Ty) ? Opcode::SExt : Opcode::ZExt,
+                   SC::I64, SC::I32, Idx);
+      const auto *PT = cast<PointerType>(
+          PtrE->Ty->canonical()->isArray()
+              ? E.Ty->canonical()
+              : PtrE->Ty->canonical());
+      unsigned Elem = std::max(1u, PT->pointee()->canonical()->size());
+      Value Scaled = Elem == 1 ? Idx
+                               : binop(Opcode::Mul, SC::I64, Idx,
+                                       Value::immI(Elem, SC::I64));
+      return binop(B->Op == cc::BinaryOp::Sub ? Opcode::Sub : Opcode::Add,
+                   SC::I64, P, Scaled);
+    }
+    Value L = genExpr(*B->LHS);
+    Value R = genExpr(*B->RHS);
+    if (failed())
+      return Value::immI(0, SC::I32);
+    L = coerce(L, B->LHS->Ty, E.Ty);
+    if (B->Op != cc::BinaryOp::Shl && B->Op != cc::BinaryOp::Shr)
+      R = coerce(R, B->RHS->Ty, E.Ty);
+    SC Cls = valueSC(E.Ty);
+    bool Unsupported = false;
+    Opcode Op = binOpcode(B->Op, scIsFloat(Cls), typeSigned(E.Ty),
+                          &Unsupported);
+    if (Unsupported) {
+      fail("unsupported binary operator");
+      return Value::immI(0, SC::I32);
+    }
+    return binop(Op, Cls, L, R);
+  }
+  case ExprKind::Conditional: {
+    const auto *C = cast<ConditionalExpr>(&E);
+    int Result = Fn.newVReg();
+    SC Cls = valueSC(E.Ty);
+    int ThenBB = Fn.newBlock(), ElseBB = Fn.newBlock(),
+        JoinBB = Fn.newBlock();
+    genCond(*C->Cond, ThenBB, ElseBB);
+    setBlock(ThenBB);
+    Value TV = genExpr(*C->Then);
+    if (failed())
+      return Value::immI(0, SC::I32);
+    movTo(Result, Cls, coerce(TV, C->Then->Ty, E.Ty));
+    br(JoinBB);
+    setBlock(ElseBB);
+    Value EV = genExpr(*C->Else);
+    if (failed())
+      return Value::immI(0, SC::I32);
+    movTo(Result, Cls, coerce(EV, C->Else->Ty, E.Ty));
+    br(JoinBB);
+    setBlock(JoinBB);
+    return Value::vreg(Result, Cls);
+  }
+  case ExprKind::Call:
+    return genCall(*cast<CallExpr>(&E));
+  case ExprKind::Cast: {
+    const auto *C = cast<CastExpr>(&E);
+    Value V = genExpr(*C->Operand);
+    if (failed())
+      return Value::immI(0, SC::I32);
+    if (E.Ty->canonical()->isVoid())
+      return Value::immI(0, SC::I32);
+    return coerce(V, C->Operand->Ty, E.Ty);
+  }
+  }
+  SLADE_UNREACHABLE("covered expression kind switch");
+}
+
+void IRGen::genCond(const Expr &E, int TrueBB, int FalseBB) {
+  if (failed())
+    return;
+  if (const auto *B = dyn_cast<BinaryExpr>(&E)) {
+    if (B->Op == cc::BinaryOp::LogAnd) {
+      int MidBB = Fn.newBlock();
+      genCond(*B->LHS, MidBB, FalseBB);
+      setBlock(MidBB);
+      genCond(*B->RHS, TrueBB, FalseBB);
+      return;
+    }
+    if (B->Op == cc::BinaryOp::LogOr) {
+      int MidBB = Fn.newBlock();
+      genCond(*B->LHS, TrueBB, MidBB);
+      setBlock(MidBB);
+      genCond(*B->RHS, TrueBB, FalseBB);
+      return;
+    }
+  }
+  if (const auto *U = dyn_cast<UnaryExpr>(&E)) {
+    if (U->Op == UnaryOp::LogNot) {
+      genCond(*U->Operand, FalseBB, TrueBB);
+      return;
+    }
+  }
+  Value V = genExpr(E);
+  if (failed())
+    return;
+  // Normalize to a vreg comparison against zero unless it is already a
+  // comparison (the backend fuses cmp+branch).
+  SC Cls = valueSC(E.Ty);
+  Value Flag;
+  if (scIsFloat(Cls))
+    Flag = fcmp(Pred::NE, Cls, V, Value::immF(0.0, Cls));
+  else if (!V.isVReg())
+    Flag = icmp(Pred::NE, Cls, V, Value::immI(0, Cls));
+  else {
+    // If V was just produced by a compare, branch on it directly.
+    const BasicBlock &B = Fn.block(CurBB);
+    bool IsCmp = !B.Instrs.empty() &&
+                 (B.Instrs.back().Op == Opcode::ICmp ||
+                  B.Instrs.back().Op == Opcode::FCmp) &&
+                 B.Instrs.back().Dst.isVReg() &&
+                 B.Instrs.back().Dst.Reg == V.Reg;
+    Flag = IsCmp ? V : icmp(Pred::NE, Cls, V, Value::immI(0, Cls));
+  }
+  Instr I;
+  I.Op = Opcode::CondBr;
+  I.Ops = {Flag};
+  I.Target0 = TrueBB;
+  I.Target1 = FalseBB;
+  emit(std::move(I));
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void IRGen::genStmt(const Stmt &S) {
+  if (failed() || terminated())
+    return;
+  switch (S.getKind()) {
+  case StmtKind::Compound:
+    for (const StmtPtr &Child : cast<CompoundStmt>(&S)->Body) {
+      genStmt(*Child);
+      if (terminated())
+        return; // Unreachable trailing code is dropped.
+    }
+    return;
+  case StmtKind::Expr:
+    genExpr(*cast<ExprStmt>(&S)->E);
+    return;
+  case StmtKind::Decl:
+    for (const auto &V : cast<DeclStmt>(&S)->Decls) {
+      declareLocal(V.get());
+      if (V->Init) {
+        Value Init = genExpr(*V->Init);
+        if (failed())
+          return;
+        Init = coerce(Init, V->Init->Ty, V->Ty);
+        auto RIt = VarRegs.find(V.get());
+        if (RIt != VarRegs.end())
+          movTo(RIt->second, valueSC(V->Ty), Init);
+        else
+          store(Init, Value::frame(VarSlots[V.get()]),
+                typeSC(V->Ty));
+      }
+    }
+    return;
+  case StmtKind::If: {
+    const auto *I = cast<IfStmt>(&S);
+    int ThenBB = Fn.newBlock();
+    int ElseBB = I->Else ? Fn.newBlock() : -1;
+    int JoinBB = Fn.newBlock();
+    genCond(*I->Cond, ThenBB, I->Else ? ElseBB : JoinBB);
+    setBlock(ThenBB);
+    genStmt(*I->Then);
+    br(JoinBB);
+    if (I->Else) {
+      setBlock(ElseBB);
+      genStmt(*I->Else);
+      br(JoinBB);
+    }
+    setBlock(JoinBB);
+    return;
+  }
+  case StmtKind::While: {
+    const auto *W = cast<WhileStmt>(&S);
+    int CondBB = Fn.newBlock(), BodyBB = Fn.newBlock(),
+        ExitBB = Fn.newBlock();
+    br(CondBB);
+    setBlock(CondBB);
+    genCond(*W->Cond, BodyBB, ExitBB);
+    LoopStack.push_back({ExitBB, CondBB});
+    setBlock(BodyBB);
+    genStmt(*W->Body);
+    br(CondBB);
+    LoopStack.pop_back();
+    setBlock(ExitBB);
+    return;
+  }
+  case StmtKind::DoWhile: {
+    const auto *D = cast<DoWhileStmt>(&S);
+    int BodyBB = Fn.newBlock(), CondBB = Fn.newBlock(),
+        ExitBB = Fn.newBlock();
+    br(BodyBB);
+    LoopStack.push_back({ExitBB, CondBB});
+    setBlock(BodyBB);
+    genStmt(*D->Body);
+    br(CondBB);
+    LoopStack.pop_back();
+    setBlock(CondBB);
+    genCond(*D->Cond, BodyBB, ExitBB);
+    setBlock(ExitBB);
+    return;
+  }
+  case StmtKind::For:
+    genFor(*cast<ForStmt>(&S));
+    return;
+  case StmtKind::Return: {
+    const auto *R = cast<ReturnStmt>(&S);
+    Instr I;
+    I.Op = Opcode::Ret;
+    if (R->Value) {
+      Value V = genExpr(*R->Value);
+      if (failed())
+        return;
+      V = coerce(V, R->Value->Ty, F.RetTy);
+      I.Cls = valueSC(F.RetTy);
+      I.Ops = {V};
+    }
+    emit(std::move(I));
+    return;
+  }
+  case StmtKind::Break:
+    assert(!LoopStack.empty() && "break outside loop passed Sema");
+    br(LoopStack.back().first);
+    return;
+  case StmtKind::Continue:
+    assert(!LoopStack.empty() && "continue outside loop passed Sema");
+    br(LoopStack.back().second);
+    return;
+  case StmtKind::Empty:
+    return;
+  }
+  SLADE_UNREACHABLE("covered statement kind switch");
+}
+
+//===----------------------------------------------------------------------===//
+// O3 loop transforms
+//===----------------------------------------------------------------------===//
+
+/// True if the subtree assigns to \p V (including ++/--).
+static bool modifiesVar(const Expr *E, const VarDecl *V) {
+  if (!E)
+    return false;
+  if (const auto *B = dyn_cast<BinaryExpr>(E)) {
+    if (cc::isAssignOp(B->Op))
+      if (const auto *Ref = dyn_cast<VarRef>(B->LHS.get()))
+        if (Ref->Decl == V)
+          return true;
+    return modifiesVar(B->LHS.get(), V) || modifiesVar(B->RHS.get(), V);
+  }
+  if (const auto *U = dyn_cast<UnaryExpr>(E)) {
+    if (U->Op == UnaryOp::PreInc || U->Op == UnaryOp::PreDec ||
+        U->Op == UnaryOp::PostInc || U->Op == UnaryOp::PostDec ||
+        U->Op == UnaryOp::AddrOf)
+      if (const auto *Ref = dyn_cast<VarRef>(U->Operand.get()))
+        if (Ref->Decl == V)
+          return true;
+    return modifiesVar(U->Operand.get(), V);
+  }
+  if (const auto *C = dyn_cast<ConditionalExpr>(E))
+    return modifiesVar(C->Cond.get(), V) || modifiesVar(C->Then.get(), V) ||
+           modifiesVar(C->Else.get(), V);
+  if (const auto *C = dyn_cast<CallExpr>(E)) {
+    for (const ExprPtr &A : C->Args)
+      if (modifiesVar(A.get(), V))
+        return true;
+    return false;
+  }
+  if (const auto *I = dyn_cast<IndexExpr>(E))
+    return modifiesVar(I->Base.get(), V) || modifiesVar(I->Index.get(), V);
+  if (const auto *M = dyn_cast<MemberExpr>(E))
+    return modifiesVar(M->Base.get(), V);
+  if (const auto *C = dyn_cast<CastExpr>(E))
+    return modifiesVar(C->Operand.get(), V);
+  return false;
+}
+
+bool IRGen::bodyBlocksTransform(const Stmt *S, const VarDecl *Index,
+                                const VarDecl *LimitVar, bool ForbidCalls) {
+  if (!S)
+    return false;
+  switch (S->getKind()) {
+  case StmtKind::Break:
+  case StmtKind::Continue:
+  case StmtKind::Return:
+    return true;
+  case StmtKind::Compound:
+    for (const StmtPtr &Child : cast<CompoundStmt>(S)->Body)
+      if (bodyBlocksTransform(Child.get(), Index, LimitVar, ForbidCalls))
+        return true;
+    return false;
+  case StmtKind::Expr: {
+    const Expr *E = cast<ExprStmt>(S)->E.get();
+    if (modifiesVar(E, Index) || (LimitVar && modifiesVar(E, LimitVar)))
+      return true;
+    if (ForbidCalls) {
+      // Conservatively reject any call in a vectorization candidate.
+      struct HasCall {
+        static bool check(const Expr *E) {
+          if (!E)
+            return false;
+          if (isa<CallExpr>(E))
+            return true;
+          if (const auto *B = dyn_cast<BinaryExpr>(E))
+            return check(B->LHS.get()) || check(B->RHS.get());
+          if (const auto *U = dyn_cast<UnaryExpr>(E))
+            return check(U->Operand.get());
+          if (const auto *C = dyn_cast<ConditionalExpr>(E))
+            return check(C->Cond.get()) || check(C->Then.get()) ||
+                   check(C->Else.get());
+          if (const auto *I = dyn_cast<IndexExpr>(E))
+            return check(I->Base.get()) || check(I->Index.get());
+          if (const auto *M = dyn_cast<MemberExpr>(E))
+            return check(M->Base.get());
+          if (const auto *C = dyn_cast<CastExpr>(E))
+            return check(C->Operand.get());
+          return false;
+        }
+      };
+      if (HasCall::check(E))
+        return true;
+    }
+    return false;
+  }
+  case StmtKind::Decl: {
+    for (const auto &V : cast<DeclStmt>(S)->Decls)
+      if (V->Init && (modifiesVar(V->Init.get(), Index) ||
+                      (LimitVar && modifiesVar(V->Init.get(), LimitVar))))
+        return true;
+    return false;
+  }
+  case StmtKind::If: {
+    const auto *I = cast<IfStmt>(S);
+    return modifiesVar(I->Cond.get(), Index) ||
+           (LimitVar && modifiesVar(I->Cond.get(), LimitVar)) ||
+           bodyBlocksTransform(I->Then.get(), Index, LimitVar, ForbidCalls) ||
+           bodyBlocksTransform(I->Else.get(), Index, LimitVar, ForbidCalls);
+  }
+  // Nested loops disqualify unrolling (keeps generated code reasonable).
+  case StmtKind::While:
+  case StmtKind::DoWhile:
+  case StmtKind::For:
+    return true;
+  case StmtKind::Empty:
+    return false;
+  }
+  return true;
+}
+
+IRGen::CountedLoop IRGen::matchCountedLoop(const ForStmt &S) {
+  CountedLoop CL;
+  if (!S.Cond || !S.Step || !S.Init || !S.Body)
+    return CL;
+  // Init: `int i = 0;` or `i = 0;`.
+  const VarDecl *Index = nullptr;
+  if (const auto *DS = dyn_cast<DeclStmt>(S.Init.get())) {
+    if (DS->Decls.size() != 1 || !DS->Decls[0]->Init)
+      return CL;
+    const auto *Zero = dyn_cast<IntLit>(DS->Decls[0]->Init.get());
+    if (!Zero || Zero->Value != 0)
+      return CL;
+    Index = DS->Decls[0].get();
+  } else if (const auto *ES = dyn_cast<ExprStmt>(S.Init.get())) {
+    const auto *B = dyn_cast<BinaryExpr>(ES->E.get());
+    if (!B || B->Op != cc::BinaryOp::Assign)
+      return CL;
+    const auto *Ref = dyn_cast<VarRef>(B->LHS.get());
+    const auto *Zero = dyn_cast<IntLit>(B->RHS.get());
+    if (!Ref || !Zero || Zero->Value != 0)
+      return CL;
+    Index = Ref->Decl;
+  } else {
+    return CL;
+  }
+  if (!Index)
+    return CL;
+  const auto *IT = dyn_cast<IntType>(Index->Ty->canonical());
+  if (!IT || IT->bits() != 32 || !IT->isSigned())
+    return CL;
+  // Cond: `i < limit` with limit a VarRef or IntLit.
+  const auto *Cond = dyn_cast<BinaryExpr>(S.Cond.get());
+  if (!Cond || Cond->Op != cc::BinaryOp::Lt)
+    return CL;
+  const auto *CondVar = dyn_cast<VarRef>(Cond->LHS.get());
+  if (!CondVar || CondVar->Decl != Index)
+    return CL;
+  const Expr *Limit = Cond->RHS.get();
+  const VarDecl *LimitVar = nullptr;
+  if (const auto *LR = dyn_cast<VarRef>(Limit)) {
+    LimitVar = LR->Decl;
+    if (!LR->Ty->canonical()->isInteger())
+      return CL;
+  } else if (!isa<IntLit>(Limit)) {
+    return CL;
+  }
+  // Step: `i++`, `++i`, or `i += 1`.
+  bool StepOk = false;
+  if (const auto *U = dyn_cast<UnaryExpr>(S.Step.get())) {
+    if ((U->Op == UnaryOp::PostInc || U->Op == UnaryOp::PreInc))
+      if (const auto *Ref = dyn_cast<VarRef>(U->Operand.get()))
+        StepOk = Ref->Decl == Index;
+  } else if (const auto *B = dyn_cast<BinaryExpr>(S.Step.get())) {
+    if (B->Op == cc::BinaryOp::AddAssign)
+      if (const auto *Ref = dyn_cast<VarRef>(B->LHS.get()))
+        if (const auto *One = dyn_cast<IntLit>(B->RHS.get()))
+          StepOk = Ref->Decl == Index && One->Value == 1;
+  }
+  if (!StepOk)
+    return CL;
+  if (bodyBlocksTransform(S.Body.get(), Index, LimitVar,
+                          /*ForbidCalls=*/false))
+    return CL;
+  CL.Index = Index;
+  CL.Limit = Limit;
+  CL.Valid = true;
+  return CL;
+}
+
+IRGen::VecPattern IRGen::matchVecPattern(const ForStmt &S,
+                                         const CountedLoop &CL) {
+  VecPattern VP;
+  // Body must be a single expression statement (possibly in a compound).
+  const Stmt *Body = S.Body.get();
+  while (const auto *C = dyn_cast<CompoundStmt>(Body)) {
+    if (C->Body.size() != 1)
+      return VP;
+    Body = C->Body[0].get();
+  }
+  const auto *ES = dyn_cast<ExprStmt>(Body);
+  if (!ES)
+    return VP;
+  const auto *B = dyn_cast<BinaryExpr>(ES->E.get());
+  if (!B)
+    return VP;
+
+  auto isElem = [&](const Expr *E, const VarDecl **Array) {
+    const auto *I = dyn_cast<IndexExpr>(E);
+    if (!I)
+      return false;
+    const auto *BaseRef = dyn_cast<VarRef>(I->Base.get());
+    const auto *IdxRef = dyn_cast<VarRef>(I->Index.get());
+    if (!BaseRef || !IdxRef || IdxRef->Decl != CL.Index)
+      return false;
+    const auto *ET = dyn_cast<IntType>(E->Ty->canonical());
+    if (!ET || ET->bits() != 32)
+      return false;
+    *Array = BaseRef->Decl;
+    return true;
+  };
+  auto isInvariantScalar = [&](const Expr *E) {
+    if (isa<IntLit>(E))
+      return true;
+    const auto *Ref = dyn_cast<VarRef>(E);
+    if (!Ref || Ref->Decl == CL.Index)
+      return false;
+    const auto *ET = dyn_cast<IntType>(E->Ty->canonical());
+    return ET && ET->bits() == 32;
+  };
+  auto vecOp = [](cc::BinaryOp Op) {
+    return Op == cc::BinaryOp::Add || Op == cc::BinaryOp::Sub ||
+           Op == cc::BinaryOp::Mul;
+  };
+
+  // Form 1: A[i] op= scalar   /  A[i] op= A[i2? no] — compound assignment.
+  if (B->Op == cc::BinaryOp::AddAssign || B->Op == cc::BinaryOp::SubAssign ||
+      B->Op == cc::BinaryOp::MulAssign) {
+    const VarDecl *Dst = nullptr;
+    if (!isElem(B->LHS.get(), &Dst))
+      return VP;
+    if (isInvariantScalar(B->RHS.get())) {
+      VP.DstArray = Dst;
+      VP.Scalar = B->RHS.get();
+      VP.Op = cc::strippedCompound(B->Op);
+      VP.Valid = true;
+      return VP;
+    }
+    const VarDecl *Src = nullptr;
+    if (isElem(B->RHS.get(), &Src) && Src == Dst) {
+      VP.DstArray = Dst;
+      VP.SrcArray = Src;
+      VP.Op = cc::strippedCompound(B->Op);
+      VP.Valid = true;
+      return VP;
+    }
+    return VP;
+  }
+  // Form 2: A[i] = A[i] op scalar.
+  if (B->Op == cc::BinaryOp::Assign) {
+    const VarDecl *Dst = nullptr;
+    if (!isElem(B->LHS.get(), &Dst))
+      return VP;
+    const auto *RHS = dyn_cast<BinaryExpr>(B->RHS.get());
+    if (!RHS || !vecOp(RHS->Op))
+      return VP;
+    const VarDecl *Src = nullptr;
+    if (isElem(RHS->LHS.get(), &Src) && Src == Dst &&
+        isInvariantScalar(RHS->RHS.get())) {
+      VP.DstArray = Dst;
+      VP.SrcArray = Src;
+      VP.Scalar = RHS->RHS.get();
+      VP.Op = RHS->Op;
+      VP.Valid = true;
+      return VP;
+    }
+    return VP;
+  }
+  return VP;
+}
+
+void IRGen::genFor(const ForStmt &S) {
+  // O3: try vectorize, then unroll.
+  if (Options.Optimize && S.Body) {
+    CountedLoop CL = matchCountedLoop(S);
+    if (CL.Valid) {
+      const VarDecl *LimitVar = nullptr;
+      if (const auto *LR = dyn_cast<VarRef>(CL.Limit))
+        LimitVar = LR->Decl;
+
+      VecPattern VP =
+          Options.EnableVectorize &&
+                  !bodyBlocksTransform(S.Body.get(), CL.Index, LimitVar,
+                                       /*ForbidCalls=*/true)
+              ? matchVecPattern(S, CL)
+              : VecPattern();
+
+      // Shared skeleton: init; main loop on chunks of 4; scalar remainder.
+      genStmt(*S.Init);
+      if (failed())
+        return;
+
+      // Index variable access helpers.
+      auto idxValue = [&]() -> Value {
+        auto RIt = VarRegs.find(CL.Index);
+        if (RIt != VarRegs.end())
+          return Value::vreg(RIt->second, SC::I32);
+        return load(Value::frame(VarSlots[CL.Index]), SC::I32, true);
+      };
+      auto idxStore = [&](Value V) {
+        auto RIt = VarRegs.find(CL.Index);
+        if (RIt != VarRegs.end())
+          movTo(RIt->second, SC::I32, V);
+        else
+          store(V, Value::frame(VarSlots[CL.Index]), SC::I32);
+      };
+      auto limitValue = [&]() -> Value {
+        if (const auto *IL = dyn_cast<IntLit>(CL.Limit))
+          return Value::immI(IL->Value, SC::I32);
+        const auto *LR = cast<VarRef>(CL.Limit);
+        auto RIt = VarRegs.find(LR->Decl);
+        if (RIt != VarRegs.end())
+          return Value::vreg(RIt->second, SC::I32);
+        if (LR->Decl->IsGlobal)
+          return load(Value::sym(LR->Decl->Name), SC::I32, true);
+        return load(Value::frame(VarSlots[LR->Decl]), SC::I32,
+                    typeSigned(LR->Decl->Ty));
+      };
+
+      int MainBB = Fn.newBlock(), MainBody = Fn.newBlock(),
+          RemBB = Fn.newBlock(), RemBody = Fn.newBlock(),
+          ExitBB = Fn.newBlock();
+
+      // Hoist the broadcast for vectorized loops.
+      Value BroadcastV = Value::none();
+      if (VP.Valid && VP.Scalar) {
+        Value Sc = genExpr(*VP.Scalar);
+        Instr BI;
+        BI.Op = Opcode::VBroadcast;
+        BI.Cls = SC::V128;
+        BI.Dst = Value::vreg(Fn.newVReg(), SC::V128);
+        BI.Ops = {Sc};
+        BroadcastV = emit(std::move(BI)).Dst;
+      }
+
+      br(MainBB);
+      // Main loop header: while (i + 4 <= limit).
+      setBlock(MainBB);
+      {
+        Value I4 = binop(Opcode::Add, SC::I32, idxValue(),
+                         Value::immI(4, SC::I32));
+        Value Flag = icmp(Pred::SLE, SC::I32, I4, limitValue());
+        Instr Br;
+        Br.Op = Opcode::CondBr;
+        Br.Ops = {Flag};
+        Br.Target0 = MainBody;
+        Br.Target1 = RemBB;
+        emit(std::move(Br));
+      }
+      setBlock(MainBody);
+      if (VP.Valid) {
+        // &Dst[i]
+        auto arrayAddr = [&](const VarDecl *Arr) -> Value {
+          Value Base;
+          auto RIt = VarRegs.find(Arr);
+          if (RIt != VarRegs.end())
+            Base = Value::vreg(RIt->second, SC::I64);
+          else if (Arr->IsGlobal)
+            Base = load(Value::sym(Arr->Name), SC::I64, false);
+          else
+            Base = load(Value::frame(VarSlots[Arr]), SC::I64, false);
+          Value Idx64 = conv(Opcode::SExt, SC::I64, SC::I32, idxValue());
+          Value Off = binop(Opcode::Mul, SC::I64, Idx64,
+                            Value::immI(4, SC::I64));
+          return binop(Opcode::Add, SC::I64, Base, Off);
+        };
+        Value DstAddr = arrayAddr(VP.DstArray);
+        Instr VL;
+        VL.Op = Opcode::VLoad;
+        VL.Cls = SC::V128;
+        VL.Dst = Value::vreg(Fn.newVReg(), SC::V128);
+        VL.Ops = {DstAddr};
+        Value A = emit(std::move(VL)).Dst;
+        Value B = BroadcastV;
+        if (VP.SrcArray && !VP.Scalar) {
+          Value SrcAddr = arrayAddr(VP.SrcArray);
+          Instr VL2;
+          VL2.Op = Opcode::VLoad;
+          VL2.Cls = SC::V128;
+          VL2.Dst = Value::vreg(Fn.newVReg(), SC::V128);
+          VL2.Ops = {SrcAddr};
+          B = emit(std::move(VL2)).Dst;
+        }
+        Opcode VOp = VP.Op == cc::BinaryOp::Add   ? Opcode::VAdd
+                     : VP.Op == cc::BinaryOp::Sub ? Opcode::VSub
+                                                  : Opcode::VMul;
+        Instr VO;
+        VO.Op = VOp;
+        VO.Cls = SC::V128;
+        VO.Dst = Value::vreg(Fn.newVReg(), SC::V128);
+        VO.Ops = {A, B};
+        Value R = emit(std::move(VO)).Dst;
+        Instr VS;
+        VS.Op = Opcode::VStore;
+        VS.Cls = SC::V128;
+        VS.Ops = {R, DstAddr};
+        emit(std::move(VS));
+        idxStore(binop(Opcode::Add, SC::I32, idxValue(),
+                       Value::immI(4, SC::I32)));
+      } else {
+        // Unrolled: body; i++; x4.
+        for (int K = 0; K < 4; ++K) {
+          genStmt(*S.Body);
+          if (failed())
+            return;
+          idxStore(binop(Opcode::Add, SC::I32, idxValue(),
+                         Value::immI(1, SC::I32)));
+        }
+      }
+      br(MainBB);
+
+      // Remainder loop: while (i < limit) body; i++.
+      setBlock(RemBB);
+      {
+        Value Flag = icmp(Pred::SLT, SC::I32, idxValue(), limitValue());
+        Instr Br;
+        Br.Op = Opcode::CondBr;
+        Br.Ops = {Flag};
+        Br.Target0 = RemBody;
+        Br.Target1 = ExitBB;
+        emit(std::move(Br));
+      }
+      setBlock(RemBody);
+      genStmt(*S.Body);
+      if (failed())
+        return;
+      idxStore(binop(Opcode::Add, SC::I32, idxValue(),
+                     Value::immI(1, SC::I32)));
+      br(RemBB);
+      setBlock(ExitBB);
+      return;
+    }
+  }
+
+  // Generic lowering.
+  int CondBB = Fn.newBlock(), BodyBB = Fn.newBlock(), StepBB = Fn.newBlock(),
+      ExitBB = Fn.newBlock();
+  if (S.Init)
+    genStmt(*S.Init);
+  if (failed())
+    return;
+  br(CondBB);
+  setBlock(CondBB);
+  if (S.Cond)
+    genCond(*S.Cond, BodyBB, ExitBB);
+  else
+    br(BodyBB);
+  LoopStack.push_back({ExitBB, StepBB});
+  setBlock(BodyBB);
+  if (S.Body)
+    genStmt(*S.Body);
+  br(StepBB);
+  LoopStack.pop_back();
+  setBlock(StepBB);
+  if (S.Step)
+    genExpr(*S.Step);
+  br(CondBB);
+  setBlock(ExitBB);
+}
+
+//===----------------------------------------------------------------------===//
+// Entry
+//===----------------------------------------------------------------------===//
+
+Expected<IRFunction> IRGen::run() {
+  Fn.Name = F.Name;
+  const cc::Type *RetC = F.RetTy->canonical();
+  Fn.RetVoid = RetC->isVoid();
+  if (!Fn.RetVoid)
+    Fn.RetCls = valueSC(F.RetTy);
+
+  if (F.Body)
+    collectAddrTaken(F.Body.get());
+
+  int Entry = Fn.newBlock();
+  setBlock(Entry);
+
+  // Parameters: the backend prologue homes each ABI register either into a
+  // frame slot (GCC -O0's parameter homing) or a promoted vreg (O3).
+  for (const auto &P : F.Params) {
+    declareLocal(P.get());
+    ParamInfo PI;
+    PI.Cls = valueSC(P->Ty);
+    auto RIt = VarRegs.find(P.get());
+    if (RIt != VarRegs.end()) {
+      PI.HomeVReg = RIt->second;
+    } else {
+      PI.HomeSlot = VarSlots[P.get()];
+      PI.Cls = typeSC(P->Ty); // Store at the variable's memory width.
+    }
+    Fn.Params.push_back(PI);
+  }
+
+  if (F.Body)
+    genStmt(*F.Body);
+  if (failed())
+    return Expected<IRFunction>::error(Error);
+
+  // Fallthrough return.
+  if (!terminated()) {
+    Instr I;
+    I.Op = Opcode::Ret;
+    if (!Fn.RetVoid) {
+      I.Cls = Fn.RetCls;
+      I.Ops = {scIsFloat(Fn.RetCls) ? Value::immF(0.0, Fn.RetCls)
+                                    : Value::immI(0, Fn.RetCls)};
+    }
+    emit(std::move(I));
+  }
+  return std::move(Fn);
+}
+
+Expected<IRFunction> slade::ir::generateIR(const FunctionDecl &F,
+                                           const IRGenOptions &Options) {
+  IRGen G(F, Options);
+  return G.run();
+}

@@ -1,0 +1,403 @@
+//===- Passes.cpp - IR optimization passes ----------------------------------===//
+
+#include "ir/Passes.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+using namespace slade;
+using namespace slade::ir;
+
+/// Truncates \p X to the width of \p Cls (sign-agnostic bit pattern).
+static uint64_t truncToCls(uint64_t X, SC Cls) {
+  switch (Cls) {
+  case SC::I8:
+    return X & 0xffULL;
+  case SC::I16:
+    return X & 0xffffULL;
+  case SC::I32:
+    return X & 0xffffffffULL;
+  default:
+    return X;
+  }
+}
+
+static int64_t signExtend(uint64_t X, SC Cls) {
+  switch (Cls) {
+  case SC::I8:
+    return static_cast<int8_t>(X);
+  case SC::I16:
+    return static_cast<int16_t>(X);
+  case SC::I32:
+    return static_cast<int32_t>(X);
+  default:
+    return static_cast<int64_t>(X);
+  }
+}
+
+static bool evalBinary(Opcode Op, SC Cls, int64_t A, int64_t B,
+                       int64_t *Out) {
+  uint64_t UA = truncToCls(static_cast<uint64_t>(A), Cls);
+  uint64_t UB = truncToCls(static_cast<uint64_t>(B), Cls);
+  int64_t SA = signExtend(UA, Cls), SB = signExtend(UB, Cls);
+  unsigned Bits = scBytes(Cls) * 8;
+  uint64_t R = 0;
+  switch (Op) {
+  case Opcode::Add:
+    R = UA + UB;
+    break;
+  case Opcode::Sub:
+    R = UA - UB;
+    break;
+  case Opcode::Mul:
+    R = UA * UB;
+    break;
+  case Opcode::SDiv:
+    if (SB == 0 || (SA == INT64_MIN && SB == -1))
+      return false;
+    R = static_cast<uint64_t>(SA / SB);
+    break;
+  case Opcode::UDiv:
+    if (UB == 0)
+      return false;
+    R = UA / UB;
+    break;
+  case Opcode::SRem:
+    if (SB == 0 || (SA == INT64_MIN && SB == -1))
+      return false;
+    R = static_cast<uint64_t>(SA % SB);
+    break;
+  case Opcode::URem:
+    if (UB == 0)
+      return false;
+    R = UA % UB;
+    break;
+  case Opcode::And:
+    R = UA & UB;
+    break;
+  case Opcode::Or:
+    R = UA | UB;
+    break;
+  case Opcode::Xor:
+    R = UA ^ UB;
+    break;
+  case Opcode::Shl:
+    R = UA << (UB & (Bits - 1));
+    break;
+  case Opcode::AShr:
+    R = static_cast<uint64_t>(SA >> (UB & (Bits - 1)));
+    break;
+  case Opcode::LShr:
+    R = UA >> (UB & (Bits - 1));
+    break;
+  default:
+    return false;
+  }
+  *Out = signExtend(truncToCls(R, Cls), Cls);
+  return true;
+}
+
+static bool evalICmp(Pred P, SC Cls, int64_t A, int64_t B, int64_t *Out) {
+  uint64_t UA = truncToCls(static_cast<uint64_t>(A), Cls);
+  uint64_t UB = truncToCls(static_cast<uint64_t>(B), Cls);
+  int64_t SA = signExtend(UA, Cls), SB = signExtend(UB, Cls);
+  bool R = false;
+  switch (P) {
+  case Pred::EQ:
+    R = UA == UB;
+    break;
+  case Pred::NE:
+    R = UA != UB;
+    break;
+  case Pred::SLT:
+    R = SA < SB;
+    break;
+  case Pred::SLE:
+    R = SA <= SB;
+    break;
+  case Pred::SGT:
+    R = SA > SB;
+    break;
+  case Pred::SGE:
+    R = SA >= SB;
+    break;
+  case Pred::ULT:
+    R = UA < UB;
+    break;
+  case Pred::ULE:
+    R = UA <= UB;
+    break;
+  case Pred::UGT:
+    R = UA > UB;
+    break;
+  case Pred::UGE:
+    R = UA >= UB;
+    break;
+  }
+  *Out = R ? 1 : 0;
+  return true;
+}
+
+bool slade::ir::foldConstants(IRFunction &F) {
+  bool Changed = false;
+  for (BasicBlock &B : F.Blocks) {
+    for (Instr &I : B.Instrs) {
+      auto allImm = [&] {
+        for (const Value &V : I.Ops)
+          if (!V.isImmI())
+            return false;
+        return !I.Ops.empty();
+      };
+      int64_t R = 0;
+      switch (I.Op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::SDiv:
+      case Opcode::UDiv:
+      case Opcode::SRem:
+      case Opcode::URem:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::AShr:
+      case Opcode::LShr:
+        if (allImm() &&
+            evalBinary(I.Op, I.Cls, I.Ops[0].Imm, I.Ops[1].Imm, &R)) {
+          I.Op = Opcode::Mov;
+          I.Ops = {Value::immI(R, I.Cls)};
+          Changed = true;
+        }
+        break;
+      case Opcode::Neg:
+        if (allImm()) {
+          I.Op = Opcode::Mov;
+          I.Ops = {Value::immI(signExtend(
+                       truncToCls(static_cast<uint64_t>(-I.Ops[0].Imm),
+                                  I.Cls),
+                       I.Cls),
+                   I.Cls)};
+          Changed = true;
+        }
+        break;
+      case Opcode::Not:
+        if (allImm()) {
+          I.Op = Opcode::Mov;
+          I.Ops = {Value::immI(signExtend(
+                       truncToCls(static_cast<uint64_t>(~I.Ops[0].Imm),
+                                  I.Cls),
+                       I.Cls),
+                   I.Cls)};
+          Changed = true;
+        }
+        break;
+      case Opcode::ICmp:
+        if (allImm() && evalICmp(I.P, I.Cls, I.Ops[0].Imm, I.Ops[1].Imm, &R)) {
+          I.Op = Opcode::Mov;
+          I.Cls = SC::I32;
+          I.Ops = {Value::immI(R, SC::I32)};
+          Changed = true;
+        }
+        break;
+      case Opcode::SExt:
+        if (allImm()) {
+          I.Op = Opcode::Mov;
+          I.Ops = {Value::immI(signExtend(static_cast<uint64_t>(I.Ops[0].Imm),
+                                          I.FromCls),
+                               I.Cls)};
+          Changed = true;
+        }
+        break;
+      case Opcode::ZExt:
+        if (allImm()) {
+          I.Op = Opcode::Mov;
+          I.Ops = {Value::immI(static_cast<int64_t>(truncToCls(
+                                   static_cast<uint64_t>(I.Ops[0].Imm),
+                                   I.FromCls)),
+                               I.Cls)};
+          Changed = true;
+        }
+        break;
+      case Opcode::Trunc:
+        if (allImm()) {
+          I.Op = Opcode::Mov;
+          I.Ops = {Value::immI(signExtend(static_cast<uint64_t>(I.Ops[0].Imm),
+                                          I.Cls),
+                               I.Cls)};
+          Changed = true;
+        }
+        break;
+      default:
+        break;
+      }
+      // Algebraic identities: x+0, x-0, x*1, x*0.
+      if ((I.Op == Opcode::Add || I.Op == Opcode::Sub) &&
+          I.Ops.size() == 2 && I.Ops[1].isImmI() && I.Ops[1].Imm == 0) {
+        I.Op = Opcode::Mov;
+        I.Ops = {I.Ops[0]};
+        Changed = true;
+      } else if (I.Op == Opcode::Mul && I.Ops.size() == 2 &&
+                 I.Ops[1].isImmI() && I.Ops[1].Imm == 1) {
+        I.Op = Opcode::Mov;
+        I.Ops = {I.Ops[0]};
+        Changed = true;
+      } else if (I.Op == Opcode::Mul && I.Ops.size() == 2 &&
+                 I.Ops[1].isImmI() && I.Ops[1].Imm == 0) {
+        I.Op = Opcode::Mov;
+        I.Ops = {Value::immI(0, I.Cls)};
+        Changed = true;
+      }
+    }
+  }
+  return Changed;
+}
+
+bool slade::ir::propagateCopies(IRFunction &F) {
+  // A vreg defined more than once anywhere is a mutable variable; only
+  // propagate copies of single-definition vregs (safe without SSA).
+  std::map<int, int> DefCount;
+  for (const ParamInfo &P : F.Params)
+    if (P.HomeVReg >= 0)
+      ++DefCount[P.HomeVReg]; // Prologue definition.
+  for (BasicBlock &B : F.Blocks)
+    for (Instr &I : B.Instrs)
+      if (I.Dst.isVReg())
+        ++DefCount[I.Dst.Reg];
+
+  bool Changed = false;
+  for (BasicBlock &B : F.Blocks) {
+    std::map<int, Value> Copies;
+    for (Instr &I : B.Instrs) {
+      for (Value &V : I.Ops) {
+        if (!V.isVReg())
+          continue;
+        auto It = Copies.find(V.Reg);
+        if (It != Copies.end()) {
+          SC Keep = V.Cls;
+          V = It->second;
+          if (V.isVReg())
+            V.Cls = Keep;
+          Changed = true;
+        }
+      }
+      if (I.Dst.isVReg()) {
+        int D = I.Dst.Reg;
+        Copies.erase(D);
+        for (auto It = Copies.begin(); It != Copies.end();) {
+          if (It->second.isVReg() && It->second.Reg == D)
+            It = Copies.erase(It);
+          else
+            ++It;
+        }
+        if (I.Op == Opcode::Mov && DefCount[D] == 1 &&
+            (I.Ops[0].isImmI() ||
+             (I.Ops[0].isVReg() && DefCount[I.Ops[0].Reg] == 1)))
+          Copies[D] = I.Ops[0];
+      }
+    }
+  }
+  return Changed;
+}
+
+bool slade::ir::simplifyControlFlow(IRFunction &F) {
+  bool Changed = false;
+  for (BasicBlock &B : F.Blocks) {
+    if (B.Instrs.empty())
+      continue;
+    Instr &T = B.Instrs.back();
+    if (T.Op == Opcode::CondBr && T.Ops[0].isImmI()) {
+      int Target = T.Ops[0].Imm != 0 ? T.Target0 : T.Target1;
+      T.Op = Opcode::Br;
+      T.Ops.clear();
+      T.Target0 = Target;
+      T.Target1 = -1;
+      Changed = true;
+    }
+  }
+  // Reachability from the entry block.
+  std::set<int> Reach;
+  std::vector<int> Work = {0};
+  while (!Work.empty()) {
+    int Id = Work.back();
+    Work.pop_back();
+    if (!Reach.insert(Id).second)
+      continue;
+    const BasicBlock &B = F.block(Id);
+    if (B.Instrs.empty())
+      continue;
+    const Instr &T = B.Instrs.back();
+    if (T.Target0 >= 0)
+      Work.push_back(T.Target0);
+    if (T.Target1 >= 0)
+      Work.push_back(T.Target1);
+  }
+  for (BasicBlock &B : F.Blocks) {
+    if (!Reach.count(B.Id) && !B.Instrs.empty()) {
+      B.Instrs.clear();
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+bool slade::ir::eliminateDeadCode(IRFunction &F) {
+  std::set<int> Used;
+  for (BasicBlock &B : F.Blocks)
+    for (Instr &I : B.Instrs)
+      for (const Value &V : I.Ops)
+        if (V.isVReg())
+          Used.insert(V.Reg);
+  for (const ParamInfo &P : F.Params)
+    if (P.HomeVReg >= 0)
+      Used.insert(P.HomeVReg); // Defined by the prologue.
+
+  auto hasSideEffects = [](const Instr &I) {
+    switch (I.Op) {
+    case Opcode::Store:
+    case Opcode::VStore:
+    case Opcode::Call:
+    case Opcode::Br:
+    case Opcode::CondBr:
+    case Opcode::Ret:
+      return true;
+    case Opcode::SDiv:
+    case Opcode::UDiv:
+    case Opcode::SRem:
+    case Opcode::URem:
+      return true; // May trap; keep.
+    default:
+      return false;
+    }
+  };
+
+  bool Changed = false;
+  for (BasicBlock &B : F.Blocks) {
+    std::vector<Instr> Kept;
+    Kept.reserve(B.Instrs.size());
+    for (Instr &I : B.Instrs) {
+      bool Dead = I.Dst.isVReg() && !Used.count(I.Dst.Reg) &&
+                  !hasSideEffects(I);
+      if (Dead)
+        Changed = true;
+      else
+        Kept.push_back(std::move(I));
+    }
+    B.Instrs = std::move(Kept);
+  }
+  return Changed;
+}
+
+void slade::ir::optimize(IRFunction &F) {
+  for (int Round = 0; Round < 8; ++Round) {
+    bool Changed = false;
+    Changed |= foldConstants(F);
+    Changed |= propagateCopies(F);
+    Changed |= simplifyControlFlow(F);
+    Changed |= eliminateDeadCode(F);
+    if (!Changed)
+      break;
+  }
+}

@@ -1,0 +1,37 @@
+//===- Passes.h - IR optimization passes ------------------------*- C++ -*-===//
+///
+/// \file
+/// The O3 clean-up pipeline run after lowering: block-local constant
+/// folding, block-local copy propagation, branch simplification,
+/// unreachable-block elimination, and dead-code elimination. Together with
+/// IRGen's register promotion, unrolling, and vectorization these produce
+/// the "optimized assembly" flavour the paper decompiles (§VII).
+///
+//===----------------------------------------------------------------------===//
+#ifndef SLADE_IR_PASSES_H
+#define SLADE_IR_PASSES_H
+
+#include "ir/IR.h"
+
+namespace slade {
+namespace ir {
+
+/// Folds instructions whose operands are all immediates.
+bool foldConstants(IRFunction &F);
+
+/// Propagates Mov copies within each block.
+bool propagateCopies(IRFunction &F);
+
+/// Turns CondBr-on-constant into Br and empties unreachable blocks.
+bool simplifyControlFlow(IRFunction &F);
+
+/// Removes side-effect-free instructions whose results are never used.
+bool eliminateDeadCode(IRFunction &F);
+
+/// Runs the full pipeline to a fixed point (bounded).
+void optimize(IRFunction &F);
+
+} // namespace ir
+} // namespace slade
+
+#endif // SLADE_IR_PASSES_H

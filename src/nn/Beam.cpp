@@ -1,0 +1,137 @@
+//===- Beam.cpp - beam search decoding ----------------------------------------===//
+
+#include "nn/Beam.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace slade;
+using namespace slade::nn;
+
+namespace {
+
+/// Log-softmax over raw logits (in place copy).
+std::vector<float> logSoftmax(const std::vector<float> &Logits) {
+  float MaxV = -1e30f;
+  for (float L : Logits)
+    MaxV = std::max(MaxV, L);
+  double Sum = 0;
+  for (float L : Logits)
+    Sum += std::exp(static_cast<double>(L - MaxV));
+  float LogZ = MaxV + static_cast<float>(std::log(Sum));
+  std::vector<float> Out(Logits.size());
+  for (size_t I = 0; I < Logits.size(); ++I)
+    Out[I] = Logits[I] - LogZ;
+  return Out;
+}
+
+struct Beam {
+  Transformer::DecodeState State;
+  std::vector<int> Tokens;
+  float Score = 0;
+  std::vector<float> NextLogits;
+};
+
+} // namespace
+
+std::vector<Hypothesis> slade::nn::beamSearch(const Transformer &Model,
+                                              const std::vector<int> &Src,
+                                              const BeamConfig &Cfg) {
+  std::vector<Beam> Live;
+  {
+    Beam B;
+    B.State = Model.startDecode(Src);
+    B.NextLogits = Model.stepDecode(B.State, Transformer::BosId);
+    Live.push_back(std::move(B));
+  }
+  std::vector<Hypothesis> Done;
+
+  for (int Step = 0; Step < Cfg.MaxLen && !Live.empty(); ++Step) {
+    struct Cand {
+      float Score;
+      size_t BeamIdx;
+      int Token;
+    };
+    std::vector<Cand> Cands;
+    for (size_t BI = 0; BI < Live.size(); ++BI) {
+      std::vector<float> LogP = logSoftmax(Live[BI].NextLogits);
+      // Top BeamSize tokens of this beam.
+      std::vector<int> Idx(LogP.size());
+      for (size_t I = 0; I < Idx.size(); ++I)
+        Idx[I] = static_cast<int>(I);
+      size_t K = std::min<size_t>(static_cast<size_t>(Cfg.BeamSize),
+                                  Idx.size());
+      std::partial_sort(Idx.begin(), Idx.begin() + static_cast<long>(K),
+                        Idx.end(), [&](int A, int B) {
+                          return LogP[static_cast<size_t>(A)] >
+                                 LogP[static_cast<size_t>(B)];
+                        });
+      for (size_t I = 0; I < K; ++I)
+        Cands.push_back({Live[BI].Score + LogP[static_cast<size_t>(Idx[I])],
+                         BI, Idx[I]});
+    }
+    std::sort(Cands.begin(), Cands.end(),
+              [](const Cand &A, const Cand &B) { return A.Score > B.Score; });
+
+    std::vector<Beam> Next;
+    for (const Cand &C : Cands) {
+      if (static_cast<int>(Next.size()) >= Cfg.BeamSize)
+        break;
+      if (C.Token == Transformer::EosId ||
+          C.Token == Transformer::PadId) {
+        Hypothesis H;
+        H.Tokens = Live[C.BeamIdx].Tokens;
+        float Len = static_cast<float>(H.Tokens.size()) + 1.0f;
+        H.Score = C.Score / std::pow(Len, Cfg.LengthPenalty);
+        Done.push_back(std::move(H));
+        continue;
+      }
+      Beam B;
+      B.State = Live[C.BeamIdx].State; // Copy of the KV cache.
+      B.Tokens = Live[C.BeamIdx].Tokens;
+      B.Tokens.push_back(C.Token);
+      B.Score = C.Score;
+      B.NextLogits = Model.stepDecode(B.State, C.Token);
+      Next.push_back(std::move(B));
+    }
+    if (static_cast<int>(Done.size()) >= Cfg.BeamSize)
+      break;
+    Live = std::move(Next);
+  }
+
+  // Unfinished beams become (penalized) hypotheses so we always return
+  // something.
+  for (Beam &B : Live) {
+    Hypothesis H;
+    H.Tokens = std::move(B.Tokens);
+    float Len = static_cast<float>(H.Tokens.size()) + 1.0f;
+    H.Score = (B.Score - 5.0f) / std::pow(Len, Cfg.LengthPenalty);
+    Done.push_back(std::move(H));
+  }
+  std::sort(Done.begin(), Done.end(),
+            [](const Hypothesis &A, const Hypothesis &B) {
+              return A.Score > B.Score;
+            });
+  if (static_cast<int>(Done.size()) > Cfg.BeamSize)
+    Done.resize(static_cast<size_t>(Cfg.BeamSize));
+  return Done;
+}
+
+std::vector<int> slade::nn::greedyDecode(const Transformer &Model,
+                                         const std::vector<int> &Src,
+                                         int MaxLen) {
+  Transformer::DecodeState St = Model.startDecode(Src);
+  std::vector<float> Logits = Model.stepDecode(St, Transformer::BosId);
+  std::vector<int> Out;
+  for (int Step = 0; Step < MaxLen; ++Step) {
+    int Best = 0;
+    for (size_t I = 1; I < Logits.size(); ++I)
+      if (Logits[I] > Logits[static_cast<size_t>(Best)])
+        Best = static_cast<int>(I);
+    if (Best == Transformer::EosId || Best == Transformer::PadId)
+      break;
+    Out.push_back(Best);
+    Logits = Model.stepDecode(St, Best);
+  }
+  return Out;
+}

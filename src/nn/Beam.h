@@ -1,0 +1,43 @@
+//===- Beam.h - beam search decoding ----------------------------*- C++ -*-===//
+///
+/// \file
+/// Beam-search decoding (§VI-A): keep the top-k hypotheses by sequence
+/// log-probability; the caller then picks the first candidate that passes
+/// the IO tests. Greedy decoding is the k=1 special case used by the BTC
+/// baseline.
+///
+//===----------------------------------------------------------------------===//
+#ifndef SLADE_NN_BEAM_H
+#define SLADE_NN_BEAM_H
+
+#include "nn/Transformer.h"
+
+#include <vector>
+
+namespace slade {
+namespace nn {
+
+struct BeamConfig {
+  int BeamSize = 5; ///< Paper: k = 5.
+  int MaxLen = 220;
+  float LengthPenalty = 1.0f; ///< Score / len^penalty ordering.
+};
+
+struct Hypothesis {
+  std::vector<int> Tokens; ///< Without BOS/EOS.
+  float Score = 0;         ///< Length-normalized log probability.
+};
+
+/// Returns up to BeamSize hypotheses, best first.
+std::vector<Hypothesis> beamSearch(const Transformer &Model,
+                                   const std::vector<int> &Src,
+                                   const BeamConfig &Cfg);
+
+/// Greedy decode (beam of one, no reordering).
+std::vector<int> greedyDecode(const Transformer &Model,
+                              const std::vector<int> &Src, int MaxLen);
+
+} // namespace nn
+} // namespace slade
+
+#endif // SLADE_NN_BEAM_H

@@ -1,0 +1,329 @@
+//===- Mat.cpp - 2-D tensors with reverse-mode autograd ----------------------===//
+
+#include "nn/Mat.h"
+
+#include <cmath>
+#include <cstdint>
+
+using namespace slade;
+using namespace slade::nn;
+
+void slade::nn::gemmAcc(const float *A, const float *B, float *C, int M,
+                        int K, int N) {
+  // i-k-j order: streams B and C rows, friendly to small caches.
+  for (int I = 0; I < M; ++I) {
+    const float *ARow = A + static_cast<size_t>(I) * K;
+    float *CRow = C + static_cast<size_t>(I) * N;
+    for (int Kk = 0; Kk < K; ++Kk) {
+      float AV = ARow[Kk];
+      if (AV == 0.0f)
+        continue;
+      const float *BRow = B + static_cast<size_t>(Kk) * N;
+      for (int J = 0; J < N; ++J)
+        CRow[J] += AV * BRow[J];
+    }
+  }
+}
+
+void slade::nn::gemmAccNT(const float *A, const float *B, float *C, int M,
+                          int K, int N) {
+  for (int I = 0; I < M; ++I) {
+    const float *ARow = A + static_cast<size_t>(I) * K;
+    float *CRow = C + static_cast<size_t>(I) * N;
+    for (int J = 0; J < N; ++J) {
+      const float *BRow = B + static_cast<size_t>(J) * K;
+      float Acc = 0.0f;
+      for (int Kk = 0; Kk < K; ++Kk)
+        Acc += ARow[Kk] * BRow[Kk];
+      CRow[J] += Acc;
+    }
+  }
+}
+
+void slade::nn::gemmAccTN(const float *A, const float *B, float *C, int M,
+                          int K, int N) {
+  for (int Kk = 0; Kk < K; ++Kk) {
+    const float *ARow = A + static_cast<size_t>(Kk) * M;
+    const float *BRow = B + static_cast<size_t>(Kk) * N;
+    for (int I = 0; I < M; ++I) {
+      float AV = ARow[I];
+      if (AV == 0.0f)
+        continue;
+      float *CRow = C + static_cast<size_t>(I) * N;
+      for (int J = 0; J < N; ++J)
+        CRow[J] += AV * BRow[J];
+    }
+  }
+}
+
+Mat *slade::nn::matmul(Graph &G, Mat *A, Mat *B) {
+  assert(A->C == B->R && "matmul shape mismatch");
+  Mat *C = G.make(A->R, B->C);
+  gemmAcc(A->V.data(), B->V.data(), C->V.data(), A->R, A->C, B->C);
+  G.addBackward([A, B, C] {
+    // dA += dC * B^T ; dB += A^T * dC.
+    gemmAccNT(C->G.data(), B->V.data(), A->G.data(), A->R, B->C, A->C);
+    gemmAccTN(A->V.data(), C->G.data(), B->G.data(), A->C, A->R, B->C);
+  });
+  return C;
+}
+
+Mat *slade::nn::matmulNT(Graph &G, Mat *A, Mat *B) {
+  assert(A->C == B->C && "matmulNT shape mismatch");
+  Mat *C = G.make(A->R, B->R);
+  gemmAccNT(A->V.data(), B->V.data(), C->V.data(), A->R, A->C, B->R);
+  G.addBackward([A, B, C] {
+    // C = A*B^T: dA += dC * B ; dB += dC^T * A.
+    gemmAcc(C->G.data(), B->V.data(), A->G.data(), A->R, B->R, A->C);
+    gemmAccTN(C->G.data(), A->V.data(), B->G.data(), B->R, A->R, A->C);
+  });
+  return C;
+}
+
+Mat *slade::nn::add(Graph &G, Mat *A, Mat *B) {
+  assert(A->R == B->R && A->C == B->C && "add shape mismatch");
+  Mat *C = G.make(A->R, A->C);
+  for (size_t I = 0; I < C->size(); ++I)
+    C->V[I] = A->V[I] + B->V[I];
+  G.addBackward([A, B, C] {
+    for (size_t I = 0; I < C->size(); ++I) {
+      A->G[I] += C->G[I];
+      B->G[I] += C->G[I];
+    }
+  });
+  return C;
+}
+
+Mat *slade::nn::addRow(Graph &G, Mat *A, Mat *Bias) {
+  assert(Bias->R == 1 && Bias->C == A->C && "bias shape mismatch");
+  Mat *C = G.make(A->R, A->C);
+  for (int I = 0; I < A->R; ++I)
+    for (int J = 0; J < A->C; ++J)
+      C->at(I, J) = A->at(I, J) + Bias->V[static_cast<size_t>(J)];
+  G.addBackward([A, Bias, C] {
+    for (int I = 0; I < A->R; ++I)
+      for (int J = 0; J < A->C; ++J) {
+        A->gat(I, J) += C->gat(I, J);
+        Bias->G[static_cast<size_t>(J)] += C->gat(I, J);
+      }
+  });
+  return C;
+}
+
+Mat *slade::nn::scale(Graph &G, Mat *A, float S) {
+  Mat *C = G.make(A->R, A->C);
+  for (size_t I = 0; I < C->size(); ++I)
+    C->V[I] = A->V[I] * S;
+  G.addBackward([A, C, S] {
+    for (size_t I = 0; I < C->size(); ++I)
+      A->G[I] += C->G[I] * S;
+  });
+  return C;
+}
+
+Mat *slade::nn::relu(Graph &G, Mat *A) {
+  Mat *C = G.make(A->R, A->C);
+  for (size_t I = 0; I < C->size(); ++I)
+    C->V[I] = A->V[I] > 0.0f ? A->V[I] : 0.0f;
+  G.addBackward([A, C] {
+    for (size_t I = 0; I < C->size(); ++I)
+      if (A->V[I] > 0.0f)
+        A->G[I] += C->G[I];
+  });
+  return C;
+}
+
+Mat *slade::nn::layerNorm(Graph &G, Mat *A, Mat *Gamma, Mat *Beta) {
+  Mat *C = G.make(A->R, A->C);
+  Mat *Stats = G.make(A->R, 2); // mean, inv-std per row.
+  const float Eps = 1e-5f;
+  for (int I = 0; I < A->R; ++I) {
+    float Mean = 0;
+    for (int J = 0; J < A->C; ++J)
+      Mean += A->at(I, J);
+    Mean /= static_cast<float>(A->C);
+    float Var = 0;
+    for (int J = 0; J < A->C; ++J) {
+      float D = A->at(I, J) - Mean;
+      Var += D * D;
+    }
+    Var /= static_cast<float>(A->C);
+    float InvStd = 1.0f / std::sqrt(Var + Eps);
+    Stats->at(I, 0) = Mean;
+    Stats->at(I, 1) = InvStd;
+    for (int J = 0; J < A->C; ++J)
+      C->at(I, J) = (A->at(I, J) - Mean) * InvStd * Gamma->V[J] + Beta->V[J];
+  }
+  G.addBackward([A, Gamma, Beta, C, Stats] {
+    int N = A->C;
+    for (int I = 0; I < A->R; ++I) {
+      float Mean = Stats->at(I, 0), InvStd = Stats->at(I, 1);
+      float SumDy = 0, SumDyXhat = 0;
+      for (int J = 0; J < N; ++J) {
+        float XHat = (A->at(I, J) - Mean) * InvStd;
+        float DY = C->gat(I, J) * Gamma->V[J];
+        SumDy += DY;
+        SumDyXhat += DY * XHat;
+        Gamma->G[J] += C->gat(I, J) * XHat;
+        Beta->G[J] += C->gat(I, J);
+      }
+      for (int J = 0; J < N; ++J) {
+        float XHat = (A->at(I, J) - Mean) * InvStd;
+        float DY = C->gat(I, J) * Gamma->V[J];
+        A->gat(I, J) += InvStd * (DY - SumDy / N - XHat * SumDyXhat / N);
+      }
+    }
+  });
+  return C;
+}
+
+Mat *slade::nn::softmaxRows(Graph &G, Mat *A, bool Causal) {
+  Mat *C = G.make(A->R, A->C);
+  for (int I = 0; I < A->R; ++I) {
+    int Limit = Causal ? (I + 1 < A->C ? I + 1 : A->C) : A->C;
+    float MaxV = -1e30f;
+    for (int J = 0; J < Limit; ++J)
+      MaxV = A->at(I, J) > MaxV ? A->at(I, J) : MaxV;
+    float Sum = 0;
+    for (int J = 0; J < Limit; ++J) {
+      float E = std::exp(A->at(I, J) - MaxV);
+      C->at(I, J) = E;
+      Sum += E;
+    }
+    for (int J = 0; J < Limit; ++J)
+      C->at(I, J) /= Sum;
+    for (int J = Limit; J < A->C; ++J)
+      C->at(I, J) = 0.0f;
+  }
+  G.addBackward([A, C, Causal] {
+    for (int I = 0; I < A->R; ++I) {
+      int Limit = Causal ? (I + 1 < A->C ? I + 1 : A->C) : A->C;
+      float Dot = 0;
+      for (int J = 0; J < Limit; ++J)
+        Dot += C->gat(I, J) * C->at(I, J);
+      for (int J = 0; J < Limit; ++J)
+        A->gat(I, J) += C->at(I, J) * (C->gat(I, J) - Dot);
+    }
+  });
+  return C;
+}
+
+Mat *slade::nn::embed(Graph &G, Mat *Table, Mat *Pos,
+                      const std::vector<int> &Ids) {
+  int T = static_cast<int>(Ids.size());
+  Mat *C = G.make(T, Table->C);
+  for (int I = 0; I < T; ++I) {
+    int Id = Ids[static_cast<size_t>(I)];
+    int P = I < Pos->R ? I : Pos->R - 1;
+    for (int J = 0; J < Table->C; ++J)
+      C->at(I, J) = Table->at(Id, J) + Pos->at(P, J);
+  }
+  std::vector<int> IdsCopy = Ids;
+  G.addBackward([Table, Pos, C, IdsCopy] {
+    for (int I = 0; I < C->R; ++I) {
+      int Id = IdsCopy[static_cast<size_t>(I)];
+      int P = I < Pos->R ? I : Pos->R - 1;
+      for (int J = 0; J < C->C; ++J) {
+        Table->gat(Id, J) += C->gat(I, J);
+        Pos->gat(P, J) += C->gat(I, J);
+      }
+    }
+  });
+  return C;
+}
+
+Mat *slade::nn::sliceCols(Graph &G, Mat *A, int ColStart, int Cols) {
+  Mat *C = G.make(A->R, Cols);
+  for (int I = 0; I < A->R; ++I)
+    for (int J = 0; J < Cols; ++J)
+      C->at(I, J) = A->at(I, ColStart + J);
+  G.addBackward([A, C, ColStart, Cols] {
+    for (int I = 0; I < A->R; ++I)
+      for (int J = 0; J < Cols; ++J)
+        A->gat(I, ColStart + J) += C->gat(I, J);
+  });
+  return C;
+}
+
+Mat *slade::nn::concatCols(Graph &G, const std::vector<Mat *> &Parts) {
+  int Cols = 0;
+  for (Mat *P : Parts)
+    Cols += P->C;
+  Mat *C = G.make(Parts[0]->R, Cols);
+  int Off = 0;
+  for (Mat *P : Parts) {
+    for (int I = 0; I < P->R; ++I)
+      for (int J = 0; J < P->C; ++J)
+        C->at(I, Off + J) = P->at(I, J);
+    Off += P->C;
+  }
+  std::vector<Mat *> PartsCopy = Parts;
+  G.addBackward([PartsCopy, C] {
+    int Off = 0;
+    for (Mat *P : PartsCopy) {
+      for (int I = 0; I < P->R; ++I)
+        for (int J = 0; J < P->C; ++J)
+          P->gat(I, J) += C->gat(I, Off + J);
+      Off += P->C;
+    }
+  });
+  return C;
+}
+
+Mat *slade::nn::dropout(Graph &G, Mat *A, float P, uint64_t *RngState) {
+  if (P <= 0.0f)
+    return A;
+  Mat *C = G.make(A->R, A->C);
+  Mat *Mask = G.make(A->R, A->C);
+  float Keep = 1.0f - P;
+  for (size_t I = 0; I < A->size(); ++I) {
+    uint64_t Z = (*RngState += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    Z ^= Z >> 31;
+    bool Drop = static_cast<double>(Z >> 11) * 0x1.0p-53 < P;
+    Mask->V[I] = Drop ? 0.0f : 1.0f / Keep;
+    C->V[I] = A->V[I] * Mask->V[I];
+  }
+  G.addBackward([A, C, Mask] {
+    for (size_t I = 0; I < A->size(); ++I)
+      A->G[I] += C->G[I] * Mask->V[I];
+  });
+  return C;
+}
+
+float slade::nn::crossEntropy(Graph &G, Mat *Logits,
+                              const std::vector<int> &Targets) {
+  assert(static_cast<int>(Targets.size()) == Logits->R &&
+         "target/logit length mismatch");
+  int T = Logits->R, V = Logits->C;
+  Mat *Probs = G.make(T, V);
+  double Loss = 0;
+  for (int I = 0; I < T; ++I) {
+    float MaxV = -1e30f;
+    for (int J = 0; J < V; ++J)
+      MaxV = Logits->at(I, J) > MaxV ? Logits->at(I, J) : MaxV;
+    double Sum = 0;
+    for (int J = 0; J < V; ++J) {
+      float E = std::exp(Logits->at(I, J) - MaxV);
+      Probs->at(I, J) = E;
+      Sum += E;
+    }
+    for (int J = 0; J < V; ++J)
+      Probs->at(I, J) = static_cast<float>(Probs->at(I, J) / Sum);
+    Loss -= std::log(
+        static_cast<double>(Probs->at(I, Targets[static_cast<size_t>(I)])) +
+        1e-12);
+  }
+  float Mean = static_cast<float>(Loss / T);
+  std::vector<int> TgtCopy = Targets;
+  G.addBackward([Logits, Probs, TgtCopy, T, V] {
+    float Inv = 1.0f / static_cast<float>(T);
+    for (int I = 0; I < T; ++I) {
+      for (int J = 0; J < V; ++J)
+        Logits->gat(I, J) += Probs->at(I, J) * Inv;
+      Logits->gat(I, TgtCopy[static_cast<size_t>(I)]) -= Inv;
+    }
+  });
+  return Mean;
+}

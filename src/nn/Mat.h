@@ -1,0 +1,103 @@
+//===- Mat.h - 2-D tensors with reverse-mode autograd -----------*- C++ -*-===//
+///
+/// \file
+/// Minimal dense float machinery for the sequence-to-sequence Transformer
+/// (§V-B). All activations are 2-D [rows, cols]; sequences are processed
+/// one at a time (so no padding/masking plumbing is needed beyond the
+/// causal mask). A Graph is a tape: ops append backward closures that run
+/// in reverse on backward().
+///
+//===----------------------------------------------------------------------===//
+#ifndef SLADE_NN_MAT_H
+#define SLADE_NN_MAT_H
+
+#include <cassert>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace slade {
+namespace nn {
+
+struct Mat {
+  int R = 0, C = 0;
+  std::vector<float> V; ///< Values, row-major.
+  std::vector<float> G; ///< Gradients (same shape).
+
+  Mat() = default;
+  Mat(int R, int C) : R(R), C(C), V(static_cast<size_t>(R) * C, 0.0f),
+                      G(static_cast<size_t>(R) * C, 0.0f) {}
+
+  float &at(int I, int J) { return V[static_cast<size_t>(I) * C + J]; }
+  float at(int I, int J) const { return V[static_cast<size_t>(I) * C + J]; }
+  float &gat(int I, int J) { return G[static_cast<size_t>(I) * C + J]; }
+  size_t size() const { return V.size(); }
+  void zeroGrad() { std::fill(G.begin(), G.end(), 0.0f); }
+};
+
+/// Tape of operations over arena-owned intermediates.
+class Graph {
+public:
+  Mat *make(int R, int C) {
+    Arena.push_back(std::make_unique<Mat>(R, C));
+    return Arena.back().get();
+  }
+  void addBackward(std::function<void()> Fn) {
+    Tape.push_back(std::move(Fn));
+  }
+  void backward() {
+    for (auto It = Tape.rbegin(); It != Tape.rend(); ++It)
+      (*It)();
+  }
+  void clear() {
+    Tape.clear();
+    Arena.clear();
+  }
+
+private:
+  std::vector<std::function<void()>> Tape;
+  std::deque<std::unique_ptr<Mat>> Arena;
+};
+
+// -- raw kernels (no autograd) ----------------------------------------------
+
+/// C += A * B. A is [m,k], B is [k,n], C is [m,n].
+void gemmAcc(const float *A, const float *B, float *C, int M, int K, int N);
+/// C += A * B^T. A is [m,k], B is [n,k], C is [m,n].
+void gemmAccNT(const float *A, const float *B, float *C, int M, int K,
+               int N);
+/// C += A^T * B. A is [k,m], B is [k,n], C is [m,n].
+void gemmAccTN(const float *A, const float *B, float *C, int M, int K,
+               int N);
+
+// -- autograd ops ------------------------------------------------------------
+
+Mat *matmul(Graph &G, Mat *A, Mat *B);     ///< [m,k]x[k,n].
+Mat *matmulNT(Graph &G, Mat *A, Mat *B);   ///< [m,k]x[n,k]^T -> [m,n].
+Mat *add(Graph &G, Mat *A, Mat *B);        ///< Elementwise (same shape).
+Mat *addRow(Graph &G, Mat *A, Mat *Bias);  ///< Bias is [1,C].
+Mat *scale(Graph &G, Mat *A, float S);
+Mat *relu(Graph &G, Mat *A);
+Mat *layerNorm(Graph &G, Mat *A, Mat *Gamma, Mat *Beta);
+/// Row-wise softmax; when Causal, entry (i,j) with j>i is masked.
+Mat *softmaxRows(Graph &G, Mat *A, bool Causal);
+/// Gathers rows of Table by Ids, adding rows of Pos[0..n).
+Mat *embed(Graph &G, Mat *Table, Mat *Pos, const std::vector<int> &Ids);
+/// Copies columns [H*Dh, (H+1)*Dh) into a [T, Dh] tensor.
+Mat *sliceCols(Graph &G, Mat *A, int ColStart, int Cols);
+/// Concatenates tensors with equal rows along columns.
+Mat *concatCols(Graph &G, const std::vector<Mat *> &Parts);
+/// Inverted-dropout mask applied in training (paper trains WITHOUT
+/// dropout; this exists for the ablation bench).
+Mat *dropout(Graph &G, Mat *A, float P, uint64_t *RngState);
+
+/// Mean token cross-entropy between Logits [T,V] and Targets [T]; fills
+/// dLogits on the tape. Returns the loss.
+float crossEntropy(Graph &G, Mat *Logits, const std::vector<int> &Targets);
+
+} // namespace nn
+} // namespace slade
+
+#endif // SLADE_NN_MAT_H

@@ -1,0 +1,153 @@
+//===- Transformer.h - sequence-to-sequence Transformer ---------*- C++ -*-===//
+///
+/// \file
+/// The paper's model (§V-B, §V-C): a pre-LN encoder-decoder Transformer
+/// with shared token embeddings for encoder, decoder, and output layer,
+/// learned positions, Adam + decoupled weight decay, and NO dropout by
+/// default (§V-C: weight-decay-only regularization outperformed dropout).
+/// Training uses teacher forcing; inference has a KV-cached fast path used
+/// by greedy and beam-search decoding (§VI-A).
+///
+//===----------------------------------------------------------------------===//
+#ifndef SLADE_NN_TRANSFORMER_H
+#define SLADE_NN_TRANSFORMER_H
+
+#include "nn/Mat.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace slade {
+namespace nn {
+
+struct TransformerConfig {
+  int Vocab = 512;
+  int DModel = 64;
+  int NHeads = 4;
+  int FF = 128;
+  int EncLayers = 2;
+  int DecLayers = 2;
+  int MaxLen = 256;
+  float DropoutP = 0.0f; ///< Paper default: none.
+  uint64_t Seed = 42;
+};
+
+/// A parameter with its weight-decay eligibility.
+struct ParamRef {
+  Mat *M;
+  bool Decay;
+};
+
+class Transformer {
+public:
+  /// Special token ids (aligned with tok::Tokenizer).
+  static constexpr int PadId = 0;
+  static constexpr int BosId = 1;
+  static constexpr int EosId = 2;
+
+  explicit Transformer(const TransformerConfig &Cfg);
+
+  const TransformerConfig &config() const { return Cfg; }
+  std::vector<ParamRef> params();
+
+  /// Teacher-forced loss for one (source, target) pair; gradients are
+  /// accumulated into the parameters via \p G.
+  float pairLoss(Graph &G, const std::vector<int> &Src,
+                 const std::vector<int> &Tgt, bool Train);
+
+  /// -- inference fast path (no autograd, KV cache) -----------------------
+  struct DecodeState {
+    std::vector<float> EncOut;             ///< [Tsrc, D].
+    int TSrc = 0;
+    std::vector<std::vector<float>> SelfK; ///< Per decoder layer, growing.
+    std::vector<std::vector<float>> SelfV;
+    std::vector<std::vector<float>> CrossK; ///< Per layer, fixed [Tsrc,D].
+    std::vector<std::vector<float>> CrossV;
+    int Len = 0; ///< Decoded positions so far.
+  };
+
+  /// Runs the encoder and prepares cross-attention caches.
+  DecodeState startDecode(const std::vector<int> &Src) const;
+  /// Feeds one token, returns the next-token logits [Vocab].
+  std::vector<float> stepDecode(DecodeState &St, int Token) const;
+
+  Status save(const std::string &Path) const;
+  static Expected<Transformer> load(const std::string &Path);
+
+  /// Total parameter count (for the "small language model" bookkeeping).
+  size_t parameterCount();
+
+private:
+  TransformerConfig Cfg;
+
+  struct LN {
+    Mat Gamma, Beta;
+  };
+  struct Attn {
+    Mat Wq, Bq, Wk, Bk, Wv, Bv, Wo, Bo;
+  };
+  struct EncLayer {
+    LN LN1;
+    Attn Self;
+    LN LN2;
+    Mat W1, B1, W2, B2;
+  };
+  struct DecLayer {
+    LN LN1;
+    Attn Self;
+    LN LN2;
+    Attn Cross;
+    LN LN3;
+    Mat W1, B1, W2, B2;
+  };
+
+  Mat TokEmb, EncPos, DecPos;
+  std::vector<EncLayer> Enc;
+  std::vector<DecLayer> Dec;
+  LN EncFinal, DecFinal;
+  mutable uint64_t DropRng = 0x5eed;
+
+  Mat *attention(Graph &G, Mat *XQ, Mat *XKV, Attn &P, bool Causal,
+                 bool Train);
+  Mat *encode(Graph &G, const std::vector<int> &Src, bool Train);
+  Mat *decode(Graph &G, Mat *EncOut, const std::vector<int> &In,
+              bool Train);
+
+  // Inference helpers operate on raw row vectors.
+  void layerNormRow(const float *X, const LN &P, float *Out) const;
+  void linearRow(const float *X, const Mat &W, const Mat &B,
+                 float *Out) const;
+};
+
+/// Adam with decoupled weight decay (§V-C) and inverse-sqrt warmup.
+class AdamW {
+public:
+  struct Config {
+    float LR = 3e-3f;
+    float Beta1 = 0.9f;
+    float Beta2 = 0.98f;
+    float Eps = 1e-9f;
+    float WeightDecay = 0.01f;
+    int WarmupSteps = 200;
+    float ClipNorm = 1.0f;
+  };
+
+  AdamW(std::vector<ParamRef> Params, const Config &Cfg);
+
+  /// Applies one update from the accumulated gradients, then zeroes them.
+  void step();
+  int stepCount() const { return Steps; }
+
+private:
+  std::vector<ParamRef> Params;
+  Config Cfg;
+  std::vector<std::vector<float>> M1, M2;
+  int Steps = 0;
+};
+
+} // namespace nn
+} // namespace slade
+
+#endif // SLADE_NN_TRANSFORMER_H

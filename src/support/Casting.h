@@ -1,0 +1,52 @@
+//===- Casting.h - LLVM-style isa/cast/dyn_cast -----------------*- C++ -*-===//
+///
+/// \file
+/// Hand-rolled RTTI in the style of llvm/Support/Casting.h. Class
+/// hierarchies opt in by providing `static bool classof(const Base *)`.
+///
+//===----------------------------------------------------------------------===//
+#ifndef SLADE_SUPPORT_CASTING_H
+#define SLADE_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace slade {
+
+/// True if \p Val is an instance of To (Java `instanceof`).
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast: asserts that \p Val really is a To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(Val && "cast<> used on a null pointer");
+  assert(To::classof(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(Val && "cast<> used on a null pointer");
+  assert(To::classof(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast: returns null when \p Val is not a To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  assert(Val && "dyn_cast<> used on a null pointer");
+  return To::classof(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  assert(Val && "dyn_cast<> used on a null pointer");
+  return To::classof(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// dyn_cast<> that tolerates null input (LLVM's dyn_cast_if_present).
+template <typename To, typename From> To *dyn_cast_if_present(From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+} // namespace slade
+
+#endif // SLADE_SUPPORT_CASTING_H

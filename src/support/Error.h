@@ -1,0 +1,91 @@
+//===- Error.h - recoverable error handling ---------------------*- C++ -*-===//
+///
+/// \file
+/// Lightweight recoverable-error types used throughout the library.
+/// Library code does not use C++ exceptions (see DESIGN.md); fallible
+/// operations return Status or Expected<T> instead.
+///
+//===----------------------------------------------------------------------===//
+#ifndef SLADE_SUPPORT_ERROR_H
+#define SLADE_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace slade {
+
+/// Result of a fallible operation that produces no value.
+///
+/// A default-constructed Status is success. Failure carries a
+/// human-readable message following LLVM diagnostic style (lowercase start,
+/// no trailing period).
+class Status {
+public:
+  Status() = default;
+
+  static Status success() { return Status(); }
+  static Status error(std::string Msg) {
+    Status S;
+    S.Message = std::move(Msg);
+    S.Failed = true;
+    return S;
+  }
+
+  bool ok() const { return !Failed; }
+  explicit operator bool() const { return ok(); }
+
+  /// Message describing the failure; empty on success.
+  const std::string &message() const { return Message; }
+
+private:
+  std::string Message;
+  bool Failed = false;
+};
+
+/// Either a value of type T or an error message.
+///
+/// Callers must check hasValue()/operator bool before dereferencing.
+template <typename T> class Expected {
+public:
+  Expected(T Value) : Value(std::move(Value)) {}
+  Expected(Status Err) : Err(std::move(Err)) {
+    assert(!this->Err.ok() && "Expected constructed from success Status");
+  }
+
+  static Expected<T> error(std::string Msg) {
+    return Expected<T>(Status::error(std::move(Msg)));
+  }
+
+  bool hasValue() const { return Value.has_value(); }
+  explicit operator bool() const { return hasValue(); }
+
+  T &get() {
+    assert(hasValue() && "Expected has no value");
+    return *Value;
+  }
+  const T &get() const {
+    assert(hasValue() && "Expected has no value");
+    return *Value;
+  }
+  T &operator*() { return get(); }
+  const T &operator*() const { return get(); }
+  T *operator->() { return &get(); }
+  const T *operator->() const { return &get(); }
+
+  /// Message of the contained error; empty if this holds a value.
+  const std::string &errorMessage() const { return Err.message(); }
+  const Status &status() const { return Err; }
+
+  /// Returns the value or \p Default when this holds an error.
+  T valueOr(T Default) const { return hasValue() ? *Value : Default; }
+
+private:
+  std::optional<T> Value;
+  Status Err;
+};
+
+} // namespace slade
+
+#endif // SLADE_SUPPORT_ERROR_H

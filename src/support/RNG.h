@@ -1,0 +1,96 @@
+//===- RNG.h - deterministic random number generation -----------*- C++ -*-===//
+///
+/// \file
+/// SplitMix64-based RNG. Every stochastic component in the repository
+/// (corpus generation, parameter init, input generation for IO testing)
+/// draws from an explicitly seeded SplitMix64 so runs are bit-reproducible.
+///
+//===----------------------------------------------------------------------===//
+#ifndef SLADE_SUPPORT_RNG_H
+#define SLADE_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace slade {
+
+/// SplitMix64 generator (Steele, Lea & Flood 2014). Tiny state, excellent
+/// statistical quality for non-cryptographic use, trivially seedable.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed = 0x5eed5eedULL) : State(Seed) {}
+
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform integer in [0, Bound). \p Bound must be positive.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound > 0 && "below() requires a positive bound");
+    // Rejection-free multiply-shift; bias is negligible for our bounds.
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(next()) * Bound) >> 64);
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "range() bounds inverted");
+    return Lo + static_cast<int64_t>(
+                    below(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Standard normal via Box-Muller (one value per call; simple and
+  /// deterministic, speed is irrelevant at our scales).
+  double normal() {
+    double U1 = uniform(), U2 = uniform();
+    if (U1 < 1e-300)
+      U1 = 1e-300;
+    return __builtin_sqrt(-2.0 * __builtin_log(U1)) *
+           __builtin_cos(6.283185307179586 * U2);
+  }
+
+  /// True with probability \p P.
+  bool chance(double P) { return uniform() < P; }
+
+  /// Picks a uniformly random element of \p Items.
+  template <typename T> const T &pick(const std::vector<T> &Items) {
+    assert(!Items.empty() && "pick() from empty vector");
+    return Items[below(Items.size())];
+  }
+
+  /// Weighted choice: returns an index i with probability
+  /// Weights[i] / sum(Weights).
+  size_t weighted(const std::vector<double> &Weights) {
+    double Total = 0;
+    for (double W : Weights)
+      Total += W;
+    assert(Total > 0 && "weighted() needs positive total weight");
+    double X = uniform() * Total;
+    for (size_t I = 0; I < Weights.size(); ++I) {
+      X -= Weights[I];
+      if (X <= 0)
+        return I;
+    }
+    return Weights.size() - 1;
+  }
+
+  /// Derives an independent child generator (for parallel streams).
+  SplitMix64 fork() { return SplitMix64(next()); }
+
+private:
+  uint64_t State;
+};
+
+} // namespace slade
+
+#endif // SLADE_SUPPORT_RNG_H

@@ -1,0 +1,105 @@
+//===- StringUtils.cpp - small string helpers -----------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+using namespace slade;
+
+std::vector<std::string> slade::splitString(std::string_view Text, char Sep) {
+  std::vector<std::string> Out;
+  size_t Start = 0;
+  while (true) {
+    size_t Pos = Text.find(Sep, Start);
+    if (Pos == std::string_view::npos) {
+      Out.emplace_back(Text.substr(Start));
+      return Out;
+    }
+    Out.emplace_back(Text.substr(Start, Pos - Start));
+    Start = Pos + 1;
+  }
+}
+
+std::vector<std::string> slade::splitWhitespace(std::string_view Text) {
+  std::vector<std::string> Out;
+  size_t I = 0, N = Text.size();
+  while (I < N) {
+    while (I < N && std::isspace(static_cast<unsigned char>(Text[I])))
+      ++I;
+    size_t Start = I;
+    while (I < N && !std::isspace(static_cast<unsigned char>(Text[I])))
+      ++I;
+    if (I > Start)
+      Out.emplace_back(Text.substr(Start, I - Start));
+  }
+  return Out;
+}
+
+std::string slade::joinStrings(const std::vector<std::string> &Parts,
+                               std::string_view Sep) {
+  std::string Out;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I)
+      Out.append(Sep);
+    Out.append(Parts[I]);
+  }
+  return Out;
+}
+
+std::string_view slade::trim(std::string_view Text) {
+  size_t B = 0, E = Text.size();
+  while (B < E && std::isspace(static_cast<unsigned char>(Text[B])))
+    ++B;
+  while (E > B && std::isspace(static_cast<unsigned char>(Text[E - 1])))
+    --E;
+  return Text.substr(B, E - B);
+}
+
+bool slade::startsWith(std::string_view Text, std::string_view Prefix) {
+  return Text.size() >= Prefix.size() &&
+         Text.substr(0, Prefix.size()) == Prefix;
+}
+
+bool slade::endsWith(std::string_view Text, std::string_view Suffix) {
+  return Text.size() >= Suffix.size() &&
+         Text.substr(Text.size() - Suffix.size()) == Suffix;
+}
+
+std::string slade::replaceAll(std::string Text, std::string_view From,
+                              std::string_view To) {
+  if (From.empty())
+    return Text;
+  size_t Pos = 0;
+  while ((Pos = Text.find(From, Pos)) != std::string::npos) {
+    Text.replace(Pos, From.size(), To);
+    Pos += To.size();
+  }
+  return Text;
+}
+
+uint64_t slade::fnv1a64(std::string_view Data) {
+  uint64_t Hash = 0xcbf29ce484222325ULL;
+  for (unsigned char C : Data) {
+    Hash ^= C;
+    Hash *= 0x100000001b3ULL;
+  }
+  return Hash;
+}
+
+std::string slade::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Len = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  std::string Out;
+  if (Len > 0) {
+    Out.resize(static_cast<size_t>(Len));
+    std::vsnprintf(Out.data(), Out.size() + 1, Fmt, Args);
+  }
+  va_end(Args);
+  return Out;
+}

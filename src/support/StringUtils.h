@@ -1,0 +1,47 @@
+//===- StringUtils.h - small string helpers ---------------------*- C++ -*-===//
+///
+/// \file
+/// String helpers shared across the repository: split/join/trim, numeric
+/// formatting, and FNV-1a hashing used for train/test deduplication.
+///
+//===----------------------------------------------------------------------===//
+#ifndef SLADE_SUPPORT_STRINGUTILS_H
+#define SLADE_SUPPORT_STRINGUTILS_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace slade {
+
+/// Splits \p Text on \p Sep; consecutive separators yield empty fields.
+std::vector<std::string> splitString(std::string_view Text, char Sep);
+
+/// Splits \p Text on any whitespace; no empty fields are produced.
+std::vector<std::string> splitWhitespace(std::string_view Text);
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string joinStrings(const std::vector<std::string> &Parts,
+                        std::string_view Sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view Text);
+
+bool startsWith(std::string_view Text, std::string_view Prefix);
+bool endsWith(std::string_view Text, std::string_view Suffix);
+
+/// Replaces every occurrence of \p From in \p Text with \p To.
+std::string replaceAll(std::string Text, std::string_view From,
+                       std::string_view To);
+
+/// 64-bit FNV-1a hash (used for token-level corpus deduplication, §V-A).
+uint64_t fnv1a64(std::string_view Data);
+
+/// printf-style formatting into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace slade
+
+#endif // SLADE_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,28 @@
+//===- Unreachable.h - marker for impossible control flow ------*- C++ -*-===//
+///
+/// \file
+/// SLADE_UNREACHABLE marks control-flow points that must never execute if
+/// the program's invariants hold. It aborts with a message in all builds.
+///
+//===----------------------------------------------------------------------===//
+#ifndef SLADE_SUPPORT_UNREACHABLE_H
+#define SLADE_SUPPORT_UNREACHABLE_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace slade {
+
+[[noreturn]] inline void unreachableInternal(const char *Msg,
+                                             const char *File, int Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%d: %s\n", File, Line,
+               Msg ? Msg : "");
+  std::abort();
+}
+
+} // namespace slade
+
+#define SLADE_UNREACHABLE(msg)                                                \
+  ::slade::unreachableInternal(msg, __FILE__, __LINE__)
+
+#endif // SLADE_SUPPORT_UNREACHABLE_H

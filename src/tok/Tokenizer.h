@@ -1,0 +1,75 @@
+//===- Tokenizer.h - UnigramLM subword tokenizer ----------------*- C++ -*-===//
+///
+/// \file
+/// The paper's code tokenizer (§IV): UnigramLM subword vocabulary with a
+/// small code-oriented vocab, digit-by-digit number splitting, punctuation
+/// isolation, and SentencePiece-style metaspace ('▁', here the byte 0x1e
+/// placeholder is avoided by using the literal UTF-8 sequence) marking
+/// word-initial pieces. Whitespace runs are normalized to a single space,
+/// which is lossless for C and assembly up to formatting.
+///
+//===----------------------------------------------------------------------===//
+#ifndef SLADE_TOK_TOKENIZER_H
+#define SLADE_TOK_TOKENIZER_H
+
+#include "support/Error.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace slade {
+namespace tok {
+
+/// Metaspace marker prepended to atoms that follow whitespace.
+inline const char *metaspace() { return "\xe2\x96\x81"; } // U+2581
+
+/// Splits \p Text into atoms: identifiers, single digits, single
+/// punctuation characters; atoms preceded by whitespace get the metaspace
+/// prefix.
+std::vector<std::string> preTokenize(const std::string &Text);
+
+class Tokenizer {
+public:
+  struct Config {
+    unsigned VocabSize = 512;
+    int EMIterations = 3;
+    unsigned MaxPieceLen = 10;
+  };
+
+  /// Special token ids.
+  static constexpr int PadId = 0;
+  static constexpr int BosId = 1;
+  static constexpr int EosId = 2;
+  static constexpr int UnkId = 3;
+
+  /// Learns a UnigramLM vocabulary over \p Texts.
+  static Tokenizer train(const std::vector<std::string> &Texts,
+                         const Config &Cfg);
+
+  /// Viterbi-segments \p Text (no BOS/EOS added).
+  std::vector<int> encode(const std::string &Text) const;
+
+  /// Inverse of encode up to whitespace normalization.
+  std::string decode(const std::vector<int> &Ids) const;
+
+  size_t vocabSize() const { return Pieces.size(); }
+  const std::string &piece(int Id) const { return Pieces[Id]; }
+
+  Status save(const std::string &Path) const;
+  static Expected<Tokenizer> load(const std::string &Path);
+
+private:
+  std::vector<std::string> Pieces;      ///< Id -> piece text.
+  std::vector<float> LogProbs;          ///< Id -> unigram log prob.
+  std::unordered_map<std::string, int> PieceIds;
+
+  void rebuildIndex();
+  /// Best segmentation of one atom; appends ids.
+  void viterbi(const std::string &Atom, std::vector<int> *Out) const;
+};
+
+} // namespace tok
+} // namespace slade
+
+#endif // SLADE_TOK_TOKENIZER_H

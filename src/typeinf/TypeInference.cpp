@@ -1,0 +1,446 @@
+//===- TypeInference.cpp - PsycheC-style type inference -----------------------===//
+
+#include "typeinf/TypeInference.h"
+
+#include "cc/Parser.h"
+#include "cc/Printer.h"
+#include "support/StringUtils.h"
+
+#include <map>
+#include <set>
+
+using namespace slade;
+using namespace slade::cc;
+using namespace slade::typeinf;
+
+namespace {
+
+/// A small type lattice for inferred entities: Unknown is the bottom;
+/// conflicts resolve toward Int (the observed behaviour of PsycheC's
+/// defaulting on our corpus).
+enum class Shape { Unknown, Int, Long, Float, Double, PointerInt,
+                   PointerFloat };
+
+const char *shapeSpelling(Shape S) {
+  switch (S) {
+  case Shape::Unknown:
+  case Shape::Int:
+    return "int";
+  case Shape::Long:
+    return "long";
+  case Shape::Float:
+    return "float";
+  case Shape::Double:
+    return "double";
+  case Shape::PointerInt:
+    return "int *";
+  case Shape::PointerFloat:
+    return "float *";
+  }
+  return "int";
+}
+
+Shape joinShape(Shape A, Shape B) {
+  if (A == Shape::Unknown)
+    return B;
+  if (B == Shape::Unknown || A == B)
+    return A;
+  // Pointer evidence dominates scalar evidence; float dominates int.
+  auto isPtr = [](Shape S) {
+    return S == Shape::PointerInt || S == Shape::PointerFloat;
+  };
+  if (isPtr(A) || isPtr(B))
+    return isPtr(A) ? A : B;
+  if (A == Shape::Double || B == Shape::Double)
+    return Shape::Double;
+  if (A == Shape::Float || B == Shape::Float)
+    return Shape::Float;
+  if (A == Shape::Long || B == Shape::Long)
+    return Shape::Long;
+  return Shape::Int;
+}
+
+/// Collects constraints by walking the hypothesis AST.
+class ConstraintCollector {
+public:
+  // Entity tables.
+  std::map<std::string, Shape> NamedTypes;   ///< Unresolved typedef names.
+  std::map<std::string, Shape> FreeGlobals;  ///< Undeclared identifiers.
+  std::map<std::string, std::vector<Shape>> FreeCalls; ///< name -> args.
+  std::map<std::string, Shape> CallReturns;
+  /// Incomplete struct -> ordered (field, shape).
+  std::map<std::string, std::vector<std::pair<std::string, Shape>>>
+      StructFields;
+
+  std::set<std::string> DeclaredNames; ///< Locals/params/known globals.
+  std::set<std::string> KnownFunctions;
+  std::set<std::string> KnownStructs;
+
+  void walkFunction(const FunctionDecl &F) {
+    Scopes.clear();
+    Scopes.push_back({});
+    for (const auto &P : F.Params) {
+      declare(P->Name);
+      noteDeclType(P->Ty);
+    }
+    if (F.Body)
+      walkStmt(*F.Body);
+    noteDeclType(F.RetTy);
+  }
+
+  void declareGlobalish(const std::string &Name) {
+    DeclaredNames.insert(Name);
+  }
+
+private:
+  std::vector<std::set<std::string>> Scopes;
+
+  void declare(const std::string &Name) { Scopes.back().insert(Name); }
+  bool isDeclared(const std::string &Name) const {
+    for (const auto &S : Scopes)
+      if (S.count(Name))
+        return true;
+    return DeclaredNames.count(Name) != 0;
+  }
+
+  /// Registers unresolved NamedTypes mentioned by a declared type, and
+  /// seeds their shape from the syntactic context (pointer declarators
+  /// force nothing; the usage pass refines).
+  void noteDeclType(const Type *T) {
+    const Type *C = T;
+    while (true) {
+      if (const auto *P = dyn_cast<PointerType>(C)) {
+        C = P->pointee();
+        continue;
+      }
+      if (const auto *A = dyn_cast<ArrayType>(C)) {
+        C = A->element();
+        continue;
+      }
+      break;
+    }
+    if (const auto *N = dyn_cast<NamedType>(C))
+      if (!N->isResolved())
+        NamedTypes[N->name()] = joinShape(NamedTypes[N->name()],
+                                          Shape::Unknown);
+    if (const auto *S = dyn_cast<StructType>(C))
+      if (!S->isComplete() && !KnownStructs.count(S->name()))
+        StructFields.emplace(S->name(),
+                             std::vector<std::pair<std::string, Shape>>());
+  }
+
+  /// Shape evidence for the *type context* an expression appears in.
+  Shape shapeOfType(const Type *T) {
+    const Type *C = T->canonical();
+    if (const auto *N = dyn_cast<NamedType>(C)) {
+      (void)N;
+      return Shape::Unknown;
+    }
+    if (C->isFloating())
+      return C->size() == 4 ? Shape::Float : Shape::Double;
+    if (C->isPointer()) {
+      const auto *P = cast<PointerType>(C);
+      return P->pointee()->canonical()->isFloating() ? Shape::PointerFloat
+                                                     : Shape::PointerInt;
+    }
+    if (C->isInteger())
+      return C->size() == 8 ? Shape::Long : Shape::Int;
+    return Shape::Unknown;
+  }
+
+  void constrainExpr(const Expr *E, Shape Evidence) {
+    if (!E)
+      return;
+    if (const auto *Ref = dyn_cast<VarRef>(E)) {
+      if (!isDeclared(Ref->Name))
+        FreeGlobals[Ref->Name] = joinShape(FreeGlobals[Ref->Name], Evidence);
+      return;
+    }
+    if (const auto *C = dyn_cast<CallExpr>(E)) {
+      if (!KnownFunctions.count(C->Callee)) {
+        auto &Args = FreeCalls[C->Callee];
+        if (Args.size() < C->Args.size())
+          Args.resize(C->Args.size(), Shape::Unknown);
+        CallReturns[C->Callee] =
+            joinShape(CallReturns[C->Callee], Evidence);
+      }
+      return;
+    }
+    (void)Evidence;
+  }
+
+  void walkExpr(const Expr *E) {
+    if (!E)
+      return;
+    switch (E->getKind()) {
+    case ExprKind::IntLit:
+    case ExprKind::FloatLit:
+    case ExprKind::StringLit:
+      return;
+    case ExprKind::VarRef:
+      constrainExpr(E, Shape::Unknown);
+      return;
+    case ExprKind::Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      if (U->Op == UnaryOp::Deref)
+        constrainExpr(U->Operand.get(), Shape::PointerInt);
+      walkExpr(U->Operand.get());
+      return;
+    }
+    case ExprKind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      // Float literals flowing across an operator are float evidence.
+      if (isa<FloatLit>(B->RHS.get()))
+        constrainExpr(B->LHS.get(), Shape::Double);
+      if (isa<FloatLit>(B->LHS.get()))
+        constrainExpr(B->RHS.get(), Shape::Double);
+      walkExpr(B->LHS.get());
+      walkExpr(B->RHS.get());
+      return;
+    }
+    case ExprKind::Conditional: {
+      const auto *C = cast<ConditionalExpr>(E);
+      walkExpr(C->Cond.get());
+      walkExpr(C->Then.get());
+      walkExpr(C->Else.get());
+      return;
+    }
+    case ExprKind::Call: {
+      const auto *C = cast<CallExpr>(E);
+      constrainExpr(E, Shape::Unknown);
+      if (!KnownFunctions.count(C->Callee)) {
+        auto &Args = FreeCalls[C->Callee];
+        if (Args.size() < C->Args.size())
+          Args.resize(C->Args.size(), Shape::Unknown);
+        for (size_t I = 0; I < C->Args.size(); ++I) {
+          Shape S = Shape::Int;
+          if (const auto *Ref = dyn_cast<VarRef>(C->Args[I].get()))
+            (void)Ref; // Unknown argument shape defaults to int.
+          if (isa<FloatLit>(C->Args[I].get()))
+            S = Shape::Double;
+          Args[I] = joinShape(Args[I], S);
+        }
+      }
+      for (const ExprPtr &A : C->Args)
+        walkExpr(A.get());
+      return;
+    }
+    case ExprKind::Index: {
+      const auto *I = cast<IndexExpr>(E);
+      constrainExpr(I->Base.get(), Shape::PointerInt);
+      walkExpr(I->Base.get());
+      walkExpr(I->Index.get());
+      return;
+    }
+    case ExprKind::Member: {
+      const auto *M = cast<MemberExpr>(E);
+      // Field requests on incomplete structs are gathered in source
+      // order; the struct definition is synthesized from them.
+      const Type *BaseTy = nullptr;
+      if (const auto *Ref = dyn_cast<VarRef>(M->Base.get()))
+        (void)Ref;
+      (void)BaseTy;
+      PendingMembers.push_back(M);
+      walkExpr(M->Base.get());
+      return;
+    }
+    case ExprKind::Cast:
+      walkExpr(cast<CastExpr>(E)->Operand.get());
+      return;
+    }
+  }
+
+  void walkStmt(const Stmt &S) {
+    switch (S.getKind()) {
+    case StmtKind::Compound:
+      Scopes.push_back({});
+      for (const StmtPtr &C : cast<CompoundStmt>(&S)->Body)
+        walkStmt(*C);
+      Scopes.pop_back();
+      return;
+    case StmtKind::Expr:
+      walkExpr(cast<ExprStmt>(&S)->E.get());
+      return;
+    case StmtKind::Decl:
+      for (const auto &V : cast<DeclStmt>(&S)->Decls) {
+        noteDeclType(V->Ty);
+        walkExpr(V->Init.get());
+        declare(V->Name);
+        // Record the variable's struct type for member resolution.
+        LocalStructOf[V->Name] = structNameOf(V->Ty);
+      }
+      return;
+    case StmtKind::If: {
+      const auto *I = cast<IfStmt>(&S);
+      walkExpr(I->Cond.get());
+      walkStmt(*I->Then);
+      if (I->Else)
+        walkStmt(*I->Else);
+      return;
+    }
+    case StmtKind::While: {
+      const auto *W = cast<WhileStmt>(&S);
+      walkExpr(W->Cond.get());
+      walkStmt(*W->Body);
+      return;
+    }
+    case StmtKind::DoWhile: {
+      const auto *D = cast<DoWhileStmt>(&S);
+      walkStmt(*D->Body);
+      walkExpr(D->Cond.get());
+      return;
+    }
+    case StmtKind::For: {
+      const auto *F = cast<ForStmt>(&S);
+      Scopes.push_back({});
+      if (F->Init)
+        walkStmt(*F->Init);
+      walkExpr(F->Cond.get());
+      walkExpr(F->Step.get());
+      walkStmt(*F->Body);
+      Scopes.pop_back();
+      return;
+    }
+    case StmtKind::Return:
+      walkExpr(cast<ReturnStmt>(&S)->Value.get());
+      return;
+    default:
+      return;
+    }
+  }
+
+  static std::string structNameOf(const Type *T) {
+    const Type *C = T;
+    while (const auto *P = dyn_cast<PointerType>(C))
+      C = P->pointee();
+    if (const auto *S = dyn_cast<StructType>(C))
+      return S->name();
+    return std::string();
+  }
+
+public:
+  std::vector<const MemberExpr *> PendingMembers;
+  std::map<std::string, std::string> LocalStructOf; ///< var -> struct name.
+
+  /// Resolves the collected member requests into struct field lists.
+  void resolveMembers() {
+    for (const MemberExpr *M : PendingMembers) {
+      std::string SName;
+      if (const auto *Ref = dyn_cast<VarRef>(M->Base.get())) {
+        auto It = LocalStructOf.find(Ref->Name);
+        if (It != LocalStructOf.end())
+          SName = It->second;
+      }
+      if (SName.empty() || !StructFields.count(SName))
+        continue;
+      auto &Fields = StructFields[SName];
+      bool Seen = false;
+      for (const auto &[Name, Sh] : Fields)
+        if (Name == M->Member)
+          Seen = true;
+      if (!Seen)
+        Fields.push_back({M->Member, Shape::Int});
+    }
+  }
+};
+
+} // namespace
+
+InferenceResult slade::typeinf::inferMissingDeclarations(
+    const std::string &HypothesisSource, const std::string &ContextSource) {
+  InferenceResult R;
+  TypeContext Ctx;
+
+  // 1. Learn what the context already provides.
+  ParseOptions CtxOpts;
+  CtxOpts.Partial = true;
+  auto CtxTU = parseC(ContextSource, Ctx, CtxOpts);
+  std::map<std::string, const Type *> KnownTypedefs;
+  ConstraintCollector CC;
+  if (CtxTU) {
+    for (const TypedefDecl &T : (*CtxTU)->Typedefs)
+      KnownTypedefs[T.Name] = T.Ty;
+    for (const auto &G : (*CtxTU)->Globals)
+      CC.declareGlobalish(G->Name);
+    for (const auto &F : (*CtxTU)->Functions)
+      CC.KnownFunctions.insert(F->Name);
+    for (const StructType *S : (*CtxTU)->Structs)
+      CC.KnownStructs.insert(S->name());
+  }
+
+  // 2. Parse the hypothesis in partial mode.
+  ParseOptions HypOpts;
+  HypOpts.Partial = true;
+  HypOpts.KnownTypedefs = KnownTypedefs;
+  auto HypTU = parseC(HypothesisSource, Ctx, HypOpts);
+  if (!HypTU) {
+    R.Error = HypTU.errorMessage();
+    return R;
+  }
+  R.ParseOk = true;
+
+  // The hypothesis's own top-level declarations are also "known".
+  for (const auto &G : (*HypTU)->Globals)
+    CC.declareGlobalish(G->Name);
+  for (const auto &F : (*HypTU)->Functions)
+    CC.KnownFunctions.insert(F->Name);
+
+  // 3. Constraint generation.
+  for (const auto &F : (*HypTU)->Functions)
+    if (F->isDefinition()) {
+      CC.walkFunction(*F);
+      // Parameters typed as pointers to structs feed member resolution.
+      for (const auto &P : F->Params) {
+        const Type *T = P->Ty;
+        while (const auto *Pt = dyn_cast<PointerType>(T))
+          T = Pt->pointee();
+        if (const auto *S = dyn_cast<StructType>(T))
+          CC.LocalStructOf[P->Name] = S->name();
+      }
+    }
+  CC.resolveMembers();
+
+  // 4. Synthesize the prelude.
+  std::string Prelude;
+  for (const auto &[Name, Sh] : CC.NamedTypes) {
+    Prelude += formatString("typedef %s %s;\n", shapeSpelling(Sh),
+                            Name.c_str());
+    R.NeededInference = true;
+  }
+  for (auto &[SName, Fields] : CC.StructFields) {
+    if (CC.KnownStructs.count(SName))
+      continue;
+    Prelude += "struct " + SName + " {\n";
+    if (Fields.empty())
+      Prelude += "  int __pad;\n";
+    for (const auto &[FName, Sh] : Fields)
+      Prelude += formatString("  %s %s;\n", shapeSpelling(Sh),
+                              FName.c_str());
+    Prelude += "};\n";
+    R.NeededInference = true;
+  }
+  for (const auto &[Name, Sh] : CC.FreeGlobals) {
+    if (CC.KnownFunctions.count(Name))
+      continue;
+    Prelude += formatString("%s %s;\n", shapeSpelling(Sh), Name.c_str());
+    R.NeededInference = true;
+  }
+  for (const auto &[Name, Args] : CC.FreeCalls) {
+    if (CC.KnownFunctions.count(Name))
+      continue;
+    Shape Ret = Shape::Int;
+    auto RIt = CC.CallReturns.find(Name);
+    if (RIt != CC.CallReturns.end())
+      Ret = RIt->second;
+    std::vector<std::string> ArgSpellings;
+    for (Shape A : Args)
+      ArgSpellings.push_back(shapeSpelling(A == Shape::Unknown ? Shape::Int
+                                                               : A));
+    Prelude += formatString("extern %s %s(%s);\n",
+                            shapeSpelling(Ret), Name.c_str(),
+                            joinStrings(ArgSpellings, ", ").c_str());
+    R.NeededInference = true;
+  }
+  R.Prelude = Prelude;
+  return R;
+}

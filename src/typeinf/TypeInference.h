@@ -1,0 +1,36 @@
+//===- TypeInference.h - PsycheC-style type inference -----------*- C++ -*-===//
+///
+/// \file
+/// Reconstructs the declarations a partial C program is missing (§VI-B):
+/// unknown typedef names, undeclared globals, undeclared callees, and
+/// fields of incomplete structs. Mirrors PsycheC's pipeline: parse the
+/// partial program (ambiguities resolved by the parser's lattice
+/// heuristics), generate constraints from usage, unify, and synthesize a
+/// prelude that makes the program compile without conflicting with the
+/// surrounding context.
+///
+//===----------------------------------------------------------------------===//
+#ifndef SLADE_TYPEINF_TYPEINFERENCE_H
+#define SLADE_TYPEINF_TYPEINFERENCE_H
+
+#include <string>
+
+namespace slade {
+namespace typeinf {
+
+struct InferenceResult {
+  bool ParseOk = false;
+  bool NeededInference = false; ///< Something was missing and synthesized.
+  std::string Prelude;          ///< Declarations to prepend.
+  std::string Error;
+};
+
+/// Infers the missing declarations for \p HypothesisSource given
+/// \p ContextSource (the original program's surrounding declarations).
+InferenceResult inferMissingDeclarations(const std::string &HypothesisSource,
+                                         const std::string &ContextSource);
+
+} // namespace typeinf
+} // namespace slade
+
+#endif // SLADE_TYPEINF_TYPEINFERENCE_H

@@ -1,0 +1,699 @@
+//===- ArmInterp.cpp - AArch64 subset interpreter ----------------------------===//
+
+#include "vm/Interp.h"
+
+#include "support/StringUtils.h"
+
+#include <cstring>
+
+using namespace slade;
+using namespace slade::asmx;
+using namespace slade::vm;
+
+namespace {
+
+struct VReg128 {
+  uint8_t Bytes[16] = {0};
+};
+
+class ArmMachine {
+public:
+  ArmMachine(const std::vector<AsmFunction> &Image, Memory &Mem,
+             const std::map<std::string, uint64_t> &Symbols,
+             const ExecConfig &Cfg)
+      : Mem(Mem), Symbols(Symbols), Cfg(Cfg) {
+    for (const AsmFunction &F : Image)
+      Funcs[F.Name] = &F;
+  }
+
+  RunOutcome run(const std::string &Entry, const CallArgs &Args);
+
+private:
+  Memory &Mem;
+  const std::map<std::string, uint64_t> &Symbols;
+  ExecConfig Cfg;
+  std::map<std::string, const AsmFunction *> Funcs;
+
+  uint64_t X[32] = {0}; ///< x0..x30; index 31 unused (sp held separately).
+  uint64_t SP = 0;
+  VReg128 V[32];
+  struct Flags {
+    bool IsFloat = false;
+    unsigned Width = 4;
+    int64_t A = 0, B = 0;
+    double FA = 0, FB = 0;
+  } Fl;
+
+  struct Frame {
+    const AsmFunction *Fn;
+    size_t PC;
+  };
+  std::vector<Frame> Stack;
+  std::string Fault;
+  bool Done = false;
+  uint64_t IntResult = 0;
+  uint64_t FloatBits = 0;
+
+  void fault(const std::string &Msg) {
+    if (Fault.empty())
+      Fault = Msg;
+  }
+
+  /// Decodes an integer register name; returns width in bytes via \p W.
+  /// sp/xzr/wzr are handled by the caller where legal.
+  int gprIndex(const std::string &Name, unsigned *W) {
+    if (Name == "sp") {
+      *W = 8;
+      return -2;
+    }
+    if (Name == "xzr" || Name == "wzr") {
+      *W = Name[0] == 'x' ? 8 : 4;
+      return -3;
+    }
+    if (Name.size() < 2 || (Name[0] != 'w' && Name[0] != 'x')) {
+      fault("bad register " + Name);
+      *W = 8;
+      return 0;
+    }
+    *W = Name[0] == 'x' ? 8 : 4;
+    int N = std::atoi(Name.c_str() + 1);
+    if (N < 0 || N > 30) {
+      fault("bad register " + Name);
+      return 0;
+    }
+    return N;
+  }
+
+  uint64_t readGPR(const std::string &Name) {
+    unsigned W;
+    int N = gprIndex(Name, &W);
+    uint64_t V64 = N == -2 ? SP : N == -3 ? 0 : X[N];
+    return W == 8 ? V64 : (V64 & 0xffffffffULL);
+  }
+  void writeGPR(const std::string &Name, uint64_t Value) {
+    unsigned W;
+    int N = gprIndex(Name, &W);
+    if (N == -3)
+      return; // Zero register.
+    uint64_t V64 = W == 8 ? Value : (Value & 0xffffffffULL);
+    if (N == -2)
+      SP = V64;
+    else
+      X[N] = V64;
+  }
+
+  /// Float/vector register access: names s16 / d16 / q18 / v18.4s.
+  int fpIndex(const std::string &Name, unsigned *W) {
+    char C = Name[0];
+    std::string Num = Name.substr(1);
+    size_t Dot = Num.find('.');
+    if (Dot != std::string::npos)
+      Num = Num.substr(0, Dot);
+    int N = std::atoi(Num.c_str());
+    if (N < 0 || N > 31) {
+      fault("bad fp register " + Name);
+      return 0;
+    }
+    *W = C == 's' ? 4 : C == 'd' ? 8 : 16;
+    return N;
+  }
+
+  uint64_t effAddr(const Operand &Op) {
+    return readGPR(Op.BaseReg) + static_cast<uint64_t>(Op.Disp);
+  }
+
+  uint64_t readOperand(const Operand &Op, unsigned Width) {
+    switch (Op.K) {
+    case Operand::Reg:
+      return readGPR(Op.RegName);
+    case Operand::Imm:
+      return static_cast<uint64_t>(Op.ImmValue) &
+             (Width >= 8 ? ~0ULL : ((1ULL << (Width * 8)) - 1));
+    default:
+      fault("bad data operand");
+      return 0;
+    }
+  }
+
+  static int64_t sextVal(uint64_t V, unsigned Width) {
+    switch (Width) {
+    case 1:
+      return static_cast<int8_t>(V);
+    case 2:
+      return static_cast<int16_t>(V);
+    case 4:
+      return static_cast<int32_t>(V);
+    default:
+      return static_cast<int64_t>(V);
+    }
+  }
+
+  bool evalCC(const std::string &CC) {
+    if (Fl.IsFloat) {
+      double A = Fl.FA, B = Fl.FB;
+      if (CC == "eq")
+        return A == B;
+      if (CC == "ne")
+        return A != B;
+      if (CC == "lt" || CC == "mi" || CC == "cc")
+        return A < B;
+      if (CC == "le" || CC == "ls")
+        return A <= B;
+      if (CC == "gt" || CC == "hi")
+        return A > B;
+      if (CC == "ge" || CC == "cs")
+        return A >= B;
+      fault("bad float condition " + CC);
+      return false;
+    }
+    uint64_t Mask = Fl.Width >= 8 ? ~0ULL : ((1ULL << (Fl.Width * 8)) - 1);
+    uint64_t UA = static_cast<uint64_t>(Fl.A) & Mask;
+    uint64_t UB = static_cast<uint64_t>(Fl.B) & Mask;
+    int64_t SA = sextVal(UA, Fl.Width), SB = sextVal(UB, Fl.Width);
+    if (CC == "eq")
+      return UA == UB;
+    if (CC == "ne")
+      return UA != UB;
+    if (CC == "lt")
+      return SA < SB;
+    if (CC == "le")
+      return SA <= SB;
+    if (CC == "gt")
+      return SA > SB;
+    if (CC == "ge")
+      return SA >= SB;
+    if (CC == "cc")
+      return UA < UB;
+    if (CC == "ls")
+      return UA <= UB;
+    if (CC == "hi")
+      return UA > UB;
+    if (CC == "cs")
+      return UA >= UB;
+    fault("bad condition " + CC);
+    return false;
+  }
+
+  float readF32(int N) {
+    float Val;
+    std::memcpy(&Val, V[N].Bytes, 4);
+    return Val;
+  }
+  double readF64(int N) {
+    double Val;
+    std::memcpy(&Val, V[N].Bytes, 8);
+    return Val;
+  }
+  void writeF32(int N, float Val) { std::memcpy(V[N].Bytes, &Val, 4); }
+  void writeF64(int N, double Val) { std::memcpy(V[N].Bytes, &Val, 8); }
+
+  void jumpTo(const std::string &Label) {
+    Frame &F = Stack.back();
+    auto It = F.Fn->Labels.find(Label);
+    if (It == F.Fn->Labels.end()) {
+      fault("unknown label " + Label);
+      return;
+    }
+    F.PC = It->second;
+  }
+
+  void step(const AsmInstr &I);
+};
+
+void ArmMachine::step(const AsmInstr &I) {
+  const std::string &M = I.Mnemonic;
+
+  auto isFPName = [](const std::string &N) {
+    return !N.empty() && (N[0] == 's' || N[0] == 'd' || N[0] == 'q' ||
+                          N[0] == 'v') &&
+           N != "sp" && N.size() >= 2 &&
+           std::isdigit(static_cast<unsigned char>(N[1]));
+  };
+
+  // Moves and immediates.
+  if (M == "mov") {
+    const Operand &D = I.Ops[0];
+    const Operand &S = I.Ops[1];
+    unsigned W;
+    if (S.K == Operand::Imm) {
+      gprIndex(D.RegName, &W);
+      writeGPR(D.RegName, static_cast<uint64_t>(S.ImmValue));
+      return;
+    }
+    writeGPR(D.RegName, readGPR(S.RegName));
+    return;
+  }
+  if (M == "movz") {
+    writeGPR(I.Ops[0].RegName, static_cast<uint64_t>(I.Ops[1].ImmValue));
+    return;
+  }
+  if (M == "movk") {
+    uint64_t Shift = I.Ops.size() > 2 ? I.Ops[2].ImmValue : 0;
+    uint64_t Old = readGPR(I.Ops[0].RegName);
+    uint64_t Part = static_cast<uint64_t>(I.Ops[1].ImmValue) & 0xffff;
+    uint64_t Mask = 0xffffULL << Shift;
+    writeGPR(I.Ops[0].RegName, (Old & ~Mask) | (Part << Shift));
+    return;
+  }
+
+  // Integer SIMD arithmetic (add/sub/mul v18.4s, vA.4s, vB.4s).
+  if ((M == "add" || M == "sub" || M == "mul") && !I.Ops.empty() &&
+      I.Ops[0].K == Operand::Reg && I.Ops[0].RegName[0] == 'v') {
+    unsigned FW;
+    int D = fpIndex(I.Ops[0].RegName, &FW);
+    int A = fpIndex(I.Ops[1].RegName, &FW);
+    int B = fpIndex(I.Ops[2].RegName, &FW);
+    int32_t LA[4], LB[4];
+    std::memcpy(LA, V[A].Bytes, 16);
+    std::memcpy(LB, V[B].Bytes, 16);
+    for (int L = 0; L < 4; ++L)
+      LA[L] = M == "add"   ? LA[L] + LB[L]
+              : M == "sub" ? LA[L] - LB[L]
+                           : LA[L] * LB[L];
+    std::memcpy(V[D].Bytes, LA, 16);
+    return;
+  }
+
+  // Integer ALU.
+  auto binOp = [&](auto Fn) {
+    unsigned W;
+    gprIndex(I.Ops[0].RegName, &W);
+    uint64_t A = readOperand(I.Ops[1], W);
+    uint64_t B = readOperand(I.Ops[2], W);
+    writeGPR(I.Ops[0].RegName, Fn(A, B, W));
+  };
+  if (M == "add" && I.Ops[0].K == Operand::Reg &&
+      !isFPName(I.Ops[0].RegName)) {
+    // add xD, xN, :lo12:sym form.
+    if (I.Ops.size() == 3 && I.Ops[2].K == Operand::Lo12) {
+      auto It = Symbols.find(I.Ops[2].SymName);
+      if (It == Symbols.end()) {
+        fault("undefined symbol " + I.Ops[2].SymName);
+        return;
+      }
+      writeGPR(I.Ops[0].RegName,
+               readGPR(I.Ops[1].RegName) + (It->second & 0xfff));
+      return;
+    }
+    binOp([](uint64_t A, uint64_t B, unsigned) { return A + B; });
+    return;
+  }
+  if (M == "sub" && !isFPName(I.Ops[0].RegName)) {
+    binOp([](uint64_t A, uint64_t B, unsigned) { return A - B; });
+    return;
+  }
+  if (M == "mul" && !isFPName(I.Ops[0].RegName)) {
+    binOp([](uint64_t A, uint64_t B, unsigned) { return A * B; });
+    return;
+  }
+  if (M == "and") {
+    binOp([](uint64_t A, uint64_t B, unsigned) { return A & B; });
+    return;
+  }
+  if (M == "orr") {
+    binOp([](uint64_t A, uint64_t B, unsigned) { return A | B; });
+    return;
+  }
+  if (M == "eor") {
+    binOp([](uint64_t A, uint64_t B, unsigned) { return A ^ B; });
+    return;
+  }
+  if (M == "lsl" || M == "asr" || M == "lsr") {
+    unsigned W;
+    gprIndex(I.Ops[0].RegName, &W);
+    uint64_t A = readOperand(I.Ops[1], W);
+    uint64_t Count = readOperand(I.Ops[2], W) & (W == 8 ? 63 : 31);
+    uint64_t R;
+    if (M == "lsl")
+      R = A << Count;
+    else if (M == "lsr")
+      R = (W == 4 ? (A & 0xffffffffULL) : A) >> Count;
+    else
+      R = static_cast<uint64_t>(sextVal(A, W) >> Count);
+    writeGPR(I.Ops[0].RegName, R);
+    return;
+  }
+  if (M == "sdiv" || M == "udiv") {
+    unsigned W;
+    gprIndex(I.Ops[0].RegName, &W);
+    uint64_t A = readOperand(I.Ops[1], W);
+    uint64_t B = readOperand(I.Ops[2], W);
+    if (M == "sdiv") {
+      int64_t SA = sextVal(A, W), SB = sextVal(B, W);
+      // AArch64 defines x/0 = 0 (no trap); we mirror the hardware.
+      int64_t Q = SB == 0 ? 0 : (SA == INT64_MIN && SB == -1) ? SA : SA / SB;
+      writeGPR(I.Ops[0].RegName, static_cast<uint64_t>(Q));
+    } else {
+      uint64_t UA = W == 4 ? (A & 0xffffffffULL) : A;
+      uint64_t UB = W == 4 ? (B & 0xffffffffULL) : B;
+      writeGPR(I.Ops[0].RegName, UB == 0 ? 0 : UA / UB);
+    }
+    return;
+  }
+  if (M == "msub") {
+    unsigned W;
+    gprIndex(I.Ops[0].RegName, &W);
+    uint64_t A = readOperand(I.Ops[1], W); // q
+    uint64_t B = readOperand(I.Ops[2], W); // divisor
+    uint64_t C = readOperand(I.Ops[3], W); // dividend
+    writeGPR(I.Ops[0].RegName, C - A * B);
+    return;
+  }
+  if (M == "neg") {
+    unsigned W;
+    gprIndex(I.Ops[0].RegName, &W);
+    writeGPR(I.Ops[0].RegName, 0 - readOperand(I.Ops[1], W));
+    return;
+  }
+  if (M == "mvn") {
+    unsigned W;
+    gprIndex(I.Ops[0].RegName, &W);
+    writeGPR(I.Ops[0].RegName, ~readOperand(I.Ops[1], W));
+    return;
+  }
+  if (M == "sxtw") {
+    writeGPR(I.Ops[0].RegName,
+             static_cast<uint64_t>(
+                 static_cast<int32_t>(readGPR(I.Ops[1].RegName))));
+    return;
+  }
+  if (M == "uxtw") {
+    writeGPR(I.Ops[0].RegName, readGPR(I.Ops[1].RegName) & 0xffffffffULL);
+    return;
+  }
+
+  // Memory.
+  auto dataWidth = [&](const std::string &Mn,
+                       const std::string &RegName) -> unsigned {
+    if (Mn == "ldrb" || Mn == "strb" || Mn == "ldrsb")
+      return 1;
+    if (Mn == "ldrh" || Mn == "strh" || Mn == "ldrsh")
+      return 2;
+    char C = RegName[0];
+    if (C == 'w' || C == 's')
+      return 4;
+    if (C == 'q')
+      return 16;
+    return 8;
+  };
+  if (M == "ldr" || M == "ldrb" || M == "ldrh" || M == "ldrsb" ||
+      M == "ldrsh" || M == "ldrsw") {
+    const Operand &D = I.Ops[0];
+    unsigned W = M == "ldrsw" ? 4 : dataWidth(M, D.RegName);
+    uint64_t Addr = effAddr(I.Ops[1]);
+    if (isFPName(D.RegName)) {
+      unsigned FW;
+      int N = fpIndex(D.RegName, &FW);
+      uint8_t Buf[16] = {0};
+      Mem.loadBlock(Addr, Buf, FW);
+      std::memcpy(V[N].Bytes, Buf, 16);
+      return;
+    }
+    uint64_t Val = Mem.load(Addr, W);
+    if (M == "ldrsb" || M == "ldrsh" || M == "ldrsw")
+      Val = static_cast<uint64_t>(sextVal(Val, W));
+    writeGPR(D.RegName, Val);
+    return;
+  }
+  if (M == "str" || M == "strb" || M == "strh") {
+    const Operand &S = I.Ops[0];
+    unsigned W = dataWidth(M, S.RegName);
+    uint64_t Addr = effAddr(I.Ops[1]);
+    if (isFPName(S.RegName)) {
+      unsigned FW;
+      int N = fpIndex(S.RegName, &FW);
+      Mem.storeBlock(Addr, V[N].Bytes, FW);
+      return;
+    }
+    Mem.store(Addr, W, readGPR(S.RegName));
+    return;
+  }
+  if (M == "stp") {
+    // stp xA, xB, [sp, -N]!  (pre-indexed prologue form).
+    const Operand &MemOp = I.Ops[2];
+    uint64_t Base = readGPR(MemOp.BaseReg);
+    uint64_t Addr = Base + static_cast<uint64_t>(MemOp.Disp);
+    if (MemOp.WriteBackPre)
+      writeGPR(MemOp.BaseReg, Addr);
+    Mem.store(Addr, 8, readGPR(I.Ops[0].RegName));
+    Mem.store(Addr + 8, 8, readGPR(I.Ops[1].RegName));
+    return;
+  }
+  if (M == "ldp") {
+    // ldp xA, xB, [sp], N  (post-indexed epilogue form) or plain.
+    const Operand &MemOp = I.Ops[2];
+    uint64_t Addr = effAddr(MemOp);
+    writeGPR(I.Ops[0].RegName, Mem.load(Addr, 8));
+    writeGPR(I.Ops[1].RegName, Mem.load(Addr + 8, 8));
+    if (I.Ops.size() > 3 && I.Ops[3].K == Operand::Imm)
+      writeGPR(MemOp.BaseReg, Addr + static_cast<uint64_t>(
+                                         I.Ops[3].ImmValue));
+    return;
+  }
+  if (M == "adrp") {
+    auto It = Symbols.find(I.Ops[1].LabelName);
+    if (It == Symbols.end()) {
+      fault("undefined symbol " + I.Ops[1].LabelName);
+      return;
+    }
+    writeGPR(I.Ops[0].RegName, It->second & ~0xfffULL);
+    return;
+  }
+
+  // Compare / branches.
+  if (M == "cmp") {
+    unsigned W;
+    gprIndex(I.Ops[0].RegName, &W);
+    Fl.IsFloat = false;
+    Fl.Width = W;
+    Fl.A = static_cast<int64_t>(readGPR(I.Ops[0].RegName));
+    Fl.B = static_cast<int64_t>(readOperand(I.Ops[1], W));
+    return;
+  }
+  if (M == "cset") {
+    writeGPR(I.Ops[0].RegName, evalCC(I.Ops[1].LabelName) ? 1 : 0);
+    return;
+  }
+  if (M == "b") {
+    jumpTo(I.Ops[0].LabelName);
+    return;
+  }
+  if (startsWith(M, "b.")) {
+    if (evalCC(M.substr(2)))
+      jumpTo(I.Ops[0].LabelName);
+    return;
+  }
+  if (M == "bl") {
+    const std::string &Callee = I.Ops[0].LabelName;
+    auto It = Funcs.find(Callee);
+    if (It == Funcs.end()) {
+      fault("call to undefined function " + Callee);
+      return;
+    }
+    X[30] = 0xdead0000ULL + Stack.size();
+    Stack.push_back({It->second, 0});
+    return;
+  }
+  if (M == "ret") {
+    Stack.pop_back();
+    if (Stack.empty()) {
+      Done = true;
+      IntResult = X[0];
+      std::memcpy(&FloatBits, V[0].Bytes, 8);
+    }
+    return;
+  }
+
+  // Scalar floating point.
+  if (M == "fadd" || M == "fsub" || M == "fmul" || M == "fdiv") {
+    unsigned W;
+    int D = fpIndex(I.Ops[0].RegName, &W);
+    int A = fpIndex(I.Ops[1].RegName, &W);
+    int B = fpIndex(I.Ops[2].RegName, &W);
+    if (I.Ops[0].RegName[0] == 'v') {
+      // Vector form: add v18.4s, ...
+      int32_t LA[4], LB[4];
+      std::memcpy(LA, V[A].Bytes, 16);
+      std::memcpy(LB, V[B].Bytes, 16);
+      (void)LA;
+      (void)LB;
+      fault("float vector ops are not generated");
+      return;
+    }
+    bool F32 = I.Ops[0].RegName[0] == 's';
+    if (F32) {
+      float X1 = readF32(A), X2 = readF32(B);
+      float R = M == "fadd"   ? X1 + X2
+                : M == "fsub" ? X1 - X2
+                : M == "fmul" ? X1 * X2
+                              : X1 / X2;
+      writeF32(D, R);
+    } else {
+      double X1 = readF64(A), X2 = readF64(B);
+      double R = M == "fadd"   ? X1 + X2
+                 : M == "fsub" ? X1 - X2
+                 : M == "fmul" ? X1 * X2
+                               : X1 / X2;
+      writeF64(D, R);
+    }
+    return;
+  }
+  if (M == "fneg") {
+    unsigned W;
+    int D = fpIndex(I.Ops[0].RegName, &W);
+    int A = fpIndex(I.Ops[1].RegName, &W);
+    if (I.Ops[0].RegName[0] == 's')
+      writeF32(D, -readF32(A));
+    else
+      writeF64(D, -readF64(A));
+    return;
+  }
+  if (M == "fcmp") {
+    unsigned W;
+    int A = fpIndex(I.Ops[0].RegName, &W);
+    int B = fpIndex(I.Ops[1].RegName, &W);
+    Fl.IsFloat = true;
+    if (I.Ops[0].RegName[0] == 's') {
+      Fl.FA = readF32(A);
+      Fl.FB = readF32(B);
+    } else {
+      Fl.FA = readF64(A);
+      Fl.FB = readF64(B);
+    }
+    return;
+  }
+  if (M == "fmov") {
+    const Operand &D = I.Ops[0];
+    const Operand &S = I.Ops[1];
+    bool DstFP = isFPName(D.RegName);
+    bool SrcFP = isFPName(S.RegName);
+    if (DstFP && SrcFP) {
+      unsigned W;
+      int DN = fpIndex(D.RegName, &W);
+      int SN = fpIndex(S.RegName, &W);
+      std::memcpy(V[DN].Bytes, V[SN].Bytes, 16);
+      return;
+    }
+    if (DstFP) {
+      unsigned W;
+      int DN = fpIndex(D.RegName, &W);
+      uint64_t Bits = readGPR(S.RegName);
+      std::memset(V[DN].Bytes, 0, 16);
+      std::memcpy(V[DN].Bytes, &Bits, W);
+      return;
+    }
+    unsigned W;
+    int SN = fpIndex(S.RegName, &W);
+    uint64_t Bits = 0;
+    std::memcpy(&Bits, V[SN].Bytes, W);
+    writeGPR(D.RegName, Bits);
+    return;
+  }
+  if (M == "scvtf") {
+    unsigned FW, GW;
+    int D = fpIndex(I.Ops[0].RegName, &FW);
+    gprIndex(I.Ops[1].RegName, &GW);
+    int64_t Src = sextVal(readGPR(I.Ops[1].RegName), GW);
+    if (FW == 4)
+      writeF32(D, static_cast<float>(Src));
+    else
+      writeF64(D, static_cast<double>(Src));
+    return;
+  }
+  if (M == "fcvtzs") {
+    unsigned FW, GW;
+    gprIndex(I.Ops[0].RegName, &GW);
+    int S = fpIndex(I.Ops[1].RegName, &FW);
+    double Val = FW == 4 ? readF32(S) : readF64(S);
+    writeGPR(I.Ops[0].RegName,
+             static_cast<uint64_t>(static_cast<int64_t>(Val)));
+    return;
+  }
+  if (M == "fcvt") {
+    unsigned DW, SW;
+    int D = fpIndex(I.Ops[0].RegName, &DW);
+    int S = fpIndex(I.Ops[1].RegName, &SW);
+    if (DW == 8 && SW == 4)
+      writeF64(D, static_cast<double>(readF32(S)));
+    else
+      writeF32(D, static_cast<float>(readF64(S)));
+    return;
+  }
+
+  // Integer SIMD (4 x i32).
+  if (M == "dup") {
+    unsigned FW;
+    int D = fpIndex(I.Ops[0].RegName, &FW);
+    int32_t Val = static_cast<int32_t>(readGPR(I.Ops[1].RegName));
+    int32_t Lanes[4] = {Val, Val, Val, Val};
+    std::memcpy(V[D].Bytes, Lanes, 16);
+    return;
+  }
+
+  if (M == "nop")
+    return;
+
+  fault("unsupported instruction '" + M + "'");
+}
+
+RunOutcome ArmMachine::run(const std::string &Entry, const CallArgs &Args) {
+  RunOutcome Out;
+  auto It = Funcs.find(Entry);
+  if (It == Funcs.end()) {
+    Out.K = RunOutcome::Fault;
+    Out.FaultReason = "entry function not found: " + Entry;
+    return Out;
+  }
+  SP = Cfg.StackTop;
+  for (size_t A = 0; A < Args.IntArgs.size() && A < 6; ++A)
+    X[A] = Args.IntArgs[A];
+  for (size_t A = 0; A < Args.FloatArgs.size() && A < 4; ++A) {
+    if (Args.FloatIsF32[A]) {
+      float F = static_cast<float>(Args.FloatArgs[A]);
+      std::memcpy(V[A].Bytes, &F, 4);
+    } else {
+      double D = Args.FloatArgs[A];
+      std::memcpy(V[A].Bytes, &D, 8);
+    }
+  }
+  Stack.push_back({It->second, 0});
+
+  uint64_t Steps = 0;
+  while (!Done) {
+    if (++Steps > Cfg.MaxSteps) {
+      Out.K = RunOutcome::Timeout;
+      Out.Steps = Steps;
+      return Out;
+    }
+    Frame &F = Stack.back();
+    if (F.PC >= F.Fn->Instrs.size()) {
+      fault("fell off the end of " + F.Fn->Name);
+    } else {
+      const AsmInstr &Ins = F.Fn->Instrs[F.PC];
+      ++F.PC;
+      step(Ins);
+    }
+    if (!Fault.empty() || Mem.faulted()) {
+      Out.K = RunOutcome::Fault;
+      Out.FaultReason = !Fault.empty() ? Fault : Mem.faultReason();
+      Out.Steps = Steps;
+      return Out;
+    }
+  }
+  Out.K = RunOutcome::Return;
+  Out.IntResult = IntResult;
+  Out.FloatBits = FloatBits;
+  Out.Steps = Steps;
+  return Out;
+}
+
+} // namespace
+
+RunOutcome slade::vm::runArm(const std::vector<AsmFunction> &Image,
+                             const std::string &Entry, const CallArgs &Args,
+                             Memory &Mem,
+                             const std::map<std::string, uint64_t> &Symbols,
+                             const ExecConfig &Cfg) {
+  ArmMachine M(Image, Mem, Symbols, Cfg);
+  return M.run(Entry, Args);
+}

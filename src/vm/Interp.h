@@ -1,0 +1,52 @@
+//===- Interp.h - assembly interpreters -------------------------*- C++ -*-===//
+///
+/// \file
+/// Interpreters for the x86-64 and AArch64 subsets our backends emit. They
+/// execute parsed AsmFunctions over a Memory image with a symbol table for
+/// globals, and a function table for direct calls (context externals are
+/// loaded into the same image). A step budget turns non-termination into a
+/// Timeout outcome, which the IO harness treats as non-equivalent (§III-A).
+///
+//===----------------------------------------------------------------------===//
+#ifndef SLADE_VM_INTERP_H
+#define SLADE_VM_INTERP_H
+
+#include "asmx/Asm.h"
+#include "vm/Machine.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace slade {
+namespace vm {
+
+/// Call-ABI argument set for a simulated call.
+struct CallArgs {
+  std::vector<uint64_t> IntArgs;  ///< rdi..r9 / x0..x5 (pointers included).
+  std::vector<double> FloatArgs;  ///< xmm0..3 / d0..d3 (bit value as double).
+  std::vector<bool> FloatIsF32;   ///< Width flags parallel to FloatArgs.
+};
+
+struct ExecConfig {
+  uint64_t MaxSteps = 400000;
+  uint64_t StackTop = 0xf0000; ///< Initial rsp / sp.
+};
+
+/// Runs \p Entry from \p Image over \p Mem. \p Symbols maps global names
+/// to addresses.
+RunOutcome runX86(const std::vector<asmx::AsmFunction> &Image,
+                  const std::string &Entry, const CallArgs &Args,
+                  Memory &Mem, const std::map<std::string, uint64_t> &Symbols,
+                  const ExecConfig &Cfg);
+
+RunOutcome runArm(const std::vector<asmx::AsmFunction> &Image,
+                  const std::string &Entry, const CallArgs &Args,
+                  Memory &Mem, const std::map<std::string, uint64_t> &Symbols,
+                  const ExecConfig &Cfg);
+
+} // namespace vm
+} // namespace slade
+
+#endif // SLADE_VM_INTERP_H

@@ -1,0 +1,115 @@
+//===- Machine.h - simulated memory and run outcomes ------------*- C++ -*-===//
+///
+/// \file
+/// Shared pieces of the two assembly interpreters: the flat memory image,
+/// fault tracking, and the outcome of a simulated call. Executing
+/// decompiled code in a simulator rather than natively is this repo's
+/// sandbox (the paper's artifact warns IO evaluation "requires the host to
+/// execute potentially unsafe code"; we never do).
+///
+//===----------------------------------------------------------------------===//
+#ifndef SLADE_VM_MACHINE_H
+#define SLADE_VM_MACHINE_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace slade {
+namespace vm {
+
+/// Flat little-endian memory image. Addresses below GuardSize fault, as
+/// do out-of-range accesses.
+class Memory {
+public:
+  static constexpr uint64_t GuardSize = 0x1000;
+
+  explicit Memory(size_t Size = 1 << 20) : Bytes(Size, 0) {}
+
+  bool faulted() const { return Fault; }
+  const std::string &faultReason() const { return FaultMsg; }
+  void clearFault() {
+    Fault = false;
+    FaultMsg.clear();
+  }
+
+  bool inBounds(uint64_t Addr, unsigned Size) const {
+    return Addr >= GuardSize && Addr + Size <= Bytes.size();
+  }
+
+  uint64_t load(uint64_t Addr, unsigned Size) {
+    if (!inBounds(Addr, Size)) {
+      fault(Addr, "load");
+      return 0;
+    }
+    uint64_t V = 0;
+    std::memcpy(&V, &Bytes[Addr], Size);
+    return V;
+  }
+
+  void store(uint64_t Addr, unsigned Size, uint64_t V) {
+    if (!inBounds(Addr, Size)) {
+      fault(Addr, "store");
+      return;
+    }
+    std::memcpy(&Bytes[Addr], &V, Size);
+  }
+
+  void loadBlock(uint64_t Addr, void *Dst, unsigned Size) {
+    if (!inBounds(Addr, Size)) {
+      fault(Addr, "load");
+      std::memset(Dst, 0, Size);
+      return;
+    }
+    std::memcpy(Dst, &Bytes[Addr], Size);
+  }
+
+  void storeBlock(uint64_t Addr, const void *Src, unsigned Size) {
+    if (!inBounds(Addr, Size)) {
+      fault(Addr, "store");
+      return;
+    }
+    std::memcpy(&Bytes[Addr], Src, Size);
+  }
+
+  std::vector<uint8_t> snapshot(uint64_t Addr, unsigned Size) const {
+    std::vector<uint8_t> Out(Size, 0);
+    if (Addr + Size <= Bytes.size())
+      std::memcpy(Out.data(), &Bytes[Addr], Size);
+    return Out;
+  }
+
+  size_t size() const { return Bytes.size(); }
+
+private:
+  void fault(uint64_t Addr, const char *What) {
+    if (!Fault) {
+      Fault = true;
+      FaultMsg = std::string("memory ") + What + " out of bounds at 0x";
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "%llx",
+                    static_cast<unsigned long long>(Addr));
+      FaultMsg += Buf;
+    }
+  }
+
+  std::vector<uint8_t> Bytes;
+  bool Fault = false;
+  std::string FaultMsg;
+};
+
+/// Result of simulating one call.
+struct RunOutcome {
+  enum Kind { Return, Fault, Timeout } K = Return;
+  uint64_t IntResult = 0;  ///< rax / x0.
+  uint64_t FloatBits = 0;  ///< Raw low 8 bytes of xmm0 / v0; the harness
+                           ///< reinterprets per the declared return type.
+  std::string FaultReason;
+  uint64_t Steps = 0;
+};
+
+} // namespace vm
+} // namespace slade
+
+#endif // SLADE_VM_MACHINE_H

@@ -1,0 +1,762 @@
+//===- X86Interp.cpp - x86-64 subset interpreter ----------------------------===//
+
+#include "vm/Interp.h"
+
+#include "support/StringUtils.h"
+
+#include <cstring>
+#include <unordered_map>
+
+using namespace slade;
+using namespace slade::asmx;
+using namespace slade::vm;
+
+namespace {
+
+/// GPR indices.
+enum { RAX, RCX, RDX, RBX, RSP, RBP, RSI, RDI, R8, R9, R10, R11, R12,
+       R13, R14, R15, NumGPR };
+
+struct RegRef {
+  int Index;
+  unsigned Width; ///< Bytes.
+};
+
+const std::unordered_map<std::string, RegRef> &regTable() {
+  static const std::unordered_map<std::string, RegRef> Table = [] {
+    std::unordered_map<std::string, RegRef> T;
+    const char *Q[] = {"rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi",
+                       "rdi", "r8",  "r9",  "r10", "r11", "r12", "r13",
+                       "r14", "r15"};
+    const char *D[] = {"eax",  "ecx",  "edx",  "ebx", "esp", "ebp",
+                       "esi",  "edi",  "r8d",  "r9d", "r10d", "r11d",
+                       "r12d", "r13d", "r14d", "r15d"};
+    const char *W[] = {"ax",   "cx",   "dx",   "bx",  "sp",  "bp",
+                       "si",   "di",   "r8w",  "r9w", "r10w", "r11w",
+                       "r12w", "r13w", "r14w", "r15w"};
+    const char *B[] = {"al",   "cl",   "dl",   "bl",  "spl", "bpl",
+                       "sil",  "dil",  "r8b",  "r9b", "r10b", "r11b",
+                       "r12b", "r13b", "r14b", "r15b"};
+    for (int I = 0; I < NumGPR; ++I) {
+      T[Q[I]] = {I, 8};
+      T[D[I]] = {I, 4};
+      T[W[I]] = {I, 2};
+      T[B[I]] = {I, 1};
+    }
+    return T;
+  }();
+  return Table;
+}
+
+struct Flags {
+  bool IsFloat = false;
+  unsigned Width = 4;
+  int64_t A = 0, B = 0;
+  double FA = 0, FB = 0;
+};
+
+struct XmmReg {
+  uint8_t Bytes[16] = {0};
+};
+
+class X86Machine {
+public:
+  X86Machine(const std::vector<AsmFunction> &Image, Memory &Mem,
+             const std::map<std::string, uint64_t> &Symbols,
+             const ExecConfig &Cfg)
+      : Mem(Mem), Symbols(Symbols), Cfg(Cfg) {
+    for (const AsmFunction &F : Image)
+      Funcs[F.Name] = &F;
+  }
+
+  RunOutcome run(const std::string &Entry, const CallArgs &Args);
+
+private:
+  Memory &Mem;
+  const std::map<std::string, uint64_t> &Symbols;
+  ExecConfig Cfg;
+  std::map<std::string, const AsmFunction *> Funcs;
+
+  uint64_t Regs[NumGPR] = {0};
+  XmmReg Xmm[8];
+  Flags Fl;
+
+  struct Frame {
+    const AsmFunction *Fn;
+    size_t PC;
+  };
+  std::vector<Frame> Stack;
+  std::string Fault;
+  bool Done = false;
+  uint64_t IntResult = 0;
+  uint64_t FloatBits = 0;
+
+  void fault(const std::string &Msg) {
+    if (Fault.empty())
+      Fault = Msg;
+  }
+
+  uint64_t readReg(const RegRef &R) const {
+    uint64_t V = Regs[R.Index];
+    switch (R.Width) {
+    case 1:
+      return V & 0xff;
+    case 2:
+      return V & 0xffff;
+    case 4:
+      return V & 0xffffffffULL;
+    default:
+      return V;
+    }
+  }
+  void writeReg(const RegRef &R, uint64_t V) {
+    switch (R.Width) {
+    case 1:
+      Regs[R.Index] = (Regs[R.Index] & ~0xffULL) | (V & 0xff);
+      return;
+    case 2:
+      Regs[R.Index] = (Regs[R.Index] & ~0xffffULL) | (V & 0xffff);
+      return;
+    case 4:
+      Regs[R.Index] = V & 0xffffffffULL; // 32-bit writes zero-extend.
+      return;
+    default:
+      Regs[R.Index] = V;
+      return;
+    }
+  }
+
+  bool isXmmName(const std::string &Name) const {
+    return startsWith(Name, "xmm");
+  }
+  int xmmIndex(const std::string &Name) {
+    int N = std::atoi(Name.c_str() + 3);
+    if (N < 0 || N > 7) {
+      fault("bad xmm register " + Name);
+      return 0;
+    }
+    return N;
+  }
+
+  RegRef regRef(const Operand &Op) {
+    auto It = regTable().find(Op.RegName);
+    if (It == regTable().end()) {
+      fault("unknown register %" + Op.RegName);
+      return {RAX, 8};
+    }
+    return It->second;
+  }
+
+  uint64_t effAddr(const Operand &Op) {
+    if (!Op.SymName.empty()) {
+      auto It = Symbols.find(Op.SymName);
+      if (It == Symbols.end()) {
+        fault("undefined symbol " + Op.SymName);
+        return 0;
+      }
+      return It->second + Op.Disp;
+    }
+    auto It = regTable().find(Op.BaseReg);
+    if (It == regTable().end()) {
+      fault("bad base register " + Op.BaseReg);
+      return 0;
+    }
+    return Regs[It->second.Index] + static_cast<uint64_t>(Op.Disp);
+  }
+
+  /// Reads an operand as a zero-extended value of \p Width bytes.
+  uint64_t readOp(const Operand &Op, unsigned Width) {
+    switch (Op.K) {
+    case Operand::Reg:
+      return readReg(regRef(Op));
+    case Operand::Imm:
+      return static_cast<uint64_t>(Op.ImmValue) &
+             (Width >= 8 ? ~0ULL : ((1ULL << (Width * 8)) - 1));
+    case Operand::Mem:
+      return Mem.load(effAddr(Op), Width);
+    default:
+      fault("bad data operand");
+      return 0;
+    }
+  }
+  void writeOp(const Operand &Op, unsigned Width, uint64_t V) {
+    switch (Op.K) {
+    case Operand::Reg:
+      writeReg({regRef(Op).Index, Width}, V);
+      return;
+    case Operand::Mem:
+      Mem.store(effAddr(Op), Width, V);
+      return;
+    default:
+      fault("bad store operand");
+      return;
+    }
+  }
+
+  static int64_t sextVal(uint64_t V, unsigned Width) {
+    switch (Width) {
+    case 1:
+      return static_cast<int8_t>(V);
+    case 2:
+      return static_cast<int16_t>(V);
+    case 4:
+      return static_cast<int32_t>(V);
+    default:
+      return static_cast<int64_t>(V);
+    }
+  }
+
+  bool evalCC(const std::string &CC) {
+    if (Fl.IsFloat) {
+      double A = Fl.FA, B = Fl.FB;
+      if (CC == "e")
+        return A == B;
+      if (CC == "ne")
+        return A != B;
+      if (CC == "b")
+        return A < B;
+      if (CC == "be")
+        return A <= B;
+      if (CC == "a")
+        return A > B;
+      if (CC == "ae")
+        return A >= B;
+      fault("bad float condition " + CC);
+      return false;
+    }
+    uint64_t Mask = Fl.Width >= 8 ? ~0ULL : ((1ULL << (Fl.Width * 8)) - 1);
+    uint64_t UA = static_cast<uint64_t>(Fl.A) & Mask;
+    uint64_t UB = static_cast<uint64_t>(Fl.B) & Mask;
+    int64_t SA = sextVal(UA, Fl.Width), SB = sextVal(UB, Fl.Width);
+    if (CC == "e")
+      return UA == UB;
+    if (CC == "ne")
+      return UA != UB;
+    if (CC == "l")
+      return SA < SB;
+    if (CC == "le")
+      return SA <= SB;
+    if (CC == "g")
+      return SA > SB;
+    if (CC == "ge")
+      return SA >= SB;
+    if (CC == "b")
+      return UA < UB;
+    if (CC == "be")
+      return UA <= UB;
+    if (CC == "a")
+      return UA > UB;
+    if (CC == "ae")
+      return UA >= UB;
+    fault("bad condition " + CC);
+    return false;
+  }
+
+  float readXmmF32(int I) {
+    float V;
+    std::memcpy(&V, Xmm[I].Bytes, 4);
+    return V;
+  }
+  double readXmmF64(int I) {
+    double V;
+    std::memcpy(&V, Xmm[I].Bytes, 8);
+    return V;
+  }
+  void writeXmmF32(int I, float V) { std::memcpy(Xmm[I].Bytes, &V, 4); }
+  void writeXmmF64(int I, double V) { std::memcpy(Xmm[I].Bytes, &V, 8); }
+
+  void jumpTo(const std::string &Label) {
+    Frame &F = Stack.back();
+    auto It = F.Fn->Labels.find(Label);
+    if (It == F.Fn->Labels.end()) {
+      fault("unknown label " + Label);
+      return;
+    }
+    F.PC = It->second;
+  }
+
+  void doCall(const std::string &Callee) {
+    auto It = Funcs.find(Callee);
+    if (It == Funcs.end()) {
+      fault("call to undefined function " + Callee);
+      return;
+    }
+    // Push a sentinel return address like the hardware would.
+    Regs[RSP] -= 8;
+    Mem.store(Regs[RSP], 8, 0xdead0000ULL + Stack.size());
+    Stack.push_back({It->second, 0});
+  }
+
+  void doRet() {
+    Regs[RSP] += 8; // Pop the sentinel return address.
+    Stack.pop_back();
+    if (Stack.empty()) {
+      Done = true;
+      IntResult = Regs[RAX];
+      std::memcpy(&FloatBits, Xmm[0].Bytes, 8);
+    }
+  }
+
+  void step(const AsmInstr &I);
+};
+
+void X86Machine::step(const AsmInstr &I) {
+  const std::string &M = I.Mnemonic;
+  auto widthOfSuffix = [&](size_t BaseLen) -> unsigned {
+    if (M.size() <= BaseLen)
+      return 4;
+    switch (M[BaseLen]) {
+    case 'b':
+      return 1;
+    case 'w':
+      return 2;
+    case 'l':
+      return 4;
+    case 'q':
+      return 8;
+    default:
+      return 4;
+    }
+  };
+
+  // Plain moves (incl. movabsq) and the xmm movq form.
+  if (M == "movabsq") {
+    writeOp(I.Ops[1], 8, readOp(I.Ops[0], 8));
+    return;
+  }
+  if ((M == "movq" || M == "movd") &&
+      ((I.Ops[0].K == Operand::Reg && isXmmName(I.Ops[0].RegName)) ||
+       (I.Ops[1].K == Operand::Reg && isXmmName(I.Ops[1].RegName)))) {
+    unsigned W = M == "movd" ? 4 : 8;
+    bool SrcX = I.Ops[0].K == Operand::Reg && isXmmName(I.Ops[0].RegName);
+    bool DstX = I.Ops[1].K == Operand::Reg && isXmmName(I.Ops[1].RegName);
+    uint64_t V = 0;
+    if (SrcX)
+      std::memcpy(&V, Xmm[xmmIndex(I.Ops[0].RegName)].Bytes, W);
+    else
+      V = readOp(I.Ops[0], W);
+    if (DstX) {
+      XmmReg &D = Xmm[xmmIndex(I.Ops[1].RegName)];
+      std::memset(D.Bytes, 0, 16);
+      std::memcpy(D.Bytes, &V, W);
+    } else {
+      writeOp(I.Ops[1], W, V);
+    }
+    return;
+  }
+  if (M == "movb" || M == "movw" || M == "movl" || M == "movq") {
+    unsigned W = widthOfSuffix(3);
+    writeOp(I.Ops[1], W, readOp(I.Ops[0], W));
+    return;
+  }
+  if (M == "movzbl" || M == "movzwl" || M == "movsbl" || M == "movswl" ||
+      M == "movslq") {
+    unsigned SrcW = M[4] == 'b' ? 1 : M[4] == 'w' ? 2 : 4;
+    bool Sign = M[3] == 's';
+    uint64_t V = readOp(I.Ops[0], SrcW);
+    unsigned DstW = M == "movslq" ? 8 : 4;
+    uint64_t R = Sign ? static_cast<uint64_t>(sextVal(V, SrcW))
+                      : V;
+    writeOp(I.Ops[1], DstW, R);
+    return;
+  }
+  if (M == "leaq") {
+    writeOp(I.Ops[1], 8, effAddr(I.Ops[0]));
+    return;
+  }
+
+  // Integer ALU.
+  auto binALU = [&](size_t BaseLen, auto Fn) {
+    unsigned W = widthOfSuffix(BaseLen);
+    uint64_t A = readOp(I.Ops[1], W); // AT&T: dst is second.
+    uint64_t B = readOp(I.Ops[0], W);
+    writeOp(I.Ops[1], W, Fn(A, B, W));
+  };
+  if (startsWith(M, "add") && M.size() == 4) {
+    binALU(3, [](uint64_t A, uint64_t B, unsigned) { return A + B; });
+    return;
+  }
+  if (startsWith(M, "sub") && M.size() == 4) {
+    binALU(3, [](uint64_t A, uint64_t B, unsigned) { return A - B; });
+    return;
+  }
+  if (startsWith(M, "imul") && M.size() == 5) {
+    binALU(4, [](uint64_t A, uint64_t B, unsigned) { return A * B; });
+    return;
+  }
+  if (startsWith(M, "and") && M.size() == 4) {
+    binALU(3, [](uint64_t A, uint64_t B, unsigned) { return A & B; });
+    return;
+  }
+  if ((startsWith(M, "or") && M.size() == 3) || M == "orq" || M == "orl") {
+    binALU(2, [](uint64_t A, uint64_t B, unsigned) { return A | B; });
+    return;
+  }
+  if (startsWith(M, "xor") && M.size() == 4) {
+    binALU(3, [](uint64_t A, uint64_t B, unsigned) { return A ^ B; });
+    return;
+  }
+  if (startsWith(M, "neg") && M.size() == 4) {
+    unsigned W = widthOfSuffix(3);
+    writeOp(I.Ops[0], W, 0 - readOp(I.Ops[0], W));
+    return;
+  }
+  if (startsWith(M, "not") && M.size() == 4) {
+    unsigned W = widthOfSuffix(3);
+    writeOp(I.Ops[0], W, ~readOp(I.Ops[0], W));
+    return;
+  }
+  if ((startsWith(M, "sal") || startsWith(M, "sar") ||
+       startsWith(M, "shr")) &&
+      M.size() == 4) {
+    unsigned W = widthOfSuffix(3);
+    uint64_t Count;
+    const Operand *DstOp;
+    if (I.Ops.size() == 2) {
+      Count = I.Ops[0].K == Operand::Imm
+                  ? static_cast<uint64_t>(I.Ops[0].ImmValue)
+                  : readOp(I.Ops[0], 1);
+      DstOp = &I.Ops[1];
+    } else {
+      Count = 1;
+      DstOp = &I.Ops[0];
+    }
+    Count &= (W == 8 ? 63 : 31);
+    uint64_t V = readOp(*DstOp, W);
+    uint64_t R;
+    if (M[1] == 'a' && M[2] == 'l') { // sal
+      R = V << Count;
+    } else if (M[1] == 'a') { // sar
+      R = static_cast<uint64_t>(sextVal(V, W) >> Count);
+    } else { // shr
+      R = V >> Count;
+    }
+    writeOp(*DstOp, W, R);
+    return;
+  }
+  if (M == "cltd") {
+    int32_t Eax = static_cast<int32_t>(Regs[RAX]);
+    writeReg({RDX, 4}, Eax < 0 ? 0xffffffffULL : 0);
+    return;
+  }
+  if (M == "cqto") {
+    Regs[RDX] = static_cast<int64_t>(Regs[RAX]) < 0 ? ~0ULL : 0;
+    return;
+  }
+  if (startsWith(M, "idiv") || (startsWith(M, "div") && M.size() == 4)) {
+    bool Signed = M[0] == 'i';
+    unsigned W = widthOfSuffix(Signed ? 4 : 3);
+    uint64_t DivisorU = readOp(I.Ops[0], W);
+    if (W == 4) {
+      uint64_t Lo = Regs[RAX] & 0xffffffffULL;
+      uint64_t Hi = Regs[RDX] & 0xffffffffULL;
+      if (Signed) {
+        int64_t Dividend = static_cast<int64_t>((Hi << 32) | Lo);
+        int32_t Divisor = static_cast<int32_t>(DivisorU);
+        if (Divisor == 0) {
+          fault("integer division by zero");
+          return;
+        }
+        int64_t Q = Dividend / Divisor, R = Dividend % Divisor;
+        writeReg({RAX, 4}, static_cast<uint64_t>(Q));
+        writeReg({RDX, 4}, static_cast<uint64_t>(R));
+      } else {
+        uint64_t Dividend = (Hi << 32) | Lo;
+        uint32_t Divisor = static_cast<uint32_t>(DivisorU);
+        if (Divisor == 0) {
+          fault("integer division by zero");
+          return;
+        }
+        writeReg({RAX, 4}, Dividend / Divisor);
+        writeReg({RDX, 4}, Dividend % Divisor);
+      }
+    } else {
+      if (Signed) {
+        __int128 Dividend =
+            (static_cast<__int128>(static_cast<int64_t>(Regs[RDX])) << 64) |
+            Regs[RAX];
+        int64_t Divisor = static_cast<int64_t>(DivisorU);
+        if (Divisor == 0) {
+          fault("integer division by zero");
+          return;
+        }
+        Regs[RAX] = static_cast<uint64_t>(
+            static_cast<int64_t>(Dividend / Divisor));
+        Regs[RDX] = static_cast<uint64_t>(
+            static_cast<int64_t>(Dividend % Divisor));
+      } else {
+        unsigned __int128 Dividend =
+            (static_cast<unsigned __int128>(Regs[RDX]) << 64) | Regs[RAX];
+        if (DivisorU == 0) {
+          fault("integer division by zero");
+          return;
+        }
+        Regs[RAX] = static_cast<uint64_t>(Dividend / DivisorU);
+        Regs[RDX] = static_cast<uint64_t>(Dividend % DivisorU);
+      }
+    }
+    return;
+  }
+
+  // Comparisons and conditions.
+  if (startsWith(M, "cmp") && M.size() == 4) {
+    unsigned W = widthOfSuffix(3);
+    Fl.IsFloat = false;
+    Fl.Width = W;
+    Fl.B = static_cast<int64_t>(readOp(I.Ops[0], W)); // AT&T order.
+    Fl.A = static_cast<int64_t>(readOp(I.Ops[1], W));
+    return;
+  }
+  if (startsWith(M, "test") && M.size() == 5) {
+    unsigned W = widthOfSuffix(4);
+    uint64_t V = readOp(I.Ops[0], W) & readOp(I.Ops[1], W);
+    Fl.IsFloat = false;
+    Fl.Width = W;
+    Fl.A = static_cast<int64_t>(V);
+    Fl.B = 0;
+    return;
+  }
+  if (startsWith(M, "set")) {
+    writeOp(I.Ops[0], 1, evalCC(M.substr(3)) ? 1 : 0);
+    return;
+  }
+  if (M == "jmp") {
+    jumpTo(I.Ops[0].LabelName);
+    return;
+  }
+  if (M[0] == 'j') {
+    if (evalCC(M.substr(1)))
+      jumpTo(I.Ops[0].LabelName);
+    return;
+  }
+
+  // Stack and calls.
+  if (M == "pushq") {
+    Regs[RSP] -= 8;
+    Mem.store(Regs[RSP], 8, readOp(I.Ops[0], 8));
+    return;
+  }
+  if (M == "popq") {
+    writeOp(I.Ops[0], 8, Mem.load(Regs[RSP], 8));
+    Regs[RSP] += 8;
+    return;
+  }
+  if (M == "leave") {
+    Regs[RSP] = Regs[RBP];
+    Regs[RBP] = Mem.load(Regs[RSP], 8);
+    Regs[RSP] += 8;
+    return;
+  }
+  if (M == "call") {
+    doCall(I.Ops[0].LabelName);
+    return;
+  }
+  if (M == "ret") {
+    doRet();
+    return;
+  }
+
+  // Scalar SSE.
+  auto xmmOf = [&](const Operand &Op) { return xmmIndex(Op.RegName); };
+  if (M == "movss" || M == "movsd") {
+    unsigned W = M == "movss" ? 4 : 8;
+    bool SrcX = I.Ops[0].K == Operand::Reg;
+    bool DstX = I.Ops[1].K == Operand::Reg;
+    uint64_t V = 0;
+    if (SrcX)
+      std::memcpy(&V, Xmm[xmmOf(I.Ops[0])].Bytes, W);
+    else
+      V = Mem.load(effAddr(I.Ops[0]), W);
+    if (DstX)
+      std::memcpy(Xmm[xmmOf(I.Ops[1])].Bytes, &V, W);
+    else
+      Mem.store(effAddr(I.Ops[1]), W, V);
+    return;
+  }
+  auto floatBin = [&](char Op, bool F32) {
+    int A = xmmOf(I.Ops[1]); // AT&T: dst second.
+    if (F32) {
+      float X = readXmmF32(A);
+      float Y;
+      if (I.Ops[0].K == Operand::Reg)
+        Y = readXmmF32(xmmOf(I.Ops[0]));
+      else {
+        uint32_t Bits = Mem.load(effAddr(I.Ops[0]), 4);
+        std::memcpy(&Y, &Bits, 4);
+      }
+      float R = Op == '+' ? X + Y : Op == '-' ? X - Y : Op == '*' ? X * Y
+                                                                  : X / Y;
+      writeXmmF32(A, R);
+    } else {
+      double X = readXmmF64(A);
+      double Y;
+      if (I.Ops[0].K == Operand::Reg)
+        Y = readXmmF64(xmmOf(I.Ops[0]));
+      else {
+        uint64_t Bits = Mem.load(effAddr(I.Ops[0]), 8);
+        std::memcpy(&Y, &Bits, 8);
+      }
+      double R = Op == '+' ? X + Y : Op == '-' ? X - Y : Op == '*' ? X * Y
+                                                                   : X / Y;
+      writeXmmF64(A, R);
+    }
+  };
+  if (M == "addss" || M == "addsd") {
+    floatBin('+', M == "addss");
+    return;
+  }
+  if (M == "subss" || M == "subsd") {
+    floatBin('-', M == "subss");
+    return;
+  }
+  if (M == "mulss" || M == "mulsd") {
+    floatBin('*', M == "mulss");
+    return;
+  }
+  if (M == "divss" || M == "divsd") {
+    floatBin('/', M == "divss");
+    return;
+  }
+  if (M == "comiss" || M == "comisd") {
+    bool F32 = M == "comiss";
+    Fl.IsFloat = true;
+    Fl.FA = F32 ? readXmmF32(xmmOf(I.Ops[1])) : readXmmF64(xmmOf(I.Ops[1]));
+    Fl.FB = F32 ? readXmmF32(xmmOf(I.Ops[0])) : readXmmF64(xmmOf(I.Ops[0]));
+    return;
+  }
+  if (startsWith(M, "cvtsi2")) {
+    bool ToF32 = M[6] == 's' && M[7] == 's';
+    unsigned SrcW = M.back() == 'q' ? 8 : 4;
+    int64_t V = sextVal(readOp(I.Ops[0], SrcW), SrcW);
+    int D = xmmOf(I.Ops[1]);
+    if (ToF32)
+      writeXmmF32(D, static_cast<float>(V));
+    else
+      writeXmmF64(D, static_cast<double>(V));
+    return;
+  }
+  if (startsWith(M, "cvttss2si") || startsWith(M, "cvttsd2si")) {
+    bool FromF32 = M[4] == 's' && M[5] == 's';
+    unsigned DstW = M.back() == 'q' ? 8 : 4;
+    double V = FromF32 ? readXmmF32(xmmOf(I.Ops[0]))
+                       : readXmmF64(xmmOf(I.Ops[0]));
+    int64_t R = static_cast<int64_t>(V);
+    writeOp(I.Ops[1], DstW, static_cast<uint64_t>(R));
+    return;
+  }
+  if (M == "cvtss2sd") {
+    writeXmmF64(xmmOf(I.Ops[1]),
+                static_cast<double>(readXmmF32(xmmOf(I.Ops[0]))));
+    return;
+  }
+  if (M == "cvtsd2ss") {
+    writeXmmF32(xmmOf(I.Ops[1]),
+                static_cast<float>(readXmmF64(xmmOf(I.Ops[0]))));
+    return;
+  }
+
+  // Packed integer SSE.
+  if (M == "movdqu" || M == "movdqa" || M == "movups" || M == "movaps") {
+    bool SrcX = I.Ops[0].K == Operand::Reg;
+    bool DstX = I.Ops[1].K == Operand::Reg;
+    uint8_t Buf[16];
+    if (SrcX)
+      std::memcpy(Buf, Xmm[xmmOf(I.Ops[0])].Bytes, 16);
+    else
+      Mem.loadBlock(effAddr(I.Ops[0]), Buf, 16);
+    if (DstX)
+      std::memcpy(Xmm[xmmOf(I.Ops[1])].Bytes, Buf, 16);
+    else
+      Mem.storeBlock(effAddr(I.Ops[1]), Buf, 16);
+    return;
+  }
+  if (M == "paddd" || M == "psubd" || M == "pmulld") {
+    int A = xmmOf(I.Ops[1]);
+    int B = xmmOf(I.Ops[0]);
+    int32_t LA[4], LB[4];
+    std::memcpy(LA, Xmm[A].Bytes, 16);
+    std::memcpy(LB, Xmm[B].Bytes, 16);
+    for (int L = 0; L < 4; ++L)
+      LA[L] = M == "paddd"   ? LA[L] + LB[L]
+              : M == "psubd" ? LA[L] - LB[L]
+                             : LA[L] * LB[L];
+    std::memcpy(Xmm[A].Bytes, LA, 16);
+    return;
+  }
+  if (M == "pshufd") {
+    int Sel = static_cast<int>(I.Ops[0].ImmValue);
+    int S = xmmOf(I.Ops[1]);
+    int D = xmmOf(I.Ops[2]);
+    int32_t In[4], OutL[4];
+    std::memcpy(In, Xmm[S].Bytes, 16);
+    for (int L = 0; L < 4; ++L)
+      OutL[L] = In[(Sel >> (L * 2)) & 3];
+    std::memcpy(Xmm[D].Bytes, OutL, 16);
+    return;
+  }
+  if (M == "endbr64" || M == "nop")
+    return;
+
+  fault("unsupported instruction '" + M + "'");
+}
+
+RunOutcome X86Machine::run(const std::string &Entry, const CallArgs &Args) {
+  RunOutcome Out;
+  auto It = Funcs.find(Entry);
+  if (It == Funcs.end()) {
+    Out.K = RunOutcome::Fault;
+    Out.FaultReason = "entry function not found: " + Entry;
+    return Out;
+  }
+  Regs[RSP] = Cfg.StackTop;
+  static const int ArgRegIdx[] = {RDI, RSI, RDX, RCX, R8, R9};
+  for (size_t A = 0; A < Args.IntArgs.size() && A < 6; ++A)
+    Regs[ArgRegIdx[A]] = Args.IntArgs[A];
+  for (size_t A = 0; A < Args.FloatArgs.size() && A < 4; ++A) {
+    if (Args.FloatIsF32[A])
+      writeXmmF32(static_cast<int>(A),
+                  static_cast<float>(Args.FloatArgs[A]));
+    else
+      writeXmmF64(static_cast<int>(A), Args.FloatArgs[A]);
+  }
+  Stack.push_back({It->second, 0});
+
+  uint64_t Steps = 0;
+  while (!Done) {
+    if (++Steps > Cfg.MaxSteps) {
+      Out.K = RunOutcome::Timeout;
+      Out.Steps = Steps;
+      return Out;
+    }
+    Frame &F = Stack.back();
+    if (F.PC >= F.Fn->Instrs.size()) {
+      fault("fell off the end of " + F.Fn->Name);
+    } else {
+      const AsmInstr &Ins = F.Fn->Instrs[F.PC];
+      ++F.PC;
+      step(Ins);
+    }
+    if (!Fault.empty() || Mem.faulted()) {
+      Out.K = RunOutcome::Fault;
+      Out.FaultReason = !Fault.empty() ? Fault : Mem.faultReason();
+      Out.Steps = Steps;
+      return Out;
+    }
+  }
+  Out.K = RunOutcome::Return;
+  Out.IntResult = IntResult;
+  Out.FloatBits = FloatBits;
+  Out.Steps = Steps;
+  return Out;
+}
+
+} // namespace
+
+RunOutcome slade::vm::runX86(const std::vector<AsmFunction> &Image,
+                             const std::string &Entry, const CallArgs &Args,
+                             Memory &Mem,
+                             const std::map<std::string, uint64_t> &Symbols,
+                             const ExecConfig &Cfg) {
+  X86Machine M(Image, Mem, Symbols, Cfg);
+  return M.run(Entry, Args);
+}

@@ -1,0 +1,100 @@
+//===- PipelineTestUtil.h - shared helpers for pipeline tests ---*- C++ -*-===//
+///
+/// \file
+/// Compiles mini-C source through the full stack and runs it in the vm;
+/// shared by compiler, interpreter, and differential tests.
+///
+//===----------------------------------------------------------------------===//
+#ifndef SLADE_TESTS_PIPELINETESTUTIL_H
+#define SLADE_TESTS_PIPELINETESTUTIL_H
+
+#include "asmx/Asm.h"
+#include "cc/Parser.h"
+#include "cc/Sema.h"
+#include "codegen/Backend.h"
+#include "ir/IRGen.h"
+#include "ir/Passes.h"
+#include "vm/IOHarness.h"
+#include "vm/Interp.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace slade {
+namespace testutil {
+
+struct Compiled {
+  std::unique_ptr<cc::TypeContext> Ctx;
+  std::unique_ptr<cc::TranslationUnit> TU;
+  std::string Asm;
+  std::vector<asmx::AsmFunction> Image;
+};
+
+/// Compiles all functions in \p Source for the given ISA/opt level and
+/// parses the emitted assembly back. Fails the current gtest assertion
+/// context on any error.
+inline Compiled compileAll(const std::string &Source, asmx::Dialect D,
+                           bool Optimize) {
+  Compiled C;
+  C.Ctx = std::make_unique<cc::TypeContext>();
+  auto TU = cc::parseC(Source, *C.Ctx);
+  EXPECT_TRUE(TU.hasValue()) << TU.errorMessage();
+  if (!TU)
+    return C;
+  C.TU = std::move(*TU);
+  Status S = cc::analyze(*C.TU, *C.Ctx);
+  EXPECT_TRUE(S.ok()) << S.message();
+  if (!S.ok())
+    return C;
+  for (const auto &F : C.TU->Functions) {
+    if (!F->isDefinition())
+      continue;
+    ir::IRGenOptions GO;
+    GO.Optimize = Optimize;
+    auto IR = ir::generateIR(*F, GO);
+    EXPECT_TRUE(IR.hasValue()) << IR.errorMessage();
+    if (!IR)
+      return C;
+    if (Optimize)
+      ir::optimize(*IR);
+    codegen::CodegenOptions CO;
+    CO.Optimize = Optimize;
+    auto Text = D == asmx::Dialect::X86 ? codegen::emitX86(*IR, CO)
+                                        : codegen::emitArm(*IR, CO);
+    EXPECT_TRUE(Text.hasValue()) << Text.errorMessage();
+    if (!Text)
+      return C;
+    C.Asm += *Text;
+  }
+  auto Image = asmx::parseAsmImage(C.Asm, D);
+  EXPECT_TRUE(Image.hasValue()) << Image.errorMessage() << "\n" << C.Asm;
+  if (Image)
+    C.Image = std::move(*Image);
+  return C;
+}
+
+/// Calls \p Name with integer arguments and returns the integer result.
+inline uint64_t callInt(const Compiled &C, asmx::Dialect D,
+                        const std::string &Name,
+                        std::vector<uint64_t> IntArgs,
+                        vm::Memory *ExistingMem = nullptr) {
+  vm::CallArgs Args;
+  Args.IntArgs = std::move(IntArgs);
+  vm::Memory Local;
+  vm::Memory &Mem = ExistingMem ? *ExistingMem : Local;
+  std::map<std::string, uint64_t> Symbols;
+  vm::ExecConfig EC;
+  vm::RunOutcome Out = D == asmx::Dialect::X86
+                           ? vm::runX86(C.Image, Name, Args, Mem, Symbols, EC)
+                           : vm::runArm(C.Image, Name, Args, Mem, Symbols,
+                                        EC);
+  EXPECT_EQ(Out.K, vm::RunOutcome::Return) << Out.FaultReason;
+  return Out.IntResult;
+}
+
+} // namespace testutil
+} // namespace slade
+
+#endif // SLADE_TESTS_PIPELINETESTUTIL_H

@@ -1,0 +1,226 @@
+//===- test_frontend.cpp - parser/sema/printer/IR tests ------------------------===//
+
+#include "cc/Parser.h"
+#include "cc/Printer.h"
+#include "cc/Sema.h"
+#include "ir/IR.h"
+#include "ir/IRGen.h"
+#include "ir/Passes.h"
+
+#include <gtest/gtest.h>
+
+using namespace slade;
+using namespace slade::cc;
+
+namespace {
+
+std::unique_ptr<TranslationUnit> parseOk(const std::string &Src,
+                                         TypeContext &Ctx,
+                                         bool Partial = false) {
+  ParseOptions Opts;
+  Opts.Partial = Partial;
+  auto TU = parseC(Src, Ctx, Opts);
+  EXPECT_TRUE(TU.hasValue()) << TU.errorMessage() << "\n" << Src;
+  return TU ? std::move(*TU) : nullptr;
+}
+
+TEST(Parser, RoundTripIsIdempotent) {
+  const char *Sources[] = {
+      "int f(int a, int b) { return a * b + 3; }",
+      "void g(int *p, int n) {\n  for (int i = 0; i < n; i++) {\n"
+      "    p[i] = p[i] << 1;\n  }\n}\n",
+      "struct S { int x; int y; };\n"
+      "int h(struct S *s) { return s->x - s->y; }",
+      "typedef unsigned int u32;\nu32 k(u32 a) { return a / 3u; }",
+      "float m(float x) { return x > 0.5f ? x : -x; }",
+  };
+  for (const char *Src : Sources) {
+    TypeContext C1, C2;
+    auto TU1 = parseOk(Src, C1);
+    ASSERT_TRUE(TU1);
+    std::string P1 = printTranslationUnit(*TU1);
+    auto TU2 = parseOk(P1, C2);
+    ASSERT_TRUE(TU2);
+    EXPECT_EQ(printTranslationUnit(*TU2), P1) << Src;
+  }
+}
+
+TEST(Parser, RejectsGarbage) {
+  TypeContext Ctx;
+  for (const char *Bad : {"int f( { }", "int f(void) { return ; + }",
+                          "int f(void) { if }", "@@@"}) {
+    auto TU = parseC(Bad, Ctx);
+    EXPECT_FALSE(TU.hasValue()) << Bad;
+  }
+}
+
+TEST(Parser, PartialModeAcceptsUnknownTypes) {
+  TypeContext Ctx;
+  ParseOptions Opts;
+  Opts.Partial = true;
+  auto TU = parseC("my_t f(my_t a) { my_t r = a; return r; }", Ctx, Opts);
+  ASSERT_TRUE(TU.hasValue()) << TU.errorMessage();
+  NamedType *N = Ctx.findNamed("my_t");
+  ASSERT_NE(N, nullptr);
+  EXPECT_FALSE(N->isResolved());
+}
+
+TEST(Parser, StrictModeRejectsUnknownTypes) {
+  TypeContext Ctx;
+  auto TU = parseC("my_t f(my_t a) { return a; }", Ctx);
+  EXPECT_FALSE(TU.hasValue());
+}
+
+TEST(Parser, CastVsParenHeuristic) {
+  // PsycheC's motivating ambiguity (§VI-B): (a)*b with `a` a known typedef
+  // is a cast of a dereference; with unknown `a`, a multiplication.
+  TypeContext Ctx;
+  auto TU =
+      parseOk("typedef int a;\nlong f(long *b) { return (a)*b; }", Ctx);
+  ASSERT_TRUE(TU);
+  ASSERT_TRUE(cc::analyze(*TU, Ctx).ok());
+  const auto *F = TU->findFunction("f");
+  const auto *Ret = dyn_cast<ReturnStmt>(F->Body->Body[0].get());
+  ASSERT_NE(Ret, nullptr);
+  EXPECT_EQ(Ret->Value->getKind(), ExprKind::Cast);
+
+  TypeContext Ctx2;
+  ParseOptions Opts;
+  Opts.Partial = true;
+  auto TU2 = parseC("long f(long a, long b) { return (a)*b; }", Ctx2, Opts);
+  ASSERT_TRUE(TU2.hasValue());
+  ASSERT_TRUE(cc::analyze(**TU2, Ctx2).ok());
+  const auto *F2 = (*TU2)->findFunction("f");
+  const auto *Ret2 = dyn_cast<ReturnStmt>(F2->Body->Body[0].get());
+  EXPECT_EQ(Ret2->Value->getKind(), ExprKind::Binary);
+}
+
+TEST(Parser, SizeofFoldsToConstant) {
+  TypeContext Ctx;
+  auto TU = parseOk("unsigned long f(void) { return sizeof(int) + "
+                    "sizeof(long); }",
+                    Ctx);
+  ASSERT_TRUE(TU);
+  EXPECT_TRUE(cc::analyze(*TU, Ctx).ok());
+}
+
+struct SemaCase {
+  const char *Name;
+  const char *Src;
+  bool Ok;
+};
+
+class SemaTest : public ::testing::TestWithParam<SemaCase> {};
+
+TEST_P(SemaTest, Check) {
+  TypeContext Ctx;
+  auto TU = parseC(GetParam().Src, Ctx);
+  if (!TU.hasValue()) {
+    EXPECT_FALSE(GetParam().Ok) << TU.errorMessage();
+    return;
+  }
+  Status S = cc::analyze(**TU, Ctx);
+  EXPECT_EQ(S.ok(), GetParam().Ok) << S.message();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SemaTest,
+    ::testing::Values(
+        SemaCase{"ok_arith", "int f(int a) { return a + 1; }", true},
+        SemaCase{"undeclared", "int f(void) { return x; }", false},
+        SemaCase{"bad_call_arity",
+                 "int g(int a);\nint f(void) { return g(1, 2); }", false},
+        SemaCase{"assign_rvalue", "int f(int a) { (a + 1) = 2; return a; }",
+                 false},
+        SemaCase{"deref_int", "int f(int a) { return *a; }", false},
+        SemaCase{"break_outside", "int f(void) { break; return 0; }",
+                 false},
+        SemaCase{"void_return_value", "void f(int a) { return a; }", false},
+        SemaCase{"missing_field",
+                 "struct S { int x; };\nint f(struct S *s) { return s->y; }",
+                 false},
+        SemaCase{"ptr_arith_ok",
+                 "int f(int *p, int n) { return *(p + n); }", true},
+        SemaCase{"float_mod", "float f(float a) { return a % 2.0f; }",
+                 false},
+        SemaCase{"cond_ok", "int f(int a) { return a ? 1 : 2; }", true},
+        SemaCase{"string_cmp_ok",
+                 "int f(char *s) { return s[0] == 104; }", true}),
+    [](const ::testing::TestParamInfo<SemaCase> &Info) {
+      return Info.param.Name;
+    });
+
+TEST(Types, LayoutRules) {
+  TypeContext Ctx;
+  StructType *S = Ctx.getOrCreateStruct("L");
+  S->setFields({{"a", Ctx.charTy(), 0},
+                {"b", Ctx.int32Ty(), 0},
+                {"c", Ctx.charTy(), 0},
+                {"d", Ctx.doubleTy(), 0}});
+  EXPECT_EQ(S->findField("a")->Offset, 0u);
+  EXPECT_EQ(S->findField("b")->Offset, 4u);  // Padded to int alignment.
+  EXPECT_EQ(S->findField("c")->Offset, 8u);
+  EXPECT_EQ(S->findField("d")->Offset, 16u); // Padded to double alignment.
+  EXPECT_EQ(S->structSize(), 24u);
+  EXPECT_EQ(S->structAlign(), 8u);
+}
+
+TEST(Types, PointerInterning) {
+  TypeContext Ctx;
+  EXPECT_EQ(Ctx.pointerTo(Ctx.int32Ty()), Ctx.pointerTo(Ctx.int32Ty()));
+  EXPECT_NE(Ctx.pointerTo(Ctx.int32Ty()), Ctx.pointerTo(Ctx.int64Ty()));
+  EXPECT_EQ(Ctx.arrayOf(Ctx.charTy(), 8), Ctx.arrayOf(Ctx.charTy(), 8));
+}
+
+TEST(IRPasses, ConstantFoldingFoldsChains) {
+  TypeContext Ctx;
+  auto TU = parseOk("int f(void) { return (2 + 3) * 4 - 6 / 2; }", Ctx);
+  ASSERT_TRUE(cc::analyze(*TU, Ctx).ok());
+  ir::IRGenOptions GO;
+  GO.Optimize = true;
+  auto IR = ir::generateIR(*TU->findFunction("f"), GO);
+  ASSERT_TRUE(IR.hasValue());
+  ir::optimize(*IR);
+  // After folding the function is a single block returning the constant.
+  int InstrCount = 0;
+  for (const auto &B : IR->Blocks)
+    InstrCount += static_cast<int>(B.Instrs.size());
+  EXPECT_LE(InstrCount, 2) << IR->dump();
+}
+
+TEST(IRPasses, DeadCodeRemoved) {
+  TypeContext Ctx;
+  auto TU = parseOk("int f(int a) { int unused = a * 99; return a; }", Ctx);
+  ASSERT_TRUE(cc::analyze(*TU, Ctx).ok());
+  ir::IRGenOptions GO;
+  GO.Optimize = true;
+  auto IR = ir::generateIR(*TU->findFunction("f"), GO);
+  ASSERT_TRUE(IR.hasValue());
+  ir::optimize(*IR);
+  for (const auto &B : IR->Blocks)
+    for (const auto &I : B.Instrs)
+      EXPECT_NE(I.Op, ir::Opcode::Mul) << IR->dump();
+}
+
+TEST(IRPasses, PredicateInversionInvolution) {
+  using ir::Pred;
+  for (Pred P : {Pred::EQ, Pred::NE, Pred::SLT, Pred::SLE, Pred::SGT,
+                 Pred::SGE, Pred::ULT, Pred::ULE, Pred::UGT, Pred::UGE}) {
+    EXPECT_EQ(ir::invertPred(ir::invertPred(P)), P);
+    EXPECT_EQ(ir::swapPred(ir::swapPred(P)), P);
+  }
+}
+
+TEST(IRGen, RejectsStringLiterals) {
+  TypeContext Ctx;
+  ParseOptions Opts;
+  Opts.Partial = true;
+  auto TU = parseC("char *f(void) { return \"hi\"; }", Ctx, Opts);
+  ASSERT_TRUE(TU.hasValue());
+  ASSERT_TRUE(cc::analyze(**TU, Ctx).ok());
+  ir::IRGenOptions GO;
+  auto IR = ir::generateIR(*(*TU)->findFunction("f"), GO);
+  EXPECT_FALSE(IR.hasValue()); // Outside the compilable subset.
+}
+
+} // namespace

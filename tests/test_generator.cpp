@@ -1,0 +1,101 @@
+//===- test_generator.cpp - corpus generator property tests -------------------===//
+//
+// Property tests over the ExeBench/Synth-style generator: every sample it
+// produces must compile on every (ISA, opt) configuration, its reference
+// IO profile must be fault- and timeout-free (the harness inputs are
+// in-bounds by construction), and dedup must hold.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cc/Lexer.h"
+#include "core/Eval.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace slade;
+
+namespace {
+
+class GeneratorSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneratorSeedTest, ExeBenchSampleCompilesAndRunsEverywhere) {
+  SplitMix64 Rng(GetParam());
+  dataset::Sample S =
+      dataset::generateSample(Rng, dataset::Suite::ExeBench, "");
+  for (asmx::Dialect D : {asmx::Dialect::X86, asmx::Dialect::Arm}) {
+    for (bool Optimize : {false, true}) {
+      auto Prog = core::compileProgram(S.FunctionSource, S.ContextSource,
+                                       S.Name, D, Optimize);
+      ASSERT_TRUE(Prog.hasValue())
+          << Prog.errorMessage() << "\n" << S.FunctionSource;
+      vm::HarnessConfig HC;
+      HC.NumTests = 3;
+      vm::TestProfile P = vm::runProfile(Prog->Image, *Prog->Target,
+                                         Prog->Globals, D, HC);
+      for (const vm::TestResult &R : P.Tests)
+        EXPECT_EQ(R.K, vm::RunOutcome::Return)
+            << "sample must execute cleanly on "
+            << (D == asmx::Dialect::X86 ? "x86" : "arm")
+            << (Optimize ? " O3" : " O0") << "\n"
+            << S.FunctionSource;
+    }
+  }
+}
+
+TEST_P(GeneratorSeedTest, SynthCategoriesCompile) {
+  SplitMix64 Rng(GetParam() * 31 + 7);
+  const auto &Cats = dataset::synthCategories();
+  const std::string &Cat = Cats[GetParam() % Cats.size()];
+  dataset::Sample S =
+      dataset::generateSample(Rng, dataset::Suite::Synth, Cat);
+  EXPECT_EQ(S.Category, Cat);
+  auto Prog = core::compileProgram(S.FunctionSource, S.ContextSource,
+                                   S.Name, asmx::Dialect::X86, true);
+  ASSERT_TRUE(Prog.hasValue())
+      << Prog.errorMessage() << "\n" << S.FunctionSource;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeedTest,
+                         ::testing::Range<uint64_t>(1, 61));
+
+TEST(CorpusBuilder, DedupKeepsTrainAndTestDisjoint) {
+  dataset::Corpus C =
+      dataset::buildCorpus(dataset::Suite::ExeBench, 150, 30, 99);
+  EXPECT_EQ(C.Test.size(), 30u);
+  EXPECT_GE(C.Train.size(), 100u);
+  std::set<uint64_t> Hashes;
+  for (const auto &Set : {C.Train, C.Test})
+    for (const dataset::Sample &S : Set) {
+      uint64_t H = fnv1a64(
+          joinStrings(cc::cTokenSpellings(S.FunctionSource), "\x1f"));
+      EXPECT_TRUE(Hashes.insert(H).second)
+          << "duplicate across corpus: " << S.FunctionSource;
+    }
+}
+
+TEST(CorpusBuilder, Deterministic) {
+  dataset::Corpus A = dataset::buildCorpus(dataset::Suite::Synth, 40, 10, 5);
+  dataset::Corpus B = dataset::buildCorpus(dataset::Suite::Synth, 40, 10, 5);
+  ASSERT_EQ(A.Train.size(), B.Train.size());
+  for (size_t I = 0; I < A.Train.size(); ++I)
+    EXPECT_EQ(A.Train[I].FunctionSource, B.Train[I].FunctionSource);
+}
+
+TEST(CorpusBuilder, ExternalTypedefFlagTracksContext) {
+  dataset::Corpus C =
+      dataset::buildCorpus(dataset::Suite::ExeBench, 300, 0, 17);
+  int WithTypedef = 0;
+  for (const dataset::Sample &S : C.Train) {
+    if (S.UsesExternalTypedef) {
+      ++WithTypedef;
+      EXPECT_NE(S.ContextSource.find("typedef"), std::string::npos);
+    }
+  }
+  // The Fig. 10 ablation needs a meaningful typedef-using fraction.
+  EXPECT_GT(WithTypedef, 20);
+}
+
+} // namespace

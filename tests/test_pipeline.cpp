@@ -1,0 +1,344 @@
+//===- test_pipeline.cpp - end-to-end compile/execute tests -----------------===//
+//
+// Differential tests of the compiler substrate: each mini-C program is
+// compiled for both ISAs at both optimization levels and executed in the
+// vm; results must match the host-computed expectation on every
+// configuration.
+//
+//===----------------------------------------------------------------------===//
+
+#include "PipelineTestUtil.h"
+
+using namespace slade;
+using namespace slade::testutil;
+using asmx::Dialect;
+
+namespace {
+
+struct Config {
+  Dialect D;
+  bool Optimize;
+};
+
+class PipelineTest : public ::testing::TestWithParam<Config> {};
+
+std::string configName(const ::testing::TestParamInfo<Config> &Info) {
+  std::string Name = Info.param.D == Dialect::X86 ? "x86" : "arm";
+  Name += Info.param.Optimize ? "_O3" : "_O0";
+  return Name;
+}
+
+TEST_P(PipelineTest, ReturnsConstant) {
+  auto C = compileAll("int f(void) { return 42; }", GetParam().D,
+                      GetParam().Optimize);
+  ASSERT_FALSE(C.Image.empty());
+  EXPECT_EQ(callInt(C, GetParam().D, "f", {}), 42u);
+}
+
+TEST_P(PipelineTest, AddsArguments) {
+  auto C = compileAll("int add(int a, int b) { return a + b; }",
+                      GetParam().D, GetParam().Optimize);
+  ASSERT_FALSE(C.Image.empty());
+  EXPECT_EQ(callInt(C, GetParam().D, "add", {3, 4}), 7u);
+}
+
+TEST_P(PipelineTest, SignedArithmetic) {
+  auto C = compileAll(
+      "int f(int a, int b) { return (a - 2 * b) / 3 + a % (b + 1); }",
+      GetParam().D, GetParam().Optimize);
+  ASSERT_FALSE(C.Image.empty());
+  auto Ref = [](int A, int B) { return (A - 2 * B) / 3 + A % (B + 1); };
+  for (int A = 0; A <= 8; ++A)
+    for (int B = 0; B <= 4; ++B)
+      EXPECT_EQ(static_cast<int32_t>(callInt(C, GetParam().D, "f",
+                                             {static_cast<uint64_t>(A),
+                                              static_cast<uint64_t>(B)})),
+                Ref(A, B))
+          << "A=" << A << " B=" << B;
+}
+
+TEST_P(PipelineTest, LoopSum) {
+  auto C = compileAll("int sum(int n) {\n"
+                      "  int total = 0;\n"
+                      "  for (int i = 0; i < n; i++) {\n"
+                      "    total += i * i;\n"
+                      "  }\n"
+                      "  return total;\n"
+                      "}\n",
+                      GetParam().D, GetParam().Optimize);
+  ASSERT_FALSE(C.Image.empty());
+  for (int N : {0, 1, 3, 7, 13}) {
+    int Want = 0;
+    for (int I = 0; I < N; ++I)
+      Want += I * I;
+    EXPECT_EQ(static_cast<int32_t>(
+                  callInt(C, GetParam().D, "sum",
+                          {static_cast<uint64_t>(N)})),
+              Want)
+        << "N=" << N;
+  }
+}
+
+TEST_P(PipelineTest, PointerWrites) {
+  auto C = compileAll("void scale(int *buf, int n, int k) {\n"
+                      "  for (int i = 0; i < n; i++) {\n"
+                      "    buf[i] = buf[i] * k;\n"
+                      "  }\n"
+                      "}\n",
+                      GetParam().D, GetParam().Optimize);
+  ASSERT_FALSE(C.Image.empty());
+  vm::Memory Mem;
+  uint64_t Base = 0x40000;
+  for (int I = 0; I < 8; ++I)
+    Mem.store(Base + 4 * static_cast<uint64_t>(I), 4,
+              static_cast<uint64_t>(I + 1));
+  callInt(C, GetParam().D, "scale", {Base, 8, 3}, &Mem);
+  for (int I = 0; I < 8; ++I)
+    EXPECT_EQ(Mem.load(Base + 4 * static_cast<uint64_t>(I), 4),
+              static_cast<uint64_t>(3 * (I + 1)))
+        << "I=" << I;
+}
+
+TEST_P(PipelineTest, VectorizableAddConstant) {
+  // The paper's motivating example (Fig. 1): add a constant elementwise.
+  auto C = compileAll("void add(int *list, int val, int n) {\n"
+                      "  int i;\n"
+                      "  for (i = 0; i < n; ++i) {\n"
+                      "    list[i] += val;\n"
+                      "  }\n"
+                      "}\n",
+                      GetParam().D, GetParam().Optimize);
+  ASSERT_FALSE(C.Image.empty());
+  for (int N : {0, 1, 4, 7, 13}) {
+    vm::Memory Mem;
+    uint64_t Base = 0x40000;
+    for (int I = 0; I < 16; ++I)
+      Mem.store(Base + 4 * static_cast<uint64_t>(I), 4,
+                static_cast<uint64_t>(10 * I));
+    callInt(C, GetParam().D, "add",
+            {Base, 5, static_cast<uint64_t>(N)}, &Mem);
+    for (int I = 0; I < 16; ++I) {
+      int Want = 10 * I + (I < N ? 5 : 0);
+      EXPECT_EQ(static_cast<int32_t>(Mem.load(
+                    Base + 4 * static_cast<uint64_t>(I), 4)),
+                Want)
+          << "N=" << N << " I=" << I;
+    }
+  }
+}
+
+TEST_P(PipelineTest, Conditionals) {
+  auto C = compileAll(
+      "int clamp(int x, int lo, int hi) {\n"
+      "  if (x < lo) {\n"
+      "    return lo;\n"
+      "  }\n"
+      "  if (x > hi) {\n"
+      "    return hi;\n"
+      "  }\n"
+      "  return x;\n"
+      "}\n",
+      GetParam().D, GetParam().Optimize);
+  ASSERT_FALSE(C.Image.empty());
+  for (int X : {0, 2, 5, 9})
+    EXPECT_EQ(static_cast<int32_t>(callInt(C, GetParam().D, "clamp",
+                                           {static_cast<uint64_t>(X), 2, 6})),
+              X < 2 ? 2 : (X > 6 ? 6 : X));
+}
+
+TEST_P(PipelineTest, LogicalOperators) {
+  auto C = compileAll(
+      "int f(int a, int b) { return (a > 1 && b > 1) || a == b; }",
+      GetParam().D, GetParam().Optimize);
+  ASSERT_FALSE(C.Image.empty());
+  for (int A = 0; A <= 3; ++A)
+    for (int B = 0; B <= 3; ++B)
+      EXPECT_EQ(callInt(C, GetParam().D, "f",
+                        {static_cast<uint64_t>(A), static_cast<uint64_t>(B)}),
+                static_cast<uint64_t>((A > 1 && B > 1) || A == B));
+}
+
+TEST_P(PipelineTest, WhileAndBreak) {
+  auto C = compileAll("int f(int n) {\n"
+                      "  int c = 0;\n"
+                      "  while (1) {\n"
+                      "    if (n <= 1) {\n"
+                      "      break;\n"
+                      "    }\n"
+                      "    if (n % 2 == 0) {\n"
+                      "      n = n / 2;\n"
+                      "    } else {\n"
+                      "      n = 3 * n + 1;\n"
+                      "    }\n"
+                      "    c++;\n"
+                      "  }\n"
+                      "  return c;\n"
+                      "}\n",
+                      GetParam().D, GetParam().Optimize);
+  ASSERT_FALSE(C.Image.empty());
+  auto Ref = [](int N) {
+    int Cnt = 0;
+    while (N > 1) {
+      N = N % 2 == 0 ? N / 2 : 3 * N + 1;
+      ++Cnt;
+    }
+    return Cnt;
+  };
+  for (int N : {1, 2, 6, 7})
+    EXPECT_EQ(static_cast<int32_t>(callInt(C, GetParam().D, "f",
+                                           {static_cast<uint64_t>(N)})),
+              Ref(N));
+}
+
+TEST_P(PipelineTest, CallsHelperFunction) {
+  auto C = compileAll("int square(int x) { return x * x; }\n"
+                      "int f(int a, int b) {\n"
+                      "  return square(a) + square(b + 1);\n"
+                      "}\n",
+                      GetParam().D, GetParam().Optimize);
+  ASSERT_FALSE(C.Image.empty());
+  EXPECT_EQ(callInt(C, GetParam().D, "f", {3, 4}), 9u + 25u);
+}
+
+TEST_P(PipelineTest, CharAndShortWidths) {
+  auto C = compileAll("int f(char *s) {\n"
+                      "  int n = 0;\n"
+                      "  while (s[n]) {\n"
+                      "    n++;\n"
+                      "  }\n"
+                      "  return n;\n"
+                      "}\n",
+                      GetParam().D, GetParam().Optimize);
+  ASSERT_FALSE(C.Image.empty());
+  vm::Memory Mem;
+  uint64_t Base = 0x40000;
+  const char *Str = "hello";
+  for (int I = 0; I <= 5; ++I)
+    Mem.store(Base + static_cast<uint64_t>(I), 1,
+              static_cast<uint64_t>(Str[I]));
+  EXPECT_EQ(callInt(C, GetParam().D, "f", {Base}, &Mem), 5u);
+}
+
+TEST_P(PipelineTest, UnsignedComparison) {
+  auto C = compileAll(
+      "int f(unsigned a, unsigned b) { return a < b; }", GetParam().D,
+      GetParam().Optimize);
+  ASSERT_FALSE(C.Image.empty());
+  EXPECT_EQ(callInt(C, GetParam().D, "f", {0xffffffffULL, 1}), 0u);
+  EXPECT_EQ(callInt(C, GetParam().D, "f", {1, 0xffffffffULL}), 1u);
+}
+
+TEST_P(PipelineTest, LongArithmetic) {
+  auto C = compileAll(
+      "long f(long a, long b) { return a * b - (a >> 2); }", GetParam().D,
+      GetParam().Optimize);
+  ASSERT_FALSE(C.Image.empty());
+  int64_t A = 123456789012LL, B = 37;
+  EXPECT_EQ(static_cast<int64_t>(callInt(C, GetParam().D, "f",
+                                         {static_cast<uint64_t>(A),
+                                          static_cast<uint64_t>(B)})),
+            A * B - (A >> 2));
+}
+
+TEST_P(PipelineTest, FloatArithmetic) {
+  auto C = compileAll("float scale(float x) { return x * 2.5f + 1.0f; }",
+                      GetParam().D, GetParam().Optimize);
+  ASSERT_FALSE(C.Image.empty());
+  vm::CallArgs Args;
+  Args.FloatArgs = {3.0};
+  Args.FloatIsF32 = {true};
+  vm::Memory Mem;
+  std::map<std::string, uint64_t> Symbols;
+  vm::ExecConfig EC;
+  vm::RunOutcome Out =
+      GetParam().D == Dialect::X86
+          ? vm::runX86(C.Image, "scale", Args, Mem, Symbols, EC)
+          : vm::runArm(C.Image, "scale", Args, Mem, Symbols, EC);
+  ASSERT_EQ(Out.K, vm::RunOutcome::Return) << Out.FaultReason;
+  float F;
+  uint32_t Bits = static_cast<uint32_t>(Out.FloatBits);
+  std::memcpy(&F, &Bits, 4);
+  EXPECT_FLOAT_EQ(F, 3.0f * 2.5f + 1.0f);
+}
+
+TEST_P(PipelineTest, GlobalsAndTernary) {
+  auto C = compileAll("int g_count;\n"
+                      "int bump(int x) {\n"
+                      "  g_count = g_count + (x > 0 ? x : -x);\n"
+                      "  return g_count;\n"
+                      "}\n",
+                      GetParam().D, GetParam().Optimize);
+  ASSERT_FALSE(C.Image.empty());
+  vm::Memory Mem;
+  std::map<std::string, uint64_t> Symbols{{"g_count", 0x20000}};
+  Mem.store(0x20000, 4, 10);
+  vm::CallArgs Args;
+  Args.IntArgs = {static_cast<uint64_t>(-4) & 0xffffffffULL};
+  vm::ExecConfig EC;
+  vm::RunOutcome Out =
+      GetParam().D == Dialect::X86
+          ? vm::runX86(C.Image, "bump", Args, Mem, Symbols, EC)
+          : vm::runArm(C.Image, "bump", Args, Mem, Symbols, EC);
+  ASSERT_EQ(Out.K, vm::RunOutcome::Return) << Out.FaultReason;
+  EXPECT_EQ(static_cast<int32_t>(Out.IntResult), 14);
+  EXPECT_EQ(Mem.load(0x20000, 4), 14u);
+}
+
+TEST_P(PipelineTest, StructFieldAccess) {
+  auto C = compileAll("struct Point { int x; int y; };\n"
+                      "int manhattan(struct Point *p) {\n"
+                      "  int ax = p->x > 0 ? p->x : -p->x;\n"
+                      "  int ay = p->y > 0 ? p->y : -p->y;\n"
+                      "  return ax + ay;\n"
+                      "}\n",
+                      GetParam().D, GetParam().Optimize);
+  ASSERT_FALSE(C.Image.empty());
+  vm::Memory Mem;
+  uint64_t Base = 0x40000;
+  Mem.store(Base, 4, static_cast<uint64_t>(-3) & 0xffffffffULL);
+  Mem.store(Base + 4, 4, 7);
+  EXPECT_EQ(callInt(C, GetParam().D, "manhattan", {Base}, &Mem), 10u);
+}
+
+TEST_P(PipelineTest, DoWhileLoop) {
+  auto C = compileAll("int digits(int n) {\n"
+                      "  int d = 0;\n"
+                      "  do {\n"
+                      "    d++;\n"
+                      "    n /= 10;\n"
+                      "  } while (n > 0);\n"
+                      "  return d;\n"
+                      "}\n",
+                      GetParam().D, GetParam().Optimize);
+  ASSERT_FALSE(C.Image.empty());
+  EXPECT_EQ(callInt(C, GetParam().D, "digits", {0}), 1u);
+  EXPECT_EQ(callInt(C, GetParam().D, "digits", {7}), 1u);
+  EXPECT_EQ(callInt(C, GetParam().D, "digits", {12345}), 5u);
+}
+
+TEST_P(PipelineTest, LocalArray) {
+  auto C = compileAll("int f(int n) {\n"
+                      "  int tmp[8];\n"
+                      "  for (int i = 0; i < 8; i++) {\n"
+                      "    tmp[i] = i * n;\n"
+                      "  }\n"
+                      "  int total = 0;\n"
+                      "  for (int i = 0; i < 8; i++) {\n"
+                      "    total += tmp[i];\n"
+                      "  }\n"
+                      "  return total;\n"
+                      "}\n",
+                      GetParam().D, GetParam().Optimize);
+  ASSERT_FALSE(C.Image.empty());
+  EXPECT_EQ(static_cast<int32_t>(callInt(C, GetParam().D, "f", {3})),
+            3 * (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, PipelineTest,
+    ::testing::Values(Config{Dialect::X86, false}, Config{Dialect::X86, true},
+                      Config{Dialect::Arm, false},
+                      Config{Dialect::Arm, true}),
+    configName);
+
+} // namespace

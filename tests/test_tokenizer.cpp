@@ -1,0 +1,110 @@
+//===- test_tokenizer.cpp - UnigramLM tokenizer tests -------------------------===//
+
+#include "tok/Tokenizer.h"
+
+#include <gtest/gtest.h>
+
+using namespace slade;
+using namespace slade::tok;
+
+namespace {
+
+TEST(PreTokenize, SplitsDigitsIndividually) {
+  // §IV: 512 -> [5, 1, 2].
+  auto Atoms = preTokenize("512");
+  ASSERT_EQ(Atoms.size(), 3u);
+  EXPECT_EQ(Atoms[0], "5");
+  EXPECT_EQ(Atoms[1], "1");
+  EXPECT_EQ(Atoms[2], "2");
+}
+
+TEST(PreTokenize, SplitsPunctuation) {
+  auto Atoms = preTokenize("a+=b;");
+  ASSERT_EQ(Atoms.size(), 5u);
+  EXPECT_EQ(Atoms[0], "a");
+  EXPECT_EQ(Atoms[1], "+");
+  EXPECT_EQ(Atoms[2], "=");
+  EXPECT_EQ(Atoms[3], "b");
+  EXPECT_EQ(Atoms[4], ";");
+}
+
+TEST(PreTokenize, MarksSpacesWithMetaspace) {
+  auto Atoms = preTokenize("int x");
+  ASSERT_EQ(Atoms.size(), 2u);
+  EXPECT_EQ(Atoms[0], "int");
+  EXPECT_EQ(Atoms[1], std::string(metaspace()) + "x");
+}
+
+TEST(PreTokenize, DotsStayWithLabels) {
+  auto Atoms = preTokenize(".L4:");
+  ASSERT_EQ(Atoms.size(), 2u);
+  EXPECT_EQ(Atoms[0], ".L4");
+  EXPECT_EQ(Atoms[1], ":");
+}
+
+class TrainedTokenizer : public ::testing::Test {
+protected:
+  static Tokenizer &tokenizer() {
+    static Tokenizer Tok = [] {
+      std::vector<std::string> Texts;
+      for (int I = 0; I < 40; ++I) {
+        Texts.push_back("int sum(int *arr, int n) {\n"
+                        "  int total = 0;\n"
+                        "  for (int i = 0; i < n; i++) {\n"
+                        "    total += arr[i];\n"
+                        "  }\n"
+                        "  return total;\n}\n");
+        Texts.push_back("\tmovl\t%edi, -20(%rbp)\n\taddl\t$5, %eax\n"
+                        "\tjmp\t.L2\n");
+      }
+      Tokenizer::Config Cfg;
+      Cfg.VocabSize = 300;
+      return Tokenizer::train(Texts, Cfg);
+    }();
+    return Tok;
+  }
+};
+
+TEST_F(TrainedTokenizer, RoundTripsC) {
+  std::string Src = "int f(int a) { return a + 42; }";
+  std::vector<int> Ids = tokenizer().encode(Src);
+  EXPECT_FALSE(Ids.empty());
+  // Whitespace-normalized round trip.
+  EXPECT_EQ(tokenizer().decode(Ids), Src);
+}
+
+TEST_F(TrainedTokenizer, RoundTripsAssembly) {
+  std::string Asm = "movl %eax, -24(%rbp)";
+  EXPECT_EQ(tokenizer().decode(tokenizer().encode(Asm)), Asm);
+}
+
+TEST_F(TrainedTokenizer, RoundTripsUnseenIdentifiers) {
+  // Character coverage: unseen tokens are built from single characters.
+  std::string Src = "zqxj_unseen99(zq)";
+  EXPECT_EQ(tokenizer().decode(tokenizer().encode(Src)), Src);
+}
+
+TEST_F(TrainedTokenizer, NormalizesWhitespace) {
+  EXPECT_EQ(tokenizer().decode(tokenizer().encode("int   \n x")), "int x");
+}
+
+TEST_F(TrainedTokenizer, LearnsFrequentSubwords) {
+  // "total" appears constantly; it should encode into very few pieces.
+  std::vector<int> Ids = tokenizer().encode("total");
+  EXPECT_LE(Ids.size(), 2u);
+}
+
+TEST_F(TrainedTokenizer, VocabRespectsBudget) {
+  EXPECT_LE(tokenizer().vocabSize(), 300u + 4u);
+}
+
+TEST_F(TrainedTokenizer, SaveLoadRoundTrip) {
+  std::string Path = "/tmp/slade_tok_test.bin";
+  ASSERT_TRUE(tokenizer().save(Path).ok());
+  auto Loaded = Tokenizer::load(Path);
+  ASSERT_TRUE(Loaded.hasValue()) << Loaded.errorMessage();
+  std::string Src = "int f(int a) { return a * 3; }";
+  EXPECT_EQ(Loaded->encode(Src), tokenizer().encode(Src));
+}
+
+} // namespace

@@ -1,0 +1,192 @@
+//===- test_vm.cpp - interpreter and assembly-parser semantics -----------------===//
+
+#include "PipelineTestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace slade;
+using namespace slade::testutil;
+using asmx::Dialect;
+
+namespace {
+
+TEST(AsmParser, ParsesX86Operands) {
+  const char *Text = "\t.globl\tf\nf:\n"
+                     "\tmovl\t$5, %eax\n"
+                     "\tmovq\t-24(%rbp), %rcx\n"
+                     "\tmovl\tcounter(%rip), %edx\n"
+                     "\tjmp\t.L2\n"
+                     ".L2:\n"
+                     "\tret\n"
+                     "\t.size\tf, .-f\n";
+  auto F = asmx::parseAsm(Text, Dialect::X86);
+  ASSERT_TRUE(F.hasValue()) << F.errorMessage();
+  EXPECT_EQ(F->Name, "f");
+  ASSERT_EQ(F->Instrs.size(), 5u);
+  EXPECT_EQ(F->Instrs[0].Ops[0].K, asmx::Operand::Imm);
+  EXPECT_EQ(F->Instrs[0].Ops[0].ImmValue, 5);
+  EXPECT_EQ(F->Instrs[1].Ops[0].K, asmx::Operand::Mem);
+  EXPECT_EQ(F->Instrs[1].Ops[0].Disp, -24);
+  EXPECT_EQ(F->Instrs[1].Ops[0].BaseReg, "rbp");
+  EXPECT_EQ(F->Instrs[2].Ops[0].SymName, "counter");
+  EXPECT_EQ(F->Labels.at(".L2"), 4u);
+}
+
+TEST(AsmParser, ParsesArmOperands) {
+  const char *Text = "\t.globl\tf\nf:\n"
+                     "\tstp\tx29, x30, [sp, -32]!\n"
+                     "\tldr\tw9, [sp, 16]\n"
+                     "\tadd\tx9, x9, :lo12:g_count\n"
+                     "\tmovk\tw9, 513, lsl 16\n"
+                     "\tldp\tx29, x30, [sp], 32\n"
+                     "\tret\n"
+                     "\t.size\tf, .-f\n";
+  auto F = asmx::parseAsm(Text, Dialect::Arm);
+  ASSERT_TRUE(F.hasValue()) << F.errorMessage();
+  EXPECT_TRUE(F->Instrs[0].Ops[2].WriteBackPre);
+  EXPECT_EQ(F->Instrs[1].Ops[1].Disp, 16);
+  EXPECT_EQ(F->Instrs[2].Ops[2].K, asmx::Operand::Lo12);
+  EXPECT_EQ(F->Instrs[2].Ops[2].SymName, "g_count");
+  EXPECT_EQ(F->Instrs[3].Ops[2].K, asmx::Operand::Shifter);
+  EXPECT_EQ(F->Instrs[3].Ops[2].ImmValue, 16);
+}
+
+TEST(AsmParser, SplitsMultipleFunctions) {
+  const char *Text = "\t.globl\ta\na:\n\tret\n\t.size\ta, .-a\n"
+                     "\t.globl\tb\nb:\n\tret\n\t.size\tb, .-b\n";
+  auto Image = asmx::parseAsmImage(Text, Dialect::X86);
+  ASSERT_TRUE(Image.hasValue());
+  ASSERT_EQ(Image->size(), 2u);
+  EXPECT_EQ((*Image)[0].Name, "a");
+  EXPECT_EQ((*Image)[1].Name, "b");
+}
+
+struct Cfg {
+  Dialect D;
+  bool Optimize;
+};
+
+class VmSemanticsTest : public ::testing::TestWithParam<Cfg> {};
+
+TEST_P(VmSemanticsTest, SignedOverflowWraps) {
+  // Both ISAs wrap 32-bit arithmetic; the interpreters must agree.
+  auto C = compileAll("int f(int a) { return a + a; }", GetParam().D,
+                      GetParam().Optimize);
+  ASSERT_FALSE(C.Image.empty());
+  uint64_t Big = 0x7fffffffULL;
+  EXPECT_EQ(static_cast<int32_t>(callInt(C, GetParam().D, "f", {Big})),
+            static_cast<int32_t>(0xfffffffe));
+}
+
+TEST_P(VmSemanticsTest, UnsignedDivisionAndRemainder) {
+  auto C = compileAll(
+      "unsigned f(unsigned a, unsigned b) { return a / b + a % b; }",
+      GetParam().D, GetParam().Optimize);
+  ASSERT_FALSE(C.Image.empty());
+  EXPECT_EQ(callInt(C, GetParam().D, "f", {0xfffffff0ULL, 7}),
+            0xfffffff0u / 7 + 0xfffffff0u % 7);
+}
+
+TEST_P(VmSemanticsTest, NegativeDivisionTruncatesTowardZero) {
+  auto C = compileAll("int f(int a, int b) { return a / b; }", GetParam().D,
+                      GetParam().Optimize);
+  ASSERT_FALSE(C.Image.empty());
+  uint64_t NegSeven = static_cast<uint64_t>(-7) & 0xffffffffULL;
+  EXPECT_EQ(static_cast<int32_t>(callInt(C, GetParam().D, "f",
+                                         {NegSeven, 2})),
+            -3);
+}
+
+TEST_P(VmSemanticsTest, ShiftCountsMask) {
+  auto C = compileAll("int f(int a, int s) { return a << s; }",
+                      GetParam().D, GetParam().Optimize);
+  ASSERT_FALSE(C.Image.empty());
+  // Hardware masks the count mod 32 on both ISAs.
+  EXPECT_EQ(static_cast<int32_t>(callInt(C, GetParam().D, "f", {3, 33})),
+            3 << 1);
+}
+
+TEST_P(VmSemanticsTest, CharSignExtension) {
+  auto C = compileAll("int f(char *p) { return p[0]; }", GetParam().D,
+                      GetParam().Optimize);
+  ASSERT_FALSE(C.Image.empty());
+  vm::Memory Mem;
+  Mem.store(0x40000, 1, 0x80); // -128 as signed char.
+  EXPECT_EQ(static_cast<int32_t>(
+                callInt(C, GetParam().D, "f", {0x40000}, &Mem)),
+            -128);
+}
+
+TEST_P(VmSemanticsTest, OutOfBoundsAccessFaults) {
+  auto C = compileAll("int f(int *p) { return p[0]; }", GetParam().D,
+                      GetParam().Optimize);
+  ASSERT_FALSE(C.Image.empty());
+  vm::CallArgs Args;
+  Args.IntArgs = {0}; // Null pointer: in the guard page.
+  vm::Memory Mem;
+  std::map<std::string, uint64_t> Symbols;
+  vm::ExecConfig EC;
+  vm::RunOutcome Out =
+      GetParam().D == Dialect::X86
+          ? vm::runX86(C.Image, "f", Args, Mem, Symbols, EC)
+          : vm::runArm(C.Image, "f", Args, Mem, Symbols, EC);
+  EXPECT_EQ(Out.K, vm::RunOutcome::Fault);
+}
+
+TEST_P(VmSemanticsTest, InfiniteLoopTimesOut) {
+  auto C = compileAll("int f(void) {\n  int x = 1;\n  while (x) {\n"
+                      "    x = 1;\n  }\n  return x;\n}\n",
+                      GetParam().D, GetParam().Optimize);
+  ASSERT_FALSE(C.Image.empty());
+  vm::CallArgs Args;
+  vm::Memory Mem;
+  std::map<std::string, uint64_t> Symbols;
+  vm::ExecConfig EC;
+  EC.MaxSteps = 5000;
+  vm::RunOutcome Out =
+      GetParam().D == Dialect::X86
+          ? vm::runX86(C.Image, "f", Args, Mem, Symbols, EC)
+          : vm::runArm(C.Image, "f", Args, Mem, Symbols, EC);
+  EXPECT_EQ(Out.K, vm::RunOutcome::Timeout);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, VmSemanticsTest,
+    ::testing::Values(Cfg{Dialect::X86, false}, Cfg{Dialect::X86, true},
+                      Cfg{Dialect::Arm, false}, Cfg{Dialect::Arm, true}),
+    [](const ::testing::TestParamInfo<Cfg> &Info) {
+      std::string N = Info.param.D == Dialect::X86 ? "x86" : "arm";
+      return N + (Info.param.Optimize ? "_O3" : "_O0");
+    });
+
+TEST(IOHarness, TimeoutNeverEquivalent) {
+  vm::TestProfile A, B;
+  vm::TestResult R;
+  R.K = vm::RunOutcome::Timeout;
+  A.Tests.push_back(R);
+  B.Tests.push_back(R);
+  // Identical timeouts still count as non-equivalent (§III-A).
+  EXPECT_FALSE(vm::profilesEquivalent(A, B));
+}
+
+TEST(IOHarness, MatchingFaultsAreEquivalent) {
+  vm::TestProfile A, B;
+  vm::TestResult R;
+  R.K = vm::RunOutcome::Fault;
+  A.Tests.push_back(R);
+  B.Tests.push_back(R);
+  EXPECT_TRUE(vm::profilesEquivalent(A, B));
+}
+
+TEST(IOHarness, BufferDifferenceDetected) {
+  vm::TestProfile A, B;
+  vm::TestResult RA, RB;
+  RA.K = RB.K = vm::RunOutcome::Return;
+  RA.Buffers = {{1, 2, 3}};
+  RB.Buffers = {{1, 2, 4}};
+  A.Tests.push_back(RA);
+  B.Tests.push_back(RB);
+  EXPECT_FALSE(vm::profilesEquivalent(A, B));
+}
+
+} // namespace

@@ -1,0 +1,75 @@
+//===- slade-train.cpp - train the SLaDe model zoo -----------------------------===//
+//
+// Trains the paper's four per-configuration models (x86/ARM x O0/O3, §V-C)
+// plus the BTC baseline (x86 O0 only, §VII-A2c) and writes checkpoints that
+// the benchmark binaries load. Sizes are scaled for CPU training; override
+// with environment variables:
+//   SLADE_TRAIN_SAMPLES (default 2600)   SLADE_TRAIN_STEPS (default 700)
+//   SLADE_CKPT_DIR      (default checkpoints)
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Eval.h"
+#include "core/Trainer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sys/stat.h>
+
+using namespace slade;
+
+static int envInt(const char *Name, int Default) {
+  const char *V = std::getenv(Name);
+  return V && *V ? std::atoi(V) : Default;
+}
+
+int main(int argc, char **argv) {
+  std::string Only = argc > 1 ? argv[1] : "";
+  int Samples = envInt("SLADE_TRAIN_SAMPLES", 2600);
+  int Steps = envInt("SLADE_TRAIN_STEPS", 700);
+  std::string Dir = core::checkpointDir();
+  ::mkdir(Dir.c_str(), 0755);
+
+  // One shared ExeBench-style corpus; each configuration compiles it at
+  // its own (ISA, opt level), mirroring §V-A.
+  std::fprintf(stderr, "[corpus] generating %d train samples...\n", Samples);
+  dataset::Corpus Corpus = dataset::buildCorpus(
+      dataset::Suite::ExeBench, static_cast<size_t>(Samples), 0,
+      /*Seed=*/20240101);
+
+  struct Config {
+    const char *Name;
+    asmx::Dialect D;
+    bool Optimize;
+    bool IsBTC;
+  };
+  const Config Configs[] = {
+      {"slade_x86_O0", asmx::Dialect::X86, false, false},
+      {"slade_x86_O3", asmx::Dialect::X86, true, false},
+      {"slade_arm_O0", asmx::Dialect::Arm, false, false},
+      {"slade_arm_O3", asmx::Dialect::Arm, true, false},
+      {"btc_x86_O0", asmx::Dialect::X86, false, true},
+  };
+
+  for (const Config &C : Configs) {
+    if (!Only.empty() && Only != C.Name)
+      continue;
+    std::fprintf(stderr, "\n=== training %s ===\n", C.Name);
+    std::vector<core::TrainPair> Pairs =
+        core::buildTrainPairs(Corpus.Train, C.D, C.Optimize);
+    core::TrainConfig TC;
+    TC.D = C.D;
+    TC.Optimize = C.Optimize;
+    TC.Steps = C.IsBTC ? Steps / 2 : Steps; // BTC is a weaker baseline.
+    TC.Seed = C.IsBTC ? 99 : 7;
+    core::TrainedSystem Sys = core::trainSystem(Pairs, TC);
+    Status S = core::saveSystem(Sys, Dir, C.Name);
+    if (!S.ok()) {
+      std::fprintf(stderr, "error: %s\n", S.message().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[saved] %s/%s.{model,tok}\n", Dir.c_str(),
+                 C.Name);
+  }
+  return 0;
+}
