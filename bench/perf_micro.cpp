@@ -91,6 +91,35 @@ void BM_Gemm64(benchmark::State &State) {
 }
 BENCHMARK(BM_Gemm64);
 
+/// The seed's naive i-k-j GEMM, kept as the baseline the tiled kernel is
+/// measured against.
+void naiveGemmAcc(const float *A, const float *B, float *C, int M, int K,
+                  int N) {
+  for (int I = 0; I < M; ++I) {
+    const float *ARow = A + static_cast<size_t>(I) * K;
+    float *CRow = C + static_cast<size_t>(I) * N;
+    for (int Kk = 0; Kk < K; ++Kk) {
+      float AV = ARow[Kk];
+      if (AV == 0.0f)
+        continue;
+      const float *BRow = B + static_cast<size_t>(Kk) * N;
+      for (int J = 0; J < N; ++J)
+        CRow[J] += AV * BRow[J];
+    }
+  }
+}
+
+void BM_Gemm64Naive(benchmark::State &State) {
+  std::vector<float> A(64 * 64, 1.0f), B(64 * 64, 2.0f), C(64 * 64);
+  for (auto _ : State) {
+    std::fill(C.begin(), C.end(), 0.0f);
+    naiveGemmAcc(A.data(), B.data(), C.data(), 64, 64, 64);
+    benchmark::DoNotOptimize(C.data());
+  }
+  State.SetItemsProcessed(State.iterations() * 64 * 64 * 64 * 2);
+}
+BENCHMARK(BM_Gemm64Naive);
+
 void BM_EditDistance(benchmark::State &State) {
   std::string A(SumSrc), B(SumSrc);
   B[10] = 'x';
@@ -129,6 +158,67 @@ void BM_DecodeStep(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_DecodeStep);
+
+/// One batched step for five beams — the amortized per-step cost of the
+/// batched beam search (compare against 5x BM_DecodeStep).
+void BM_DecodeStepBatched5(benchmark::State &State) {
+  nn::TransformerConfig MC;
+  MC.Vocab = 512;
+  nn::Transformer Model(MC);
+  std::vector<int> Src(128, 5);
+  auto Enc = Model.encodeSource(Src);
+  nn::Transformer::BatchDecodeState St =
+      Model.startDecodeBatch(Enc, 5, 256);
+  Model.stepDecodeBatch(St, {nn::Transformer::BosId});
+  Model.reorderBeams(St, {0, 0, 0, 0, 0});
+  std::vector<int> Tokens = {7, 8, 9, 10, 11};
+  for (auto _ : State) {
+    auto Logits = Model.stepDecodeBatch(St, Tokens);
+    benchmark::DoNotOptimize(Logits);
+    if (St.Len > 200) {
+      St = Model.startDecodeBatch(Enc, 5, 256);
+      Model.stepDecodeBatch(St, {nn::Transformer::BosId});
+      Model.reorderBeams(St, {0, 0, 0, 0, 0});
+    }
+  }
+}
+BENCHMARK(BM_DecodeStepBatched5);
+
+nn::BeamConfig beamBenchConfig() {
+  nn::BeamConfig BC;
+  BC.BeamSize = 5; // Paper: k = 5.
+  BC.MaxLen = 64;  // 64-token targets.
+  return BC;
+}
+
+/// End-to-end beam search, batched hot path (k=5, 64-token target).
+void BM_BeamSearchBatched(benchmark::State &State) {
+  nn::TransformerConfig MC;
+  MC.Vocab = 512;
+  nn::Transformer Model(MC);
+  std::vector<int> Src(128, 5);
+  nn::BeamConfig BC = beamBenchConfig();
+  for (auto _ : State) {
+    auto Hyps = nn::beamSearch(Model, Src, BC);
+    benchmark::DoNotOptimize(Hyps);
+  }
+}
+BENCHMARK(BM_BeamSearchBatched)->Unit(benchmark::kMillisecond);
+
+/// The retained sequential reference path (per-beam stepDecode, full
+/// KV-cache copy per survivor): the pre-batching baseline.
+void BM_BeamSearchSequential(benchmark::State &State) {
+  nn::TransformerConfig MC;
+  MC.Vocab = 512;
+  nn::Transformer Model(MC);
+  std::vector<int> Src(128, 5);
+  nn::BeamConfig BC = beamBenchConfig();
+  for (auto _ : State) {
+    auto Hyps = nn::beamSearchSequential(Model, Src, BC);
+    benchmark::DoNotOptimize(Hyps);
+  }
+}
+BENCHMARK(BM_BeamSearchSequential)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

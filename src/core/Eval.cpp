@@ -5,6 +5,9 @@
 #include "baselines/RuleDecompiler.h"
 #include "cc/Lexer.h"
 #include "core/Metrics.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
 
 using namespace slade;
 using namespace slade::core;
@@ -57,6 +60,25 @@ void fillFromOutcome(ItemRecord &R, const HypothesisOutcome &Out) {
   R.EditSim = Out.EditSim;
 }
 
+/// Evaluates every task with \p EvalOne across a worker pool, keeping the
+/// records in task order.
+std::vector<ItemRecord>
+evalTasksParallel(const std::vector<EvalTask> &Tasks, int Threads,
+                  const std::function<void(const EvalTask &, ItemRecord &)>
+                      &EvalOne) {
+  std::vector<ItemRecord> Records(Tasks.size());
+  unsigned Workers = Threads > 0 ? static_cast<unsigned>(Threads)
+                                 : ThreadPool::defaultConcurrency();
+  Workers = std::min<unsigned>(
+      Workers, static_cast<unsigned>(std::max<size_t>(Tasks.size(), 1)));
+  ThreadPool Pool(Workers);
+  Pool.parallelFor(Tasks.size(), [&](size_t I) {
+    Records[I] = baseRecord(Tasks[I]);
+    EvalOne(Tasks[I], Records[I]);
+  });
+  return Records;
+}
+
 } // namespace
 
 std::vector<ItemRecord>
@@ -76,36 +98,30 @@ slade::core::evalSlade(const Decompiler &Slade,
 }
 
 std::vector<ItemRecord>
-slade::core::evalRuleBased(const std::vector<EvalTask> &Tasks) {
-  std::vector<ItemRecord> Records;
-  for (const EvalTask &T : Tasks) {
-    ItemRecord R = baseRecord(T);
+slade::core::evalRuleBased(const std::vector<EvalTask> &Tasks, int Threads) {
+  return evalTasksParallel(Tasks, Threads,
+                           [](const EvalTask &T, ItemRecord &R) {
     auto Asm = asmx::parseAsm(T.Prog.TargetAsm, T.D);
-    if (Asm) {
-      auto CSource = baselines::ruleDecompile(*Asm, T.D);
-      if (CSource)
-        // Like Ghidra, no external type synthesis (§VII-D).
-        fillFromOutcome(R, evaluateHypothesis(T, *CSource,
-                                              /*UseTypeInference=*/false));
-    }
-    Records.push_back(std::move(R));
-  }
-  return Records;
+    if (!Asm)
+      return;
+    auto CSource = baselines::ruleDecompile(*Asm, T.D);
+    if (CSource)
+      // Like Ghidra, no external type synthesis (§VII-D).
+      fillFromOutcome(R, evaluateHypothesis(T, *CSource,
+                                            /*UseTypeInference=*/false));
+  });
 }
 
 std::vector<ItemRecord>
 slade::core::evalRetrieval(const baselines::RetrievalDecompiler &Retr,
-                           const std::vector<EvalTask> &Tasks) {
-  std::vector<ItemRecord> Records;
-  for (const EvalTask &T : Tasks) {
-    ItemRecord R = baseRecord(T);
+                           const std::vector<EvalTask> &Tasks, int Threads) {
+  return evalTasksParallel(Tasks, Threads,
+                           [&Retr](const EvalTask &T, ItemRecord &R) {
     std::string CSource = Retr.decompile(T.Prog.TargetAsm);
     if (!CSource.empty())
       fillFromOutcome(R, evaluateHypothesis(T, CSource,
                                             /*UseTypeInference=*/false));
-    Records.push_back(std::move(R));
-  }
-  return Records;
+  });
 }
 
 std::vector<ItemRecord>

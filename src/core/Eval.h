@@ -52,13 +52,15 @@ std::vector<ItemRecord> evalSlade(const Decompiler &Slade,
                                   const std::vector<EvalTask> &Tasks,
                                   bool UseTypeInference, int BeamSize = 5);
 
-/// The rule-based (Ghidra-analogue) decompiler.
-std::vector<ItemRecord> evalRuleBased(const std::vector<EvalTask> &Tasks);
+/// The rule-based (Ghidra-analogue) decompiler. \p Threads workers verify
+/// tasks concurrently (0 = hardware concurrency).
+std::vector<ItemRecord> evalRuleBased(const std::vector<EvalTask> &Tasks,
+                                      int Threads = 0);
 
-/// The retrieval (ChatGPT-analogue) decompiler.
+/// The retrieval (ChatGPT-analogue) decompiler. \p Threads as above.
 std::vector<ItemRecord>
 evalRetrieval(const baselines::RetrievalDecompiler &Retr,
-              const std::vector<EvalTask> &Tasks);
+              const std::vector<EvalTask> &Tasks, int Threads = 0);
 
 /// The BTC analogue: greedy decoding, no type inference.
 std::vector<ItemRecord> evalBTC(const Decompiler &BTC,

@@ -3,7 +3,10 @@
 #include "core/Slade.h"
 
 #include "core/Metrics.h"
+#include "support/ThreadPool.h"
 #include "typeinf/TypeInference.h"
+
+#include <algorithm>
 
 using namespace slade;
 using namespace slade::core;
@@ -68,19 +71,46 @@ HypothesisOutcome Decompiler::decompile(const EvalTask &Task,
   BC.BeamSize = Opts.BeamSize;
   BC.MaxLen = Opts.MaxLen;
   std::vector<nn::Hypothesis> Hyps = nn::beamSearch(Model, Src, BC);
+  if (Hyps.empty())
+    return HypothesisOutcome();
 
-  HypothesisOutcome First;
-  bool HaveFirst = false;
-  for (const nn::Hypothesis &H : Hyps) {
-    std::string CSource = Tok.decode(H.Tokens);
-    HypothesisOutcome Out =
-        evaluateHypothesis(Task, CSource, Opts.UseTypeInference);
-    if (!HaveFirst) {
-      First = Out;
-      HaveFirst = true;
+  unsigned Workers = Opts.VerifyThreads > 0
+                         ? static_cast<unsigned>(Opts.VerifyThreads)
+                         : ThreadPool::defaultConcurrency();
+  Workers = std::min<unsigned>(Workers,
+                               static_cast<unsigned>(Hyps.size()));
+
+  if (Workers <= 1) {
+    // Sequential fallback keeps the early exit on the first IO pass.
+    HypothesisOutcome First;
+    bool HaveFirst = false;
+    for (const nn::Hypothesis &H : Hyps) {
+      std::string CSource = Tok.decode(H.Tokens);
+      HypothesisOutcome Out =
+          evaluateHypothesis(Task, CSource, Opts.UseTypeInference);
+      if (!HaveFirst) {
+        First = Out;
+        HaveFirst = true;
+      }
+      if (Out.IOCorrect)
+        return Out; // First candidate passing the IO tests (§VI-A).
     }
-    if (Out.IOCorrect)
-      return Out; // First candidate passing the IO tests (§VI-A).
+    return First; // None passed: report the top beam candidate.
   }
-  return First; // None passed: report the top beam candidate.
+
+  // Verify all k candidates concurrently; the selection rule is unchanged
+  // (first IO-passing candidate in beam order, else the top candidate).
+  std::vector<HypothesisOutcome> Outcomes(Hyps.size());
+  std::lock_guard<std::mutex> Lock(VerifyMu);
+  if (!VerifyPool || VerifyPool->workerCount() != Workers)
+    VerifyPool = std::make_unique<ThreadPool>(Workers);
+  ThreadPool &Pool = *VerifyPool;
+  Pool.parallelFor(Hyps.size(), [&](size_t I) {
+    std::string CSource = Tok.decode(Hyps[I].Tokens);
+    Outcomes[I] = evaluateHypothesis(Task, CSource, Opts.UseTypeInference);
+  });
+  for (const HypothesisOutcome &Out : Outcomes)
+    if (Out.IOCorrect)
+      return Out;
+  return Outcomes.front();
 }

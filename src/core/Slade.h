@@ -14,9 +14,11 @@
 #include "core/Compile.h"
 #include "nn/Beam.h"
 #include "nn/Transformer.h"
+#include "support/ThreadPool.h"
 #include "tok/Tokenizer.h"
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 namespace slade {
@@ -61,10 +63,16 @@ public:
     int BeamSize = 5; ///< Paper: k = 5.
     bool UseTypeInference = true;
     int MaxLen = 220;
+    /// Worker threads for candidate IO-verification (compile + execute of
+    /// the k hypotheses). 0 = hardware concurrency; 1 = sequential with
+    /// early exit on the first IO-passing candidate.
+    int VerifyThreads = 0;
   };
 
   /// Runs the pipeline on a task; candidates are tried in beam order and
-  /// the first IO-passing one wins (§VI-A).
+  /// the first IO-passing one wins (§VI-A). With VerifyThreads != 1 the k
+  /// candidates compile+execute concurrently; the winner is still the
+  /// first passing candidate in beam order.
   HypothesisOutcome decompile(const EvalTask &Task,
                               const Options &Opts) const;
 
@@ -78,6 +86,12 @@ public:
 private:
   tok::Tokenizer Tok;
   nn::Transformer Model;
+  /// Lazily created verification pool, reused across decompile calls so
+  /// an evaluation sweep does not pay thread create/join per task.
+  /// Guarded by VerifyMu, which is held for the whole parallel section:
+  /// concurrent decompile calls serialize their candidate verification.
+  mutable std::mutex VerifyMu;
+  mutable std::unique_ptr<ThreadPool> VerifyPool;
 };
 
 } // namespace core

@@ -10,26 +10,205 @@ using namespace slade::nn;
 
 namespace {
 
-/// Log-softmax over raw logits (in place copy).
-std::vector<float> logSoftmax(const std::vector<float> &Logits) {
+/// Log-softmax into a reused output buffer.
+void logSoftmax(const float *Logits, int V, std::vector<float> &Out) {
   float MaxV = -1e30f;
-  for (float L : Logits)
-    MaxV = std::max(MaxV, L);
+  for (int I = 0; I < V; ++I)
+    MaxV = std::max(MaxV, Logits[I]);
   double Sum = 0;
-  for (float L : Logits)
-    Sum += std::exp(static_cast<double>(L - MaxV));
+  for (int I = 0; I < V; ++I)
+    Sum += std::exp(static_cast<double>(Logits[I] - MaxV));
   float LogZ = MaxV + static_cast<float>(std::log(Sum));
-  std::vector<float> Out(Logits.size());
-  for (size_t I = 0; I < Logits.size(); ++I)
-    Out[I] = Logits[I] - LogZ;
-  return Out;
+  Out.resize(static_cast<size_t>(V));
+  for (int I = 0; I < V; ++I)
+    Out[static_cast<size_t>(I)] = Logits[I] - LogZ;
 }
 
-struct Beam {
-  Transformer::DecodeState State;
+/// Top-K token indices by (log-prob desc, index asc) via a bounded
+/// min-heap: O(V log K), no vocab-sized index vector, scratch reused
+/// across beams and steps.
+void topK(const std::vector<float> &LogP, int K,
+          std::vector<std::pair<float, int>> &Heap, std::vector<int> &Out) {
+  int V = static_cast<int>(LogP.size());
+  K = std::min(K, V);
+  // "Better" orders by higher log-prob, ties to the lower token id.
+  auto Better = [](const std::pair<float, int> &A,
+                   const std::pair<float, int> &B) {
+    return A.first > B.first || (A.first == B.first && A.second < B.second);
+  };
+  Heap.clear();
+  for (int I = 0; I < V; ++I) {
+    std::pair<float, int> Cand{LogP[static_cast<size_t>(I)], I};
+    if (static_cast<int>(Heap.size()) < K) {
+      Heap.push_back(Cand);
+      std::push_heap(Heap.begin(), Heap.end(), Better);
+    } else if (Better(Cand, Heap.front())) {
+      std::pop_heap(Heap.begin(), Heap.end(), Better);
+      Heap.back() = Cand;
+      std::push_heap(Heap.begin(), Heap.end(), Better);
+    }
+  }
+  std::sort_heap(Heap.begin(), Heap.end(), Better); // Best first.
+  Out.clear();
+  for (const auto &P : Heap)
+    Out.push_back(P.second);
+}
+
+struct Cand {
+  float Score;
+  int BeamIdx;
+  int Token;
+};
+
+struct BeamMeta {
   std::vector<int> Tokens;
   float Score = 0;
-  std::vector<float> NextLogits;
+};
+
+/// The search loop, shared by the batched and sequential paths. A Stepper
+/// exposes:
+///   int start()                      - run the BOS step, return live count
+///   const float *logits(int Beam)    - next-token logits of a live beam
+///   void advance(SrcIdx, Tokens)     - survivor-select then step once
+///   int vocab()
+template <typename Stepper>
+std::vector<Hypothesis> beamSearchImpl(Stepper &Step, const BeamConfig &Cfg) {
+  std::vector<BeamMeta> Live(1);
+  Step.start();
+  std::vector<Hypothesis> Done;
+
+  std::vector<float> LogP;
+  std::vector<std::pair<float, int>> HeapScratch;
+  std::vector<int> TopScratch;
+  std::vector<Cand> Cands;
+
+  for (int It = 0; It < Cfg.MaxLen && !Live.empty(); ++It) {
+    Cands.clear();
+    for (size_t BI = 0; BI < Live.size(); ++BI) {
+      logSoftmax(Step.logits(static_cast<int>(BI)), Step.vocab(), LogP);
+      topK(LogP, Cfg.BeamSize, HeapScratch, TopScratch);
+      for (int Tok : TopScratch)
+        Cands.push_back({Live[BI].Score + LogP[static_cast<size_t>(Tok)],
+                         static_cast<int>(BI), Tok});
+    }
+    // Deterministic order: score desc, then beam, then token. Both decode
+    // paths sort identically, so ties never diverge between them.
+    std::sort(Cands.begin(), Cands.end(), [](const Cand &A, const Cand &B) {
+      if (A.Score != B.Score)
+        return A.Score > B.Score;
+      if (A.BeamIdx != B.BeamIdx)
+        return A.BeamIdx < B.BeamIdx;
+      return A.Token < B.Token;
+    });
+
+    std::vector<BeamMeta> Next;
+    std::vector<int> SrcIdx, Tokens;
+    for (const Cand &C : Cands) {
+      if (static_cast<int>(Next.size()) >= Cfg.BeamSize)
+        break;
+      if (C.Token == Transformer::EosId || C.Token == Transformer::PadId) {
+        Hypothesis H;
+        H.Tokens = Live[static_cast<size_t>(C.BeamIdx)].Tokens;
+        float Len = static_cast<float>(H.Tokens.size()) + 1.0f;
+        H.Score = C.Score / std::pow(Len, Cfg.LengthPenalty);
+        Done.push_back(std::move(H));
+        continue;
+      }
+      BeamMeta M;
+      M.Tokens = Live[static_cast<size_t>(C.BeamIdx)].Tokens;
+      M.Tokens.push_back(C.Token);
+      M.Score = C.Score;
+      Next.push_back(std::move(M));
+      SrcIdx.push_back(C.BeamIdx);
+      Tokens.push_back(C.Token);
+    }
+    if (static_cast<int>(Done.size()) >= Cfg.BeamSize)
+      break; // Still-live beams fall through as penalized hypotheses.
+    Live = std::move(Next);
+    if (!Live.empty())
+      Step.advance(SrcIdx, Tokens);
+  }
+
+  // Unfinished beams become (penalized) hypotheses so we always return
+  // something.
+  for (BeamMeta &M : Live) {
+    Hypothesis H;
+    H.Tokens = std::move(M.Tokens);
+    float Len = static_cast<float>(H.Tokens.size()) + 1.0f;
+    H.Score = (M.Score - 5.0f) / std::pow(Len, Cfg.LengthPenalty);
+    Done.push_back(std::move(H));
+  }
+  std::sort(Done.begin(), Done.end(),
+            [](const Hypothesis &A, const Hypothesis &B) {
+              if (A.Score != B.Score)
+                return A.Score > B.Score;
+              return A.Tokens < B.Tokens;
+            });
+  if (static_cast<int>(Done.size()) > Cfg.BeamSize)
+    Done.resize(static_cast<size_t>(Cfg.BeamSize));
+  return Done;
+}
+
+/// Batched stepper: one BatchDecodeState, survivor selection is an
+/// index-gather over the contiguous self-cache rows.
+struct BatchedStepper {
+  const Transformer &Model;
+  Transformer::BatchDecodeState St;
+  std::vector<float> Logits; ///< [B, Vocab].
+
+  BatchedStepper(const Transformer &Model, const std::vector<int> &Src,
+                 const BeamConfig &Cfg)
+      : Model(Model), St(Model.startDecodeBatch(Model.encodeSource(Src),
+                                                Cfg.BeamSize,
+                                                Cfg.MaxLen + 1)) {}
+
+  void start() { Logits = Model.stepDecodeBatch(St, {Transformer::BosId}); }
+  const float *logits(int Beam) const {
+    return Logits.data() +
+           static_cast<size_t>(Beam) * Model.config().Vocab;
+  }
+  int vocab() const { return Model.config().Vocab; }
+  void advance(const std::vector<int> &SrcIdx,
+               const std::vector<int> &Tokens) {
+    Model.reorderBeams(St, SrcIdx);
+    Logits = Model.stepDecodeBatch(St, Tokens);
+  }
+};
+
+/// Sequential stepper: per-beam DecodeStates, deep-copied on survivor
+/// selection (the pre-batching behavior, retained as reference/baseline).
+struct SequentialStepper {
+  const Transformer &Model;
+  std::vector<Transformer::DecodeState> States;
+  std::vector<std::vector<float>> Logits;
+
+  SequentialStepper(const Transformer &Model, const std::vector<int> &Src,
+                    const BeamConfig &)
+      : Model(Model) {
+    States.push_back(Model.startDecode(Src));
+  }
+
+  void start() {
+    Logits.resize(1);
+    Logits[0] = Model.stepDecode(States[0], Transformer::BosId);
+  }
+  const float *logits(int Beam) const {
+    return Logits[static_cast<size_t>(Beam)].data();
+  }
+  int vocab() const { return Model.config().Vocab; }
+  void advance(const std::vector<int> &SrcIdx,
+               const std::vector<int> &Tokens) {
+    std::vector<Transformer::DecodeState> NextStates;
+    std::vector<std::vector<float>> NextLogits;
+    for (size_t I = 0; I < SrcIdx.size(); ++I) {
+      Transformer::DecodeState S =
+          States[static_cast<size_t>(SrcIdx[I])]; // Full KV-cache copy.
+      NextLogits.push_back(Model.stepDecode(S, Tokens[I]));
+      NextStates.push_back(std::move(S));
+    }
+    States = std::move(NextStates);
+    Logits = std::move(NextLogits);
+  }
 };
 
 } // namespace
@@ -37,91 +216,25 @@ struct Beam {
 std::vector<Hypothesis> slade::nn::beamSearch(const Transformer &Model,
                                               const std::vector<int> &Src,
                                               const BeamConfig &Cfg) {
-  std::vector<Beam> Live;
-  {
-    Beam B;
-    B.State = Model.startDecode(Src);
-    B.NextLogits = Model.stepDecode(B.State, Transformer::BosId);
-    Live.push_back(std::move(B));
-  }
-  std::vector<Hypothesis> Done;
+  BatchedStepper Step(Model, Src, Cfg);
+  return beamSearchImpl(Step, Cfg);
+}
 
-  for (int Step = 0; Step < Cfg.MaxLen && !Live.empty(); ++Step) {
-    struct Cand {
-      float Score;
-      size_t BeamIdx;
-      int Token;
-    };
-    std::vector<Cand> Cands;
-    for (size_t BI = 0; BI < Live.size(); ++BI) {
-      std::vector<float> LogP = logSoftmax(Live[BI].NextLogits);
-      // Top BeamSize tokens of this beam.
-      std::vector<int> Idx(LogP.size());
-      for (size_t I = 0; I < Idx.size(); ++I)
-        Idx[I] = static_cast<int>(I);
-      size_t K = std::min<size_t>(static_cast<size_t>(Cfg.BeamSize),
-                                  Idx.size());
-      std::partial_sort(Idx.begin(), Idx.begin() + static_cast<long>(K),
-                        Idx.end(), [&](int A, int B) {
-                          return LogP[static_cast<size_t>(A)] >
-                                 LogP[static_cast<size_t>(B)];
-                        });
-      for (size_t I = 0; I < K; ++I)
-        Cands.push_back({Live[BI].Score + LogP[static_cast<size_t>(Idx[I])],
-                         BI, Idx[I]});
-    }
-    std::sort(Cands.begin(), Cands.end(),
-              [](const Cand &A, const Cand &B) { return A.Score > B.Score; });
-
-    std::vector<Beam> Next;
-    for (const Cand &C : Cands) {
-      if (static_cast<int>(Next.size()) >= Cfg.BeamSize)
-        break;
-      if (C.Token == Transformer::EosId ||
-          C.Token == Transformer::PadId) {
-        Hypothesis H;
-        H.Tokens = Live[C.BeamIdx].Tokens;
-        float Len = static_cast<float>(H.Tokens.size()) + 1.0f;
-        H.Score = C.Score / std::pow(Len, Cfg.LengthPenalty);
-        Done.push_back(std::move(H));
-        continue;
-      }
-      Beam B;
-      B.State = Live[C.BeamIdx].State; // Copy of the KV cache.
-      B.Tokens = Live[C.BeamIdx].Tokens;
-      B.Tokens.push_back(C.Token);
-      B.Score = C.Score;
-      B.NextLogits = Model.stepDecode(B.State, C.Token);
-      Next.push_back(std::move(B));
-    }
-    if (static_cast<int>(Done.size()) >= Cfg.BeamSize)
-      break;
-    Live = std::move(Next);
-  }
-
-  // Unfinished beams become (penalized) hypotheses so we always return
-  // something.
-  for (Beam &B : Live) {
-    Hypothesis H;
-    H.Tokens = std::move(B.Tokens);
-    float Len = static_cast<float>(H.Tokens.size()) + 1.0f;
-    H.Score = (B.Score - 5.0f) / std::pow(Len, Cfg.LengthPenalty);
-    Done.push_back(std::move(H));
-  }
-  std::sort(Done.begin(), Done.end(),
-            [](const Hypothesis &A, const Hypothesis &B) {
-              return A.Score > B.Score;
-            });
-  if (static_cast<int>(Done.size()) > Cfg.BeamSize)
-    Done.resize(static_cast<size_t>(Cfg.BeamSize));
-  return Done;
+std::vector<Hypothesis>
+slade::nn::beamSearchSequential(const Transformer &Model,
+                                const std::vector<int> &Src,
+                                const BeamConfig &Cfg) {
+  SequentialStepper Step(Model, Src, Cfg);
+  return beamSearchImpl(Step, Cfg);
 }
 
 std::vector<int> slade::nn::greedyDecode(const Transformer &Model,
                                          const std::vector<int> &Src,
                                          int MaxLen) {
-  Transformer::DecodeState St = Model.startDecode(Src);
-  std::vector<float> Logits = Model.stepDecode(St, Transformer::BosId);
+  Transformer::BatchDecodeState St =
+      Model.startDecodeBatch(Model.encodeSource(Src), 1, MaxLen + 1);
+  std::vector<float> Logits =
+      Model.stepDecodeBatch(St, {Transformer::BosId});
   std::vector<int> Out;
   for (int Step = 0; Step < MaxLen; ++Step) {
     int Best = 0;
@@ -131,7 +244,7 @@ std::vector<int> slade::nn::greedyDecode(const Transformer &Model,
     if (Best == Transformer::EosId || Best == Transformer::PadId)
       break;
     Out.push_back(Best);
-    Logits = Model.stepDecode(St, Best);
+    Logits = Model.stepDecodeBatch(St, {Best});
   }
   return Out;
 }

@@ -6,6 +6,13 @@
 /// the IO tests. Greedy decoding is the k=1 special case used by the BTC
 /// baseline.
 ///
+/// The default beamSearch runs all beams through the model per step as one
+/// batch (shared encoder/cross caches, batched GEMMs, survivor selection
+/// by index-gather). beamSearchSequential is the retained one-step-per-beam
+/// reference path: it runs the same search algorithm over per-beam
+/// DecodeStates that are deep-copied on survivor selection, and exists for
+/// equivalence tests and as the benchmark baseline.
+///
 //===----------------------------------------------------------------------===//
 #ifndef SLADE_NN_BEAM_H
 #define SLADE_NN_BEAM_H
@@ -28,10 +35,17 @@ struct Hypothesis {
   float Score = 0;         ///< Length-normalized log probability.
 };
 
-/// Returns up to BeamSize hypotheses, best first.
+/// Returns up to BeamSize hypotheses, best first. Batched hot path.
 std::vector<Hypothesis> beamSearch(const Transformer &Model,
                                    const std::vector<int> &Src,
                                    const BeamConfig &Cfg);
+
+/// Sequential reference implementation (per-beam states, full-state copy
+/// on survivor selection). Same search algorithm and tie-breaking as
+/// beamSearch.
+std::vector<Hypothesis> beamSearchSequential(const Transformer &Model,
+                                             const std::vector<int> &Src,
+                                             const BeamConfig &Cfg);
 
 /// Greedy decode (beam of one, no reordering).
 std::vector<int> greedyDecode(const Transformer &Model,

@@ -4,56 +4,171 @@
 
 #include <cmath>
 #include <cstdint>
+#include <type_traits>
 
 using namespace slade;
 using namespace slade::nn;
 
-void slade::nn::gemmAcc(const float *A, const float *B, float *C, int M,
-                        int K, int N) {
-  // i-k-j order: streams B and C rows, friendly to small caches.
-  for (int I = 0; I < M; ++I) {
-    const float *ARow = A + static_cast<size_t>(I) * K;
-    float *CRow = C + static_cast<size_t>(I) * N;
-    for (int Kk = 0; Kk < K; ++Kk) {
-      float AV = ARow[Kk];
-      if (AV == 0.0f)
-        continue;
-      const float *BRow = B + static_cast<size_t>(Kk) * N;
-      for (int J = 0; J < N; ++J)
-        CRow[J] += AV * BRow[J];
+namespace {
+
+// Register-blocked microkernel tile sizes. MR x NR accumulators live in
+// registers across the K loop; NR = 16 floats spans two AVX registers (or
+// four SSE registers) so the inner loop vectorizes under -O2/-O3.
+constexpr int MR = 4;
+constexpr int NR = 16;
+
+/// MRv x NR tile of C += A * B with A row-major [M,K], B row-major [K,N].
+/// Accumulation over K runs in increasing order per element, so the
+/// result matches the naive triple loop bit-for-bit when C starts at zero.
+/// Templated on the row count so short tails (decode batches have M = 1-5
+/// rows) still run the register-blocked path instead of a scalar edge.
+template <int MRv>
+inline void microAcc(const float *A, const float *B, float *C, int K,
+                     int LdA, int LdB, int LdC) {
+  float Acc[MRv][NR] = {};
+  for (int Kk = 0; Kk < K; ++Kk) {
+    const float *BRow = B + static_cast<size_t>(Kk) * LdB;
+    for (int I = 0; I < MRv; ++I) {
+      float AV = A[static_cast<size_t>(I) * LdA + Kk];
+#pragma omp simd
+      for (int J = 0; J < NR; ++J)
+        Acc[I][J] += AV * BRow[J];
     }
+  }
+  for (int I = 0; I < MRv; ++I) {
+    float *CRow = C + static_cast<size_t>(I) * LdC;
+#pragma omp simd
+    for (int J = 0; J < NR; ++J)
+      CRow[J] += Acc[I][J];
   }
 }
 
-void slade::nn::gemmAccNT(const float *A, const float *B, float *C, int M,
-                          int K, int N) {
-  for (int I = 0; I < M; ++I) {
-    const float *ARow = A + static_cast<size_t>(I) * K;
-    float *CRow = C + static_cast<size_t>(I) * N;
-    for (int J = 0; J < N; ++J) {
-      const float *BRow = B + static_cast<size_t>(J) * K;
+/// Partial tile (edges): same accumulation order, scalar-friendly.
+inline void edgeAcc(const float *A, const float *B, float *C, int MB, int K,
+                    int NB, int LdA, int LdB, int LdC) {
+  for (int I = 0; I < MB; ++I) {
+    const float *ARow = A + static_cast<size_t>(I) * LdA;
+    float *CRow = C + static_cast<size_t>(I) * LdC;
+    for (int J = 0; J < NB; ++J) {
       float Acc = 0.0f;
       for (int Kk = 0; Kk < K; ++Kk)
-        Acc += ARow[Kk] * BRow[Kk];
+        Acc += ARow[Kk] * B[static_cast<size_t>(Kk) * LdB + J];
       CRow[J] += Acc;
     }
   }
 }
 
-void slade::nn::gemmAccTN(const float *A, const float *B, float *C, int M,
+/// Runs full-width NR column blocks for MB <= MR rows, dispatching to the
+/// widest register tile that fits.
+inline void rowBlockAcc(const float *A, const float *B, float *C, int MB,
+                        int K, int NFull, int LdA, int LdB, int LdC) {
+  int I0 = 0;
+  auto Run = [&](auto Tag) {
+    constexpr int MRv = decltype(Tag)::value;
+    for (int J0 = 0; J0 < NFull; J0 += NR)
+      microAcc<MRv>(A + static_cast<size_t>(I0) * LdA, B + J0,
+                    C + static_cast<size_t>(I0) * LdC + J0, K, LdA, LdB,
+                    LdC);
+    I0 += MRv;
+  };
+  while (MB - I0 >= 4)
+    Run(std::integral_constant<int, 4>{});
+  if (MB - I0 >= 2)
+    Run(std::integral_constant<int, 2>{});
+  if (MB - I0 >= 1)
+    Run(std::integral_constant<int, 1>{});
+}
+
+} // namespace
+
+void slade::nn::gemmAcc(const float *A, const float *B, float *C, int M,
+                        int K, int N) {
+  int NFull = N - N % NR;
+  rowBlockAcc(A, B, C, M, K, NFull, K, N, N);
+  if (NFull < N)
+    edgeAcc(A, B + NFull, C + NFull, M, K, N - NFull, K, N, N);
+}
+
+void slade::nn::gemmAccNT(const float *A, const float *B, float *C, int M,
                           int K, int N) {
-  for (int Kk = 0; Kk < K; ++Kk) {
-    const float *ARow = A + static_cast<size_t>(Kk) * M;
-    const float *BRow = B + static_cast<size_t>(Kk) * N;
-    for (int I = 0; I < M; ++I) {
-      float AV = ARow[I];
-      if (AV == 0.0f)
-        continue;
-      float *CRow = C + static_cast<size_t>(I) * N;
-      for (int J = 0; J < N; ++J)
-        CRow[J] += AV * BRow[J];
+  // C += A * B^T: both operands stream along K, so dot-product tiles with
+  // MR x NR register accumulators need no transposed access at all.
+  constexpr int NTR = 8; // Fewer columns: each needs its own B row pointer.
+  int MFull = M - M % MR, NFull = N - N % NTR;
+  for (int I0 = 0; I0 < MFull; I0 += MR) {
+    const float *ABlk = A + static_cast<size_t>(I0) * K;
+    for (int J0 = 0; J0 < NFull; J0 += NTR) {
+      float Acc[MR][NTR] = {};
+      for (int Kk = 0; Kk < K; ++Kk) {
+        for (int I = 0; I < MR; ++I) {
+          float AV = ABlk[static_cast<size_t>(I) * K + Kk];
+#pragma omp simd
+          for (int J = 0; J < NTR; ++J)
+            Acc[I][J] += AV * B[static_cast<size_t>(J0 + J) * K + Kk];
+        }
+      }
+      for (int I = 0; I < MR; ++I)
+        for (int J = 0; J < NTR; ++J)
+          C[static_cast<size_t>(I0 + I) * N + J0 + J] += Acc[I][J];
     }
   }
+  // Edges (rows past MFull, columns past NFull): plain dot products with
+  // identical K-order accumulation.
+  auto DotEdge = [&](int IBeg, int IEnd, int JBeg, int JEnd) {
+    for (int I = IBeg; I < IEnd; ++I) {
+      const float *ARow = A + static_cast<size_t>(I) * K;
+      float *CRow = C + static_cast<size_t>(I) * N;
+      for (int J = JBeg; J < JEnd; ++J) {
+        const float *BRow = B + static_cast<size_t>(J) * K;
+        float Acc = 0.0f;
+#pragma omp simd reduction(+ : Acc)
+        for (int Kk = 0; Kk < K; ++Kk)
+          Acc += ARow[Kk] * BRow[Kk];
+        CRow[J] += Acc;
+      }
+    }
+  };
+  DotEdge(0, MFull, NFull, N);
+  DotEdge(MFull, M, 0, N);
+}
+
+void slade::nn::gemmAccTN(const float *A, const float *B, float *C, int M,
+                          int K, int N) {
+  // C += A^T * B with A [K,M], B [K,N]: tile over the M x N output, march
+  // down K reading one A and one B row per iteration.
+  int MFull = M - M % MR, NFull = N - N % NR;
+  for (int I0 = 0; I0 < MFull; I0 += MR) {
+    for (int J0 = 0; J0 < NFull; J0 += NR) {
+      float Acc[MR][NR] = {};
+      for (int Kk = 0; Kk < K; ++Kk) {
+        const float *ARow = A + static_cast<size_t>(Kk) * M + I0;
+        const float *BRow = B + static_cast<size_t>(Kk) * N + J0;
+        for (int I = 0; I < MR; ++I) {
+          float AV = ARow[I];
+#pragma omp simd
+          for (int J = 0; J < NR; ++J)
+            Acc[I][J] += AV * BRow[J];
+        }
+      }
+      for (int I = 0; I < MR; ++I)
+        for (int J = 0; J < NR; ++J)
+          C[static_cast<size_t>(I0 + I) * N + J0 + J] += Acc[I][J];
+    }
+  }
+  auto Edge = [&](int IBeg, int IEnd, int JBeg, int JEnd) {
+    for (int I = IBeg; I < IEnd; ++I) {
+      float *CRow = C + static_cast<size_t>(I) * N;
+      for (int J = JBeg; J < JEnd; ++J) {
+        float Acc = 0.0f;
+        for (int Kk = 0; Kk < K; ++Kk)
+          Acc += A[static_cast<size_t>(Kk) * M + I] *
+                 B[static_cast<size_t>(Kk) * N + J];
+        CRow[J] += Acc;
+      }
+    }
+  };
+  Edge(0, MFull, NFull, N);
+  Edge(MFull, M, 0, N);
 }
 
 Mat *slade::nn::matmul(Graph &G, Mat *A, Mat *B) {

@@ -24,11 +24,14 @@ namespace nn {
 struct Mat {
   int R = 0, C = 0;
   std::vector<float> V; ///< Values, row-major.
-  std::vector<float> G; ///< Gradients (same shape).
+  std::vector<float> G; ///< Gradients (same shape; empty for inference).
 
   Mat() = default;
-  Mat(int R, int C) : R(R), C(C), V(static_cast<size_t>(R) * C, 0.0f),
-                      G(static_cast<size_t>(R) * C, 0.0f) {}
+  Mat(int R, int C, bool WithGrad = true)
+      : R(R), C(C), V(static_cast<size_t>(R) * C, 0.0f) {
+    if (WithGrad)
+      G.assign(static_cast<size_t>(R) * C, 0.0f);
+  }
 
   float &at(int I, int J) { return V[static_cast<size_t>(I) * C + J]; }
   float at(int I, int J) const { return V[static_cast<size_t>(I) * C + J]; }
@@ -38,13 +41,22 @@ struct Mat {
 };
 
 /// Tape of operations over arena-owned intermediates.
+///
+/// An inference-mode Graph records no backward closures and allocates its
+/// intermediates without gradient buffers, halving the memory traffic of
+/// every activation on the decode hot path.
 class Graph {
 public:
+  Graph() = default;
+  explicit Graph(bool Inference) : Inference(Inference) {}
+
   Mat *make(int R, int C) {
-    Arena.push_back(std::make_unique<Mat>(R, C));
+    Arena.push_back(std::make_unique<Mat>(R, C, /*WithGrad=*/!Inference));
     return Arena.back().get();
   }
   void addBackward(std::function<void()> Fn) {
+    if (Inference)
+      return;
     Tape.push_back(std::move(Fn));
   }
   void backward() {
@@ -55,13 +67,19 @@ public:
     Tape.clear();
     Arena.clear();
   }
+  bool inference() const { return Inference; }
 
 private:
   std::vector<std::function<void()>> Tape;
   std::deque<std::unique_ptr<Mat>> Arena;
+  bool Inference = false;
 };
 
 // -- raw kernels (no autograd) ----------------------------------------------
+//
+// Register-blocked, cache-tiled accumulating GEMMs. Per output element the
+// reduction over K runs in increasing order, so results match a naive
+// triple loop exactly when C starts zeroed (and to rounding otherwise).
 
 /// C += A * B. A is [m,k], B is [k,n], C is [m,n].
 void gemmAcc(const float *A, const float *B, float *C, int M, int K, int N);

@@ -58,6 +58,26 @@ public:
                  const std::vector<int> &Tgt, bool Train);
 
   /// -- inference fast path (no autograd, KV cache) -----------------------
+
+  /// Immutable per-source encoder state: the encoder output, the
+  /// per-decoder-layer cross-attention K/V, and decode-session constants
+  /// (fused projection weights, transposed output embedding) laid out for
+  /// the batched kernels. Computed once per source and shared (via
+  /// shared_ptr) by every beam decoding that source.
+  struct EncoderCache {
+    std::vector<float> EncOut;              ///< [Tsrc, D].
+    int TSrc = 0;
+    std::vector<std::vector<float>> CrossK; ///< Per layer, fixed [Tsrc,D].
+    std::vector<std::vector<float>> CrossV;
+    /// Per decoder layer: column-concatenated self-attention Wq|Wk|Wv
+    /// ([D, 3D]) and Bq|Bk|Bv ([3D]) so one GEMM projects Q, K and V.
+    std::vector<std::vector<float>> SelfQKVW;
+    std::vector<std::vector<float>> SelfQKVB;
+    /// TokEmb transposed to [D, Vocab]: turns the logits product into a
+    /// streaming GEMM instead of a strided one.
+    std::vector<float> EmbT;
+  };
+
   struct DecodeState {
     std::vector<float> EncOut;             ///< [Tsrc, D].
     int TSrc = 0;
@@ -68,10 +88,52 @@ public:
     int Len = 0; ///< Decoded positions so far.
   };
 
-  /// Runs the encoder and prepares cross-attention caches.
+  /// Runs the encoder and prepares the shared cross-attention caches.
+  std::shared_ptr<const EncoderCache>
+  encodeSource(const std::vector<int> &Src) const;
+
+  /// Runs the encoder and prepares cross-attention caches (sequential
+  /// reference path; copies the shared caches into the state).
   DecodeState startDecode(const std::vector<int> &Src) const;
   /// Feeds one token, returns the next-token logits [Vocab].
   std::vector<float> stepDecode(DecodeState &St, int Token) const;
+
+  /// Batched decode over B parallel hypotheses of one source. Self-K/V
+  /// rows are written once into a time-major [Cap, BMax, D] buffer per
+  /// layer; each beam addresses its history through an ancestry index
+  /// table, so survivor selection never moves cached K/V data — it only
+  /// gathers the (tiny) per-beam index rows. The encoder output and
+  /// cross-K/V are shared, never copied per beam.
+  struct BatchDecodeState {
+    std::shared_ptr<const EncoderCache> Enc;
+    int B = 0;    ///< Active beams (rows). Starts at 1 (the BOS beam).
+    int BMax = 0; ///< Beam rows preallocated.
+    int Cap = 0;  ///< Positions preallocated per beam.
+    int Len = 0;  ///< Decoded positions so far (same for every beam).
+    std::vector<std::vector<float>> SelfK; ///< Per layer [Cap*BMax*D].
+    std::vector<std::vector<float>> SelfV;
+    /// Anc[b*Cap + t]: the slot holding beam b's K/V row for position t.
+    std::vector<uint16_t> Anc;
+    // Reused step scratch (sized at start).
+    std::vector<float> X, Norm, QKV, AttnOut, Proj, FF1, Scores;
+    std::vector<uint16_t> AncScratch;
+  };
+
+  /// Prepares a batched state sharing \p Enc with room for \p MaxBeams
+  /// beams over \p MaxSteps positions. The state starts with one active
+  /// beam (the BOS hypothesis); reorderBeams grows it up to MaxBeams.
+  BatchDecodeState startDecodeBatch(std::shared_ptr<const EncoderCache> Enc,
+                                    int MaxBeams, int MaxSteps) const;
+  /// Feeds one token per active beam (Tokens.size() == B), returns logits
+  /// [B, Vocab] row-major.
+  std::vector<float> stepDecodeBatch(BatchDecodeState &St,
+                                     const std::vector<int> &Tokens) const;
+  /// Survivor selection: beam row b of the new state is old row
+  /// \p SrcIdx[b]. An index-gather over self-cache rows (the shared
+  /// encoder/cross caches are untouched); B may shrink or grow up to
+  /// BMax.
+  void reorderBeams(BatchDecodeState &St,
+                    const std::vector<int> &SrcIdx) const;
 
   Status save(const std::string &Path) const;
   static Expected<Transformer> load(const std::string &Path);
@@ -119,6 +181,10 @@ private:
   void layerNormRow(const float *X, const LN &P, float *Out) const;
   void linearRow(const float *X, const Mat &W, const Mat &B,
                  float *Out) const;
+  /// Batched linear: Out[r] = X[r] * W + Bias for r in [0, Rows), one
+  /// tiled GEMM call instead of Rows row-vector products.
+  void linearRows(const float *X, int Rows, const Mat &W, const Mat &Bias,
+                  float *Out) const;
 };
 
 /// Adam with decoupled weight decay (§V-C) and inverse-sqrt warmup.

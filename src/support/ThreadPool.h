@@ -1,0 +1,119 @@
+//===- ThreadPool.h - minimal fixed-size worker pool ------------*- C++ -*-===//
+///
+/// \file
+/// A small fixed-size thread pool for coarse-grained task parallelism:
+/// candidate IO-verification (compile + execute per beam hypothesis) and
+/// batch evaluation sweeps. Tasks are type-erased closures; parallelFor
+/// covers the common "independent index range" case and runs inline when
+/// the pool has a single worker (or the range a single element), so
+/// callers need no special-casing on small machines.
+///
+//===----------------------------------------------------------------------===//
+#ifndef SLADE_SUPPORT_THREADPOOL_H
+#define SLADE_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace slade {
+
+class ThreadPool {
+public:
+  explicit ThreadPool(unsigned Workers = defaultConcurrency()) {
+    if (Workers < 1)
+      Workers = 1;
+    for (unsigned I = 0; I < Workers; ++I)
+      Threads.emplace_back([this] { workerLoop(); });
+  }
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Stopping = true;
+    }
+    Wake.notify_all();
+    for (std::thread &T : Threads)
+      T.join();
+  }
+
+  unsigned workerCount() const {
+    return static_cast<unsigned>(Threads.size());
+  }
+
+  /// Enqueues a task. The task must not submit to (and wait on) the same
+  /// pool, or it may deadlock once all workers block.
+  void submit(std::function<void()> Task) {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Queue.push(std::move(Task));
+      ++Outstanding;
+    }
+    Wake.notify_one();
+  }
+
+  /// Blocks until every submitted task has finished.
+  void wait() {
+    std::unique_lock<std::mutex> Lock(Mu);
+    Idle.wait(Lock, [this] { return Outstanding == 0; });
+  }
+
+  /// Runs Fn(0) .. Fn(N-1) across the pool and waits for completion.
+  /// Exceptions must not escape Fn.
+  void parallelFor(size_t N, const std::function<void(size_t)> &Fn) {
+    if (N == 0)
+      return;
+    if (N == 1 || workerCount() == 1) {
+      for (size_t I = 0; I < N; ++I)
+        Fn(I);
+      return;
+    }
+    for (size_t I = 0; I < N; ++I)
+      submit([&Fn, I] { Fn(I); });
+    wait();
+  }
+
+  /// Hardware concurrency with a sane floor (the STL may report 0).
+  static unsigned defaultConcurrency() {
+    unsigned N = std::thread::hardware_concurrency();
+    return N ? N : 1;
+  }
+
+private:
+  void workerLoop() {
+    for (;;) {
+      std::function<void()> Task;
+      {
+        std::unique_lock<std::mutex> Lock(Mu);
+        Wake.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+        if (Stopping && Queue.empty())
+          return;
+        Task = std::move(Queue.front());
+        Queue.pop();
+      }
+      Task();
+      {
+        std::lock_guard<std::mutex> Lock(Mu);
+        if (--Outstanding == 0)
+          Idle.notify_all();
+      }
+    }
+  }
+
+  std::mutex Mu;
+  std::condition_variable Wake, Idle;
+  std::queue<std::function<void()>> Queue;
+  std::vector<std::thread> Threads;
+  size_t Outstanding = 0;
+  bool Stopping = false;
+};
+
+} // namespace slade
+
+#endif // SLADE_SUPPORT_THREADPOOL_H
