@@ -220,6 +220,70 @@ void BM_BeamSearchSequential(benchmark::State &State) {
 }
 BENCHMARK(BM_BeamSearchSequential)->Unit(benchmark::kMillisecond);
 
+/// Cross-request fused decode vs. a per-source loop over the same eight
+/// sources. Args: (BeamSize, TSrc). Fusion amortizes per-step weight
+/// streaming but adds each source's cross-K/V working set to the cache
+/// footprint — it wins for narrow beams over short sources and loses
+/// otherwise, which is what the serve scheduler's AUTO policy encodes.
+std::vector<std::vector<int>> multiBenchSources(int TSrc) {
+  std::vector<std::vector<int>> Srcs;
+  for (int S = 0; S < 8; ++S) {
+    std::vector<int> Src;
+    for (int I = 0; I < TSrc; ++I)
+      Src.push_back(3 + (S * 31 + I * 7) % 500);
+    Srcs.push_back(std::move(Src));
+  }
+  return Srcs;
+}
+
+void BM_BeamSearchMultiFused(benchmark::State &State) {
+  nn::TransformerConfig MC;
+  MC.Vocab = 512;
+  nn::Transformer Model(MC);
+  auto Srcs = multiBenchSources(static_cast<int>(State.range(1)));
+  std::vector<std::shared_ptr<const nn::Transformer::EncoderCache>> Encs;
+  for (const auto &Src : Srcs)
+    Encs.push_back(Model.encodeSource(Src));
+  nn::BeamConfig BC;
+  BC.BeamSize = static_cast<int>(State.range(0));
+  BC.MaxLen = 64;
+  for (auto _ : State) {
+    auto Hyps = nn::beamSearchMulti(Model, Encs, BC);
+    benchmark::DoNotOptimize(Hyps);
+  }
+}
+BENCHMARK(BM_BeamSearchMultiFused)
+    ->Args({1, 8})
+    ->Args({1, 200})
+    ->Args({5, 8})
+    ->Args({5, 200})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BeamSearchMultiLoop(benchmark::State &State) {
+  nn::TransformerConfig MC;
+  MC.Vocab = 512;
+  nn::Transformer Model(MC);
+  auto Srcs = multiBenchSources(static_cast<int>(State.range(1)));
+  std::vector<std::shared_ptr<const nn::Transformer::EncoderCache>> Encs;
+  for (const auto &Src : Srcs)
+    Encs.push_back(Model.encodeSource(Src));
+  nn::BeamConfig BC;
+  BC.BeamSize = static_cast<int>(State.range(0));
+  BC.MaxLen = 64;
+  for (auto _ : State) {
+    for (const auto &Enc : Encs) {
+      auto Hyps = nn::beamSearch(Model, Enc, BC);
+      benchmark::DoNotOptimize(Hyps);
+    }
+  }
+}
+BENCHMARK(BM_BeamSearchMultiLoop)
+    ->Args({1, 8})
+    ->Args({1, 200})
+    ->Args({5, 8})
+    ->Args({5, 200})
+    ->Unit(benchmark::kMillisecond);
+
 } // namespace
 
 BENCHMARK_MAIN();

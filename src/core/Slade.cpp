@@ -58,7 +58,8 @@ std::string Decompiler::translate(const std::string &Asm, int BeamSize,
   nn::BeamConfig BC;
   BC.BeamSize = BeamSize;
   BC.MaxLen = MaxLen;
-  std::vector<nn::Hypothesis> Hyps = nn::beamSearch(Model, Src, BC);
+  std::vector<nn::Hypothesis> Hyps =
+      nn::beamSearch(Model, encodeCached(Src), BC);
   if (Hyps.empty())
     return std::string();
   return Tok.decode(Hyps.front().Tokens);
@@ -70,7 +71,8 @@ HypothesisOutcome Decompiler::decompile(const EvalTask &Task,
   nn::BeamConfig BC;
   BC.BeamSize = Opts.BeamSize;
   BC.MaxLen = Opts.MaxLen;
-  std::vector<nn::Hypothesis> Hyps = nn::beamSearch(Model, Src, BC);
+  std::vector<nn::Hypothesis> Hyps =
+      nn::beamSearch(Model, encodeCached(Src), BC);
   if (Hyps.empty())
     return HypothesisOutcome();
 

@@ -13,6 +13,7 @@
 
 #include "core/Compile.h"
 #include "nn/Beam.h"
+#include "nn/EncoderLRU.h"
 #include "nn/Transformer.h"
 #include "support/ThreadPool.h"
 #include "tok/Tokenizer.h"
@@ -56,8 +57,12 @@ HypothesisOutcome evaluateHypothesis(const EvalTask &Task,
 /// The trained SLaDe system: tokenizer + model + the inference pipeline.
 class Decompiler {
 public:
-  Decompiler(tok::Tokenizer Tok, nn::Transformer Model)
-      : Tok(std::move(Tok)), Model(std::move(Model)) {}
+  /// \p EncoderCacheCap bounds the LRU of per-source encoder outputs
+  /// shared by every request through this decompiler.
+  Decompiler(tok::Tokenizer Tok, nn::Transformer Model,
+             size_t EncoderCacheCap = 64)
+      : Tok(std::move(Tok)), Model(std::move(Model)),
+        EncCache(EncoderCacheCap) {}
 
   struct Options {
     int BeamSize = 5; ///< Paper: k = 5.
@@ -80,12 +85,28 @@ public:
   std::string translate(const std::string &Asm, int BeamSize,
                         int MaxLen) const;
 
+  /// Encodes \p Src through the shared encoder LRU (hit = the whole
+  /// encoder pass is skipped). Thread-safe; used by decompile/translate
+  /// and by the serve scheduler's batched decode.
+  std::shared_ptr<const nn::Transformer::EncoderCache>
+  encodeCached(const std::vector<int> &Src) const {
+    return EncCache.get(Model, Src);
+  }
+
   const tok::Tokenizer &tokenizer() const { return Tok; }
   const nn::Transformer &model() const { return Model; }
+  const nn::EncoderLRU &encoderCache() const { return EncCache; }
+  /// Drops all cached encoder outputs (cold-start measurement; the cache
+  /// never needs manual invalidation for correctness).
+  void clearEncoderCache() const { EncCache.clear(); }
 
 private:
   tok::Tokenizer Tok;
   nn::Transformer Model;
+  /// Per-source encoder outputs, shared across requests; entries are
+  /// keyed by (tokenized source, weight version) so they can never leak
+  /// across a weight update.
+  mutable nn::EncoderLRU EncCache;
   /// Lazily created verification pool, reused across decompile calls so
   /// an evaluation sweep does not pay thread create/join per task.
   /// Guarded by VerifyMu, which is held for the whole parallel section:

@@ -72,7 +72,10 @@ TrainedSystem slade::core::trainSystem(const std::vector<TrainPair> &Pairs,
 
   nn::AdamW::Config AC;
   AC.WarmupSteps = std::max(40, Cfg.Steps / 10);
-  nn::AdamW Opt(Model.params(), AC);
+  // Handing the model to the optimizer bumps its weight version per step,
+  // so decode constants cached during (or before) training never leak
+  // stale parameters into later inference.
+  nn::AdamW Opt(Model.params(), AC, &Model);
 
   SplitMix64 Rng(Cfg.Seed * 77ULL + 13);
   double RunningLoss = 0;

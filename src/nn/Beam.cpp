@@ -65,72 +65,83 @@ struct BeamMeta {
   float Score = 0;
 };
 
-/// The search loop, shared by the batched and sequential paths. A Stepper
-/// exposes:
-///   int start()                      - run the BOS step, return live count
-///   const float *logits(int Beam)    - next-token logits of a live beam
-///   void advance(SrcIdx, Tokens)     - survivor-select then step once
-///   int vocab()
-template <typename Stepper>
-std::vector<Hypothesis> beamSearchImpl(Stepper &Step, const BeamConfig &Cfg) {
-  std::vector<BeamMeta> Live(1);
-  Step.start();
-  std::vector<Hypothesis> Done;
-
+struct SelectScratch {
   std::vector<float> LogP;
-  std::vector<std::pair<float, int>> HeapScratch;
-  std::vector<int> TopScratch;
+  std::vector<std::pair<float, int>> Heap;
+  std::vector<int> Top;
   std::vector<Cand> Cands;
+};
 
-  for (int It = 0; It < Cfg.MaxLen && !Live.empty(); ++It) {
-    Cands.clear();
-    for (size_t BI = 0; BI < Live.size(); ++BI) {
-      logSoftmax(Step.logits(static_cast<int>(BI)), Step.vocab(), LogP);
-      topK(LogP, Cfg.BeamSize, HeapScratch, TopScratch);
-      for (int Tok : TopScratch)
-        Cands.push_back({Live[BI].Score + LogP[static_cast<size_t>(Tok)],
+struct SelectResult {
+  std::vector<int> SrcIdx; ///< Parent beam index (local) per survivor.
+  std::vector<int> Tokens; ///< Token fed to each survivor.
+  /// The finished-hypothesis quota was reached: the caller must stop
+  /// stepping and penalize the PRE-expansion Live set (left untouched).
+  bool StopNow = false;
+};
+
+/// One expansion step for one source's beams: log-softmax + top-k per
+/// live beam, deterministic candidate ordering (score desc, then beam,
+/// then token — ties never diverge between decode paths), EOS/PAD
+/// candidates retire into \p Done, survivors replace \p Live. Shared by
+/// the single-source search loop and the cross-request multi driver, so
+/// their per-source decisions are the same code.
+template <typename LogitsOf>
+SelectResult selectBeamStep(std::vector<BeamMeta> &Live,
+                            std::vector<Hypothesis> &Done,
+                            const LogitsOf &Logits, int Vocab,
+                            const BeamConfig &Cfg, SelectScratch &S) {
+  SelectResult R;
+  S.Cands.clear();
+  for (size_t BI = 0; BI < Live.size(); ++BI) {
+    logSoftmax(Logits(BI), Vocab, S.LogP);
+    topK(S.LogP, Cfg.BeamSize, S.Heap, S.Top);
+    for (int Tok : S.Top)
+      S.Cands.push_back({Live[BI].Score + S.LogP[static_cast<size_t>(Tok)],
                          static_cast<int>(BI), Tok});
-    }
-    // Deterministic order: score desc, then beam, then token. Both decode
-    // paths sort identically, so ties never diverge between them.
-    std::sort(Cands.begin(), Cands.end(), [](const Cand &A, const Cand &B) {
-      if (A.Score != B.Score)
-        return A.Score > B.Score;
-      if (A.BeamIdx != B.BeamIdx)
-        return A.BeamIdx < B.BeamIdx;
-      return A.Token < B.Token;
-    });
-
-    std::vector<BeamMeta> Next;
-    std::vector<int> SrcIdx, Tokens;
-    for (const Cand &C : Cands) {
-      if (static_cast<int>(Next.size()) >= Cfg.BeamSize)
-        break;
-      if (C.Token == Transformer::EosId || C.Token == Transformer::PadId) {
-        Hypothesis H;
-        H.Tokens = Live[static_cast<size_t>(C.BeamIdx)].Tokens;
-        float Len = static_cast<float>(H.Tokens.size()) + 1.0f;
-        H.Score = C.Score / std::pow(Len, Cfg.LengthPenalty);
-        Done.push_back(std::move(H));
-        continue;
-      }
-      BeamMeta M;
-      M.Tokens = Live[static_cast<size_t>(C.BeamIdx)].Tokens;
-      M.Tokens.push_back(C.Token);
-      M.Score = C.Score;
-      Next.push_back(std::move(M));
-      SrcIdx.push_back(C.BeamIdx);
-      Tokens.push_back(C.Token);
-    }
-    if (static_cast<int>(Done.size()) >= Cfg.BeamSize)
-      break; // Still-live beams fall through as penalized hypotheses.
-    Live = std::move(Next);
-    if (!Live.empty())
-      Step.advance(SrcIdx, Tokens);
   }
+  std::sort(S.Cands.begin(), S.Cands.end(),
+            [](const Cand &A, const Cand &B) {
+              if (A.Score != B.Score)
+                return A.Score > B.Score;
+              if (A.BeamIdx != B.BeamIdx)
+                return A.BeamIdx < B.BeamIdx;
+              return A.Token < B.Token;
+            });
 
-  // Unfinished beams become (penalized) hypotheses so we always return
-  // something.
+  std::vector<BeamMeta> Next;
+  for (const Cand &C : S.Cands) {
+    if (static_cast<int>(Next.size()) >= Cfg.BeamSize)
+      break;
+    if (C.Token == Transformer::EosId || C.Token == Transformer::PadId) {
+      Hypothesis H;
+      H.Tokens = Live[static_cast<size_t>(C.BeamIdx)].Tokens;
+      float Len = static_cast<float>(H.Tokens.size()) + 1.0f;
+      H.Score = C.Score / std::pow(Len, Cfg.LengthPenalty);
+      Done.push_back(std::move(H));
+      continue;
+    }
+    BeamMeta M;
+    M.Tokens = Live[static_cast<size_t>(C.BeamIdx)].Tokens;
+    M.Tokens.push_back(C.Token);
+    M.Score = C.Score;
+    Next.push_back(std::move(M));
+    R.SrcIdx.push_back(C.BeamIdx);
+    R.Tokens.push_back(C.Token);
+  }
+  if (static_cast<int>(Done.size()) >= Cfg.BeamSize) {
+    R.StopNow = true; // Pre-expansion Live falls through penalized.
+    return R;
+  }
+  Live = std::move(Next);
+  return R;
+}
+
+/// Unfinished beams become (penalized) hypotheses so we always return
+/// something; then sort best-first and cap at BeamSize.
+std::vector<Hypothesis> finalizeBeams(std::vector<BeamMeta> &&Live,
+                                      std::vector<Hypothesis> &&Done,
+                                      const BeamConfig &Cfg) {
   for (BeamMeta &M : Live) {
     Hypothesis H;
     H.Tokens = std::move(M.Tokens);
@@ -146,7 +157,33 @@ std::vector<Hypothesis> beamSearchImpl(Stepper &Step, const BeamConfig &Cfg) {
             });
   if (static_cast<int>(Done.size()) > Cfg.BeamSize)
     Done.resize(static_cast<size_t>(Cfg.BeamSize));
-  return Done;
+  return std::move(Done);
+}
+
+/// The search loop, shared by the batched and sequential paths. A Stepper
+/// exposes:
+///   int start()                      - run the BOS step, return live count
+///   const float *logits(int Beam)    - next-token logits of a live beam
+///   void advance(SrcIdx, Tokens)     - survivor-select then step once
+///   int vocab()
+template <typename Stepper>
+std::vector<Hypothesis> beamSearchImpl(Stepper &Step, const BeamConfig &Cfg) {
+  std::vector<BeamMeta> Live(1);
+  Step.start();
+  std::vector<Hypothesis> Done;
+  SelectScratch S;
+
+  for (int It = 0; It < Cfg.MaxLen && !Live.empty(); ++It) {
+    SelectResult R = selectBeamStep(
+        Live, Done,
+        [&](size_t BI) { return Step.logits(static_cast<int>(BI)); },
+        Step.vocab(), Cfg, S);
+    if (R.StopNow)
+      break;
+    if (!Live.empty())
+      Step.advance(R.SrcIdx, R.Tokens);
+  }
+  return finalizeBeams(std::move(Live), std::move(Done), Cfg);
 }
 
 /// Batched stepper: one BatchDecodeState, survivor selection is an
@@ -158,7 +195,11 @@ struct BatchedStepper {
 
   BatchedStepper(const Transformer &Model, const std::vector<int> &Src,
                  const BeamConfig &Cfg)
-      : Model(Model), St(Model.startDecodeBatch(Model.encodeSource(Src),
+      : BatchedStepper(Model, Model.encodeSource(Src), Cfg) {}
+  BatchedStepper(const Transformer &Model,
+                 std::shared_ptr<const Transformer::EncoderCache> Enc,
+                 const BeamConfig &Cfg)
+      : Model(Model), St(Model.startDecodeBatch(std::move(Enc),
                                                 Cfg.BeamSize,
                                                 Cfg.MaxLen + 1)) {}
 
@@ -218,6 +259,83 @@ std::vector<Hypothesis> slade::nn::beamSearch(const Transformer &Model,
                                               const BeamConfig &Cfg) {
   BatchedStepper Step(Model, Src, Cfg);
   return beamSearchImpl(Step, Cfg);
+}
+
+std::vector<Hypothesis>
+slade::nn::beamSearch(const Transformer &Model,
+                      std::shared_ptr<const Transformer::EncoderCache> Enc,
+                      const BeamConfig &Cfg) {
+  BatchedStepper Step(Model, std::move(Enc), Cfg);
+  return beamSearchImpl(Step, Cfg);
+}
+
+std::vector<std::vector<Hypothesis>> slade::nn::beamSearchMulti(
+    const Transformer &Model,
+    const std::vector<std::shared_ptr<const Transformer::EncoderCache>>
+        &Sources,
+    const BeamConfig &Cfg) {
+  size_t N = Sources.size();
+  std::vector<std::vector<Hypothesis>> Out(N);
+  if (N == 0)
+    return Out;
+
+  // One fused state: row i starts as source i's BOS beam; each source may
+  // grow to BeamSize rows. The per-source search below makes exactly the
+  // decisions beamSearchImpl would make for that source alone — per-row
+  // step results are independent of the other rows in the batch, and the
+  // selection logic is shared — so the outputs are byte-identical to N
+  // independent beamSearch calls.
+  Transformer::BatchDecodeState St =
+      Model.startDecodeBatchMulti(Sources, Cfg.BeamSize, Cfg.MaxLen + 1);
+  std::vector<float> Logits = Model.stepDecodeBatch(
+      St, std::vector<int>(N, Transformer::BosId));
+  int Vocab = Model.config().Vocab;
+
+  struct JobSearch {
+    std::vector<BeamMeta> Live;
+    std::vector<Hypothesis> Done;
+    bool Active = true;
+  };
+  std::vector<JobSearch> Jobs(N);
+  for (JobSearch &J : Jobs)
+    J.Live.resize(1);
+
+  SelectScratch S;
+  std::vector<int> SrcIdx, Tokens; // Global (state-row) survivor indices.
+  for (int It = 0; It < Cfg.MaxLen; ++It) {
+    SrcIdx.clear();
+    Tokens.clear();
+    int RowBase = 0; // This source's first row in the current batch.
+    for (JobSearch &Job : Jobs) {
+      if (!Job.Active)
+        continue;
+      int Rows = static_cast<int>(Job.Live.size());
+      SelectResult R = selectBeamStep(
+          Job.Live, Job.Done,
+          [&](size_t BI) {
+            return Logits.data() +
+                   (static_cast<size_t>(RowBase) + BI) * Vocab;
+          },
+          Vocab, Cfg, S);
+      if (R.StopNow || Job.Live.empty()) {
+        Job.Active = false; // Rows drop out of the batch at the reorder.
+      } else {
+        for (int Idx : R.SrcIdx)
+          SrcIdx.push_back(RowBase + Idx);
+        Tokens.insert(Tokens.end(), R.Tokens.begin(), R.Tokens.end());
+      }
+      RowBase += Rows;
+    }
+    if (SrcIdx.empty())
+      break; // Every source finished.
+    Model.reorderBeams(St, SrcIdx);
+    Logits = Model.stepDecodeBatch(St, Tokens);
+  }
+
+  for (size_t J = 0; J < N; ++J)
+    Out[J] = finalizeBeams(std::move(Jobs[J].Live),
+                           std::move(Jobs[J].Done), Cfg);
+  return Out;
 }
 
 std::vector<Hypothesis>

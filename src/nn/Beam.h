@@ -19,6 +19,7 @@
 
 #include "nn/Transformer.h"
 
+#include <memory>
 #include <vector>
 
 namespace slade {
@@ -39,6 +40,27 @@ struct Hypothesis {
 std::vector<Hypothesis> beamSearch(const Transformer &Model,
                                    const std::vector<int> &Src,
                                    const BeamConfig &Cfg);
+
+/// Same, over a pre-encoded source (e.g. an EncoderLRU hit): the encoder
+/// pass is skipped entirely.
+std::vector<Hypothesis>
+beamSearch(const Transformer &Model,
+           std::shared_ptr<const Transformer::EncoderCache> Enc,
+           const BeamConfig &Cfg);
+
+/// Cross-request batched beam search: decodes ALL sources in one fused
+/// batched session — every decode step runs the union of the sources'
+/// live beams through the model as a single batch, so per-step GEMMs
+/// amortize across requests (the serving scheduler's throughput lever on
+/// one core). Per-source results are byte-identical to running beamSearch
+/// on each source alone: per-row step results do not depend on which
+/// other rows share the batch, and the per-source selection logic is the
+/// same code. Sources finishing early drop out of the batch.
+std::vector<std::vector<Hypothesis>> beamSearchMulti(
+    const Transformer &Model,
+    const std::vector<std::shared_ptr<const Transformer::EncoderCache>>
+        &Sources,
+    const BeamConfig &Cfg);
 
 /// Sequential reference implementation (per-beam states, full-state copy
 /// on survivor selection). Same search algorithm and tie-breaking as

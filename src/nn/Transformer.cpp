@@ -264,6 +264,45 @@ void Transformer::linearRows(const float *X, int Rows, const Mat &W,
   gemmAcc(X, W.V.data(), Out, Rows, W.R, OutD);
 }
 
+std::shared_ptr<const Transformer::DecodeConstants>
+Transformer::decodeConstants() const {
+  std::lock_guard<std::mutex> Lock(ConstCache.Box->Mu);
+  std::shared_ptr<const DecodeConstants> &Cur = ConstCache.Box->Cur;
+  if (Cur && Cur->Version == WeightVersion)
+    return Cur;
+
+  int D = Cfg.DModel;
+  auto C = std::make_shared<DecodeConstants>();
+  C->Version = WeightVersion;
+  // Fused Q|K|V projection per decoder layer: one GEMM projects all three.
+  C->SelfQKVW.resize(Dec.size());
+  C->SelfQKVB.resize(Dec.size());
+  for (size_t L = 0; L < Dec.size(); ++L) {
+    const Attn &A = Dec[L].Self;
+    std::vector<float> &W = C->SelfQKVW[L];
+    std::vector<float> &B = C->SelfQKVB[L];
+    W.resize(static_cast<size_t>(D) * 3 * D);
+    B.resize(static_cast<size_t>(3) * D);
+    for (int I = 0; I < D; ++I)
+      for (int J = 0; J < D; ++J) {
+        W[static_cast<size_t>(I) * 3 * D + J] = A.Wq.at(I, J);
+        W[static_cast<size_t>(I) * 3 * D + D + J] = A.Wk.at(I, J);
+        W[static_cast<size_t>(I) * 3 * D + 2 * D + J] = A.Wv.at(I, J);
+      }
+    for (int J = 0; J < D; ++J) {
+      B[static_cast<size_t>(J)] = A.Bq.V[static_cast<size_t>(J)];
+      B[static_cast<size_t>(D + J)] = A.Bk.V[static_cast<size_t>(J)];
+      B[static_cast<size_t>(2 * D + J)] = A.Bv.V[static_cast<size_t>(J)];
+    }
+  }
+  C->EmbT.resize(static_cast<size_t>(D) * Cfg.Vocab);
+  for (int W = 0; W < Cfg.Vocab; ++W)
+    for (int J = 0; J < D; ++J)
+      C->EmbT[static_cast<size_t>(J) * Cfg.Vocab + W] = TokEmb.at(W, J);
+  Cur = C;
+  return C;
+}
+
 std::shared_ptr<const Transformer::EncoderCache>
 Transformer::encodeSource(const std::vector<int> &Src) const {
   auto Cache = std::make_shared<EncoderCache>();
@@ -304,33 +343,10 @@ Transformer::encodeSource(const std::vector<int> &Src) const {
     linearRows(Cache->EncOut.data(), T, A.Wv, A.Bv, Cache->CrossV[L].data());
   }
 
-  // Decode-session constants for the batched kernels: fused Q|K|V
-  // projection per decoder layer and the transposed output embedding.
-  Cache->SelfQKVW.resize(Dec.size());
-  Cache->SelfQKVB.resize(Dec.size());
-  for (size_t L = 0; L < Dec.size(); ++L) {
-    const Attn &A = Dec[L].Self;
-    std::vector<float> &W = Cache->SelfQKVW[L];
-    std::vector<float> &B = Cache->SelfQKVB[L];
-    W.resize(static_cast<size_t>(D) * 3 * D);
-    B.resize(static_cast<size_t>(3) * D);
-    for (int I = 0; I < D; ++I)
-      for (int J = 0; J < D; ++J) {
-        W[static_cast<size_t>(I) * 3 * D + J] = A.Wq.at(I, J);
-        W[static_cast<size_t>(I) * 3 * D + D + J] = A.Wk.at(I, J);
-        W[static_cast<size_t>(I) * 3 * D + 2 * D + J] = A.Wv.at(I, J);
-      }
-    for (int J = 0; J < D; ++J) {
-      B[static_cast<size_t>(J)] = A.Bq.V[static_cast<size_t>(J)];
-      B[static_cast<size_t>(D + J)] = A.Bk.V[static_cast<size_t>(J)];
-      B[static_cast<size_t>(2 * D + J)] = A.Bv.V[static_cast<size_t>(J)];
-    }
-  }
-  Cache->EmbT.resize(static_cast<size_t>(D) * Cfg.Vocab);
-  for (int W = 0; W < Cfg.Vocab; ++W)
-    for (int J = 0; J < D; ++J)
-      Cache->EmbT[static_cast<size_t>(J) * Cfg.Vocab + W] =
-          TokEmb.at(W, J);
+  // Decode-session constants (fused Q|K|V projection, transposed output
+  // embedding) are per-model, not per-source: borrow the shared
+  // weight-versioned copy instead of rebuilding them per request.
+  Cache->Consts = decodeConstants();
   return Cache;
 }
 
@@ -472,12 +488,31 @@ std::vector<float> Transformer::stepDecode(DecodeState &St,
 Transformer::BatchDecodeState
 Transformer::startDecodeBatch(std::shared_ptr<const EncoderCache> Enc,
                               int MaxBeams, int MaxSteps) const {
-  assert(MaxBeams > 0 && MaxSteps > 0);
+  return startDecodeBatchMulti({std::move(Enc)}, MaxBeams, MaxSteps);
+}
+
+Transformer::BatchDecodeState Transformer::startDecodeBatchMulti(
+    const std::vector<std::shared_ptr<const EncoderCache>> &Encs,
+    int BeamsPerSource, int MaxSteps) const {
+  assert(!Encs.empty() && BeamsPerSource > 0 && MaxSteps > 0);
   BatchDecodeState St;
-  St.Enc = std::move(Enc);
-  St.B = 1;
+  int MaxBeams = BeamsPerSource * static_cast<int>(Encs.size());
+  assert(Encs.size() <= 65535 && BeamsPerSource <= 65535 &&
+         "source/slot ids are uint16");
+  St.B = static_cast<int>(Encs.size()); // One BOS row per source.
   St.BMax = MaxBeams;
+  St.KMax = BeamsPerSource;
   St.Cap = MaxSteps;
+  St.RowEnc = Encs;
+  St.RowEnc.resize(static_cast<size_t>(MaxBeams));
+  St.RowSource.assign(static_cast<size_t>(MaxBeams), 0);
+  for (size_t S = 0; S < Encs.size(); ++S)
+    St.RowSource[S] = static_cast<uint16_t>(S);
+  for (const auto &Enc : Encs)
+    St.MaxTSrc = std::max(St.MaxTSrc, Enc->TSrc);
+  // All rows share one model: borrow the constants from the first source
+  // (every EncoderCache of a model references the same copy).
+  St.Consts = Encs.front()->Consts;
   int D = Cfg.DModel;
   size_t PerLayer = static_cast<size_t>(MaxBeams) * St.Cap * D;
   St.SelfK.assign(Dec.size(), std::vector<float>(PerLayer));
@@ -491,7 +526,7 @@ Transformer::startDecodeBatch(std::shared_ptr<const EncoderCache> Enc,
   St.Proj.resize(Rows);
   St.FF1.resize(static_cast<size_t>(MaxBeams) * Cfg.FF);
   St.Scores.resize(static_cast<size_t>(Cfg.NHeads) *
-                   std::max(St.Cap, St.Enc->TSrc));
+                   std::max(St.Cap, St.MaxTSrc));
   return St;
 }
 
@@ -713,7 +748,7 @@ Transformer::stepDecodeBatch(BatchDecodeState &St,
   int B = St.B, D = Cfg.DModel, H = Cfg.NHeads, Dh = D / H;
   assert(static_cast<int>(Tokens.size()) == B && "one token per beam");
   assert(St.Len < St.Cap && "self-cache capacity exhausted");
-  const EncoderCache &Enc = *St.Enc;
+  const DecodeConstants &Consts = *St.Consts;
   int Pos = St.Len < Cfg.MaxLen ? St.Len : Cfg.MaxLen - 1;
 
   float *X = St.X.data(), *Norm = St.Norm.data(), *QKV = St.QKV.data(),
@@ -724,12 +759,15 @@ Transformer::stepDecodeBatch(BatchDecodeState &St,
       X[static_cast<size_t>(Bi) * D + J] =
           TokEmb.at(Tokens[static_cast<size_t>(Bi)], J) + DecPos.at(Pos, J);
 
-  int ScoreStride = std::max(St.Cap, Enc.TSrc);
+  int ScoreStride = std::max(St.Cap, St.MaxTSrc);
   float InvS = 1.0f / std::sqrt(static_cast<float>(Dh));
+
+  // Per-source segment geometry: [Cap, KMax, D] time-major per segment.
+  size_t TimeStride = static_cast<size_t>(St.KMax) * D;
+  size_t SegStride = static_cast<size_t>(St.Cap) * TimeStride;
 
   for (size_t L = 0; L < Dec.size(); ++L) {
     const DecLayer &Lay = Dec[L];
-    size_t TimeStride = static_cast<size_t>(St.BMax) * D;
 
     // Self attention: one fused Q|K|V GEMM for the whole beam batch.
     for (int Bi = 0; Bi < B; ++Bi)
@@ -737,14 +775,24 @@ Transformer::stepDecodeBatch(BatchDecodeState &St,
                    Norm + static_cast<size_t>(Bi) * D);
     for (int Bi = 0; Bi < B; ++Bi)
       std::memcpy(QKV + static_cast<size_t>(Bi) * 3 * D,
-                  Enc.SelfQKVB[L].data(),
+                  Consts.SelfQKVB[L].data(),
                   static_cast<size_t>(3) * D * sizeof(float));
-    gemmAcc(Norm, Enc.SelfQKVW[L].data(), QKV, B, D, 3 * D);
-    // Each beam writes its new K/V row once, at (t=Len, slot=beam); the
-    // row is never moved afterwards — descendants find it via Anc.
-    for (int Bi = 0; Bi < B; ++Bi) {
-      size_t Slot = static_cast<size_t>(St.Len) * TimeStride +
-                    static_cast<size_t>(Bi) * D;
+    gemmAcc(Norm, Consts.SelfQKVW[L].data(), QKV, B, D, 3 * D);
+    // Each beam writes its new K/V row once, at (t=Len, slot=position
+    // within its source's row block); the row is never moved afterwards —
+    // descendants find it via Anc. Rows of one source are contiguous, so
+    // the running Local counter is the segment-local slot.
+    for (int Bi = 0, Local = 0; Bi < B; ++Bi) {
+      Local = (Bi > 0 && St.RowSource[static_cast<size_t>(Bi)] ==
+                             St.RowSource[static_cast<size_t>(Bi - 1)])
+                  ? Local + 1
+                  : 0;
+      assert(Local < St.KMax && "source rows not contiguous");
+      size_t Slot =
+          static_cast<size_t>(St.RowSource[static_cast<size_t>(Bi)]) *
+              SegStride +
+          static_cast<size_t>(St.Len) * TimeStride +
+          static_cast<size_t>(Local) * D;
       const float *Row = QKV + static_cast<size_t>(Bi) * 3 * D;
       std::memcpy(&St.SelfK[L][Slot], Row + D,
                   static_cast<size_t>(D) * sizeof(float));
@@ -752,12 +800,18 @@ Transformer::stepDecodeBatch(BatchDecodeState &St,
                   static_cast<size_t>(D) * sizeof(float));
       if (L == 0)
         St.Anc[static_cast<size_t>(Bi) * St.Cap + St.Len] =
-            static_cast<uint16_t>(Bi);
+            static_cast<uint16_t>(Local);
     }
     int TCtx = St.Len + 1;
     for (int Bi = 0; Bi < B; ++Bi) {
-      const float *KBase = St.SelfK[L].data();
-      const float *VBase = St.SelfV[L].data();
+      const float *KBase =
+          St.SelfK[L].data() +
+          static_cast<size_t>(St.RowSource[static_cast<size_t>(Bi)]) *
+              SegStride;
+      const float *VBase =
+          St.SelfV[L].data() +
+          static_cast<size_t>(St.RowSource[static_cast<size_t>(Bi)]) *
+              SegStride;
       const uint16_t *AncB = &St.Anc[static_cast<size_t>(Bi) * St.Cap];
       attendCachedDyn(
           QKV + static_cast<size_t>(Bi) * 3 * D,
@@ -776,19 +830,23 @@ Transformer::stepDecodeBatch(BatchDecodeState &St,
     for (size_t I = 0; I < static_cast<size_t>(B) * D; ++I)
       X[I] += Proj[I];
 
-    // Cross attention: the K/V caches are shared by every beam.
+    // Cross attention: the K/V caches are shared by every beam of one
+    // source; each row attends over its OWN source's cache (rows of
+    // different sources may share the batch).
     for (int Bi = 0; Bi < B; ++Bi)
       layerNormRow(X + static_cast<size_t>(Bi) * D, Lay.LN2,
                    Norm + static_cast<size_t>(Bi) * D);
     linearRows(Norm, B, Lay.Cross.Wq, Lay.Cross.Bq, QKV);
-    const float *CK = Enc.CrossK[L].data(), *CV = Enc.CrossV[L].data();
-    for (int Bi = 0; Bi < B; ++Bi)
+    for (int Bi = 0; Bi < B; ++Bi) {
+      const EncoderCache &Enc = *St.RowEnc[static_cast<size_t>(Bi)];
+      const float *CK = Enc.CrossK[L].data(), *CV = Enc.CrossV[L].data();
       attendCachedDyn(
           QKV + static_cast<size_t>(Bi) * D,
           AttnOut + static_cast<size_t>(Bi) * D, Enc.TSrc, H, Dh, InvS,
           Scores, ScoreStride,
           [&](int Tt) { return CK + static_cast<size_t>(Tt) * D; },
           [&](int Tt) { return CV + static_cast<size_t>(Tt) * D; });
+    }
     linearRows(AttnOut, B, Lay.Cross.Wo, Lay.Cross.Bo, Proj);
     for (size_t I = 0; I < static_cast<size_t>(B) * D; ++I)
       X[I] += Proj[I];
@@ -812,7 +870,7 @@ Transformer::stepDecodeBatch(BatchDecodeState &St,
   // Logits against the shared embedding: one streaming [B,D]x[D,V] GEMM
   // over the pre-transposed table.
   std::vector<float> Logits(static_cast<size_t>(B) * Cfg.Vocab, 0.0f);
-  gemmAcc(Norm, Enc.EmbT.data(), Logits.data(), B, D, Cfg.Vocab);
+  gemmAcc(Norm, Consts.EmbT.data(), Logits.data(), B, D, Cfg.Vocab);
   return Logits;
 }
 
@@ -821,18 +879,28 @@ void Transformer::reorderBeams(BatchDecodeState &St,
   int NewB = static_cast<int>(SrcIdx.size());
   assert(NewB > 0 && NewB <= St.BMax && "beam count exceeds allocation");
   // Cached K/V rows never move: survivor selection only gathers the
-  // per-beam ancestry index rows (Len uint16 entries per beam).
+  // per-beam ancestry index rows (Len uint16 entries per beam) and the
+  // per-row encoder bindings.
   size_t Used = static_cast<size_t>(St.Len);
   St.AncScratch.resize(static_cast<size_t>(NewB) * Used);
-  for (int Bi = 0; Bi < NewB; ++Bi)
+  St.RowEncScratch.resize(static_cast<size_t>(NewB));
+  St.RowSourceScratch.resize(static_cast<size_t>(NewB));
+  for (int Bi = 0; Bi < NewB; ++Bi) {
+    size_t Src = static_cast<size_t>(SrcIdx[static_cast<size_t>(Bi)]);
     std::memcpy(&St.AncScratch[static_cast<size_t>(Bi) * Used],
-                &St.Anc[static_cast<size_t>(SrcIdx[static_cast<size_t>(Bi)]) *
-                        St.Cap],
-                Used * sizeof(uint16_t));
-  for (int Bi = 0; Bi < NewB; ++Bi)
+                &St.Anc[Src * St.Cap], Used * sizeof(uint16_t));
+    St.RowEncScratch[static_cast<size_t>(Bi)] = St.RowEnc[Src];
+    St.RowSourceScratch[static_cast<size_t>(Bi)] = St.RowSource[Src];
+  }
+  for (int Bi = 0; Bi < NewB; ++Bi) {
     std::memcpy(&St.Anc[static_cast<size_t>(Bi) * St.Cap],
                 &St.AncScratch[static_cast<size_t>(Bi) * Used],
                 Used * sizeof(uint16_t));
+    St.RowEnc[static_cast<size_t>(Bi)] =
+        std::move(St.RowEncScratch[static_cast<size_t>(Bi)]);
+    St.RowSource[static_cast<size_t>(Bi)] =
+        St.RowSourceScratch[static_cast<size_t>(Bi)];
+  }
   St.B = NewB;
 }
 
@@ -895,8 +963,9 @@ Expected<Transformer> Transformer::load(const std::string &Path) {
 // AdamW
 //===----------------------------------------------------------------------===//
 
-AdamW::AdamW(std::vector<ParamRef> ParamsIn, const Config &CfgIn)
-    : Params(std::move(ParamsIn)), Cfg(CfgIn) {
+AdamW::AdamW(std::vector<ParamRef> ParamsIn, const Config &CfgIn,
+             Transformer *ModelIn)
+    : Params(std::move(ParamsIn)), Cfg(CfgIn), Model(ModelIn) {
   for (const ParamRef &P : Params) {
     M1.emplace_back(P.M->size(), 0.0f);
     M2.emplace_back(P.M->size(), 0.0f);
@@ -905,6 +974,8 @@ AdamW::AdamW(std::vector<ParamRef> ParamsIn, const Config &CfgIn)
 
 void AdamW::step() {
   ++Steps;
+  if (Model)
+    Model->bumpWeightVersion(); // Cached decode constants go stale now.
   // Inverse-sqrt warmup schedule.
   float Scale;
   if (Steps < Cfg.WarmupSteps)

@@ -16,6 +16,8 @@
 #include "support/Error.h"
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -59,16 +61,13 @@ public:
 
   /// -- inference fast path (no autograd, KV cache) -----------------------
 
-  /// Immutable per-source encoder state: the encoder output, the
-  /// per-decoder-layer cross-attention K/V, and decode-session constants
-  /// (fused projection weights, transposed output embedding) laid out for
-  /// the batched kernels. Computed once per source and shared (via
-  /// shared_ptr) by every beam decoding that source.
-  struct EncoderCache {
-    std::vector<float> EncOut;              ///< [Tsrc, D].
-    int TSrc = 0;
-    std::vector<std::vector<float>> CrossK; ///< Per layer, fixed [Tsrc,D].
-    std::vector<std::vector<float>> CrossV;
+  /// Per-model decode constants, laid out for the batched kernels. They
+  /// depend only on the weights, not on any source, so one copy is shared
+  /// by every decode session and rebuilt only when the weight version
+  /// changes (training step, weight load).
+  struct DecodeConstants {
+    /// Weight version the constants were derived from.
+    uint64_t Version = 0;
     /// Per decoder layer: column-concatenated self-attention Wq|Wk|Wv
     /// ([D, 3D]) and Bq|Bk|Bv ([3D]) so one GEMM projects Q, K and V.
     std::vector<std::vector<float>> SelfQKVW;
@@ -77,6 +76,33 @@ public:
     /// streaming GEMM instead of a strided one.
     std::vector<float> EmbT;
   };
+
+  /// Immutable per-source encoder state: the encoder output, the
+  /// per-decoder-layer cross-attention K/V, and a reference to the shared
+  /// per-model decode constants. Computed once per source and shared (via
+  /// shared_ptr) by every beam decoding that source.
+  struct EncoderCache {
+    std::vector<float> EncOut;              ///< [Tsrc, D].
+    int TSrc = 0;
+    std::vector<std::vector<float>> CrossK; ///< Per layer, fixed [Tsrc,D].
+    std::vector<std::vector<float>> CrossV;
+    /// Shared model-level constants (weight-versioned, not per-source).
+    std::shared_ptr<const DecodeConstants> Consts;
+  };
+
+  /// Monotonic version of the weights. Anything that mutates parameters
+  /// in place (an optimizer step, an in-place weight load) must bump it so
+  /// cached decode constants are invalidated instead of silently decoding
+  /// with stale parameters. AdamW bumps it automatically when constructed
+  /// with a model pointer; serving and training must not overlap (weights
+  /// mutate in place), so no synchronization is needed on the counter.
+  uint64_t weightVersion() const { return WeightVersion; }
+  void bumpWeightVersion() { ++WeightVersion; }
+
+  /// Returns the shared decode constants for the current weight version,
+  /// rebuilding them only when the version changed since the last call.
+  /// Thread-safe: concurrent decode sessions share one copy.
+  std::shared_ptr<const DecodeConstants> decodeConstants() const;
 
   struct DecodeState {
     std::vector<float> EncOut;             ///< [Tsrc, D].
@@ -98,25 +124,43 @@ public:
   /// Feeds one token, returns the next-token logits [Vocab].
   std::vector<float> stepDecode(DecodeState &St, int Token) const;
 
-  /// Batched decode over B parallel hypotheses of one source. Self-K/V
-  /// rows are written once into a time-major [Cap, BMax, D] buffer per
-  /// layer; each beam addresses its history through an ancestry index
-  /// table, so survivor selection never moves cached K/V data — it only
-  /// gathers the (tiny) per-beam index rows. The encoder output and
-  /// cross-K/V are shared, never copied per beam.
+  /// Batched decode over B parallel hypotheses. Each row carries its own
+  /// encoder cache, so one state can fuse the beams of MANY sources into
+  /// one batch (the serving scheduler's cross-request batching): the
+  /// per-step GEMMs run over ALL rows, amortizing weight-matrix traffic
+  /// across requests, while the decode constants are the shared per-model
+  /// copy. Encoder output and cross-K/V are never copied per beam.
+  ///
+  /// Self-K/V layout: one SEGMENT per source, [Cap, KMax, D] time-major
+  /// within the segment. Keeping each source's K/V compact (instead of a
+  /// batch-wide [Cap, BMax, D] stride) preserves single-source attention
+  /// locality no matter how many requests are fused — with KMax = 1 the
+  /// segment is fully dense. Rows address their history through a
+  /// per-beam ancestry table of segment-local slots, so survivor
+  /// selection never moves cached K/V data — it only gathers the (tiny)
+  /// index rows. Rows of one source must stay CONTIGUOUS in row order
+  /// (beamSearchMulti guarantees this).
   struct BatchDecodeState {
-    std::shared_ptr<const EncoderCache> Enc;
-    int B = 0;    ///< Active beams (rows). Starts at 1 (the BOS beam).
+    /// Per-row encoder cache (rows of one source share the pointer).
+    std::vector<std::shared_ptr<const EncoderCache>> RowEnc;
+    /// Per-row source index: selects the row's self-K/V segment.
+    std::vector<uint16_t> RowSource;
+    std::shared_ptr<const DecodeConstants> Consts;
+    int B = 0;    ///< Active beams (rows).
     int BMax = 0; ///< Beam rows preallocated.
+    int KMax = 0; ///< Beam rows preallocated per source (segment width).
     int Cap = 0;  ///< Positions preallocated per beam.
     int Len = 0;  ///< Decoded positions so far (same for every beam).
+    int MaxTSrc = 0; ///< Longest source among the rows (scratch sizing).
     std::vector<std::vector<float>> SelfK; ///< Per layer [Cap*BMax*D].
     std::vector<std::vector<float>> SelfV;
-    /// Anc[b*Cap + t]: the slot holding beam b's K/V row for position t.
+    /// Anc[b*Cap + t]: the segment-local slot holding beam b's K/V row
+    /// for position t.
     std::vector<uint16_t> Anc;
     // Reused step scratch (sized at start).
     std::vector<float> X, Norm, QKV, AttnOut, Proj, FF1, Scores;
-    std::vector<uint16_t> AncScratch;
+    std::vector<uint16_t> AncScratch, RowSourceScratch;
+    std::vector<std::shared_ptr<const EncoderCache>> RowEncScratch;
   };
 
   /// Prepares a batched state sharing \p Enc with room for \p MaxBeams
@@ -124,8 +168,19 @@ public:
   /// beam (the BOS hypothesis); reorderBeams grows it up to MaxBeams.
   BatchDecodeState startDecodeBatch(std::shared_ptr<const EncoderCache> Enc,
                                     int MaxBeams, int MaxSteps) const;
+  /// Multi-source variant: one state fusing \p Encs.size() sources, one
+  /// initial BOS beam per source (row i belongs to source i), with room
+  /// for \p BeamsPerSource beams per source. All sources start decoding at
+  /// step 0 together; rows of finished sources are dropped by
+  /// reorderBeams.
+  BatchDecodeState startDecodeBatchMulti(
+      const std::vector<std::shared_ptr<const EncoderCache>> &Encs,
+      int BeamsPerSource, int MaxSteps) const;
   /// Feeds one token per active beam (Tokens.size() == B), returns logits
-  /// [B, Vocab] row-major.
+  /// [B, Vocab] row-major. Per-row results are bit-identical regardless
+  /// of which other rows share the batch (the GEMM kernels accumulate
+  /// each row in a fixed K-order), which is what makes cross-request
+  /// batching byte-deterministic.
   std::vector<float> stepDecodeBatch(BatchDecodeState &St,
                                      const std::vector<int> &Tokens) const;
   /// Survivor selection: beam row b of the new state is old row
@@ -171,6 +226,36 @@ private:
   LN EncFinal, DecFinal;
   mutable uint64_t DropRng = 0x5eed;
 
+  uint64_t WeightVersion = 1;
+  /// Model-level cache slot for the decode constants. Boxed behind a
+  /// shared_ptr so the Transformer stays movable (the box holds the
+  /// mutex) and sessions holding the old constants stay valid after an
+  /// invalidation. Copies and moves get a FRESH box: two models must
+  /// never alias one cache slot, or same-version-different-weights
+  /// collisions could decode with the other model's constants.
+  struct DecodeConstCache {
+    std::mutex Mu;
+    std::shared_ptr<const DecodeConstants> Cur;
+  };
+  struct DecodeConstCacheHandle {
+    std::shared_ptr<DecodeConstCache> Box =
+        std::make_shared<DecodeConstCache>();
+    DecodeConstCacheHandle() = default;
+    DecodeConstCacheHandle(const DecodeConstCacheHandle &)
+        : DecodeConstCacheHandle() {}
+    DecodeConstCacheHandle(DecodeConstCacheHandle &&) noexcept
+        : DecodeConstCacheHandle() {}
+    DecodeConstCacheHandle &operator=(const DecodeConstCacheHandle &) {
+      Box = std::make_shared<DecodeConstCache>(); // Weights changed owner.
+      return *this;
+    }
+    DecodeConstCacheHandle &operator=(DecodeConstCacheHandle &&) noexcept {
+      Box = std::make_shared<DecodeConstCache>();
+      return *this;
+    }
+  };
+  DecodeConstCacheHandle ConstCache;
+
   Mat *attention(Graph &G, Mat *XQ, Mat *XKV, Attn &P, bool Causal,
                  bool Train);
   Mat *encode(Graph &G, const std::vector<int> &Src, bool Train);
@@ -200,7 +285,11 @@ public:
     float ClipNorm = 1.0f;
   };
 
-  AdamW(std::vector<ParamRef> Params, const Config &Cfg);
+  /// \p Model, when given, is the transformer whose parameters are being
+  /// updated: each step() bumps its weight version so cached decode
+  /// constants are invalidated automatically.
+  AdamW(std::vector<ParamRef> Params, const Config &Cfg,
+        Transformer *Model = nullptr);
 
   /// Applies one update from the accumulated gradients, then zeroes them.
   void step();
@@ -209,6 +298,7 @@ public:
 private:
   std::vector<ParamRef> Params;
   Config Cfg;
+  Transformer *Model = nullptr; ///< Weight-version bump target (optional).
   std::vector<std::vector<float>> M1, M2;
   int Steps = 0;
 };

@@ -1,0 +1,203 @@
+//===- Jsonl.cpp - minimal JSONL corpus IO ------------------------------------===//
+
+#include "serve/Jsonl.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace slade;
+using namespace slade::serve;
+
+std::string slade::serve::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 8);
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
+}
+
+bool slade::serve::jsonUnescape(const std::string &S, std::string *Out) {
+  Out->clear();
+  Out->reserve(S.size());
+  for (size_t I = 0; I < S.size(); ++I) {
+    char C = S[I];
+    if (C != '\\') {
+      Out->push_back(C);
+      continue;
+    }
+    if (++I >= S.size())
+      return false;
+    switch (S[I]) {
+    case '"':
+      Out->push_back('"');
+      break;
+    case '\\':
+      Out->push_back('\\');
+      break;
+    case '/':
+      Out->push_back('/');
+      break;
+    case 'n':
+      Out->push_back('\n');
+      break;
+    case 'r':
+      Out->push_back('\r');
+      break;
+    case 't':
+      Out->push_back('\t');
+      break;
+    case 'b':
+      Out->push_back('\b');
+      break;
+    case 'f':
+      Out->push_back('\f');
+      break;
+    case 'u': {
+      auto Hex4 = [&S](size_t At, unsigned *Code) {
+        if (At + 4 > S.size())
+          return false;
+        *Code = 0;
+        for (size_t K = 0; K < 4; ++K) {
+          char H = S[At + K];
+          if (!std::isxdigit(static_cast<unsigned char>(H)))
+            return false;
+          *Code = *Code * 16 +
+                  static_cast<unsigned>(H <= '9' ? H - '0'
+                                                 : (H | 0x20) - 'a' + 10);
+        }
+        return true;
+      };
+      unsigned Code;
+      if (!Hex4(I + 1, &Code))
+        return false;
+      I += 4;
+      if (Code >= 0xD800 && Code <= 0xDBFF) {
+        // High surrogate: must pair with \uDC00-\uDFFF for one non-BMP
+        // code point (emitting the halves separately would be CESU-8).
+        unsigned Low;
+        if (I + 2 >= S.size() || S[I + 1] != '\\' || S[I + 2] != 'u' ||
+            !Hex4(I + 3, &Low) || Low < 0xDC00 || Low > 0xDFFF)
+          return false;
+        I += 6;
+        Code = 0x10000 + ((Code - 0xD800) << 10) + (Low - 0xDC00);
+      } else if (Code >= 0xDC00 && Code <= 0xDFFF) {
+        return false; // Unpaired low surrogate.
+      }
+      if (Code < 0x80) {
+        Out->push_back(static_cast<char>(Code));
+      } else if (Code < 0x800) {
+        Out->push_back(static_cast<char>(0xC0 | (Code >> 6)));
+        Out->push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+      } else if (Code < 0x10000) {
+        Out->push_back(static_cast<char>(0xE0 | (Code >> 12)));
+        Out->push_back(static_cast<char>(0x80 | ((Code >> 6) & 0x3F)));
+        Out->push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+      } else {
+        Out->push_back(static_cast<char>(0xF0 | (Code >> 18)));
+        Out->push_back(static_cast<char>(0x80 | ((Code >> 12) & 0x3F)));
+        Out->push_back(static_cast<char>(0x80 | ((Code >> 6) & 0x3F)));
+        Out->push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+      }
+      break;
+    }
+    default:
+      return false;
+    }
+  }
+  return true;
+}
+
+bool slade::serve::jsonStringField(const std::string &Line,
+                                   const std::string &Key,
+                                   std::string *Out) {
+  // Scan for "Key" at a key position (followed by optional space + ':').
+  std::string Needle = "\"" + Key + "\"";
+  size_t Pos = 0;
+  while ((Pos = Line.find(Needle, Pos)) != std::string::npos) {
+    size_t After = Pos + Needle.size();
+    while (After < Line.size() &&
+           std::isspace(static_cast<unsigned char>(Line[After])))
+      ++After;
+    if (After >= Line.size() || Line[After] != ':') {
+      Pos = After;
+      continue;
+    }
+    ++After;
+    while (After < Line.size() &&
+           std::isspace(static_cast<unsigned char>(Line[After])))
+      ++After;
+    if (After >= Line.size() || Line[After] != '"')
+      return false; // Present but not a string value.
+    // Find the closing unescaped quote.
+    size_t End = After + 1;
+    while (End < Line.size()) {
+      if (Line[End] == '\\') {
+        End += 2;
+        continue;
+      }
+      if (Line[End] == '"')
+        break;
+      ++End;
+    }
+    if (End >= Line.size())
+      return false;
+    return jsonUnescape(Line.substr(After + 1, End - After - 1), Out);
+  }
+  return false;
+}
+
+Expected<std::vector<CorpusEntry>>
+slade::serve::loadCorpusJsonl(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return Expected<std::vector<CorpusEntry>>::error("cannot open " + Path);
+  std::vector<CorpusEntry> Entries;
+  std::string Line;
+  size_t LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    CorpusEntry E;
+    if (!jsonStringField(Line, "name", &E.Name))
+      E.Name = "line" + std::to_string(LineNo);
+    bool HasAsm = jsonStringField(Line, "asm", &E.Asm);
+    bool HasFn = jsonStringField(Line, "function", &E.Function);
+    jsonStringField(Line, "context", &E.Context);
+    if (!HasAsm && !HasFn) {
+      std::ostringstream SS;
+      SS << Path << ":" << LineNo
+         << ": corpus line needs an \"asm\" or \"function\" string field";
+      return Expected<std::vector<CorpusEntry>>::error(SS.str());
+    }
+    Entries.push_back(std::move(E));
+  }
+  return Entries;
+}

@@ -1,0 +1,54 @@
+//===- Jsonl.h - minimal JSONL corpus IO ------------------------*- C++ -*-===//
+///
+/// \file
+/// Just enough JSON for the serving layer's corpus format: one flat
+/// object of string fields per line. No external dependency; escapes are
+/// handled both ways so round-tripping C source (quotes, newlines,
+/// backslashes) is lossless.
+///
+/// Corpus lines are either
+///   {"name": "f", "asm": "..."}                       raw translation job
+///   {"name": "f", "function": "...", "context": ""}   full pipeline job
+///                                    (compile -> decompile -> IO-verify)
+///
+//===----------------------------------------------------------------------===//
+#ifndef SLADE_SERVE_JSONL_H
+#define SLADE_SERVE_JSONL_H
+
+#include "support/Error.h"
+
+#include <string>
+#include <vector>
+
+namespace slade {
+namespace serve {
+
+/// Escapes \p S for use inside a JSON string literal.
+std::string jsonEscape(const std::string &S);
+
+/// Unescapes the body of a JSON string literal (no surrounding quotes).
+/// Returns false on a malformed escape. \\uXXXX is supported for the
+/// ASCII range; other code points are passed through verbatim.
+bool jsonUnescape(const std::string &S, std::string *Out);
+
+/// Extracts the string value of \p Key from a flat JSON object \p Line.
+/// Returns false when the key is absent or its value is not a string.
+bool jsonStringField(const std::string &Line, const std::string &Key,
+                     std::string *Out);
+
+/// One corpus entry; exactly one of Asm / Function is expected to be
+/// non-empty.
+struct CorpusEntry {
+  std::string Name;
+  std::string Asm;      ///< Raw translation job.
+  std::string Function; ///< Ground-truth C (full-pipeline job).
+  std::string Context;  ///< Calling context for Function.
+};
+
+/// Parses a JSONL corpus file (blank lines and #-comment lines ignored).
+Expected<std::vector<CorpusEntry>> loadCorpusJsonl(const std::string &Path);
+
+} // namespace serve
+} // namespace slade
+
+#endif // SLADE_SERVE_JSONL_H

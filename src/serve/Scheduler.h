@@ -1,0 +1,121 @@
+//===- Scheduler.h - concurrent decompile request scheduler -----*- C++ -*-===//
+///
+/// \file
+/// The serving layer: accepts N decompile jobs and runs the pipeline
+/// stages with the parallelism each one can actually use —
+///
+///   encode     per-source encoder passes through the shared EncoderLRU
+///              (repeated sources hit the cache), fanned out on the
+///              worker pool;
+///   decode     CROSS-REQUEST batched beam search: up to DecodeBatch
+///              sources' beams fused into one BatchDecodeState, so every
+///              per-step GEMM amortizes over all live requests — the
+///              throughput lever even on one core (see bench/README.md);
+///   verify     per-candidate compile + IO-execution fanned out on the
+///              worker pool, keeping the paper's "first IO-passing
+///              candidate in beam order" selection per job.
+///
+/// Results are deterministic and byte-identical to running the same jobs
+/// one at a time through Decompiler::decompile / translate: per-row decode
+/// results do not depend on batch composition (tested), every job's
+/// selection logic is the same code, and results land in request order.
+///
+//===----------------------------------------------------------------------===//
+#ifndef SLADE_SERVE_SCHEDULER_H
+#define SLADE_SERVE_SCHEDULER_H
+
+#include "core/Slade.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace slade {
+namespace serve {
+
+struct ServeOptions {
+  int BeamSize = 5; ///< Paper: k = 5.
+  int MaxLen = 220;
+  bool UseTypeInference = true;
+  /// Worker threads for the encode and verify fan-outs (0 = hardware
+  /// concurrency).
+  int Threads = 0;
+  /// Sources fused per batched decode session. Fusion amortizes per-step
+  /// weight-matrix streaming across requests, but every fused source adds
+  /// its cross-K/V working set (~ 2 * DecLayers * TSrc * DModel floats)
+  /// to the per-step cache footprint, so it only pays for narrow beams
+  /// over short sources (measured: ~1.2x at k=1/short, a loss at k=5 or
+  /// long sources — bench/README.md). 0 = AUTO: after encoding, fuse
+  /// exactly the jobs where it wins (BeamSize <= 2 and TSrc <=
+  /// ShortSrcTokens) and decode the rest per job. Safe because fusion
+  /// never changes results, only speed.
+  int DecodeBatch = 0;
+  /// Source-length bound for AUTO fusion.
+  int ShortSrcTokens = 96;
+  /// Set false to force per-job decode (no cross-request fusion),
+  /// overriding DecodeBatch — the measurable baseline.
+  bool BatchDecode = true;
+};
+
+/// A raw translation request: assembly text in, C hypothesis out.
+struct TranslateJob {
+  std::string Name;
+  std::string Asm;
+};
+
+struct TranslateResult {
+  std::string Name;
+  std::string CSource; ///< Top beam hypothesis (empty when none).
+};
+
+/// Aggregate counters for one scheduler run.
+struct ServeMetrics {
+  size_t Jobs = 0;
+  double EncodeSeconds = 0;
+  double DecodeSeconds = 0;
+  double VerifySeconds = 0;
+  double TotalSeconds = 0;
+  double FunctionsPerSec = 0;
+  uint64_t EncoderCacheHits = 0;
+  uint64_t EncoderCacheMisses = 0;
+  /// Jobs whose decode was satisfied by another identical job in the
+  /// same run (single-flight dedup).
+  size_t DecodesDeduped = 0;
+  /// Unique jobs decoded in cross-request fused batches.
+  size_t DecodesFused = 0;
+};
+
+class Scheduler {
+public:
+  Scheduler(const core::Decompiler &D, const ServeOptions &Opts);
+
+  /// Translates N assembly jobs (no compile/verify). Results are in job
+  /// order and byte-identical to N Decompiler::translate calls.
+  std::vector<TranslateResult>
+  translate(const std::vector<TranslateJob> &Jobs);
+
+  /// Runs the full pipeline (decode + type inference + compile +
+  /// IO-verify) over N prebuilt tasks. Results are in task order and
+  /// byte-identical to N sequential Decompiler::decompile calls.
+  std::vector<core::HypothesisOutcome>
+  decompileAll(const std::vector<core::EvalTask> &Tasks);
+
+  /// Counters from the most recent translate/decompileAll run.
+  const ServeMetrics &metrics() const { return M; }
+
+private:
+  /// Encode (through the LRU) + batched beam decode for all sources;
+  /// fills the encode/decode timing metrics.
+  std::vector<std::vector<nn::Hypothesis>>
+  decodeAll(const std::vector<std::vector<int>> &Srcs);
+
+  const core::Decompiler &D;
+  ServeOptions Opts;
+  ThreadPool Pool;
+  ServeMetrics M;
+};
+
+} // namespace serve
+} // namespace slade
+
+#endif // SLADE_SERVE_SCHEDULER_H

@@ -8,6 +8,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "nn/Beam.h"
+#include "nn/EncoderLRU.h"
 #include "nn/Mat.h"
 #include "nn/Transformer.h"
 #include "support/RNG.h"
@@ -441,6 +442,168 @@ TEST(Transformer, BatchedBeamMatchesSequentialAfterTraining) {
   }
   // The trained target must be the top hypothesis of both paths.
   EXPECT_EQ(Batched[0].Tokens, Tgt);
+}
+
+TEST(Transformer, DecodeConstantsSharedAcrossSources) {
+  // The fused QKV weights and transposed embedding depend only on the
+  // weights: every encoded source must borrow the same copy instead of
+  // rebuilding it per request.
+  Transformer Model(tinyConfig());
+  auto E1 = Model.encodeSource({4, 5, 6});
+  auto E2 = Model.encodeSource({9, 8, 7, 6});
+  ASSERT_NE(E1->Consts, nullptr);
+  EXPECT_EQ(E1->Consts.get(), E2->Consts.get());
+  EXPECT_EQ(E1->Consts->Version, Model.weightVersion());
+}
+
+TEST(Transformer, TrainStepRebuildsDecodeConstants) {
+  // An optimizer step bumps the weight version; the next decode must
+  // rebuild the constants from the new weights and still agree with the
+  // sequential path (which reads the raw weights directly) — a stale
+  // cache would diverge.
+  Transformer Model(tinyConfig());
+  std::vector<int> Src = {5, 6, 7, 8};
+  uint64_t V0 = Model.weightVersion();
+  auto Before = Model.encodeSource(Src);
+
+  AdamW::Config AC;
+  AC.LR = 1e-2f;
+  AC.WarmupSteps = 10;
+  AdamW Opt(Model.params(), AC, &Model);
+  std::vector<int> Tgt = {10, 11, 12};
+  for (int Step = 0; Step < 30; ++Step) {
+    Graph G;
+    Model.pairLoss(G, Src, Tgt, true);
+    G.backward();
+    Opt.step();
+  }
+  EXPECT_GT(Model.weightVersion(), V0);
+
+  auto After = Model.encodeSource(Src);
+  EXPECT_NE(Before->Consts.get(), After->Consts.get());
+  EXPECT_EQ(After->Consts->Version, Model.weightVersion());
+
+  // Cached-constants decode vs. the raw-weight sequential reference.
+  BeamConfig BC;
+  BC.BeamSize = 3;
+  BC.MaxLen = 10;
+  auto Batched = beamSearch(Model, Src, BC);
+  auto Sequential = beamSearchSequential(Model, Src, BC);
+  ASSERT_EQ(Batched.size(), Sequential.size());
+  for (size_t I = 0; I < Batched.size(); ++I) {
+    EXPECT_EQ(Batched[I].Tokens, Sequential[I].Tokens) << "hyp " << I;
+    EXPECT_NEAR(Batched[I].Score, Sequential[I].Score, 1e-4f);
+  }
+}
+
+TEST(Transformer, MultiSourceBeamMatchesSingleSourceExactly) {
+  // Cross-request batching must be invisible: fusing many sources into
+  // one decode session yields byte-identical hypotheses (tokens AND
+  // scores) to independent per-source searches, because per-row step
+  // results do not depend on the other rows in the batch.
+  Transformer Model(tinyConfig());
+  std::vector<std::vector<int>> Sources = {
+      {4, 5, 6}, {9, 8, 7, 6, 5}, {30, 2, 17, 21}, {3}, {12, 13},
+      {4, 5, 6} /* duplicate request */};
+  for (int K : {1, 3, 5}) {
+    BeamConfig BC;
+    BC.BeamSize = K;
+    BC.MaxLen = 14;
+    std::vector<std::shared_ptr<const Transformer::EncoderCache>> Encs;
+    for (const auto &Src : Sources)
+      Encs.push_back(Model.encodeSource(Src));
+    auto Multi = beamSearchMulti(Model, Encs, BC);
+    ASSERT_EQ(Multi.size(), Sources.size());
+    for (size_t S = 0; S < Sources.size(); ++S) {
+      auto Single = beamSearch(Model, Sources[S], BC);
+      ASSERT_EQ(Multi[S].size(), Single.size()) << "k=" << K << " src " << S;
+      for (size_t I = 0; I < Single.size(); ++I) {
+        EXPECT_EQ(Multi[S][I].Tokens, Single[I].Tokens)
+            << "k=" << K << " src " << S << " hyp " << I;
+        // Bit-exact, not just close: the serving layer's determinism
+        // guarantee rests on this.
+        EXPECT_EQ(Multi[S][I].Score, Single[I].Score)
+            << "k=" << K << " src " << S << " hyp " << I;
+      }
+    }
+  }
+}
+
+TEST(Transformer, MultiSourceBeamAfterTrainingMatchesExactly) {
+  // Trained model: peaked distributions end sources at different steps,
+  // exercising batch shrink + mixed-length cross attention.
+  Transformer Model(tinyConfig());
+  AdamW::Config AC;
+  AC.LR = 1e-2f;
+  AC.WarmupSteps = 10;
+  AdamW Opt(Model.params(), AC, &Model);
+  std::vector<int> Src = {5, 6, 7, 8};
+  std::vector<int> Tgt = {10, 11, 12};
+  for (int StepI = 0; StepI < 60; ++StepI) {
+    Graph G;
+    Model.pairLoss(G, Src, Tgt, true);
+    G.backward();
+    Opt.step();
+  }
+  std::vector<std::vector<int>> Sources = {
+      Src, {9, 8, 7}, {5, 6, 7, 8, 9, 10}, Src};
+  BeamConfig BC;
+  BC.BeamSize = 5;
+  BC.MaxLen = 12;
+  std::vector<std::shared_ptr<const Transformer::EncoderCache>> Encs;
+  for (const auto &S : Sources)
+    Encs.push_back(Model.encodeSource(S));
+  auto Multi = beamSearchMulti(Model, Encs, BC);
+  for (size_t S = 0; S < Sources.size(); ++S) {
+    auto Single = beamSearch(Model, Sources[S], BC);
+    ASSERT_EQ(Multi[S].size(), Single.size()) << "src " << S;
+    for (size_t I = 0; I < Single.size(); ++I) {
+      EXPECT_EQ(Multi[S][I].Tokens, Single[I].Tokens)
+          << "src " << S << " hyp " << I;
+      EXPECT_EQ(Multi[S][I].Score, Single[I].Score)
+          << "src " << S << " hyp " << I;
+    }
+  }
+}
+
+TEST(EncoderLRU, HitsShareOneCacheAndEvictionKeepsResultsIdentical) {
+  Transformer Model(tinyConfig());
+  EncoderLRU Cache(/*Capacity=*/2);
+  std::vector<int> A = {4, 5, 6}, B = {7, 8}, C = {9, 10, 11};
+
+  auto EA = Cache.get(Model, A);
+  EXPECT_EQ(Cache.get(Model, A).get(), EA.get()) << "hit shares the object";
+  EXPECT_EQ(Cache.stats().Hits, 1u);
+  EXPECT_EQ(Cache.stats().Misses, 1u);
+
+  // Fill past capacity: A becomes the LRU victim.
+  Cache.get(Model, B);
+  Cache.get(Model, C);
+  EXPECT_EQ(Cache.size(), 2u);
+  EXPECT_GE(Cache.stats().Evictions, 1u);
+
+  // Re-encoding the evicted source must give identical results.
+  BeamConfig BC;
+  BC.BeamSize = 3;
+  BC.MaxLen = 10;
+  auto FromCache = beamSearch(Model, Cache.get(Model, A), BC);
+  auto Fresh = beamSearch(Model, A, BC);
+  ASSERT_EQ(FromCache.size(), Fresh.size());
+  for (size_t I = 0; I < Fresh.size(); ++I) {
+    EXPECT_EQ(FromCache[I].Tokens, Fresh[I].Tokens);
+    EXPECT_EQ(FromCache[I].Score, Fresh[I].Score);
+  }
+}
+
+TEST(EncoderLRU, WeightVersionChangeMisses) {
+  Transformer Model(tinyConfig());
+  EncoderLRU Cache(8);
+  std::vector<int> Src = {4, 5, 6};
+  auto Before = Cache.get(Model, Src);
+  Model.bumpWeightVersion();
+  auto After = Cache.get(Model, Src);
+  EXPECT_NE(Before.get(), After.get()) << "stale entry must not match";
+  EXPECT_EQ(Cache.stats().Misses, 2u);
 }
 
 TEST(Transformer, BeamReturnsSortedHypotheses) {

@@ -1,0 +1,219 @@
+//===- test_serve.cpp - serving layer tests ------------------------------------===//
+//
+// The serving layer's contract is determinism: a batch of N jobs through
+// the scheduler (fused decode, dedup, worker pool) must produce
+// byte-identical per-job results to running the same jobs one at a time
+// through the Decompiler. Plus JSONL corpus IO round-trips.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Eval.h"
+#include "serve/Jsonl.h"
+#include "serve/Scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+using namespace slade;
+
+namespace {
+
+// -- JSONL -------------------------------------------------------------------
+
+TEST(Jsonl, EscapeRoundTripsHostileStrings) {
+  const std::string Cases[] = {
+      "",
+      "plain",
+      "int f(char *s) { return s[0] == '\\n'; }",
+      "quote \" backslash \\ tab \t newline \n cr \r",
+      std::string("embedded\x01control\x1f"),
+  };
+  for (const std::string &S : Cases) {
+    std::string Back;
+    ASSERT_TRUE(serve::jsonUnescape(serve::jsonEscape(S), &Back));
+    EXPECT_EQ(Back, S);
+  }
+}
+
+TEST(Jsonl, UnicodeEscapesIncludingSurrogatePairs) {
+  std::string Out;
+  ASSERT_TRUE(serve::jsonUnescape("\\u0041\\u00e9\\u2581", &Out));
+  EXPECT_EQ(Out, "A\xc3\xa9\xe2\x96\x81");
+  // Non-BMP code point arrives as a surrogate pair from standard JSON
+  // encoders and must decode to 4-byte UTF-8, not CESU-8 halves.
+  ASSERT_TRUE(serve::jsonUnescape("\\ud83d\\ude00", &Out));
+  EXPECT_EQ(Out, "\xf0\x9f\x98\x80");
+  EXPECT_FALSE(serve::jsonUnescape("\\ud83d", &Out)) << "unpaired high";
+  EXPECT_FALSE(serve::jsonUnescape("\\ude00", &Out)) << "unpaired low";
+}
+
+TEST(Jsonl, StringFieldExtraction) {
+  std::string Line = "{\"name\": \"f1\", \"asm\": \"mov\\neax\", "
+                     "\"n\": 3, \"context\": \"\"}";
+  std::string V;
+  ASSERT_TRUE(serve::jsonStringField(Line, "name", &V));
+  EXPECT_EQ(V, "f1");
+  ASSERT_TRUE(serve::jsonStringField(Line, "asm", &V));
+  EXPECT_EQ(V, "mov\neax");
+  ASSERT_TRUE(serve::jsonStringField(Line, "context", &V));
+  EXPECT_EQ(V, "");
+  EXPECT_FALSE(serve::jsonStringField(Line, "n", &V)) << "not a string";
+  EXPECT_FALSE(serve::jsonStringField(Line, "missing", &V));
+}
+
+TEST(Jsonl, CorpusLoadClassifiesJobs) {
+  std::string Path = testing::TempDir() + "slade_serve_corpus.jsonl";
+  {
+    std::ofstream Out(Path);
+    Out << "# comment\n";
+    Out << "{\"name\": \"a\", \"asm\": \"mov eax, 1\"}\n";
+    Out << "\n";
+    Out << "{\"name\": \"b\", \"function\": \"int b(void) { return 2; }\", "
+           "\"context\": \"\"}\n";
+  }
+  auto Entries = serve::loadCorpusJsonl(Path);
+  ASSERT_TRUE(Entries.hasValue()) << Entries.errorMessage();
+  ASSERT_EQ(Entries->size(), 2u);
+  EXPECT_EQ((*Entries)[0].Name, "a");
+  EXPECT_FALSE((*Entries)[0].Asm.empty());
+  EXPECT_TRUE((*Entries)[0].Function.empty());
+  EXPECT_EQ((*Entries)[1].Name, "b");
+  EXPECT_FALSE((*Entries)[1].Function.empty());
+  std::remove(Path.c_str());
+}
+
+TEST(Jsonl, CorpusLoadRejectsJobsWithoutPayload) {
+  std::string Path = testing::TempDir() + "slade_serve_bad.jsonl";
+  {
+    std::ofstream Out(Path);
+    Out << "{\"name\": \"a\"}\n";
+  }
+  auto Entries = serve::loadCorpusJsonl(Path);
+  EXPECT_FALSE(Entries.hasValue());
+  std::remove(Path.c_str());
+}
+
+// -- scheduler determinism ---------------------------------------------------
+
+/// A small deployable system: tokenizer trained on the demo corpus, model
+/// left untrained (decoding still runs the full stack and is perfectly
+/// deterministic, which is all these tests need).
+core::TrainedSystem tinySystem(const std::vector<core::TrainPair> &Pairs) {
+  core::TrainConfig TC;
+  TC.Steps = 0; // Tokenizer only; weights stay at init.
+  TC.VocabSize = 200;
+  TC.DModel = 32;
+  TC.NHeads = 2;
+  TC.FF = 48;
+  TC.EncLayers = 1;
+  TC.DecLayers = 1;
+  TC.Verbose = false;
+  return core::trainSystem(Pairs, TC);
+}
+
+struct ServeFixture {
+  std::vector<core::EvalTask> Tasks;
+  std::unique_ptr<core::Decompiler> Slade;
+
+  explicit ServeFixture(size_t N) {
+    dataset::Corpus Corpus =
+        dataset::buildCorpus(dataset::Suite::ExeBench, 8, N, /*Seed=*/99);
+    Tasks = core::buildTasks(Corpus.Test, asmx::Dialect::X86,
+                             /*Optimize=*/false);
+    std::vector<core::TrainPair> Pairs = core::buildTrainPairs(
+        Corpus.Train, asmx::Dialect::X86, /*Optimize=*/false);
+    core::TrainedSystem Sys = tinySystem(Pairs);
+    Slade = std::make_unique<core::Decompiler>(std::move(Sys.Tok),
+                                               std::move(Sys.Model));
+  }
+};
+
+void expectSameOutcome(const core::HypothesisOutcome &A,
+                       const core::HypothesisOutcome &B, size_t I) {
+  EXPECT_EQ(A.CSource, B.CSource) << "job " << I;
+  EXPECT_EQ(A.Produced, B.Produced) << "job " << I;
+  EXPECT_EQ(A.Compiles, B.Compiles) << "job " << I;
+  EXPECT_EQ(A.IOCorrect, B.IOCorrect) << "job " << I;
+  EXPECT_EQ(A.EditSim, B.EditSim) << "job " << I;
+}
+
+TEST(Scheduler, ConcurrentDecompileMatchesSequentialByteForByte) {
+  ServeFixture F(6);
+  ASSERT_GE(F.Tasks.size(), 3u) << "demo corpus unexpectedly rejected";
+  // Duplicate a task: dedup must not change its result.
+  F.Tasks.push_back(F.Tasks.front());
+
+  serve::ServeOptions SO;
+  SO.BeamSize = 3;
+  SO.MaxLen = 48;
+  SO.Threads = 4;
+  serve::Scheduler Sched(*F.Slade, SO);
+  std::vector<core::HypothesisOutcome> Served = Sched.decompileAll(F.Tasks);
+  ASSERT_EQ(Served.size(), F.Tasks.size());
+  EXPECT_EQ(Sched.metrics().Jobs, F.Tasks.size());
+  EXPECT_GE(Sched.metrics().DecodesDeduped, 1u);
+
+  core::Decompiler::Options DO;
+  DO.BeamSize = SO.BeamSize;
+  DO.MaxLen = SO.MaxLen;
+  DO.VerifyThreads = 1;
+  for (size_t I = 0; I < F.Tasks.size(); ++I)
+    expectSameOutcome(Served[I], F.Slade->decompile(F.Tasks[I], DO), I);
+}
+
+TEST(Scheduler, FusedAndUnfusedDecodeAgree) {
+  ServeFixture F(5);
+  ASSERT_GE(F.Tasks.size(), 3u);
+
+  std::vector<serve::TranslateJob> Jobs;
+  for (const core::EvalTask &T : F.Tasks)
+    Jobs.push_back({T.Name, T.Prog.TargetAsm});
+
+  serve::ServeOptions Fused;
+  Fused.BeamSize = 2; // Narrow beams: the fusable regime.
+  Fused.MaxLen = 40;
+  Fused.DecodeBatch = 4; // Force cross-request fusion.
+  serve::Scheduler SFused(*F.Slade, Fused);
+  auto RF = SFused.translate(Jobs);
+  EXPECT_GE(SFused.metrics().DecodesFused, 2u);
+
+  serve::ServeOptions Plain = Fused;
+  Plain.BatchDecode = false; // Per-job decode.
+  serve::Scheduler SPlain(*F.Slade, Plain);
+  auto RP = SPlain.translate(Jobs);
+
+  ASSERT_EQ(RF.size(), RP.size());
+  for (size_t I = 0; I < RF.size(); ++I) {
+    EXPECT_EQ(RF[I].Name, RP[I].Name);
+    EXPECT_EQ(RF[I].CSource, RP[I].CSource) << "job " << I;
+  }
+  // And both match the plain Decompiler entry point.
+  for (size_t I = 0; I < Jobs.size(); ++I)
+    EXPECT_EQ(RF[I].CSource, F.Slade->translate(Jobs[I].Asm, Fused.BeamSize,
+                                                Fused.MaxLen))
+        << "job " << I;
+}
+
+TEST(Scheduler, RepeatedRunsHitTheEncoderCache) {
+  ServeFixture F(4);
+  ASSERT_GE(F.Tasks.size(), 2u);
+  std::vector<serve::TranslateJob> Jobs;
+  for (const core::EvalTask &T : F.Tasks)
+    Jobs.push_back({T.Name, T.Prog.TargetAsm});
+
+  serve::ServeOptions SO;
+  SO.BeamSize = 2;
+  SO.MaxLen = 32;
+  serve::Scheduler Sched(*F.Slade, SO);
+  auto First = Sched.translate(Jobs);
+  EXPECT_EQ(Sched.metrics().EncoderCacheHits, 0u);
+  auto Second = Sched.translate(Jobs); // Same traffic again.
+  EXPECT_EQ(Sched.metrics().EncoderCacheMisses, 0u)
+      << "second run must be all hits";
+  for (size_t I = 0; I < First.size(); ++I)
+    EXPECT_EQ(First[I].CSource, Second[I].CSource);
+}
+
+} // namespace

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# check-docs.sh - documentation gate.
+#
+# 1. Dead-link check: every relative link in README.md, docs/*.md and
+#    bench/README.md must resolve to an existing file.
+# 2. Snippet compile check: every ```cpp fence in docs/*.md is extracted
+#    to ${BUILD_DIR}/docs-snippets/ and built against slade_core via
+#    cmake --build (-DSLADE_DOCS_SNIPPETS=ON), so the documented API
+#    cannot drift from the code.
+#
+# Usage: tools/check-docs.sh [build-dir]   (default: build)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-build}"
+case "$BUILD_DIR" in
+  /*) ;;
+  *) BUILD_DIR="$ROOT/$BUILD_DIR" ;;
+esac
+
+# -- 1. relative-link check ---------------------------------------------------
+echo "== link check =="
+FAIL=0
+DOCS=("$ROOT/README.md")
+while IFS= read -r F; do DOCS+=("$F"); done \
+  < <(find "$ROOT/docs" "$ROOT/bench" -name '*.md' 2>/dev/null)
+for DOC in "${DOCS[@]}"; do
+  DIR="$(dirname "$DOC")"
+  # Markdown links: [text](target); skip absolute URLs and pure anchors.
+  while IFS= read -r TARGET; do
+    TARGET="${TARGET%%#*}"            # strip anchor
+    [ -z "$TARGET" ] && continue
+    case "$TARGET" in
+      http://*|https://*|mailto:*) continue ;;
+    esac
+    if [ ! -e "$DIR/$TARGET" ]; then
+      echo "DEAD LINK: $DOC -> $TARGET"
+      FAIL=1
+    fi
+  done < <(grep -oE '\]\([^)[:space:]]+\)' "$DOC" | sed 's/^](//; s/)$//')
+done
+if [ "$FAIL" -eq 0 ]; then
+  echo "links OK"
+fi
+
+# -- 2. snippet extraction ----------------------------------------------------
+echo "== snippet extraction =="
+SNIPPET_DIR="$BUILD_DIR/docs-snippets"
+rm -rf "$SNIPPET_DIR"
+mkdir -p "$SNIPPET_DIR"
+for DOC in "$ROOT"/docs/*.md; do
+  BASE="$(basename "$DOC" .md | tr 'A-Z' 'a-z')"
+  awk -v out="$SNIPPET_DIR" -v base="$BASE" '
+    /^```cpp$/ { inblock = 1; n++;
+                 file = sprintf("%s/%s_%02d.cpp", out, base, n); next }
+    /^```/     { inblock = 0; next }
+    inblock    { print > file }
+  ' "$DOC"
+done
+COUNT="$(ls "$SNIPPET_DIR"/*.cpp 2>/dev/null | wc -l)"
+echo "extracted $COUNT snippet(s)"
+if [ "$COUNT" -eq 0 ]; then
+  echo "ERROR: no cpp snippets found in docs/ (docs gone stale?)"
+  exit 1
+fi
+
+# -- 3. compile snippets against the library ----------------------------------
+echo "== snippet build =="
+cmake -B "$BUILD_DIR" -S "$ROOT" -DSLADE_DOCS_SNIPPETS=ON >/dev/null
+cmake --build "$BUILD_DIR" --target docs_snippets -j "$(nproc)"
+echo "snippets OK"
+
+exit "$FAIL"

@@ -1,0 +1,428 @@
+//===- slade-serve.cpp - concurrent decompile serving front end ---------------===//
+//
+// Serves decompile jobs through the serve::Scheduler: encoder-LRU-cached
+// encodes, cross-request batched beam decode, and pooled IO-verification.
+// Consumes a JSONL corpus, a list of .s files, or a generated demo corpus,
+// and emits per-function JSONL results plus aggregate metrics
+// (functions/sec, cache hit rate).
+//
+// Run: ./build/slade-serve --demo 24 --check
+//      ./build/slade-serve --corpus jobs.jsonl --out results.jsonl
+//      ./build/slade-serve fn1.s fn2.s ...
+//
+// Corpus lines: {"name": "f", "asm": "..."}            translate only
+//               {"name": "f", "function": "...",
+//                "context": "..."}                     compile + IO-verify
+//
+// Without a trained checkpoint (tools/slade-train), a small throwaway
+// system is trained in-process so the tool works out of the box; override
+// with SLADE_SERVE_TRAIN_STEPS / SLADE_SERVE_TRAIN_SAMPLES.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Eval.h"
+#include "core/Trainer.h"
+#include "serve/Jsonl.h"
+#include "serve/Scheduler.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace slade;
+
+namespace {
+
+int envInt(const char *Name, int Default) {
+  const char *V = std::getenv(Name);
+  return V && *V ? std::atoi(V) : Default;
+}
+
+struct CliOptions {
+  asmx::Dialect D = asmx::Dialect::X86;
+  bool Optimize = false;
+  serve::ServeOptions Serve;
+  std::string CorpusPath;
+  std::vector<std::string> AsmFiles;
+  int DemoN = 0;
+  int DemoDup = 1; ///< Requests per demo function (duplicate traffic).
+  bool Sequential = false; ///< Baseline: one Decompiler call per job.
+  bool Check = false;      ///< Run batched AND sequential, compare.
+  std::string OutPath;
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: slade-serve [options] [file.s ...]\n"
+      "  --isa x86|arm        model/compile ISA (default x86)\n"
+      "  --opt O0|O3          optimization level (default O0)\n"
+      "  --corpus FILE        JSONL corpus of jobs\n"
+      "  --demo N             generate an N-function benchmark corpus\n"
+      "  --dup F              repeat each demo function F times (models\n"
+      "                       duplicate-heavy serving traffic; default 1)\n"
+      "  --beam K             beam size (default 5)\n"
+      "  --maxlen N           max decoded tokens (default 220)\n"
+      "  --threads N          worker threads, 0 = hardware (default)\n"
+      "  --decode-batch N     sources fused per decode batch (default 0 =\n"
+      "                       auto: fuse only narrow-beam/short-source\n"
+      "                       jobs, where fusion measures faster)\n"
+      "  --no-batch           disable cross-request decode batching\n"
+      "  --no-typeinf         disable type inference\n"
+      "  --sequential         baseline: sequential Decompiler calls\n"
+      "  --check              run batched AND sequential, compare outputs\n"
+      "  --out FILE           write per-function results JSONL\n");
+}
+
+bool parseArgs(int argc, char **argv, CliOptions *O) {
+  for (int I = 1; I < argc; ++I) {
+    std::string A = argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < argc ? argv[++I] : nullptr;
+    };
+    if (A == "--isa") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O->D = std::strcmp(V, "arm") == 0 ? asmx::Dialect::Arm
+                                        : asmx::Dialect::X86;
+    } else if (A == "--opt") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O->Optimize = std::strcmp(V, "O3") == 0;
+    } else if (A == "--corpus") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O->CorpusPath = V;
+    } else if (A == "--demo") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O->DemoN = std::atoi(V);
+    } else if (A == "--dup") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O->DemoDup = std::max(1, std::atoi(V));
+    } else if (A == "--beam") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O->Serve.BeamSize = std::atoi(V);
+    } else if (A == "--maxlen") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O->Serve.MaxLen = std::atoi(V);
+    } else if (A == "--threads") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O->Serve.Threads = std::atoi(V);
+    } else if (A == "--decode-batch") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O->Serve.DecodeBatch = std::atoi(V);
+    } else if (A == "--no-batch") {
+      O->Serve.BatchDecode = false;
+    } else if (A == "--no-typeinf") {
+      O->Serve.UseTypeInference = false;
+    } else if (A == "--sequential") {
+      O->Sequential = true;
+    } else if (A == "--check") {
+      O->Check = true;
+    } else if (A == "--out") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O->OutPath = V;
+    } else if (A == "--help" || A == "-h") {
+      usage();
+      std::exit(0);
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "error: unknown option %s\n", A.c_str());
+      return false;
+    } else {
+      O->AsmFiles.push_back(A);
+    }
+  }
+  return true;
+}
+
+/// Loads the trained checkpoint for the configuration, or trains a small
+/// throwaway system so the tool is usable without tools/slade-train.
+core::TrainedSystem loadOrTrain(const CliOptions &O) {
+  std::string Name = core::systemName("slade", O.D, O.Optimize);
+  auto Sys = core::loadSystem(core::checkpointDir(), Name);
+  if (Sys)
+    return std::move(*Sys);
+  std::fprintf(stderr,
+               "[serve] no checkpoint %s (%s); training a throwaway "
+               "system (run tools/slade-train for the real zoo)\n",
+               Name.c_str(), Sys.errorMessage().c_str());
+  int Samples = envInt("SLADE_SERVE_TRAIN_SAMPLES", 400);
+  int Steps = envInt("SLADE_SERVE_TRAIN_STEPS", 120);
+  dataset::Corpus Corpus = dataset::buildCorpus(
+      dataset::Suite::ExeBench, static_cast<size_t>(Samples), 0,
+      /*Seed=*/20240101);
+  core::TrainConfig TC;
+  TC.D = O.D;
+  TC.Optimize = O.Optimize;
+  TC.Steps = Steps;
+  TC.Verbose = false;
+  return core::trainSystem(
+      core::buildTrainPairs(Corpus.Train, O.D, O.Optimize), TC);
+}
+
+std::string outcomeJson(const std::string &Name,
+                        const core::HypothesisOutcome &Out) {
+  std::ostringstream SS;
+  SS << "{\"name\": \"" << serve::jsonEscape(Name) << "\""
+     << ", \"produced\": " << (Out.Produced ? "true" : "false")
+     << ", \"compiles\": " << (Out.Compiles ? "true" : "false")
+     << ", \"io_correct\": " << (Out.IOCorrect ? "true" : "false")
+     << ", \"typeinf\": " << (Out.UsedTypeInference ? "true" : "false")
+     << ", \"edit_sim\": " << Out.EditSim << ", \"c\": \""
+     << serve::jsonEscape(Out.CSource) << "\"}";
+  return SS.str();
+}
+
+void printMetrics(const char *Label, const serve::ServeMetrics &M) {
+  std::fprintf(stderr,
+               "[%s] %zu functions in %.3fs = %.2f fn/s (encode %.3fs, "
+               "decode %.3fs, verify %.3fs; %zu deduped, %zu fused, "
+               "encoder cache %llu hits / %llu misses)\n",
+               Label, M.Jobs, M.TotalSeconds, M.FunctionsPerSec,
+               M.EncodeSeconds, M.DecodeSeconds, M.VerifySeconds,
+               M.DecodesDeduped, M.DecodesFused,
+               static_cast<unsigned long long>(M.EncoderCacheHits),
+               static_cast<unsigned long long>(M.EncoderCacheMisses));
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  CliOptions O;
+  if (!parseArgs(argc, argv, &O)) {
+    usage();
+    return 1;
+  }
+  if (O.CorpusPath.empty() && O.AsmFiles.empty() && O.DemoN <= 0) {
+    usage();
+    return 1;
+  }
+
+  // -- assemble the job list --------------------------------------------------
+  std::vector<serve::TranslateJob> AsmJobs;
+  std::vector<core::EvalTask> Tasks; // Verified (function+context) jobs.
+
+  if (O.DemoN > 0) {
+    std::fprintf(stderr, "[serve] generating %d demo functions...\n",
+                 O.DemoN);
+    dataset::Corpus Corpus = dataset::buildCorpus(
+        dataset::Suite::ExeBench, 0, static_cast<size_t>(O.DemoN),
+        /*Seed=*/20240202);
+    Tasks = core::buildTasks(Corpus.Test, O.D, O.Optimize);
+    if (O.DemoDup > 1) {
+      // Duplicate-heavy traffic: every function is requested F times, as
+      // when the same routine recurs across submitted binaries.
+      std::vector<core::EvalTask> Dup;
+      Dup.reserve(Tasks.size() * static_cast<size_t>(O.DemoDup));
+      for (int R = 0; R < O.DemoDup; ++R)
+        for (const core::EvalTask &T : Tasks) {
+          Dup.push_back(T);
+          Dup.back().Name += "#" + std::to_string(R);
+        }
+      Tasks = std::move(Dup);
+    }
+  }
+  if (!O.CorpusPath.empty()) {
+    auto Entries = serve::loadCorpusJsonl(O.CorpusPath);
+    if (!Entries) {
+      std::fprintf(stderr, "error: %s\n", Entries.errorMessage().c_str());
+      return 1;
+    }
+    std::vector<dataset::Sample> FnSamples;
+    for (serve::CorpusEntry &E : *Entries) {
+      if (!E.Asm.empty()) {
+        AsmJobs.push_back({E.Name, E.Asm});
+        continue;
+      }
+      dataset::Sample S;
+      S.Name = E.Name;
+      S.FunctionSource = E.Function;
+      S.ContextSource = E.Context;
+      S.Category = "corpus";
+      FnSamples.push_back(std::move(S));
+    }
+    std::vector<core::EvalTask> FnTasks =
+        core::buildTasks(FnSamples, O.D, O.Optimize);
+    if (FnTasks.size() < FnSamples.size())
+      std::fprintf(stderr,
+                   "[serve] %zu corpus function(s) rejected by the "
+                   "compiler and skipped\n",
+                   FnSamples.size() - FnTasks.size());
+    for (core::EvalTask &T : FnTasks)
+      Tasks.push_back(std::move(T));
+  }
+  for (const std::string &Path : O.AsmFiles) {
+    std::ifstream In(Path);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
+      return 1;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    AsmJobs.push_back({Path, SS.str()});
+  }
+  if (AsmJobs.empty() && Tasks.empty()) {
+    std::fprintf(stderr, "error: no servable jobs\n");
+    return 1;
+  }
+
+  // -- model ------------------------------------------------------------------
+  core::TrainedSystem Sys = loadOrTrain(O);
+  core::Decompiler Slade(std::move(Sys.Tok), std::move(Sys.Model));
+  serve::Scheduler Sched(Slade, O.Serve);
+
+  std::ofstream OutFile;
+  if (!O.OutPath.empty()) {
+    OutFile.open(O.OutPath);
+    if (!OutFile) {
+      std::fprintf(stderr, "error: cannot write %s\n", O.OutPath.c_str());
+      return 1;
+    }
+  }
+  std::ostream &Results = OutFile.is_open()
+                              ? static_cast<std::ostream &>(OutFile)
+                              : std::cout;
+
+  int ExitCode = 0;
+
+  // -- verified (full pipeline) jobs ------------------------------------------
+  if (!Tasks.empty()) {
+    std::vector<core::HypothesisOutcome> Served;
+    if (!O.Sequential || O.Check)
+      Served = Sched.decompileAll(Tasks);
+    serve::ServeMetrics ServedM = Sched.metrics();
+    if (!O.Sequential || O.Check)
+      printMetrics("serve", ServedM);
+
+    if (O.Sequential || O.Check) {
+      // Baseline: the pre-serving behavior — one Decompiler::decompile
+      // call per task, candidates verified sequentially.
+      core::Decompiler::Options DOpts;
+      DOpts.BeamSize = O.Serve.BeamSize;
+      DOpts.MaxLen = O.Serve.MaxLen;
+      DOpts.UseTypeInference = O.Serve.UseTypeInference;
+      DOpts.VerifyThreads = 1;
+      // Cold-for-cold comparison: the serve run encoded every source
+      // already, so drop the cache or the baseline would skip its whole
+      // encode phase.
+      Slade.clearEncoderCache();
+      auto T0 = std::chrono::steady_clock::now();
+      std::vector<core::HypothesisOutcome> Seq;
+      Seq.reserve(Tasks.size());
+      for (const core::EvalTask &T : Tasks)
+        Seq.push_back(Slade.decompile(T, DOpts));
+      double Secs =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        T0)
+              .count();
+      std::fprintf(stderr,
+                   "[sequential] %zu functions in %.3fs = %.2f fn/s\n",
+                   Tasks.size(), Secs,
+                   static_cast<double>(Tasks.size()) / Secs);
+      if (O.Check) {
+        size_t Mismatches = 0;
+        for (size_t I = 0; I < Tasks.size(); ++I)
+          if (Served[I].CSource != Seq[I].CSource ||
+              Served[I].IOCorrect != Seq[I].IOCorrect)
+            ++Mismatches;
+        std::fprintf(stderr,
+                     "[check] %zu/%zu byte-identical outputs; speedup "
+                     "%.2fx\n",
+                     Tasks.size() - Mismatches, Tasks.size(),
+                     Secs / ServedM.TotalSeconds);
+        if (Mismatches) {
+          std::fprintf(stderr, "error: served != sequential outputs\n");
+          ExitCode = 1;
+        }
+      }
+      if (O.Sequential && !O.Check)
+        Served = std::move(Seq);
+    }
+
+    size_t IOCorrect = 0, Compiles = 0;
+    for (size_t I = 0; I < Tasks.size(); ++I) {
+      Results << outcomeJson(Tasks[I].Name, Served[I]) << "\n";
+      IOCorrect += Served[I].IOCorrect;
+      Compiles += Served[I].Compiles;
+    }
+    std::fprintf(stderr,
+                 "[serve] IO-correct %zu/%zu (%.1f%%), compiles %zu/%zu\n",
+                 IOCorrect, Tasks.size(),
+                 100.0 * static_cast<double>(IOCorrect) /
+                     static_cast<double>(Tasks.size()),
+                 Compiles, Tasks.size());
+  }
+
+  // -- raw translation jobs ----------------------------------------------------
+  if (!AsmJobs.empty()) {
+    std::vector<serve::TranslateResult> Served;
+    if (!O.Sequential || O.Check)
+      Served = Sched.translate(AsmJobs);
+    serve::ServeMetrics ServedM = Sched.metrics();
+    if (!O.Sequential || O.Check)
+      printMetrics("serve", ServedM);
+
+    if (O.Sequential || O.Check) {
+      Slade.clearEncoderCache(); // Cold-for-cold, as above.
+      auto T0 = std::chrono::steady_clock::now();
+      std::vector<serve::TranslateResult> Seq(AsmJobs.size());
+      for (size_t I = 0; I < AsmJobs.size(); ++I) {
+        Seq[I].Name = AsmJobs[I].Name;
+        Seq[I].CSource = Slade.translate(AsmJobs[I].Asm, O.Serve.BeamSize,
+                                         O.Serve.MaxLen);
+      }
+      double Secs =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        T0)
+              .count();
+      std::fprintf(stderr,
+                   "[sequential] %zu functions in %.3fs = %.2f fn/s\n",
+                   AsmJobs.size(), Secs,
+                   static_cast<double>(AsmJobs.size()) / Secs);
+      if (O.Check) {
+        size_t Mismatches = 0;
+        for (size_t I = 0; I < AsmJobs.size(); ++I)
+          if (Served[I].CSource != Seq[I].CSource)
+            ++Mismatches;
+        std::fprintf(stderr,
+                     "[check] %zu/%zu byte-identical outputs; speedup "
+                     "%.2fx\n",
+                     AsmJobs.size() - Mismatches, AsmJobs.size(),
+                     Secs / ServedM.TotalSeconds);
+        if (Mismatches) {
+          std::fprintf(stderr, "error: served != sequential outputs\n");
+          ExitCode = 1;
+        }
+      }
+      if (O.Sequential && !O.Check)
+        Served = std::move(Seq);
+    }
+
+    for (const serve::TranslateResult &R : Served)
+      Results << "{\"name\": \"" << serve::jsonEscape(R.Name)
+              << "\", \"c\": \"" << serve::jsonEscape(R.CSource) << "\"}\n";
+  }
+
+  return ExitCode;
+}
