@@ -184,6 +184,48 @@ void BM_DecodeStepBatched5(benchmark::State &State) {
 }
 BENCHMARK(BM_DecodeStepBatched5);
 
+std::vector<int> encodeBenchSource(int T) {
+  std::vector<int> Src;
+  for (int I = 0; I < T; ++I)
+    Src.push_back(3 + (I * 7) % 500);
+  return Src;
+}
+
+nn::TransformerConfig encodeBenchConfig() {
+  nn::TransformerConfig MC; // Paper-shaped model, room for 300 tokens.
+  MC.Vocab = 512;
+  MC.MaxLen = 320;
+  return MC;
+}
+
+/// Cold encoder forward + cross-K/V on the graph-free InferRuntime fast
+/// path (the serving encode path). Arg: source length in tokens.
+void BM_EncodeSource(benchmark::State &State) {
+  nn::Transformer Model(encodeBenchConfig());
+  std::vector<int> Src = encodeBenchSource(static_cast<int>(State.range(0)));
+  for (auto _ : State) {
+    auto Enc = Model.encodeSource(Src);
+    benchmark::DoNotOptimize(Enc);
+  }
+}
+BENCHMARK(BM_EncodeSource)->Arg(17)->Arg(300)->Unit(benchmark::kMicrosecond);
+
+/// The retained training-graph reference path (inference-mode Graph,
+/// per-node arena allocation): the baseline the fast path is measured
+/// against and the bit-exactness oracle.
+void BM_EncodeSourceGraph(benchmark::State &State) {
+  nn::Transformer Model(encodeBenchConfig());
+  std::vector<int> Src = encodeBenchSource(static_cast<int>(State.range(0)));
+  for (auto _ : State) {
+    auto Enc = Model.encodeSourceGraph(Src);
+    benchmark::DoNotOptimize(Enc);
+  }
+}
+BENCHMARK(BM_EncodeSourceGraph)
+    ->Arg(17)
+    ->Arg(300)
+    ->Unit(benchmark::kMicrosecond);
+
 nn::BeamConfig beamBenchConfig() {
   nn::BeamConfig BC;
   BC.BeamSize = 5; // Paper: k = 5.

@@ -58,11 +58,13 @@ HypothesisOutcome evaluateHypothesis(const EvalTask &Task,
 class Decompiler {
 public:
   /// \p EncoderCacheCap bounds the LRU of per-source encoder outputs
-  /// shared by every request through this decompiler.
+  /// shared by every request through this decompiler (entry count);
+  /// \p EncoderCacheBytes additionally caps its heap bytes (0 = count
+  /// bound only).
   Decompiler(tok::Tokenizer Tok, nn::Transformer Model,
-             size_t EncoderCacheCap = 64)
+             size_t EncoderCacheCap = 64, size_t EncoderCacheBytes = 0)
       : Tok(std::move(Tok)), Model(std::move(Model)),
-        EncCache(EncoderCacheCap) {}
+        EncCache(EncoderCacheCap, EncoderCacheBytes) {}
 
   struct Options {
     int BeamSize = 5; ///< Paper: k = 5.

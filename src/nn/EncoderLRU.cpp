@@ -2,6 +2,8 @@
 
 #include "nn/EncoderLRU.h"
 
+#include <chrono>
+
 using namespace slade;
 using namespace slade::nn;
 
@@ -18,7 +20,25 @@ uint64_t hashTokens(const std::vector<int> &Src) {
   return H;
 }
 
+size_t entryBytes(const std::vector<int> &Src,
+                  const Transformer::EncoderCache &Enc) {
+  return Enc.bytes() + Src.capacity() * sizeof(int);
+}
+
 } // namespace
+
+void EncoderLRU::evictOne() {
+  const Entry &Victim = Order.back();
+  auto VR = Index.equal_range(Victim.Hash);
+  for (auto It = VR.first; It != VR.second; ++It)
+    if (It->second == std::prev(Order.end())) {
+      Index.erase(It);
+      break;
+    }
+  Bytes -= Victim.Bytes;
+  Order.pop_back();
+  ++St.Evictions;
+}
 
 std::shared_ptr<const Transformer::EncoderCache>
 EncoderLRU::get(const Transformer &Model, const std::vector<int> &Src) {
@@ -38,12 +58,17 @@ EncoderLRU::get(const Transformer &Model, const std::vector<int> &Src) {
   }
 
   // Miss: encode outside the lock so unrelated sources encode in
-  // parallel.
+  // parallel. The cold-encode wall time feeds the serving metrics.
+  auto T0 = std::chrono::steady_clock::now();
   std::shared_ptr<const Transformer::EncoderCache> Enc =
       Model.encodeSource(Src);
+  double Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
 
   std::lock_guard<std::mutex> Lock(Mu);
   ++St.Misses;
+  St.MissSeconds += Seconds;
   // A racing thread may have inserted the same source meanwhile; prefer
   // its copy so repeated hits share one cache object.
   auto Range = Index.equal_range(Hash);
@@ -52,19 +77,18 @@ EncoderLRU::get(const Transformer &Model, const std::vector<int> &Src) {
     if (E.Version == Version && E.Src == Src)
       return E.Enc;
   }
-  Order.push_front(Entry{Hash, Version, Src, Enc});
+  Order.push_front(Entry{Hash, Version, Src, Enc, 0});
+  // Account the STORED copy of the key (its capacity is trimmed to size;
+  // the caller's vector may carry push_back growth slack).
+  Order.front().Bytes = entryBytes(Order.front().Src, *Enc);
+  Bytes += Order.front().Bytes;
   Index.emplace(Hash, Order.begin());
-  while (Order.size() > Cap) {
-    const Entry &Victim = Order.back();
-    auto VR = Index.equal_range(Victim.Hash);
-    for (auto It = VR.first; It != VR.second; ++It)
-      if (It->second == std::prev(Order.end())) {
-        Index.erase(It);
-        break;
-      }
-    Order.pop_back();
-    ++St.Evictions;
-  }
+  // Count bound, then byte budget; the freshly inserted entry (front)
+  // always survives so an oversized single source cannot thrash.
+  while (Order.size() > Cap)
+    evictOne();
+  while (Budget && Bytes > Budget && Order.size() > 1)
+    evictOne();
   return Enc;
 }
 
@@ -78,8 +102,14 @@ size_t EncoderLRU::size() const {
   return Order.size();
 }
 
+size_t EncoderLRU::bytesUsed() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Bytes;
+}
+
 void EncoderLRU::clear() {
   std::lock_guard<std::mutex> Lock(Mu);
   Order.clear();
   Index.clear();
+  Bytes = 0;
 }

@@ -1,0 +1,671 @@
+//===- InferRuntime.cpp - graph-free inference runtime ------------------------===//
+
+#include "nn/InferRuntime.h"
+
+#include "nn/SimdExp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <mutex>
+
+using namespace slade;
+using namespace slade::nn;
+
+//===----------------------------------------------------------------------===//
+// EncodeScratch arena + process-wide pool
+//===----------------------------------------------------------------------===//
+
+void EncodeScratch::ensure(const TransformerConfig &Cfg, int T) {
+  size_t Tz = static_cast<size_t>(T);
+  size_t D = static_cast<size_t>(Cfg.DModel);
+  size_t Dh = D / static_cast<size_t>(Cfg.NHeads);
+  auto Grow = [](std::vector<float> &V, size_t N) {
+    if (V.size() < N)
+      V.resize(N);
+  };
+  Grow(X, Tz * D);
+  Grow(Norm, Tz * D);
+  Grow(Q, Tz * D);
+  Grow(K, Tz * D);
+  Grow(V, Tz * D);
+  Grow(Qh, Tz * Dh);
+  Grow(Kh, Tz * Dh);
+  Grow(Vh, Tz * Dh);
+  Grow(Scores, Tz * Tz);
+  Grow(HeadOut, Tz * Dh);
+  Grow(Attn, Tz * D);
+  Grow(Proj, Tz * D);
+  Grow(FF1, Tz * static_cast<size_t>(Cfg.FF));
+}
+
+size_t EncodeScratch::bytes() const {
+  size_t B = 0;
+  for (const std::vector<float> *Buf :
+       {&X, &Norm, &Q, &K, &V, &Qh, &Kh, &Vh, &Scores, &HeadOut, &Attn,
+        &Proj, &FF1})
+    B += Buf->capacity() * sizeof(float);
+  return B;
+}
+
+namespace {
+
+/// Idle arenas waiting for the next encode. Bounded so a burst of
+/// concurrent encodes cannot pin unbounded memory; arenas past the bound
+/// are simply freed.
+struct ScratchPool {
+  std::mutex Mu;
+  std::vector<std::unique_ptr<EncodeScratch>> Free;
+  size_t RetainedBytes = 0;
+};
+
+ScratchPool &scratchPool() {
+  static ScratchPool P;
+  return P;
+}
+
+constexpr size_t MaxPooledScratches = 8;
+
+/// RAII lease: pop an arena from the pool (or create one), return it on
+/// destruction.
+struct ScratchLease {
+  std::unique_ptr<EncodeScratch> S;
+  ScratchLease() {
+    ScratchPool &P = scratchPool();
+    std::lock_guard<std::mutex> Lock(P.Mu);
+    if (!P.Free.empty()) {
+      S = std::move(P.Free.back());
+      P.Free.pop_back();
+      P.RetainedBytes -= S->bytes();
+    } else {
+      S = std::make_unique<EncodeScratch>();
+    }
+  }
+  ~ScratchLease() {
+    ScratchPool &P = scratchPool();
+    std::lock_guard<std::mutex> Lock(P.Mu);
+    if (P.Free.size() < MaxPooledScratches) {
+      P.RetainedBytes += S->bytes();
+      P.Free.push_back(std::move(S));
+    }
+  }
+};
+
+} // namespace
+
+size_t slade::nn::encodeScratchRetainedBytes() {
+  ScratchPool &P = scratchPool();
+  std::lock_guard<std::mutex> Lock(P.Mu);
+  return P.RetainedBytes;
+}
+
+//===----------------------------------------------------------------------===//
+// Encoder fast path
+//===----------------------------------------------------------------------===//
+
+void InferRuntime::linearRowsBiasAfter(const float *X, int Rows,
+                                       const Mat &W, const Mat &Bias,
+                                       float *Out) const {
+  int OutD = W.C;
+  std::fill(Out, Out + static_cast<size_t>(Rows) * OutD, 0.0f);
+  gemmAcc(X, W.V.data(), Out, Rows, W.R, OutD);
+  for (int R = 0; R < Rows; ++R) {
+    float *Row = Out + static_cast<size_t>(R) * OutD;
+    for (int J = 0; J < OutD; ++J)
+      Row[J] += Bias.V[static_cast<size_t>(J)];
+  }
+}
+
+void InferRuntime::linearRows(const float *X, int Rows, const Mat &W,
+                              const Mat &Bias, float *Out) const {
+  int OutD = W.C;
+  for (int R = 0; R < Rows; ++R)
+    std::memcpy(Out + static_cast<size_t>(R) * OutD, Bias.V.data(),
+                static_cast<size_t>(OutD) * sizeof(float));
+  gemmAcc(X, W.V.data(), Out, Rows, W.R, OutD);
+}
+
+void InferRuntime::encodeInto(const std::vector<int> &Src, EncodeScratch &S,
+                              Transformer::EncoderCache &Out) const {
+  const TransformerConfig &Cfg = M.Cfg;
+  int T = static_cast<int>(Src.size());
+  if (T > Cfg.MaxLen)
+    T = Cfg.MaxLen;
+  int D = Cfg.DModel, H = Cfg.NHeads, Dh = D / H, FF = Cfg.FF;
+  S.ensure(Cfg, T);
+
+  float *X = S.X.data(), *Norm = S.Norm.data(), *Q = S.Q.data(),
+        *K = S.K.data(), *V = S.V.data(), *Qh = S.Qh.data(),
+        *Kh = S.Kh.data(), *Vh = S.Vh.data(), *Scores = S.Scores.data(),
+        *HeadOut = S.HeadOut.data(), *Attn = S.Attn.data(),
+        *Proj = S.Proj.data(), *FF1 = S.FF1.data();
+  size_t TD = static_cast<size_t>(T) * D;
+
+  // Token + learned-position embedding (same position clamp as the embed
+  // op, though T <= MaxLen makes it a no-op here).
+  for (int I = 0; I < T; ++I) {
+    int Id = Src[static_cast<size_t>(I)];
+    int P = I < M.EncPos.R ? I : M.EncPos.R - 1;
+    const float *Tok = M.TokEmb.V.data() + static_cast<size_t>(Id) * D;
+    const float *Pos = M.EncPos.V.data() + static_cast<size_t>(P) * D;
+    float *XRow = X + static_cast<size_t>(I) * D;
+    for (int J = 0; J < D; ++J)
+      XRow[J] = Tok[J] + Pos[J];
+  }
+
+  float Scale = 1.0f / std::sqrt(static_cast<float>(Dh));
+  for (const Transformer::EncLayer &L : M.Enc) {
+    // Pre-LN self-attention block. Q/K/V run as the SAME three GEMMs the
+    // training graph issues (bias after the product, per-head score and
+    // value products over contiguous [T, Dh] slices) so every
+    // intermediate rounds identically to the graph path.
+    for (int I = 0; I < T; ++I)
+      layerNormRow(X + static_cast<size_t>(I) * D, D, L.LN1.Gamma.V.data(),
+                   L.LN1.Beta.V.data(), Norm + static_cast<size_t>(I) * D);
+    linearRowsBiasAfter(Norm, T, L.Self.Wq, L.Self.Bq, Q);
+    linearRowsBiasAfter(Norm, T, L.Self.Wk, L.Self.Bk, K);
+    linearRowsBiasAfter(Norm, T, L.Self.Wv, L.Self.Bv, V);
+    for (int Hd = 0; Hd < H; ++Hd) {
+      int Off = Hd * Dh;
+      size_t DhBytes = static_cast<size_t>(Dh) * sizeof(float);
+      for (int I = 0; I < T; ++I) {
+        size_t Row = static_cast<size_t>(I);
+        std::memcpy(Qh + Row * Dh, Q + Row * D + Off, DhBytes);
+        std::memcpy(Kh + Row * Dh, K + Row * D + Off, DhBytes);
+        std::memcpy(Vh + Row * Dh, V + Row * D + Off, DhBytes);
+      }
+      size_t TT = static_cast<size_t>(T) * T;
+      std::fill(Scores, Scores + TT, 0.0f);
+      gemmAccNT(Qh, Kh, Scores, T, Dh, T);
+      for (size_t I = 0; I < TT; ++I)
+        Scores[I] *= Scale;
+      for (int I = 0; I < T; ++I)
+        softmaxRowInPlace(Scores + static_cast<size_t>(I) * T, T);
+      std::fill(HeadOut, HeadOut + static_cast<size_t>(T) * Dh, 0.0f);
+      gemmAcc(Scores, Vh, HeadOut, T, T, Dh);
+      for (int I = 0; I < T; ++I)
+        std::memcpy(Attn + static_cast<size_t>(I) * D + Off,
+                    HeadOut + static_cast<size_t>(I) * Dh, DhBytes);
+    }
+    linearRowsBiasAfter(Attn, T, L.Self.Wo, L.Self.Bo, Proj);
+    for (size_t I = 0; I < TD; ++I)
+      X[I] += Proj[I];
+
+    // Feed-forward block.
+    for (int I = 0; I < T; ++I)
+      layerNormRow(X + static_cast<size_t>(I) * D, D, L.LN2.Gamma.V.data(),
+                   L.LN2.Beta.V.data(), Norm + static_cast<size_t>(I) * D);
+    linearRowsBiasAfter(Norm, T, L.W1, L.B1, FF1);
+    for (size_t I = 0; I < static_cast<size_t>(T) * FF; ++I)
+      FF1[I] = FF1[I] > 0.0f ? FF1[I] : 0.0f;
+    linearRowsBiasAfter(FF1, T, L.W2, L.B2, Proj);
+    for (size_t I = 0; I < TD; ++I)
+      X[I] += Proj[I];
+  }
+
+  Out.EncOut.resize(TD);
+  for (int I = 0; I < T; ++I)
+    layerNormRow(X + static_cast<size_t>(I) * D, D,
+                 M.EncFinal.Gamma.V.data(), M.EncFinal.Beta.V.data(),
+                 Out.EncOut.data() + static_cast<size_t>(I) * D);
+  Out.TSrc = T;
+}
+
+void InferRuntime::finishEncoderCache(
+    Transformer::EncoderCache &Cache) const {
+  int D = M.Cfg.DModel, T = Cache.TSrc;
+  // Cross-attention K/V per decoder layer, batched over the source
+  // positions.
+  Cache.CrossK.resize(M.Dec.size());
+  Cache.CrossV.resize(M.Dec.size());
+  for (size_t L = 0; L < M.Dec.size(); ++L) {
+    const Transformer::Attn &A = M.Dec[L].Cross;
+    Cache.CrossK[L].assign(static_cast<size_t>(T) * D, 0.0f);
+    Cache.CrossV[L].assign(static_cast<size_t>(T) * D, 0.0f);
+    linearRows(Cache.EncOut.data(), T, A.Wk, A.Bk, Cache.CrossK[L].data());
+    linearRows(Cache.EncOut.data(), T, A.Wv, A.Bv, Cache.CrossV[L].data());
+  }
+  // Decode-session constants (fused Q|K|V projection, transposed output
+  // embedding) are per-model, not per-source: borrow the shared
+  // weight-versioned copy instead of rebuilding them per request.
+  Cache.Consts = M.decodeConstants();
+}
+
+std::shared_ptr<const Transformer::EncoderCache>
+InferRuntime::encodeSource(const std::vector<int> &Src) const {
+  auto Cache = std::make_shared<Transformer::EncoderCache>();
+  {
+    ScratchLease Lease;
+    encodeInto(Src, *Lease.S, *Cache);
+  }
+  finishEncoderCache(*Cache);
+  return Cache;
+}
+
+//===----------------------------------------------------------------------===//
+// Decode constants
+//===----------------------------------------------------------------------===//
+
+std::shared_ptr<const Transformer::DecodeConstants>
+InferRuntime::buildDecodeConstants() const {
+  int D = M.Cfg.DModel;
+  auto C = std::make_shared<Transformer::DecodeConstants>();
+  C->Version = M.WeightVersion;
+  // Fused Q|K|V projection per decoder layer: one GEMM projects all three.
+  C->SelfQKVW.resize(M.Dec.size());
+  C->SelfQKVB.resize(M.Dec.size());
+  for (size_t L = 0; L < M.Dec.size(); ++L) {
+    const Transformer::Attn &A = M.Dec[L].Self;
+    std::vector<float> &W = C->SelfQKVW[L];
+    std::vector<float> &B = C->SelfQKVB[L];
+    W.resize(static_cast<size_t>(D) * 3 * D);
+    B.resize(static_cast<size_t>(3) * D);
+    for (int I = 0; I < D; ++I)
+      for (int J = 0; J < D; ++J) {
+        W[static_cast<size_t>(I) * 3 * D + J] = A.Wq.at(I, J);
+        W[static_cast<size_t>(I) * 3 * D + D + J] = A.Wk.at(I, J);
+        W[static_cast<size_t>(I) * 3 * D + 2 * D + J] = A.Wv.at(I, J);
+      }
+    for (int J = 0; J < D; ++J) {
+      B[static_cast<size_t>(J)] = A.Bq.V[static_cast<size_t>(J)];
+      B[static_cast<size_t>(D + J)] = A.Bk.V[static_cast<size_t>(J)];
+      B[static_cast<size_t>(2 * D + J)] = A.Bv.V[static_cast<size_t>(J)];
+    }
+  }
+  C->EmbT.resize(static_cast<size_t>(D) * M.Cfg.Vocab);
+  for (int W = 0; W < M.Cfg.Vocab; ++W)
+    for (int J = 0; J < D; ++J)
+      C->EmbT[static_cast<size_t>(J) * M.Cfg.Vocab + W] = M.TokEmb.at(W, J);
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// Batched decode (shared encoder/cross caches, one GEMM per beam batch)
+//===----------------------------------------------------------------------===//
+
+Transformer::BatchDecodeState InferRuntime::startDecodeBatchMulti(
+    const std::vector<std::shared_ptr<const Transformer::EncoderCache>>
+        &Encs,
+    int BeamsPerSource, int MaxSteps) const {
+  assert(!Encs.empty() && BeamsPerSource > 0 && MaxSteps > 0);
+  Transformer::BatchDecodeState St;
+  int MaxBeams = BeamsPerSource * static_cast<int>(Encs.size());
+  assert(Encs.size() <= 65535 && BeamsPerSource <= 65535 &&
+         "source/slot ids are uint16");
+  St.B = static_cast<int>(Encs.size()); // One BOS row per source.
+  St.BMax = MaxBeams;
+  St.KMax = BeamsPerSource;
+  St.Cap = MaxSteps;
+  St.RowEnc = Encs;
+  St.RowEnc.resize(static_cast<size_t>(MaxBeams));
+  St.RowSource.assign(static_cast<size_t>(MaxBeams), 0);
+  for (size_t S = 0; S < Encs.size(); ++S)
+    St.RowSource[S] = static_cast<uint16_t>(S);
+  for (const auto &Enc : Encs)
+    St.MaxTSrc = std::max(St.MaxTSrc, Enc->TSrc);
+  // All rows share one model: borrow the constants from the first source
+  // (every EncoderCache of a model references the same copy).
+  St.Consts = Encs.front()->Consts;
+  int D = M.Cfg.DModel;
+  size_t PerLayer = static_cast<size_t>(MaxBeams) * St.Cap * D;
+  St.SelfK.assign(M.Dec.size(), std::vector<float>(PerLayer));
+  St.SelfV.assign(M.Dec.size(), std::vector<float>(PerLayer));
+  St.Anc.assign(static_cast<size_t>(MaxBeams) * St.Cap, 0);
+  size_t Rows = static_cast<size_t>(MaxBeams) * D;
+  St.X.resize(Rows);
+  St.Norm.resize(Rows);
+  St.QKV.resize(Rows * 3);
+  St.AttnOut.resize(Rows);
+  St.Proj.resize(Rows);
+  St.FF1.resize(static_cast<size_t>(MaxBeams) * M.Cfg.FF);
+  St.Scores.resize(static_cast<size_t>(M.Cfg.NHeads) *
+                   std::max(St.Cap, St.MaxTSrc));
+  return St;
+}
+
+namespace {
+
+#ifdef SLADE_SIMD_EXP
+
+/// AVX2 softmax-attention over cached rows for one query row, one head
+/// slice of DhT = NV*8 floats. The score pass keeps the dot product in
+/// two FMA chains per row; the value pass holds the output slice in NV
+/// register accumulators across the whole context.
+template <int NV, typename RowOfK, typename RowOfV>
+inline void attendHeadAVX(const float *Qh, float *Oh, int T, int Off,
+                          float InvS, float *SRow, const RowOfK &KRowOf,
+                          const RowOfV &VRowOf) {
+  __m256 Q[NV];
+  for (int V = 0; V < NV; ++V)
+    Q[V] = _mm256_loadu_ps(Qh + V * 8);
+  float MaxS = -1e30f;
+  for (int Tt = 0; Tt < T; ++Tt) {
+    const float *KRow = KRowOf(Tt) + Off;
+    __m256 Acc = _mm256_mul_ps(Q[0], _mm256_loadu_ps(KRow));
+    for (int V = 1; V < NV; ++V)
+      Acc = _mm256_fmadd_ps(Q[V], _mm256_loadu_ps(KRow + V * 8), Acc);
+    float Dot = hsum256(Acc) * InvS;
+    SRow[Tt] = Dot;
+    MaxS = std::max(MaxS, Dot);
+  }
+  __m256 MaxV = _mm256_set1_ps(MaxS);
+  __m256 SumV = _mm256_setzero_ps();
+  int Tt = 0;
+  for (; Tt + 8 <= T; Tt += 8) {
+    __m256 E = exp256Ps(_mm256_sub_ps(_mm256_loadu_ps(SRow + Tt), MaxV));
+    _mm256_storeu_ps(SRow + Tt, E);
+    SumV = _mm256_add_ps(SumV, E);
+  }
+  float Sum = hsum256(SumV);
+  for (; Tt < T; ++Tt) {
+    SRow[Tt] = expPsScalar(SRow[Tt] - MaxS);
+    Sum += SRow[Tt];
+  }
+  float InvSum = 1.0f / Sum;
+  __m256 Acc[NV];
+  for (int V = 0; V < NV; ++V)
+    Acc[V] = _mm256_setzero_ps();
+  for (Tt = 0; Tt < T; ++Tt) {
+    const float *VRow = VRowOf(Tt) + Off;
+    __m256 W = _mm256_set1_ps(SRow[Tt] * InvSum);
+    for (int V = 0; V < NV; ++V)
+      Acc[V] = _mm256_fmadd_ps(W, _mm256_loadu_ps(VRow + V * 8), Acc[V]);
+  }
+  for (int V = 0; V < NV; ++V)
+    _mm256_storeu_ps(Oh + V * 8, Acc[V]);
+}
+
+#endif // SLADE_SIMD_EXP
+
+/// Softmax-attention over cached K/V rows for one query row. Per-head
+/// passes with a fixed-width register accumulator for the value
+/// reduction: each pass streams only its head's Dh-float slice of the
+/// cache, so total memory traffic matches a single fused pass while the
+/// inner loops stay pure FMA chains. DhT is the compile-time head width.
+template <int DhT, typename RowOfK, typename RowOfV>
+inline void attendCached(const float *QRow, float *ORow, int T, int H,
+                         float InvS, float *Scores, int ScoreStride,
+                         const RowOfK &KRowOf, const RowOfV &VRowOf) {
+  for (int Hd = 0; Hd < H; ++Hd) {
+    int Off = Hd * DhT;
+    float *SRow = Scores + static_cast<size_t>(Hd) * ScoreStride;
+    const float *Qh = QRow + Off;
+    float MaxS = -1e30f;
+    for (int Tt = 0; Tt < T; ++Tt) {
+      const float *KRow = KRowOf(Tt) + Off;
+      float Dot = 0;
+#pragma omp simd reduction(+ : Dot)
+      for (int Jj = 0; Jj < DhT; ++Jj)
+        Dot += Qh[Jj] * KRow[Jj];
+      SRow[Tt] = Dot * InvS;
+      MaxS = std::max(MaxS, SRow[Tt]);
+    }
+    float Sum = 0;
+    for (int Tt = 0; Tt < T; ++Tt) {
+      SRow[Tt] = std::exp(SRow[Tt] - MaxS);
+      Sum += SRow[Tt];
+    }
+    float InvSum = 1.0f / Sum;
+    float Acc[DhT] = {};
+    for (int Tt = 0; Tt < T; ++Tt) {
+      float W = SRow[Tt] * InvSum;
+      const float *VRow = VRowOf(Tt) + Off;
+#pragma omp simd
+      for (int Jj = 0; Jj < DhT; ++Jj)
+        Acc[Jj] += W * VRow[Jj];
+    }
+    float *Oh = ORow + Off;
+#pragma omp simd
+    for (int Jj = 0; Jj < DhT; ++Jj)
+      Oh[Jj] = Acc[Jj];
+  }
+}
+
+/// Runtime-Dh dispatcher: common head widths get the fixed-width kernel.
+template <typename RowOfK, typename RowOfV>
+inline void attendCachedDyn(const float *QRow, float *ORow, int T, int H,
+                            int Dh, float InvS, float *Scores,
+                            int ScoreStride, const RowOfK &KRowOf,
+                            const RowOfV &VRowOf) {
+#ifdef SLADE_SIMD_EXP
+  if (Dh % 8 == 0 && Dh <= 32) {
+    for (int Hd = 0; Hd < H; ++Hd) {
+      int Off = Hd * Dh;
+      const float *Qh = QRow + Off;
+      float *Oh = ORow + Off;
+      float *SRow = Scores + static_cast<size_t>(Hd) * ScoreStride;
+      switch (Dh / 8) {
+      case 1:
+        attendHeadAVX<1>(Qh, Oh, T, Off, InvS, SRow, KRowOf, VRowOf);
+        break;
+      case 2:
+        attendHeadAVX<2>(Qh, Oh, T, Off, InvS, SRow, KRowOf, VRowOf);
+        break;
+      case 3:
+        attendHeadAVX<3>(Qh, Oh, T, Off, InvS, SRow, KRowOf, VRowOf);
+        break;
+      default:
+        attendHeadAVX<4>(Qh, Oh, T, Off, InvS, SRow, KRowOf, VRowOf);
+        break;
+      }
+    }
+    return;
+  }
+#endif
+  switch (Dh) {
+  case 8:
+    attendCached<8>(QRow, ORow, T, H, InvS, Scores, ScoreStride, KRowOf,
+                    VRowOf);
+    return;
+  case 16:
+    attendCached<16>(QRow, ORow, T, H, InvS, Scores, ScoreStride, KRowOf,
+                     VRowOf);
+    return;
+  case 32:
+    attendCached<32>(QRow, ORow, T, H, InvS, Scores, ScoreStride, KRowOf,
+                     VRowOf);
+    return;
+  default:
+    break;
+  }
+  // Generic fallback, same math in the same order.
+  for (int Hd = 0; Hd < H; ++Hd) {
+    int Off = Hd * Dh;
+    float *SRow = Scores + static_cast<size_t>(Hd) * ScoreStride;
+    float MaxS = -1e30f;
+    for (int Tt = 0; Tt < T; ++Tt) {
+      const float *KRow = KRowOf(Tt) + Off;
+      float Dot = 0;
+      for (int Jj = 0; Jj < Dh; ++Jj)
+        Dot += QRow[Off + Jj] * KRow[Jj];
+      SRow[Tt] = Dot * InvS;
+      MaxS = std::max(MaxS, SRow[Tt]);
+    }
+    float Sum = 0;
+    for (int Tt = 0; Tt < T; ++Tt) {
+      SRow[Tt] = std::exp(SRow[Tt] - MaxS);
+      Sum += SRow[Tt];
+    }
+    float InvSum = 1.0f / Sum;
+    for (int Jj = 0; Jj < Dh; ++Jj)
+      ORow[Off + Jj] = 0;
+    for (int Tt = 0; Tt < T; ++Tt) {
+      float W = SRow[Tt] * InvSum;
+      const float *VRow = VRowOf(Tt) + Off;
+      for (int Jj = 0; Jj < Dh; ++Jj)
+        ORow[Off + Jj] += W * VRow[Jj];
+    }
+  }
+}
+
+} // namespace
+
+std::vector<float>
+InferRuntime::stepDecodeBatch(Transformer::BatchDecodeState &St,
+                              const std::vector<int> &Tokens) const {
+  const TransformerConfig &Cfg = M.Cfg;
+  int B = St.B, D = Cfg.DModel, H = Cfg.NHeads, Dh = D / H;
+  assert(static_cast<int>(Tokens.size()) == B && "one token per beam");
+  assert(St.Len < St.Cap && "self-cache capacity exhausted");
+  const Transformer::DecodeConstants &Consts = *St.Consts;
+  int Pos = St.Len < Cfg.MaxLen ? St.Len : Cfg.MaxLen - 1;
+
+  float *X = St.X.data(), *Norm = St.Norm.data(), *QKV = St.QKV.data(),
+        *AttnOut = St.AttnOut.data(), *Proj = St.Proj.data(),
+        *FF1 = St.FF1.data(), *Scores = St.Scores.data();
+  for (int Bi = 0; Bi < B; ++Bi)
+    for (int J = 0; J < D; ++J)
+      X[static_cast<size_t>(Bi) * D + J] =
+          M.TokEmb.at(Tokens[static_cast<size_t>(Bi)], J) +
+          M.DecPos.at(Pos, J);
+
+  int ScoreStride = std::max(St.Cap, St.MaxTSrc);
+  float InvS = 1.0f / std::sqrt(static_cast<float>(Dh));
+
+  // Per-source segment geometry: [Cap, KMax, D] time-major per segment.
+  size_t TimeStride = static_cast<size_t>(St.KMax) * D;
+  size_t SegStride = static_cast<size_t>(St.Cap) * TimeStride;
+
+  for (size_t L = 0; L < M.Dec.size(); ++L) {
+    const Transformer::DecLayer &Lay = M.Dec[L];
+
+    // Self attention: one fused Q|K|V GEMM for the whole beam batch.
+    for (int Bi = 0; Bi < B; ++Bi)
+      layerNormRow(X + static_cast<size_t>(Bi) * D, D,
+                   Lay.LN1.Gamma.V.data(), Lay.LN1.Beta.V.data(),
+                   Norm + static_cast<size_t>(Bi) * D);
+    for (int Bi = 0; Bi < B; ++Bi)
+      std::memcpy(QKV + static_cast<size_t>(Bi) * 3 * D,
+                  Consts.SelfQKVB[L].data(),
+                  static_cast<size_t>(3) * D * sizeof(float));
+    gemmAcc(Norm, Consts.SelfQKVW[L].data(), QKV, B, D, 3 * D);
+    // Each beam writes its new K/V row once, at (t=Len, slot=position
+    // within its source's row block); the row is never moved afterwards —
+    // descendants find it via Anc. Rows of one source are contiguous, so
+    // the running Local counter is the segment-local slot.
+    for (int Bi = 0, Local = 0; Bi < B; ++Bi) {
+      Local = (Bi > 0 && St.RowSource[static_cast<size_t>(Bi)] ==
+                             St.RowSource[static_cast<size_t>(Bi - 1)])
+                  ? Local + 1
+                  : 0;
+      assert(Local < St.KMax && "source rows not contiguous");
+      size_t Slot =
+          static_cast<size_t>(St.RowSource[static_cast<size_t>(Bi)]) *
+              SegStride +
+          static_cast<size_t>(St.Len) * TimeStride +
+          static_cast<size_t>(Local) * D;
+      const float *Row = QKV + static_cast<size_t>(Bi) * 3 * D;
+      std::memcpy(&St.SelfK[L][Slot], Row + D,
+                  static_cast<size_t>(D) * sizeof(float));
+      std::memcpy(&St.SelfV[L][Slot], Row + 2 * D,
+                  static_cast<size_t>(D) * sizeof(float));
+      if (L == 0)
+        St.Anc[static_cast<size_t>(Bi) * St.Cap + St.Len] =
+            static_cast<uint16_t>(Local);
+    }
+    int TCtx = St.Len + 1;
+    for (int Bi = 0; Bi < B; ++Bi) {
+      const float *KBase =
+          St.SelfK[L].data() +
+          static_cast<size_t>(St.RowSource[static_cast<size_t>(Bi)]) *
+              SegStride;
+      const float *VBase =
+          St.SelfV[L].data() +
+          static_cast<size_t>(St.RowSource[static_cast<size_t>(Bi)]) *
+              SegStride;
+      const uint16_t *AncB = &St.Anc[static_cast<size_t>(Bi) * St.Cap];
+      attendCachedDyn(
+          QKV + static_cast<size_t>(Bi) * 3 * D,
+          AttnOut + static_cast<size_t>(Bi) * D, TCtx, H, Dh, InvS, Scores,
+          ScoreStride,
+          [&](int Tt) {
+            return KBase + static_cast<size_t>(Tt) * TimeStride +
+                   static_cast<size_t>(AncB[Tt]) * D;
+          },
+          [&](int Tt) {
+            return VBase + static_cast<size_t>(Tt) * TimeStride +
+                   static_cast<size_t>(AncB[Tt]) * D;
+          });
+    }
+    linearRows(AttnOut, B, Lay.Self.Wo, Lay.Self.Bo, Proj);
+    for (size_t I = 0; I < static_cast<size_t>(B) * D; ++I)
+      X[I] += Proj[I];
+
+    // Cross attention: the K/V caches are shared by every beam of one
+    // source; each row attends over its OWN source's cache (rows of
+    // different sources may share the batch).
+    for (int Bi = 0; Bi < B; ++Bi)
+      layerNormRow(X + static_cast<size_t>(Bi) * D, D,
+                   Lay.LN2.Gamma.V.data(), Lay.LN2.Beta.V.data(),
+                   Norm + static_cast<size_t>(Bi) * D);
+    linearRows(Norm, B, Lay.Cross.Wq, Lay.Cross.Bq, QKV);
+    for (int Bi = 0; Bi < B; ++Bi) {
+      const Transformer::EncoderCache &Enc =
+          *St.RowEnc[static_cast<size_t>(Bi)];
+      const float *CK = Enc.CrossK[L].data(), *CV = Enc.CrossV[L].data();
+      attendCachedDyn(
+          QKV + static_cast<size_t>(Bi) * D,
+          AttnOut + static_cast<size_t>(Bi) * D, Enc.TSrc, H, Dh, InvS,
+          Scores, ScoreStride,
+          [&](int Tt) { return CK + static_cast<size_t>(Tt) * D; },
+          [&](int Tt) { return CV + static_cast<size_t>(Tt) * D; });
+    }
+    linearRows(AttnOut, B, Lay.Cross.Wo, Lay.Cross.Bo, Proj);
+    for (size_t I = 0; I < static_cast<size_t>(B) * D; ++I)
+      X[I] += Proj[I];
+
+    // FFN, batched across beams.
+    for (int Bi = 0; Bi < B; ++Bi)
+      layerNormRow(X + static_cast<size_t>(Bi) * D, D,
+                   Lay.LN3.Gamma.V.data(), Lay.LN3.Beta.V.data(),
+                   Norm + static_cast<size_t>(Bi) * D);
+    linearRows(Norm, B, Lay.W1, Lay.B1, FF1);
+    for (size_t I = 0; I < static_cast<size_t>(B) * Cfg.FF; ++I)
+      FF1[I] = FF1[I] > 0 ? FF1[I] : 0;
+    linearRows(FF1, B, Lay.W2, Lay.B2, Proj);
+    for (size_t I = 0; I < static_cast<size_t>(B) * D; ++I)
+      X[I] += Proj[I];
+  }
+  ++St.Len;
+
+  for (int Bi = 0; Bi < B; ++Bi)
+    layerNormRow(X + static_cast<size_t>(Bi) * D, D,
+                 M.DecFinal.Gamma.V.data(), M.DecFinal.Beta.V.data(),
+                 Norm + static_cast<size_t>(Bi) * D);
+  // Logits against the shared embedding: one streaming [B,D]x[D,V] GEMM
+  // over the pre-transposed table.
+  std::vector<float> Logits(static_cast<size_t>(B) * Cfg.Vocab, 0.0f);
+  gemmAcc(Norm, Consts.EmbT.data(), Logits.data(), B, D, Cfg.Vocab);
+  return Logits;
+}
+
+void InferRuntime::reorderBeams(Transformer::BatchDecodeState &St,
+                                const std::vector<int> &SrcIdx) const {
+  int NewB = static_cast<int>(SrcIdx.size());
+  assert(NewB > 0 && NewB <= St.BMax && "beam count exceeds allocation");
+  // Cached K/V rows never move: survivor selection only gathers the
+  // per-beam ancestry index rows (Len uint16 entries per beam) and the
+  // per-row encoder bindings.
+  size_t Used = static_cast<size_t>(St.Len);
+  St.AncScratch.resize(static_cast<size_t>(NewB) * Used);
+  St.RowEncScratch.resize(static_cast<size_t>(NewB));
+  St.RowSourceScratch.resize(static_cast<size_t>(NewB));
+  for (int Bi = 0; Bi < NewB; ++Bi) {
+    size_t Src = static_cast<size_t>(SrcIdx[static_cast<size_t>(Bi)]);
+    std::memcpy(&St.AncScratch[static_cast<size_t>(Bi) * Used],
+                &St.Anc[Src * St.Cap], Used * sizeof(uint16_t));
+    St.RowEncScratch[static_cast<size_t>(Bi)] = St.RowEnc[Src];
+    St.RowSourceScratch[static_cast<size_t>(Bi)] = St.RowSource[Src];
+  }
+  for (int Bi = 0; Bi < NewB; ++Bi) {
+    std::memcpy(&St.Anc[static_cast<size_t>(Bi) * St.Cap],
+                &St.AncScratch[static_cast<size_t>(Bi) * Used],
+                Used * sizeof(uint16_t));
+    St.RowEnc[static_cast<size_t>(Bi)] =
+        std::move(St.RowEncScratch[static_cast<size_t>(Bi)]);
+    St.RowSource[static_cast<size_t>(Bi)] =
+        St.RowSourceScratch[static_cast<size_t>(Bi)];
+  }
+  St.B = NewB;
+}

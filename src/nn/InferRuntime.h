@@ -1,0 +1,114 @@
+//===- InferRuntime.h - graph-free inference runtime ------------*- C++ -*-===//
+///
+/// \file
+/// The inference-side execution engine of the Transformer (§VI-A): runs
+/// the encoder stack and the batched KV-cached decoder directly on raw
+/// float buffers with the tiled/AVX2 kernels — no autograd tape, no
+/// per-node allocation. The Graph-based `encode`/`decode`/`pairLoss` in
+/// Transformer remain the training path and the bit-exactness oracle:
+/// every kernel here either IS the kernel the graph ops call (gemmAcc*,
+/// softmaxRowInPlace, layerNormRow) or mirrors the op sequence
+/// operation for operation, so `InferRuntime` outputs are bit-identical
+/// to the training graph (pinned by tests/test_nn.cpp).
+///
+/// An InferRuntime is a cheap view over a Transformer (created on demand
+/// by the Transformer's public inference entry points); the expensive
+/// state — the `EncodeScratch` arena — is pooled process-wide and reused
+/// across calls and threads.
+///
+//===----------------------------------------------------------------------===//
+#ifndef SLADE_NN_INFERRUNTIME_H
+#define SLADE_NN_INFERRUNTIME_H
+
+#include "nn/Transformer.h"
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace slade {
+namespace nn {
+
+/// Preallocated activation buffers for one encoder forward pass, sized
+/// for the longest source seen so far and reused across calls (the
+/// encoder allocates NOTHING per request once the arena is warm).
+/// Acquired from a process-wide pool by InferRuntime::encodeSource, or
+/// owned directly by callers that want single-threaded reuse.
+struct EncodeScratch {
+  std::vector<float> X;       ///< [T, D] residual stream.
+  std::vector<float> Norm;    ///< [T, D] pre-LN block input.
+  std::vector<float> Q, K, V; ///< [T, D] attention projections.
+  std::vector<float> Qh, Kh, Vh; ///< [T, Dh] per-head slices.
+  std::vector<float> Scores;  ///< [T, T] one head's attention matrix.
+  std::vector<float> HeadOut; ///< [T, Dh] one head's output.
+  std::vector<float> Attn;    ///< [T, D] concatenated head outputs.
+  std::vector<float> Proj;    ///< [T, D] block output before residual.
+  std::vector<float> FF1;     ///< [T, FF] feed-forward hidden.
+
+  /// Grows every buffer to fit a T-token source of \p Cfg's shape.
+  /// Never shrinks, so a pooled scratch converges to the corpus maximum.
+  void ensure(const TransformerConfig &Cfg, int T);
+  /// Heap bytes currently held (capacity, not size).
+  size_t bytes() const;
+};
+
+/// Bytes currently retained by the process-wide EncodeScratch pool
+/// (idle arenas waiting for the next encodeSource call).
+size_t encodeScratchRetainedBytes();
+
+class InferRuntime {
+public:
+  explicit InferRuntime(const Transformer &M) : M(M) {}
+
+  /// -- encoder ------------------------------------------------------------
+
+  /// Graph-free encoder forward + cross-K/V precompute over a pooled
+  /// scratch arena. Bit-identical to Transformer::encodeSourceGraph.
+  std::shared_ptr<const Transformer::EncoderCache>
+  encodeSource(const std::vector<int> &Src) const;
+
+  /// Same, over caller-owned scratch (no pool round-trip): fills
+  /// Out.EncOut/TSrc only; call finishEncoderCache for cross-K/V+consts.
+  void encodeInto(const std::vector<int> &Src, EncodeScratch &S,
+                  Transformer::EncoderCache &Out) const;
+
+  /// Cross-attention K/V precompute + shared decode constants from an
+  /// already-filled EncOut. Shared by the fast path and the graph oracle
+  /// so the two produce identical caches whenever EncOut matches.
+  void finishEncoderCache(Transformer::EncoderCache &Cache) const;
+
+  /// -- decoder (the batched KV-cached hot path) ----------------------------
+
+  /// Builds the weight-version-tagged decode constants (fused self Q|K|V,
+  /// transposed output embedding). Transformer::decodeConstants owns the
+  /// per-model cache slot and calls this on a version miss.
+  std::shared_ptr<const Transformer::DecodeConstants>
+  buildDecodeConstants() const;
+
+  Transformer::BatchDecodeState startDecodeBatchMulti(
+      const std::vector<std::shared_ptr<const Transformer::EncoderCache>>
+          &Encs,
+      int BeamsPerSource, int MaxSteps) const;
+  std::vector<float> stepDecodeBatch(Transformer::BatchDecodeState &St,
+                                     const std::vector<int> &Tokens) const;
+  void reorderBeams(Transformer::BatchDecodeState &St,
+                    const std::vector<int> &SrcIdx) const;
+
+private:
+  const Transformer &M;
+
+  /// Out = X * W, bias added AFTER the product (mirrors the graph's
+  /// addRow(matmul(...)) rounding; the decoder's linearRows seeds with
+  /// the bias instead).
+  void linearRowsBiasAfter(const float *X, int Rows, const Mat &W,
+                           const Mat &Bias, float *Out) const;
+  /// Out[r] = X[r] * W + Bias, bias seeded before accumulation (the
+  /// decode-path layout; one tiled GEMM for all rows).
+  void linearRows(const float *X, int Rows, const Mat &W, const Mat &Bias,
+                  float *Out) const;
+};
+
+} // namespace nn
+} // namespace slade
+
+#endif // SLADE_NN_INFERRUNTIME_H

@@ -2,8 +2,11 @@
 
 #include "nn/Mat.h"
 
+#include "nn/SimdExp.h"
+
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <type_traits>
 
 using namespace slade;
@@ -91,45 +94,23 @@ void slade::nn::gemmAcc(const float *A, const float *B, float *C, int M,
 
 void slade::nn::gemmAccNT(const float *A, const float *B, float *C, int M,
                           int K, int N) {
-  // C += A * B^T: both operands stream along K, so dot-product tiles with
-  // MR x NR register accumulators need no transposed access at all.
-  constexpr int NTR = 8; // Fewer columns: each needs its own B row pointer.
-  int MFull = M - M % MR, NFull = N - N % NTR;
-  for (int I0 = 0; I0 < MFull; I0 += MR) {
-    const float *ABlk = A + static_cast<size_t>(I0) * K;
-    for (int J0 = 0; J0 < NFull; J0 += NTR) {
-      float Acc[MR][NTR] = {};
-      for (int Kk = 0; Kk < K; ++Kk) {
-        for (int I = 0; I < MR; ++I) {
-          float AV = ABlk[static_cast<size_t>(I) * K + Kk];
-#pragma omp simd
-          for (int J = 0; J < NTR; ++J)
-            Acc[I][J] += AV * B[static_cast<size_t>(J0 + J) * K + Kk];
-        }
-      }
-      for (int I = 0; I < MR; ++I)
-        for (int J = 0; J < NTR; ++J)
-          C[static_cast<size_t>(I0 + I) * N + J0 + J] += Acc[I][J];
-    }
+  // C += A * B^T. Dot-product tiles straight over B's rows leave the
+  // inner loop with K-strided loads (painful exactly where attention
+  // needs this kernel: scores with small K = Dh and large N = T), so pack
+  // B^T once into row-major [K, N] and run the same register-blocked
+  // tiles as gemmAcc. Per output element the reduction still runs in
+  // increasing K order. The pack buffer is thread-local and grow-only, so
+  // steady-state calls allocate nothing.
+  static thread_local std::vector<float> Pack;
+  size_t Need = static_cast<size_t>(K) * N;
+  if (Pack.size() < Need)
+    Pack.resize(Need);
+  for (int J = 0; J < N; ++J) {
+    const float *BRow = B + static_cast<size_t>(J) * K;
+    for (int Kk = 0; Kk < K; ++Kk)
+      Pack[static_cast<size_t>(Kk) * N + J] = BRow[Kk];
   }
-  // Edges (rows past MFull, columns past NFull): plain dot products with
-  // identical K-order accumulation.
-  auto DotEdge = [&](int IBeg, int IEnd, int JBeg, int JEnd) {
-    for (int I = IBeg; I < IEnd; ++I) {
-      const float *ARow = A + static_cast<size_t>(I) * K;
-      float *CRow = C + static_cast<size_t>(I) * N;
-      for (int J = JBeg; J < JEnd; ++J) {
-        const float *BRow = B + static_cast<size_t>(J) * K;
-        float Acc = 0.0f;
-#pragma omp simd reduction(+ : Acc)
-        for (int Kk = 0; Kk < K; ++Kk)
-          Acc += ARow[Kk] * BRow[Kk];
-        CRow[J] += Acc;
-      }
-    }
-  };
-  DotEdge(0, MFull, NFull, N);
-  DotEdge(MFull, M, 0, N);
+  gemmAcc(A, Pack.data(), C, M, K, N);
 }
 
 void slade::nn::gemmAccTN(const float *A, const float *B, float *C, int M,
@@ -169,6 +150,81 @@ void slade::nn::gemmAccTN(const float *A, const float *B, float *C, int M,
   };
   Edge(0, MFull, NFull, N);
   Edge(MFull, M, 0, N);
+}
+
+void slade::nn::softmaxRowInPlace(float *Row, int N) {
+  if (N <= 0)
+    return;
+#ifdef SLADE_SIMD_EXP
+  int Full = N & ~7;
+  // Max: reorder-safe (no rounding), so the vector reduction is exact.
+  float MaxV = -1e30f;
+  if (Full) {
+    __m256 Mx = _mm256_set1_ps(-1e30f);
+    for (int J = 0; J < Full; J += 8)
+      Mx = _mm256_max_ps(Mx, _mm256_loadu_ps(Row + J));
+    MaxV = hmax256(Mx);
+  }
+  for (int J = Full; J < N; ++J)
+    MaxV = Row[J] > MaxV ? Row[J] : MaxV;
+  // exp blocks accumulate 8 partial sums; the tail uses the scalar mirror
+  // of the same polynomial, then folds in ascending order.
+  float Sum = 0;
+  if (Full) {
+    __m256 Mx = _mm256_set1_ps(MaxV);
+    __m256 Sv = _mm256_setzero_ps();
+    for (int J = 0; J < Full; J += 8) {
+      __m256 E = exp256Ps(_mm256_sub_ps(_mm256_loadu_ps(Row + J), Mx));
+      _mm256_storeu_ps(Row + J, E);
+      Sv = _mm256_add_ps(Sv, E);
+    }
+    Sum = hsum256(Sv);
+  }
+  for (int J = Full; J < N; ++J) {
+    Row[J] = expPsScalar(Row[J] - MaxV);
+    Sum += Row[J];
+  }
+  // Per-lane IEEE division: vector and scalar agree bitwise.
+  __m256 Sv = _mm256_set1_ps(Sum);
+  for (int J = 0; J < Full; J += 8)
+    _mm256_storeu_ps(Row + J,
+                     _mm256_div_ps(_mm256_loadu_ps(Row + J), Sv));
+  for (int J = Full; J < N; ++J)
+    Row[J] /= Sum;
+#else
+  float MaxV = -1e30f;
+  for (int J = 0; J < N; ++J)
+    MaxV = Row[J] > MaxV ? Row[J] : MaxV;
+  float Sum = 0;
+  for (int J = 0; J < N; ++J) {
+    Row[J] = expPsScalar(Row[J] - MaxV);
+    Sum += Row[J];
+  }
+  for (int J = 0; J < N; ++J)
+    Row[J] /= Sum;
+#endif
+}
+
+void slade::nn::layerNormRow(const float *X, int N, const float *Gamma,
+                             const float *Beta, float *Out, float *MeanOut,
+                             float *InvStdOut) {
+  float Mean = 0;
+  for (int J = 0; J < N; ++J)
+    Mean += X[J];
+  Mean /= static_cast<float>(N);
+  float Var = 0;
+  for (int J = 0; J < N; ++J) {
+    float D = X[J] - Mean;
+    Var += D * D;
+  }
+  Var /= static_cast<float>(N);
+  float InvStd = 1.0f / std::sqrt(Var + 1e-5f);
+  for (int J = 0; J < N; ++J)
+    Out[J] = (X[J] - Mean) * InvStd * Gamma[J] + Beta[J];
+  if (MeanOut)
+    *MeanOut = Mean;
+  if (InvStdOut)
+    *InvStdOut = InvStd;
 }
 
 Mat *slade::nn::matmul(Graph &G, Mat *A, Mat *B) {
@@ -251,24 +307,13 @@ Mat *slade::nn::relu(Graph &G, Mat *A) {
 Mat *slade::nn::layerNorm(Graph &G, Mat *A, Mat *Gamma, Mat *Beta) {
   Mat *C = G.make(A->R, A->C);
   Mat *Stats = G.make(A->R, 2); // mean, inv-std per row.
-  const float Eps = 1e-5f;
-  for (int I = 0; I < A->R; ++I) {
-    float Mean = 0;
-    for (int J = 0; J < A->C; ++J)
-      Mean += A->at(I, J);
-    Mean /= static_cast<float>(A->C);
-    float Var = 0;
-    for (int J = 0; J < A->C; ++J) {
-      float D = A->at(I, J) - Mean;
-      Var += D * D;
-    }
-    Var /= static_cast<float>(A->C);
-    float InvStd = 1.0f / std::sqrt(Var + Eps);
-    Stats->at(I, 0) = Mean;
-    Stats->at(I, 1) = InvStd;
-    for (int J = 0; J < A->C; ++J)
-      C->at(I, J) = (A->at(I, J) - Mean) * InvStd * Gamma->V[J] + Beta->V[J];
-  }
+  // Forward through the shared row kernel (the inference runtime calls
+  // the same code, which is what keeps the two paths bit-identical).
+  for (int I = 0; I < A->R; ++I)
+    layerNormRow(A->V.data() + static_cast<size_t>(I) * A->C, A->C,
+                 Gamma->V.data(), Beta->V.data(),
+                 C->V.data() + static_cast<size_t>(I) * A->C,
+                 &Stats->at(I, 0), &Stats->at(I, 1));
   G.addBackward([A, Gamma, Beta, C, Stats] {
     int N = A->C;
     for (int I = 0; I < A->R; ++I) {
@@ -296,19 +341,12 @@ Mat *slade::nn::softmaxRows(Graph &G, Mat *A, bool Causal) {
   Mat *C = G.make(A->R, A->C);
   for (int I = 0; I < A->R; ++I) {
     int Limit = Causal ? (I + 1 < A->C ? I + 1 : A->C) : A->C;
-    float MaxV = -1e30f;
-    for (int J = 0; J < Limit; ++J)
-      MaxV = A->at(I, J) > MaxV ? A->at(I, J) : MaxV;
-    float Sum = 0;
-    for (int J = 0; J < Limit; ++J) {
-      float E = std::exp(A->at(I, J) - MaxV);
-      C->at(I, J) = E;
-      Sum += E;
-    }
-    for (int J = 0; J < Limit; ++J)
-      C->at(I, J) /= Sum;
+    float *CRow = C->V.data() + static_cast<size_t>(I) * A->C;
+    std::memcpy(CRow, A->V.data() + static_cast<size_t>(I) * A->C,
+                static_cast<size_t>(Limit) * sizeof(float));
+    softmaxRowInPlace(CRow, Limit); // Shared with the inference runtime.
     for (int J = Limit; J < A->C; ++J)
-      C->at(I, J) = 0.0f;
+      CRow[J] = 0.0f;
   }
   G.addBackward([A, C, Causal] {
     for (int I = 0; I < A->R; ++I) {

@@ -90,6 +90,21 @@ void gemmAccNT(const float *A, const float *B, float *C, int M, int K,
 void gemmAccTN(const float *A, const float *B, float *C, int M, int K,
                int N);
 
+/// In-place numerically stable softmax over Row[0..N). ONE definition
+/// shared by the autograd softmaxRows op and the graph-free inference
+/// runtime (InferRuntime), so the training graph and the inference fast
+/// path can never diverge bitwise. Vectorized (AVX2 exp) when available.
+void softmaxRowInPlace(float *Row, int N);
+
+/// LayerNorm of one row: Out[j] = (X[j] - mean) * invstd * Gamma[j] +
+/// Beta[j], eps = 1e-5. Shared forward of the autograd layerNorm op, the
+/// inference runtime's encoder, and the KV-cached decode paths (same
+/// bit-exactness contract as softmaxRowInPlace). Mean/InvStd are reported
+/// for the backward pass when requested.
+void layerNormRow(const float *X, int N, const float *Gamma,
+                  const float *Beta, float *Out, float *MeanOut = nullptr,
+                  float *InvStdOut = nullptr);
+
 // -- autograd ops ------------------------------------------------------------
 
 Mat *matmul(Graph &G, Mat *A, Mat *B);     ///< [m,k]x[k,n].

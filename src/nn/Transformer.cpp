@@ -2,15 +2,12 @@
 
 #include "nn/Transformer.h"
 
+#include "nn/InferRuntime.h"
 #include "support/RNG.h"
 
 #include <cmath>
 #include <cstdio>
 #include <cstring>
-
-#if defined(__AVX2__) && defined(__FMA__)
-#include <immintrin.h>
-#endif
 
 using namespace slade;
 using namespace slade::nn;
@@ -223,21 +220,9 @@ float Transformer::pairLoss(Graph &G, const std::vector<int> &Src,
 
 void Transformer::layerNormRow(const float *X, const LN &P,
                                float *Out) const {
-  int D = Cfg.DModel;
-  float Mean = 0;
-  for (int J = 0; J < D; ++J)
-    Mean += X[J];
-  Mean /= static_cast<float>(D);
-  float Var = 0;
-  for (int J = 0; J < D; ++J) {
-    float Dv = X[J] - Mean;
-    Var += Dv * Dv;
-  }
-  Var /= static_cast<float>(D);
-  float Inv = 1.0f / std::sqrt(Var + 1e-5f);
-  for (int J = 0; J < D; ++J)
-    Out[J] = (X[J] - Mean) * Inv * P.Gamma.V[static_cast<size_t>(J)] +
-             P.Beta.V[static_cast<size_t>(J)];
+  // Shared row kernel (also the graph op's forward): every path in the
+  // system normalizes with identical rounding.
+  nn::layerNormRow(X, Cfg.DModel, P.Gamma.V.data(), P.Beta.V.data(), Out);
 }
 
 void Transformer::linearRow(const float *X, const Mat &W, const Mat &B,
@@ -255,63 +240,34 @@ void Transformer::linearRow(const float *X, const Mat &W, const Mat &B,
   }
 }
 
-void Transformer::linearRows(const float *X, int Rows, const Mat &W,
-                             const Mat &Bias, float *Out) const {
-  int OutD = W.C;
-  for (int R = 0; R < Rows; ++R)
-    std::memcpy(Out + static_cast<size_t>(R) * OutD, Bias.V.data(),
-                static_cast<size_t>(OutD) * sizeof(float));
-  gemmAcc(X, W.V.data(), Out, Rows, W.R, OutD);
-}
-
 std::shared_ptr<const Transformer::DecodeConstants>
 Transformer::decodeConstants() const {
   std::lock_guard<std::mutex> Lock(ConstCache.Box->Mu);
   std::shared_ptr<const DecodeConstants> &Cur = ConstCache.Box->Cur;
   if (Cur && Cur->Version == WeightVersion)
     return Cur;
-
-  int D = Cfg.DModel;
-  auto C = std::make_shared<DecodeConstants>();
-  C->Version = WeightVersion;
-  // Fused Q|K|V projection per decoder layer: one GEMM projects all three.
-  C->SelfQKVW.resize(Dec.size());
-  C->SelfQKVB.resize(Dec.size());
-  for (size_t L = 0; L < Dec.size(); ++L) {
-    const Attn &A = Dec[L].Self;
-    std::vector<float> &W = C->SelfQKVW[L];
-    std::vector<float> &B = C->SelfQKVB[L];
-    W.resize(static_cast<size_t>(D) * 3 * D);
-    B.resize(static_cast<size_t>(3) * D);
-    for (int I = 0; I < D; ++I)
-      for (int J = 0; J < D; ++J) {
-        W[static_cast<size_t>(I) * 3 * D + J] = A.Wq.at(I, J);
-        W[static_cast<size_t>(I) * 3 * D + D + J] = A.Wk.at(I, J);
-        W[static_cast<size_t>(I) * 3 * D + 2 * D + J] = A.Wv.at(I, J);
-      }
-    for (int J = 0; J < D; ++J) {
-      B[static_cast<size_t>(J)] = A.Bq.V[static_cast<size_t>(J)];
-      B[static_cast<size_t>(D + J)] = A.Bk.V[static_cast<size_t>(J)];
-      B[static_cast<size_t>(2 * D + J)] = A.Bv.V[static_cast<size_t>(J)];
-    }
-  }
-  C->EmbT.resize(static_cast<size_t>(D) * Cfg.Vocab);
-  for (int W = 0; W < Cfg.Vocab; ++W)
-    for (int J = 0; J < D; ++J)
-      C->EmbT[static_cast<size_t>(J) * Cfg.Vocab + W] = TokEmb.at(W, J);
-  Cur = C;
-  return C;
+  Cur = InferRuntime(*this).buildDecodeConstants();
+  return Cur;
 }
 
 std::shared_ptr<const Transformer::EncoderCache>
 Transformer::encodeSource(const std::vector<int> &Src) const {
+  // Graph-free fast path: raw buffers from the pooled scratch arena, the
+  // same tiled kernels as the training graph, bit-identical outputs
+  // (tested against encodeSourceGraph).
+  return InferRuntime(*this).encodeSource(Src);
+}
+
+std::shared_ptr<const Transformer::EncoderCache>
+Transformer::encodeSourceGraph(const std::vector<int> &Src) const {
   auto Cache = std::make_shared<EncoderCache>();
   std::vector<int> S = Src;
   if (static_cast<int>(S.size()) > Cfg.MaxLen)
     S.resize(static_cast<size_t>(Cfg.MaxLen));
-  int T = static_cast<int>(S.size()), D = Cfg.DModel;
+  int T = static_cast<int>(S.size());
   // Run the encoder on an inference-mode Graph: no gradient buffers are
-  // allocated and no backward closures recorded.
+  // allocated and no backward closures recorded. Still pays the per-node
+  // arena allocations — this path exists as the oracle and baseline.
   Graph G(/*Inference=*/true);
   Mat *X = embed(G, const_cast<Mat *>(&TokEmb), const_cast<Mat *>(&EncPos),
                  S);
@@ -330,23 +286,9 @@ Transformer::encodeSource(const std::vector<int> &Src) const {
                           &Self->EncFinal.Beta);
   Cache->EncOut = EncOut->V;
   Cache->TSrc = T;
-
-  // Precompute cross-attention K/V per decoder layer, batched over the
-  // source positions.
-  Cache->CrossK.resize(Dec.size());
-  Cache->CrossV.resize(Dec.size());
-  for (size_t L = 0; L < Dec.size(); ++L) {
-    const Attn &A = Dec[L].Cross;
-    Cache->CrossK[L].assign(static_cast<size_t>(T) * D, 0.0f);
-    Cache->CrossV[L].assign(static_cast<size_t>(T) * D, 0.0f);
-    linearRows(Cache->EncOut.data(), T, A.Wk, A.Bk, Cache->CrossK[L].data());
-    linearRows(Cache->EncOut.data(), T, A.Wv, A.Bv, Cache->CrossV[L].data());
-  }
-
-  // Decode-session constants (fused Q|K|V projection, transposed output
-  // embedding) are per-model, not per-source: borrow the shared
-  // weight-versioned copy instead of rebuilding them per request.
-  Cache->Consts = decodeConstants();
+  // Cross-K/V + shared constants through the SAME code as the fast path,
+  // so the two caches agree whenever EncOut does.
+  InferRuntime(*this).finishEncoderCache(*Cache);
   return Cache;
 }
 
@@ -480,9 +422,8 @@ std::vector<float> Transformer::stepDecode(DecodeState &St,
   }
   return Logits;
 }
-
 //===----------------------------------------------------------------------===//
-// Batched inference (shared encoder/cross caches, one GEMM per beam batch)
+// Batched inference: delegates to the graph-free InferRuntime
 //===----------------------------------------------------------------------===//
 
 Transformer::BatchDecodeState
@@ -494,414 +435,19 @@ Transformer::startDecodeBatch(std::shared_ptr<const EncoderCache> Enc,
 Transformer::BatchDecodeState Transformer::startDecodeBatchMulti(
     const std::vector<std::shared_ptr<const EncoderCache>> &Encs,
     int BeamsPerSource, int MaxSteps) const {
-  assert(!Encs.empty() && BeamsPerSource > 0 && MaxSteps > 0);
-  BatchDecodeState St;
-  int MaxBeams = BeamsPerSource * static_cast<int>(Encs.size());
-  assert(Encs.size() <= 65535 && BeamsPerSource <= 65535 &&
-         "source/slot ids are uint16");
-  St.B = static_cast<int>(Encs.size()); // One BOS row per source.
-  St.BMax = MaxBeams;
-  St.KMax = BeamsPerSource;
-  St.Cap = MaxSteps;
-  St.RowEnc = Encs;
-  St.RowEnc.resize(static_cast<size_t>(MaxBeams));
-  St.RowSource.assign(static_cast<size_t>(MaxBeams), 0);
-  for (size_t S = 0; S < Encs.size(); ++S)
-    St.RowSource[S] = static_cast<uint16_t>(S);
-  for (const auto &Enc : Encs)
-    St.MaxTSrc = std::max(St.MaxTSrc, Enc->TSrc);
-  // All rows share one model: borrow the constants from the first source
-  // (every EncoderCache of a model references the same copy).
-  St.Consts = Encs.front()->Consts;
-  int D = Cfg.DModel;
-  size_t PerLayer = static_cast<size_t>(MaxBeams) * St.Cap * D;
-  St.SelfK.assign(Dec.size(), std::vector<float>(PerLayer));
-  St.SelfV.assign(Dec.size(), std::vector<float>(PerLayer));
-  St.Anc.assign(static_cast<size_t>(MaxBeams) * St.Cap, 0);
-  size_t Rows = static_cast<size_t>(MaxBeams) * D;
-  St.X.resize(Rows);
-  St.Norm.resize(Rows);
-  St.QKV.resize(Rows * 3);
-  St.AttnOut.resize(Rows);
-  St.Proj.resize(Rows);
-  St.FF1.resize(static_cast<size_t>(MaxBeams) * Cfg.FF);
-  St.Scores.resize(static_cast<size_t>(Cfg.NHeads) *
-                   std::max(St.Cap, St.MaxTSrc));
-  return St;
+  return InferRuntime(*this).startDecodeBatchMulti(Encs, BeamsPerSource,
+                                                   MaxSteps);
 }
-
-namespace {
-
-#if defined(__AVX2__) && defined(__FMA__)
-
-/// Polynomial expf (Cephes coefficients, ~1e-7 relative error), 8-wide.
-/// Used inside the decode softmax where the argument is <= 0; the clamp
-/// keeps denormal/overflow inputs finite.
-inline __m256 exp256Ps(__m256 X) {
-  const __m256 Hi = _mm256_set1_ps(88.3762626647950f);
-  const __m256 Lo = _mm256_set1_ps(-87.3365478515625f);
-  X = _mm256_min_ps(_mm256_max_ps(X, Lo), Hi);
-  const __m256 Log2E = _mm256_set1_ps(1.44269504088896341f);
-  __m256 Fx = _mm256_round_ps(_mm256_mul_ps(X, Log2E),
-                              _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
-  X = _mm256_fnmadd_ps(Fx, _mm256_set1_ps(0.693359375f), X);
-  X = _mm256_fnmadd_ps(Fx, _mm256_set1_ps(-2.12194440e-4f), X);
-  __m256 Y = _mm256_set1_ps(1.9875691500e-4f);
-  Y = _mm256_fmadd_ps(Y, X, _mm256_set1_ps(1.3981999507e-3f));
-  Y = _mm256_fmadd_ps(Y, X, _mm256_set1_ps(8.3334519073e-3f));
-  Y = _mm256_fmadd_ps(Y, X, _mm256_set1_ps(4.1665795894e-2f));
-  Y = _mm256_fmadd_ps(Y, X, _mm256_set1_ps(1.6666665459e-1f));
-  Y = _mm256_fmadd_ps(Y, X, _mm256_set1_ps(5.0000001201e-1f));
-  __m256 X2 = _mm256_mul_ps(X, X);
-  Y = _mm256_fmadd_ps(Y, X2, _mm256_add_ps(X, _mm256_set1_ps(1.0f)));
-  __m256i N = _mm256_cvtps_epi32(Fx);
-  N = _mm256_slli_epi32(_mm256_add_epi32(N, _mm256_set1_epi32(127)), 23);
-  return _mm256_mul_ps(Y, _mm256_castsi256_ps(N));
-}
-
-inline float hsum256(__m256 V) {
-  __m128 S = _mm_add_ps(_mm256_castps256_ps128(V),
-                        _mm256_extractf128_ps(V, 1));
-  S = _mm_add_ps(S, _mm_movehl_ps(S, S));
-  S = _mm_add_ss(S, _mm_movehdup_ps(S));
-  return _mm_cvtss_f32(S);
-}
-
-/// AVX2 softmax-attention over cached rows for one query row, one head
-/// slice of DhT = NV*8 floats. The score pass keeps the dot product in
-/// two FMA chains per row; the value pass holds the output slice in NV
-/// register accumulators across the whole context.
-template <int NV, typename RowOfK, typename RowOfV>
-inline void attendHeadAVX(const float *Qh, float *Oh, int T, int Off,
-                          float InvS, float *SRow, const RowOfK &KRowOf,
-                          const RowOfV &VRowOf) {
-  __m256 Q[NV];
-  for (int V = 0; V < NV; ++V)
-    Q[V] = _mm256_loadu_ps(Qh + V * 8);
-  float MaxS = -1e30f;
-  for (int Tt = 0; Tt < T; ++Tt) {
-    const float *KRow = KRowOf(Tt) + Off;
-    __m256 Acc = _mm256_mul_ps(Q[0], _mm256_loadu_ps(KRow));
-    for (int V = 1; V < NV; ++V)
-      Acc = _mm256_fmadd_ps(Q[V], _mm256_loadu_ps(KRow + V * 8), Acc);
-    float Dot = hsum256(Acc) * InvS;
-    SRow[Tt] = Dot;
-    MaxS = std::max(MaxS, Dot);
-  }
-  __m256 MaxV = _mm256_set1_ps(MaxS);
-  __m256 SumV = _mm256_setzero_ps();
-  int Tt = 0;
-  for (; Tt + 8 <= T; Tt += 8) {
-    __m256 E = exp256Ps(_mm256_sub_ps(_mm256_loadu_ps(SRow + Tt), MaxV));
-    _mm256_storeu_ps(SRow + Tt, E);
-    SumV = _mm256_add_ps(SumV, E);
-  }
-  float Sum = hsum256(SumV);
-  for (; Tt < T; ++Tt) {
-    float Buf[8] = {SRow[Tt] - MaxS};
-    __m256 E = exp256Ps(_mm256_loadu_ps(Buf));
-    SRow[Tt] = _mm_cvtss_f32(_mm256_castps256_ps128(E));
-    Sum += SRow[Tt];
-  }
-  float InvSum = 1.0f / Sum;
-  __m256 Acc[NV];
-  for (int V = 0; V < NV; ++V)
-    Acc[V] = _mm256_setzero_ps();
-  for (Tt = 0; Tt < T; ++Tt) {
-    const float *VRow = VRowOf(Tt) + Off;
-    __m256 W = _mm256_set1_ps(SRow[Tt] * InvSum);
-    for (int V = 0; V < NV; ++V)
-      Acc[V] = _mm256_fmadd_ps(W, _mm256_loadu_ps(VRow + V * 8), Acc[V]);
-  }
-  for (int V = 0; V < NV; ++V)
-    _mm256_storeu_ps(Oh + V * 8, Acc[V]);
-}
-
-#endif // __AVX2__ && __FMA__
-
-/// Softmax-attention over cached K/V rows for one query row. Per-head
-/// passes with a fixed-width register accumulator for the value
-/// reduction: each pass streams only its head's Dh-float slice of the
-/// cache, so total memory traffic matches a single fused pass while the
-/// inner loops stay pure FMA chains. DhT is the compile-time head width.
-template <int DhT, typename RowOfK, typename RowOfV>
-inline void attendCached(const float *QRow, float *ORow, int T, int H,
-                         float InvS, float *Scores, int ScoreStride,
-                         const RowOfK &KRowOf, const RowOfV &VRowOf) {
-  for (int Hd = 0; Hd < H; ++Hd) {
-    int Off = Hd * DhT;
-    float *SRow = Scores + static_cast<size_t>(Hd) * ScoreStride;
-    const float *Qh = QRow + Off;
-    float MaxS = -1e30f;
-    for (int Tt = 0; Tt < T; ++Tt) {
-      const float *KRow = KRowOf(Tt) + Off;
-      float Dot = 0;
-#pragma omp simd reduction(+ : Dot)
-      for (int Jj = 0; Jj < DhT; ++Jj)
-        Dot += Qh[Jj] * KRow[Jj];
-      SRow[Tt] = Dot * InvS;
-      MaxS = std::max(MaxS, SRow[Tt]);
-    }
-    float Sum = 0;
-    for (int Tt = 0; Tt < T; ++Tt) {
-      SRow[Tt] = std::exp(SRow[Tt] - MaxS);
-      Sum += SRow[Tt];
-    }
-    float InvSum = 1.0f / Sum;
-    float Acc[DhT] = {};
-    for (int Tt = 0; Tt < T; ++Tt) {
-      float W = SRow[Tt] * InvSum;
-      const float *VRow = VRowOf(Tt) + Off;
-#pragma omp simd
-      for (int Jj = 0; Jj < DhT; ++Jj)
-        Acc[Jj] += W * VRow[Jj];
-    }
-    float *Oh = ORow + Off;
-#pragma omp simd
-    for (int Jj = 0; Jj < DhT; ++Jj)
-      Oh[Jj] = Acc[Jj];
-  }
-}
-
-/// Runtime-Dh dispatcher: common head widths get the fixed-width kernel.
-template <typename RowOfK, typename RowOfV>
-inline void attendCachedDyn(const float *QRow, float *ORow, int T, int H,
-                            int Dh, float InvS, float *Scores,
-                            int ScoreStride, const RowOfK &KRowOf,
-                            const RowOfV &VRowOf) {
-#if defined(__AVX2__) && defined(__FMA__)
-  if (Dh % 8 == 0 && Dh <= 32) {
-    for (int Hd = 0; Hd < H; ++Hd) {
-      int Off = Hd * Dh;
-      const float *Qh = QRow + Off;
-      float *Oh = ORow + Off;
-      float *SRow = Scores + static_cast<size_t>(Hd) * ScoreStride;
-      switch (Dh / 8) {
-      case 1:
-        attendHeadAVX<1>(Qh, Oh, T, Off, InvS, SRow, KRowOf, VRowOf);
-        break;
-      case 2:
-        attendHeadAVX<2>(Qh, Oh, T, Off, InvS, SRow, KRowOf, VRowOf);
-        break;
-      case 3:
-        attendHeadAVX<3>(Qh, Oh, T, Off, InvS, SRow, KRowOf, VRowOf);
-        break;
-      default:
-        attendHeadAVX<4>(Qh, Oh, T, Off, InvS, SRow, KRowOf, VRowOf);
-        break;
-      }
-    }
-    return;
-  }
-#endif
-  switch (Dh) {
-  case 8:
-    attendCached<8>(QRow, ORow, T, H, InvS, Scores, ScoreStride, KRowOf,
-                    VRowOf);
-    return;
-  case 16:
-    attendCached<16>(QRow, ORow, T, H, InvS, Scores, ScoreStride, KRowOf,
-                     VRowOf);
-    return;
-  case 32:
-    attendCached<32>(QRow, ORow, T, H, InvS, Scores, ScoreStride, KRowOf,
-                     VRowOf);
-    return;
-  default:
-    break;
-  }
-  // Generic fallback, same math in the same order.
-  for (int Hd = 0; Hd < H; ++Hd) {
-    int Off = Hd * Dh;
-    float *SRow = Scores + static_cast<size_t>(Hd) * ScoreStride;
-    float MaxS = -1e30f;
-    for (int Tt = 0; Tt < T; ++Tt) {
-      const float *KRow = KRowOf(Tt) + Off;
-      float Dot = 0;
-      for (int Jj = 0; Jj < Dh; ++Jj)
-        Dot += QRow[Off + Jj] * KRow[Jj];
-      SRow[Tt] = Dot * InvS;
-      MaxS = std::max(MaxS, SRow[Tt]);
-    }
-    float Sum = 0;
-    for (int Tt = 0; Tt < T; ++Tt) {
-      SRow[Tt] = std::exp(SRow[Tt] - MaxS);
-      Sum += SRow[Tt];
-    }
-    float InvSum = 1.0f / Sum;
-    for (int Jj = 0; Jj < Dh; ++Jj)
-      ORow[Off + Jj] = 0;
-    for (int Tt = 0; Tt < T; ++Tt) {
-      float W = SRow[Tt] * InvSum;
-      const float *VRow = VRowOf(Tt) + Off;
-      for (int Jj = 0; Jj < Dh; ++Jj)
-        ORow[Off + Jj] += W * VRow[Jj];
-    }
-  }
-}
-
-} // namespace
 
 std::vector<float>
 Transformer::stepDecodeBatch(BatchDecodeState &St,
                              const std::vector<int> &Tokens) const {
-  int B = St.B, D = Cfg.DModel, H = Cfg.NHeads, Dh = D / H;
-  assert(static_cast<int>(Tokens.size()) == B && "one token per beam");
-  assert(St.Len < St.Cap && "self-cache capacity exhausted");
-  const DecodeConstants &Consts = *St.Consts;
-  int Pos = St.Len < Cfg.MaxLen ? St.Len : Cfg.MaxLen - 1;
-
-  float *X = St.X.data(), *Norm = St.Norm.data(), *QKV = St.QKV.data(),
-        *AttnOut = St.AttnOut.data(), *Proj = St.Proj.data(),
-        *FF1 = St.FF1.data(), *Scores = St.Scores.data();
-  for (int Bi = 0; Bi < B; ++Bi)
-    for (int J = 0; J < D; ++J)
-      X[static_cast<size_t>(Bi) * D + J] =
-          TokEmb.at(Tokens[static_cast<size_t>(Bi)], J) + DecPos.at(Pos, J);
-
-  int ScoreStride = std::max(St.Cap, St.MaxTSrc);
-  float InvS = 1.0f / std::sqrt(static_cast<float>(Dh));
-
-  // Per-source segment geometry: [Cap, KMax, D] time-major per segment.
-  size_t TimeStride = static_cast<size_t>(St.KMax) * D;
-  size_t SegStride = static_cast<size_t>(St.Cap) * TimeStride;
-
-  for (size_t L = 0; L < Dec.size(); ++L) {
-    const DecLayer &Lay = Dec[L];
-
-    // Self attention: one fused Q|K|V GEMM for the whole beam batch.
-    for (int Bi = 0; Bi < B; ++Bi)
-      layerNormRow(X + static_cast<size_t>(Bi) * D, Lay.LN1,
-                   Norm + static_cast<size_t>(Bi) * D);
-    for (int Bi = 0; Bi < B; ++Bi)
-      std::memcpy(QKV + static_cast<size_t>(Bi) * 3 * D,
-                  Consts.SelfQKVB[L].data(),
-                  static_cast<size_t>(3) * D * sizeof(float));
-    gemmAcc(Norm, Consts.SelfQKVW[L].data(), QKV, B, D, 3 * D);
-    // Each beam writes its new K/V row once, at (t=Len, slot=position
-    // within its source's row block); the row is never moved afterwards —
-    // descendants find it via Anc. Rows of one source are contiguous, so
-    // the running Local counter is the segment-local slot.
-    for (int Bi = 0, Local = 0; Bi < B; ++Bi) {
-      Local = (Bi > 0 && St.RowSource[static_cast<size_t>(Bi)] ==
-                             St.RowSource[static_cast<size_t>(Bi - 1)])
-                  ? Local + 1
-                  : 0;
-      assert(Local < St.KMax && "source rows not contiguous");
-      size_t Slot =
-          static_cast<size_t>(St.RowSource[static_cast<size_t>(Bi)]) *
-              SegStride +
-          static_cast<size_t>(St.Len) * TimeStride +
-          static_cast<size_t>(Local) * D;
-      const float *Row = QKV + static_cast<size_t>(Bi) * 3 * D;
-      std::memcpy(&St.SelfK[L][Slot], Row + D,
-                  static_cast<size_t>(D) * sizeof(float));
-      std::memcpy(&St.SelfV[L][Slot], Row + 2 * D,
-                  static_cast<size_t>(D) * sizeof(float));
-      if (L == 0)
-        St.Anc[static_cast<size_t>(Bi) * St.Cap + St.Len] =
-            static_cast<uint16_t>(Local);
-    }
-    int TCtx = St.Len + 1;
-    for (int Bi = 0; Bi < B; ++Bi) {
-      const float *KBase =
-          St.SelfK[L].data() +
-          static_cast<size_t>(St.RowSource[static_cast<size_t>(Bi)]) *
-              SegStride;
-      const float *VBase =
-          St.SelfV[L].data() +
-          static_cast<size_t>(St.RowSource[static_cast<size_t>(Bi)]) *
-              SegStride;
-      const uint16_t *AncB = &St.Anc[static_cast<size_t>(Bi) * St.Cap];
-      attendCachedDyn(
-          QKV + static_cast<size_t>(Bi) * 3 * D,
-          AttnOut + static_cast<size_t>(Bi) * D, TCtx, H, Dh, InvS, Scores,
-          ScoreStride,
-          [&](int Tt) {
-            return KBase + static_cast<size_t>(Tt) * TimeStride +
-                   static_cast<size_t>(AncB[Tt]) * D;
-          },
-          [&](int Tt) {
-            return VBase + static_cast<size_t>(Tt) * TimeStride +
-                   static_cast<size_t>(AncB[Tt]) * D;
-          });
-    }
-    linearRows(AttnOut, B, Lay.Self.Wo, Lay.Self.Bo, Proj);
-    for (size_t I = 0; I < static_cast<size_t>(B) * D; ++I)
-      X[I] += Proj[I];
-
-    // Cross attention: the K/V caches are shared by every beam of one
-    // source; each row attends over its OWN source's cache (rows of
-    // different sources may share the batch).
-    for (int Bi = 0; Bi < B; ++Bi)
-      layerNormRow(X + static_cast<size_t>(Bi) * D, Lay.LN2,
-                   Norm + static_cast<size_t>(Bi) * D);
-    linearRows(Norm, B, Lay.Cross.Wq, Lay.Cross.Bq, QKV);
-    for (int Bi = 0; Bi < B; ++Bi) {
-      const EncoderCache &Enc = *St.RowEnc[static_cast<size_t>(Bi)];
-      const float *CK = Enc.CrossK[L].data(), *CV = Enc.CrossV[L].data();
-      attendCachedDyn(
-          QKV + static_cast<size_t>(Bi) * D,
-          AttnOut + static_cast<size_t>(Bi) * D, Enc.TSrc, H, Dh, InvS,
-          Scores, ScoreStride,
-          [&](int Tt) { return CK + static_cast<size_t>(Tt) * D; },
-          [&](int Tt) { return CV + static_cast<size_t>(Tt) * D; });
-    }
-    linearRows(AttnOut, B, Lay.Cross.Wo, Lay.Cross.Bo, Proj);
-    for (size_t I = 0; I < static_cast<size_t>(B) * D; ++I)
-      X[I] += Proj[I];
-
-    // FFN, batched across beams.
-    for (int Bi = 0; Bi < B; ++Bi)
-      layerNormRow(X + static_cast<size_t>(Bi) * D, Lay.LN3,
-                   Norm + static_cast<size_t>(Bi) * D);
-    linearRows(Norm, B, Lay.W1, Lay.B1, FF1);
-    for (size_t I = 0; I < static_cast<size_t>(B) * Cfg.FF; ++I)
-      FF1[I] = FF1[I] > 0 ? FF1[I] : 0;
-    linearRows(FF1, B, Lay.W2, Lay.B2, Proj);
-    for (size_t I = 0; I < static_cast<size_t>(B) * D; ++I)
-      X[I] += Proj[I];
-  }
-  ++St.Len;
-
-  for (int Bi = 0; Bi < B; ++Bi)
-    layerNormRow(X + static_cast<size_t>(Bi) * D, DecFinal,
-                 Norm + static_cast<size_t>(Bi) * D);
-  // Logits against the shared embedding: one streaming [B,D]x[D,V] GEMM
-  // over the pre-transposed table.
-  std::vector<float> Logits(static_cast<size_t>(B) * Cfg.Vocab, 0.0f);
-  gemmAcc(Norm, Consts.EmbT.data(), Logits.data(), B, D, Cfg.Vocab);
-  return Logits;
+  return InferRuntime(*this).stepDecodeBatch(St, Tokens);
 }
 
 void Transformer::reorderBeams(BatchDecodeState &St,
                                const std::vector<int> &SrcIdx) const {
-  int NewB = static_cast<int>(SrcIdx.size());
-  assert(NewB > 0 && NewB <= St.BMax && "beam count exceeds allocation");
-  // Cached K/V rows never move: survivor selection only gathers the
-  // per-beam ancestry index rows (Len uint16 entries per beam) and the
-  // per-row encoder bindings.
-  size_t Used = static_cast<size_t>(St.Len);
-  St.AncScratch.resize(static_cast<size_t>(NewB) * Used);
-  St.RowEncScratch.resize(static_cast<size_t>(NewB));
-  St.RowSourceScratch.resize(static_cast<size_t>(NewB));
-  for (int Bi = 0; Bi < NewB; ++Bi) {
-    size_t Src = static_cast<size_t>(SrcIdx[static_cast<size_t>(Bi)]);
-    std::memcpy(&St.AncScratch[static_cast<size_t>(Bi) * Used],
-                &St.Anc[Src * St.Cap], Used * sizeof(uint16_t));
-    St.RowEncScratch[static_cast<size_t>(Bi)] = St.RowEnc[Src];
-    St.RowSourceScratch[static_cast<size_t>(Bi)] = St.RowSource[Src];
-  }
-  for (int Bi = 0; Bi < NewB; ++Bi) {
-    std::memcpy(&St.Anc[static_cast<size_t>(Bi) * St.Cap],
-                &St.AncScratch[static_cast<size_t>(Bi) * Used],
-                Used * sizeof(uint16_t));
-    St.RowEnc[static_cast<size_t>(Bi)] =
-        std::move(St.RowEncScratch[static_cast<size_t>(Bi)]);
-    St.RowSource[static_cast<size_t>(Bi)] =
-        St.RowSourceScratch[static_cast<size_t>(Bi)];
-  }
-  St.B = NewB;
+  InferRuntime(*this).reorderBeams(St, SrcIdx);
 }
 
 //===----------------------------------------------------------------------===//

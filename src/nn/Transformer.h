@@ -8,6 +8,13 @@
 /// Training uses teacher forcing; inference has a KV-cached fast path used
 /// by greedy and beam-search decoding (§VI-A).
 ///
+/// Execution is split by purpose: the Graph-based encode/decode/pairLoss
+/// are the training path (autograd tape) and the bit-exactness oracle;
+/// every serving entry point below (encodeSource, startDecodeBatch[Multi],
+/// stepDecodeBatch, decodeConstants) delegates to the graph-free
+/// InferRuntime (nn/InferRuntime.h), which runs on raw preallocated
+/// buffers with the tiled kernels.
+///
 //===----------------------------------------------------------------------===//
 #ifndef SLADE_NN_TRANSFORMER_H
 #define SLADE_NN_TRANSFORMER_H
@@ -23,6 +30,8 @@
 
 namespace slade {
 namespace nn {
+
+class InferRuntime;
 
 struct TransformerConfig {
   int Vocab = 512;
@@ -88,6 +97,18 @@ public:
     std::vector<std::vector<float>> CrossV;
     /// Shared model-level constants (weight-versioned, not per-source).
     std::shared_ptr<const DecodeConstants> Consts;
+
+    /// Heap bytes held by this cache entry (the shared Consts are NOT
+    /// counted: one copy serves every entry). Used by the EncoderLRU's
+    /// byte accounting.
+    size_t bytes() const {
+      size_t B = sizeof(*this) + EncOut.capacity() * sizeof(float);
+      for (const std::vector<float> &K : CrossK)
+        B += K.capacity() * sizeof(float);
+      for (const std::vector<float> &V : CrossV)
+        B += V.capacity() * sizeof(float);
+      return B;
+    }
   };
 
   /// Monotonic version of the weights. Anything that mutates parameters
@@ -115,8 +136,17 @@ public:
   };
 
   /// Runs the encoder and prepares the shared cross-attention caches.
+  /// Executes on the graph-free InferRuntime (raw buffers, pooled
+  /// EncodeScratch arena, no tape/per-node allocation); bit-identical to
+  /// encodeSourceGraph.
   std::shared_ptr<const EncoderCache>
   encodeSource(const std::vector<int> &Src) const;
+
+  /// Reference encoder path through the autograd Graph (inference mode).
+  /// Retained as the bit-exactness oracle for the runtime fast path and
+  /// as the benchmark baseline; serving traffic never takes it.
+  std::shared_ptr<const EncoderCache>
+  encodeSourceGraph(const std::vector<int> &Src) const;
 
   /// Runs the encoder and prepares cross-attention caches (sequential
   /// reference path; copies the shared caches into the state).
@@ -197,6 +227,10 @@ public:
   size_t parameterCount();
 
 private:
+  /// The graph-free inference runtime executes the encoder and the
+  /// batched decoder directly on the private weight matrices.
+  friend class InferRuntime;
+
   TransformerConfig Cfg;
 
   struct LN {
@@ -262,14 +296,11 @@ private:
   Mat *decode(Graph &G, Mat *EncOut, const std::vector<int> &In,
               bool Train);
 
-  // Inference helpers operate on raw row vectors.
+  // Row helpers for the sequential (reference) decode path. The batched
+  // hot paths live in InferRuntime.
   void layerNormRow(const float *X, const LN &P, float *Out) const;
   void linearRow(const float *X, const Mat &W, const Mat &B,
                  float *Out) const;
-  /// Batched linear: Out[r] = X[r] * W + Bias for r in [0, Rows), one
-  /// tiled GEMM call instead of Rows row-vector products.
-  void linearRows(const float *X, int Rows, const Mat &W, const Mat &Bias,
-                  float *Out) const;
 };
 
 /// Adam with decoupled weight decay (§V-C) and inverse-sqrt warmup.

@@ -122,8 +122,19 @@ Scheduler::decodeAll(const std::vector<std::vector<int>> &Srcs) {
   M.DecodeSeconds += secondsSince(T0);
 
   nn::EncoderLRU::Stats After = D.encoderCache().stats();
-  M.EncoderCacheHits += After.Hits - Before.Hits;
-  M.EncoderCacheMisses += After.Misses - Before.Misses;
+  uint64_t DHits = After.Hits - Before.Hits;
+  uint64_t DMisses = After.Misses - Before.Misses;
+  M.EncoderCacheHits += DHits;
+  M.EncoderCacheMisses += DMisses;
+  uint64_t Lookups = M.EncoderCacheHits + M.EncoderCacheMisses;
+  M.EncoderCacheHitRate =
+      Lookups ? static_cast<double>(M.EncoderCacheHits) /
+                    static_cast<double>(Lookups)
+              : 0.0;
+  if (DMisses)
+    M.ColdEncodeMsMean = (After.MissSeconds - Before.MissSeconds) * 1000.0 /
+                         static_cast<double>(DMisses);
+  M.EncoderCacheBytes = D.encoderCache().bytesUsed();
 
   std::vector<std::vector<nn::Hypothesis>> Hyps(Srcs.size());
   for (size_t I = 0; I < Srcs.size(); ++I)

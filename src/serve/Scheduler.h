@@ -78,6 +78,15 @@ struct ServeMetrics {
   double FunctionsPerSec = 0;
   uint64_t EncoderCacheHits = 0;
   uint64_t EncoderCacheMisses = 0;
+  /// EncoderLRU hit rate for this run (hits / lookups; 0 when no
+  /// lookups). With the graph-free encoder fast path, cold encodes are
+  /// the unique-corpus cost driver, so the rate tells encode-bound from
+  /// decode-bound regimes at a glance.
+  double EncoderCacheHitRate = 0;
+  /// Mean wall-clock ms of one LRU-miss encode (the cold-encode cost).
+  double ColdEncodeMsMean = 0;
+  /// Heap bytes held by the encoder LRU after the run.
+  size_t EncoderCacheBytes = 0;
   /// Jobs whose decode was satisfied by another identical job in the
   /// same run (single-flight dedup).
   size_t DecodesDeduped = 0;

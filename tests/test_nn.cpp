@@ -9,6 +9,7 @@
 
 #include "nn/Beam.h"
 #include "nn/EncoderLRU.h"
+#include "nn/InferRuntime.h"
 #include "nn/Mat.h"
 #include "nn/Transformer.h"
 #include "support/RNG.h"
@@ -16,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <functional>
 
 using namespace slade;
@@ -444,6 +446,111 @@ TEST(Transformer, BatchedBeamMatchesSequentialAfterTraining) {
   EXPECT_EQ(Batched[0].Tokens, Tgt);
 }
 
+/// Asserts two encoder caches are BYTE-identical (memcmp, not epsilon):
+/// the graph-free fast path's contract against the training-graph oracle.
+void expectCachesBitExact(const Transformer::EncoderCache &Fast,
+                          const Transformer::EncoderCache &Ref,
+                          const char *Tag) {
+  ASSERT_EQ(Fast.TSrc, Ref.TSrc) << Tag;
+  ASSERT_EQ(Fast.EncOut.size(), Ref.EncOut.size()) << Tag;
+  EXPECT_EQ(0, std::memcmp(Fast.EncOut.data(), Ref.EncOut.data(),
+                           Fast.EncOut.size() * sizeof(float)))
+      << Tag << ": EncOut diverges";
+  // On memcmp failure, pin down the first mismatching element.
+  for (size_t I = 0; I < Fast.EncOut.size(); ++I)
+    ASSERT_EQ(Fast.EncOut[I], Ref.EncOut[I]) << Tag << " EncOut[" << I
+                                             << "]";
+  ASSERT_EQ(Fast.CrossK.size(), Ref.CrossK.size()) << Tag;
+  for (size_t L = 0; L < Fast.CrossK.size(); ++L) {
+    EXPECT_EQ(Fast.CrossK[L], Ref.CrossK[L]) << Tag << " CrossK layer "
+                                             << L;
+    EXPECT_EQ(Fast.CrossV[L], Ref.CrossV[L]) << Tag << " CrossV layer "
+                                             << L;
+  }
+}
+
+TEST(InferRuntime, EncodeSourceBitExactVsGraphAcrossLengths) {
+  // The graph-free encoder must reproduce the training-graph path
+  // byte-for-byte: same kernels, same op order, only the execution
+  // substrate differs. Lengths cover a single token, a short function,
+  // and a 300-token optimized-assembly-sized source (plus the MaxLen
+  // truncation path).
+  TransformerConfig Cfg;
+  Cfg.Vocab = 96;
+  Cfg.DModel = 32;
+  Cfg.NHeads = 4; // Dh = 8: exercises the vectorized attention widths.
+  Cfg.FF = 48;
+  Cfg.EncLayers = 2;
+  Cfg.DecLayers = 2;
+  Cfg.MaxLen = 320;
+  Transformer Model(Cfg);
+  for (int T : {1, 17, 300, 400 /* truncated to MaxLen */}) {
+    std::vector<int> Src;
+    for (int I = 0; I < T; ++I)
+      Src.push_back(3 + (I * 7 + T) % (Cfg.Vocab - 3));
+    auto Fast = Model.encodeSource(Src);
+    auto Ref = Model.encodeSourceGraph(Src);
+    expectCachesBitExact(*Fast, *Ref,
+                         ("T=" + std::to_string(T)).c_str());
+    // Both paths borrow the same shared constants object.
+    EXPECT_EQ(Fast->Consts.get(), Ref->Consts.get());
+  }
+}
+
+TEST(InferRuntime, EncodeSourceBitExactAfterTrainStep) {
+  // A weight update must invalidate the decode constants AND leave the
+  // fast path bit-identical to the oracle on the NEW weights — a stale
+  // scratch or constants cache would diverge here.
+  TransformerConfig Cfg = tinyConfig();
+  Transformer Model(Cfg);
+  std::vector<int> Src = {5, 6, 7, 8, 9, 10, 11};
+  auto Before = Model.encodeSource(Src);
+  uint64_t V0 = Model.weightVersion();
+
+  AdamW::Config AC;
+  AC.LR = 1e-2f;
+  AC.WarmupSteps = 10;
+  AdamW Opt(Model.params(), AC, &Model);
+  std::vector<int> Tgt = {12, 13, 14};
+  for (int Step = 0; Step < 5; ++Step) {
+    Graph G;
+    Model.pairLoss(G, Src, Tgt, true);
+    G.backward();
+    Opt.step();
+  }
+  ASSERT_GT(Model.weightVersion(), V0);
+
+  auto Fast = Model.encodeSource(Src);
+  auto Ref = Model.encodeSourceGraph(Src);
+  expectCachesBitExact(*Fast, *Ref, "after-train");
+  EXPECT_EQ(Fast->Consts->Version, Model.weightVersion());
+  EXPECT_NE(Fast->Consts.get(), Before->Consts.get())
+      << "constants must be rebuilt for the new weight version";
+  EXPECT_NE(Fast->EncOut, Before->EncOut)
+      << "training must actually have moved the encoder output";
+}
+
+TEST(InferRuntime, ExplicitScratchReuseMatchesPooledPath) {
+  // Caller-owned EncodeScratch across differently sized sources: buffer
+  // reuse (stale tails from a longer previous encode) must not leak into
+  // a shorter encode's results.
+  TransformerConfig Cfg = tinyConfig();
+  Transformer Model(Cfg);
+  InferRuntime RT(Model);
+  EncodeScratch S;
+  std::vector<int> Long = {9, 8, 7, 6, 5, 4, 3, 2, 1, 9, 8, 7};
+  std::vector<int> Short = {4, 5, 6};
+  Transformer::EncoderCache Out;
+  RT.encodeInto(Long, S, Out);
+  size_t BytesAfterLong = S.bytes();
+  EXPECT_GT(BytesAfterLong, 0u);
+  RT.encodeInto(Short, S, Out); // Reuses the larger buffers.
+  RT.finishEncoderCache(Out);
+  EXPECT_EQ(S.bytes(), BytesAfterLong) << "ensure() never shrinks";
+  auto Ref = Model.encodeSourceGraph(Short);
+  expectCachesBitExact(Out, *Ref, "scratch-reuse");
+}
+
 TEST(Transformer, DecodeConstantsSharedAcrossSources) {
   // The fused QKV weights and transposed embedding depend only on the
   // weights: every encoded source must borrow the same copy instead of
@@ -593,6 +700,70 @@ TEST(EncoderLRU, HitsShareOneCacheAndEvictionKeepsResultsIdentical) {
     EXPECT_EQ(FromCache[I].Tokens, Fresh[I].Tokens);
     EXPECT_EQ(FromCache[I].Score, Fresh[I].Score);
   }
+}
+
+TEST(EncoderLRU, ByteBudgetEvictsAndAccountsPrecisely) {
+  Transformer Model(tinyConfig());
+  auto srcOf = [](int Seed) {
+    std::vector<int> Src;
+    for (int I = 0; I < 8; ++I)
+      Src.push_back(3 + (Seed * 13 + I) % 30);
+    return Src;
+  };
+  // Size one entry, then budget the cache at two entries' worth.
+  size_t One = Model.encodeSource(srcOf(0))->bytes() +
+               srcOf(0).capacity() * sizeof(int);
+  EncoderLRU Cache(/*Capacity=*/64, /*ByteBudget=*/2 * One + One / 2);
+  EXPECT_EQ(Cache.bytesUsed(), 0u);
+
+  for (int S = 0; S < 5; ++S)
+    Cache.get(Model, srcOf(S));
+  EXPECT_GE(Cache.stats().Evictions, 3u) << "budget must evict";
+  EXPECT_LE(Cache.bytesUsed(), Cache.byteBudget());
+  EXPECT_EQ(Cache.size(), 2u) << "two same-sized entries fit the budget";
+
+  // Accounting must track eviction exactly: bytesUsed is the sum over
+  // the live entries, and clear() returns to zero.
+  size_t Live = Cache.bytesUsed();
+  EXPECT_GT(Live, 0u);
+  // An evicted source re-encodes and yields identical decode results.
+  BeamConfig BC;
+  BC.BeamSize = 2;
+  BC.MaxLen = 8;
+  auto FromCache = beamSearch(Model, Cache.get(Model, srcOf(0)), BC);
+  auto Fresh = beamSearch(Model, srcOf(0), BC);
+  ASSERT_EQ(FromCache.size(), Fresh.size());
+  for (size_t I = 0; I < Fresh.size(); ++I) {
+    EXPECT_EQ(FromCache[I].Tokens, Fresh[I].Tokens);
+    EXPECT_EQ(FromCache[I].Score, Fresh[I].Score);
+  }
+  Cache.clear();
+  EXPECT_EQ(Cache.bytesUsed(), 0u);
+}
+
+TEST(EncoderLRU, OversizedSingleEntrySurvivesBudget) {
+  // One source bigger than the whole budget: the fresh entry is kept (a
+  // degenerate cache of one) instead of thrashing to an empty cache.
+  Transformer Model(tinyConfig());
+  std::vector<int> Src = {4, 5, 6, 7, 8, 9, 10, 11, 12, 13};
+  EncoderLRU Cache(/*Capacity=*/8, /*ByteBudget=*/1);
+  auto First = Cache.get(Model, Src);
+  EXPECT_EQ(Cache.size(), 1u);
+  EXPECT_EQ(Cache.get(Model, Src).get(), First.get())
+      << "the oversized entry still serves hits";
+}
+
+TEST(EncoderLRU, StatsTrackColdEncodeSeconds) {
+  Transformer Model(tinyConfig());
+  EncoderLRU Cache(8);
+  std::vector<int> Src = {4, 5, 6, 7};
+  Cache.get(Model, Src);
+  EncoderLRU::Stats St = Cache.stats();
+  EXPECT_EQ(St.Misses, 1u);
+  EXPECT_GT(St.MissSeconds, 0.0) << "miss wall time must accumulate";
+  double AfterMiss = St.MissSeconds;
+  Cache.get(Model, Src); // Hit: no encode, no time accrued.
+  EXPECT_EQ(Cache.stats().MissSeconds, AfterMiss);
 }
 
 TEST(EncoderLRU, WeightVersionChangeMisses) {

@@ -209,9 +209,18 @@ TEST(Scheduler, RepeatedRunsHitTheEncoderCache) {
   serve::Scheduler Sched(*F.Slade, SO);
   auto First = Sched.translate(Jobs);
   EXPECT_EQ(Sched.metrics().EncoderCacheHits, 0u);
+  // All-miss run: hit rate 0, a positive mean cold-encode cost, and the
+  // LRU now holds the encoded sources' bytes.
+  EXPECT_EQ(Sched.metrics().EncoderCacheHitRate, 0.0);
+  EXPECT_GT(Sched.metrics().ColdEncodeMsMean, 0.0);
+  EXPECT_GT(Sched.metrics().EncoderCacheBytes, 0u);
+  EXPECT_EQ(Sched.metrics().EncoderCacheBytes,
+            F.Slade->encoderCache().bytesUsed());
   auto Second = Sched.translate(Jobs); // Same traffic again.
   EXPECT_EQ(Sched.metrics().EncoderCacheMisses, 0u)
       << "second run must be all hits";
+  EXPECT_EQ(Sched.metrics().EncoderCacheHitRate, 1.0)
+      << "all-hit run must report rate 1";
   for (size_t I = 0; I < First.size(); ++I)
     EXPECT_EQ(First[I].CSource, Second[I].CSource);
 }

@@ -50,6 +50,7 @@ struct CliOptions {
   std::vector<std::string> AsmFiles;
   int DemoN = 0;
   int DemoDup = 1; ///< Requests per demo function (duplicate traffic).
+  int EncCacheMb = 0; ///< Encoder-LRU byte budget in MiB (0 = count only).
   bool Sequential = false; ///< Baseline: one Decompiler call per job.
   bool Check = false;      ///< Run batched AND sequential, compare.
   std::string OutPath;
@@ -71,6 +72,7 @@ void usage() {
       "  --decode-batch N     sources fused per decode batch (default 0 =\n"
       "                       auto: fuse only narrow-beam/short-source\n"
       "                       jobs, where fusion measures faster)\n"
+      "  --enc-cache-mb N     cap the encoder-output LRU at N MiB\n"
       "  --no-batch           disable cross-request decode batching\n"
       "  --no-typeinf         disable type inference\n"
       "  --sequential         baseline: sequential Decompiler calls\n"
@@ -130,6 +132,15 @@ bool parseArgs(int argc, char **argv, CliOptions *O) {
       if (!V)
         return false;
       O->Serve.DecodeBatch = std::atoi(V);
+    } else if (A == "--enc-cache-mb") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O->EncCacheMb = std::atoi(V);
+      if (O->EncCacheMb < 0) {
+        std::fprintf(stderr, "error: --enc-cache-mb must be >= 0\n");
+        return false;
+      }
     } else if (A == "--no-batch") {
       O->Serve.BatchDecode = false;
     } else if (A == "--no-typeinf") {
@@ -198,12 +209,34 @@ void printMetrics(const char *Label, const serve::ServeMetrics &M) {
   std::fprintf(stderr,
                "[%s] %zu functions in %.3fs = %.2f fn/s (encode %.3fs, "
                "decode %.3fs, verify %.3fs; %zu deduped, %zu fused, "
-               "encoder cache %llu hits / %llu misses)\n",
+               "encoder cache %llu hits / %llu misses = %.0f%% hit rate, "
+               "cold encode %.2f ms mean, %.1f KiB cached)\n",
                Label, M.Jobs, M.TotalSeconds, M.FunctionsPerSec,
                M.EncodeSeconds, M.DecodeSeconds, M.VerifySeconds,
                M.DecodesDeduped, M.DecodesFused,
                static_cast<unsigned long long>(M.EncoderCacheHits),
-               static_cast<unsigned long long>(M.EncoderCacheMisses));
+               static_cast<unsigned long long>(M.EncoderCacheMisses),
+               100.0 * M.EncoderCacheHitRate, M.ColdEncodeMsMean,
+               static_cast<double>(M.EncoderCacheBytes) / 1024.0);
+}
+
+/// One summary JSONL object per scheduler run, written after the
+/// per-function results: machine-readable counters that make the
+/// encode-bound vs. decode-bound regime visible in the output stream.
+std::string metricsJson(const char *Label, const serve::ServeMetrics &M) {
+  std::ostringstream SS;
+  SS << "{\"type\": \"summary\", \"label\": \"" << serve::jsonEscape(Label)
+     << "\", \"jobs\": " << M.Jobs << ", \"fn_per_sec\": "
+     << M.FunctionsPerSec << ", \"encode_s\": " << M.EncodeSeconds
+     << ", \"decode_s\": " << M.DecodeSeconds << ", \"verify_s\": "
+     << M.VerifySeconds << ", \"total_s\": " << M.TotalSeconds
+     << ", \"deduped\": " << M.DecodesDeduped << ", \"fused\": "
+     << M.DecodesFused << ", \"encoder_cache_hits\": " << M.EncoderCacheHits
+     << ", \"encoder_cache_misses\": " << M.EncoderCacheMisses
+     << ", \"encoder_hit_rate\": " << M.EncoderCacheHitRate
+     << ", \"cold_encode_ms_mean\": " << M.ColdEncodeMsMean
+     << ", \"encoder_cache_bytes\": " << M.EncoderCacheBytes << "}";
+  return SS.str();
 }
 
 } // namespace
@@ -289,7 +322,9 @@ int main(int argc, char **argv) {
 
   // -- model ------------------------------------------------------------------
   core::TrainedSystem Sys = loadOrTrain(O);
-  core::Decompiler Slade(std::move(Sys.Tok), std::move(Sys.Model));
+  core::Decompiler Slade(std::move(Sys.Tok), std::move(Sys.Model),
+                         /*EncoderCacheCap=*/64,
+                         static_cast<size_t>(O.EncCacheMb) << 20);
   serve::Scheduler Sched(Slade, O.Serve);
 
   std::ofstream OutFile;
@@ -366,6 +401,8 @@ int main(int argc, char **argv) {
       IOCorrect += Served[I].IOCorrect;
       Compiles += Served[I].Compiles;
     }
+    if (!O.Sequential || O.Check)
+      Results << metricsJson("serve", ServedM) << "\n";
     std::fprintf(stderr,
                  "[serve] IO-correct %zu/%zu (%.1f%%), compiles %zu/%zu\n",
                  IOCorrect, Tasks.size(),
@@ -422,6 +459,8 @@ int main(int argc, char **argv) {
     for (const serve::TranslateResult &R : Served)
       Results << "{\"name\": \"" << serve::jsonEscape(R.Name)
               << "\", \"c\": \"" << serve::jsonEscape(R.CSource) << "\"}\n";
+    if (!O.Sequential || O.Check)
+      Results << metricsJson("translate", ServedM) << "\n";
   }
 
   return ExitCode;
