@@ -10,10 +10,17 @@
 #include "BenchUtil.h"
 #include "baselines/RuleDecompiler.h"
 #include "core/Metrics.h"
+#include "core/Trainer.h"
 #include "nn/Beam.h"
+#include "serve/Engine.h"
+#include "serve/Scheduler.h"
 #include "vm/Interp.h"
 
 #include <benchmark/benchmark.h>
+
+#include <future>
+#include <random>
+#include <thread>
 
 using namespace slade;
 
@@ -325,6 +332,127 @@ BENCHMARK(BM_BeamSearchMultiLoop)
     ->Args({5, 8})
     ->Args({5, 200})
     ->Unit(benchmark::kMillisecond);
+
+//===----------------------------------------------------------------------===//
+// Streaming serve engine (continuous batching)
+//===----------------------------------------------------------------------===//
+
+/// A small deployable system + demo assembly corpus for the serving
+/// benchmarks (paper-shaped model, tokenizer trained on the demo
+/// corpus, weights at init — decode cost is representative and
+/// deterministic). Built once, shared by every serving benchmark.
+struct StreamBench {
+  std::unique_ptr<core::Decompiler> Slade;
+  std::vector<std::string> Asm; ///< Unique demo functions' assembly.
+};
+
+const StreamBench &streamBench() {
+  static StreamBench *SB = [] {
+    auto *B = new StreamBench();
+    dataset::Corpus Corpus =
+        dataset::buildCorpus(dataset::Suite::ExeBench, 24, 12,
+                             /*Seed=*/20240303);
+    core::TrainConfig TC;
+    TC.Steps = 0; // Tokenizer only.
+    TC.Verbose = false;
+    core::TrainedSystem Sys = core::trainSystem(
+        core::buildTrainPairs(Corpus.Train, asmx::Dialect::X86, false), TC);
+    B->Slade = std::make_unique<core::Decompiler>(std::move(Sys.Tok),
+                                                  std::move(Sys.Model));
+    for (const core::EvalTask &T :
+         core::buildTasks(Corpus.Test, asmx::Dialect::X86, false))
+      B->Asm.push_back(T.Prog.TargetAsm);
+    return B;
+  }();
+  return *SB;
+}
+
+/// Deterministic Poisson arrival offsets at \p Rate requests/sec.
+std::vector<double> poissonArrivals(size_t N, double Rate, uint64_t Seed) {
+  std::mt19937_64 Rng(Seed);
+  std::exponential_distribution<double> Exp(Rate);
+  std::vector<double> At(N);
+  double T = 0;
+  for (size_t I = 0; I < N; ++I) {
+    T += Exp(Rng);
+    At[I] = T;
+  }
+  return At;
+}
+
+/// Streaming replay through the continuous-batching engine: Poisson
+/// arrivals over the demo corpus, translate-only requests. Arg: engine
+/// width (MaxLiveSources). Reports end-to-end requests/sec including
+/// the arrival process.
+void BM_EngineStreamPoisson(benchmark::State &State) {
+  const StreamBench &B = streamBench();
+  serve::EngineOptions EO;
+  EO.BeamSize = 2; // The fusable regime (see the fusion table).
+  EO.MaxLen = 48;
+  EO.MaxLiveSources = static_cast<int>(State.range(0));
+  std::vector<double> At =
+      poissonArrivals(B.Asm.size(), /*Rate=*/400.0, /*Seed=*/99);
+  for (auto _ : State) {
+    serve::Engine Eng(*B.Slade, EO);
+    std::vector<std::future<serve::RequestResult>> Futs(B.Asm.size());
+    auto Start = std::chrono::steady_clock::now();
+    for (size_t I = 0; I < B.Asm.size(); ++I) {
+      std::this_thread::sleep_until(
+          Start + std::chrono::duration<double>(At[I]));
+      Futs[I] = Eng.submit({"f", B.Asm[I], {}, {}, nullptr});
+    }
+    for (auto &F : Futs)
+      benchmark::DoNotOptimize(F.get());
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(B.Asm.size()));
+}
+BENCHMARK(BM_EngineStreamPoisson)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// The batch-scoped baseline over the same corpus (everything submitted
+/// as one Scheduler run, no arrival process): the pre-engine serving
+/// path's throughput ceiling.
+void BM_SchedulerBatchTranslate(benchmark::State &State) {
+  const StreamBench &B = streamBench();
+  serve::ServeOptions SO;
+  SO.BeamSize = 2;
+  SO.MaxLen = 48;
+  SO.FusionProbeSteps = 4;
+  serve::Scheduler Sched(*B.Slade, SO);
+  std::vector<serve::TranslateJob> Jobs;
+  for (const std::string &A : B.Asm)
+    Jobs.push_back({"f", A});
+  for (auto _ : State) {
+    auto Out = Sched.translate(Jobs);
+    benchmark::DoNotOptimize(Out);
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Jobs.size()));
+}
+BENCHMARK(BM_SchedulerBatchTranslate)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// One streaming admission (encode through a warm LRU + admitStreamRow +
+/// slot bookkeeping): the per-request fixed cost of joining the batch.
+void BM_StreamAdmitRow(benchmark::State &State) {
+  nn::Transformer Model(encodeBenchConfig());
+  std::vector<int> Src = encodeBenchSource(64);
+  auto Enc = Model.encodeSource(Src);
+  nn::Transformer::BatchDecodeState St = Model.startDecodeStream(4, 5, 64);
+  for (auto _ : State) {
+    Model.admitStreamRow(St, 0, Enc);
+    std::vector<float> L =
+        Model.stepDecodeBatch(St, {nn::Transformer::BosId});
+    benchmark::DoNotOptimize(L);
+    Model.reorderBeams(St, {}); // Retire: recycle the row.
+  }
+}
+BENCHMARK(BM_StreamAdmitRow)->Unit(benchmark::kMicrosecond);
 
 } // namespace
 

@@ -2,163 +2,18 @@
 
 #include "nn/Beam.h"
 
+#include "nn/BeamCore.h"
+
 #include <algorithm>
 #include <cmath>
 
 using namespace slade;
 using namespace slade::nn;
+// The per-source selection/retirement logic lives in nn/BeamCore.h so the
+// serve engine's continuous-batching driver shares it verbatim.
+using namespace slade::nn::beamcore;
 
 namespace {
-
-/// Log-softmax into a reused output buffer.
-void logSoftmax(const float *Logits, int V, std::vector<float> &Out) {
-  float MaxV = -1e30f;
-  for (int I = 0; I < V; ++I)
-    MaxV = std::max(MaxV, Logits[I]);
-  double Sum = 0;
-  for (int I = 0; I < V; ++I)
-    Sum += std::exp(static_cast<double>(Logits[I] - MaxV));
-  float LogZ = MaxV + static_cast<float>(std::log(Sum));
-  Out.resize(static_cast<size_t>(V));
-  for (int I = 0; I < V; ++I)
-    Out[static_cast<size_t>(I)] = Logits[I] - LogZ;
-}
-
-/// Top-K token indices by (log-prob desc, index asc) via a bounded
-/// min-heap: O(V log K), no vocab-sized index vector, scratch reused
-/// across beams and steps.
-void topK(const std::vector<float> &LogP, int K,
-          std::vector<std::pair<float, int>> &Heap, std::vector<int> &Out) {
-  int V = static_cast<int>(LogP.size());
-  K = std::min(K, V);
-  // "Better" orders by higher log-prob, ties to the lower token id.
-  auto Better = [](const std::pair<float, int> &A,
-                   const std::pair<float, int> &B) {
-    return A.first > B.first || (A.first == B.first && A.second < B.second);
-  };
-  Heap.clear();
-  for (int I = 0; I < V; ++I) {
-    std::pair<float, int> Cand{LogP[static_cast<size_t>(I)], I};
-    if (static_cast<int>(Heap.size()) < K) {
-      Heap.push_back(Cand);
-      std::push_heap(Heap.begin(), Heap.end(), Better);
-    } else if (Better(Cand, Heap.front())) {
-      std::pop_heap(Heap.begin(), Heap.end(), Better);
-      Heap.back() = Cand;
-      std::push_heap(Heap.begin(), Heap.end(), Better);
-    }
-  }
-  std::sort_heap(Heap.begin(), Heap.end(), Better); // Best first.
-  Out.clear();
-  for (const auto &P : Heap)
-    Out.push_back(P.second);
-}
-
-struct Cand {
-  float Score;
-  int BeamIdx;
-  int Token;
-};
-
-struct BeamMeta {
-  std::vector<int> Tokens;
-  float Score = 0;
-};
-
-struct SelectScratch {
-  std::vector<float> LogP;
-  std::vector<std::pair<float, int>> Heap;
-  std::vector<int> Top;
-  std::vector<Cand> Cands;
-};
-
-struct SelectResult {
-  std::vector<int> SrcIdx; ///< Parent beam index (local) per survivor.
-  std::vector<int> Tokens; ///< Token fed to each survivor.
-  /// The finished-hypothesis quota was reached: the caller must stop
-  /// stepping and penalize the PRE-expansion Live set (left untouched).
-  bool StopNow = false;
-};
-
-/// One expansion step for one source's beams: log-softmax + top-k per
-/// live beam, deterministic candidate ordering (score desc, then beam,
-/// then token — ties never diverge between decode paths), EOS/PAD
-/// candidates retire into \p Done, survivors replace \p Live. Shared by
-/// the single-source search loop and the cross-request multi driver, so
-/// their per-source decisions are the same code.
-template <typename LogitsOf>
-SelectResult selectBeamStep(std::vector<BeamMeta> &Live,
-                            std::vector<Hypothesis> &Done,
-                            const LogitsOf &Logits, int Vocab,
-                            const BeamConfig &Cfg, SelectScratch &S) {
-  SelectResult R;
-  S.Cands.clear();
-  for (size_t BI = 0; BI < Live.size(); ++BI) {
-    logSoftmax(Logits(BI), Vocab, S.LogP);
-    topK(S.LogP, Cfg.BeamSize, S.Heap, S.Top);
-    for (int Tok : S.Top)
-      S.Cands.push_back({Live[BI].Score + S.LogP[static_cast<size_t>(Tok)],
-                         static_cast<int>(BI), Tok});
-  }
-  std::sort(S.Cands.begin(), S.Cands.end(),
-            [](const Cand &A, const Cand &B) {
-              if (A.Score != B.Score)
-                return A.Score > B.Score;
-              if (A.BeamIdx != B.BeamIdx)
-                return A.BeamIdx < B.BeamIdx;
-              return A.Token < B.Token;
-            });
-
-  std::vector<BeamMeta> Next;
-  for (const Cand &C : S.Cands) {
-    if (static_cast<int>(Next.size()) >= Cfg.BeamSize)
-      break;
-    if (C.Token == Transformer::EosId || C.Token == Transformer::PadId) {
-      Hypothesis H;
-      H.Tokens = Live[static_cast<size_t>(C.BeamIdx)].Tokens;
-      float Len = static_cast<float>(H.Tokens.size()) + 1.0f;
-      H.Score = C.Score / std::pow(Len, Cfg.LengthPenalty);
-      Done.push_back(std::move(H));
-      continue;
-    }
-    BeamMeta M;
-    M.Tokens = Live[static_cast<size_t>(C.BeamIdx)].Tokens;
-    M.Tokens.push_back(C.Token);
-    M.Score = C.Score;
-    Next.push_back(std::move(M));
-    R.SrcIdx.push_back(C.BeamIdx);
-    R.Tokens.push_back(C.Token);
-  }
-  if (static_cast<int>(Done.size()) >= Cfg.BeamSize) {
-    R.StopNow = true; // Pre-expansion Live falls through penalized.
-    return R;
-  }
-  Live = std::move(Next);
-  return R;
-}
-
-/// Unfinished beams become (penalized) hypotheses so we always return
-/// something; then sort best-first and cap at BeamSize.
-std::vector<Hypothesis> finalizeBeams(std::vector<BeamMeta> &&Live,
-                                      std::vector<Hypothesis> &&Done,
-                                      const BeamConfig &Cfg) {
-  for (BeamMeta &M : Live) {
-    Hypothesis H;
-    H.Tokens = std::move(M.Tokens);
-    float Len = static_cast<float>(H.Tokens.size()) + 1.0f;
-    H.Score = (M.Score - 5.0f) / std::pow(Len, Cfg.LengthPenalty);
-    Done.push_back(std::move(H));
-  }
-  std::sort(Done.begin(), Done.end(),
-            [](const Hypothesis &A, const Hypothesis &B) {
-              if (A.Score != B.Score)
-                return A.Score > B.Score;
-              return A.Tokens < B.Tokens;
-            });
-  if (static_cast<int>(Done.size()) > Cfg.BeamSize)
-    Done.resize(static_cast<size_t>(Cfg.BeamSize));
-  return std::move(Done);
-}
 
 /// The search loop, shared by the batched and sequential paths. A Stepper
 /// exposes:

@@ -297,6 +297,8 @@ Transformer::BatchDecodeState InferRuntime::startDecodeBatchMulti(
   St.BMax = MaxBeams;
   St.KMax = BeamsPerSource;
   St.Cap = MaxSteps;
+  St.SegCount = static_cast<int>(Encs.size());
+  St.SegLen.assign(Encs.size(), 0);
   St.RowEnc = Encs;
   St.RowEnc.resize(static_cast<size_t>(MaxBeams));
   St.RowSource.assign(static_cast<size_t>(MaxBeams), 0);
@@ -322,6 +324,73 @@ Transformer::BatchDecodeState InferRuntime::startDecodeBatchMulti(
   St.Scores.resize(static_cast<size_t>(M.Cfg.NHeads) *
                    std::max(St.Cap, St.MaxTSrc));
   return St;
+}
+
+Transformer::BatchDecodeState
+InferRuntime::startDecodeStream(int MaxSources, int BeamsPerSource,
+                                int MaxSteps) const {
+  assert(MaxSources > 0 && BeamsPerSource > 0 && MaxSteps > 0);
+  assert(MaxSources <= 65535 && BeamsPerSource <= 65535 &&
+         "source/slot ids are uint16");
+  Transformer::BatchDecodeState St;
+  int MaxBeams = BeamsPerSource * MaxSources;
+  St.B = 0; // No live rows: sources are bound later via admitStreamRow.
+  St.BMax = MaxBeams;
+  St.KMax = BeamsPerSource;
+  St.Cap = MaxSteps;
+  St.SegCount = MaxSources;
+  St.SegLen.assign(static_cast<size_t>(MaxSources), 0);
+  St.RowEnc.resize(static_cast<size_t>(MaxBeams));
+  St.RowSource.assign(static_cast<size_t>(MaxBeams), 0);
+  St.Consts = M.decodeConstants();
+  int D = M.Cfg.DModel;
+  size_t PerLayer = static_cast<size_t>(MaxBeams) * St.Cap * D;
+  St.SelfK.assign(M.Dec.size(), std::vector<float>(PerLayer));
+  St.SelfV.assign(M.Dec.size(), std::vector<float>(PerLayer));
+  St.Anc.assign(static_cast<size_t>(MaxBeams) * St.Cap, 0);
+  size_t Rows = static_cast<size_t>(MaxBeams) * D;
+  St.X.resize(Rows);
+  St.Norm.resize(Rows);
+  St.QKV.resize(Rows * 3);
+  St.AttnOut.resize(Rows);
+  St.Proj.resize(Rows);
+  St.FF1.resize(static_cast<size_t>(MaxBeams) * M.Cfg.FF);
+  // MaxTSrc is unknown until sources bind; admitStreamRow grows Scores.
+  St.Scores.resize(static_cast<size_t>(M.Cfg.NHeads) * St.Cap);
+  return St;
+}
+
+int InferRuntime::admitStreamRow(
+    Transformer::BatchDecodeState &St, int Seg,
+    std::shared_ptr<const Transformer::EncoderCache> Enc) const {
+  assert(Seg >= 0 && Seg < St.SegCount && "segment out of range");
+  assert(St.B < St.BMax && "no free rows to admit into");
+#ifndef NDEBUG
+  for (int Bi = 0; Bi < St.B; ++Bi)
+    assert(St.RowSource[static_cast<size_t>(Bi)] != Seg &&
+           "recycled segment still has live rows");
+#endif
+  // An idle state adopts the incoming constants: the engine outlives
+  // weight updates between decode sessions. A version MISMATCH against
+  // live rows is refused at runtime (not just asserted): mixing one
+  // version's QKV constants with another version's encoder K/V would
+  // silently decode garbage. The caller defers the admission until the
+  // batch drains.
+  if (St.B == 0)
+    St.Consts = Enc->Consts;
+  else if (!St.Consts || !Enc->Consts ||
+           St.Consts->Version != Enc->Consts->Version)
+    return -1;
+  St.SegLen[static_cast<size_t>(Seg)] = 0; // Fresh decode clock.
+  St.MaxTSrc = std::max(St.MaxTSrc, Enc->TSrc);
+  size_t NeedScores = static_cast<size_t>(M.Cfg.NHeads) *
+                      static_cast<size_t>(std::max(St.Cap, St.MaxTSrc));
+  if (St.Scores.size() < NeedScores)
+    St.Scores.resize(NeedScores);
+  int Row = St.B++;
+  St.RowEnc[static_cast<size_t>(Row)] = std::move(Enc);
+  St.RowSource[static_cast<size_t>(Row)] = static_cast<uint16_t>(Seg);
+  return Row;
 }
 
 namespace {
@@ -507,18 +576,30 @@ InferRuntime::stepDecodeBatch(Transformer::BatchDecodeState &St,
   const TransformerConfig &Cfg = M.Cfg;
   int B = St.B, D = Cfg.DModel, H = Cfg.NHeads, Dh = D / H;
   assert(static_cast<int>(Tokens.size()) == B && "one token per beam");
-  assert(St.Len < St.Cap && "self-cache capacity exhausted");
   const Transformer::DecodeConstants &Consts = *St.Consts;
-  int Pos = St.Len < Cfg.MaxLen ? St.Len : Cfg.MaxLen - 1;
+  // Each row decodes at ITS source's position: sources joining the batch
+  // mid-flight carry their own clock (SegLen), so the same row's logits
+  // are bit-identical whether it decodes solo or fused with rows at any
+  // other positions.
+  auto RowLen = [&St](int Bi) {
+    return St.SegLen[St.RowSource[static_cast<size_t>(Bi)]];
+  };
+#ifndef NDEBUG
+  for (int Bi = 0; Bi < B; ++Bi)
+    assert(RowLen(Bi) < St.Cap && "self-cache capacity exhausted");
+#endif
 
   float *X = St.X.data(), *Norm = St.Norm.data(), *QKV = St.QKV.data(),
         *AttnOut = St.AttnOut.data(), *Proj = St.Proj.data(),
         *FF1 = St.FF1.data(), *Scores = St.Scores.data();
-  for (int Bi = 0; Bi < B; ++Bi)
+  for (int Bi = 0; Bi < B; ++Bi) {
+    int SL = RowLen(Bi);
+    int Pos = SL < Cfg.MaxLen ? SL : Cfg.MaxLen - 1;
     for (int J = 0; J < D; ++J)
       X[static_cast<size_t>(Bi) * D + J] =
           M.TokEmb.at(Tokens[static_cast<size_t>(Bi)], J) +
           M.DecPos.at(Pos, J);
+  }
 
   int ScoreStride = std::max(St.Cap, St.MaxTSrc);
   float InvS = 1.0f / std::sqrt(static_cast<float>(Dh));
@@ -540,10 +621,12 @@ InferRuntime::stepDecodeBatch(Transformer::BatchDecodeState &St,
                   Consts.SelfQKVB[L].data(),
                   static_cast<size_t>(3) * D * sizeof(float));
     gemmAcc(Norm, Consts.SelfQKVW[L].data(), QKV, B, D, 3 * D);
-    // Each beam writes its new K/V row once, at (t=Len, slot=position
-    // within its source's row block); the row is never moved afterwards —
-    // descendants find it via Anc. Rows of one source are contiguous, so
-    // the running Local counter is the segment-local slot.
+    // Each beam writes its new K/V row once, at (t=its source's SegLen,
+    // slot=position within its source's row block); the row is never
+    // moved afterwards — descendants find it via Anc. Rows of one source
+    // are contiguous, so the running Local counter is the segment-local
+    // slot. A recycled segment's stale rows are simply overwritten as the
+    // new source's clock advances.
     for (int Bi = 0, Local = 0; Bi < B; ++Bi) {
       Local = (Bi > 0 && St.RowSource[static_cast<size_t>(Bi)] ==
                              St.RowSource[static_cast<size_t>(Bi - 1)])
@@ -553,7 +636,7 @@ InferRuntime::stepDecodeBatch(Transformer::BatchDecodeState &St,
       size_t Slot =
           static_cast<size_t>(St.RowSource[static_cast<size_t>(Bi)]) *
               SegStride +
-          static_cast<size_t>(St.Len) * TimeStride +
+          static_cast<size_t>(RowLen(Bi)) * TimeStride +
           static_cast<size_t>(Local) * D;
       const float *Row = QKV + static_cast<size_t>(Bi) * 3 * D;
       std::memcpy(&St.SelfK[L][Slot], Row + D,
@@ -561,11 +644,11 @@ InferRuntime::stepDecodeBatch(Transformer::BatchDecodeState &St,
       std::memcpy(&St.SelfV[L][Slot], Row + 2 * D,
                   static_cast<size_t>(D) * sizeof(float));
       if (L == 0)
-        St.Anc[static_cast<size_t>(Bi) * St.Cap + St.Len] =
+        St.Anc[static_cast<size_t>(Bi) * St.Cap + RowLen(Bi)] =
             static_cast<uint16_t>(Local);
     }
-    int TCtx = St.Len + 1;
     for (int Bi = 0; Bi < B; ++Bi) {
+      int TCtx = RowLen(Bi) + 1;
       const float *KBase =
           St.SelfK[L].data() +
           static_cast<size_t>(St.RowSource[static_cast<size_t>(Bi)]) *
@@ -627,7 +710,13 @@ InferRuntime::stepDecodeBatch(Transformer::BatchDecodeState &St,
     for (size_t I = 0; I < static_cast<size_t>(B) * D; ++I)
       X[I] += Proj[I];
   }
-  ++St.Len;
+  // Advance each stepped source's clock once (its rows are contiguous).
+  for (int Bi = 0; Bi < B; ++Bi)
+    if (Bi == 0 || St.RowSource[static_cast<size_t>(Bi)] !=
+                       St.RowSource[static_cast<size_t>(Bi - 1)]) {
+      int SL = ++St.SegLen[St.RowSource[static_cast<size_t>(Bi)]];
+      St.Len = std::max(St.Len, SL);
+    }
 
   for (int Bi = 0; Bi < B; ++Bi)
     layerNormRow(X + static_cast<size_t>(Bi) * D, D,
@@ -643,29 +732,37 @@ InferRuntime::stepDecodeBatch(Transformer::BatchDecodeState &St,
 void InferRuntime::reorderBeams(Transformer::BatchDecodeState &St,
                                 const std::vector<int> &SrcIdx) const {
   int NewB = static_cast<int>(SrcIdx.size());
-  assert(NewB > 0 && NewB <= St.BMax && "beam count exceeds allocation");
+  assert(NewB <= St.BMax && "beam count exceeds allocation");
   // Cached K/V rows never move: survivor selection only gathers the
-  // per-beam ancestry index rows (Len uint16 entries per beam) and the
-  // per-row encoder bindings.
-  size_t Used = static_cast<size_t>(St.Len);
-  St.AncScratch.resize(static_cast<size_t>(NewB) * Used);
+  // per-beam ancestry index rows (the source's SegLen uint16 entries per
+  // beam) and the per-row encoder bindings. Scratch rows use the Cap
+  // stride; only each row's decoded prefix is copied.
+  size_t Cap = static_cast<size_t>(St.Cap);
+  St.AncScratch.resize(static_cast<size_t>(NewB) * Cap);
   St.RowEncScratch.resize(static_cast<size_t>(NewB));
   St.RowSourceScratch.resize(static_cast<size_t>(NewB));
   for (int Bi = 0; Bi < NewB; ++Bi) {
     size_t Src = static_cast<size_t>(SrcIdx[static_cast<size_t>(Bi)]);
-    std::memcpy(&St.AncScratch[static_cast<size_t>(Bi) * Used],
-                &St.Anc[Src * St.Cap], Used * sizeof(uint16_t));
+    size_t Used = static_cast<size_t>(St.SegLen[St.RowSource[Src]]);
+    std::memcpy(&St.AncScratch[static_cast<size_t>(Bi) * Cap],
+                &St.Anc[Src * Cap], Used * sizeof(uint16_t));
     St.RowEncScratch[static_cast<size_t>(Bi)] = St.RowEnc[Src];
     St.RowSourceScratch[static_cast<size_t>(Bi)] = St.RowSource[Src];
   }
   for (int Bi = 0; Bi < NewB; ++Bi) {
-    std::memcpy(&St.Anc[static_cast<size_t>(Bi) * St.Cap],
-                &St.AncScratch[static_cast<size_t>(Bi) * Used],
+    size_t Used = static_cast<size_t>(
+        St.SegLen[St.RowSourceScratch[static_cast<size_t>(Bi)]]);
+    std::memcpy(&St.Anc[static_cast<size_t>(Bi) * Cap],
+                &St.AncScratch[static_cast<size_t>(Bi) * Cap],
                 Used * sizeof(uint16_t));
     St.RowEnc[static_cast<size_t>(Bi)] =
         std::move(St.RowEncScratch[static_cast<size_t>(Bi)]);
     St.RowSource[static_cast<size_t>(Bi)] =
         St.RowSourceScratch[static_cast<size_t>(Bi)];
   }
+  // Drop stale encoder bindings past the new row count so a retired
+  // source's encoder output is not pinned by a long-lived state.
+  for (int Bi = NewB; Bi < St.B; ++Bi)
+    St.RowEnc[static_cast<size_t>(Bi)].reset();
   St.B = NewB;
 }

@@ -89,6 +89,11 @@ public:
       const std::vector<std::shared_ptr<const Transformer::EncoderCache>>
           &Encs,
       int BeamsPerSource, int MaxSteps) const;
+  Transformer::BatchDecodeState
+  startDecodeStream(int MaxSources, int BeamsPerSource, int MaxSteps) const;
+  int admitStreamRow(Transformer::BatchDecodeState &St, int Seg,
+                     std::shared_ptr<const Transformer::EncoderCache> Enc)
+      const;
   std::vector<float> stepDecodeBatch(Transformer::BatchDecodeState &St,
                                      const std::vector<int> &Tokens) const;
   void reorderBeams(Transformer::BatchDecodeState &St,

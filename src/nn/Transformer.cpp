@@ -439,6 +439,19 @@ Transformer::BatchDecodeState Transformer::startDecodeBatchMulti(
                                                    MaxSteps);
 }
 
+Transformer::BatchDecodeState
+Transformer::startDecodeStream(int MaxSources, int BeamsPerSource,
+                               int MaxSteps) const {
+  return InferRuntime(*this).startDecodeStream(MaxSources, BeamsPerSource,
+                                               MaxSteps);
+}
+
+int Transformer::admitStreamRow(
+    BatchDecodeState &St, int Seg,
+    std::shared_ptr<const EncoderCache> Enc) const {
+  return InferRuntime(*this).admitStreamRow(St, Seg, std::move(Enc));
+}
+
 std::vector<float>
 Transformer::stepDecodeBatch(BatchDecodeState &St,
                              const std::vector<int> &Tokens) const {

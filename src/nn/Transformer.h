@@ -169,7 +169,13 @@ public:
   /// per-beam ancestry table of segment-local slots, so survivor
   /// selection never moves cached K/V data — it only gathers the (tiny)
   /// index rows. Rows of one source must stay CONTIGUOUS in row order
-  /// (beamSearchMulti guarantees this).
+  /// (beamSearchMulti and the serve engine both guarantee this).
+  ///
+  /// Decode positions are PER SEGMENT (SegLen), not batch-global: every
+  /// source carries its own clock, so sources can join and leave the
+  /// batch mid-flight (continuous batching). A retired source's segment
+  /// can be recycled for a newly admitted source — admitStreamRow resets
+  /// its SegLen and the new rows overwrite the stale K/V in place.
   struct BatchDecodeState {
     /// Per-row encoder cache (rows of one source share the pointer).
     std::vector<std::shared_ptr<const EncoderCache>> RowEnc;
@@ -180,7 +186,11 @@ public:
     int BMax = 0; ///< Beam rows preallocated.
     int KMax = 0; ///< Beam rows preallocated per source (segment width).
     int Cap = 0;  ///< Positions preallocated per beam.
-    int Len = 0;  ///< Decoded positions so far (same for every beam).
+    int SegCount = 0; ///< Self-K/V segments allocated (max live sources).
+    /// Per segment: positions decoded so far — each source's own decode
+    /// clock. Reset to 0 when the segment is recycled for a new source.
+    std::vector<int> SegLen;
+    int Len = 0;  ///< Max of SegLen over live segments (informational).
     int MaxTSrc = 0; ///< Longest source among the rows (scratch sizing).
     std::vector<std::vector<float>> SelfK; ///< Per layer [Cap*BMax*D].
     std::vector<std::vector<float>> SelfV;
@@ -206,17 +216,35 @@ public:
   BatchDecodeState startDecodeBatchMulti(
       const std::vector<std::shared_ptr<const EncoderCache>> &Encs,
       int BeamsPerSource, int MaxSteps) const;
+  /// Streaming variant (the serve engine's continuous batch): allocates a
+  /// state with \p MaxSources self-K/V segments of \p BeamsPerSource rows
+  /// each but NO live rows — sources are bound later, one at a time, via
+  /// admitStreamRow, and may join/leave at any step.
+  BatchDecodeState startDecodeStream(int MaxSources, int BeamsPerSource,
+                                     int MaxSteps) const;
+  /// Admits a new source into segment \p Seg of a streaming state: binds
+  /// \p Enc, resets the segment's decode clock, and appends one row (the
+  /// source's BOS beam) at row index B. The segment must have no live
+  /// rows — retired sources' segments are recycled this way. Returns the
+  /// new row's index, or -1 when \p Enc was built from a different
+  /// weight version than the live rows' constants (the caller must
+  /// defer the admission until the batch drains; an idle state adopts
+  /// the incoming version). The next stepDecodeBatch should feed BosId
+  /// on the new row.
+  int admitStreamRow(BatchDecodeState &St, int Seg,
+                     std::shared_ptr<const EncoderCache> Enc) const;
   /// Feeds one token per active beam (Tokens.size() == B), returns logits
   /// [B, Vocab] row-major. Per-row results are bit-identical regardless
   /// of which other rows share the batch (the GEMM kernels accumulate
-  /// each row in a fixed K-order), which is what makes cross-request
-  /// batching byte-deterministic.
+  /// each row in a fixed K-order) and regardless of the other rows'
+  /// decode positions, which is what makes cross-request batching —
+  /// batch-scoped or continuous — byte-deterministic.
   std::vector<float> stepDecodeBatch(BatchDecodeState &St,
                                      const std::vector<int> &Tokens) const;
   /// Survivor selection: beam row b of the new state is old row
   /// \p SrcIdx[b]. An index-gather over self-cache rows (the shared
-  /// encoder/cross caches are untouched); B may shrink or grow up to
-  /// BMax.
+  /// encoder/cross caches are untouched); B may shrink (to zero: every
+  /// source retired) or grow up to BMax.
   void reorderBeams(BatchDecodeState &St,
                     const std::vector<int> &SrcIdx) const;
 

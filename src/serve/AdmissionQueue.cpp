@@ -1,0 +1,106 @@
+//===- AdmissionQueue.cpp - bounded request queue + row slot allocator --------===//
+
+#include "serve/AdmissionQueue.h"
+
+#include <cassert>
+
+using namespace slade;
+using namespace slade::serve;
+
+AdmissionQueue::AdmissionQueue(size_t Capacity)
+    : Cap(Capacity ? Capacity : 1) {}
+
+bool AdmissionQueue::push(Admission A) {
+  std::unique_lock<std::mutex> Lock(Mu);
+  NotFull.wait(Lock, [this] { return Closed || Items.size() < Cap; });
+  if (Closed)
+    return false;
+  Items.push_back(std::move(A));
+  Lock.unlock();
+  NotEmpty.notify_one();
+  return true;
+}
+
+bool AdmissionQueue::tryPush(Admission &A) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Closed || Items.size() >= Cap)
+      return false;
+    Items.push_back(std::move(A));
+  }
+  NotEmpty.notify_one();
+  return true;
+}
+
+bool AdmissionQueue::pop(Admission *Out) {
+  std::unique_lock<std::mutex> Lock(Mu);
+  NotEmpty.wait(Lock, [this] { return Closed || !Items.empty(); });
+  if (Items.empty())
+    return false; // Closed and drained.
+  *Out = std::move(Items.front());
+  Items.pop_front();
+  Lock.unlock();
+  NotFull.notify_one();
+  return true;
+}
+
+bool AdmissionQueue::tryPop(Admission *Out) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Items.empty())
+      return false;
+    *Out = std::move(Items.front());
+    Items.pop_front();
+  }
+  NotFull.notify_one();
+  return true;
+}
+
+void AdmissionQueue::close() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Closed = true;
+  }
+  NotFull.notify_all();
+  NotEmpty.notify_all();
+}
+
+bool AdmissionQueue::closed() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Closed;
+}
+
+size_t AdmissionQueue::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Items.size();
+}
+
+SlotAllocator::SlotAllocator(int N) {
+  Free.reserve(static_cast<size_t>(N));
+  // Reverse order so acquire() hands out 0, 1, 2, ... first.
+  for (int I = N - 1; I >= 0; --I)
+    Free.push_back(I);
+#ifndef NDEBUG
+  Live.assign(static_cast<size_t>(N), false);
+#endif
+}
+
+int SlotAllocator::acquire() {
+  if (Free.empty())
+    return -1;
+  int Slot = Free.back();
+  Free.pop_back();
+#ifndef NDEBUG
+  Live[static_cast<size_t>(Slot)] = true;
+#endif
+  return Slot;
+}
+
+void SlotAllocator::release(int Slot) {
+#ifndef NDEBUG
+  assert(Slot >= 0 && static_cast<size_t>(Slot) < Live.size() &&
+         Live[static_cast<size_t>(Slot)] && "double release");
+  Live[static_cast<size_t>(Slot)] = false;
+#endif
+  Free.push_back(Slot);
+}

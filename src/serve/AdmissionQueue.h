@@ -1,0 +1,135 @@
+//===- AdmissionQueue.h - bounded request queue + row slot allocator -*- C++ -*-===//
+///
+/// \file
+/// The admission side of the streaming serve engine (serve/Engine.h):
+///
+///   AdmissionQueue   a bounded MPSC queue between producers calling
+///                    Engine::submit and the engine's decode loop.
+///                    Bounded on purpose — when the decode batch is full
+///                    AND the queue is full, submit() blocks, which is
+///                    the engine's backpressure: producers slow to the
+///                    rate the hardware sustains instead of queueing
+///                    unbounded work.
+///
+///   SlotAllocator    a freelist of decode-batch segments (self-K/V row
+///                    blocks in nn::Transformer::BatchDecodeState). A
+///                    retiring source releases its segment; the next
+///                    admitted source recycles it mid-flight.
+///
+//===----------------------------------------------------------------------===//
+#ifndef SLADE_SERVE_ADMISSIONQUEUE_H
+#define SLADE_SERVE_ADMISSIONQUEUE_H
+
+#include "core/Slade.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace slade {
+namespace serve {
+
+/// One streaming decompile/translate request, as submitted by a producer.
+struct DecompileRequest {
+  std::string Name;
+  /// Assembly text; tokenized by the engine unless \p Src is provided.
+  /// May stay empty in Task mode — the task's TargetAsm is used then.
+  std::string Asm;
+  /// Pre-tokenized source (used when non-empty; skips tokenization).
+  std::vector<int> Src;
+  /// Pre-encoded source (used when set; skips the admission-time encode
+  /// and its LRU lookup entirely). Set \p Src too when the request
+  /// should participate in in-flight dedup.
+  std::shared_ptr<const nn::Transformer::EncoderCache> Enc;
+  /// When set, the engine runs the full pipeline on retirement: candidate
+  /// compile + IO-verification in beam order on the worker pool,
+  /// overlapped with ongoing decode. Must outlive request completion.
+  const core::EvalTask *Task = nullptr;
+};
+
+/// Completion payload delivered through the request's future/callback.
+struct RequestResult {
+  std::string Name;
+  /// Top-beam C hypothesis (translate mode), or the selected candidate's
+  /// source (verify mode; same as Outcome.CSource).
+  std::string CSource;
+  /// Raw beam hypotheses, best first (always filled; lets batch clients
+  /// run their own selection/verification).
+  std::vector<nn::Hypothesis> Hyps;
+  /// Full-pipeline outcome; valid only when Verified.
+  core::HypothesisOutcome Outcome;
+  bool Verified = false;
+  /// Seconds from submit() to admission into a decode row.
+  double QueueWaitSeconds = 0;
+  /// Seconds from submit() to completion (end-to-end latency).
+  double TotalSeconds = 0;
+};
+
+/// Queue item: the request plus its completion promise and arrival stamp.
+struct Admission {
+  DecompileRequest Req;
+  std::promise<RequestResult> Promise;
+  /// Optional completion callback, invoked (from the decode thread or a
+  /// verify worker) just before the promise is fulfilled.
+  std::function<void(const RequestResult &)> OnDone;
+  std::chrono::steady_clock::time_point SubmitTime;
+};
+
+/// Bounded blocking queue between submitters and the decode loop.
+/// Thread-safe; any number of producers, one consumer (the decode loop).
+class AdmissionQueue {
+public:
+  explicit AdmissionQueue(size_t Capacity);
+
+  /// Enqueues, blocking while the queue is full. Returns false (without
+  /// enqueueing) once the queue is closed.
+  bool push(Admission A);
+  /// Non-blocking enqueue; false when full or closed.
+  bool tryPush(Admission &A);
+  /// Dequeues, blocking while the queue is empty. Returns false only
+  /// when the queue is closed AND drained.
+  bool pop(Admission *Out);
+  /// Non-blocking dequeue; false when empty.
+  bool tryPop(Admission *Out);
+
+  /// Closes the queue: subsequent pushes fail, pops drain what remains.
+  void close();
+  bool closed() const;
+  size_t size() const;
+  size_t capacity() const { return Cap; }
+
+private:
+  const size_t Cap;
+  mutable std::mutex Mu;
+  std::condition_variable NotFull, NotEmpty;
+  std::deque<Admission> Items;
+  bool Closed = false;
+};
+
+/// Freelist of decode-batch segment ids [0, N): the engine's row
+/// recycler. Single-consumer (decode loop) — no locking.
+class SlotAllocator {
+public:
+  explicit SlotAllocator(int N);
+  /// Pops a free segment id, or -1 when every segment is live.
+  int acquire();
+  void release(int Slot);
+  int freeCount() const { return static_cast<int>(Free.size()); }
+
+private:
+  std::vector<int> Free; ///< LIFO: retire-then-admit reuses the same row.
+#ifndef NDEBUG
+  std::vector<bool> Live;
+#endif
+};
+
+} // namespace serve
+} // namespace slade
+
+#endif // SLADE_SERVE_ADMISSIONQUEUE_H

@@ -1,0 +1,469 @@
+//===- Engine.cpp - streaming serve engine (continuous batching) --------------===//
+
+#include "serve/Engine.h"
+
+#include "nn/BeamCore.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+using namespace slade;
+using namespace slade::serve;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point T0) {
+  return std::chrono::duration<double>(Clock::now() - T0).count();
+}
+
+/// Percentile over sorted samples (nearest-rank).
+double percentile(const std::vector<double> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0;
+  size_t Rank = static_cast<size_t>(P * static_cast<double>(Sorted.size()));
+  if (Rank >= Sorted.size())
+    Rank = Sorted.size() - 1;
+  return Sorted[Rank];
+}
+
+} // namespace
+
+LatencyStats slade::serve::latencyStatsOf(std::vector<double> Samples) {
+  LatencyStats S;
+  if (Samples.empty())
+    return S;
+  std::sort(Samples.begin(), Samples.end());
+  S.P50 = percentile(Samples, 0.50);
+  S.P95 = percentile(Samples, 0.95);
+  S.P99 = percentile(Samples, 0.99);
+  S.Max = Samples.back();
+  double Sum = 0;
+  for (double V : Samples)
+    Sum += V;
+  S.Mean = Sum / static_cast<double>(Samples.size());
+  return S;
+}
+
+/// One request's completion channel: who to tell, and when it arrived.
+struct Engine::Completion {
+  std::string Name;
+  const core::EvalTask *Task = nullptr;
+  std::promise<RequestResult> Promise;
+  std::function<void(const RequestResult &)> OnDone;
+  Clock::time_point SubmitTime;
+  double QueueWait = 0;
+  bool Shared = false; ///< Shared >= 1 decode tick with another source.
+};
+
+/// One live source in the continuous batch: its segment, its beam-search
+/// bookkeeping (shared nn/BeamCore.h state), and the completions it
+/// serves — its own, plus any identical requests that arrived while it
+/// was decoding (in-flight single-flight dedup).
+struct Engine::Job {
+  Completion Main;
+  std::vector<Completion> Attached;
+  /// Byte key of the tokenized source, for in-flight dedup matching.
+  std::string SrcKey;
+
+  int Seg = -1; ///< Self-K/V segment owned while live.
+  std::vector<nn::beamcore::BeamMeta> Live;
+  std::vector<nn::Hypothesis> Done;
+  /// Tokens to feed this source's rows on the next tick ({Bos} when
+  /// freshly admitted). Invariant: NextTokens.size() == Live.size().
+  std::vector<int> NextTokens;
+  int Steps = 0; ///< Selection steps taken (caps at MaxLen).
+};
+
+Engine::Engine(const core::Decompiler &D, const EngineOptions &Opts)
+    : D(D), Opts(Opts), Queue(Opts.QueueCapacity) {
+  assert(this->Opts.MaxLiveSources > 0 && "need at least one decode row");
+  DecodeThread = std::thread([this] { decodeLoop(); });
+}
+
+Engine::~Engine() { stop(); }
+
+void Engine::stop() {
+  std::call_once(StopOnce, [this] {
+    Queue.close();
+    if (DecodeThread.joinable())
+      DecodeThread.join();
+    if (Pool)
+      Pool->wait();
+  });
+}
+
+ThreadPool &Engine::verifyPool() {
+  if (!Pool)
+    Pool = std::make_unique<ThreadPool>(
+        Opts.VerifyThreads > 0 ? static_cast<unsigned>(Opts.VerifyThreads)
+                               : ThreadPool::defaultConcurrency());
+  return *Pool;
+}
+
+std::future<RequestResult>
+Engine::submitImpl(DecompileRequest R,
+                   std::function<void(const RequestResult &)> OnDone,
+                   bool Block, bool *Accepted) {
+  Admission A;
+  A.Req = std::move(R);
+  A.OnDone = std::move(OnDone);
+  A.SubmitTime = Clock::now();
+  std::future<RequestResult> Fut = A.Promise.get_future();
+  // Count BEFORE the push: once pushed, the decode thread may complete
+  // the request at any moment, and Completed must never overtake
+  // Submitted (drain() would return with work in flight).
+  {
+    std::lock_guard<std::mutex> Lock(MetricsMu);
+    ++Submitted;
+  }
+  bool Ok = Block ? Queue.push(std::move(A)) : Queue.tryPush(A);
+  if (Accepted)
+    *Accepted = Ok;
+  if (!Ok) {
+    {
+      std::lock_guard<std::mutex> Lock(MetricsMu);
+      --Submitted; // Rejected: roll the count back.
+    }
+    DrainCv.notify_all(); // Re-check any drain() blocked on the count.
+  }
+  // On failure the promise (still held by A) is destroyed unfulfilled,
+  // so a blocking caller's future carries broken_promise.
+  return Fut;
+}
+
+std::future<RequestResult> Engine::submit(DecompileRequest R) {
+  return submitImpl(std::move(R), nullptr, /*Block=*/true, nullptr);
+}
+
+std::future<RequestResult>
+Engine::submit(DecompileRequest R,
+               std::function<void(const RequestResult &)> OnDone) {
+  return submitImpl(std::move(R), std::move(OnDone), /*Block=*/true,
+                    nullptr);
+}
+
+bool Engine::trySubmit(DecompileRequest R, std::future<RequestResult> *Out) {
+  bool Accepted = false;
+  std::future<RequestResult> Fut =
+      submitImpl(std::move(R), nullptr, /*Block=*/false, &Accepted);
+  if (Accepted && Out)
+    *Out = std::move(Fut);
+  return Accepted;
+}
+
+void Engine::drain() {
+  std::unique_lock<std::mutex> Lock(MetricsMu);
+  DrainCv.wait(Lock, [this] { return Completed >= Submitted; });
+}
+
+EngineMetrics Engine::metrics() const {
+  std::lock_guard<std::mutex> Lock(MetricsMu);
+  EngineMetrics M;
+  M.Submitted = Submitted;
+  M.Completed = Completed;
+  M.Steps = Steps;
+  M.StepRows = StepRows;
+  M.FusedJobs = FusedJobs;
+  M.InFlightDeduped = InFlightDeduped;
+  M.PeakLiveSources = PeakLiveSources;
+  M.EncodeSeconds = EncodeSeconds;
+  M.DecodeSeconds = DecodeSeconds;
+  M.VerifySeconds = VerifySeconds;
+  M.QueueWait = latencyStatsOf(QueueWaitSamples);
+  M.Latency = latencyStatsOf(LatencySamples);
+  return M;
+}
+
+void Engine::completeResult(RequestResult &&Res, Completion &&C) {
+  Res.QueueWaitSeconds = C.QueueWait;
+  Res.TotalSeconds = secondsSince(C.SubmitTime);
+  // Ordering contract: the callback runs FIRST (so drain(), which waits
+  // on the Completed count, implies every callback has run), then the
+  // request is counted (so a caller returning from future.get() sees it
+  // in metrics()), then the promise is fulfilled.
+  if (C.OnDone)
+    C.OnDone(Res);
+  {
+    std::lock_guard<std::mutex> Lock(MetricsMu);
+    recordSample(QueueWaitSamples, QueueWaitCursor, C.QueueWait);
+    recordSample(LatencySamples, LatencyCursor, Res.TotalSeconds);
+    ++Completed;
+  }
+  C.Promise.set_value(std::move(Res));
+  DrainCv.notify_all();
+}
+
+/// Appends a latency sample, bounded: once the window is full, new
+/// samples overwrite the oldest (ring), so a long-lived engine holds a
+/// fixed-size recent window instead of its whole history.
+void Engine::recordSample(std::vector<double> &Samples, size_t &Cursor,
+                          double V) {
+  if (Samples.size() < MaxLatencySamples) {
+    Samples.push_back(V);
+  } else {
+    Samples[Cursor] = V;
+    Cursor = (Cursor + 1) % MaxLatencySamples;
+  }
+}
+
+/// Completes one request from the finished source's hypotheses.
+/// Translate-only requests complete inline (a token decode is trivial
+/// next to a tick); verified requests dispatch to the worker pool so
+/// compile + IO-testing overlaps with the decode loop's next ticks.
+void Engine::completeOne(Completion &&C,
+                         std::shared_ptr<std::vector<nn::Hypothesis>> Hyps) {
+  if (C.Shared) {
+    std::lock_guard<std::mutex> Lock(MetricsMu);
+    ++FusedJobs;
+  }
+  if (!C.Task) {
+    RequestResult Res;
+    Res.Name = C.Name;
+    if (!Hyps->empty())
+      Res.CSource = D.tokenizer().decode(Hyps->front().Tokens);
+    Res.Hyps = *Hyps;
+    completeResult(std::move(Res), std::move(C));
+    return;
+  }
+  // Pooled IO-verification, overlapped with ongoing decode. Within the
+  // request, candidates are tried sequentially in beam order with early
+  // exit on the first IO pass — exactly Decompiler::decompile's
+  // sequential selection, so outcomes are byte-identical to a
+  // one-at-a-time run.
+  bool UseTypeInf = Opts.UseTypeInference;
+  auto Shared = std::make_shared<Completion>(std::move(C));
+  verifyPool().submit([this, UseTypeInf, Shared, Hyps] {
+    const tok::Tokenizer &Tok = D.tokenizer();
+    auto T0 = Clock::now();
+    core::HypothesisOutcome First, Picked;
+    bool HaveFirst = false, Passed = false;
+    for (const nn::Hypothesis &H : *Hyps) {
+      std::string CSource = Tok.decode(H.Tokens);
+      core::HypothesisOutcome O =
+          core::evaluateHypothesis(*Shared->Task, CSource, UseTypeInf);
+      if (!HaveFirst) {
+        First = O;
+        HaveFirst = true;
+      }
+      if (O.IOCorrect) {
+        Picked = O; // First candidate passing the IO tests (§VI-A).
+        Passed = true;
+        break;
+      }
+    }
+    RequestResult Res;
+    Res.Name = Shared->Name;
+    Res.Outcome = Passed ? Picked : First;
+    Res.CSource = Res.Outcome.CSource;
+    Res.Verified = true;
+    Res.Hyps = *Hyps;
+    {
+      std::lock_guard<std::mutex> Lock(MetricsMu);
+      VerifySeconds += secondsSince(T0);
+    }
+    completeResult(std::move(Res), std::move(*Shared));
+  });
+}
+
+/// Retirement: complete the job's own request and every in-flight
+/// duplicate that attached to it — all share one decode's hypotheses.
+void Engine::finishJob(Job &&J, std::vector<nn::Hypothesis> Hyps) {
+  auto SharedHyps =
+      std::make_shared<std::vector<nn::Hypothesis>>(std::move(Hyps));
+  completeOne(std::move(J.Main), SharedHyps);
+  for (Completion &C : J.Attached)
+    completeOne(std::move(C), SharedHyps);
+}
+
+void Engine::decodeLoop() {
+  const nn::Transformer &Model = D.model();
+  const int Vocab = Model.config().Vocab;
+  nn::BeamConfig BC;
+  BC.BeamSize = Opts.BeamSize;
+  BC.MaxLen = Opts.MaxLen;
+  const int BeamsPerSource = std::max(1, Opts.BeamSize);
+
+  nn::Transformer::BatchDecodeState St = Model.startDecodeStream(
+      Opts.MaxLiveSources, BeamsPerSource, std::max(1, Opts.MaxLen) + 1);
+  SlotAllocator Slots(Opts.MaxLiveSources);
+  std::vector<std::unique_ptr<Job>> Jobs; // Row order == job order.
+  nn::beamcore::SelectScratch Scratch;
+  std::vector<float> Logits;
+  std::vector<int> Tokens, SrcIdx;
+
+  /// A prepared admission whose encoder cache carries a different weight
+  /// version than the live batch: held back until the batch drains (an
+  /// idle state adopts the new version), blocking later admissions so
+  /// arrival order is preserved.
+  struct PendingAdmit {
+    Completion C;
+    std::shared_ptr<const nn::Transformer::EncoderCache> Enc;
+    std::string SrcKey;
+  };
+  std::unique_ptr<PendingAdmit> Deferred;
+
+  // Binds a prepared source into a freed segment; false = weight-version
+  // mismatch with the live rows (caller defers).
+  auto TryAdmit = [&](Completion &&C,
+                      std::shared_ptr<const nn::Transformer::EncoderCache>
+                          Enc,
+                      std::string SrcKey) {
+    int Seg = Slots.acquire();
+    assert(Seg >= 0 && "free segment must exist when Jobs < MaxLive");
+    if (Model.admitStreamRow(St, Seg, Enc) < 0) {
+      Slots.release(Seg);
+      Deferred =
+          std::unique_ptr<PendingAdmit>(new PendingAdmit{
+              std::move(C), std::move(Enc), std::move(SrcKey)});
+      return false;
+    }
+    // Queue wait ends HERE — at admission into a decode row (a deferred
+    // source's wait keeps accruing until this point).
+    C.QueueWait = secondsSince(C.SubmitTime);
+    auto J = std::make_unique<Job>();
+    J->Main = std::move(C);
+    J->SrcKey = std::move(SrcKey);
+    J->Seg = Seg;
+    J->Live.resize(1); // The BOS hypothesis.
+    J->NextTokens = {nn::Transformer::BosId};
+    {
+      std::lock_guard<std::mutex> Lock(MetricsMu);
+      PeakLiveSources = std::max(PeakLiveSources, Jobs.size() + 1);
+    }
+    Jobs.push_back(std::move(J));
+    return true;
+  };
+
+  for (;;) {
+    // -- admission: recycle freed segments from the queue ------------------
+    while (static_cast<int>(Jobs.size()) < Opts.MaxLiveSources) {
+      if (Deferred) {
+        // Retry the version-deferred source first (FIFO); it binds once
+        // the batch has drained and adopted its weight version.
+        PendingAdmit P = std::move(*Deferred);
+        Deferred.reset();
+        if (!TryAdmit(std::move(P.C), std::move(P.Enc),
+                      std::move(P.SrcKey)))
+          break; // Still blocked: wait for the live rows to retire.
+        continue;
+      }
+      Admission A;
+      if (Jobs.empty()) {
+        if (!Queue.pop(&A))
+          return; // Queue closed and fully drained; no live sources.
+      } else if (!Queue.tryPop(&A)) {
+        break; // Free rows but nothing waiting: keep decoding.
+      }
+      Completion C;
+      C.Name = std::move(A.Req.Name);
+      C.Task = A.Req.Task;
+      C.Promise = std::move(A.Promise);
+      C.OnDone = std::move(A.OnDone);
+      C.SubmitTime = A.SubmitTime;
+      if (BC.MaxLen < 1) { // Degenerate config: nothing to decode.
+        C.QueueWait = secondsSince(C.SubmitTime);
+        completeOne(std::move(C),
+                    std::make_shared<std::vector<nn::Hypothesis>>());
+        continue;
+      }
+      if (A.Req.Src.empty() && !A.Req.Enc) {
+        // Task-mode requests may omit the payload: the task carries it.
+        const std::string &Asm = (A.Req.Asm.empty() && A.Req.Task)
+                                     ? A.Req.Task->Prog.TargetAsm
+                                     : A.Req.Asm;
+        A.Req.Src = D.tokenizer().encode(Asm);
+      }
+      const std::vector<int> &Src = A.Req.Src;
+      std::string SrcKey(reinterpret_cast<const char *>(Src.data()),
+                         Src.size() * sizeof(int));
+      // In-flight single-flight: an identical source already decoding
+      // serves this request too — attach instead of occupying a row.
+      // (Determinism makes the hypotheses identical by construction.)
+      // Requests without tokens (pre-encoded only) never match.
+      Job *Dup = nullptr;
+      if (!SrcKey.empty())
+        for (const std::unique_ptr<Job> &Live : Jobs)
+          if (Live->SrcKey == SrcKey) {
+            Dup = Live.get();
+            break;
+          }
+      if (Dup) {
+        // The duplicate's wait ends here: it is now served by a row.
+        C.QueueWait = secondsSince(C.SubmitTime);
+        Dup->Attached.push_back(std::move(C));
+        std::lock_guard<std::mutex> Lock(MetricsMu);
+        ++InFlightDeduped;
+        continue;
+      }
+      auto T0 = Clock::now();
+      std::shared_ptr<const nn::Transformer::EncoderCache> Enc =
+          A.Req.Enc ? std::move(A.Req.Enc) : D.encodeCached(Src);
+      {
+        std::lock_guard<std::mutex> Lock(MetricsMu);
+        EncodeSeconds += secondsSince(T0);
+      }
+      if (!TryAdmit(std::move(C), std::move(Enc), std::move(SrcKey)))
+        break; // Version-deferred; admissions resume after the drain.
+    }
+    if (Jobs.empty())
+      continue; // Degenerate-config requests only; re-block on the queue.
+
+    // -- one fused decode tick over every live row -------------------------
+    Tokens.clear();
+    for (const std::unique_ptr<Job> &J : Jobs)
+      Tokens.insert(Tokens.end(), J->NextTokens.begin(),
+                    J->NextTokens.end());
+    auto T0 = Clock::now();
+    Logits = Model.stepDecodeBatch(St, Tokens);
+    {
+      std::lock_guard<std::mutex> Lock(MetricsMu);
+      DecodeSeconds += secondsSince(T0);
+      ++Steps;
+      StepRows += Tokens.size();
+    }
+
+    // -- per-source selection; finished sources retire mid-flight ----------
+    const bool Multi = Jobs.size() > 1;
+    SrcIdx.clear();
+    int RowBase = 0;
+    size_t Keep = 0;
+    for (size_t JI = 0; JI < Jobs.size(); ++JI) {
+      Job &J = *Jobs[JI];
+      const int Rows = static_cast<int>(J.Live.size());
+      if (Multi) {
+        J.Main.Shared = true;
+        for (Completion &C : J.Attached)
+          C.Shared = true;
+      }
+      nn::beamcore::SelectResult R = nn::beamcore::selectBeamStep(
+          J.Live, J.Done,
+          [&](size_t BI) {
+            return Logits.data() +
+                   (static_cast<size_t>(RowBase) + BI) * Vocab;
+          },
+          Vocab, BC, Scratch);
+      ++J.Steps;
+      // Retire on the EOS quota, beam exhaustion, or the step budget —
+      // the same three exits as beamSearchImpl's loop, in the same
+      // order, so the surviving Live/Done sets match a solo search.
+      if (R.StopNow || J.Live.empty() || J.Steps >= BC.MaxLen) {
+        Slots.release(J.Seg);
+        std::vector<nn::Hypothesis> Hyps = nn::beamcore::finalizeBeams(
+            std::move(J.Live), std::move(J.Done), BC);
+        finishJob(std::move(J), std::move(Hyps));
+      } else {
+        for (int Idx : R.SrcIdx)
+          SrcIdx.push_back(RowBase + Idx);
+        J.NextTokens = std::move(R.Tokens);
+        Jobs[Keep++] = std::move(Jobs[JI]);
+      }
+      RowBase += Rows;
+    }
+    Jobs.resize(Keep);
+    // Survivor gather; B may drop to zero when every source retired.
+    Model.reorderBeams(St, SrcIdx);
+  }
+}

@@ -1,0 +1,187 @@
+//===- Engine.h - streaming serve engine (continuous batching) --*- C++ -*-===//
+///
+/// \file
+/// The long-lived serving subsystem: producers submit DecompileRequests
+/// at ANY time; a dedicated decode thread runs one fused
+/// stepDecodeBatch per tick over whatever beam rows are live. Finished
+/// or failed sources retire mid-flight (their self-K/V segment returns
+/// to the slot allocator) and queued requests are admitted into the
+/// freed rows WITHOUT restarting the batch — continuous batching, the
+/// serving counterpart of the batch-scoped beamSearchMulti:
+///
+///   submit() ──▶ AdmissionQueue (bounded; full queue = backpressure)
+///                     │ admitted when a segment frees
+///                     ▼
+///   decode loop:  [row row row row ...]  one stepDecodeBatch per tick
+///                     │ source finishes (EOS quota / beam exhausted)
+///                     ▼
+///   verify pool:  compile + IO-test candidates in beam order —
+///                 overlapped with the next ticks' decode
+///                     │
+///                     ▼
+///   future / callback completes (RequestResult)
+///
+/// Determinism contract: per-request outputs are byte-identical to a
+/// solo nn::beamSearch on that request's source — per-row step results
+/// are independent of which other rows share the batch AND of their
+/// decode positions (each source carries its own clock; see
+/// BatchDecodeState::SegLen), and the per-source selection logic is the
+/// shared nn/BeamCore.h code. Arrival order, admission order, and row
+/// recycling cannot change any request's result, only its latency.
+///
+//===----------------------------------------------------------------------===//
+#ifndef SLADE_SERVE_ENGINE_H
+#define SLADE_SERVE_ENGINE_H
+
+#include "serve/AdmissionQueue.h"
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace slade {
+namespace serve {
+
+struct EngineOptions {
+  int BeamSize = 5; ///< Paper: k = 5.
+  int MaxLen = 220;
+  bool UseTypeInference = true;
+  /// Worker threads for the candidate IO-verification pool (0 =
+  /// hardware concurrency). The pool is created lazily on the first
+  /// verified request.
+  int VerifyThreads = 0;
+  /// Decode-batch segments: the max sources decoding concurrently (the
+  /// "max live rows" knob — live rows <= MaxLiveSources * BeamSize).
+  /// 1 = no cross-request fusion (each source still streams through the
+  /// engine, one at a time).
+  int MaxLiveSources = 4;
+  /// Admission queue bound. When MaxLiveSources sources are decoding AND
+  /// QueueCapacity requests are waiting, submit() blocks — backpressure.
+  size_t QueueCapacity = 256;
+};
+
+/// Latency distribution over completed requests, in seconds.
+struct LatencyStats {
+  double P50 = 0, P95 = 0, P99 = 0, Mean = 0, Max = 0;
+};
+
+/// Nearest-rank percentiles + mean/max over raw samples (seconds). The
+/// ONE percentile implementation, shared by EngineMetrics and the
+/// slade-serve replay reporting so their conventions cannot diverge.
+LatencyStats latencyStatsOf(std::vector<double> Samples);
+
+/// Aggregate engine counters. Percentiles are computed over a bounded
+/// window of recently completed requests (the last 65536; everything
+/// since construction until the window first fills).
+struct EngineMetrics {
+  size_t Submitted = 0;
+  size_t Completed = 0;
+  uint64_t Steps = 0;    ///< Fused decode ticks.
+  uint64_t StepRows = 0; ///< Beam rows stepped, summed over ticks.
+  /// Requests that shared at least one decode tick with another source.
+  size_t FusedJobs = 0;
+  /// Requests whose tokenized source matched a source already decoding:
+  /// they attached to the live job (single-flight) and completed with
+  /// its hypotheses instead of occupying a decode row.
+  size_t InFlightDeduped = 0;
+  size_t PeakLiveSources = 0;
+  double EncodeSeconds = 0; ///< Encoder passes at admission (LRU misses).
+  double DecodeSeconds = 0; ///< Time inside stepDecodeBatch ticks.
+  double VerifySeconds = 0; ///< Summed pool verify time (overlapped).
+  LatencyStats QueueWait; ///< submit() -> admission into a decode row.
+  LatencyStats Latency;   ///< submit() -> completion (end to end).
+};
+
+/// The streaming serve engine. Construction starts the decode thread;
+/// stop() (or destruction) closes the queue, drains every in-flight
+/// request, and joins. Thread-safe: any number of producer threads may
+/// submit concurrently.
+class Engine {
+public:
+  Engine(const core::Decompiler &D, const EngineOptions &Opts);
+  ~Engine();
+
+  Engine(const Engine &) = delete;
+  Engine &operator=(const Engine &) = delete;
+
+  /// Submits a request; blocks while the admission queue is full
+  /// (backpressure). The future completes when the request finishes; it
+  /// carries a broken-promise exception if the engine stops first.
+  std::future<RequestResult> submit(DecompileRequest R);
+
+  /// Callback form: \p OnDone runs on the engine's decode thread (or a
+  /// verify worker) just before the future completes. Keep it cheap.
+  std::future<RequestResult> submit(DecompileRequest R,
+                                    std::function<void(const RequestResult &)>
+                                        OnDone);
+
+  /// Non-blocking submit: false (request untouched aside from move) when
+  /// the queue is full or the engine is stopped.
+  bool trySubmit(DecompileRequest R, std::future<RequestResult> *Out);
+
+  /// Blocks until every request submitted so far has completed. The
+  /// queue stays open; more requests may be submitted after.
+  void drain();
+
+  /// Closes the queue, finishes all in-flight + queued requests, joins
+  /// the decode thread, and waits out the verify pool. Idempotent.
+  void stop();
+
+  const EngineOptions &options() const { return Opts; }
+  EngineMetrics metrics() const;
+
+private:
+  struct Completion;
+  struct Job;
+
+  void decodeLoop();
+  ThreadPool &verifyPool();
+  void finishJob(Job &&J, std::vector<nn::Hypothesis> Hyps);
+  void completeOne(Completion &&C,
+                   std::shared_ptr<std::vector<nn::Hypothesis>> Hyps);
+  void completeResult(RequestResult &&Res, Completion &&C);
+  void recordSample(std::vector<double> &Samples, size_t &Cursor, double V);
+  std::future<RequestResult>
+  submitImpl(DecompileRequest R,
+             std::function<void(const RequestResult &)> OnDone, bool Block,
+             bool *Accepted);
+
+  const core::Decompiler &D;
+  EngineOptions Opts;
+  AdmissionQueue Queue;
+
+  mutable std::mutex MetricsMu;
+  std::condition_variable DrainCv;
+  size_t Submitted = 0;
+  size_t Completed = 0;
+  uint64_t Steps = 0;
+  uint64_t StepRows = 0;
+  size_t FusedJobs = 0;
+  size_t InFlightDeduped = 0;
+  size_t PeakLiveSources = 0;
+  double EncodeSeconds = 0;
+  double DecodeSeconds = 0;
+  double VerifySeconds = 0;
+  /// Bounded windows of recent per-request samples (ring once full), so
+  /// a long-lived engine's memory and metrics() cost stay fixed.
+  static constexpr size_t MaxLatencySamples = 1 << 16;
+  std::vector<double> QueueWaitSamples;
+  std::vector<double> LatencySamples;
+  size_t QueueWaitCursor = 0;
+  size_t LatencyCursor = 0;
+
+  std::once_flag StopOnce;
+  /// Lazily created verification pool (guarded by decode-thread-only
+  /// access). Declared before the decode thread member so workers are
+  /// joined after the decode loop exits but before teardown completes.
+  std::unique_ptr<ThreadPool> Pool;
+  std::thread DecodeThread;
+};
+
+} // namespace serve
+} // namespace slade
+
+#endif // SLADE_SERVE_ENGINE_H

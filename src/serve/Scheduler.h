@@ -1,24 +1,28 @@
-//===- Scheduler.h - concurrent decompile request scheduler -----*- C++ -*-===//
+//===- Scheduler.h - batch-scoped client of the serve engine ----*- C++ -*-===//
 ///
 /// \file
-/// The serving layer: accepts N decompile jobs and runs the pipeline
-/// stages with the parallelism each one can actually use —
+/// The batch serving front: accepts N decompile jobs at once and runs
+/// them through the streaming engine (serve/Engine.h) as a thin
+/// submit-all + drain client —
 ///
-///   encode     per-source encoder passes through the shared EncoderLRU
-///              (repeated sources hit the cache), fanned out on the
-///              worker pool;
-///   decode     CROSS-REQUEST batched beam search: up to DecodeBatch
-///              sources' beams fused into one BatchDecodeState, so every
-///              per-step GEMM amortizes over all live requests — the
-///              throughput lever even on one core (see bench/README.md);
+///   dedup      identical tokenized sources decode ONCE (single-flight);
+///   decode     every unique source streams through the engine's
+///              continuous batch: up to EngineMaxLive sources' beams
+///              fused per step, sources joining/leaving mid-flight as
+///              they finish (the width is the measured AUTO fusion
+///              decision, cached per weight version + beam width);
 ///   verify     per-candidate compile + IO-execution fanned out on the
-///              worker pool, keeping the paper's "first IO-passing
-///              candidate in beam order" selection per job.
+///              worker pool after the decode stage drains (the batch
+///              front keeps the two-stage shape; streaming clients that
+///              want verify overlapped with decode submit Task requests
+///              to the Engine directly), keeping the paper's "first
+///              IO-passing candidate in beam order" selection per job.
 ///
 /// Results are deterministic and byte-identical to running the same jobs
 /// one at a time through Decompiler::decompile / translate: per-row decode
-/// results do not depend on batch composition (tested), every job's
-/// selection logic is the same code, and results land in request order.
+/// results do not depend on batch composition or row recycling (tested),
+/// every job's selection logic is the same code, and results land in
+/// request order.
 ///
 //===----------------------------------------------------------------------===//
 #ifndef SLADE_SERVE_SCHEDULER_H
@@ -27,7 +31,10 @@
 #include "core/Slade.h"
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace slade {
@@ -40,18 +47,21 @@ struct ServeOptions {
   /// Worker threads for the encode and verify fan-outs (0 = hardware
   /// concurrency).
   int Threads = 0;
-  /// Sources fused per batched decode session. Fusion amortizes per-step
-  /// weight-matrix streaming across requests, but every fused source adds
-  /// its cross-K/V working set (~ 2 * DecLayers * TSrc * DModel floats)
-  /// to the per-step cache footprint, so it only pays for narrow beams
+  /// Sources decoding concurrently in the engine's continuous batch
+  /// (its MaxLiveSources). Fusion amortizes per-step weight-matrix
+  /// streaming across requests, but every fused source adds its
+  /// cross-K/V working set (~ 2 * DecLayers * TSrc * DModel floats) to
+  /// the per-step cache footprint, so it only pays for narrow beams
   /// over short sources (measured: ~1.2x at k=1/short, a loss at k=5 or
-  /// long sources — bench/README.md). 0 = AUTO: after encoding, fuse
-  /// exactly the jobs where it wins (BeamSize <= 2 and TSrc <=
-  /// ShortSrcTokens) and decode the rest per job. Safe because fusion
-  /// never changes results, only speed.
+  /// long sources — bench/README.md). 0 = AUTO: MEASURE fused vs. solo
+  /// per-step decode cost on this run's MEDIAN-length source (the
+  /// typical request, not fusion's best case) and fuse only when it
+  /// wins; the measured decision is cached per (weight version, beam
+  /// width), so repeated runs never re-probe. Safe because fusion never
+  /// changes results, only speed.
   int DecodeBatch = 0;
-  /// Source-length bound for AUTO fusion.
-  int ShortSrcTokens = 96;
+  /// Decode steps timed by one AUTO fusion probe (probe cost bound).
+  int FusionProbeSteps = 16;
   /// Set false to force per-job decode (no cross-request fusion),
   /// overriding DecodeBatch — the measurable baseline.
   bool BatchDecode = true;
@@ -90,8 +100,22 @@ struct ServeMetrics {
   /// Jobs whose decode was satisfied by another identical job in the
   /// same run (single-flight dedup).
   size_t DecodesDeduped = 0;
-  /// Unique jobs decoded in cross-request fused batches.
+  /// Unique jobs that shared at least one engine decode tick with
+  /// another source (cross-request fusion).
   size_t DecodesFused = 0;
+  /// Per-request queue wait (submit -> admission into a decode row):
+  /// percentiles over this run, seconds.
+  double QueueWaitP50 = 0, QueueWaitP95 = 0, QueueWaitP99 = 0;
+  /// Per-request latency (submit -> request completion) percentiles over
+  /// this run, seconds. In batch runs this covers the decode path (the
+  /// verify stage is overlapped but job-order collected); slade-serve
+  /// --stream reports full end-to-end latency.
+  double LatencyP50 = 0, LatencyP95 = 0, LatencyP99 = 0;
+  /// AUTO fusion probes actually measured during this run. 0 means the
+  /// cached per-(weight version, beam width) decision was reused.
+  size_t FusionProbes = 0;
+  /// Engine width used (max concurrently-live sources) this run.
+  int EngineMaxLive = 0;
 };
 
 class Scheduler {
@@ -113,15 +137,33 @@ public:
   const ServeMetrics &metrics() const { return M; }
 
 private:
-  /// Encode (through the LRU) + batched beam decode for all sources;
-  /// fills the encode/decode timing metrics.
+  /// Dedup + engine submit-all/drain for all sources; fills the
+  /// encode/decode timing and latency metrics.
   std::vector<std::vector<nn::Hypothesis>>
   decodeAll(const std::vector<std::vector<int>> &Srcs);
+
+  /// Engine width for this run: DecodeBatch when forced, else the
+  /// measured AUTO decision (probe cached per weight version + beam
+  /// width; runs with fewer than two unique sources use width 1 without
+  /// probing — nothing could fuse).
+  int engineWidth(
+      const std::vector<std::vector<int>> &Srcs,
+      const std::vector<size_t> &UniqueIdx,
+      const std::vector<std::shared_ptr<const nn::Transformer::EncoderCache>>
+          &Encs);
+  /// Times fused-vs-solo decode steps over an already-encoded source;
+  /// true when fusion's per-source step cost wins. Pure measurement —
+  /// never affects results.
+  bool measureFusionWins(
+      const std::shared_ptr<const nn::Transformer::EncoderCache> &Enc);
 
   const core::Decompiler &D;
   ServeOptions Opts;
   ThreadPool Pool;
   ServeMetrics M;
+  /// Measured AUTO fusion decisions, keyed by (weight version, beam
+  /// width) so repeated runs (the common serving case) never re-probe.
+  std::map<std::pair<uint64_t, int>, bool> FusionDecisions;
 };
 
 } // namespace serve

@@ -673,6 +673,111 @@ TEST(Transformer, MultiSourceBeamAfterTrainingMatchesExactly) {
   }
 }
 
+TEST(Transformer, StreamingJoinLeaveRecyclingBitExactLogits) {
+  // The continuous-batching substrate: per-SOURCE decode clocks
+  // (SegLen). A source admitted mid-flight, a source retiring while
+  // others continue, and a new source recycling a retired source's
+  // segment must all produce logits BIT-IDENTICAL to a solo decode of
+  // that source — position embeddings, self-K/V slots, and ancestry all
+  // follow the row's own clock, never the batch's.
+  Transformer Model(tinyConfig());
+  std::vector<std::vector<int>> Sources = {
+      {4, 5, 6, 7, 8}, {9, 8, 7}, {30, 2, 17, 21, 11, 12}};
+  std::vector<std::shared_ptr<const Transformer::EncoderCache>> Encs;
+  for (const auto &Src : Sources)
+    Encs.push_back(Model.encodeSource(Src));
+  int Vocab = Model.config().Vocab;
+
+  // Solo oracle: per source, the logits of feeding BOS, 3, 4, 5, ...
+  auto SoloLogits = [&](size_t S, int Steps) {
+    Transformer::BatchDecodeState St =
+        Model.startDecodeBatch(Encs[S], 1, Steps + 1);
+    std::vector<std::vector<float>> Out;
+    Out.push_back(Model.stepDecodeBatch(St, {Transformer::BosId}));
+    for (int T = 0; T < Steps - 1; ++T)
+      Out.push_back(Model.stepDecodeBatch(St, {3 + T}));
+    return Out;
+  };
+  std::vector<std::vector<std::vector<float>>> Solo;
+  for (size_t S = 0; S < Sources.size(); ++S)
+    Solo.push_back(SoloLogits(S, 6));
+
+  // Streamed schedule over TWO segments (sources join/leave/recycle):
+  //   tick 1: [A]       A admitted (seg 0)
+  //   tick 2: [A, B]    B joins mid-flight (seg 1)
+  //   tick 3: [A, B]
+  //   tick 4: [B, C]    A retires; C recycles seg 0 while B is mid-decode
+  //   tick 5: [B, C]
+  //   tick 6: [C]       B retires
+  Transformer::BatchDecodeState St = Model.startDecodeStream(2, 1, 8);
+  auto Row = [&](const std::vector<float> &Logits, int R) {
+    return std::vector<float>(
+        Logits.begin() + static_cast<long>(R) * Vocab,
+        Logits.begin() + static_cast<long>(R + 1) * Vocab);
+  };
+
+  Model.admitStreamRow(St, 0, Encs[0]);
+  std::vector<float> L = Model.stepDecodeBatch(St, {Transformer::BosId});
+  EXPECT_EQ(Row(L, 0), Solo[0][0]) << "A step 0";
+
+  Model.admitStreamRow(St, 1, Encs[1]);
+  L = Model.stepDecodeBatch(St, {3, Transformer::BosId});
+  EXPECT_EQ(Row(L, 0), Solo[0][1]) << "A step 1 (fused with B's BOS)";
+  EXPECT_EQ(Row(L, 1), Solo[1][0]) << "B step 0 at a different clock";
+
+  L = Model.stepDecodeBatch(St, {4, 3});
+  EXPECT_EQ(Row(L, 0), Solo[0][2]) << "A step 2";
+  EXPECT_EQ(Row(L, 1), Solo[1][1]) << "B step 1";
+
+  // Retire A (keep only B's row), recycle segment 0 for C.
+  Model.reorderBeams(St, {1});
+  Model.admitStreamRow(St, 0, Encs[2]);
+  L = Model.stepDecodeBatch(St, {4, Transformer::BosId});
+  EXPECT_EQ(Row(L, 0), Solo[1][2]) << "B step 2 after A left";
+  EXPECT_EQ(Row(L, 1), Solo[2][0]) << "C step 0 in A's recycled segment";
+
+  L = Model.stepDecodeBatch(St, {5, 3});
+  EXPECT_EQ(Row(L, 0), Solo[1][3]) << "B step 3";
+  EXPECT_EQ(Row(L, 1), Solo[2][1]) << "C step 1";
+
+  // Retire B; C decodes alone to the end of its script.
+  Model.reorderBeams(St, {1});
+  L = Model.stepDecodeBatch(St, {4});
+  EXPECT_EQ(Row(L, 0), Solo[2][2]) << "C step 2 solo";
+  L = Model.stepDecodeBatch(St, {5});
+  EXPECT_EQ(Row(L, 0), Solo[2][3]) << "C step 3 solo";
+
+  // Retire C too: the batch may drop to zero rows and restart.
+  Model.reorderBeams(St, {});
+  EXPECT_EQ(St.B, 0);
+  Model.admitStreamRow(St, 1, Encs[0]);
+  L = Model.stepDecodeBatch(St, {Transformer::BosId});
+  EXPECT_EQ(Row(L, 0), Solo[0][0]) << "A again after full drain";
+}
+
+TEST(Transformer, StreamingAdmitRefusesMixedWeightVersions) {
+  // A source encoded AFTER a weight update must not join a batch whose
+  // live rows decode with the old constants: admitStreamRow returns -1
+  // (the caller defers) until the batch drains and adopts the version.
+  Transformer Model(tinyConfig());
+  auto OldEnc = Model.encodeSource({4, 5, 6});
+  Transformer::BatchDecodeState St = Model.startDecodeStream(2, 1, 8);
+  ASSERT_EQ(Model.admitStreamRow(St, 0, OldEnc), 0);
+  Model.stepDecodeBatch(St, {Transformer::BosId});
+
+  Model.bumpWeightVersion(); // In-place weight mutation elsewhere.
+  auto NewEnc = Model.encodeSource({9, 8, 7});
+  EXPECT_EQ(Model.admitStreamRow(St, 1, NewEnc), -1)
+      << "mixed-version admission must be refused, not asserted";
+
+  Model.reorderBeams(St, {}); // The old source retires; batch drains.
+  EXPECT_EQ(Model.admitStreamRow(St, 1, NewEnc), 0)
+      << "an idle batch adopts the new weight version";
+  std::vector<float> L = Model.stepDecodeBatch(St, {Transformer::BosId});
+  EXPECT_EQ(L.size(),
+            static_cast<size_t>(Model.config().Vocab));
+}
+
 TEST(EncoderLRU, HitsShareOneCacheAndEvictionKeepsResultsIdentical) {
   Transformer Model(tinyConfig());
   EncoderLRU Cache(/*Capacity=*/2);

@@ -8,13 +8,18 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Eval.h"
+#include "serve/Engine.h"
 #include "serve/Jsonl.h"
 #include "serve/Scheduler.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <random>
+#include <thread>
 
 using namespace slade;
 
@@ -194,6 +199,225 @@ TEST(Scheduler, FusedAndUnfusedDecodeAgree) {
     EXPECT_EQ(RF[I].CSource, F.Slade->translate(Jobs[I].Asm, Fused.BeamSize,
                                                 Fused.MaxLen))
         << "job " << I;
+}
+
+TEST(Scheduler, AutoFusionProbeIsCachedAcrossRuns) {
+  // The AUTO fusion decision is a timing probe; repeated runs with the
+  // same weights + beam width must reuse the cached decision instead of
+  // re-measuring.
+  ServeFixture F(4);
+  ASSERT_GE(F.Tasks.size(), 2u);
+  std::vector<serve::TranslateJob> Jobs;
+  for (const core::EvalTask &T : F.Tasks)
+    Jobs.push_back({T.Name, T.Prog.TargetAsm});
+
+  serve::ServeOptions SO; // DecodeBatch = 0: the AUTO policy.
+  SO.BeamSize = 2;
+  SO.MaxLen = 24;
+  SO.FusionProbeSteps = 4; // Keep the probe cheap in tests.
+  serve::Scheduler Sched(*F.Slade, SO);
+  auto First = Sched.translate(Jobs);
+  EXPECT_EQ(Sched.metrics().FusionProbes, 1u) << "first run measures";
+  auto Second = Sched.translate(Jobs);
+  EXPECT_EQ(Sched.metrics().FusionProbes, 0u)
+      << "second run must reuse the cached decision";
+  for (size_t I = 0; I < First.size(); ++I)
+    EXPECT_EQ(First[I].CSource, Second[I].CSource);
+  // Forcing the width bypasses the probe entirely.
+  serve::ServeOptions Forced = SO;
+  Forced.DecodeBatch = 2;
+  serve::Scheduler SF(*F.Slade, Forced);
+  SF.translate(Jobs);
+  EXPECT_EQ(SF.metrics().FusionProbes, 0u);
+  EXPECT_EQ(SF.metrics().EngineMaxLive, 2);
+}
+
+// -- streaming engine --------------------------------------------------------
+
+TEST(AdmissionQueue, BoundedBackpressureAndClose) {
+  serve::AdmissionQueue Q(2);
+  serve::Admission A;
+  A.Req.Name = "a";
+  ASSERT_TRUE(Q.push(std::move(A)));
+  A = serve::Admission();
+  A.Req.Name = "b";
+  ASSERT_TRUE(Q.push(std::move(A)));
+  EXPECT_EQ(Q.size(), 2u);
+  A = serve::Admission();
+  A.Req.Name = "c";
+  EXPECT_FALSE(Q.tryPush(A)) << "full queue must reject tryPush";
+
+  // A blocked push is released by a pop on another thread (backpressure).
+  std::thread Producer([&Q] {
+    serve::Admission P;
+    P.Req.Name = "c";
+    EXPECT_TRUE(Q.push(std::move(P)));
+  });
+  serve::Admission Out;
+  ASSERT_TRUE(Q.pop(&Out));
+  EXPECT_EQ(Out.Req.Name, "a");
+  Producer.join();
+  EXPECT_EQ(Q.size(), 2u);
+
+  // close(): pops drain what remains, pushes fail.
+  Q.close();
+  serve::Admission After;
+  After.Req.Name = "d";
+  EXPECT_FALSE(Q.push(std::move(After)));
+  ASSERT_TRUE(Q.pop(&Out));
+  EXPECT_EQ(Out.Req.Name, "b");
+  ASSERT_TRUE(Q.pop(&Out));
+  EXPECT_EQ(Out.Req.Name, "c");
+  EXPECT_FALSE(Q.pop(&Out)) << "closed + drained";
+}
+
+TEST(SlotAllocator, RecyclesLifoAndGuardsDoubleRelease) {
+  serve::SlotAllocator S(2);
+  EXPECT_EQ(S.freeCount(), 2);
+  EXPECT_EQ(S.acquire(), 0);
+  EXPECT_EQ(S.acquire(), 1);
+  EXPECT_EQ(S.acquire(), -1) << "exhausted";
+  S.release(0);
+  EXPECT_EQ(S.acquire(), 0) << "retire-then-admit reuses the same slot";
+}
+
+TEST(Engine, StreamedArrivalsMatchSoloByteForByte) {
+  // Requests submitted one at a time in a randomized order, with waits
+  // in between that force retire-then-admit into recycled rows, must
+  // each match a solo Decompiler::translate byte for byte.
+  ServeFixture F(6);
+  ASSERT_GE(F.Tasks.size(), 4u);
+  std::vector<std::string> Asm;
+  for (const core::EvalTask &T : F.Tasks)
+    Asm.push_back(T.Prog.TargetAsm);
+
+  serve::EngineOptions EO;
+  EO.BeamSize = 3;
+  EO.MaxLen = 32;
+  EO.MaxLiveSources = 2;
+  EO.QueueCapacity = 4;
+  serve::Engine Eng(*F.Slade, EO);
+
+  std::vector<size_t> Order(Asm.size());
+  for (size_t I = 0; I < Order.size(); ++I)
+    Order[I] = I;
+  std::mt19937 Rng(7);
+  std::shuffle(Order.begin(), Order.end(), Rng);
+
+  std::vector<std::future<serve::RequestResult>> Futs(Asm.size());
+  for (size_t K = 0; K < Order.size(); ++K) {
+    size_t I = Order[K];
+    Futs[I] = Eng.submit({F.Tasks[I].Name, Asm[I], {}, {}, nullptr});
+    if (K % 2 == 1) {
+      // Wait a request out mid-stream: the engine goes (partially) idle
+      // and the next submissions recycle freed segments.
+      Futs[Order[K - 1]].wait();
+    }
+  }
+  for (size_t I = 0; I < Asm.size(); ++I) {
+    serve::RequestResult R = Futs[I].get();
+    EXPECT_EQ(R.CSource,
+              F.Slade->translate(Asm[I], EO.BeamSize, EO.MaxLen))
+        << "job " << I;
+    EXPECT_GE(R.TotalSeconds, 0.0);
+  }
+  serve::EngineMetrics M = Eng.metrics();
+  EXPECT_EQ(M.Completed, Asm.size());
+  EXPECT_GE(M.Steps, 1u);
+}
+
+TEST(Engine, RowRecyclingStressAndInFlightDedup) {
+  // More jobs than rows, duplicate-heavy, submitted all at once: every
+  // segment is recycled several times, admissions land while other
+  // sources are mid-decode, and duplicates of live sources attach
+  // (single-flight) — all without changing a single output byte.
+  ServeFixture F(5);
+  ASSERT_GE(F.Tasks.size(), 3u);
+  std::vector<std::string> Asm;
+  for (const core::EvalTask &T : F.Tasks)
+    Asm.push_back(T.Prog.TargetAsm);
+
+  serve::EngineOptions EO;
+  EO.BeamSize = 2;
+  EO.MaxLen = 28;
+  EO.MaxLiveSources = 2;
+  EO.QueueCapacity = 64;
+  serve::Engine Eng(*F.Slade, EO);
+
+  std::vector<size_t> Pick;
+  for (int Round = 0; Round < 4; ++Round)
+    for (size_t I = 0; I < Asm.size(); ++I)
+      Pick.push_back(I);
+  std::mt19937 Rng(11);
+  std::shuffle(Pick.begin(), Pick.end(), Rng);
+
+  std::vector<std::future<serve::RequestResult>> Futs;
+  for (size_t I : Pick)
+    Futs.push_back(Eng.submit({"job", Asm[I], {}, {}, nullptr}));
+  for (size_t K = 0; K < Pick.size(); ++K) {
+    serve::RequestResult R = Futs[K].get();
+    EXPECT_EQ(R.CSource,
+              F.Slade->translate(Asm[Pick[K]], EO.BeamSize, EO.MaxLen))
+        << "request " << K << " (source " << Pick[K] << ")";
+  }
+  serve::EngineMetrics M = Eng.metrics();
+  EXPECT_EQ(M.Completed, Pick.size());
+  EXPECT_LE(M.PeakLiveSources, 2u);
+  EXPECT_GE(M.FusedJobs, 2u) << "sources must have shared ticks";
+}
+
+TEST(Engine, VerifiedRequestsMatchDecompileOutcomes) {
+  // Task-mode requests run the full pipeline with verification pooled
+  // and overlapped; outcomes must equal sequential Decompiler runs.
+  ServeFixture F(5);
+  ASSERT_GE(F.Tasks.size(), 3u);
+
+  serve::EngineOptions EO;
+  EO.BeamSize = 3;
+  EO.MaxLen = 40;
+  EO.MaxLiveSources = 2;
+  EO.VerifyThreads = 2;
+  serve::Engine Eng(*F.Slade, EO);
+
+  std::vector<std::future<serve::RequestResult>> Futs;
+  for (const core::EvalTask &T : F.Tasks)
+    Futs.push_back(Eng.submit({T.Name, "", {}, {}, &T}));
+
+  core::Decompiler::Options DO;
+  DO.BeamSize = EO.BeamSize;
+  DO.MaxLen = EO.MaxLen;
+  DO.VerifyThreads = 1;
+  for (size_t I = 0; I < F.Tasks.size(); ++I) {
+    serve::RequestResult R = Futs[I].get();
+    ASSERT_TRUE(R.Verified);
+    expectSameOutcome(R.Outcome, F.Slade->decompile(F.Tasks[I], DO), I);
+  }
+}
+
+TEST(Engine, CallbackRunsBeforeFutureAndStopDrains) {
+  ServeFixture F(3);
+  ASSERT_GE(F.Tasks.size(), 1u);
+  serve::EngineOptions EO;
+  EO.BeamSize = 1;
+  EO.MaxLen = 16;
+  EO.MaxLiveSources = 1;
+  serve::Engine Eng(*F.Slade, EO);
+
+  std::atomic<int> Called{0};
+  std::vector<std::future<serve::RequestResult>> Futs;
+  for (const core::EvalTask &T : F.Tasks)
+    Futs.push_back(
+        Eng.submit({T.Name, T.Prog.TargetAsm, {}, {}, nullptr},
+                   [&Called](const serve::RequestResult &R) {
+                     EXPECT_FALSE(R.Name.empty());
+                     ++Called;
+                   }));
+  Eng.drain();
+  EXPECT_EQ(static_cast<size_t>(Called.load()), F.Tasks.size());
+  for (size_t I = 0; I < Futs.size(); ++I)
+    EXPECT_EQ(Futs[I].get().Name, F.Tasks[I].Name);
+  Eng.stop(); // Idempotent with the destructor.
+  EXPECT_EQ(Eng.metrics().Completed, F.Tasks.size());
 }
 
 TEST(Scheduler, RepeatedRunsHitTheEncoderCache) {

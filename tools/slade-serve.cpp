@@ -22,16 +22,21 @@
 
 #include "core/Eval.h"
 #include "core/Trainer.h"
+#include "serve/Engine.h"
 #include "serve/Jsonl.h"
 #include "serve/Scheduler.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <future>
 #include <iostream>
+#include <random>
 #include <sstream>
+#include <thread>
 
 using namespace slade;
 
@@ -54,6 +59,16 @@ struct CliOptions {
   bool Sequential = false; ///< Baseline: one Decompiler call per job.
   bool Check = false;      ///< Run batched AND sequential, compare.
   std::string OutPath;
+  // -- streaming replay (--stream) --
+  bool Stream = false; ///< Replay the corpus with arrival timestamps
+                       ///< through the continuous-batching engine.
+  double Rate = 0;     ///< Mean Poisson arrivals/sec (0 = jobs over ~1s).
+  int MaxLive = 4;     ///< Engine MaxLiveSources.
+  int QueueCap = 256;  ///< Engine admission-queue bound.
+  uint64_t ArrivalSeed = 42; ///< Poisson arrival RNG seed.
+  bool StreamCompare = false; ///< Also replay through the batch-scoped
+                              ///< scheduler (greedy batches) and compare
+                              ///< latency/throughput.
 };
 
 void usage() {
@@ -69,15 +84,28 @@ void usage() {
       "  --beam K             beam size (default 5)\n"
       "  --maxlen N           max decoded tokens (default 220)\n"
       "  --threads N          worker threads, 0 = hardware (default)\n"
-      "  --decode-batch N     sources fused per decode batch (default 0 =\n"
-      "                       auto: fuse only narrow-beam/short-source\n"
-      "                       jobs, where fusion measures faster)\n"
+      "  --decode-batch N     max sources decoding concurrently in the\n"
+      "                       engine (default 0 = auto: a timing probe\n"
+      "                       measures whether fusion wins at this beam\n"
+      "                       width; the decision is cached per weight\n"
+      "                       version + beam width)\n"
       "  --enc-cache-mb N     cap the encoder-output LRU at N MiB\n"
       "  --no-batch           disable cross-request decode batching\n"
       "  --no-typeinf         disable type inference\n"
       "  --sequential         baseline: sequential Decompiler calls\n"
       "  --check              run batched AND sequential, compare outputs\n"
-      "  --out FILE           write per-function results JSONL\n");
+      "  --out FILE           write per-function results JSONL\n"
+      "  --stream             replay the corpus with Poisson arrival\n"
+      "                       times through the continuous-batching\n"
+      "                       engine; report throughput + latency\n"
+      "                       percentiles (p50/p95/p99)\n"
+      "  --rate R             mean stream arrivals per second (default:\n"
+      "                       all jobs over ~1s)\n"
+      "  --live N             engine max live sources (default 4)\n"
+      "  --queue N            engine admission-queue bound (default 256)\n"
+      "  --arrival-seed S     arrival RNG seed (default 42)\n"
+      "  --stream-compare     also replay the same arrivals through the\n"
+      "                       batch-scoped scheduler, compare latency\n");
 }
 
 bool parseArgs(int argc, char **argv, CliOptions *O) {
@@ -141,6 +169,30 @@ bool parseArgs(int argc, char **argv, CliOptions *O) {
         std::fprintf(stderr, "error: --enc-cache-mb must be >= 0\n");
         return false;
       }
+    } else if (A == "--stream") {
+      O->Stream = true;
+    } else if (A == "--rate") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O->Rate = std::atof(V);
+    } else if (A == "--live") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O->MaxLive = std::max(1, std::atoi(V));
+    } else if (A == "--queue") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O->QueueCap = std::max(1, std::atoi(V));
+    } else if (A == "--arrival-seed") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O->ArrivalSeed = static_cast<uint64_t>(std::atoll(V));
+    } else if (A == "--stream-compare") {
+      O->StreamCompare = true;
     } else if (A == "--no-batch") {
       O->Serve.BatchDecode = false;
     } else if (A == "--no-typeinf") {
@@ -208,16 +260,24 @@ std::string outcomeJson(const std::string &Name,
 void printMetrics(const char *Label, const serve::ServeMetrics &M) {
   std::fprintf(stderr,
                "[%s] %zu functions in %.3fs = %.2f fn/s (encode %.3fs, "
-               "decode %.3fs, verify %.3fs; %zu deduped, %zu fused, "
-               "encoder cache %llu hits / %llu misses = %.0f%% hit rate, "
-               "cold encode %.2f ms mean, %.1f KiB cached)\n",
+               "decode %.3fs, verify %.3fs; %zu deduped, %zu fused "
+               "(width %d, %zu probes), encoder cache %llu hits / %llu "
+               "misses = %.0f%% hit rate, cold encode %.2f ms mean, "
+               "%.1f KiB cached)\n",
                Label, M.Jobs, M.TotalSeconds, M.FunctionsPerSec,
                M.EncodeSeconds, M.DecodeSeconds, M.VerifySeconds,
-               M.DecodesDeduped, M.DecodesFused,
+               M.DecodesDeduped, M.DecodesFused, M.EngineMaxLive,
+               M.FusionProbes,
                static_cast<unsigned long long>(M.EncoderCacheHits),
                static_cast<unsigned long long>(M.EncoderCacheMisses),
                100.0 * M.EncoderCacheHitRate, M.ColdEncodeMsMean,
                static_cast<double>(M.EncoderCacheBytes) / 1024.0);
+  std::fprintf(stderr,
+               "[%s] queue wait p50/p95/p99 %.1f/%.1f/%.1f ms, latency "
+               "p50/p95/p99 %.1f/%.1f/%.1f ms\n",
+               Label, 1e3 * M.QueueWaitP50, 1e3 * M.QueueWaitP95,
+               1e3 * M.QueueWaitP99, 1e3 * M.LatencyP50,
+               1e3 * M.LatencyP95, 1e3 * M.LatencyP99);
 }
 
 /// One summary JSONL object per scheduler run, written after the
@@ -235,7 +295,198 @@ std::string metricsJson(const char *Label, const serve::ServeMetrics &M) {
      << ", \"encoder_cache_misses\": " << M.EncoderCacheMisses
      << ", \"encoder_hit_rate\": " << M.EncoderCacheHitRate
      << ", \"cold_encode_ms_mean\": " << M.ColdEncodeMsMean
-     << ", \"encoder_cache_bytes\": " << M.EncoderCacheBytes << "}";
+     << ", \"encoder_cache_bytes\": " << M.EncoderCacheBytes
+     << ", \"engine_width\": " << M.EngineMaxLive
+     << ", \"fusion_probes\": " << M.FusionProbes
+     << ", \"queue_wait_p50_s\": " << M.QueueWaitP50
+     << ", \"queue_wait_p95_s\": " << M.QueueWaitP95
+     << ", \"queue_wait_p99_s\": " << M.QueueWaitP99
+     << ", \"latency_p50_s\": " << M.LatencyP50
+     << ", \"latency_p95_s\": " << M.LatencyP95
+     << ", \"latency_p99_s\": " << M.LatencyP99 << "}";
+  return SS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Streaming replay (--stream)
+//===----------------------------------------------------------------------===//
+
+/// One replayed request: a verified task or a raw translate job, with its
+/// arrival offset from replay start.
+struct StreamItem {
+  std::string Name;
+  const core::EvalTask *Task = nullptr; ///< Verified when set.
+  std::string Asm;                      ///< Translate payload otherwise.
+  double ArriveAt = 0;                  ///< Seconds from replay start.
+};
+
+/// Deterministic Poisson arrival offsets: exponential inter-arrival
+/// times with mean 1/RatePerSec.
+void assignArrivals(std::vector<StreamItem> &Items, double RatePerSec,
+                    uint64_t Seed) {
+  std::mt19937_64 Rng(Seed);
+  std::exponential_distribution<double> Exp(RatePerSec);
+  double T = 0;
+  for (StreamItem &It : Items) {
+    T += Exp(Rng);
+    It.ArriveAt = T;
+  }
+}
+
+struct StreamOutcome {
+  std::vector<serve::RequestResult> Results; ///< In item order.
+  std::vector<double> Latency;   ///< Per item: arrival -> completion.
+  std::vector<double> QueueWait; ///< Per item: arrival -> decode start.
+  double WallSeconds = 0;
+  double FnPerSec = 0;
+
+  /// Percentiles via the serve library's one implementation.
+  serve::LatencyStats latency() const {
+    return serve::latencyStatsOf(Latency);
+  }
+  serve::LatencyStats queueWait() const {
+    return serve::latencyStatsOf(QueueWait);
+  }
+};
+
+/// Replays the items through the continuous-batching engine: submit each
+/// request at its arrival time, await all completions.
+StreamOutcome streamThroughEngine(const core::Decompiler &Slade,
+                                  const CliOptions &O,
+                                  const std::vector<StreamItem> &Items) {
+  serve::EngineOptions EO;
+  EO.BeamSize = O.Serve.BeamSize;
+  EO.MaxLen = O.Serve.MaxLen;
+  EO.UseTypeInference = O.Serve.UseTypeInference;
+  EO.VerifyThreads = O.Serve.Threads;
+  EO.MaxLiveSources = O.MaxLive;
+  EO.QueueCapacity = static_cast<size_t>(O.QueueCap);
+
+  StreamOutcome SO;
+  size_t N = Items.size();
+  SO.Results.resize(N);
+  SO.Latency.resize(N);
+  SO.QueueWait.resize(N);
+  {
+    serve::Engine Eng(Slade, EO);
+    std::vector<std::future<serve::RequestResult>> Futs(N);
+    auto Start = std::chrono::steady_clock::now();
+    for (size_t I = 0; I < N; ++I) {
+      std::this_thread::sleep_until(
+          Start + std::chrono::duration<double>(Items[I].ArriveAt));
+      serve::DecompileRequest R;
+      R.Name = Items[I].Name;
+      R.Task = Items[I].Task;
+      R.Asm = Items[I].Asm;
+      if (Items[I].Task)
+        R.Asm = Items[I].Task->Prog.TargetAsm;
+      Futs[I] = Eng.submit(std::move(R));
+    }
+    for (size_t I = 0; I < N; ++I) {
+      SO.Results[I] = Futs[I].get();
+      SO.Latency[I] = SO.Results[I].TotalSeconds;
+      SO.QueueWait[I] = SO.Results[I].QueueWaitSeconds;
+    }
+    SO.WallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      Start)
+            .count();
+  }
+  SO.FnPerSec = SO.WallSeconds > 0
+                    ? static_cast<double>(N) / SO.WallSeconds
+                    : 0;
+  return SO;
+}
+
+/// The batch-scoped baseline: the same arrivals served by greedy
+/// Scheduler runs — each run takes everything that has arrived, and
+/// later arrivals WAIT until the whole run finishes (the straggler
+/// effect the engine removes).
+StreamOutcome streamThroughScheduler(const core::Decompiler &Slade,
+                                     const CliOptions &O,
+                                     const std::vector<StreamItem> &Items) {
+  serve::Scheduler Sched(Slade, O.Serve);
+  StreamOutcome SO;
+  size_t N = Items.size();
+  SO.Results.resize(N);
+  SO.Latency.resize(N);
+  SO.QueueWait.resize(N);
+  auto Start = std::chrono::steady_clock::now();
+  auto Since = [&Start]() {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         Start)
+        .count();
+  };
+  size_t I = 0;
+  while (I < N) {
+    if (Since() < Items[I].ArriveAt)
+      std::this_thread::sleep_until(
+          Start + std::chrono::duration<double>(Items[I].ArriveAt));
+    // Greedy batch: everything that has arrived by now.
+    double Now = Since();
+    size_t Lo = I;
+    while (I < N && Items[I].ArriveAt <= Now)
+      ++I;
+    double BatchStart = Since();
+    std::vector<core::EvalTask> Tasks;
+    std::vector<serve::TranslateJob> Jobs;
+    for (size_t J = Lo; J < I; ++J) {
+      if (Items[J].Task)
+        Tasks.push_back(*Items[J].Task);
+      else
+        Jobs.push_back({Items[J].Name, Items[J].Asm});
+    }
+    std::vector<core::HypothesisOutcome> TaskOut;
+    std::vector<serve::TranslateResult> JobOut;
+    if (!Tasks.empty())
+      TaskOut = Sched.decompileAll(Tasks);
+    if (!Jobs.empty())
+      JobOut = Sched.translate(Jobs);
+    double BatchEnd = Since();
+    size_t TI = 0, JI = 0;
+    for (size_t J = Lo; J < I; ++J) {
+      serve::RequestResult &R = SO.Results[J];
+      R.Name = Items[J].Name;
+      if (Items[J].Task) {
+        R.Outcome = TaskOut[TI++];
+        R.CSource = R.Outcome.CSource;
+        R.Verified = true;
+      } else {
+        R.CSource = JobOut[JI++].CSource;
+      }
+      SO.QueueWait[J] = BatchStart - Items[J].ArriveAt;
+      SO.Latency[J] = BatchEnd - Items[J].ArriveAt;
+    }
+  }
+  SO.WallSeconds = Since();
+  SO.FnPerSec =
+      SO.WallSeconds > 0 ? static_cast<double>(N) / SO.WallSeconds : 0;
+  return SO;
+}
+
+void printStreamMetrics(const char *Label, const StreamOutcome &SO) {
+  serve::LatencyStats QW = SO.queueWait(), L = SO.latency();
+  std::fprintf(
+      stderr,
+      "[%s] %zu requests in %.3fs = %.2f fn/s; queue wait p50/p95/p99 "
+      "%.1f/%.1f/%.1f ms; latency p50/p95/p99 %.1f/%.1f/%.1f ms\n",
+      Label, SO.Results.size(), SO.WallSeconds, SO.FnPerSec, 1e3 * QW.P50,
+      1e3 * QW.P95, 1e3 * QW.P99, 1e3 * L.P50, 1e3 * L.P95, 1e3 * L.P99);
+}
+
+std::string streamJson(const char *Label, const StreamOutcome &SO) {
+  serve::LatencyStats QW = SO.queueWait(), L = SO.latency();
+  std::ostringstream SS;
+  SS << "{\"type\": \"summary\", \"label\": \"" << serve::jsonEscape(Label)
+     << "\", \"jobs\": " << SO.Results.size()
+     << ", \"fn_per_sec\": " << SO.FnPerSec
+     << ", \"total_s\": " << SO.WallSeconds
+     << ", \"queue_wait_p50_s\": " << QW.P50
+     << ", \"queue_wait_p95_s\": " << QW.P95
+     << ", \"queue_wait_p99_s\": " << QW.P99
+     << ", \"latency_p50_s\": " << L.P50
+     << ", \"latency_p95_s\": " << L.P95
+     << ", \"latency_p99_s\": " << L.P99 << "}";
   return SS.str();
 }
 
@@ -340,6 +591,88 @@ int main(int argc, char **argv) {
                               : std::cout;
 
   int ExitCode = 0;
+
+  // -- streaming replay --------------------------------------------------------
+  if (O.Stream) {
+    std::vector<StreamItem> Items;
+    for (const core::EvalTask &T : Tasks)
+      Items.push_back({T.Name, &T, "", 0});
+    for (const serve::TranslateJob &J : AsmJobs)
+      Items.push_back({J.Name, nullptr, J.Asm, 0});
+    double Rate = O.Rate > 0
+                      ? O.Rate
+                      : static_cast<double>(std::max<size_t>(1, Items.size()));
+    assignArrivals(Items, Rate, O.ArrivalSeed);
+    std::fprintf(stderr,
+                 "[stream] replaying %zu requests, Poisson rate %.1f/s "
+                 "(seed %llu), %d live sources, queue %d\n",
+                 Items.size(), Rate,
+                 static_cast<unsigned long long>(O.ArrivalSeed), O.MaxLive,
+                 O.QueueCap);
+
+    StreamOutcome Eng = streamThroughEngine(Slade, O, Items);
+    printStreamMetrics("stream", Eng);
+
+    if (O.StreamCompare) {
+      Slade.clearEncoderCache(); // Cold-for-cold, as in the batch modes.
+      StreamOutcome Batch = streamThroughScheduler(Slade, O, Items);
+      printStreamMetrics("stream-batch", Batch);
+      double BatchP95 = Batch.latency().P95, EngP95 = Eng.latency().P95;
+      std::fprintf(
+          stderr,
+          "[stream-compare] p95 latency %.1f -> %.1f ms (%.2fx), "
+          "throughput %.2f -> %.2f fn/s\n",
+          1e3 * BatchP95, 1e3 * EngP95,
+          BatchP95 / std::max(1e-9, EngP95), Batch.FnPerSec,
+          Eng.FnPerSec);
+      Results << streamJson("stream-batch", Batch) << "\n";
+    }
+
+    if (O.Check) {
+      // Byte-identity oracle: one sequential Decompiler call per request
+      // from a cold encoder cache — arrival order, admission order, and
+      // row recycling must not change any output.
+      Slade.clearEncoderCache();
+      core::Decompiler::Options DOpts;
+      DOpts.BeamSize = O.Serve.BeamSize;
+      DOpts.MaxLen = O.Serve.MaxLen;
+      DOpts.UseTypeInference = O.Serve.UseTypeInference;
+      DOpts.VerifyThreads = 1;
+      size_t Mismatches = 0;
+      for (size_t I = 0; I < Items.size(); ++I) {
+        if (Items[I].Task) {
+          core::HypothesisOutcome Seq =
+              Slade.decompile(*Items[I].Task, DOpts);
+          if (Eng.Results[I].CSource != Seq.CSource ||
+              Eng.Results[I].Outcome.IOCorrect != Seq.IOCorrect)
+            ++Mismatches;
+        } else {
+          std::string Seq = Slade.translate(
+              Items[I].Asm, O.Serve.BeamSize, O.Serve.MaxLen);
+          if (Eng.Results[I].CSource != Seq)
+            ++Mismatches;
+        }
+      }
+      std::fprintf(stderr, "[check] %zu/%zu byte-identical outputs\n",
+                   Items.size() - Mismatches, Items.size());
+      if (Mismatches) {
+        std::fprintf(stderr, "error: streamed != sequential outputs\n");
+        ExitCode = 1;
+      }
+    }
+
+    for (size_t I = 0; I < Items.size(); ++I) {
+      const serve::RequestResult &R = Eng.Results[I];
+      if (R.Verified)
+        Results << outcomeJson(R.Name, R.Outcome) << "\n";
+      else
+        Results << "{\"name\": \"" << serve::jsonEscape(R.Name)
+                << "\", \"c\": \"" << serve::jsonEscape(R.CSource)
+                << "\"}\n";
+    }
+    Results << streamJson("stream", Eng) << "\n";
+    return ExitCode;
+  }
 
   // -- verified (full pipeline) jobs ------------------------------------------
   if (!Tasks.empty()) {
