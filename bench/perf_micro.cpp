@@ -390,6 +390,9 @@ void BM_EngineStreamPoisson(benchmark::State &State) {
   EO.BeamSize = 2; // The fusable regime (see the fusion table).
   EO.MaxLen = 48;
   EO.MaxLiveSources = static_cast<int>(State.range(0));
+  // The decompiler (and its decoded-hypotheses LRU) is shared across
+  // iterations; disable the cache so every replay really decodes.
+  EO.UseDecodeCache = false;
   std::vector<double> At =
       poissonArrivals(B.Asm.size(), /*Rate=*/400.0, /*Seed=*/99);
   for (auto _ : State) {
@@ -434,6 +437,43 @@ void BM_SchedulerBatchTranslate(benchmark::State &State) {
                           static_cast<int64_t>(Jobs.size()));
 }
 BENCHMARK(BM_SchedulerBatchTranslate)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Multi-core decode scaling: the all-unique demo corpus submitted all
+/// at once (no arrival process) through an engine with N decode shards
+/// at k=5 — the unfusable regime where sharding, not fusion, is the
+/// decode lever. Reports end-to-end fn/s (items/s) and the p95 request
+/// latency as a counter; compare Arg(1) vs Arg(2) vs Arg(4) for the
+/// scaling curve (bench/README.md records it). The decode LRU is
+/// disabled so every iteration really decodes.
+void BM_EngineShardScaling(benchmark::State &State) {
+  const StreamBench &B = streamBench();
+  serve::EngineOptions EO;
+  EO.BeamSize = 5;
+  EO.MaxLen = 48;
+  EO.MaxLiveSources = 1; // One source per shard batch: pure fan-out.
+  EO.Shards = static_cast<int>(State.range(0));
+  EO.UseDecodeCache = false;
+  double P95 = 0;
+  for (auto _ : State) {
+    serve::Engine Eng(*B.Slade, EO);
+    std::vector<std::future<serve::RequestResult>> Futs;
+    Futs.reserve(B.Asm.size());
+    for (const std::string &A : B.Asm)
+      Futs.push_back(Eng.submit({"f", A, {}, {}, nullptr}));
+    for (auto &F : Futs)
+      benchmark::DoNotOptimize(F.get());
+    P95 = Eng.metrics().Latency.P95;
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(B.Asm.size()));
+  State.counters["p95_ms"] = 1e3 * P95;
+}
+BENCHMARK(BM_EngineShardScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

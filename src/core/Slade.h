@@ -13,6 +13,7 @@
 
 #include "core/Compile.h"
 #include "nn/Beam.h"
+#include "nn/DecodeLRU.h"
 #include "nn/EncoderLRU.h"
 #include "nn/Transformer.h"
 #include "support/ThreadPool.h"
@@ -60,11 +61,14 @@ public:
   /// \p EncoderCacheCap bounds the LRU of per-source encoder outputs
   /// shared by every request through this decompiler (entry count);
   /// \p EncoderCacheBytes additionally caps its heap bytes (0 = count
-  /// bound only).
+  /// bound only). \p DecodeCacheCap / \p DecodeCacheBytes bound the
+  /// decoded-hypotheses LRU the streaming engine consults the same way.
   Decompiler(tok::Tokenizer Tok, nn::Transformer Model,
-             size_t EncoderCacheCap = 64, size_t EncoderCacheBytes = 0)
+             size_t EncoderCacheCap = 64, size_t EncoderCacheBytes = 0,
+             size_t DecodeCacheCap = 256, size_t DecodeCacheBytes = 0)
       : Tok(std::move(Tok)), Model(std::move(Model)),
-        EncCache(EncoderCacheCap, EncoderCacheBytes) {}
+        EncCache(EncoderCacheCap, EncoderCacheBytes),
+        DecCache(DecodeCacheCap, DecodeCacheBytes) {}
 
   struct Options {
     int BeamSize = 5; ///< Paper: k = 5.
@@ -98,9 +102,16 @@ public:
   const tok::Tokenizer &tokenizer() const { return Tok; }
   const nn::Transformer &model() const { return Model; }
   const nn::EncoderLRU &encoderCache() const { return EncCache; }
+  /// The decoded-hypotheses LRU (finished beam results keyed by source,
+  /// weight version, and beam config). The solo decompile/translate
+  /// paths never consult it — only the serve engine reads and fills it
+  /// (serve/Engine.h) — so sequential baselines stay measurement-pure.
+  nn::DecodeLRU &decodeCache() const { return DecCache; }
   /// Drops all cached encoder outputs (cold-start measurement; the cache
   /// never needs manual invalidation for correctness).
   void clearEncoderCache() const { EncCache.clear(); }
+  /// Same for the decoded-hypotheses LRU.
+  void clearDecodeCache() const { DecCache.clear(); }
 
 private:
   tok::Tokenizer Tok;
@@ -109,6 +120,10 @@ private:
   /// keyed by (tokenized source, weight version) so they can never leak
   /// across a weight update.
   mutable nn::EncoderLRU EncCache;
+  /// Finished beam results, keyed by (tokenized source, weight version,
+  /// beam config); persists across serve engines so repeats that never
+  /// overlap in flight still skip their decode.
+  mutable nn::DecodeLRU DecCache;
   /// Lazily created verification pool, reused across decompile calls so
   /// an evaluation sweep does not pay thread create/join per task.
   /// Guarded by VerifyMu, which is held for the whole parallel section:

@@ -1,0 +1,123 @@
+//===- DecodeLRU.cpp - decoded-hypotheses cache for repeated requests ---------===//
+
+#include "nn/DecodeLRU.h"
+
+using namespace slade;
+using namespace slade::nn;
+
+namespace {
+
+/// FNV-1a over the token ids (same scheme as EncoderLRU); the stored
+/// token vector disambiguates collisions at lookup time.
+uint64_t hashTokens(const std::vector<int> &Src) {
+  uint64_t H = 1469598103934665603ULL;
+  for (int T : Src) {
+    H ^= static_cast<uint64_t>(static_cast<uint32_t>(T));
+    H *= 1099511628211ULL;
+  }
+  return H;
+}
+
+size_t hypothesesBytes(const std::vector<Hypothesis> &Hyps) {
+  size_t B = sizeof(std::vector<Hypothesis>) +
+             Hyps.capacity() * sizeof(Hypothesis);
+  for (const Hypothesis &H : Hyps)
+    B += H.Tokens.capacity() * sizeof(int);
+  return B;
+}
+
+} // namespace
+
+bool DecodeLRU::matches(const Entry &E, uint64_t Hash, uint64_t Version,
+                        const BeamConfig &Cfg,
+                        const std::vector<int> &Src) const {
+  return E.Hash == Hash && E.Version == Version &&
+         E.BeamSize == Cfg.BeamSize && E.MaxLen == Cfg.MaxLen &&
+         E.LengthPenalty == Cfg.LengthPenalty && E.Src == Src;
+}
+
+void DecodeLRU::evictOne() {
+  const Entry &Victim = Order.back();
+  auto VR = Index.equal_range(Victim.Hash);
+  for (auto It = VR.first; It != VR.second; ++It)
+    if (It->second == std::prev(Order.end())) {
+      Index.erase(It);
+      break;
+    }
+  Bytes -= Victim.Bytes;
+  Order.pop_back();
+  ++St.Evictions;
+}
+
+std::shared_ptr<const std::vector<Hypothesis>>
+DecodeLRU::get(const std::vector<int> &Src, uint64_t Version,
+               const BeamConfig &Cfg) {
+  uint64_t Hash = hashTokens(Src);
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto Range = Index.equal_range(Hash);
+  for (auto It = Range.first; It != Range.second; ++It) {
+    Entry &E = *It->second;
+    if (matches(E, Hash, Version, Cfg, Src)) {
+      Order.splice(Order.begin(), Order, It->second); // Touch.
+      ++St.Hits;
+      return E.Hyps;
+    }
+  }
+  ++St.Misses;
+  return nullptr;
+}
+
+void DecodeLRU::put(const std::vector<int> &Src, uint64_t Version,
+                    const BeamConfig &Cfg,
+                    std::shared_ptr<const std::vector<Hypothesis>> Hyps) {
+  if (!Hyps)
+    return;
+  uint64_t Hash = hashTokens(Src);
+  std::lock_guard<std::mutex> Lock(Mu);
+  // A racing shard may have inserted the same decode meanwhile; the
+  // hypotheses are identical by determinism, so just refresh recency.
+  auto Range = Index.equal_range(Hash);
+  for (auto It = Range.first; It != Range.second; ++It)
+    if (matches(*It->second, Hash, Version, Cfg, Src)) {
+      Order.splice(Order.begin(), Order, It->second);
+      return;
+    }
+  Order.push_front(Entry{Hash, Version, Cfg.BeamSize, Cfg.MaxLen,
+                         Cfg.LengthPenalty, Src, std::move(Hyps), 0});
+  // Account the STORED copy of the key (its capacity is trimmed to size;
+  // the caller's vector may carry push_back growth slack).
+  Order.front().Bytes = hypothesesBytes(*Order.front().Hyps) +
+                        Order.front().Src.capacity() * sizeof(int) +
+                        sizeof(Entry);
+  Bytes += Order.front().Bytes;
+  Index.emplace(Hash, Order.begin());
+  ++St.Insertions;
+  // Count bound, then byte budget; the freshly inserted entry (front)
+  // always survives so one oversized result cannot thrash the cache.
+  while (Order.size() > Cap)
+    evictOne();
+  while (Budget && Bytes > Budget && Order.size() > 1)
+    evictOne();
+}
+
+DecodeLRU::Stats DecodeLRU::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return St;
+}
+
+size_t DecodeLRU::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Order.size();
+}
+
+size_t DecodeLRU::bytesUsed() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Bytes;
+}
+
+void DecodeLRU::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Order.clear();
+  Index.clear();
+  Bytes = 0;
+}

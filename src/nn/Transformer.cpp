@@ -5,6 +5,7 @@
 #include "nn/InferRuntime.h"
 #include "support/RNG.h"
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -242,11 +243,23 @@ void Transformer::linearRow(const float *X, const Mat &W, const Mat &B,
 
 std::shared_ptr<const Transformer::DecodeConstants>
 Transformer::decodeConstants() const {
-  std::lock_guard<std::mutex> Lock(ConstCache.Box->Mu);
-  std::shared_ptr<const DecodeConstants> &Cur = ConstCache.Box->Cur;
+  DecodeConstCache &Slot = *ConstCache.Box;
+  // Lock-free fast path: N decode shards admit sources concurrently and
+  // all want the SAME shared copy, so the steady-state read must not
+  // serialize them on the rebuild mutex. The slot is only ever accessed
+  // through the shared_ptr atomic free functions.
+  std::shared_ptr<const DecodeConstants> Cur =
+      std::atomic_load_explicit(&Slot.Cur, std::memory_order_acquire);
+  if (Cur && Cur->Version == WeightVersion)
+    return Cur;
+  // Version miss: rebuild under the lock so concurrent first callers
+  // build once; late arrivals re-check before building.
+  std::lock_guard<std::mutex> Lock(Slot.Mu);
+  Cur = std::atomic_load_explicit(&Slot.Cur, std::memory_order_relaxed);
   if (Cur && Cur->Version == WeightVersion)
     return Cur;
   Cur = InferRuntime(*this).buildDecodeConstants();
+  std::atomic_store_explicit(&Slot.Cur, Cur, std::memory_order_release);
   return Cur;
 }
 

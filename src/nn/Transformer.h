@@ -292,7 +292,10 @@ private:
   /// Model-level cache slot for the decode constants. Boxed behind a
   /// shared_ptr so the Transformer stays movable (the box holds the
   /// mutex) and sessions holding the old constants stay valid after an
-  /// invalidation. Copies and moves get a FRESH box: two models must
+  /// invalidation. \c Cur is accessed only through the shared_ptr
+  /// atomic free functions: steady-state reads (N decode shards
+  /// admitting concurrently) are lock-free; the mutex serializes
+  /// version-miss rebuilds only. Copies and moves get a FRESH box: two models must
   /// never alias one cache slot, or same-version-different-weights
   /// collisions could decode with the other model's constants.
   struct DecodeConstCache {

@@ -75,6 +75,67 @@ size_t AdmissionQueue::size() const {
   return Items.size();
 }
 
+ShardRouter::ShardRouter(int Shards, int SourcesPerShard)
+    : Assigned(static_cast<size_t>(Shards > 0 ? Shards : 1), 0),
+      PerShard(SourcesPerShard > 0 ? SourcesPerShard : 1) {}
+
+int ShardRouter::placeBlocking() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  for (;;) {
+    // Least-loaded shard with a free slot; ties go to the lowest id so
+    // placement is deterministic for a given load picture.
+    int Best = -1;
+    for (size_t S = 0; S < Assigned.size(); ++S)
+      if (Assigned[S] < PerShard &&
+          (Best < 0 || Assigned[S] < Assigned[static_cast<size_t>(Best)]))
+        Best = static_cast<int>(S);
+    if (Best >= 0) {
+      ++Assigned[static_cast<size_t>(Best)];
+      return Best;
+    }
+    // Saturated: wait for a retirement (backfill wakes us).
+    Capacity.wait(Lock);
+  }
+}
+
+void ShardRouter::placeOn(int Shard) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++Assigned[static_cast<size_t>(Shard)];
+}
+
+void ShardRouter::registerKey(const std::string &Key, int Shard) {
+  if (Key.empty())
+    return;
+  std::lock_guard<std::mutex> Lock(Mu);
+  Live.emplace(Key, Shard);
+}
+
+int ShardRouter::shardOf(const std::string &Key) const {
+  if (Key.empty())
+    return -1;
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Live.find(Key);
+  return It == Live.end() ? -1 : It->second;
+}
+
+void ShardRouter::retire(const std::string &Key, int Shard) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (!Key.empty()) {
+      auto It = Live.find(Key);
+      if (It != Live.end() && It->second == Shard)
+        Live.erase(It);
+    }
+    --Assigned[static_cast<size_t>(Shard)];
+  }
+  Capacity.notify_one();
+}
+
+int ShardRouter::assigned(int Shard) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Assigned[static_cast<size_t>(Shard)];
+}
+
 SlotAllocator::SlotAllocator(int N) {
   Free.reserve(static_cast<size_t>(N));
   // Reverse order so acquire() hands out 0, 1, 2, ... first.

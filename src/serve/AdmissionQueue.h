@@ -1,20 +1,30 @@
-//===- AdmissionQueue.h - bounded request queue + row slot allocator -*- C++ -*-===//
+//===- AdmissionQueue.h - bounded request queue + shard dispatch -*- C++ -*-===//
 ///
 /// \file
 /// The admission side of the streaming serve engine (serve/Engine.h):
 ///
 ///   AdmissionQueue   a bounded MPSC queue between producers calling
-///                    Engine::submit and the engine's decode loop.
-///                    Bounded on purpose — when the decode batch is full
-///                    AND the queue is full, submit() blocks, which is
-///                    the engine's backpressure: producers slow to the
-///                    rate the hardware sustains instead of queueing
+///                    Engine::submit and the engine's dispatcher.
+///                    Bounded on purpose — when every decode shard is
+///                    full AND the queue is full, submit() blocks, which
+///                    is the engine's backpressure: producers slow to
+///                    the rate the hardware sustains instead of queueing
 ///                    unbounded work.
+///
+///   ShardRouter      the shard-aware dispatch bookkeeping: least-loaded
+///                    placement of sources across N decode shards, the
+///                    cross-shard single-flight registry of live source
+///                    keys, and the capacity wait that implements
+///                    retirement backfill (a dispatcher blocked on a
+///                    saturated engine wakes the moment ANY shard
+///                    retires, so no shard idles while the global queue
+///                    holds work).
 ///
 ///   SlotAllocator    a freelist of decode-batch segments (self-K/V row
 ///                    blocks in nn::Transformer::BatchDecodeState). A
 ///                    retiring source releases its segment; the next
-///                    admitted source recycles it mid-flight.
+///                    admitted source recycles it mid-flight. One per
+///                    shard, single-consumer (that shard's thread).
 ///
 //===----------------------------------------------------------------------===//
 #ifndef SLADE_SERVE_ADMISSIONQUEUE_H
@@ -30,6 +40,7 @@
 #include <future>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace slade {
@@ -112,8 +123,53 @@ private:
   bool Closed = false;
 };
 
+/// Shard-aware dispatch bookkeeping for the sharded streaming engine:
+/// which shard each new source lands on, which shard currently owns
+/// each live source key, and how a saturated dispatcher waits for
+/// capacity. One dispatcher thread places; N shard threads retire.
+///
+/// Placement is least-loaded-rows: the shard with the fewest assigned
+/// (placed-but-not-retired) sources wins, ties to the lowest id —
+/// admissions spread instead of convoying, and a retiring shard is
+/// immediately preferred for backfill. The live-key registry is the
+/// cross-shard single-flight index: the dispatcher routes a request
+/// whose source is live on ANY shard to that shard as an attach instead
+/// of re-decoding it.
+class ShardRouter {
+public:
+  /// \p Shards decode shards, each with \p SourcesPerShard source slots.
+  ShardRouter(int Shards, int SourcesPerShard);
+
+  /// Reserves a source slot on the least-loaded shard, blocking while
+  /// every shard is saturated (woken by retire() — retirement backfill).
+  /// Returns the chosen shard id.
+  int placeBlocking();
+  /// Out-of-band reservation on a SPECIFIC shard (a shard readmitting an
+  /// attach whose target already retired). Never blocks; the shard's
+  /// pending queue may transiently exceed its slot count — decode rows
+  /// themselves stay bounded by the shard's SlotAllocator.
+  void placeOn(int Shard);
+  /// Registers a live source key as owned by \p Shard.
+  void registerKey(const std::string &Key, int Shard);
+  /// The shard currently decoding \p Key, or -1 when none.
+  int shardOf(const std::string &Key) const;
+  /// Retirement: releases \p Shard's slot, drops \p Key when it is
+  /// registered to \p Shard, and wakes a capacity-blocked placement.
+  void retire(const std::string &Key, int Shard);
+  /// Sources currently assigned (placed, not yet retired) to \p Shard.
+  int assigned(int Shard) const;
+
+private:
+  mutable std::mutex Mu;
+  std::condition_variable Capacity;
+  std::vector<int> Assigned;
+  int PerShard;
+  /// Live source key -> owning shard (single-flight).
+  std::unordered_map<std::string, int> Live;
+};
+
 /// Freelist of decode-batch segment ids [0, N): the engine's row
-/// recycler. Single-consumer (decode loop) — no locking.
+/// recycler. Single-consumer (the owning shard's thread) — no locking.
 class SlotAllocator {
 public:
   explicit SlotAllocator(int N);

@@ -1,4 +1,4 @@
-//===- Engine.cpp - streaming serve engine (continuous batching) --------------===//
+//===- Engine.cpp - sharded streaming serve engine (continuous batching) ------===//
 
 #include "serve/Engine.h"
 
@@ -29,7 +29,22 @@ double percentile(const std::vector<double> &Sorted, double P) {
   return Sorted[Rank];
 }
 
+/// Single-writer accumulator bump: the owning shard thread is the only
+/// writer, so a relaxed load+store pair is race-free (and TSan-clean)
+/// without RMW cost on the hot tick; metrics() just loads.
+template <typename T, typename V> void bump(std::atomic<T> &A, V Delta) {
+  A.store(A.load(std::memory_order_relaxed) + static_cast<T>(Delta),
+          std::memory_order_relaxed);
+}
+
 } // namespace
+
+int slade::serve::resolveShardCount(int Requested) {
+  if (Requested > 0)
+    return Requested;
+  unsigned N = ThreadPool::defaultConcurrency();
+  return static_cast<int>(std::min<unsigned>(N ? N : 1, 8));
+}
 
 LatencyStats slade::serve::latencyStatsOf(std::vector<double> Samples) {
   LatencyStats S;
@@ -58,15 +73,26 @@ struct Engine::Completion {
   bool Shared = false; ///< Shared >= 1 decode tick with another source.
 };
 
-/// One live source in the continuous batch: its segment, its beam-search
-/// bookkeeping (shared nn/BeamCore.h state), and the completions it
-/// serves — its own, plus any identical requests that arrived while it
-/// was decoding (in-flight single-flight dedup).
+/// One live source in a shard's continuous batch: its segment, its
+/// beam-search bookkeeping (shared nn/BeamCore.h state), and the
+/// completions it serves — its own, plus any identical requests that
+/// arrived while it was decoding (single-flight dedup, possibly routed
+/// from the dispatcher across shards).
 struct Engine::Job {
   Completion Main;
   std::vector<Completion> Attached;
-  /// Byte key of the tokenized source, for in-flight dedup matching.
+  /// Byte key of the tokenized source, for single-flight matching.
   std::string SrcKey;
+  /// True when the dispatcher registered SrcKey in the live-key
+  /// registry for THIS job. A readmitted attach-fallback job carries
+  /// the key (so later attaches can still merge on its shard) but no
+  /// registration — its retirement must not erase an entry a newer
+  /// job owns.
+  bool Registered = false;
+  /// The tokenized source itself: the decoded-hypotheses LRU key.
+  std::vector<int> Src;
+  /// Weight version the source was encoded under (LRU key component).
+  uint64_t ConstsVersion = 0;
 
   int Seg = -1; ///< Self-K/V segment owned while live.
   std::vector<nn::beamcore::BeamMeta> Live;
@@ -77,10 +103,59 @@ struct Engine::Job {
   int Steps = 0; ///< Selection steps taken (caps at MaxLen).
 };
 
+/// One routed request, in a shard's inbox or pending queue. Attach
+/// messages carry no encoder cache (the live target owns one); they
+/// convert to admissions only on the retire race (see shardLoop).
+struct Engine::ShardMsg {
+  bool Attach = false;
+  /// Admissions only: the dispatcher registered SrcKey for this source.
+  bool Registered = false;
+  Completion C;
+  std::vector<int> Src;
+  std::string SrcKey;
+  std::shared_ptr<const nn::Transformer::EncoderCache> Enc;
+  /// Duplicates that attached while this admission was still waiting
+  /// for a free segment; become the job's Attached set on admission.
+  std::vector<Completion> Attached;
+};
+
+/// One decode shard: a long-lived thread owning a BatchDecodeState,
+/// a segment allocator, and scratch — nothing on its hot tick is shared
+/// with other shards. Cross-thread surface: the inbox (dispatcher ->
+/// shard) and the single-writer utilization accumulators.
+struct Engine::Shard {
+  int Index = 0;
+  std::mutex Mu;
+  std::condition_variable Cv;
+  std::vector<ShardMsg> Inbox;
+  /// Single-writer (the shard thread) utilization accumulators, merged
+  /// at metrics() time.
+  std::atomic<size_t> Sources{0};
+  std::atomic<uint64_t> Steps{0};
+  std::atomic<uint64_t> StepRows{0};
+  std::atomic<double> DecodeSeconds{0.0};
+  std::thread Thread;
+};
+
 Engine::Engine(const core::Decompiler &D, const EngineOptions &Opts)
-    : D(D), Opts(Opts), Queue(Opts.QueueCapacity) {
+    : D(D), Opts(Opts), Queue(Opts.QueueCapacity),
+      Router(resolveShardCount(Opts.Shards),
+             std::max(1, Opts.MaxLiveSources)) {
   assert(this->Opts.MaxLiveSources > 0 && "need at least one decode row");
-  DecodeThread = std::thread([this] { decodeLoop(); });
+  const int N = resolveShardCount(Opts.Shards);
+  this->Opts.Shards = N; // options() reports the resolved count.
+  ShardsVec.reserve(static_cast<size_t>(N));
+  for (int I = 0; I < N; ++I) {
+    auto S = std::make_unique<Shard>();
+    S->Index = I;
+    ShardsVec.push_back(std::move(S));
+  }
+  // Shards first, then the dispatcher that feeds them.
+  for (std::unique_ptr<Shard> &S : ShardsVec) {
+    Shard *SP = S.get();
+    SP->Thread = std::thread([this, SP] { shardLoop(*SP); });
+  }
+  DispatchThread = std::thread([this] { dispatchLoop(); });
 }
 
 Engine::~Engine() { stop(); }
@@ -88,14 +163,20 @@ Engine::~Engine() { stop(); }
 void Engine::stop() {
   std::call_once(StopOnce, [this] {
     Queue.close();
-    if (DecodeThread.joinable())
-      DecodeThread.join();
+    // The dispatcher drains the queue, routes everything, then flips
+    // DispatchDone; shards finish their jobs and pending work and exit.
+    if (DispatchThread.joinable())
+      DispatchThread.join();
+    for (std::unique_ptr<Shard> &S : ShardsVec)
+      if (S->Thread.joinable())
+        S->Thread.join();
     if (Pool)
       Pool->wait();
   });
 }
 
 ThreadPool &Engine::verifyPool() {
+  std::lock_guard<std::mutex> Lock(PoolMu);
   if (!Pool)
     Pool = std::make_unique<ThreadPool>(
         Opts.VerifyThreads > 0 ? static_cast<unsigned>(Opts.VerifyThreads)
@@ -112,7 +193,7 @@ Engine::submitImpl(DecompileRequest R,
   A.OnDone = std::move(OnDone);
   A.SubmitTime = Clock::now();
   std::future<RequestResult> Fut = A.Promise.get_future();
-  // Count BEFORE the push: once pushed, the decode thread may complete
+  // Count BEFORE the push: once pushed, an engine thread may complete
   // the request at any moment, and Completed must never overtake
   // Submitted (drain() would return with work in flight).
   {
@@ -160,20 +241,34 @@ void Engine::drain() {
 }
 
 EngineMetrics Engine::metrics() const {
-  std::lock_guard<std::mutex> Lock(MetricsMu);
   EngineMetrics M;
-  M.Submitted = Submitted;
-  M.Completed = Completed;
-  M.Steps = Steps;
-  M.StepRows = StepRows;
-  M.FusedJobs = FusedJobs;
-  M.InFlightDeduped = InFlightDeduped;
-  M.PeakLiveSources = PeakLiveSources;
-  M.EncodeSeconds = EncodeSeconds;
-  M.DecodeSeconds = DecodeSeconds;
-  M.VerifySeconds = VerifySeconds;
-  M.QueueWait = latencyStatsOf(QueueWaitSamples);
-  M.Latency = latencyStatsOf(LatencySamples);
+  {
+    std::lock_guard<std::mutex> Lock(MetricsMu);
+    M.Submitted = Submitted;
+    M.Completed = Completed;
+    M.FusedJobs = FusedJobs;
+    M.InFlightDeduped = InFlightDeduped;
+    M.DecodeCacheHits = DecodeCacheHits;
+    M.DecodeCacheMisses = DecodeCacheMisses;
+    M.PeakLiveSources = PeakLiveSources;
+    M.EncodeSeconds = EncodeSeconds;
+    M.VerifySeconds = VerifySeconds;
+    M.QueueWait = latencyStatsOf(QueueWaitSamples);
+    M.Latency = latencyStatsOf(LatencySamples);
+  }
+  M.Shards.reserve(ShardsVec.size());
+  for (const std::unique_ptr<Shard> &S : ShardsVec) {
+    ShardUtil U;
+    U.Sources = S->Sources.load(std::memory_order_relaxed);
+    U.Steps = S->Steps.load(std::memory_order_relaxed);
+    U.StepRows = S->StepRows.load(std::memory_order_relaxed);
+    U.DecodeSeconds = S->DecodeSeconds.load(std::memory_order_relaxed);
+    M.Steps += U.Steps;
+    M.StepRows += U.StepRows;
+    M.DecodeSeconds += U.DecodeSeconds;
+    M.Shards.push_back(U);
+  }
+  M.DecodeCacheBytes = D.decodeCache().bytesUsed();
   return M;
 }
 
@@ -209,12 +304,13 @@ void Engine::recordSample(std::vector<double> &Samples, size_t &Cursor,
   }
 }
 
-/// Completes one request from the finished source's hypotheses.
+/// Completes one request from a finished (or cached) set of hypotheses.
 /// Translate-only requests complete inline (a token decode is trivial
 /// next to a tick); verified requests dispatch to the worker pool so
-/// compile + IO-testing overlaps with the decode loop's next ticks.
-void Engine::completeOne(Completion &&C,
-                         std::shared_ptr<std::vector<nn::Hypothesis>> Hyps) {
+/// compile + IO-testing overlaps with decode on every shard.
+void Engine::completeOne(
+    Completion &&C,
+    std::shared_ptr<const std::vector<nn::Hypothesis>> Hyps) {
   if (C.Shared) {
     std::lock_guard<std::mutex> Lock(MetricsMu);
     ++FusedJobs;
@@ -268,17 +364,126 @@ void Engine::completeOne(Completion &&C,
   });
 }
 
-/// Retirement: complete the job's own request and every in-flight
-/// duplicate that attached to it — all share one decode's hypotheses.
-void Engine::finishJob(Job &&J, std::vector<nn::Hypothesis> Hyps) {
-  auto SharedHyps =
-      std::make_shared<std::vector<nn::Hypothesis>>(std::move(Hyps));
-  completeOne(std::move(J.Main), SharedHyps);
+/// Retirement: complete the job's own request and every duplicate that
+/// attached to it — all share one decode's hypotheses.
+void Engine::finishJob(
+    Job &&J, std::shared_ptr<const std::vector<nn::Hypothesis>> Hyps) {
+  completeOne(std::move(J.Main), Hyps);
   for (Completion &C : J.Attached)
-    completeOne(std::move(C), SharedHyps);
+    completeOne(std::move(C), Hyps);
 }
 
-void Engine::decodeLoop() {
+void Engine::sendToShard(Shard &S, ShardMsg &&Msg) {
+  {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    S.Inbox.push_back(std::move(Msg));
+  }
+  S.Cv.notify_one();
+}
+
+/// The dispatcher: drains the shared queue in arrival order and routes
+/// each request — decode-LRU hit, cross-shard single-flight attach, or
+/// least-loaded placement (blocking while every shard is saturated;
+/// any shard's retirement backfills). Encoding runs HERE, overlapped
+/// with every shard's decode ticks.
+void Engine::dispatchLoop() {
+  const nn::Transformer &Model = D.model();
+  nn::BeamConfig BC;
+  BC.BeamSize = Opts.BeamSize;
+  BC.MaxLen = Opts.MaxLen;
+
+  Admission A;
+  while (Queue.pop(&A)) {
+    Completion C;
+    C.Name = std::move(A.Req.Name);
+    C.Task = A.Req.Task;
+    C.Promise = std::move(A.Promise);
+    C.OnDone = std::move(A.OnDone);
+    C.SubmitTime = A.SubmitTime;
+    if (BC.MaxLen < 1) { // Degenerate config: nothing to decode.
+      C.QueueWait = secondsSince(C.SubmitTime);
+      completeOne(std::move(C),
+                  std::make_shared<std::vector<nn::Hypothesis>>());
+      continue;
+    }
+    if (A.Req.Src.empty() && !A.Req.Enc) {
+      // Task-mode requests may omit the payload: the task carries it.
+      const std::string &Asm = (A.Req.Asm.empty() && A.Req.Task)
+                                   ? A.Req.Task->Prog.TargetAsm
+                                   : A.Req.Asm;
+      A.Req.Src = D.tokenizer().encode(Asm);
+    }
+    std::vector<int> Src = std::move(A.Req.Src);
+    // Decoded-hypotheses LRU, in FRONT of decode: a repeat of an
+    // already-finished source — even one that never overlapped the
+    // original in flight — completes without occupying a decode row.
+    // Requests without tokens (pre-encoded only) never match.
+    if (Opts.UseDecodeCache && !Src.empty()) {
+      if (std::shared_ptr<const std::vector<nn::Hypothesis>> Hyps =
+              D.decodeCache().get(Src, Model.weightVersion(), BC)) {
+        {
+          std::lock_guard<std::mutex> Lock(MetricsMu);
+          ++DecodeCacheHits;
+        }
+        C.QueueWait = secondsSince(C.SubmitTime);
+        completeOne(std::move(C), std::move(Hyps));
+        continue;
+      }
+      std::lock_guard<std::mutex> Lock(MetricsMu);
+      ++DecodeCacheMisses;
+    }
+    std::string SrcKey(reinterpret_cast<const char *>(Src.data()),
+                       Src.size() * sizeof(int));
+    // Cross-shard single-flight: an identical source decoding on ANY
+    // shard serves this request too — route an attach to its shard
+    // instead of occupying a row anywhere. (Determinism makes the
+    // hypotheses identical by construction.)
+    int LiveShard = Router.shardOf(SrcKey);
+    if (LiveShard >= 0) {
+      ShardMsg M;
+      M.Attach = true;
+      M.C = std::move(C);
+      M.Src = std::move(Src);
+      M.SrcKey = std::move(SrcKey);
+      sendToShard(*ShardsVec[static_cast<size_t>(LiveShard)],
+                  std::move(M));
+      continue;
+    }
+    // Fresh source: reserve a slot on the least-loaded shard (blocking
+    // while all shards are full — retirement backfill wakes us), THEN
+    // encode, so the reservation is cheap and the encode overlaps the
+    // shards' ticks.
+    int SI = Router.placeBlocking();
+    auto T0 = Clock::now();
+    std::shared_ptr<const nn::Transformer::EncoderCache> Enc =
+        A.Req.Enc ? std::move(A.Req.Enc) : D.encodeCached(Src);
+    {
+      std::lock_guard<std::mutex> Lock(MetricsMu);
+      EncodeSeconds += secondsSince(T0);
+    }
+    Router.registerKey(SrcKey, SI);
+    ShardMsg M;
+    M.Registered = !SrcKey.empty();
+    M.C = std::move(C);
+    M.Src = std::move(Src);
+    M.SrcKey = std::move(SrcKey);
+    M.Enc = std::move(Enc);
+    sendToShard(*ShardsVec[static_cast<size_t>(SI)], std::move(M));
+  }
+  // Queue closed and fully routed: let the shards run dry and exit.
+  DispatchDone.store(true, std::memory_order_release);
+  for (std::unique_ptr<Shard> &S : ShardsVec) {
+    std::lock_guard<std::mutex> Lock(S->Mu);
+    S->Cv.notify_all();
+  }
+}
+
+/// One shard's decode loop: admit from the inbox into recycled
+/// segments, run one fused stepDecodeBatch per tick over the live rows,
+/// retire finished sources mid-flight. No cross-shard synchronization
+/// on the tick — only the inbox swap and per-request completion
+/// bookkeeping take locks.
+void Engine::shardLoop(Shard &S) {
   const nn::Transformer &Model = D.model();
   const int Vocab = Model.config().Vocab;
   nn::BeamConfig BC;
@@ -290,126 +495,146 @@ void Engine::decodeLoop() {
       Opts.MaxLiveSources, BeamsPerSource, std::max(1, Opts.MaxLen) + 1);
   SlotAllocator Slots(Opts.MaxLiveSources);
   std::vector<std::unique_ptr<Job>> Jobs; // Row order == job order.
+  /// Routed messages not yet admitted: attaches waiting to merge and
+  /// admissions waiting for a free segment (or for a weight-version
+  /// drain). Admission order is preserved; attaches never block.
+  std::vector<ShardMsg> Pending;
+  std::vector<ShardMsg> Local;
   nn::beamcore::SelectScratch Scratch;
   std::vector<float> Logits;
   std::vector<int> Tokens, SrcIdx;
 
-  /// A prepared admission whose encoder cache carries a different weight
-  /// version than the live batch: held back until the batch drains (an
-  /// idle state adopts the new version), blocking later admissions so
-  /// arrival order is preserved.
-  struct PendingAdmit {
-    Completion C;
-    std::shared_ptr<const nn::Transformer::EncoderCache> Enc;
-    std::string SrcKey;
-  };
-  std::unique_ptr<PendingAdmit> Deferred;
-
-  // Binds a prepared source into a freed segment; false = weight-version
-  // mismatch with the live rows (caller defers).
-  auto TryAdmit = [&](Completion &&C,
-                      std::shared_ptr<const nn::Transformer::EncoderCache>
-                          Enc,
-                      std::string SrcKey) {
+  // Binds an admission into a freed segment; false = weight-version
+  // mismatch with the live rows (the caller keeps it pending until this
+  // shard's batch drains — an idle state adopts the new version).
+  auto TryAdmit = [&](ShardMsg &M) {
     int Seg = Slots.acquire();
-    assert(Seg >= 0 && "free segment must exist when Jobs < MaxLive");
-    if (Model.admitStreamRow(St, Seg, Enc) < 0) {
+    assert(Seg >= 0 && "caller checked freeCount");
+    if (Model.admitStreamRow(St, Seg, M.Enc) < 0) {
       Slots.release(Seg);
-      Deferred =
-          std::unique_ptr<PendingAdmit>(new PendingAdmit{
-              std::move(C), std::move(Enc), std::move(SrcKey)});
       return false;
     }
-    // Queue wait ends HERE — at admission into a decode row (a deferred
-    // source's wait keeps accruing until this point).
-    C.QueueWait = secondsSince(C.SubmitTime);
+    // Queue wait ends HERE — at admission into a decode row — for the
+    // admission itself AND for every duplicate that merged while it
+    // was pending (none of them were served by a row until now).
+    M.C.QueueWait = secondsSince(M.C.SubmitTime);
+    for (Completion &AC : M.Attached)
+      AC.QueueWait = secondsSince(AC.SubmitTime);
     auto J = std::make_unique<Job>();
-    J->Main = std::move(C);
-    J->SrcKey = std::move(SrcKey);
+    J->Main = std::move(M.C);
+    J->Attached = std::move(M.Attached);
+    J->Registered = M.Registered;
+    J->SrcKey = std::move(M.SrcKey);
+    J->Src = std::move(M.Src);
+    J->ConstsVersion =
+        M.Enc->Consts ? M.Enc->Consts->Version : Model.weightVersion();
     J->Seg = Seg;
     J->Live.resize(1); // The BOS hypothesis.
     J->NextTokens = {nn::Transformer::BosId};
+    bump(S.Sources, 1);
     {
       std::lock_guard<std::mutex> Lock(MetricsMu);
-      PeakLiveSources = std::max(PeakLiveSources, Jobs.size() + 1);
+      ++LiveSources;
+      PeakLiveSources = std::max(PeakLiveSources, LiveSources);
     }
     Jobs.push_back(std::move(J));
     return true;
   };
 
-  for (;;) {
-    // -- admission: recycle freed segments from the queue ------------------
-    while (static_cast<int>(Jobs.size()) < Opts.MaxLiveSources) {
-      if (Deferred) {
-        // Retry the version-deferred source first (FIFO); it binds once
-        // the batch has drained and adopted its weight version.
-        PendingAdmit P = std::move(*Deferred);
-        Deferred.reset();
-        if (!TryAdmit(std::move(P.C), std::move(P.Enc),
-                      std::move(P.SrcKey)))
-          break; // Still blocked: wait for the live rows to retire.
-        continue;
-      }
-      Admission A;
-      if (Jobs.empty()) {
-        if (!Queue.pop(&A))
-          return; // Queue closed and fully drained; no live sources.
-      } else if (!Queue.tryPop(&A)) {
-        break; // Free rows but nothing waiting: keep decoding.
-      }
-      Completion C;
-      C.Name = std::move(A.Req.Name);
-      C.Task = A.Req.Task;
-      C.Promise = std::move(A.Promise);
-      C.OnDone = std::move(A.OnDone);
-      C.SubmitTime = A.SubmitTime;
-      if (BC.MaxLen < 1) { // Degenerate config: nothing to decode.
-        C.QueueWait = secondsSince(C.SubmitTime);
-        completeOne(std::move(C),
-                    std::make_shared<std::vector<nn::Hypothesis>>());
-        continue;
-      }
-      if (A.Req.Src.empty() && !A.Req.Enc) {
-        // Task-mode requests may omit the payload: the task carries it.
-        const std::string &Asm = (A.Req.Asm.empty() && A.Req.Task)
-                                     ? A.Req.Task->Prog.TargetAsm
-                                     : A.Req.Asm;
-        A.Req.Src = D.tokenizer().encode(Asm);
-      }
-      const std::vector<int> &Src = A.Req.Src;
-      std::string SrcKey(reinterpret_cast<const char *>(Src.data()),
-                         Src.size() * sizeof(int));
-      // In-flight single-flight: an identical source already decoding
-      // serves this request too — attach instead of occupying a row.
-      // (Determinism makes the hypotheses identical by construction.)
-      // Requests without tokens (pre-encoded only) never match.
-      Job *Dup = nullptr;
-      if (!SrcKey.empty())
-        for (const std::unique_ptr<Job> &Live : Jobs)
-          if (Live->SrcKey == SrcKey) {
-            Dup = Live.get();
+  // Routes every pending message: attaches merge into live jobs,
+  // pending admissions of the same source, the decode LRU, or (rarely)
+  // readmit; admissions bind to segments in arrival order.
+  auto ProcessPending = [&] {
+    bool AdmitBlocked = false;
+    size_t Keep = 0;
+    for (size_t MI = 0; MI < Pending.size(); ++MI) {
+      ShardMsg &M = Pending[MI];
+      if (M.Attach) {
+        // Attach to the live job decoding this source...
+        Job *Tgt = nullptr;
+        for (const std::unique_ptr<Job> &J : Jobs)
+          if (J->SrcKey == M.SrcKey) {
+            Tgt = J.get();
             break;
           }
-      if (Dup) {
-        // The duplicate's wait ends here: it is now served by a row.
-        C.QueueWait = secondsSince(C.SubmitTime);
-        Dup->Attached.push_back(std::move(C));
-        std::lock_guard<std::mutex> Lock(MetricsMu);
-        ++InFlightDeduped;
+        if (Tgt) {
+          // The duplicate's wait ends here: it is now served by a row.
+          M.C.QueueWait = secondsSince(M.C.SubmitTime);
+          Tgt->Attached.push_back(std::move(M.C));
+          std::lock_guard<std::mutex> Lock(MetricsMu);
+          ++InFlightDeduped;
+          continue;
+        }
+        // ...or to a pending admission of the same source (the target
+        // is still waiting for a segment)...
+        ShardMsg *P = nullptr;
+        for (size_t PJ = 0; PJ < Keep; ++PJ)
+          if (!Pending[PJ].Attach && Pending[PJ].SrcKey == M.SrcKey) {
+            P = &Pending[PJ];
+            break;
+          }
+        if (P) {
+          // QueueWait stays open: it is stamped when the pending
+          // admission actually binds a row (TryAdmit).
+          P->Attached.push_back(std::move(M.C));
+          std::lock_guard<std::mutex> Lock(MetricsMu);
+          ++InFlightDeduped;
+          continue;
+        }
+        // ...or the target retired before the attach landed: its result
+        // is in the decode LRU (retirement inserts BEFORE the registry
+        // entry drops, so this is the common race outcome)...
+        if (Opts.UseDecodeCache) {
+          if (std::shared_ptr<const std::vector<nn::Hypothesis>> Hyps =
+                  D.decodeCache().get(M.Src, Model.weightVersion(), BC)) {
+            {
+              std::lock_guard<std::mutex> Lock(MetricsMu);
+              ++DecodeCacheHits;
+            }
+            M.C.QueueWait = secondsSince(M.C.SubmitTime);
+            completeOne(std::move(M.C), std::move(Hyps));
+            continue;
+          }
+        }
+        // ...or (LRU disabled or evicted) readmit it on this shard:
+        // an out-of-band slot, no registry entry — later duplicates go
+        // through the dispatcher afresh. Rare by construction.
+        M.Attach = false;
+        M.Enc = D.encodeCached(M.Src);
+        Router.placeOn(S.Index);
+      }
+      if (!AdmitBlocked && Slots.freeCount() > 0 && TryAdmit(M))
         continue;
-      }
-      auto T0 = Clock::now();
-      std::shared_ptr<const nn::Transformer::EncoderCache> Enc =
-          A.Req.Enc ? std::move(A.Req.Enc) : D.encodeCached(Src);
-      {
-        std::lock_guard<std::mutex> Lock(MetricsMu);
-        EncodeSeconds += secondsSince(T0);
-      }
-      if (!TryAdmit(std::move(C), std::move(Enc), std::move(SrcKey)))
-        break; // Version-deferred; admissions resume after the drain.
+      // Out of segments or version-deferred: later admissions wait
+      // behind this one (arrival order), attaches still process.
+      AdmitBlocked = true;
+      if (Keep != MI)
+        Pending[Keep] = std::move(M);
+      ++Keep;
     }
+    Pending.resize(Keep);
+  };
+
+  for (;;) {
+    // -- gather routed work; block only when fully idle ---------------------
+    {
+      std::unique_lock<std::mutex> Lock(S.Mu);
+      if (Jobs.empty() && Pending.empty()) {
+        S.Cv.wait(Lock, [&] {
+          return !S.Inbox.empty() ||
+                 DispatchDone.load(std::memory_order_acquire);
+        });
+        if (S.Inbox.empty())
+          return; // Dispatcher done and this shard has run dry.
+      }
+      Local.clear();
+      Local.swap(S.Inbox);
+    }
+    for (ShardMsg &M : Local)
+      Pending.push_back(std::move(M));
+    ProcessPending();
     if (Jobs.empty())
-      continue; // Degenerate-config requests only; re-block on the queue.
+      continue; // Everything attached/completed; re-block on the inbox.
 
     // -- one fused decode tick over every live row -------------------------
     Tokens.clear();
@@ -418,12 +643,9 @@ void Engine::decodeLoop() {
                     J->NextTokens.end());
     auto T0 = Clock::now();
     Logits = Model.stepDecodeBatch(St, Tokens);
-    {
-      std::lock_guard<std::mutex> Lock(MetricsMu);
-      DecodeSeconds += secondsSince(T0);
-      ++Steps;
-      StepRows += Tokens.size();
-    }
+    bump(S.DecodeSeconds, secondsSince(T0));
+    bump(S.Steps, 1);
+    bump(S.StepRows, Tokens.size());
 
     // -- per-source selection; finished sources retire mid-flight ----------
     const bool Multi = Jobs.size() > 1;
@@ -451,8 +673,24 @@ void Engine::decodeLoop() {
       // order, so the surviving Live/Done sets match a solo search.
       if (R.StopNow || J.Live.empty() || J.Steps >= BC.MaxLen) {
         Slots.release(J.Seg);
-        std::vector<nn::Hypothesis> Hyps = nn::beamcore::finalizeBeams(
-            std::move(J.Live), std::move(J.Done), BC);
+        std::shared_ptr<const std::vector<nn::Hypothesis>> Hyps =
+            std::make_shared<std::vector<nn::Hypothesis>>(
+                nn::beamcore::finalizeBeams(std::move(J.Live),
+                                            std::move(J.Done), BC));
+        // LRU insert FIRST, registry drop second: a dispatcher that
+        // still sees the key routes an attach here (served from a live
+        // job or this cache entry); one that no longer sees it finds
+        // the cache entry up front.
+        if (Opts.UseDecodeCache && !J.Src.empty())
+          D.decodeCache().put(J.Src, J.ConstsVersion, BC, Hyps);
+        // Only the job that REGISTERED the key may drop it: a
+        // readmitted (unregistered) job retiring must not erase an
+        // entry a newer job for the same source owns.
+        Router.retire(J.Registered ? J.SrcKey : std::string(), S.Index);
+        {
+          std::lock_guard<std::mutex> Lock(MetricsMu);
+          --LiveSources;
+        }
         finishJob(std::move(J), std::move(Hyps));
       } else {
         for (int Idx : R.SrcIdx)

@@ -1,33 +1,43 @@
-//===- Engine.h - streaming serve engine (continuous batching) --*- C++ -*-===//
+//===- Engine.h - sharded streaming serve engine (continuous batching) -*- C++ -*-===//
 ///
 /// \file
 /// The long-lived serving subsystem: producers submit DecompileRequests
-/// at ANY time; a dedicated decode thread runs one fused
-/// stepDecodeBatch per tick over whatever beam rows are live. Finished
-/// or failed sources retire mid-flight (their self-K/V segment returns
-/// to the slot allocator) and queued requests are admitted into the
-/// freed rows WITHOUT restarting the batch — continuous batching, the
-/// serving counterpart of the batch-scoped beamSearchMulti:
+/// at ANY time; N decode shards — each a long-lived thread owning its
+/// own BatchDecodeState, recycled self-K/V segments, and scratch — run
+/// one fused stepDecodeBatch per tick over their live rows with NO
+/// cross-shard synchronization on the hot tick. A dispatcher thread
+/// drains the shared bounded AdmissionQueue and routes each request:
 ///
 ///   submit() ──▶ AdmissionQueue (bounded; full queue = backpressure)
-///                     │ admitted when a segment frees
+///                     │
+///                     ▼ dispatcher (arrival order)
+///        ┌─ decoded-hypotheses LRU hit? ──▶ complete (decode skipped)
+///        ├─ source live on ANY shard? ────▶ attach (single-flight)
+///        └─ place on least-loaded shard (blocks when all shards full;
+///           a retirement on any shard backfills from the queue)
+///                     │
 ///                     ▼
-///   decode loop:  [row row row row ...]  one stepDecodeBatch per tick
-///                     │ source finishes (EOS quota / beam exhausted)
+///   shard loops:  [rows][rows] ... one stepDecodeBatch per tick each;
+///                 finished sources retire mid-flight, results feed the
+///                 decode LRU, freed segments recycle for the next
+///                 admission
+///                     │
 ///                     ▼
 ///   verify pool:  compile + IO-test candidates in beam order —
-///                 overlapped with the next ticks' decode
+///                 overlapped with ongoing decode on every shard
 ///                     │
 ///                     ▼
 ///   future / callback completes (RequestResult)
 ///
 /// Determinism contract: per-request outputs are byte-identical to a
-/// solo nn::beamSearch on that request's source — per-row step results
-/// are independent of which other rows share the batch AND of their
-/// decode positions (each source carries its own clock; see
-/// BatchDecodeState::SegLen), and the per-source selection logic is the
-/// shared nn/BeamCore.h code. Arrival order, admission order, and row
-/// recycling cannot change any request's result, only its latency.
+/// solo nn::beamSearch on that request's source AT EVERY SHARD COUNT —
+/// per-row step results are independent of which other rows share a
+/// shard's batch AND of their decode positions (each source carries its
+/// own clock; see BatchDecodeState::SegLen), the per-source selection
+/// logic is the shared nn/BeamCore.h code, and a decode-LRU hit returns
+/// a result that deterministic decode already produced. Arrival order,
+/// placement, and row recycling cannot change any request's result,
+/// only its latency.
 ///
 //===----------------------------------------------------------------------===//
 #ifndef SLADE_SERVE_ENGINE_H
@@ -35,6 +45,7 @@
 
 #include "serve/AdmissionQueue.h"
 
+#include <atomic>
 #include <condition_variable>
 #include <functional>
 #include <future>
@@ -53,15 +64,34 @@ struct EngineOptions {
   /// hardware concurrency). The pool is created lazily on the first
   /// verified request.
   int VerifyThreads = 0;
-  /// Decode-batch segments: the max sources decoding concurrently (the
-  /// "max live rows" knob — live rows <= MaxLiveSources * BeamSize).
-  /// 1 = no cross-request fusion (each source still streams through the
-  /// engine, one at a time).
+  /// Decode-batch segments PER SHARD: the max sources decoding
+  /// concurrently in one shard's fused batch (live rows per shard <=
+  /// MaxLiveSources * BeamSize). 1 = no cross-request fusion within a
+  /// shard (sources still stream through it, one at a time).
   int MaxLiveSources = 4;
-  /// Admission queue bound. When MaxLiveSources sources are decoding AND
-  /// QueueCapacity requests are waiting, submit() blocks — backpressure.
+  /// Decode shards: independent decode loops, each with its own
+  /// long-lived thread, BatchDecodeState, recycled self-K/V segments,
+  /// and scratch arenas. Requests place onto the least-loaded shard;
+  /// identical live sources single-flight across ALL shards. 0 = one
+  /// shard per hardware thread (capped — see resolveShardCount).
+  int Shards = 1;
+  /// Consult (and fill) the decompiler's decoded-hypotheses LRU
+  /// (nn::DecodeLRU) in front of decode: a repeat of an already-decoded
+  /// source — even one that never overlaps the original in flight —
+  /// completes without occupying a decode row. Results are identical
+  /// either way (decode is deterministic); disable for decode-cost
+  /// measurements. The batch Scheduler disables it so its run metrics
+  /// keep their "every unique source decodes" meaning.
+  bool UseDecodeCache = true;
+  /// Admission queue bound. When every shard is full AND QueueCapacity
+  /// requests are waiting, submit() blocks — backpressure.
   size_t QueueCapacity = 256;
 };
+
+/// The shard count an options value resolves to: the value itself when
+/// positive, else one shard per hardware thread, capped at 8 (beyond
+/// that, decode-state memory grows faster than tick throughput).
+int resolveShardCount(int Requested);
 
 /// Latency distribution over completed requests, in seconds.
 struct LatencyStats {
@@ -73,32 +103,51 @@ struct LatencyStats {
 /// slade-serve replay reporting so their conventions cannot diverge.
 LatencyStats latencyStatsOf(std::vector<double> Samples);
 
+/// Per-shard decode-loop utilization (EngineMetrics::Shards[i] is shard
+/// i). A shard with Sources == 0 while others are saturated means
+/// dispatch is not spreading load.
+struct ShardUtil {
+  size_t Sources = 0;    ///< Sources admitted into this shard's rows.
+  uint64_t Steps = 0;    ///< Fused decode ticks this shard ran.
+  uint64_t StepRows = 0; ///< Beam rows stepped, summed over its ticks.
+  double DecodeSeconds = 0; ///< Time inside this shard's ticks.
+};
+
 /// Aggregate engine counters. Percentiles are computed over a bounded
 /// window of recently completed requests (the last 65536; everything
-/// since construction until the window first fills).
+/// since construction until the window first fills). Steps / StepRows /
+/// DecodeSeconds are sums over the per-shard accumulators in Shards.
 struct EngineMetrics {
   size_t Submitted = 0;
   size_t Completed = 0;
-  uint64_t Steps = 0;    ///< Fused decode ticks.
+  uint64_t Steps = 0;    ///< Fused decode ticks, all shards.
   uint64_t StepRows = 0; ///< Beam rows stepped, summed over ticks.
-  /// Requests that shared at least one decode tick with another source.
+  /// Requests that shared at least one decode tick with another source
+  /// (on the same shard).
   size_t FusedJobs = 0;
-  /// Requests whose tokenized source matched a source already decoding:
-  /// they attached to the live job (single-flight) and completed with
-  /// its hypotheses instead of occupying a decode row.
+  /// Requests whose tokenized source matched a source already decoding
+  /// on ANY shard: they attached to the live job (single-flight) and
+  /// completed with its hypotheses instead of occupying a decode row.
   size_t InFlightDeduped = 0;
-  size_t PeakLiveSources = 0;
-  double EncodeSeconds = 0; ///< Encoder passes at admission (LRU misses).
+  /// Requests served from the decoded-hypotheses LRU: the whole beam
+  /// decode was skipped (the non-overlapping-duplicates regime).
+  size_t DecodeCacheHits = 0;
+  size_t DecodeCacheMisses = 0;
+  /// Heap bytes held by the (decompiler-owned) decoded-hypotheses LRU.
+  size_t DecodeCacheBytes = 0;
+  size_t PeakLiveSources = 0; ///< Peak concurrently-live, all shards.
+  double EncodeSeconds = 0; ///< Encoder passes at dispatch (LRU misses).
   double DecodeSeconds = 0; ///< Time inside stepDecodeBatch ticks.
   double VerifySeconds = 0; ///< Summed pool verify time (overlapped).
   LatencyStats QueueWait; ///< submit() -> admission into a decode row.
   LatencyStats Latency;   ///< submit() -> completion (end to end).
+  std::vector<ShardUtil> Shards; ///< Per-shard utilization.
 };
 
-/// The streaming serve engine. Construction starts the decode thread;
-/// stop() (or destruction) closes the queue, drains every in-flight
-/// request, and joins. Thread-safe: any number of producer threads may
-/// submit concurrently.
+/// The sharded streaming serve engine. Construction starts the
+/// dispatcher and one decode thread per shard; stop() (or destruction)
+/// closes the queue, drains every in-flight request, and joins.
+/// Thread-safe: any number of producer threads may submit concurrently.
 class Engine {
 public:
   Engine(const core::Decompiler &D, const EngineOptions &Opts);
@@ -112,8 +161,9 @@ public:
   /// carries a broken-promise exception if the engine stops first.
   std::future<RequestResult> submit(DecompileRequest R);
 
-  /// Callback form: \p OnDone runs on the engine's decode thread (or a
-  /// verify worker) just before the future completes. Keep it cheap.
+  /// Callback form: \p OnDone runs on an engine thread (dispatcher,
+  /// shard, or verify worker) just before the future completes. Keep it
+  /// cheap.
   std::future<RequestResult> submit(DecompileRequest R,
                                     std::function<void(const RequestResult &)>
                                         OnDone);
@@ -127,21 +177,29 @@ public:
   void drain();
 
   /// Closes the queue, finishes all in-flight + queued requests, joins
-  /// the decode thread, and waits out the verify pool. Idempotent.
+  /// the dispatcher and every shard thread, and waits out the verify
+  /// pool. Idempotent.
   void stop();
 
   const EngineOptions &options() const { return Opts; }
+  /// Resolved decode shard count (options().Shards after 0 = auto).
+  int shardCount() const { return static_cast<int>(ShardsVec.size()); }
   EngineMetrics metrics() const;
 
 private:
   struct Completion;
   struct Job;
+  struct Shard;
+  struct ShardMsg;
 
-  void decodeLoop();
+  void dispatchLoop();
+  void shardLoop(Shard &S);
+  void sendToShard(Shard &S, ShardMsg &&Msg);
   ThreadPool &verifyPool();
-  void finishJob(Job &&J, std::vector<nn::Hypothesis> Hyps);
+  void finishJob(Job &&J,
+                 std::shared_ptr<const std::vector<nn::Hypothesis>> Hyps);
   void completeOne(Completion &&C,
-                   std::shared_ptr<std::vector<nn::Hypothesis>> Hyps);
+                   std::shared_ptr<const std::vector<nn::Hypothesis>> Hyps);
   void completeResult(RequestResult &&Res, Completion &&C);
   void recordSample(std::vector<double> &Samples, size_t &Cursor, double V);
   std::future<RequestResult>
@@ -152,18 +210,25 @@ private:
   const core::Decompiler &D;
   EngineOptions Opts;
   AdmissionQueue Queue;
+  ShardRouter Router;
 
+  /// Completion-side aggregation: one mutex for everything written on
+  /// the completion paths (dispatcher, shard threads, verify workers) —
+  /// per-request, never per-tick. The per-TICK counters live in each
+  /// Shard as single-writer atomics and are merged at metrics() time,
+  /// so N shards retiring or ticking concurrently never race (see the
+  /// aggregation stress test in tests/test_serve.cpp).
   mutable std::mutex MetricsMu;
   std::condition_variable DrainCv;
   size_t Submitted = 0;
   size_t Completed = 0;
-  uint64_t Steps = 0;
-  uint64_t StepRows = 0;
   size_t FusedJobs = 0;
   size_t InFlightDeduped = 0;
+  size_t DecodeCacheHits = 0;
+  size_t DecodeCacheMisses = 0;
+  size_t LiveSources = 0; ///< Currently admitted into rows, all shards.
   size_t PeakLiveSources = 0;
   double EncodeSeconds = 0;
-  double DecodeSeconds = 0;
   double VerifySeconds = 0;
   /// Bounded windows of recent per-request samples (ring once full), so
   /// a long-lived engine's memory and metrics() cost stay fixed.
@@ -174,11 +239,18 @@ private:
   size_t LatencyCursor = 0;
 
   std::once_flag StopOnce;
-  /// Lazily created verification pool (guarded by decode-thread-only
-  /// access). Declared before the decode thread member so workers are
-  /// joined after the decode loop exits but before teardown completes.
+  /// Set by the dispatcher after the queue is closed, drained, and every
+  /// request has been routed; shard loops exit once it is set and their
+  /// own work is done.
+  std::atomic<bool> DispatchDone{false};
+  /// Lazily created verification pool (PoolMu guards creation: the
+  /// dispatcher, any shard, or a decode-LRU hit may be first). Declared
+  /// before the threads so workers are joined after the decode loops
+  /// exit but before teardown completes.
+  std::mutex PoolMu;
   std::unique_ptr<ThreadPool> Pool;
-  std::thread DecodeThread;
+  std::vector<std::unique_ptr<Shard>> ShardsVec;
+  std::thread DispatchThread;
 };
 
 } // namespace serve

@@ -64,7 +64,8 @@ int Scheduler::engineWidth(
     const std::vector<std::vector<int>> &Srcs,
     const std::vector<size_t> &UniqueIdx,
     const std::vector<std::shared_ptr<const nn::Transformer::EncoderCache>>
-        &Encs) {
+        &Encs,
+    int ShardCount) {
   if (!Opts.BatchDecode || Opts.BeamSize < 1)
     return 1;
   if (Opts.DecodeBatch > 0)
@@ -74,10 +75,13 @@ int Scheduler::engineWidth(
   // that could actually use it).
   if (UniqueIdx.size() < 2)
     return 1;
-  // AUTO: measured once per (weight version, beam width), then cached —
-  // repeated runs (the steady-state serving case) never re-probe. The
+  // AUTO: measured once per (weight version, beam width, shard count),
+  // then cached — repeated runs (the steady-state serving case) never
+  // re-probe, while a topology change re-measures (N shards share the
+  // memory system, which shifts the fused-vs-solo tradeoff). The
   // decision is purely about speed; results are batch-invariant.
-  std::pair<uint64_t, int> Key{D.model().weightVersion(), Opts.BeamSize};
+  std::tuple<uint64_t, int, int> Key{D.model().weightVersion(),
+                                     Opts.BeamSize, ShardCount};
   auto It = FusionDecisions.find(Key);
   bool Fuse;
   if (It != FusionDecisions.end()) {
@@ -143,17 +147,34 @@ Scheduler::decodeAll(const std::vector<std::vector<int>> &Srcs) {
   M.EncodeSeconds += secondsSince(TE);
 
   // Thin client of the streaming engine: submit every unique source,
-  // then drain futures in order. The engine admits up to EngineMaxLive
-  // sources into one continuous batch and recycles rows as sources
-  // finish, so a straggler never stalls the others. Per-source results
-  // are byte-identical to solo beamSearch regardless of the width.
+  // then drain futures in order. The engine spreads unique sources over
+  // its decode shards (multi-core fan-out — the per-group parallelism
+  // unfusable workloads need), admits up to EngineMaxLive sources into
+  // each shard's continuous batch, and recycles rows as sources finish,
+  // so a straggler never stalls the others. Per-source results are
+  // byte-identical to solo beamSearch regardless of width or shard
+  // count.
+  // The fusion decision is keyed by the RESOLVED topology (so varying
+  // corpus sizes share one cached probe); the engine itself never runs
+  // more shards than it has unique sources.
+  int ResolvedShards = resolveShardCount(Opts.Shards);
+  int ShardCount = std::min(
+      ResolvedShards, std::max(1, static_cast<int>(UniqueIdx.size())));
   EngineOptions EO;
   EO.BeamSize = Opts.BeamSize;
   EO.MaxLen = Opts.MaxLen;
   EO.UseTypeInference = Opts.UseTypeInference;
-  EO.MaxLiveSources = engineWidth(Srcs, UniqueIdx, Encs);
+  EO.MaxLiveSources = engineWidth(Srcs, UniqueIdx, Encs, ResolvedShards);
+  EO.Shards = ShardCount;
+  // The batch front dedups its corpus up front and reports per-run
+  // decode costs; a cross-run hypotheses cache would silently turn
+  // "decode" runs into lookups, so it stays off here (the streaming
+  // engine is where the decode LRU closes the non-overlapping-repeat
+  // regime).
+  EO.UseDecodeCache = false;
   EO.QueueCapacity = std::max<size_t>(1, UniqueIdx.size());
   M.EngineMaxLive = EO.MaxLiveSources;
+  M.EngineShards = ShardCount;
 
   std::vector<std::vector<nn::Hypothesis>> Unique(UniqueIdx.size());
   {
@@ -173,6 +194,9 @@ Scheduler::decodeAll(const std::vector<std::vector<int>> &Srcs) {
     M.EncodeSeconds += EM.EncodeSeconds;
     M.DecodeSeconds += EM.DecodeSeconds;
     M.DecodesFused += EM.FusedJobs;
+    M.DecodeCacheHits += EM.DecodeCacheHits;
+    M.DecodeCacheMisses += EM.DecodeCacheMisses;
+    M.DecodeCacheBytes = EM.DecodeCacheBytes;
     M.QueueWaitP50 = EM.QueueWait.P50;
     M.QueueWaitP95 = EM.QueueWait.P95;
     M.QueueWaitP99 = EM.QueueWait.P99;

@@ -34,6 +34,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -65,6 +66,16 @@ struct ServeOptions {
   /// Set false to force per-job decode (no cross-request fusion),
   /// overriding DecodeBatch — the measurable baseline.
   bool BatchDecode = true;
+  /// Decode shards in the engine (independent decode threads, each with
+  /// its own continuous batch). 0 = auto: one per hardware thread
+  /// (capped; see serve::resolveShardCount), never more than the run's
+  /// unique sources. Sharding is what restores multi-core decode
+  /// fan-out for workloads where fusion loses (wide beams / long
+  /// sources): each shard decodes its own sources in parallel. The AUTO
+  /// fusion decision is cached per (weight version, beam width, shard
+  /// count) — the fused-vs-solo tradeoff shifts when N shards share the
+  /// memory system.
+  int Shards = 0;
 };
 
 /// A raw translation request: assembly text in, C hypothesis out.
@@ -112,10 +123,21 @@ struct ServeMetrics {
   /// --stream reports full end-to-end latency.
   double LatencyP50 = 0, LatencyP95 = 0, LatencyP99 = 0;
   /// AUTO fusion probes actually measured during this run. 0 means the
-  /// cached per-(weight version, beam width) decision was reused.
+  /// cached per-(weight version, beam width, shard count) decision was
+  /// reused.
   size_t FusionProbes = 0;
-  /// Engine width used (max concurrently-live sources) this run.
+  /// Engine width used (max concurrently-live sources PER SHARD).
   int EngineMaxLive = 0;
+  /// Decode shards the engine ran this run.
+  int EngineShards = 0;
+  /// Decoded-hypotheses LRU counters. The batch front disables the
+  /// cache for its own runs (every unique source decodes, keeping the
+  /// run metrics' meaning), so hits here stay 0 — the streaming replay
+  /// (slade-serve --stream) is where the cache earns its keep; bytes
+  /// report the decompiler-owned cache's current footprint.
+  size_t DecodeCacheHits = 0;
+  size_t DecodeCacheMisses = 0;
+  size_t DecodeCacheBytes = 0;
 };
 
 class Scheduler {
@@ -142,15 +164,16 @@ private:
   std::vector<std::vector<nn::Hypothesis>>
   decodeAll(const std::vector<std::vector<int>> &Srcs);
 
-  /// Engine width for this run: DecodeBatch when forced, else the
-  /// measured AUTO decision (probe cached per weight version + beam
-  /// width; runs with fewer than two unique sources use width 1 without
-  /// probing — nothing could fuse).
+  /// Engine width (per shard) for this run: DecodeBatch when forced,
+  /// else the measured AUTO decision (probe cached per weight version +
+  /// beam width + shard count; runs with fewer than two unique sources
+  /// use width 1 without probing — nothing could fuse).
   int engineWidth(
       const std::vector<std::vector<int>> &Srcs,
       const std::vector<size_t> &UniqueIdx,
       const std::vector<std::shared_ptr<const nn::Transformer::EncoderCache>>
-          &Encs);
+          &Encs,
+      int ShardCount);
   /// Times fused-vs-solo decode steps over an already-encoded source;
   /// true when fusion's per-source step cost wins. Pure measurement —
   /// never affects results.
@@ -162,8 +185,9 @@ private:
   ThreadPool Pool;
   ServeMetrics M;
   /// Measured AUTO fusion decisions, keyed by (weight version, beam
-  /// width) so repeated runs (the common serving case) never re-probe.
-  std::map<std::pair<uint64_t, int>, bool> FusionDecisions;
+  /// width, shard count) so repeated runs (the common serving case)
+  /// never re-probe, while a topology change re-measures.
+  std::map<std::tuple<uint64_t, int, int>, bool> FusionDecisions;
 };
 
 } // namespace serve

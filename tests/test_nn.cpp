@@ -8,6 +8,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "nn/Beam.h"
+#include "nn/DecodeLRU.h"
 #include "nn/EncoderLRU.h"
 #include "nn/InferRuntime.h"
 #include "nn/Mat.h"
@@ -880,6 +881,83 @@ TEST(EncoderLRU, WeightVersionChangeMisses) {
   auto After = Cache.get(Model, Src);
   EXPECT_NE(Before.get(), After.get()) << "stale entry must not match";
   EXPECT_EQ(Cache.stats().Misses, 2u);
+}
+
+// -- decoded-hypotheses LRU ---------------------------------------------------
+
+std::shared_ptr<const std::vector<Hypothesis>>
+hypsOf(std::initializer_list<int> Tokens) {
+  auto H = std::make_shared<std::vector<Hypothesis>>(1);
+  H->front().Tokens = Tokens;
+  H->front().Score = -1.0f;
+  return H;
+}
+
+TEST(DecodeLRU, KeyedBySourceVersionAndBeamConfig) {
+  DecodeLRU Cache(/*Capacity=*/8);
+  BeamConfig BC;
+  BC.BeamSize = 2;
+  BC.MaxLen = 16;
+  auto H = hypsOf({3, 4, 5});
+  Cache.put({1, 2}, /*Version=*/7, BC, H);
+  EXPECT_EQ(Cache.get({1, 2}, 7, BC).get(), H.get())
+      << "hit shares the stored object, no copy";
+  EXPECT_EQ(Cache.get({1, 2, 3}, 7, BC), nullptr) << "source keys";
+  EXPECT_EQ(Cache.get({1, 2}, 8, BC), nullptr) << "weight version keys";
+  BeamConfig Wider = BC;
+  Wider.BeamSize = 3;
+  EXPECT_EQ(Cache.get({1, 2}, 7, Wider), nullptr) << "beam width keys";
+  BeamConfig Longer = BC;
+  Longer.MaxLen = 32;
+  EXPECT_EQ(Cache.get({1, 2}, 7, Longer), nullptr) << "MaxLen keys";
+  BeamConfig Penalized = BC;
+  Penalized.LengthPenalty = 0.5f;
+  EXPECT_EQ(Cache.get({1, 2}, 7, Penalized), nullptr)
+      << "length penalty keys";
+  DecodeLRU::Stats St = Cache.stats();
+  EXPECT_EQ(St.Hits, 1u);
+  EXPECT_EQ(St.Misses, 5u);
+  EXPECT_EQ(St.Insertions, 1u);
+  // Re-inserting an existing key refreshes instead of duplicating.
+  Cache.put({1, 2}, 7, BC, hypsOf({9}));
+  EXPECT_EQ(Cache.size(), 1u);
+  EXPECT_EQ(Cache.get({1, 2}, 7, BC).get(), H.get())
+      << "the original entry is kept (identical by determinism)";
+}
+
+TEST(DecodeLRU, CountBoundEvictsLeastRecentlyUsed) {
+  DecodeLRU Cache(/*Capacity=*/2);
+  BeamConfig BC;
+  Cache.put({1}, 1, BC, hypsOf({10}));
+  Cache.put({2}, 1, BC, hypsOf({20}));
+  EXPECT_NE(Cache.get({1}, 1, BC), nullptr); // Touch: {2} becomes LRU.
+  Cache.put({3}, 1, BC, hypsOf({30}));
+  EXPECT_EQ(Cache.size(), 2u);
+  EXPECT_EQ(Cache.stats().Evictions, 1u);
+  EXPECT_EQ(Cache.get({2}, 1, BC), nullptr) << "LRU victim";
+  EXPECT_NE(Cache.get({1}, 1, BC), nullptr) << "touched entry survives";
+  EXPECT_NE(Cache.get({3}, 1, BC), nullptr);
+}
+
+TEST(DecodeLRU, ByteBudgetEvictsButKeepsNewest) {
+  BeamConfig BC;
+  // Size one entry, then budget the cache below two entries' worth:
+  // every insert evicts the previous entry but is itself kept.
+  DecodeLRU Probe(4);
+  Probe.put({1, 2, 3, 4}, 1, BC, hypsOf({5, 6, 7, 8, 9, 10}));
+  size_t One = Probe.bytesUsed();
+  ASSERT_GT(One, 0u);
+  DecodeLRU Cache(/*Capacity=*/64, /*ByteBudget=*/One + One / 2);
+  for (int S = 0; S < 4; ++S)
+    Cache.put({1, 2, 3, S}, 1, BC, hypsOf({5, 6, 7, 8, 9, 10}));
+  EXPECT_EQ(Cache.size(), 1u) << "budget holds one same-sized entry";
+  EXPECT_EQ(Cache.stats().Evictions, 3u);
+  EXPECT_LE(Cache.bytesUsed(), Cache.byteBudget());
+  EXPECT_NE(Cache.get({1, 2, 3, 3}, 1, BC), nullptr)
+      << "the newest entry always survives";
+  Cache.clear();
+  EXPECT_EQ(Cache.bytesUsed(), 0u);
+  EXPECT_EQ(Cache.size(), 0u);
 }
 
 TEST(Transformer, BeamReturnsSortedHypotheses) {

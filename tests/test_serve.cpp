@@ -331,6 +331,9 @@ TEST(Engine, RowRecyclingStressAndInFlightDedup) {
   // segment is recycled several times, admissions land while other
   // sources are mid-decode, and duplicates of live sources attach
   // (single-flight) — all without changing a single output byte.
+  // Requests carry pre-encoded sources so dispatch is near-instant on
+  // this tiny (sub-millisecond-decode) model and sources genuinely
+  // overlap in the shard's batch.
   ServeFixture F(5);
   ASSERT_GE(F.Tasks.size(), 3u);
   std::vector<std::string> Asm;
@@ -342,7 +345,17 @@ TEST(Engine, RowRecyclingStressAndInFlightDedup) {
   EO.MaxLen = 28;
   EO.MaxLiveSources = 2;
   EO.QueueCapacity = 64;
+  // Cache off: every duplicate must exercise a row or an attach — the
+  // paths this stress test exists for — not a decode-LRU lookup.
+  EO.UseDecodeCache = false;
   serve::Engine Eng(*F.Slade, EO);
+
+  std::vector<std::vector<int>> Srcs;
+  std::vector<std::shared_ptr<const nn::Transformer::EncoderCache>> Encs;
+  for (const std::string &A : Asm) {
+    Srcs.push_back(F.Slade->tokenizer().encode(A));
+    Encs.push_back(F.Slade->encodeCached(Srcs.back()));
+  }
 
   std::vector<size_t> Pick;
   for (int Round = 0; Round < 4; ++Round)
@@ -353,7 +366,7 @@ TEST(Engine, RowRecyclingStressAndInFlightDedup) {
 
   std::vector<std::future<serve::RequestResult>> Futs;
   for (size_t I : Pick)
-    Futs.push_back(Eng.submit({"job", Asm[I], {}, {}, nullptr}));
+    Futs.push_back(Eng.submit({"job", "", Srcs[I], Encs[I], nullptr}));
   for (size_t K = 0; K < Pick.size(); ++K) {
     serve::RequestResult R = Futs[K].get();
     EXPECT_EQ(R.CSource,
@@ -418,6 +431,289 @@ TEST(Engine, CallbackRunsBeforeFutureAndStopDrains) {
     EXPECT_EQ(Futs[I].get().Name, F.Tasks[I].Name);
   Eng.stop(); // Idempotent with the destructor.
   EXPECT_EQ(Eng.metrics().Completed, F.Tasks.size());
+}
+
+TEST(Scheduler, ShardedRunMatchesSoloAndReportsShardCount) {
+  // The batch front with an explicit shard count: unique sources spread
+  // over two decode threads, results still byte-identical to solo
+  // translate, and the decode LRU stays out of its runs.
+  ServeFixture F(5);
+  ASSERT_GE(F.Tasks.size(), 3u);
+  std::vector<serve::TranslateJob> Jobs;
+  for (const core::EvalTask &T : F.Tasks)
+    Jobs.push_back({T.Name, T.Prog.TargetAsm});
+
+  serve::ServeOptions SO;
+  SO.BeamSize = 2;
+  SO.MaxLen = 32;
+  SO.Shards = 2;
+  serve::Scheduler Sched(*F.Slade, SO);
+  auto Out = Sched.translate(Jobs);
+  EXPECT_EQ(Sched.metrics().EngineShards, 2);
+  EXPECT_EQ(Sched.metrics().DecodeCacheHits, 0u)
+      << "the batch front must not serve decodes from the cache";
+  for (size_t I = 0; I < Jobs.size(); ++I)
+    EXPECT_EQ(Out[I].CSource,
+              F.Slade->translate(Jobs[I].Asm, SO.BeamSize, SO.MaxLen))
+        << "job " << I;
+  // A second identical run must still decode (cache disabled), still
+  // byte-identical.
+  auto Again = Sched.translate(Jobs);
+  EXPECT_EQ(Sched.metrics().DecodeCacheHits, 0u);
+  for (size_t I = 0; I < Jobs.size(); ++I)
+    EXPECT_EQ(Out[I].CSource, Again[I].CSource);
+}
+
+// -- sharded engine ----------------------------------------------------------
+
+TEST(Engine, BitExactAcrossShardCountsOnRandomizedArrivals) {
+  // The same randomized arrival schedule (shuffled order, Poisson-style
+  // gaps, duplicates) replayed through 1, 2, and 4 decode shards must
+  // produce byte-identical results — equal to each other and to solo
+  // translate calls. The decode LRU is off so every configuration
+  // genuinely decodes on its shards.
+  ServeFixture F(6);
+  ASSERT_GE(F.Tasks.size(), 4u);
+  std::vector<std::string> Asm;
+  for (const core::EvalTask &T : F.Tasks)
+    Asm.push_back(T.Prog.TargetAsm);
+
+  // Two requests per source, shuffled; deterministic exponential gaps.
+  std::vector<size_t> Order;
+  for (size_t R = 0; R < 2; ++R)
+    for (size_t I = 0; I < Asm.size(); ++I)
+      Order.push_back(I);
+  std::mt19937 Rng(13);
+  std::shuffle(Order.begin(), Order.end(), Rng);
+  std::exponential_distribution<double> Gap(2000.0); // ~0.5 ms mean.
+  std::vector<double> Gaps;
+  for (size_t K = 0; K < Order.size(); ++K)
+    Gaps.push_back(Gap(Rng));
+
+  std::vector<std::string> Solo(Asm.size());
+  for (size_t I = 0; I < Asm.size(); ++I)
+    Solo[I] = F.Slade->translate(Asm[I], 2, 24);
+
+  for (int Shards : {1, 2, 4}) {
+    serve::EngineOptions EO;
+    EO.BeamSize = 2;
+    EO.MaxLen = 24;
+    EO.MaxLiveSources = 2;
+    EO.Shards = Shards;
+    EO.UseDecodeCache = false;
+    serve::Engine Eng(*F.Slade, EO);
+    EXPECT_EQ(Eng.shardCount(), Shards);
+    std::vector<std::future<serve::RequestResult>> Futs(Order.size());
+    for (size_t K = 0; K < Order.size(); ++K) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(Gaps[K]));
+      Futs[K] = Eng.submit({"job", Asm[Order[K]], {}, {}, nullptr});
+    }
+    for (size_t K = 0; K < Order.size(); ++K)
+      EXPECT_EQ(Futs[K].get().CSource, Solo[Order[K]])
+          << "shards=" << Shards << " request " << K;
+    serve::EngineMetrics M = Eng.metrics();
+    EXPECT_EQ(M.Completed, Order.size());
+    ASSERT_EQ(M.Shards.size(), static_cast<size_t>(Shards));
+    size_t ShardSources = 0;
+    for (const serve::ShardUtil &U : M.Shards)
+      ShardSources += U.Sources;
+    // Every request is exactly one of: admitted into a shard row,
+    // attached to a live duplicate, or (here, disabled) a cache hit.
+    EXPECT_EQ(ShardSources + M.InFlightDeduped, M.Completed);
+  }
+}
+
+TEST(Engine, CrossShardSingleFlightAttach) {
+  // A burst of identical requests with the decode LRU OFF: the first
+  // occupies a row on some shard; the dispatcher must route every
+  // later duplicate to THAT shard as an attach (cross-shard
+  // single-flight), not decode it again elsewhere.
+  ServeFixture F(4);
+  ASSERT_GE(F.Tasks.size(), 2u);
+  const std::string &A = F.Tasks[0].Prog.TargetAsm;
+  const std::string &B = F.Tasks[1].Prog.TargetAsm;
+
+  serve::EngineOptions EO;
+  EO.BeamSize = 2;
+  EO.MaxLen = 32;
+  EO.MaxLiveSources = 1;
+  EO.Shards = 2;
+  EO.UseDecodeCache = false;
+  serve::Engine Eng(*F.Slade, EO);
+
+  std::vector<std::future<serve::RequestResult>> Futs;
+  Futs.push_back(Eng.submit({"a0", A, {}, {}, nullptr}));
+  Futs.push_back(Eng.submit({"b", B, {}, {}, nullptr}));
+  for (int K = 1; K <= 10; ++K)
+    Futs.push_back(Eng.submit({"a" + std::to_string(K), A, {}, {},
+                               nullptr}));
+  std::string SoloA = F.Slade->translate(A, EO.BeamSize, EO.MaxLen);
+  std::string SoloB = F.Slade->translate(B, EO.BeamSize, EO.MaxLen);
+  for (size_t K = 0; K < Futs.size(); ++K)
+    EXPECT_EQ(Futs[K].get().CSource, K == 1 ? SoloB : SoloA)
+        << "request " << K;
+  serve::EngineMetrics M = Eng.metrics();
+  EXPECT_EQ(M.Completed, Futs.size());
+  EXPECT_GE(M.InFlightDeduped, 1u)
+      << "duplicates of a live source must attach, not re-decode";
+  EXPECT_EQ(M.DecodeCacheHits, 0u) << "cache disabled";
+}
+
+TEST(Engine, DecodeLRUServesNonOverlappingRepeats) {
+  // The regime in-flight dedup cannot cover: a repeat arriving AFTER
+  // the original retired. With the decoded-hypotheses LRU the repeat
+  // completes without decoding, byte-identical.
+  ServeFixture F(3);
+  ASSERT_GE(F.Tasks.size(), 1u);
+  const std::string &A = F.Tasks[0].Prog.TargetAsm;
+
+  serve::EngineOptions EO;
+  EO.BeamSize = 2;
+  EO.MaxLen = 24;
+  EO.MaxLiveSources = 1;
+  serve::Engine Eng(*F.Slade, EO);
+
+  serve::RequestResult First =
+      Eng.submit({"first", A, {}, {}, nullptr}).get();
+  // The source is now retired — nothing live to attach to.
+  serve::RequestResult Again =
+      Eng.submit({"again", A, {}, {}, nullptr}).get();
+  EXPECT_EQ(Again.CSource, First.CSource);
+  ASSERT_EQ(Again.Hyps.size(), First.Hyps.size());
+  for (size_t I = 0; I < First.Hyps.size(); ++I)
+    EXPECT_EQ(Again.Hyps[I].Tokens, First.Hyps[I].Tokens);
+  serve::EngineMetrics M = Eng.metrics();
+  EXPECT_EQ(M.DecodeCacheHits, 1u) << "the repeat must hit the LRU";
+  EXPECT_EQ(M.InFlightDeduped, 0u) << "nothing was live to attach to";
+  EXPECT_GT(M.DecodeCacheBytes, 0u);
+  EXPECT_EQ(F.Slade->decodeCache().stats().Hits, 1u);
+  // And a FRESH engine over the same decompiler still hits: the cache
+  // outlives engines, which is what closes the non-overlapping-repeat
+  // regime for long-lived serving.
+  serve::Engine Eng2(*F.Slade, EO);
+  serve::RequestResult Third =
+      Eng2.submit({"third", A, {}, {}, nullptr}).get();
+  EXPECT_EQ(Third.CSource, First.CSource);
+  EXPECT_EQ(Eng2.metrics().DecodeCacheHits, 1u);
+}
+
+TEST(Engine, ShardBackfillAfterMassRetirement) {
+  // More unique sources than total row slots (2 shards x 1 source):
+  // placement fills both shards, later sources wait in the global
+  // queue, and every retirement backfills the freed shard. Both shards
+  // must end up having decoded sources.
+  ServeFixture F(6);
+  ASSERT_GE(F.Tasks.size(), 4u);
+
+  serve::EngineOptions EO;
+  EO.BeamSize = 2;
+  EO.MaxLen = 24;
+  EO.MaxLiveSources = 1;
+  EO.Shards = 2;
+  EO.UseDecodeCache = false;
+  serve::Engine Eng(*F.Slade, EO);
+
+  std::vector<std::future<serve::RequestResult>> Futs;
+  for (const core::EvalTask &T : F.Tasks)
+    Futs.push_back(Eng.submit({T.Name, T.Prog.TargetAsm, {}, {}, nullptr}));
+  for (size_t I = 0; I < Futs.size(); ++I)
+    EXPECT_EQ(Futs[I].get().CSource,
+              F.Slade->translate(F.Tasks[I].Prog.TargetAsm, EO.BeamSize,
+                                 EO.MaxLen))
+        << "job " << I;
+  serve::EngineMetrics M = Eng.metrics();
+  ASSERT_EQ(M.Shards.size(), 2u);
+  EXPECT_GE(M.Shards[0].Sources, 1u) << "shard 0 must get backfilled work";
+  EXPECT_GE(M.Shards[1].Sources, 1u) << "shard 1 must get backfilled work";
+  EXPECT_EQ(M.Shards[0].Sources + M.Shards[1].Sources, F.Tasks.size());
+  EXPECT_LE(M.PeakLiveSources, 2u) << "1 row per shard, 2 shards";
+}
+
+TEST(Engine, StopDrainsNonEmptyShardsAndQueue) {
+  // stop() with sources mid-decode on several shards AND requests still
+  // queued: everything must complete (futures fulfilled with real
+  // results), nothing dropped.
+  ServeFixture F(5);
+  ASSERT_GE(F.Tasks.size(), 3u);
+
+  serve::EngineOptions EO;
+  EO.BeamSize = 2;
+  EO.MaxLen = 24;
+  EO.MaxLiveSources = 1;
+  EO.Shards = 2;
+  serve::Engine Eng(*F.Slade, EO);
+
+  std::vector<std::future<serve::RequestResult>> Futs;
+  std::vector<size_t> Pick;
+  for (int Round = 0; Round < 2; ++Round)
+    for (size_t I = 0; I < F.Tasks.size(); ++I) {
+      Pick.push_back(I);
+      Futs.push_back(Eng.submit(
+          {"job", F.Tasks[I].Prog.TargetAsm, {}, {}, nullptr}));
+    }
+  Eng.stop(); // Immediately: shards are mid-flight, queue non-empty.
+  for (size_t K = 0; K < Futs.size(); ++K)
+    EXPECT_EQ(Futs[K].get().CSource,
+              F.Slade->translate(F.Tasks[Pick[K]].Prog.TargetAsm,
+                                 EO.BeamSize, EO.MaxLen))
+        << "request " << K;
+  EXPECT_EQ(Eng.metrics().Completed, Futs.size());
+}
+
+TEST(Engine, MetricsAggregationIsConsistentUnderConcurrentProducers) {
+  // Four producer threads hammer a 4-shard engine; retirement and
+  // completion bookkeeping from N shard threads plus the verify pool
+  // must aggregate without losing a count (per-shard single-writer
+  // accumulators + one completion mutex — TSan-friendly by design).
+  ServeFixture F(4);
+  ASSERT_GE(F.Tasks.size(), 2u);
+  std::vector<std::string> Asm;
+  for (const core::EvalTask &T : F.Tasks)
+    Asm.push_back(T.Prog.TargetAsm);
+
+  serve::EngineOptions EO;
+  EO.BeamSize = 1;
+  EO.MaxLen = 12;
+  EO.MaxLiveSources = 2;
+  EO.Shards = 4;
+  serve::Engine Eng(*F.Slade, EO);
+
+  constexpr int PerProducer = 10;
+  std::vector<std::thread> Producers;
+  std::mutex FutsMu;
+  std::vector<std::future<serve::RequestResult>> Futs;
+  for (int P = 0; P < 4; ++P)
+    Producers.emplace_back([&, P] {
+      for (int K = 0; K < PerProducer; ++K) {
+        std::future<serve::RequestResult> Fut = Eng.submit(
+            {"p" + std::to_string(P), Asm[static_cast<size_t>(K) %
+                                          Asm.size()],
+             {}, {}, nullptr});
+        std::lock_guard<std::mutex> Lock(FutsMu);
+        Futs.push_back(std::move(Fut));
+      }
+    });
+  for (std::thread &T : Producers)
+    T.join();
+  Eng.drain();
+  serve::EngineMetrics M = Eng.metrics();
+  EXPECT_EQ(M.Submitted, static_cast<size_t>(4 * PerProducer));
+  EXPECT_EQ(M.Completed, M.Submitted);
+  size_t ShardSources = 0;
+  uint64_t ShardRows = 0;
+  for (const serve::ShardUtil &U : M.Shards) {
+    ShardSources += U.Sources;
+    ShardRows += U.StepRows;
+  }
+  // Every request resolves exactly one way; the global row/tick sums
+  // are exactly the per-shard sums.
+  EXPECT_EQ(ShardSources + M.InFlightDeduped + M.DecodeCacheHits,
+            M.Completed);
+  EXPECT_EQ(M.StepRows, ShardRows);
+  // Every future must be fulfilled (get() would throw broken_promise
+  // if a completion were lost).
+  for (std::future<serve::RequestResult> &Fut : Futs)
+    EXPECT_NO_THROW(Fut.get());
 }
 
 TEST(Scheduler, RepeatedRunsHitTheEncoderCache) {

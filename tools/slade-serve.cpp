@@ -56,6 +56,7 @@ struct CliOptions {
   int DemoN = 0;
   int DemoDup = 1; ///< Requests per demo function (duplicate traffic).
   int EncCacheMb = 0; ///< Encoder-LRU byte budget in MiB (0 = count only).
+  int DecCacheMb = 0; ///< Decode-LRU byte budget in MiB (0 = count only).
   bool Sequential = false; ///< Baseline: one Decompiler call per job.
   bool Check = false;      ///< Run batched AND sequential, compare.
   std::string OutPath;
@@ -63,7 +64,8 @@ struct CliOptions {
   bool Stream = false; ///< Replay the corpus with arrival timestamps
                        ///< through the continuous-batching engine.
   double Rate = 0;     ///< Mean Poisson arrivals/sec (0 = jobs over ~1s).
-  int MaxLive = 4;     ///< Engine MaxLiveSources.
+  int MaxLive = 4;     ///< Engine MaxLiveSources (per shard).
+  int Shards = 0;      ///< Decode shards (0 = auto: hardware threads).
   int QueueCap = 256;  ///< Engine admission-queue bound.
   uint64_t ArrivalSeed = 42; ///< Poisson arrival RNG seed.
   bool StreamCompare = false; ///< Also replay through the batch-scoped
@@ -90,6 +92,13 @@ void usage() {
       "                       width; the decision is cached per weight\n"
       "                       version + beam width)\n"
       "  --enc-cache-mb N     cap the encoder-output LRU at N MiB\n"
+      "  --dec-cache-mb N     cap the decoded-hypotheses LRU at N MiB\n"
+      "                       (streaming engine: repeats that never\n"
+      "                       overlap in flight skip their decode)\n"
+      "  --shards N           decode shards: independent decode threads,\n"
+      "                       each running its own continuous batch\n"
+      "                       (default 0 = one per hardware thread,\n"
+      "                       capped at 8)\n"
       "  --no-batch           disable cross-request decode batching\n"
       "  --no-typeinf         disable type inference\n"
       "  --sequential         baseline: sequential Decompiler calls\n"
@@ -101,7 +110,8 @@ void usage() {
       "                       percentiles (p50/p95/p99)\n"
       "  --rate R             mean stream arrivals per second (default:\n"
       "                       all jobs over ~1s)\n"
-      "  --live N             engine max live sources (default 4)\n"
+      "  --live N             engine max live sources per shard\n"
+      "                       (default 4)\n"
       "  --queue N            engine admission-queue bound (default 256)\n"
       "  --arrival-seed S     arrival RNG seed (default 42)\n"
       "  --stream-compare     also replay the same arrivals through the\n"
@@ -169,6 +179,21 @@ bool parseArgs(int argc, char **argv, CliOptions *O) {
         std::fprintf(stderr, "error: --enc-cache-mb must be >= 0\n");
         return false;
       }
+    } else if (A == "--dec-cache-mb") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O->DecCacheMb = std::atoi(V);
+      if (O->DecCacheMb < 0) {
+        std::fprintf(stderr, "error: --dec-cache-mb must be >= 0\n");
+        return false;
+      }
+    } else if (A == "--shards") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O->Shards = std::max(0, std::atoi(V));
+      O->Serve.Shards = O->Shards;
     } else if (A == "--stream") {
       O->Stream = true;
     } else if (A == "--rate") {
@@ -261,13 +286,13 @@ void printMetrics(const char *Label, const serve::ServeMetrics &M) {
   std::fprintf(stderr,
                "[%s] %zu functions in %.3fs = %.2f fn/s (encode %.3fs, "
                "decode %.3fs, verify %.3fs; %zu deduped, %zu fused "
-               "(width %d, %zu probes), encoder cache %llu hits / %llu "
-               "misses = %.0f%% hit rate, cold encode %.2f ms mean, "
-               "%.1f KiB cached)\n",
+               "(width %d, %d shards, %zu probes), encoder cache %llu "
+               "hits / %llu misses = %.0f%% hit rate, cold encode %.2f "
+               "ms mean, %.1f KiB cached)\n",
                Label, M.Jobs, M.TotalSeconds, M.FunctionsPerSec,
                M.EncodeSeconds, M.DecodeSeconds, M.VerifySeconds,
                M.DecodesDeduped, M.DecodesFused, M.EngineMaxLive,
-               M.FusionProbes,
+               M.EngineShards, M.FusionProbes,
                static_cast<unsigned long long>(M.EncoderCacheHits),
                static_cast<unsigned long long>(M.EncoderCacheMisses),
                100.0 * M.EncoderCacheHitRate, M.ColdEncodeMsMean,
@@ -297,6 +322,10 @@ std::string metricsJson(const char *Label, const serve::ServeMetrics &M) {
      << ", \"cold_encode_ms_mean\": " << M.ColdEncodeMsMean
      << ", \"encoder_cache_bytes\": " << M.EncoderCacheBytes
      << ", \"engine_width\": " << M.EngineMaxLive
+     << ", \"engine_shards\": " << M.EngineShards
+     << ", \"decode_cache_hits\": " << M.DecodeCacheHits
+     << ", \"decode_cache_misses\": " << M.DecodeCacheMisses
+     << ", \"decode_cache_bytes\": " << M.DecodeCacheBytes
      << ", \"fusion_probes\": " << M.FusionProbes
      << ", \"queue_wait_p50_s\": " << M.QueueWaitP50
      << ", \"queue_wait_p95_s\": " << M.QueueWaitP95
@@ -339,6 +368,10 @@ struct StreamOutcome {
   std::vector<double> QueueWait; ///< Per item: arrival -> decode start.
   double WallSeconds = 0;
   double FnPerSec = 0;
+  /// Engine counters at replay end (engine replays only): dedup /
+  /// decode-LRU counts and per-shard utilization.
+  serve::EngineMetrics Engine;
+  bool HasEngine = false;
 
   /// Percentiles via the serve library's one implementation.
   serve::LatencyStats latency() const {
@@ -360,6 +393,7 @@ StreamOutcome streamThroughEngine(const core::Decompiler &Slade,
   EO.UseTypeInference = O.Serve.UseTypeInference;
   EO.VerifyThreads = O.Serve.Threads;
   EO.MaxLiveSources = O.MaxLive;
+  EO.Shards = O.Shards;
   EO.QueueCapacity = static_cast<size_t>(O.QueueCap);
 
   StreamOutcome SO;
@@ -391,6 +425,8 @@ StreamOutcome streamThroughEngine(const core::Decompiler &Slade,
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       Start)
             .count();
+    SO.Engine = Eng.metrics();
+    SO.HasEngine = true;
   }
   SO.FnPerSec = SO.WallSeconds > 0
                     ? static_cast<double>(N) / SO.WallSeconds
@@ -472,6 +508,21 @@ void printStreamMetrics(const char *Label, const StreamOutcome &SO) {
       "%.1f/%.1f/%.1f ms; latency p50/p95/p99 %.1f/%.1f/%.1f ms\n",
       Label, SO.Results.size(), SO.WallSeconds, SO.FnPerSec, 1e3 * QW.P50,
       1e3 * QW.P95, 1e3 * QW.P99, 1e3 * L.P50, 1e3 * L.P95, 1e3 * L.P99);
+  if (!SO.HasEngine)
+    return;
+  const serve::EngineMetrics &EM = SO.Engine;
+  std::fprintf(stderr,
+               "[%s] %zu attached in flight, decode cache %zu hits / %zu "
+               "misses (%.1f KiB); per-shard utilization:",
+               Label, EM.InFlightDeduped, EM.DecodeCacheHits,
+               EM.DecodeCacheMisses,
+               static_cast<double>(EM.DecodeCacheBytes) / 1024.0);
+  for (size_t S = 0; S < EM.Shards.size(); ++S)
+    std::fprintf(stderr, " [%zu] %zu src / %llu ticks / %.3fs", S,
+                 EM.Shards[S].Sources,
+                 static_cast<unsigned long long>(EM.Shards[S].Steps),
+                 EM.Shards[S].DecodeSeconds);
+  std::fprintf(stderr, "\n");
 }
 
 std::string streamJson(const char *Label, const StreamOutcome &SO) {
@@ -486,7 +537,25 @@ std::string streamJson(const char *Label, const StreamOutcome &SO) {
      << ", \"queue_wait_p99_s\": " << QW.P99
      << ", \"latency_p50_s\": " << L.P50
      << ", \"latency_p95_s\": " << L.P95
-     << ", \"latency_p99_s\": " << L.P99 << "}";
+     << ", \"latency_p99_s\": " << L.P99;
+  if (SO.HasEngine) {
+    const serve::EngineMetrics &EM = SO.Engine;
+    SS << ", \"deduped_in_flight\": " << EM.InFlightDeduped
+       << ", \"decode_cache_hits\": " << EM.DecodeCacheHits
+       << ", \"decode_cache_misses\": " << EM.DecodeCacheMisses
+       << ", \"decode_cache_bytes\": " << EM.DecodeCacheBytes
+       << ", \"shards\": [";
+    for (size_t S = 0; S < EM.Shards.size(); ++S) {
+      if (S)
+        SS << ", ";
+      SS << "{\"sources\": " << EM.Shards[S].Sources
+         << ", \"steps\": " << EM.Shards[S].Steps
+         << ", \"step_rows\": " << EM.Shards[S].StepRows
+         << ", \"decode_s\": " << EM.Shards[S].DecodeSeconds << "}";
+    }
+    SS << "]";
+  }
+  SS << "}";
   return SS.str();
 }
 
@@ -575,7 +644,9 @@ int main(int argc, char **argv) {
   core::TrainedSystem Sys = loadOrTrain(O);
   core::Decompiler Slade(std::move(Sys.Tok), std::move(Sys.Model),
                          /*EncoderCacheCap=*/64,
-                         static_cast<size_t>(O.EncCacheMb) << 20);
+                         static_cast<size_t>(O.EncCacheMb) << 20,
+                         /*DecodeCacheCap=*/256,
+                         static_cast<size_t>(O.DecCacheMb) << 20);
   serve::Scheduler Sched(Slade, O.Serve);
 
   std::ofstream OutFile;
@@ -605,16 +676,18 @@ int main(int argc, char **argv) {
     assignArrivals(Items, Rate, O.ArrivalSeed);
     std::fprintf(stderr,
                  "[stream] replaying %zu requests, Poisson rate %.1f/s "
-                 "(seed %llu), %d live sources, queue %d\n",
+                 "(seed %llu), %d shard(s) x %d live sources, queue %d\n",
                  Items.size(), Rate,
-                 static_cast<unsigned long long>(O.ArrivalSeed), O.MaxLive,
-                 O.QueueCap);
+                 static_cast<unsigned long long>(O.ArrivalSeed),
+                 serve::resolveShardCount(O.Shards), O.MaxLive, O.QueueCap);
 
     StreamOutcome Eng = streamThroughEngine(Slade, O, Items);
     printStreamMetrics("stream", Eng);
 
     if (O.StreamCompare) {
       Slade.clearEncoderCache(); // Cold-for-cold, as in the batch modes.
+      Slade.clearDecodeCache();  // (The scheduler never consults it, but
+                                 // keep the baseline's caches empty.)
       StreamOutcome Batch = streamThroughScheduler(Slade, O, Items);
       printStreamMetrics("stream-batch", Batch);
       double BatchP95 = Batch.latency().P95, EngP95 = Eng.latency().P95;
@@ -630,9 +703,12 @@ int main(int argc, char **argv) {
 
     if (O.Check) {
       // Byte-identity oracle: one sequential Decompiler call per request
-      // from a cold encoder cache — arrival order, admission order, and
-      // row recycling must not change any output.
+      // from cold caches — arrival order, shard placement, and row
+      // recycling must not change any output. (The sequential path never
+      // consults the decode LRU, so a cached-hit result is compared
+      // against a genuinely re-decoded one.)
       Slade.clearEncoderCache();
+      Slade.clearDecodeCache();
       core::Decompiler::Options DOpts;
       DOpts.BeamSize = O.Serve.BeamSize;
       DOpts.MaxLen = O.Serve.MaxLen;
