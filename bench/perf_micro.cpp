@@ -397,15 +397,15 @@ void BM_EngineStreamPoisson(benchmark::State &State) {
       poissonArrivals(B.Asm.size(), /*Rate=*/400.0, /*Seed=*/99);
   for (auto _ : State) {
     serve::Engine Eng(*B.Slade, EO);
-    std::vector<std::future<serve::RequestResult>> Futs(B.Asm.size());
+    std::vector<serve::Handle> Handles(B.Asm.size());
     auto Start = std::chrono::steady_clock::now();
     for (size_t I = 0; I < B.Asm.size(); ++I) {
       std::this_thread::sleep_until(
           Start + std::chrono::duration<double>(At[I]));
-      Futs[I] = Eng.submit({"f", B.Asm[I], {}, {}, nullptr});
+      Handles[I] = Eng.submit({"f", B.Asm[I], {}, {}, nullptr});
     }
-    for (auto &F : Futs)
-      benchmark::DoNotOptimize(F.get());
+    for (auto &H : Handles)
+      benchmark::DoNotOptimize(H.get());
   }
   State.SetItemsProcessed(State.iterations() *
                           static_cast<int64_t>(B.Asm.size()));
@@ -458,12 +458,12 @@ void BM_EngineShardScaling(benchmark::State &State) {
   double P95 = 0;
   for (auto _ : State) {
     serve::Engine Eng(*B.Slade, EO);
-    std::vector<std::future<serve::RequestResult>> Futs;
-    Futs.reserve(B.Asm.size());
+    std::vector<serve::Handle> Handles;
+    Handles.reserve(B.Asm.size());
     for (const std::string &A : B.Asm)
-      Futs.push_back(Eng.submit({"f", A, {}, {}, nullptr}));
-    for (auto &F : Futs)
-      benchmark::DoNotOptimize(F.get());
+      Handles.push_back(Eng.submit({"f", A, {}, {}, nullptr}));
+    for (auto &H : Handles)
+      benchmark::DoNotOptimize(H.get());
     P95 = Eng.metrics().Latency.P95;
   }
   State.SetItemsProcessed(State.iterations() *
@@ -474,6 +474,48 @@ BENCHMARK(BM_EngineShardScaling)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Deadline-bookkeeping overhead at ZERO shed: the same all-at-once
+/// replay with no deadlines (Arg 0) vs. a deadline generous enough that
+/// nothing ever expires (Arg 1). The per-request costs a deadline adds
+/// — the EDF heap ordering, the cancel-flag allocation, and the
+/// dead-request sweeps on dispatch and every shard tick — must stay in
+/// the noise: bench/README.md pins served-p95 within 2% across the two.
+void BM_EngineDeadlineOverhead(benchmark::State &State) {
+  const StreamBench &B = streamBench();
+  const bool WithDeadline = State.range(0) != 0;
+  serve::EngineOptions EO;
+  EO.BeamSize = 2;
+  EO.MaxLen = 48;
+  EO.MaxLiveSources = 4;
+  EO.UseDecodeCache = false;
+  double P95 = 0;
+  for (auto _ : State) {
+    serve::Engine Eng(*B.Slade, EO);
+    std::vector<serve::Handle> Handles;
+    Handles.reserve(B.Asm.size());
+    for (const std::string &A : B.Asm) {
+      serve::DecompileRequest R;
+      R.Name = "f";
+      R.Asm = A;
+      if (WithDeadline)
+        R.Deadline =
+            std::chrono::steady_clock::now() + std::chrono::hours(1);
+      Handles.push_back(Eng.submit(std::move(R)));
+    }
+    for (auto &H : Handles)
+      benchmark::DoNotOptimize(H.get());
+    P95 = Eng.metrics().Latency.P95;
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(B.Asm.size()));
+  State.counters["p95_ms"] = 1e3 * P95;
+}
+BENCHMARK(BM_EngineDeadlineOverhead)
+    ->Arg(0)
+    ->Arg(1)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

@@ -16,9 +16,26 @@ using namespace slade::core;
 Expected<CompiledProgram> slade::core::compileProgram(
     const std::string &FunctionSource, const std::string &ContextSource,
     const std::string &TargetName, asmx::Dialect D, bool Optimize) {
+  return compileProgram(FunctionSource, ContextSource, TargetName, D,
+                        Optimize, CompileLimits());
+}
+
+Expected<CompiledProgram> slade::core::compileProgram(
+    const std::string &FunctionSource, const std::string &ContextSource,
+    const std::string &TargetName, asmx::Dialect D, bool Optimize,
+    const CompileLimits &Limits) {
+  // Phase-boundary deadline checks: cooperative, so the cost when
+  // unbounded (the common case) is one time_point compare per phase.
+  auto Expired = [&Limits] {
+    return Limits.Deadline !=
+               std::chrono::steady_clock::time_point::max() &&
+           std::chrono::steady_clock::now() >= Limits.Deadline;
+  };
   CompiledProgram Out;
   Out.Ctx = std::make_shared<cc::TypeContext>();
   std::string Source = ContextSource + "\n" + FunctionSource;
+  if (Expired())
+    return Expected<CompiledProgram>::error("compile deadline exceeded");
   auto TU = cc::parseC(Source, *Out.Ctx);
   if (!TU)
     return Expected<CompiledProgram>::error("parse: " + TU.errorMessage());
@@ -35,6 +52,8 @@ Expected<CompiledProgram> slade::core::compileProgram(
   for (const auto &F : Out.TU->Functions) {
     if (!F->isDefinition())
       continue;
+    if (Expired())
+      return Expected<CompiledProgram>::error("compile deadline exceeded");
     ir::IRGenOptions GO;
     GO.Optimize = Optimize;
     auto IR = ir::generateIR(*F, GO);
@@ -55,6 +74,8 @@ Expected<CompiledProgram> slade::core::compileProgram(
     Out.FullAsm += *Text;
   }
 
+  if (Expired())
+    return Expected<CompiledProgram>::error("compile deadline exceeded");
   auto Image = asmx::parseAsmImage(Out.FullAsm, D);
   if (!Image)
     return Expected<CompiledProgram>::error("asm parse: " +

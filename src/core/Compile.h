@@ -15,6 +15,7 @@
 #include "support/Error.h"
 #include "vm/IOHarness.h"
 
+#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
@@ -32,11 +33,32 @@ struct CompiledProgram {
   const cc::FunctionDecl *Target = nullptr;
 };
 
+/// Cooperative bounds on one compile. C++ threads cannot be preempted,
+/// so the deadline is checked BETWEEN pipeline phases (parse, sema,
+/// per-function irgen/codegen, asm parse) — the guarantee is "gives up
+/// within one phase of the deadline", not instant abortion. Verification
+/// of model-generated candidates (serve::Engine, evaluateHypothesis-
+/// Bounded) uses this so a pathological candidate cannot wedge a verify
+/// worker.
+struct CompileLimits {
+  /// Wall-clock deadline (steady clock); max() = unbounded.
+  std::chrono::steady_clock::time_point Deadline =
+      std::chrono::steady_clock::time_point::max();
+};
+
 /// Compiles `Context + Function`, singling out \p TargetName.
 Expected<CompiledProgram> compileProgram(const std::string &FunctionSource,
                                          const std::string &ContextSource,
                                          const std::string &TargetName,
                                          asmx::Dialect D, bool Optimize);
+/// Bounded variant: identical results when the deadline never fires;
+/// past it, returns a "compile deadline exceeded" error at the next
+/// phase boundary.
+Expected<CompiledProgram> compileProgram(const std::string &FunctionSource,
+                                         const std::string &ContextSource,
+                                         const std::string &TargetName,
+                                         asmx::Dialect D, bool Optimize,
+                                         const CompileLimits &Limits);
 
 } // namespace core
 } // namespace slade

@@ -7,13 +7,28 @@
 #include "typeinf/TypeInference.h"
 
 #include <algorithm>
+#include <thread>
 
 using namespace slade;
 using namespace slade::core;
 
-HypothesisOutcome slade::core::evaluateHypothesis(
-    const EvalTask &Task, const std::string &HypothesisSource,
-    bool UseTypeInference) {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One staged candidate evaluation with cooperative deadline checks
+/// between stages (type inference -> compile -> VM run). With Deadline =
+/// max() the checks never fire and the path is the historical
+/// evaluateHypothesis, byte for byte.
+HypothesisOutcome evaluateStaged(const EvalTask &Task,
+                                 const std::string &HypothesisSource,
+                                 bool UseTypeInference,
+                                 Clock::time_point Deadline,
+                                 bool *TimedOut) {
+  auto Expired = [Deadline] {
+    return Deadline != Clock::time_point::max() &&
+           Clock::now() >= Deadline;
+  };
   HypothesisOutcome Out;
   Out.CSource = HypothesisSource;
   Out.Produced = !HypothesisSource.empty();
@@ -30,19 +45,34 @@ HypothesisOutcome slade::core::evaluateHypothesis(
       Out.UsedTypeInference = true;
     }
   }
+  if (Expired()) {
+    if (TimedOut)
+      *TimedOut = true;
+    return Out;
+  }
 
   // Insert the hypothesis into the original calling context (§VII-A2) and
   // recompile. The hypothesis must define the target function.
   std::string Combined = Prelude + Task.ContextSource + "\n" +
                          HypothesisSource;
+  CompileLimits CL;
+  CL.Deadline = Deadline;
   auto Compiled = compileProgram(HypothesisSource,
                                  Prelude + Task.ContextSource,
                                  Task.Prog.Target->Name, Task.D,
-                                 /*Optimize=*/false);
+                                 /*Optimize=*/false, CL);
   (void)Combined;
-  if (!Compiled)
+  if (!Compiled) {
+    if (Expired() && TimedOut)
+      *TimedOut = true;
     return Out;
+  }
   Out.Compiles = true;
+  if (Expired()) {
+    if (TimedOut)
+      *TimedOut = true;
+    return Out;
+  }
 
   vm::HarnessConfig HC;
   vm::TestProfile Profile =
@@ -50,6 +80,78 @@ HypothesisOutcome slade::core::evaluateHypothesis(
                      Task.D, HC);
   Out.IOCorrect = vm::profilesEquivalent(Task.RefProfile, Profile);
   return Out;
+}
+
+} // namespace
+
+HypothesisOutcome slade::core::evaluateHypothesis(
+    const EvalTask &Task, const std::string &HypothesisSource,
+    bool UseTypeInference) {
+  return evaluateStaged(Task, HypothesisSource, UseTypeInference,
+                        Clock::time_point::max(), nullptr);
+}
+
+HypothesisOutcome slade::core::evaluateHypothesisBounded(
+    const EvalTask &Task, const std::string &HypothesisSource,
+    bool UseTypeInference, const VerifyLimits &Limits,
+    VerifyAttemptStats *Stats) {
+  // The candidate deadline spans ALL attempts: retries eat into the same
+  // budget, and the external cutoff (drain / request deadline) wins when
+  // earlier.
+  Clock::time_point CandDeadline = Limits.Deadline;
+  if (Limits.CandidateTimeoutSeconds > 0) {
+    Clock::time_point ByTimeout =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(
+                               Limits.CandidateTimeoutSeconds));
+    CandDeadline = std::min(CandDeadline, ByTimeout);
+  }
+  const int MaxAttempts = std::max(1, Limits.MaxRetries + 1);
+  for (int Attempt = 0; Attempt < MaxAttempts; ++Attempt) {
+    if (Stats)
+      ++Stats->Attempts;
+    try {
+      if (Limits.BeforeAttempt)
+        Limits.BeforeAttempt(Attempt, CandDeadline);
+      bool TimedOut = false;
+      HypothesisOutcome Out = evaluateStaged(
+          Task, HypothesisSource, UseTypeInference, CandDeadline, &TimedOut);
+      if (TimedOut && Stats)
+        Stats->TimedOut = true;
+      return Out;
+    } catch (...) {
+      // Transient failure: retry with backoff while budget remains.
+      // Deterministic failures (parse/compile errors) are outcomes, not
+      // exceptions, so they never land here.
+      bool Expired = CandDeadline != Clock::time_point::max() &&
+                     Clock::now() >= CandDeadline;
+      if (Attempt + 1 >= MaxAttempts || Expired) {
+        if (Stats) {
+          Stats->Faulted = true;
+          if (Expired)
+            Stats->TimedOut = true;
+        }
+        HypothesisOutcome Out;
+        Out.CSource = HypothesisSource;
+        Out.Produced = !HypothesisSource.empty();
+        return Out; // Contained: a non-compiling outcome, no rethrow.
+      }
+      if (Stats)
+        ++Stats->Retries;
+      if (Limits.RetryBackoffSeconds > 0) {
+        std::chrono::duration<double> Back(Limits.RetryBackoffSeconds);
+        if (CandDeadline != Clock::time_point::max()) {
+          auto Remaining = CandDeadline - Clock::now();
+          if (Remaining < std::chrono::duration_cast<Clock::duration>(Back))
+            Back = std::chrono::duration<double>(
+                std::max(0.0,
+                         std::chrono::duration<double>(Remaining).count()));
+        }
+        std::this_thread::sleep_for(Back);
+      }
+    }
+  }
+  return HypothesisOutcome(); // Unreachable; MaxAttempts >= 1.
 }
 
 std::string Decompiler::translate(const std::string &Asm, int BeamSize,

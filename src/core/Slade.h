@@ -19,6 +19,8 @@
 #include "support/ThreadPool.h"
 #include "tok/Tokenizer.h"
 
+#include <chrono>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -54,6 +56,54 @@ struct HypothesisOutcome {
 HypothesisOutcome evaluateHypothesis(const EvalTask &Task,
                                      const std::string &HypothesisSource,
                                      bool UseTypeInference);
+
+/// Bounds on one candidate's evaluation (the serve engine's verify
+/// containment knobs). Timeouts are COOPERATIVE: C++ threads cannot be
+/// preempted, so the candidate deadline is checked between pipeline
+/// stages (type inference / compile phases / before the VM run) plus
+/// inside the IO harness's own step budget (vm::HarnessConfig::MaxSteps)
+/// — a timed-out candidate returns within one stage of its deadline
+/// instead of wedging its verify worker.
+struct VerifyLimits {
+  /// Wall-clock budget for ONE candidate, spanning all its retry
+  /// attempts. 0 = unbounded.
+  double CandidateTimeoutSeconds = 0;
+  /// Retries after a thrown attempt (transient-fault containment);
+  /// total attempts = MaxRetries + 1. Deterministic failures (parse /
+  /// compile errors) are outcomes, not exceptions — they never retry.
+  int MaxRetries = 0;
+  /// Sleep before each retry, sliced against the candidate deadline.
+  double RetryBackoffSeconds = 0.01;
+  /// External cutoff (engine drain / request deadline); the effective
+  /// candidate deadline is the earlier of this and the timeout.
+  std::chrono::steady_clock::time_point Deadline =
+      std::chrono::steady_clock::time_point::max();
+  /// Test/fault hook, called at the START of every attempt (0-based)
+  /// with the candidate deadline; may throw (counted as a transient
+  /// attempt failure) or sleep (must honor the deadline).
+  std::function<void(int Attempt,
+                     std::chrono::steady_clock::time_point CandDeadline)>
+      BeforeAttempt;
+};
+
+/// What happened while evaluating one candidate under VerifyLimits.
+struct VerifyAttemptStats {
+  int Attempts = 0;
+  int Retries = 0;
+  bool TimedOut = false; ///< The candidate deadline fired.
+  bool Faulted = false;  ///< An exception survived the retry budget.
+};
+
+/// evaluateHypothesis with failure containment: per-candidate wall-clock
+/// timeout, bounded retry-with-backoff for thrown (transient) failures,
+/// and no exception ever escapes — a candidate that faults past its
+/// retry budget returns a non-compiling outcome with \p Stats->Faulted
+/// set. With default limits, byte-identical to evaluateHypothesis.
+HypothesisOutcome evaluateHypothesisBounded(const EvalTask &Task,
+                                            const std::string &HypothesisSource,
+                                            bool UseTypeInference,
+                                            const VerifyLimits &Limits,
+                                            VerifyAttemptStats *Stats = nullptr);
 
 /// The trained SLaDe system: tokenizer + model + the inference pipeline.
 class Decompiler {

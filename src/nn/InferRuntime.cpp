@@ -766,3 +766,21 @@ void InferRuntime::reorderBeams(Transformer::BatchDecodeState &St,
     St.RowEnc[static_cast<size_t>(Bi)].reset();
   St.B = NewB;
 }
+
+void InferRuntime::abortStreamSegment(Transformer::BatchDecodeState &St,
+                                      int Seg) const {
+  // A survivor gather that omits the segment's rows: cached K/V never
+  // moves, other rows keep their slots and ancestry, and the aborted
+  // rows' encoder refs drop (reorderBeams resets the tail bindings).
+  // The segment's SegLen is left as-is — admitStreamRow resets it when
+  // the segment is recycled, same as a normal retirement.
+  std::vector<int> Survivors;
+  Survivors.reserve(static_cast<size_t>(St.B));
+  for (int Bi = 0; Bi < St.B; ++Bi)
+    if (St.RowSource[static_cast<size_t>(Bi)] !=
+        static_cast<uint16_t>(Seg))
+      Survivors.push_back(Bi);
+  if (static_cast<int>(Survivors.size()) == St.B)
+    return; // No live rows in the segment (pre-first-tick abort).
+  reorderBeams(St, Survivors);
+}

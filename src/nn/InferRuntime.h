@@ -98,6 +98,7 @@ public:
                                      const std::vector<int> &Tokens) const;
   void reorderBeams(Transformer::BatchDecodeState &St,
                     const std::vector<int> &SrcIdx) const;
+  void abortStreamSegment(Transformer::BatchDecodeState &St, int Seg) const;
 
 private:
   const Transformer &M;

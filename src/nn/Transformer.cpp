@@ -476,6 +476,10 @@ void Transformer::reorderBeams(BatchDecodeState &St,
   InferRuntime(*this).reorderBeams(St, SrcIdx);
 }
 
+void Transformer::abortStreamSegment(BatchDecodeState &St, int Seg) const {
+  InferRuntime(*this).abortStreamSegment(St, Seg);
+}
+
 //===----------------------------------------------------------------------===//
 // Checkpointing
 //===----------------------------------------------------------------------===//

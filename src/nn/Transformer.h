@@ -247,6 +247,12 @@ public:
   /// source retired) or grow up to BMax.
   void reorderBeams(BatchDecodeState &St,
                     const std::vector<int> &SrcIdx) const;
+  /// Early retirement (deadline expiry / cancellation): drops EVERY live
+  /// row of segment \p Seg in place, releasing the rows' encoder
+  /// bindings, and leaves the segment ready for recycling by the next
+  /// admitStreamRow. Equivalent to a reorderBeams over the surviving
+  /// rows, so the remaining sources' results stay bit-identical.
+  void abortStreamSegment(BatchDecodeState &St, int Seg) const;
 
   Status save(const std::string &Path) const;
   static Expected<Transformer> load(const std::string &Path);

@@ -1,21 +1,55 @@
-//===- AdmissionQueue.cpp - bounded request queue + row slot allocator --------===//
+//===- AdmissionQueue.cpp - EDF request queue + row slot allocator ------------===//
 
 #include "serve/AdmissionQueue.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace slade;
 using namespace slade::serve;
 
+const char *slade::serve::requestStatusName(RequestStatus S) {
+  switch (S) {
+  case RequestStatus::Ok:
+    return "ok";
+  case RequestStatus::QueueFull:
+    return "queue_full";
+  case RequestStatus::DeadlineExpired:
+    return "deadline_expired";
+  case RequestStatus::Cancelled:
+    return "cancelled";
+  case RequestStatus::ShuttingDown:
+    return "shutting_down";
+  case RequestStatus::EncodeFailed:
+    return "encode_failed";
+  case RequestStatus::VerifyFailed:
+    return "verify_failed";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Max-heap comparator that makes the std:: heap functions pop the
+/// EARLIEST (deadline, seq) first: "A after B" ordering.
+bool laterThan(const Admission &A, const Admission &B) {
+  if (A.Req.Deadline != B.Req.Deadline)
+    return A.Req.Deadline > B.Req.Deadline;
+  return A.Seq > B.Seq;
+}
+
+} // namespace
+
 AdmissionQueue::AdmissionQueue(size_t Capacity)
     : Cap(Capacity ? Capacity : 1) {}
 
-bool AdmissionQueue::push(Admission A) {
+bool AdmissionQueue::push(Admission &A) {
   std::unique_lock<std::mutex> Lock(Mu);
   NotFull.wait(Lock, [this] { return Closed || Items.size() < Cap; });
   if (Closed)
-    return false;
+    return false; // A intact: the caller resolves it as ShuttingDown.
   Items.push_back(std::move(A));
+  std::push_heap(Items.begin(), Items.end(), laterThan);
   Lock.unlock();
   NotEmpty.notify_one();
   return true;
@@ -27,6 +61,7 @@ bool AdmissionQueue::tryPush(Admission &A) {
     if (Closed || Items.size() >= Cap)
       return false;
     Items.push_back(std::move(A));
+    std::push_heap(Items.begin(), Items.end(), laterThan);
   }
   NotEmpty.notify_one();
   return true;
@@ -37,8 +72,9 @@ bool AdmissionQueue::pop(Admission *Out) {
   NotEmpty.wait(Lock, [this] { return Closed || !Items.empty(); });
   if (Items.empty())
     return false; // Closed and drained.
-  *Out = std::move(Items.front());
-  Items.pop_front();
+  std::pop_heap(Items.begin(), Items.end(), laterThan);
+  *Out = std::move(Items.back());
+  Items.pop_back();
   Lock.unlock();
   NotFull.notify_one();
   return true;
@@ -49,8 +85,9 @@ bool AdmissionQueue::tryPop(Admission *Out) {
     std::lock_guard<std::mutex> Lock(Mu);
     if (Items.empty())
       return false;
-    *Out = std::move(Items.front());
-    Items.pop_front();
+    std::pop_heap(Items.begin(), Items.end(), laterThan);
+    *Out = std::move(Items.back());
+    Items.pop_back();
   }
   NotFull.notify_one();
   return true;
@@ -61,6 +98,8 @@ void AdmissionQueue::close() {
     std::lock_guard<std::mutex> Lock(Mu);
     Closed = true;
   }
+  // Wake EVERY blocked producer (each returns false with its Admission
+  // intact -> typed rejection) and the consumer (drains, then exits).
   NotFull.notify_all();
   NotEmpty.notify_all();
 }
@@ -82,6 +121,8 @@ ShardRouter::ShardRouter(int Shards, int SourcesPerShard)
 int ShardRouter::placeBlocking() {
   std::unique_lock<std::mutex> Lock(Mu);
   for (;;) {
+    if (std::chrono::steady_clock::now() >= ShutdownAt)
+      return -1; // Draining: stop placing, shed instead.
     // Least-loaded shard with a free slot; ties go to the lowest id so
     // placement is deterministic for a given load picture.
     int Best = -1;
@@ -93,9 +134,21 @@ int ShardRouter::placeBlocking() {
       ++Assigned[static_cast<size_t>(Best)];
       return Best;
     }
-    // Saturated: wait for a retirement (backfill wakes us).
-    Capacity.wait(Lock);
+    // Saturated: wait for a retirement (backfill wakes us) or the drain
+    // deadline, whichever comes first.
+    if (ShutdownAt == std::chrono::steady_clock::time_point::max())
+      Capacity.wait(Lock);
+    else
+      Capacity.wait_until(Lock, ShutdownAt);
   }
+}
+
+void ShardRouter::shutdownAt(std::chrono::steady_clock::time_point D) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ShutdownAt = std::min(ShutdownAt, D);
+  }
+  Capacity.notify_all();
 }
 
 void ShardRouter::placeOn(int Shard) {

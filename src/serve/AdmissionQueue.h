@@ -32,10 +32,10 @@
 
 #include "core/Slade.h"
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -45,6 +45,25 @@
 
 namespace slade {
 namespace serve {
+
+/// How a request resolved. EVERY submitted request resolves exactly once
+/// with one of these — the engine never abandons a promise (no
+/// broken_promise futures), including under overload, cancellation,
+/// injected faults, and shutdown.
+enum class RequestStatus {
+  Ok = 0,          ///< Completed normally (decoded; verified if asked).
+  QueueFull,       ///< Shed at admission (load-shedding mode, queue full).
+  DeadlineExpired, ///< Deadline passed before the request finished.
+  Cancelled,       ///< Handle::cancel() observed (any state).
+  ShuttingDown,    ///< Engine stopped / drain deadline hit first.
+  EncodeFailed,    ///< The dispatcher's encode threw (contained).
+  VerifyFailed,    ///< Verify stage threw past its retry budget.
+};
+
+/// Stable lowercase name for logs and summary JSONL ("ok", "queue_full",
+/// "deadline_expired", "cancelled", "shutting_down", "encode_failed",
+/// "verify_failed").
+const char *requestStatusName(RequestStatus S);
 
 /// One streaming decompile/translate request, as submitted by a producer.
 struct DecompileRequest {
@@ -62,11 +81,23 @@ struct DecompileRequest {
   /// compile + IO-verification in beam order on the worker pool,
   /// overlapped with ongoing decode. Must outlive request completion.
   const core::EvalTask *Task = nullptr;
+  /// Optional completion deadline (steady clock). max() = none. The
+  /// engine sheds the request the moment it observes the deadline passed
+  /// — at submit, at dispatch, between dispatch and shard admission, or
+  /// mid-decode (the row is aborted and its segment recycled) — and
+  /// resolves it with DeadlineExpired. Deadlined requests are served
+  /// earliest-deadline-first ahead of undeadlined ones.
+  std::chrono::steady_clock::time_point Deadline =
+      std::chrono::steady_clock::time_point::max();
 };
 
 /// Completion payload delivered through the request's future/callback.
 struct RequestResult {
   std::string Name;
+  /// How the request resolved. Payload fields below are meaningful for
+  /// Ok only (shed/expired/cancelled results carry empty hypotheses;
+  /// VerifyFailed carries the decoded hypotheses without an outcome).
+  RequestStatus Status = RequestStatus::Ok;
   /// Top-beam C hypothesis (translate mode), or the selected candidate's
   /// source (verify mode; same as Outcome.CSource).
   std::string CSource;
@@ -76,10 +107,19 @@ struct RequestResult {
   /// Full-pipeline outcome; valid only when Verified.
   core::HypothesisOutcome Outcome;
   bool Verified = false;
+  /// True when verification was DEGRADED by a contained fault: some
+  /// candidate gave up (exhausted its retry budget, or hit its
+  /// wall-clock timeout), so the verified Outcome may differ from an
+  /// unbounded sequential run's. Byte-identity oracles (slade-serve
+  /// --check, the fault soak test) skip degraded results; the decoded
+  /// Hyps themselves are never degraded.
+  bool Degraded = false;
   /// Seconds from submit() to admission into a decode row.
   double QueueWaitSeconds = 0;
   /// Seconds from submit() to completion (end-to-end latency).
   double TotalSeconds = 0;
+
+  bool ok() const { return Status == RequestStatus::Ok; }
 };
 
 /// Queue item: the request plus its completion promise and arrival stamp.
@@ -90,21 +130,41 @@ struct Admission {
   /// verify worker) just before the promise is fulfilled.
   std::function<void(const RequestResult &)> OnDone;
   std::chrono::steady_clock::time_point SubmitTime;
+  /// Engine-wide submit sequence number: the EDF tiebreak (equal
+  /// deadlines — including the no-deadline common case — dequeue FIFO)
+  /// and the deterministic fault-injection id.
+  uint64_t Seq = 0;
+  /// Shared with the producer's Handle; set = cancel requested.
+  std::shared_ptr<std::atomic<bool>> Cancel;
+
+  bool cancelled() const {
+    return Cancel && Cancel->load(std::memory_order_acquire);
+  }
 };
 
-/// Bounded blocking queue between submitters and the decode loop.
-/// Thread-safe; any number of producers, one consumer (the decode loop).
+/// Bounded earliest-deadline-first queue between submitters and the
+/// dispatcher. Items dequeue by (deadline, submit sequence): deadlined
+/// requests first, FIFO among equal deadlines — so a queue of
+/// undeadlined requests (Deadline = max()) is exactly the old FIFO.
+/// Thread-safe; any number of producers, one consumer (the dispatcher).
+///
+/// Shutdown contract (see the shutdown-race test in test_serve.cpp):
+/// close() wakes EVERY producer blocked in push(); each returns false
+/// with its Admission intact, so the caller resolves the promise with a
+/// typed ShuttingDown rejection — never a silent drop or a broken
+/// promise. Items already queued at close() still drain through pop().
 class AdmissionQueue {
 public:
   explicit AdmissionQueue(size_t Capacity);
 
-  /// Enqueues, blocking while the queue is full. Returns false (without
-  /// enqueueing) once the queue is closed.
-  bool push(Admission A);
-  /// Non-blocking enqueue; false when full or closed.
+  /// Enqueues, blocking while the queue is full. On success \p A is
+  /// moved from; on failure (queue closed — the only failure) \p A is
+  /// left intact so the caller can resolve its promise.
+  bool push(Admission &A);
+  /// Non-blocking enqueue; false (A intact) when full or closed.
   bool tryPush(Admission &A);
-  /// Dequeues, blocking while the queue is empty. Returns false only
-  /// when the queue is closed AND drained.
+  /// Dequeues the earliest-deadline item, blocking while the queue is
+  /// empty. Returns false only when the queue is closed AND drained.
   bool pop(Admission *Out);
   /// Non-blocking dequeue; false when empty.
   bool tryPop(Admission *Out);
@@ -119,7 +179,8 @@ private:
   const size_t Cap;
   mutable std::mutex Mu;
   std::condition_variable NotFull, NotEmpty;
-  std::deque<Admission> Items;
+  /// Min-heap on (Req.Deadline, Seq) via std::push_heap/pop_heap.
+  std::vector<Admission> Items;
   bool Closed = false;
 };
 
@@ -142,8 +203,15 @@ public:
 
   /// Reserves a source slot on the least-loaded shard, blocking while
   /// every shard is saturated (woken by retire() — retirement backfill).
-  /// Returns the chosen shard id.
+  /// Returns the chosen shard id, or -1 once the shutdownAt() deadline
+  /// has passed (drain: the dispatcher must stop waiting for capacity
+  /// and resolve the request as ShuttingDown instead of deadlocking
+  /// against shards that are force-aborting their rows).
   int placeBlocking();
+  /// Arms the drain deadline: placeBlocking() calls at or after \p D
+  /// fail fast with -1, and a placement already blocked on capacity is
+  /// woken at \p D. Idempotent; earlier deadlines win.
+  void shutdownAt(std::chrono::steady_clock::time_point D);
   /// Out-of-band reservation on a SPECIFIC shard (a shard readmitting an
   /// attach whose target already retired). Never blocks; the shard's
   /// pending queue may transiently exceed its slot count — decode rows
@@ -166,6 +234,9 @@ private:
   int PerShard;
   /// Live source key -> owning shard (single-flight).
   std::unordered_map<std::string, int> Live;
+  /// Drain deadline; placements past it fail with -1. max() = none.
+  std::chrono::steady_clock::time_point ShutdownAt =
+      std::chrono::steady_clock::time_point::max();
 };
 
 /// Freelist of decode-batch segment ids [0, N): the engine's row

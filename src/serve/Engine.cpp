@@ -7,6 +7,8 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <stdexcept>
+#include <thread>
 
 using namespace slade;
 using namespace slade::serve;
@@ -17,6 +19,11 @@ using Clock = std::chrono::steady_clock;
 
 double secondsSince(Clock::time_point T0) {
   return std::chrono::duration<double>(Clock::now() - T0).count();
+}
+
+Clock::duration secondsToDuration(double S) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(S));
 }
 
 /// Percentile over sorted samples (nearest-rank).
@@ -62,15 +69,46 @@ LatencyStats slade::serve::latencyStatsOf(std::vector<double> Samples) {
   return S;
 }
 
-/// One request's completion channel: who to tell, and when it arrived.
+/// One request's completion channel: who to tell, when it arrived, when
+/// it must be done, and how to tell it is no longer wanted.
 struct Engine::Completion {
   std::string Name;
   const core::EvalTask *Task = nullptr;
   std::promise<RequestResult> Promise;
   std::function<void(const RequestResult &)> OnDone;
+  std::shared_ptr<std::atomic<bool>> Cancel;
   Clock::time_point SubmitTime;
+  Clock::time_point Deadline = Clock::time_point::max();
+  uint64_t Seq = 0; ///< Submit order: fault-injection id.
   double QueueWait = 0;
   bool Shared = false; ///< Shared >= 1 decode tick with another source.
+
+  /// Why this completion can no longer be served — or Ok while it can.
+  /// Cancellation wins over expiry when both hold (the client asked
+  /// first). This is the CANCELLATION POINTS' shared predicate; it is
+  /// checked at submit, at dispatch, on the shard pre-admission sweep,
+  /// on every shard tick, and between verify candidates.
+  RequestStatus deadStatus(Clock::time_point Now) const {
+    if (Cancel && Cancel->load(std::memory_order_acquire))
+      return RequestStatus::Cancelled;
+    if (Now >= Deadline)
+      return RequestStatus::DeadlineExpired;
+    return RequestStatus::Ok;
+  }
+
+  /// Moves an admission's routing-independent fields into a Completion.
+  static Completion fromAdmission(Admission &&A) {
+    Completion C;
+    C.Name = std::move(A.Req.Name);
+    C.Task = A.Req.Task;
+    C.Promise = std::move(A.Promise);
+    C.OnDone = std::move(A.OnDone);
+    C.Cancel = std::move(A.Cancel);
+    C.SubmitTime = A.SubmitTime;
+    C.Deadline = A.Req.Deadline;
+    C.Seq = A.Seq;
+    return C;
+  }
 };
 
 /// One live source in a shard's continuous batch: its segment, its
@@ -138,9 +176,10 @@ struct Engine::Shard {
 };
 
 Engine::Engine(const core::Decompiler &D, const EngineOptions &Opts)
-    : D(D), Opts(Opts), Queue(Opts.QueueCapacity),
+    : D(D), Opts(Opts), Injector(Opts.Faults), Queue(Opts.QueueCapacity),
       Router(resolveShardCount(Opts.Shards),
-             std::max(1, Opts.MaxLiveSources)) {
+             std::max(1, Opts.MaxLiveSources)),
+      DrainAtRaw(Clock::time_point::max().time_since_epoch().count()) {
   assert(this->Opts.MaxLiveSources > 0 && "need at least one decode row");
   const int N = resolveShardCount(Opts.Shards);
   this->Opts.Shards = N; // options() reports the resolved count.
@@ -160,11 +199,23 @@ Engine::Engine(const core::Decompiler &D, const EngineOptions &Opts)
 
 Engine::~Engine() { stop(); }
 
-void Engine::stop() {
-  std::call_once(StopOnce, [this] {
-    Queue.close();
-    // The dispatcher drains the queue, routes everything, then flips
-    // DispatchDone; shards finish their jobs and pending work and exit.
+void Engine::stop() { shutdownImpl(Clock::time_point::max()); }
+
+void Engine::drain(Clock::time_point Deadline) { shutdownImpl(Deadline); }
+
+void Engine::shutdownImpl(Clock::time_point Deadline) {
+  std::call_once(StopOnce, [this, Deadline] {
+    auto T0 = Clock::now();
+    // Arm the drain deadline BEFORE closing the queue: once pushes start
+    // failing, every path that sheds work already sees the deadline.
+    DrainAtRaw.store(Deadline.time_since_epoch().count(),
+                     std::memory_order_release);
+    Router.shutdownAt(Deadline); // Unblocks a capacity-waiting placement.
+    Queue.close(); // Wakes blocked producers -> typed ShuttingDown.
+    // The dispatcher drains the queue (past the deadline it sheds
+    // instead of placing), routes everything, then flips DispatchDone;
+    // shards finish — or, past the deadline, force-resolve — their jobs
+    // and pending work and exit.
     if (DispatchThread.joinable())
       DispatchThread.join();
     for (std::unique_ptr<Shard> &S : ShardsVec)
@@ -172,6 +223,8 @@ void Engine::stop() {
         S->Thread.join();
     if (Pool)
       Pool->wait();
+    std::lock_guard<std::mutex> Lock(MetricsMu);
+    DrainMs = secondsSince(T0) * 1000.0;
   });
 }
 
@@ -184,15 +237,18 @@ ThreadPool &Engine::verifyPool() {
   return *Pool;
 }
 
-std::future<RequestResult>
-Engine::submitImpl(DecompileRequest R,
-                   std::function<void(const RequestResult &)> OnDone,
-                   bool Block, bool *Accepted) {
+Handle Engine::submitImpl(DecompileRequest R,
+                          std::function<void(const RequestResult &)> OnDone,
+                          bool Block, bool *Accepted) {
   Admission A;
   A.Req = std::move(R);
   A.OnDone = std::move(OnDone);
   A.SubmitTime = Clock::now();
-  std::future<RequestResult> Fut = A.Promise.get_future();
+  A.Seq = SeqCounter.fetch_add(1, std::memory_order_relaxed);
+  A.Cancel = std::make_shared<std::atomic<bool>>(false);
+  Handle H;
+  H.Fut = A.Promise.get_future();
+  H.CancelFlag = A.Cancel;
   // Count BEFORE the push: once pushed, an engine thread may complete
   // the request at any moment, and Completed must never overtake
   // Submitted (drain() would return with work in flight).
@@ -200,38 +256,58 @@ Engine::submitImpl(DecompileRequest R,
     std::lock_guard<std::mutex> Lock(MetricsMu);
     ++Submitted;
   }
-  bool Ok = Block ? Queue.push(std::move(A)) : Queue.tryPush(A);
+  // Shed pre-expired work at the door: no queue slot, no dispatch.
+  if (A.SubmitTime >= A.Req.Deadline) {
+    if (Accepted)
+      *Accepted = true; // Resolved (typed), not silently dropped.
+    completeEmpty(Completion::fromAdmission(std::move(A)),
+                  RequestStatus::DeadlineExpired);
+    return H;
+  }
+  if (Block) {
+    bool Ok = Opts.BlockOnFull ? Queue.push(A) : Queue.tryPush(A);
+    if (!Ok) {
+      // Typed rejection — the promise RESOLVES (QueueFull under load
+      // shedding, ShuttingDown when the engine closed the queue), so no
+      // future from submit() ever carries broken_promise.
+      completeEmpty(Completion::fromAdmission(std::move(A)),
+                    Queue.closed() ? RequestStatus::ShuttingDown
+                                   : RequestStatus::QueueFull);
+    }
+    if (Accepted)
+      *Accepted = true;
+    return H;
+  }
+  // trySubmit: a rejected request is UNSUBMITTED (no typed resolution;
+  // the caller still owns the decision), so roll the count back.
+  bool Ok = Queue.tryPush(A);
   if (Accepted)
     *Accepted = Ok;
   if (!Ok) {
     {
       std::lock_guard<std::mutex> Lock(MetricsMu);
-      --Submitted; // Rejected: roll the count back.
+      --Submitted;
     }
     DrainCv.notify_all(); // Re-check any drain() blocked on the count.
   }
-  // On failure the promise (still held by A) is destroyed unfulfilled,
-  // so a blocking caller's future carries broken_promise.
-  return Fut;
+  return H;
 }
 
-std::future<RequestResult> Engine::submit(DecompileRequest R) {
+Handle Engine::submit(DecompileRequest R) {
   return submitImpl(std::move(R), nullptr, /*Block=*/true, nullptr);
 }
 
-std::future<RequestResult>
-Engine::submit(DecompileRequest R,
-               std::function<void(const RequestResult &)> OnDone) {
+Handle Engine::submit(DecompileRequest R,
+                      std::function<void(const RequestResult &)> OnDone) {
   return submitImpl(std::move(R), std::move(OnDone), /*Block=*/true,
                     nullptr);
 }
 
-bool Engine::trySubmit(DecompileRequest R, std::future<RequestResult> *Out) {
+bool Engine::trySubmit(DecompileRequest R, Handle *Out) {
   bool Accepted = false;
-  std::future<RequestResult> Fut =
-      submitImpl(std::move(R), nullptr, /*Block=*/false, &Accepted);
+  Handle H = submitImpl(std::move(R), nullptr, /*Block=*/false, &Accepted);
   if (Accepted && Out)
-    *Out = std::move(Fut);
+    *Out = std::move(H);
   return Accepted;
 }
 
@@ -253,6 +329,15 @@ EngineMetrics Engine::metrics() const {
     M.PeakLiveSources = PeakLiveSources;
     M.EncodeSeconds = EncodeSeconds;
     M.VerifySeconds = VerifySeconds;
+    M.Shed = ShedCount;
+    M.Expired = ExpiredCount;
+    M.Cancelled = CancelledCount;
+    M.ShutDown = ShutDownCount;
+    M.EncodeFailed = EncodeFailedCount;
+    M.VerifyFailed = VerifyFailedCount;
+    M.VerifyTimeouts = VerifyTimeouts;
+    M.VerifyRetries = VerifyRetries;
+    M.DrainMs = DrainMs;
     M.QueueWait = latencyStatsOf(QueueWaitSamples);
     M.Latency = latencyStatsOf(LatencySamples);
   }
@@ -283,12 +368,43 @@ void Engine::completeResult(RequestResult &&Res, Completion &&C) {
     C.OnDone(Res);
   {
     std::lock_guard<std::mutex> Lock(MetricsMu);
-    recordSample(QueueWaitSamples, QueueWaitCursor, C.QueueWait);
-    recordSample(LatencySamples, LatencyCursor, Res.TotalSeconds);
+    switch (Res.Status) {
+    case RequestStatus::Ok:
+      // Served-latency percentiles cover OK requests ONLY: a shed
+      // request resolving in microseconds must not fake a fast p50.
+      recordSample(QueueWaitSamples, QueueWaitCursor, C.QueueWait);
+      recordSample(LatencySamples, LatencyCursor, Res.TotalSeconds);
+      break;
+    case RequestStatus::QueueFull:
+      ++ShedCount;
+      break;
+    case RequestStatus::DeadlineExpired:
+      ++ExpiredCount;
+      break;
+    case RequestStatus::Cancelled:
+      ++CancelledCount;
+      break;
+    case RequestStatus::ShuttingDown:
+      ++ShutDownCount;
+      break;
+    case RequestStatus::EncodeFailed:
+      ++EncodeFailedCount;
+      break;
+    case RequestStatus::VerifyFailed:
+      ++VerifyFailedCount;
+      break;
+    }
     ++Completed;
   }
   C.Promise.set_value(std::move(Res));
   DrainCv.notify_all();
+}
+
+void Engine::completeEmpty(Completion &&C, RequestStatus St) {
+  RequestResult Res;
+  Res.Name = C.Name;
+  Res.Status = St;
+  completeResult(std::move(Res), std::move(C));
 }
 
 /// Appends a latency sample, bounded: once the window is full, new
@@ -315,6 +431,13 @@ void Engine::completeOne(
     std::lock_guard<std::mutex> Lock(MetricsMu);
     ++FusedJobs;
   }
+  // Last pre-payload cancellation point: the decode finished, but the
+  // client may have cancelled or expired while it ran.
+  RequestStatus Dead = C.deadStatus(Clock::now());
+  if (Dead != RequestStatus::Ok) {
+    completeEmpty(std::move(C), Dead);
+    return;
+  }
   if (!C.Task) {
     RequestResult Res;
     Res.Name = C.Name;
@@ -328,18 +451,68 @@ void Engine::completeOne(
   // request, candidates are tried sequentially in beam order with early
   // exit on the first IO pass — exactly Decompiler::decompile's
   // sequential selection, so outcomes are byte-identical to a
-  // one-at-a-time run.
+  // one-at-a-time run whenever no bound fires. Candidate evaluation is
+  // CONTAINED: per-candidate wall-clock timeout, bounded retry for
+  // thrown attempts, and no exception escapes to the pool.
   bool UseTypeInf = Opts.UseTypeInference;
   auto Shared = std::make_shared<Completion>(std::move(C));
   verifyPool().submit([this, UseTypeInf, Shared, Hyps] {
     const tok::Tokenizer &Tok = D.tokenizer();
     auto T0 = Clock::now();
     core::HypothesisOutcome First, Picked;
-    bool HaveFirst = false, Passed = false;
+    bool HaveFirst = false, Passed = false, Degraded = false,
+         AnyFaulted = false;
+    int Cand = 0;
     for (const nn::Hypothesis &H : *Hyps) {
+      // Between-candidate cancellation point: cancel, request deadline,
+      // and the engine drain deadline all cut the verify short with a
+      // typed resolution instead of wedging a worker.
+      RequestStatus Dead = Shared->deadStatus(Clock::now());
+      if (Dead == RequestStatus::Ok && Clock::now() >= drainDeadline())
+        Dead = RequestStatus::ShuttingDown;
+      if (Dead != RequestStatus::Ok) {
+        {
+          std::lock_guard<std::mutex> Lock(MetricsMu);
+          VerifySeconds += secondsSince(T0);
+        }
+        completeEmpty(std::move(*Shared), Dead);
+        return;
+      }
       std::string CSource = Tok.decode(H.Tokens);
-      core::HypothesisOutcome O =
-          core::evaluateHypothesis(*Shared->Task, CSource, UseTypeInf);
+      core::VerifyLimits VL;
+      VL.CandidateTimeoutSeconds = Opts.VerifyCandidateTimeout;
+      VL.MaxRetries = Opts.VerifyMaxRetries;
+      VL.RetryBackoffSeconds = Opts.VerifyRetryBackoff;
+      VL.Deadline = std::min(Shared->Deadline, drainDeadline());
+      if (Injector.enabled()) {
+        uint64_t Seq = Shared->Seq;
+        const FaultInjector *FI = &Injector;
+        VL.BeforeAttempt = [FI, Seq, Cand](int Attempt,
+                                           Clock::time_point CandDl) {
+          if (FI->verifyHangAt(Seq, Cand, Attempt)) {
+            // Hang in slices, honoring the candidate deadline: a
+            // timed-out candidate frees its worker within one slice.
+            auto End =
+                Clock::now() + secondsToDuration(FI->config().HangSeconds);
+            while (Clock::now() < End && Clock::now() < CandDl)
+              std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+          if (FI->verifyThrowAt(Seq, Cand, Attempt))
+            throw std::runtime_error("injected verify fault");
+        };
+      }
+      core::VerifyAttemptStats AS;
+      core::HypothesisOutcome O = core::evaluateHypothesisBounded(
+          *Shared->Task, CSource, UseTypeInf, VL, &AS);
+      if (AS.Retries || AS.TimedOut) {
+        std::lock_guard<std::mutex> Lock(MetricsMu);
+        VerifyRetries += static_cast<uint64_t>(AS.Retries);
+        if (AS.TimedOut)
+          ++VerifyTimeouts;
+      }
+      if (AS.Faulted || AS.TimedOut)
+        Degraded = true; // This candidate gave up: selection may shift.
+      AnyFaulted = AnyFaulted || AS.Faulted;
       if (!HaveFirst) {
         First = O;
         HaveFirst = true;
@@ -349,12 +522,20 @@ void Engine::completeOne(
         Passed = true;
         break;
       }
+      ++Cand;
     }
     RequestResult Res;
     Res.Name = Shared->Name;
     Res.Outcome = Passed ? Picked : First;
     Res.CSource = Res.Outcome.CSource;
     Res.Verified = true;
+    Res.Degraded = Degraded;
+    // A request only FAILS on faults when they may have cost it its
+    // verdict: some candidate faulted out and none passed. A pass after
+    // a contained fault is still Ok (that is the containment working),
+    // though marked Degraded for the byte-identity oracles.
+    Res.Status = (!Passed && AnyFaulted) ? RequestStatus::VerifyFailed
+                                         : RequestStatus::Ok;
     Res.Hyps = *Hyps;
     {
       std::lock_guard<std::mutex> Lock(MetricsMu);
@@ -381,11 +562,14 @@ void Engine::sendToShard(Shard &S, ShardMsg &&Msg) {
   S.Cv.notify_one();
 }
 
-/// The dispatcher: drains the shared queue in arrival order and routes
-/// each request — decode-LRU hit, cross-shard single-flight attach, or
-/// least-loaded placement (blocking while every shard is saturated;
-/// any shard's retirement backfills). Encoding runs HERE, overlapped
-/// with every shard's decode ticks.
+/// The dispatcher: drains the shared queue in EDF order and routes each
+/// request — shedding dead work FIRST (cancelled / expired / past the
+/// drain deadline: typed resolution, no encode, no row) — then
+/// decode-LRU hit, cross-shard single-flight attach, or least-loaded
+/// placement (blocking while every shard is saturated; any shard's
+/// retirement backfills). Encoding runs HERE, overlapped with every
+/// shard's decode ticks, and encode failures are contained to the one
+/// request they strike.
 void Engine::dispatchLoop() {
   const nn::Transformer &Model = D.model();
   nn::BeamConfig BC;
@@ -394,26 +578,34 @@ void Engine::dispatchLoop() {
 
   Admission A;
   while (Queue.pop(&A)) {
-    Completion C;
-    C.Name = std::move(A.Req.Name);
-    C.Task = A.Req.Task;
-    C.Promise = std::move(A.Promise);
-    C.OnDone = std::move(A.OnDone);
-    C.SubmitTime = A.SubmitTime;
+    // fromAdmission moves the completion-channel fields out of A but
+    // leaves the routing payload (Asm/Src/Enc) untouched — take it
+    // after.
+    Completion C = Completion::fromAdmission(std::move(A));
+    DecompileRequest Req = std::move(A.Req);
+    // Shed before ANY work: a request that can no longer be served must
+    // not cost an encode or occupy a decode row.
+    RequestStatus Dead = C.deadStatus(Clock::now());
+    if (Dead == RequestStatus::Ok && Clock::now() >= drainDeadline())
+      Dead = RequestStatus::ShuttingDown;
+    if (Dead != RequestStatus::Ok) {
+      completeEmpty(std::move(C), Dead);
+      continue;
+    }
     if (BC.MaxLen < 1) { // Degenerate config: nothing to decode.
       C.QueueWait = secondsSince(C.SubmitTime);
       completeOne(std::move(C),
                   std::make_shared<std::vector<nn::Hypothesis>>());
       continue;
     }
-    if (A.Req.Src.empty() && !A.Req.Enc) {
+    if (Req.Src.empty() && !Req.Enc) {
       // Task-mode requests may omit the payload: the task carries it.
-      const std::string &Asm = (A.Req.Asm.empty() && A.Req.Task)
-                                   ? A.Req.Task->Prog.TargetAsm
-                                   : A.Req.Asm;
-      A.Req.Src = D.tokenizer().encode(Asm);
+      const std::string &Asm = (Req.Asm.empty() && Req.Task)
+                                   ? Req.Task->Prog.TargetAsm
+                                   : Req.Asm;
+      Req.Src = D.tokenizer().encode(Asm);
     }
-    std::vector<int> Src = std::move(A.Req.Src);
+    std::vector<int> Src = std::move(Req.Src);
     // Decoded-hypotheses LRU, in FRONT of decode: a repeat of an
     // already-finished source — even one that never overlapped the
     // original in flight — completes without occupying a decode row.
@@ -450,13 +642,39 @@ void Engine::dispatchLoop() {
       continue;
     }
     // Fresh source: reserve a slot on the least-loaded shard (blocking
-    // while all shards are full — retirement backfill wakes us), THEN
-    // encode, so the reservation is cheap and the encode overlaps the
-    // shards' ticks.
+    // while all shards are full — retirement backfill wakes us; a drain
+    // deadline unblocks with -1), THEN encode, so the reservation is
+    // cheap and the encode overlaps the shards' ticks.
     int SI = Router.placeBlocking();
+    if (SI < 0) { // Draining: stop placing, shed the rest.
+      completeEmpty(std::move(C), RequestStatus::ShuttingDown);
+      continue;
+    }
+    // The wait for capacity may have been long: re-check before paying
+    // for the encode, releasing the just-reserved slot on shed.
+    Dead = C.deadStatus(Clock::now());
+    if (Dead != RequestStatus::Ok) {
+      Router.retire(std::string(), SI);
+      completeEmpty(std::move(C), Dead);
+      continue;
+    }
     auto T0 = Clock::now();
-    std::shared_ptr<const nn::Transformer::EncoderCache> Enc =
-        A.Req.Enc ? std::move(A.Req.Enc) : D.encodeCached(Src);
+    std::shared_ptr<const nn::Transformer::EncoderCache> Enc;
+    try {
+      if (Injector.enabled() && Injector.encodeThrowAt(C.Seq))
+        throw std::runtime_error("injected encode fault");
+      Enc = Req.Enc ? std::move(Req.Enc) : D.encodeCached(Src);
+    } catch (...) {
+      // Containment: the fault resolves THIS request; the reserved slot
+      // returns to the router and the dispatcher keeps serving.
+      Router.retire(std::string(), SI);
+      {
+        std::lock_guard<std::mutex> Lock(MetricsMu);
+        EncodeSeconds += secondsSince(T0);
+      }
+      completeEmpty(std::move(C), RequestStatus::EncodeFailed);
+      continue;
+    }
     {
       std::lock_guard<std::mutex> Lock(MetricsMu);
       EncodeSeconds += secondsSince(T0);
@@ -480,9 +698,12 @@ void Engine::dispatchLoop() {
 
 /// One shard's decode loop: admit from the inbox into recycled
 /// segments, run one fused stepDecodeBatch per tick over the live rows,
-/// retire finished sources mid-flight. No cross-shard synchronization
-/// on the tick — only the inbox swap and per-request completion
-/// bookkeeping take locks.
+/// retire finished sources mid-flight. Every tick starts with a
+/// cancellation sweep: rows whose every client cancelled or expired are
+/// ABORTED (their K/V segment recycled for queued work) before the next
+/// admission pass, so dead work never outcompetes live work for
+/// capacity. No cross-shard synchronization on the tick — only the
+/// inbox swap and per-request completion bookkeeping take locks.
 void Engine::shardLoop(Shard &S) {
   const nn::Transformer &Model = D.model();
   const int Vocab = Model.config().Vocab;
@@ -503,6 +724,58 @@ void Engine::shardLoop(Shard &S) {
   nn::beamcore::SelectScratch Scratch;
   std::vector<float> Logits;
   std::vector<int> Tokens, SrcIdx;
+  uint64_t Tick = 0; ///< This shard's tick number (fault-injection id).
+
+  // Releases a LIVE job's row state without finishing it: aborts its
+  // rows in the decode state, frees its segment for recycling, and
+  // drops its router slot/key.
+  auto AbortJobRow = [&](Job &J) {
+    Model.abortStreamSegment(St, J.Seg);
+    Slots.release(J.Seg);
+    Router.retire(J.Registered ? J.SrcKey : std::string(), S.Index);
+    std::lock_guard<std::mutex> Lock(MetricsMu);
+    --LiveSources;
+  };
+
+  // The per-tick cancellation sweep. Dead attached completions resolve
+  // individually; a dead Main promotes the oldest live attached
+  // completion (the decode is still wanted — someone is waiting on it);
+  // a job with NO live client left aborts its row entirely, recycling
+  // the segment for queued work in the SAME iteration's admission pass.
+  // With Force set every completion resolves as \p ForceSt regardless
+  // of its own state (the drain-deadline path).
+  auto SweepJobs = [&](bool Force, RequestStatus ForceSt) {
+    if (Jobs.empty())
+      return;
+    auto Now = Clock::now();
+    size_t Keep = 0;
+    for (size_t JI = 0; JI < Jobs.size(); ++JI) {
+      Job &J = *Jobs[JI];
+      size_t AKeep = 0;
+      for (size_t AI = 0; AI < J.Attached.size(); ++AI) {
+        RequestStatus St2 =
+            Force ? ForceSt : J.Attached[AI].deadStatus(Now);
+        if (St2 != RequestStatus::Ok)
+          completeEmpty(std::move(J.Attached[AI]), St2);
+        else
+          J.Attached[AKeep++] = std::move(J.Attached[AI]);
+      }
+      J.Attached.resize(AKeep);
+      RequestStatus MainSt = Force ? ForceSt : J.Main.deadStatus(Now);
+      if (MainSt != RequestStatus::Ok) {
+        completeEmpty(std::move(J.Main), MainSt);
+        if (!J.Attached.empty()) {
+          J.Main = std::move(J.Attached.front());
+          J.Attached.erase(J.Attached.begin());
+        } else {
+          AbortJobRow(J);
+          continue; // Job dropped.
+        }
+      }
+      Jobs[Keep++] = std::move(Jobs[JI]);
+    }
+    Jobs.resize(Keep);
+  };
 
   // Binds an admission into a freed segment; false = weight-version
   // mismatch with the live rows (the caller keeps it pending until this
@@ -541,14 +814,44 @@ void Engine::shardLoop(Shard &S) {
     return true;
   };
 
-  // Routes every pending message: attaches merge into live jobs,
-  // pending admissions of the same source, the decode LRU, or (rarely)
-  // readmit; admissions bind to segments in arrival order.
+  // Routes every pending message: dead requests shed (covering the
+  // deadline-expired-between-dispatch-and-admission window), attaches
+  // merge into live jobs, pending admissions of the same source, the
+  // decode LRU, or (rarely) readmit; admissions bind to segments in
+  // arrival order.
   auto ProcessPending = [&] {
     bool AdmitBlocked = false;
     size_t Keep = 0;
     for (size_t MI = 0; MI < Pending.size(); ++MI) {
       ShardMsg &M = Pending[MI];
+      auto Now = Clock::now();
+      // Shed dead work before it binds a row. An admission that dies
+      // here promotes a live duplicate (same semantics as the job
+      // sweep); with none left it returns its reserved router slot.
+      {
+        size_t AKeep = 0;
+        for (size_t AI = 0; AI < M.Attached.size(); ++AI) {
+          RequestStatus ASt = M.Attached[AI].deadStatus(Now);
+          if (ASt != RequestStatus::Ok)
+            completeEmpty(std::move(M.Attached[AI]), ASt);
+          else
+            M.Attached[AKeep++] = std::move(M.Attached[AI]);
+        }
+        M.Attached.resize(AKeep);
+        RequestStatus MSt = M.C.deadStatus(Now);
+        if (MSt != RequestStatus::Ok) {
+          completeEmpty(std::move(M.C), MSt);
+          if (!M.Attached.empty()) {
+            M.C = std::move(M.Attached.front());
+            M.Attached.erase(M.Attached.begin());
+          } else {
+            if (!M.Attach)
+              Router.retire(M.Registered ? M.SrcKey : std::string(),
+                            S.Index);
+            continue; // Message dropped, typed resolutions sent.
+          }
+        }
+      }
       if (M.Attach) {
         // Attach to the live job decoding this source...
         Job *Tgt = nullptr;
@@ -615,6 +918,21 @@ void Engine::shardLoop(Shard &S) {
     Pending.resize(Keep);
   };
 
+  // Force-resolves EVERYTHING this shard holds as ShuttingDown (the
+  // drain deadline passed): pending messages, then live jobs.
+  auto ForceShedAll = [&] {
+    for (ShardMsg &M : Pending) {
+      for (Completion &AC : M.Attached)
+        completeEmpty(std::move(AC), RequestStatus::ShuttingDown);
+      if (!M.Attach)
+        Router.retire(M.Registered ? M.SrcKey : std::string(), S.Index);
+      completeEmpty(std::move(M.C), RequestStatus::ShuttingDown);
+    }
+    Pending.clear();
+    SweepJobs(/*Force=*/true, RequestStatus::ShuttingDown);
+    assert(Jobs.empty() && "forced sweep leaves no jobs");
+  };
+
   for (;;) {
     // -- gather routed work; block only when fully idle ---------------------
     {
@@ -632,6 +950,17 @@ void Engine::shardLoop(Shard &S) {
     }
     for (ShardMsg &M : Local)
       Pending.push_back(std::move(M));
+    // -- drain deadline: force-resolve local work, exit when routed dry -----
+    if (Clock::now() >= drainDeadline()) {
+      ForceShedAll();
+      // Loop back to the idle wait: late inbox messages (the dispatcher
+      // is still shedding the queue) force-shed too; once DispatchDone
+      // and the inbox is dry, the wait above returns us out.
+      continue;
+    }
+    // -- cancellation sweep BEFORE admission: aborted rows free their -------
+    // -- segments for this same iteration's ProcessPending ------------------
+    SweepJobs(/*Force=*/false, RequestStatus::Ok);
     ProcessPending();
     if (Jobs.empty())
       continue; // Everything attached/completed; re-block on the inbox.
@@ -646,6 +975,10 @@ void Engine::shardLoop(Shard &S) {
     bump(S.DecodeSeconds, secondsSince(T0));
     bump(S.Steps, 1);
     bump(S.StepRows, Tokens.size());
+    ++Tick;
+    if (Injector.enabled() && Injector.slowTickAt(S.Index, Tick))
+      std::this_thread::sleep_for(
+          secondsToDuration(Injector.config().SlowTickSeconds));
 
     // -- per-source selection; finished sources retire mid-flight ----------
     const bool Multi = Jobs.size() > 1;

@@ -8,9 +8,12 @@
 /// cross-shard synchronization on the hot tick. A dispatcher thread
 /// drains the shared bounded AdmissionQueue and routes each request:
 ///
-///   submit() ──▶ AdmissionQueue (bounded; full queue = backpressure)
+///   submit() ──▶ AdmissionQueue (bounded, earliest-deadline-first;
+///                full queue = backpressure, or typed QueueFull
+///                rejection in load-shedding mode)
 ///                     │
-///                     ▼ dispatcher (arrival order)
+///                     ▼ dispatcher (EDF order; expired/cancelled work
+///                       is shed HERE, before any encode)
 ///        ┌─ decoded-hypotheses LRU hit? ──▶ complete (decode skipped)
 ///        ├─ source live on ANY shard? ────▶ attach (single-flight)
 ///        └─ place on least-loaded shard (blocks when all shards full;
@@ -20,30 +23,41 @@
 ///   shard loops:  [rows][rows] ... one stepDecodeBatch per tick each;
 ///                 finished sources retire mid-flight, results feed the
 ///                 decode LRU, freed segments recycle for the next
-///                 admission
+///                 admission. A row whose every client cancelled or
+///                 expired is ABORTED mid-decode and its segment
+///                 recycled immediately.
 ///                     │
 ///                     ▼
-///   verify pool:  compile + IO-test candidates in beam order —
-///                 overlapped with ongoing decode on every shard
+///   verify pool:  compile + IO-test candidates in beam order — with
+///                 per-candidate wall-clock timeouts, bounded retry for
+///                 transient faults, and full exception containment
 ///                     │
 ///                     ▼
-///   future / callback completes (RequestResult)
+///   future / callback completes (RequestResult with a typed
+///   RequestStatus — every submitted request resolves exactly once)
 ///
-/// Determinism contract: per-request outputs are byte-identical to a
+/// Determinism contract: per-request OK outputs are byte-identical to a
 /// solo nn::beamSearch on that request's source AT EVERY SHARD COUNT —
 /// per-row step results are independent of which other rows share a
 /// shard's batch AND of their decode positions (each source carries its
 /// own clock; see BatchDecodeState::SegLen), the per-source selection
 /// logic is the shared nn/BeamCore.h code, and a decode-LRU hit returns
 /// a result that deterministic decode already produced. Arrival order,
-/// placement, and row recycling cannot change any request's result,
-/// only its latency.
+/// placement, row recycling, and row ABORTS cannot change any other
+/// request's result, only its latency.
+///
+/// Failure domains (docs/ARCHITECTURE.md "failure domains & request
+/// lifecycle"): a fault is contained to the REQUEST it strikes — an
+/// encode throw, a verify throw/hang/timeout, a cancellation, or an
+/// expired deadline resolves that request with a typed status and never
+/// takes down the dispatcher, a shard, or the verify pool.
 ///
 //===----------------------------------------------------------------------===//
 #ifndef SLADE_SERVE_ENGINE_H
 #define SLADE_SERVE_ENGINE_H
 
 #include "serve/AdmissionQueue.h"
+#include "serve/FaultInjector.h"
 
 #include <atomic>
 #include <condition_variable>
@@ -84,8 +98,27 @@ struct EngineOptions {
   /// keep their "every unique source decodes" meaning.
   bool UseDecodeCache = true;
   /// Admission queue bound. When every shard is full AND QueueCapacity
-  /// requests are waiting, submit() blocks — backpressure.
+  /// requests are waiting, submit() blocks (BlockOnFull) or sheds.
   size_t QueueCapacity = 256;
+  /// Admission policy at a full queue: true (default) = submit() blocks
+  /// until space frees — backpressure for trusted batch producers.
+  /// false = LOAD SHEDDING: submit() never blocks; at a full queue the
+  /// request resolves immediately with RequestStatus::QueueFull, so an
+  /// overloaded engine keeps serving what it admitted within their
+  /// deadlines instead of queueing unbounded latency.
+  bool BlockOnFull = true;
+  /// Per-candidate verify wall-clock budget in seconds, spanning the
+  /// candidate's retries (0 = unbounded). Cooperative — see
+  /// core::VerifyLimits.
+  double VerifyCandidateTimeout = 0;
+  /// Retries for THROWN (transient) verify attempts; deterministic
+  /// compile failures are outcomes and never retry.
+  int VerifyMaxRetries = 0;
+  /// Backoff before each verify retry, seconds.
+  double VerifyRetryBackoff = 0.01;
+  /// Deterministic fault injection (serve/FaultInjector.h). Default-off:
+  /// all probabilities zero.
+  FaultConfig Faults;
 };
 
 /// The shard count an options value resolves to: the value itself when
@@ -114,12 +147,17 @@ struct ShardUtil {
 };
 
 /// Aggregate engine counters. Percentiles are computed over a bounded
-/// window of recently completed requests (the last 65536; everything
-/// since construction until the window first fills). Steps / StepRows /
-/// DecodeSeconds are sums over the per-shard accumulators in Shards.
+/// window of recently completed OK requests (the last 65536); shed /
+/// expired / cancelled resolutions never pollute the served-latency
+/// picture. Steps / StepRows / DecodeSeconds are sums over the
+/// per-shard accumulators in Shards.
+///
+/// Accounting invariant (asserted by the fault soak test): Completed ==
+/// Submitted after a drain, and Completed == Ok-completions + Shed +
+/// Expired + Cancelled + ShutDown + EncodeFailed + VerifyFailed.
 struct EngineMetrics {
   size_t Submitted = 0;
-  size_t Completed = 0;
+  size_t Completed = 0; ///< Every typed resolution, any status.
   uint64_t Steps = 0;    ///< Fused decode ticks, all shards.
   uint64_t StepRows = 0; ///< Beam rows stepped, summed over ticks.
   /// Requests that shared at least one decode tick with another source
@@ -139,9 +177,46 @@ struct EngineMetrics {
   double EncodeSeconds = 0; ///< Encoder passes at dispatch (LRU misses).
   double DecodeSeconds = 0; ///< Time inside stepDecodeBatch ticks.
   double VerifySeconds = 0; ///< Summed pool verify time (overlapped).
-  LatencyStats QueueWait; ///< submit() -> admission into a decode row.
-  LatencyStats Latency;   ///< submit() -> completion (end to end).
+  // -- typed-outcome counters (the overload/robustness picture) ----------
+  size_t Shed = 0;         ///< QueueFull rejections (load-shedding mode).
+  size_t Expired = 0;      ///< DeadlineExpired resolutions (any stage).
+  size_t Cancelled = 0;    ///< Cancelled resolutions (any stage).
+  size_t ShutDown = 0;     ///< ShuttingDown resolutions (drain/stop).
+  size_t EncodeFailed = 0; ///< Contained dispatcher encode failures.
+  size_t VerifyFailed = 0; ///< Verify faults that survived the retries.
+  uint64_t VerifyTimeouts = 0; ///< Candidates cut by the verify timeout.
+  uint64_t VerifyRetries = 0;  ///< Transient verify attempts retried.
+  double DrainMs = 0; ///< Wall ms the terminal drain()/stop() took.
+  LatencyStats QueueWait; ///< submit() -> decode-row admission, OK only.
+  LatencyStats Latency;   ///< submit() -> completion, OK requests only.
   std::vector<ShardUtil> Shards; ///< Per-shard utilization.
+};
+
+/// A submitted request: the result future plus a cancel flag shared
+/// with the engine. cancel() is safe from any thread, in any request
+/// state — queued, encoding, live on a shard, or in verify — and is a
+/// REQUEST: the engine resolves the future (exactly once) with
+/// RequestStatus::Cancelled at the next cancellation point, aborting a
+/// live decode row mid-flight and recycling its segment. Cancelling a
+/// request that already resolved is a no-op.
+class Handle {
+public:
+  Handle() = default;
+
+  bool valid() const { return Fut.valid(); }
+  void cancel() {
+    if (CancelFlag)
+      CancelFlag->store(true, std::memory_order_release);
+  }
+  RequestResult get() { return Fut.get(); }
+  void wait() const { Fut.wait(); }
+  /// The underlying future, for wait_for/when_any composition.
+  std::future<RequestResult> &future() { return Fut; }
+
+private:
+  friend class Engine;
+  std::future<RequestResult> Fut;
+  std::shared_ptr<std::atomic<bool>> CancelFlag;
 };
 
 /// The sharded streaming serve engine. Construction starts the
@@ -156,29 +231,39 @@ public:
   Engine(const Engine &) = delete;
   Engine &operator=(const Engine &) = delete;
 
-  /// Submits a request; blocks while the admission queue is full
-  /// (backpressure). The future completes when the request finishes; it
-  /// carries a broken-promise exception if the engine stops first.
-  std::future<RequestResult> submit(DecompileRequest R);
+  /// Submits a request. With BlockOnFull (default) this blocks while
+  /// the admission queue is full (backpressure); in load-shedding mode
+  /// it returns immediately, the handle resolving with QueueFull when
+  /// the queue had no room. The returned handle's future ALWAYS
+  /// resolves with a typed RequestResult — on overload, expiry,
+  /// cancellation, faults, and shutdown alike (never broken_promise).
+  Handle submit(DecompileRequest R);
 
   /// Callback form: \p OnDone runs on an engine thread (dispatcher,
   /// shard, or verify worker) just before the future completes. Keep it
   /// cheap.
-  std::future<RequestResult> submit(DecompileRequest R,
-                                    std::function<void(const RequestResult &)>
-                                        OnDone);
+  Handle submit(DecompileRequest R,
+                std::function<void(const RequestResult &)> OnDone);
 
-  /// Non-blocking submit: false (request untouched aside from move) when
-  /// the queue is full or the engine is stopped.
-  bool trySubmit(DecompileRequest R, std::future<RequestResult> *Out);
+  /// Non-blocking submit: false (request untouched aside from move)
+  /// when the queue is full or the engine is stopped; nothing resolves.
+  bool trySubmit(DecompileRequest R, Handle *Out);
 
   /// Blocks until every request submitted so far has completed. The
   /// queue stays open; more requests may be submitted after.
   void drain();
 
-  /// Closes the queue, finishes all in-flight + queued requests, joins
-  /// the dispatcher and every shard thread, and waits out the verify
-  /// pool. Idempotent.
+  /// GRACEFUL DRAIN, the weight-hot-swap primitive: stops admissions
+  /// (later submits resolve ShuttingDown), lets in-flight rows and
+  /// queued work finish until \p Deadline, then force-resolves whatever
+  /// remains as ShuttingDown — every future resolves either way — and
+  /// joins all engine threads. Terminal and idempotent (a later stop()
+  /// is a no-op); metrics().DrainMs records the wall time.
+  void drain(std::chrono::steady_clock::time_point Deadline);
+
+  /// drain() with no deadline: closes the queue, finishes ALL in-flight
+  /// + queued requests, joins the dispatcher and every shard thread,
+  /// and waits out the verify pool. Idempotent.
   void stop();
 
   const EngineOptions &options() const { return Opts; }
@@ -201,14 +286,23 @@ private:
   void completeOne(Completion &&C,
                    std::shared_ptr<const std::vector<nn::Hypothesis>> Hyps);
   void completeResult(RequestResult &&Res, Completion &&C);
+  /// Typed no-payload resolution (shed / expired / cancelled / failed).
+  void completeEmpty(Completion &&C, RequestStatus St);
   void recordSample(std::vector<double> &Samples, size_t &Cursor, double V);
-  std::future<RequestResult>
-  submitImpl(DecompileRequest R,
-             std::function<void(const RequestResult &)> OnDone, bool Block,
-             bool *Accepted);
+  Handle submitImpl(DecompileRequest R,
+                    std::function<void(const RequestResult &)> OnDone,
+                    bool Block, bool *Accepted);
+  void shutdownImpl(std::chrono::steady_clock::time_point Deadline);
+  /// The armed drain deadline (time_point::max() while fully open).
+  std::chrono::steady_clock::time_point drainDeadline() const {
+    return std::chrono::steady_clock::time_point(
+        std::chrono::steady_clock::duration(
+            DrainAtRaw.load(std::memory_order_acquire)));
+  }
 
   const core::Decompiler &D;
   EngineOptions Opts;
+  FaultInjector Injector;
   AdmissionQueue Queue;
   ShardRouter Router;
 
@@ -230,6 +324,15 @@ private:
   size_t PeakLiveSources = 0;
   double EncodeSeconds = 0;
   double VerifySeconds = 0;
+  size_t ShedCount = 0;
+  size_t ExpiredCount = 0;
+  size_t CancelledCount = 0;
+  size_t ShutDownCount = 0;
+  size_t EncodeFailedCount = 0;
+  size_t VerifyFailedCount = 0;
+  uint64_t VerifyTimeouts = 0;
+  uint64_t VerifyRetries = 0;
+  double DrainMs = 0;
   /// Bounded windows of recent per-request samples (ring once full), so
   /// a long-lived engine's memory and metrics() cost stay fixed.
   static constexpr size_t MaxLatencySamples = 1 << 16;
@@ -237,6 +340,12 @@ private:
   std::vector<double> LatencySamples;
   size_t QueueWaitCursor = 0;
   size_t LatencyCursor = 0;
+
+  /// Engine-wide submit sequence: EDF tiebreak + fault-injection id.
+  std::atomic<uint64_t> SeqCounter{0};
+  /// Drain deadline as raw steady_clock duration ticks (so shards can
+  /// poll it lock-free every tick); max() until drain()/stop() arms it.
+  std::atomic<long long> DrainAtRaw;
 
   std::once_flag StopOnce;
   /// Set by the dispatcher after the queue is closed, drained, and every

@@ -1,0 +1,30 @@
+//===- FaultInjector.cpp - deterministic serve-stage fault injection ----------===//
+
+#include "serve/FaultInjector.h"
+
+using namespace slade;
+using namespace slade::serve;
+
+namespace {
+
+/// splitmix64 finalizer: full-avalanche mix of one 64-bit word.
+uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+} // namespace
+
+bool FaultInjector::decide(uint64_t Stage, uint64_t IdA, uint64_t IdB,
+                           double P) const {
+  if (P <= 0)
+    return false;
+  if (P >= 1)
+    return true;
+  uint64_t H = mix64(mix64(mix64(C.Seed ^ Stage) ^ IdA) ^ IdB);
+  // Top 53 bits -> uniform double in [0, 1).
+  double U = static_cast<double>(H >> 11) * 0x1.0p-53;
+  return U < P;
+}

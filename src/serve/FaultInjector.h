@@ -1,0 +1,95 @@
+//===- FaultInjector.h - deterministic serve-stage fault injection -*- C++ -*-===//
+///
+/// \file
+/// Seeded, per-stage fault injection for the serve engine's robustness
+/// harness. Compiled in always, default-off (every probability is 0, so
+/// the hot paths pay one `enabled()` bool test); driven by the
+/// `slade-serve --fault-*` flags and the fault soak test.
+///
+/// Decisions are STATELESS AND TIMING-INDEPENDENT: each site hashes
+/// (seed, stage, id) — the id being a deterministic sequence number
+/// (request submit order, shard tick count, candidate+attempt) — so the
+/// same seed faults the same requests no matter how threads interleave.
+/// That is what lets the soak test assert byte-identity for the
+/// non-faulted requests: the faulted SET is reproducible even though the
+/// schedule is not.
+///
+//===----------------------------------------------------------------------===//
+#ifndef SLADE_SERVE_FAULTINJECTOR_H
+#define SLADE_SERVE_FAULTINJECTOR_H
+
+#include <cstdint>
+
+namespace slade {
+namespace serve {
+
+/// Per-stage fault probabilities in [0, 1]; all zero = injection off.
+struct FaultConfig {
+  uint64_t Seed = 0;
+  /// P(the dispatcher's encode of a request throws).
+  double EncodeThrow = 0;
+  /// P(one verify attempt of one candidate throws) — exercises the
+  /// bounded retry-with-backoff path.
+  double VerifyThrow = 0;
+  /// P(one verify attempt of one candidate hangs) — exercises the
+  /// per-candidate wall-clock timeout. The hang sleeps HangSeconds in
+  /// slices, honoring the candidate deadline, so a timed-out candidate
+  /// never wedges a verify worker.
+  double VerifyHang = 0;
+  /// P(a shard tick is artificially slowed by SlowTickSeconds) — widens
+  /// race windows (cancel vs. retirement, deadline vs. admission).
+  double SlowTick = 0;
+  double HangSeconds = 0.05;
+  double SlowTickSeconds = 0.002;
+
+  bool enabled() const {
+    return EncodeThrow > 0 || VerifyThrow > 0 || VerifyHang > 0 ||
+           SlowTick > 0;
+  }
+};
+
+/// Stateless decision function over a FaultConfig: every query hashes
+/// its ids, so calls from any thread in any order agree. Thread-safe by
+/// construction (const, no mutable state).
+class FaultInjector {
+public:
+  FaultInjector() = default;
+  explicit FaultInjector(const FaultConfig &C) : C(C) {}
+
+  bool enabled() const { return C.enabled(); }
+  const FaultConfig &config() const { return C; }
+
+  /// Should the dispatcher's encode of request \p ReqSeq throw?
+  bool encodeThrowAt(uint64_t ReqSeq) const {
+    return decide(0x656e63u, ReqSeq, 0, C.EncodeThrow);
+  }
+  /// Should verify attempt \p Attempt of candidate \p Cand of request
+  /// \p ReqSeq throw / hang? Keyed by all three so retries of a thrown
+  /// attempt can succeed (transient-fault shape).
+  bool verifyThrowAt(uint64_t ReqSeq, int Cand, int Attempt) const {
+    return decide(0x767468u, ReqSeq,
+                  (static_cast<uint64_t>(static_cast<uint32_t>(Cand)) << 8) |
+                      static_cast<uint64_t>(static_cast<uint32_t>(Attempt)),
+                  C.VerifyThrow);
+  }
+  bool verifyHangAt(uint64_t ReqSeq, int Cand, int Attempt) const {
+    return decide(0x766867u, ReqSeq,
+                  (static_cast<uint64_t>(static_cast<uint32_t>(Cand)) << 8) |
+                      static_cast<uint64_t>(static_cast<uint32_t>(Attempt)),
+                  C.VerifyHang);
+  }
+  /// Should shard \p Shard's tick number \p Tick run slow?
+  bool slowTickAt(int Shard, uint64_t Tick) const {
+    return decide(0x746b73u, static_cast<uint64_t>(Shard), Tick, C.SlowTick);
+  }
+
+private:
+  bool decide(uint64_t Stage, uint64_t IdA, uint64_t IdB, double P) const;
+
+  FaultConfig C;
+};
+
+} // namespace serve
+} // namespace slade
+
+#endif // SLADE_SERVE_FAULTINJECTOR_H

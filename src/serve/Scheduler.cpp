@@ -179,21 +179,33 @@ Scheduler::decodeAll(const std::vector<std::vector<int>> &Srcs) {
   std::vector<std::vector<nn::Hypothesis>> Unique(UniqueIdx.size());
   {
     Engine Eng(D, EO);
-    std::vector<std::future<RequestResult>> Futs;
-    Futs.reserve(UniqueIdx.size());
+    std::vector<Handle> Handles;
+    Handles.reserve(UniqueIdx.size());
     for (size_t U = 0; U < UniqueIdx.size(); ++U) {
       DecompileRequest R;
       R.Src = Srcs[UniqueIdx[U]];
       R.Enc = Encs[U];
-      Futs.push_back(Eng.submit(std::move(R)));
+      Handles.push_back(Eng.submit(std::move(R)));
     }
-    for (size_t U = 0; U < UniqueIdx.size(); ++U)
-      Unique[U] = Futs[U].get().Hyps;
+    for (size_t U = 0; U < UniqueIdx.size(); ++U) {
+      // Typed-outcome path: a non-Ok resolution (contained encode
+      // fault, shed, ...) yields empty hypotheses for that source AND
+      // shows up in the run counters below — never an exception, never
+      // a silent mystery.
+      RequestResult Res = Handles[U].get();
+      Unique[U] = std::move(Res.Hyps);
+    }
 
     EngineMetrics EM = Eng.metrics();
     M.EncodeSeconds += EM.EncodeSeconds;
     M.DecodeSeconds += EM.DecodeSeconds;
     M.DecodesFused += EM.FusedJobs;
+    M.RequestsShed += EM.Shed;
+    M.RequestsExpired += EM.Expired;
+    M.RequestsCancelled += EM.Cancelled;
+    M.RequestsFailed += EM.EncodeFailed + EM.VerifyFailed;
+    M.VerifyTimeouts += EM.VerifyTimeouts;
+    M.VerifyRetries += EM.VerifyRetries;
     M.DecodeCacheHits += EM.DecodeCacheHits;
     M.DecodeCacheMisses += EM.DecodeCacheMisses;
     M.DecodeCacheBytes = EM.DecodeCacheBytes;

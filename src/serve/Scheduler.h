@@ -130,6 +130,17 @@ struct ServeMetrics {
   int EngineMaxLive = 0;
   /// Decode shards the engine ran this run.
   int EngineShards = 0;
+  /// Typed non-Ok resolutions observed this run (serve::RequestStatus).
+  /// The batch front submits with no deadlines in blocking mode, so
+  /// these stay 0 on a healthy engine — nonzero values surface engine
+  /// trouble (a contained encode/verify fault, an unexpected shed) in
+  /// the run summary instead of silently yielding empty hypotheses.
+  size_t RequestsShed = 0;      ///< QueueFull rejections.
+  size_t RequestsExpired = 0;   ///< DeadlineExpired resolutions.
+  size_t RequestsCancelled = 0; ///< Cancelled resolutions.
+  size_t RequestsFailed = 0;    ///< EncodeFailed + VerifyFailed.
+  uint64_t VerifyTimeouts = 0;  ///< Candidates cut by a verify timeout.
+  uint64_t VerifyRetries = 0;   ///< Transient verify attempts retried.
   /// Decoded-hypotheses LRU counters. The batch front disables the
   /// cache for its own runs (every unique source decodes, keeping the
   /// run metrics' meaning), so hits here stay 0 — the streaming replay

@@ -756,6 +756,74 @@ TEST(Transformer, StreamingJoinLeaveRecyclingBitExactLogits) {
   EXPECT_EQ(Row(L, 0), Solo[0][0]) << "A again after full drain";
 }
 
+TEST(Transformer, AbortStreamSegmentLeavesSurvivorsBitExact) {
+  // Mid-decode abort of one source's segment (the serve engine's
+  // deadline/cancel retirement path): the survivor's subsequent logits
+  // must stay BIT-IDENTICAL to a decode that never shared a batch with
+  // the aborted source, and the freed segment must be recyclable
+  // immediately.
+  Transformer Model(tinyConfig());
+  std::vector<std::vector<int>> Sources = {
+      {4, 5, 6, 7, 8}, {9, 8, 7}, {30, 2, 17, 21, 11, 12}};
+  std::vector<std::shared_ptr<const Transformer::EncoderCache>> Encs;
+  for (const auto &Src : Sources)
+    Encs.push_back(Model.encodeSource(Src));
+  int Vocab = Model.config().Vocab;
+  auto Row = [&](const std::vector<float> &Logits, int R) {
+    return std::vector<float>(
+        Logits.begin() + static_cast<long>(R) * Vocab,
+        Logits.begin() + static_cast<long>(R + 1) * Vocab);
+  };
+  // Solo oracle for source S: logits of feeding BOS, 3, 4, 5, ...
+  auto SoloLogits = [&](size_t S, int Steps) {
+    Transformer::BatchDecodeState St =
+        Model.startDecodeBatch(Encs[S], 1, Steps + 1);
+    std::vector<std::vector<float>> Out;
+    Out.push_back(Model.stepDecodeBatch(St, {Transformer::BosId}));
+    for (int T = 0; T < Steps - 1; ++T)
+      Out.push_back(Model.stepDecodeBatch(St, {3 + T}));
+    return Out;
+  };
+  std::vector<std::vector<std::vector<float>>> Solo;
+  for (size_t S = 0; S < Sources.size(); ++S)
+    Solo.push_back(SoloLogits(S, 5));
+
+  Transformer::BatchDecodeState St = Model.startDecodeStream(2, 1, 8);
+  ASSERT_EQ(Model.admitStreamRow(St, 0, Encs[0]), 0);
+  ASSERT_EQ(Model.admitStreamRow(St, 1, Encs[1]), 1);
+  std::vector<float> L =
+      Model.stepDecodeBatch(St, {Transformer::BosId, Transformer::BosId});
+  EXPECT_EQ(Row(L, 0), Solo[0][0]) << "A step 0";
+  EXPECT_EQ(Row(L, 1), Solo[1][0]) << "B step 0";
+  L = Model.stepDecodeBatch(St, {3, 3});
+  EXPECT_EQ(Row(L, 0), Solo[0][1]) << "A step 1";
+  EXPECT_EQ(Row(L, 1), Solo[1][1]) << "B step 1";
+
+  // Abort A mid-decode (deadline hit / cancel). B survives in place.
+  Model.abortStreamSegment(St, 0);
+  EXPECT_EQ(St.B, 1);
+  L = Model.stepDecodeBatch(St, {4});
+  EXPECT_EQ(Row(L, 0), Solo[1][2]) << "B step 2 after A aborted";
+
+  // The freed segment recycles immediately for a new source, and both
+  // rows keep their own clocks (C appends after survivor B).
+  ASSERT_EQ(Model.admitStreamRow(St, 0, Encs[2]), 1);
+  L = Model.stepDecodeBatch(St, {5, Transformer::BosId});
+  EXPECT_EQ(Row(L, 0), Solo[1][3]) << "B step 3";
+  EXPECT_EQ(Row(L, 1), Solo[2][0]) << "C step 0 in A's recycled segment";
+  L = Model.stepDecodeBatch(St, {6, 3});
+  EXPECT_EQ(Row(L, 0), Solo[1][4]) << "B step 4";
+  EXPECT_EQ(Row(L, 1), Solo[2][1]) << "C step 1";
+
+  // Aborting a segment with no live rows is a harmless no-op; aborting
+  // every remaining segment drains the batch to zero rows.
+  Model.abortStreamSegment(St, 0);
+  Model.abortStreamSegment(St, 0);
+  EXPECT_EQ(St.B, 1);
+  Model.abortStreamSegment(St, 1);
+  EXPECT_EQ(St.B, 0);
+}
+
 TEST(Transformer, StreamingAdmitRefusesMixedWeightVersions) {
   // A source encoded AFTER a weight update must not join a batch whose
   // live rows decode with the old constants: admitStreamRow returns -1

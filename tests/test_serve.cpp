@@ -238,37 +238,112 @@ TEST(AdmissionQueue, BoundedBackpressureAndClose) {
   serve::AdmissionQueue Q(2);
   serve::Admission A;
   A.Req.Name = "a";
-  ASSERT_TRUE(Q.push(std::move(A)));
+  A.Seq = 0;
+  ASSERT_TRUE(Q.push(A));
   A = serve::Admission();
   A.Req.Name = "b";
-  ASSERT_TRUE(Q.push(std::move(A)));
+  A.Seq = 1;
+  ASSERT_TRUE(Q.push(A));
   EXPECT_EQ(Q.size(), 2u);
   A = serve::Admission();
   A.Req.Name = "c";
+  A.Seq = 2;
   EXPECT_FALSE(Q.tryPush(A)) << "full queue must reject tryPush";
+  EXPECT_EQ(A.Req.Name, "c") << "rejected admission must stay intact";
 
   // A blocked push is released by a pop on another thread (backpressure).
   std::thread Producer([&Q] {
     serve::Admission P;
     P.Req.Name = "c";
-    EXPECT_TRUE(Q.push(std::move(P)));
+    P.Seq = 2;
+    EXPECT_TRUE(Q.push(P));
   });
   serve::Admission Out;
   ASSERT_TRUE(Q.pop(&Out));
-  EXPECT_EQ(Out.Req.Name, "a");
+  EXPECT_EQ(Out.Req.Name, "a") << "no deadlines: FIFO by submit seq";
   Producer.join();
   EXPECT_EQ(Q.size(), 2u);
 
-  // close(): pops drain what remains, pushes fail.
+  // close(): pops drain what remains, pushes fail with the admission
+  // intact (the caller owns the typed rejection).
   Q.close();
   serve::Admission After;
   After.Req.Name = "d";
-  EXPECT_FALSE(Q.push(std::move(After)));
+  After.Seq = 3;
+  EXPECT_FALSE(Q.push(After));
+  EXPECT_EQ(After.Req.Name, "d");
   ASSERT_TRUE(Q.pop(&Out));
   EXPECT_EQ(Out.Req.Name, "b");
   ASSERT_TRUE(Q.pop(&Out));
   EXPECT_EQ(Out.Req.Name, "c");
   EXPECT_FALSE(Q.pop(&Out)) << "closed + drained";
+}
+
+TEST(AdmissionQueue, EarliestDeadlineFirstWithFifoTiebreak) {
+  // Deadlined admissions dequeue earliest-deadline-first ahead of
+  // undeadlined ones; equal deadlines (including the no-deadline
+  // common case) dequeue FIFO by submit sequence — deterministically.
+  auto Now = std::chrono::steady_clock::now();
+  serve::AdmissionQueue Q(8);
+  auto Push = [&](const char *Name, uint64_t Seq,
+                  std::chrono::steady_clock::time_point D) {
+    serve::Admission A;
+    A.Req.Name = Name;
+    A.Req.Deadline = D;
+    A.Seq = Seq;
+    ASSERT_TRUE(Q.tryPush(A));
+  };
+  const auto None = std::chrono::steady_clock::time_point::max();
+  Push("late-fifo-1", 0, None);
+  Push("d200", 1, Now + std::chrono::milliseconds(200));
+  Push("late-fifo-2", 2, None);
+  Push("d100-first", 3, Now + std::chrono::milliseconds(100));
+  Push("d100-second", 4, Now + std::chrono::milliseconds(100));
+  Push("d50", 5, Now + std::chrono::milliseconds(50));
+
+  const char *Expect[] = {"d50",         "d100-first",  "d100-second",
+                          "d200",        "late-fifo-1", "late-fifo-2"};
+  serve::Admission Out;
+  for (const char *Name : Expect) {
+    ASSERT_TRUE(Q.tryPop(&Out));
+    EXPECT_EQ(Out.Req.Name, Name);
+  }
+  EXPECT_FALSE(Q.tryPop(&Out));
+}
+
+TEST(AdmissionQueue, CloseWakesEveryBlockedProducer) {
+  // The shutdown race (satellite of the overload-safety PR): producers
+  // blocked in push() on a FULL queue must ALL wake on close() and
+  // return false with their admissions intact — no silent drop, no
+  // producer left blocked forever, and the already-queued items still
+  // drain through pop().
+  serve::AdmissionQueue Q(1);
+  serve::Admission A;
+  A.Req.Name = "queued";
+  ASSERT_TRUE(Q.push(A));
+
+  constexpr int Blocked = 4;
+  std::atomic<int> Rejected{0};
+  std::vector<std::thread> Producers;
+  for (int P = 0; P < Blocked; ++P)
+    Producers.emplace_back([&Q, &Rejected, P] {
+      serve::Admission B;
+      B.Req.Name = "blocked" + std::to_string(P);
+      if (!Q.push(B)) {
+        EXPECT_EQ(B.Req.Name, "blocked" + std::to_string(P));
+        ++Rejected;
+      }
+    });
+  // Give the producers time to actually block on the full queue.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  Q.close();
+  for (std::thread &T : Producers)
+    T.join(); // Hangs here if close() fails to wake a producer.
+  EXPECT_EQ(Rejected.load(), Blocked);
+  serve::Admission Out;
+  ASSERT_TRUE(Q.pop(&Out)) << "queued items still drain after close";
+  EXPECT_EQ(Out.Req.Name, "queued");
+  EXPECT_FALSE(Q.pop(&Out));
 }
 
 TEST(SlotAllocator, RecyclesLifoAndGuardsDoubleRelease) {
@@ -304,7 +379,7 @@ TEST(Engine, StreamedArrivalsMatchSoloByteForByte) {
   std::mt19937 Rng(7);
   std::shuffle(Order.begin(), Order.end(), Rng);
 
-  std::vector<std::future<serve::RequestResult>> Futs(Asm.size());
+  std::vector<serve::Handle> Futs(Asm.size());
   for (size_t K = 0; K < Order.size(); ++K) {
     size_t I = Order[K];
     Futs[I] = Eng.submit({F.Tasks[I].Name, Asm[I], {}, {}, nullptr});
@@ -364,7 +439,7 @@ TEST(Engine, RowRecyclingStressAndInFlightDedup) {
   std::mt19937 Rng(11);
   std::shuffle(Pick.begin(), Pick.end(), Rng);
 
-  std::vector<std::future<serve::RequestResult>> Futs;
+  std::vector<serve::Handle> Futs;
   for (size_t I : Pick)
     Futs.push_back(Eng.submit({"job", "", Srcs[I], Encs[I], nullptr}));
   for (size_t K = 0; K < Pick.size(); ++K) {
@@ -392,7 +467,7 @@ TEST(Engine, VerifiedRequestsMatchDecompileOutcomes) {
   EO.VerifyThreads = 2;
   serve::Engine Eng(*F.Slade, EO);
 
-  std::vector<std::future<serve::RequestResult>> Futs;
+  std::vector<serve::Handle> Futs;
   for (const core::EvalTask &T : F.Tasks)
     Futs.push_back(Eng.submit({T.Name, "", {}, {}, &T}));
 
@@ -417,7 +492,7 @@ TEST(Engine, CallbackRunsBeforeFutureAndStopDrains) {
   serve::Engine Eng(*F.Slade, EO);
 
   std::atomic<int> Called{0};
-  std::vector<std::future<serve::RequestResult>> Futs;
+  std::vector<serve::Handle> Futs;
   for (const core::EvalTask &T : F.Tasks)
     Futs.push_back(
         Eng.submit({T.Name, T.Prog.TargetAsm, {}, {}, nullptr},
@@ -503,7 +578,7 @@ TEST(Engine, BitExactAcrossShardCountsOnRandomizedArrivals) {
     EO.UseDecodeCache = false;
     serve::Engine Eng(*F.Slade, EO);
     EXPECT_EQ(Eng.shardCount(), Shards);
-    std::vector<std::future<serve::RequestResult>> Futs(Order.size());
+    std::vector<serve::Handle> Futs(Order.size());
     for (size_t K = 0; K < Order.size(); ++K) {
       std::this_thread::sleep_for(std::chrono::duration<double>(Gaps[K]));
       Futs[K] = Eng.submit({"job", Asm[Order[K]], {}, {}, nullptr});
@@ -541,7 +616,7 @@ TEST(Engine, CrossShardSingleFlightAttach) {
   EO.UseDecodeCache = false;
   serve::Engine Eng(*F.Slade, EO);
 
-  std::vector<std::future<serve::RequestResult>> Futs;
+  std::vector<serve::Handle> Futs;
   Futs.push_back(Eng.submit({"a0", A, {}, {}, nullptr}));
   Futs.push_back(Eng.submit({"b", B, {}, {}, nullptr}));
   for (int K = 1; K <= 10; ++K)
@@ -613,7 +688,7 @@ TEST(Engine, ShardBackfillAfterMassRetirement) {
   EO.UseDecodeCache = false;
   serve::Engine Eng(*F.Slade, EO);
 
-  std::vector<std::future<serve::RequestResult>> Futs;
+  std::vector<serve::Handle> Futs;
   for (const core::EvalTask &T : F.Tasks)
     Futs.push_back(Eng.submit({T.Name, T.Prog.TargetAsm, {}, {}, nullptr}));
   for (size_t I = 0; I < Futs.size(); ++I)
@@ -643,7 +718,7 @@ TEST(Engine, StopDrainsNonEmptyShardsAndQueue) {
   EO.Shards = 2;
   serve::Engine Eng(*F.Slade, EO);
 
-  std::vector<std::future<serve::RequestResult>> Futs;
+  std::vector<serve::Handle> Futs;
   std::vector<size_t> Pick;
   for (int Round = 0; Round < 2; ++Round)
     for (size_t I = 0; I < F.Tasks.size(); ++I) {
@@ -681,11 +756,11 @@ TEST(Engine, MetricsAggregationIsConsistentUnderConcurrentProducers) {
   constexpr int PerProducer = 10;
   std::vector<std::thread> Producers;
   std::mutex FutsMu;
-  std::vector<std::future<serve::RequestResult>> Futs;
+  std::vector<serve::Handle> Futs;
   for (int P = 0; P < 4; ++P)
     Producers.emplace_back([&, P] {
       for (int K = 0; K < PerProducer; ++K) {
-        std::future<serve::RequestResult> Fut = Eng.submit(
+        serve::Handle Fut = Eng.submit(
             {"p" + std::to_string(P), Asm[static_cast<size_t>(K) %
                                           Asm.size()],
              {}, {}, nullptr});
@@ -712,8 +787,391 @@ TEST(Engine, MetricsAggregationIsConsistentUnderConcurrentProducers) {
   EXPECT_EQ(M.StepRows, ShardRows);
   // Every future must be fulfilled (get() would throw broken_promise
   // if a completion were lost).
-  for (std::future<serve::RequestResult> &Fut : Futs)
+  for (serve::Handle &Fut : Futs)
     EXPECT_NO_THROW(Fut.get());
+}
+
+// -- overload safety: deadlines, cancellation, shedding, drain, faults -------
+
+/// Asserts the engine's accounting invariant: every submitted request
+/// resolved exactly once with a typed status, and the status counters
+/// partition the completions.
+void expectAccountingClosed(const serve::EngineMetrics &M) {
+  EXPECT_EQ(M.Completed, M.Submitted);
+  size_t NonOk = M.Shed + M.Expired + M.Cancelled + M.ShutDown +
+                 M.EncodeFailed + M.VerifyFailed;
+  EXPECT_LE(NonOk, M.Completed);
+  // Ok completions are the remainder; the counters must not overlap.
+  EXPECT_EQ(M.Completed - NonOk + NonOk, M.Completed);
+}
+
+TEST(Engine, PreExpiredDeadlineShedsAtSubmit) {
+  ServeFixture F(3);
+  ASSERT_GE(F.Tasks.size(), 1u);
+  serve::EngineOptions EO;
+  EO.BeamSize = 1;
+  EO.MaxLen = 16;
+  serve::Engine Eng(*F.Slade, EO);
+
+  serve::DecompileRequest R;
+  R.Name = "expired";
+  R.Asm = F.Tasks[0].Prog.TargetAsm;
+  R.Deadline = std::chrono::steady_clock::now() -
+               std::chrono::milliseconds(1);
+  serve::RequestResult Res = Eng.submit(std::move(R)).get();
+  EXPECT_EQ(Res.Status, serve::RequestStatus::DeadlineExpired);
+  EXPECT_EQ(Res.Name, "expired") << "typed resolutions keep the name";
+  EXPECT_FALSE(Res.ok());
+  EXPECT_TRUE(Res.Hyps.empty());
+  Eng.stop();
+  serve::EngineMetrics M = Eng.metrics();
+  EXPECT_EQ(M.Expired, 1u);
+  EXPECT_EQ(M.Steps, 0u) << "shed work must never reach a decode row";
+  expectAccountingClosed(M);
+}
+
+TEST(Engine, DeadlineExpiringBetweenDispatchAndAdmissionIsShed) {
+  // A single 1-row shard is held by a long decode; a deadlined request
+  // dispatched behind it expires while waiting for a segment (between
+  // dispatch and shard admission) and must resolve DeadlineExpired —
+  // without decoding and without wedging the dispatcher.
+  ServeFixture F(4);
+  ASSERT_GE(F.Tasks.size(), 2u);
+  serve::EngineOptions EO;
+  EO.BeamSize = 5;
+  EO.MaxLen = 220; // The blocker decodes for many ticks.
+  EO.MaxLiveSources = 1;
+  EO.Shards = 1;
+  EO.UseDecodeCache = false;
+  serve::Engine Eng(*F.Slade, EO);
+
+  serve::Handle Blocker =
+      Eng.submit({"blocker", F.Tasks[0].Prog.TargetAsm, {}, {}, nullptr});
+  // Let the blocker reach its decode row before the victim arrives.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  serve::DecompileRequest R;
+  R.Name = "victim";
+  R.Asm = F.Tasks[1].Prog.TargetAsm;
+  R.Deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(2);
+  serve::RequestResult Victim = Eng.submit(std::move(R)).get();
+  EXPECT_EQ(Victim.Status, serve::RequestStatus::DeadlineExpired)
+      << "expired between dispatch and admission";
+  EXPECT_TRUE(Blocker.get().ok()) << "the blocker is unaffected";
+  Eng.stop();
+  serve::EngineMetrics M = Eng.metrics();
+  EXPECT_EQ(M.Expired, 1u);
+  expectAccountingClosed(M);
+}
+
+TEST(Engine, CancelResolvesInAnyStateAndRacesRetirementSafely) {
+  // Cancels fired at random points — queued, mid-decode, and racing
+  // retirement — must each resolve exactly once as Ok or Cancelled,
+  // never hang, never double-resolve, and never disturb the requests
+  // that were not cancelled.
+  ServeFixture F(5);
+  ASSERT_GE(F.Tasks.size(), 3u);
+  std::vector<std::string> Asm;
+  for (const core::EvalTask &T : F.Tasks)
+    Asm.push_back(T.Prog.TargetAsm);
+
+  serve::EngineOptions EO;
+  EO.BeamSize = 2;
+  EO.MaxLen = 32;
+  EO.MaxLiveSources = 2;
+  EO.Shards = 2;
+  EO.UseDecodeCache = false;
+  serve::Engine Eng(*F.Slade, EO);
+
+  std::mt19937 Rng(17);
+  std::vector<serve::Handle> Futs;
+  std::vector<size_t> Pick;
+  std::vector<bool> Cancelled;
+  for (int Round = 0; Round < 6; ++Round)
+    for (size_t I = 0; I < Asm.size(); ++I) {
+      Pick.push_back(I);
+      Futs.push_back(Eng.submit({"job", Asm[I], {}, {}, nullptr}));
+      bool DoCancel = (Rng() % 2) == 0;
+      Cancelled.push_back(DoCancel);
+      if (DoCancel) {
+        // Random stagger: some cancels land while queued, some
+        // mid-decode, some exactly as the row retires.
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(Rng() % 2000));
+        Futs.back().cancel();
+      }
+    }
+  size_t OkCount = 0, CancelledCount = 0;
+  for (size_t K = 0; K < Futs.size(); ++K) {
+    serve::RequestResult R = Futs[K].get(); // Throws if double-resolved.
+    if (R.ok()) {
+      ++OkCount;
+      EXPECT_EQ(R.CSource,
+                F.Slade->translate(Asm[Pick[K]], EO.BeamSize, EO.MaxLen))
+          << "request " << K;
+    } else {
+      ASSERT_EQ(R.Status, serve::RequestStatus::Cancelled)
+          << "request " << K;
+      EXPECT_FALSE(Cancelled[K] == false)
+          << "only cancelled requests may resolve Cancelled";
+      ++CancelledCount;
+    }
+  }
+  Eng.stop();
+  serve::EngineMetrics M = Eng.metrics();
+  EXPECT_EQ(M.Completed, Futs.size());
+  EXPECT_EQ(M.Cancelled, CancelledCount);
+  EXPECT_EQ(OkCount + CancelledCount, Futs.size());
+  expectAccountingClosed(M);
+}
+
+TEST(Engine, LoadSheddingAccountsEveryRequestExactlyOnce) {
+  // Load-shedding mode under a producer storm into a tiny queue: the
+  // served set and the shed set must partition the submissions — every
+  // handle resolves with a typed status, none resolves twice, and the
+  // metrics agree with the per-request statuses.
+  ServeFixture F(4);
+  ASSERT_GE(F.Tasks.size(), 2u);
+  std::vector<std::string> Asm;
+  for (const core::EvalTask &T : F.Tasks)
+    Asm.push_back(T.Prog.TargetAsm);
+
+  serve::EngineOptions EO;
+  EO.BeamSize = 2;
+  EO.MaxLen = 24;
+  EO.MaxLiveSources = 1;
+  EO.Shards = 1;
+  EO.QueueCapacity = 2; // Tiny on purpose: most of the storm sheds.
+  EO.BlockOnFull = false;
+  EO.UseDecodeCache = false;
+  serve::Engine Eng(*F.Slade, EO);
+
+  constexpr int Producers = 4, PerProducer = 12;
+  std::mutex FutsMu;
+  std::vector<serve::Handle> Futs;
+  std::vector<std::thread> Threads;
+  for (int P = 0; P < Producers; ++P)
+    Threads.emplace_back([&, P] {
+      std::mt19937 Rng(static_cast<unsigned>(100 + P));
+      for (int K = 0; K < PerProducer; ++K) {
+        serve::Handle H = Eng.submit(
+            {"p" + std::to_string(P),
+             Asm[static_cast<size_t>(Rng()) % Asm.size()], {}, {},
+             nullptr});
+        std::lock_guard<std::mutex> Lock(FutsMu);
+        Futs.push_back(std::move(H));
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  size_t Ok = 0, Shed = 0;
+  for (serve::Handle &H : Futs) {
+    serve::RequestResult R = H.get();
+    if (R.ok())
+      ++Ok;
+    else {
+      ASSERT_EQ(R.Status, serve::RequestStatus::QueueFull);
+      EXPECT_TRUE(R.Hyps.empty());
+      ++Shed;
+    }
+  }
+  EXPECT_EQ(Ok + Shed, Futs.size()) << "served + shed = submitted";
+  Eng.stop();
+  serve::EngineMetrics M = Eng.metrics();
+  EXPECT_EQ(M.Submitted, static_cast<size_t>(Producers * PerProducer));
+  EXPECT_EQ(M.Shed, Shed);
+  expectAccountingClosed(M);
+}
+
+TEST(Engine, GracefulDrainDeadlineResolvesEverything) {
+  // drain(deadline) with a stuffed queue: in-flight work finishes until
+  // the deadline, the leftovers force-resolve ShuttingDown, EVERY
+  // future resolves, and later submits are rejected typed.
+  ServeFixture F(5);
+  ASSERT_GE(F.Tasks.size(), 3u);
+
+  serve::EngineOptions EO;
+  EO.BeamSize = 5;
+  EO.MaxLen = 220; // Long decodes: the drain deadline lands mid-flight.
+  EO.MaxLiveSources = 1;
+  EO.Shards = 1;
+  EO.UseDecodeCache = false;
+  serve::Engine Eng(*F.Slade, EO);
+
+  std::vector<serve::Handle> Futs;
+  for (int Round = 0; Round < 4; ++Round)
+    for (const core::EvalTask &T : F.Tasks)
+      Futs.push_back(
+          Eng.submit({T.Name, T.Prog.TargetAsm, {}, {}, nullptr}));
+  Eng.drain(std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(30));
+  size_t Ok = 0, ShutDown = 0;
+  for (serve::Handle &H : Futs) {
+    serve::RequestResult R = H.get(); // Must ALL be resolved by now.
+    if (R.ok())
+      ++Ok;
+    else {
+      ASSERT_EQ(R.Status, serve::RequestStatus::ShuttingDown);
+      ++ShutDown;
+    }
+  }
+  EXPECT_EQ(Ok + ShutDown, Futs.size());
+  serve::RequestResult Late =
+      Eng.submit({"late", F.Tasks[0].Prog.TargetAsm, {}, {}, nullptr})
+          .get();
+  EXPECT_EQ(Late.Status, serve::RequestStatus::ShuttingDown)
+      << "submits after a drain resolve typed, not broken";
+  serve::EngineMetrics M = Eng.metrics();
+  EXPECT_EQ(M.ShutDown, ShutDown + 1);
+  EXPECT_GE(M.DrainMs, 0.0);
+  expectAccountingClosed(M);
+}
+
+TEST(Engine, EncodeFaultIsContainedToItsRequest) {
+  ServeFixture F(3);
+  ASSERT_GE(F.Tasks.size(), 2u);
+  serve::EngineOptions EO;
+  EO.BeamSize = 1;
+  EO.MaxLen = 16;
+  EO.Faults.Seed = 7;
+  EO.Faults.EncodeThrow = 1.0; // Every encode throws, deterministically.
+  serve::Engine Eng(*F.Slade, EO);
+
+  std::vector<serve::Handle> Futs;
+  for (const core::EvalTask &T : F.Tasks)
+    Futs.push_back(
+        Eng.submit({T.Name, T.Prog.TargetAsm, {}, {}, nullptr}));
+  for (serve::Handle &H : Futs) {
+    serve::RequestResult R = H.get();
+    EXPECT_EQ(R.Status, serve::RequestStatus::EncodeFailed);
+  }
+  Eng.stop(); // The dispatcher survived every throw.
+  serve::EngineMetrics M = Eng.metrics();
+  EXPECT_EQ(M.EncodeFailed, Futs.size());
+  expectAccountingClosed(M);
+}
+
+TEST(Engine, VerifyFaultsRetryThenResolveVerifyFailed) {
+  // Every verify attempt throws (injected): the bounded retry ladder
+  // runs, the candidate is given up as faulted, and the request
+  // resolves VerifyFailed + Degraded — the verify pool and the shard
+  // survive untouched.
+  ServeFixture F(4);
+  ASSERT_GE(F.Tasks.size(), 2u);
+  serve::EngineOptions EO;
+  EO.BeamSize = 2;
+  EO.MaxLen = 32;
+  EO.VerifyThreads = 2;
+  EO.VerifyMaxRetries = 1;
+  EO.VerifyRetryBackoff = 0.001;
+  EO.Faults.Seed = 11;
+  EO.Faults.VerifyThrow = 1.0;
+  serve::Engine Eng(*F.Slade, EO);
+
+  serve::RequestResult R =
+      Eng.submit({F.Tasks[0].Name, "", {}, {}, &F.Tasks[0]}).get();
+  EXPECT_EQ(R.Status, serve::RequestStatus::VerifyFailed);
+  EXPECT_TRUE(R.Degraded);
+  EXPECT_FALSE(R.Hyps.empty()) << "the decode itself succeeded";
+
+  // The engine still serves translate requests after the fault storm.
+  serve::RequestResult T2 =
+      Eng.submit({"t", F.Tasks[1].Prog.TargetAsm, {}, {}, nullptr}).get();
+  EXPECT_TRUE(T2.ok());
+  Eng.stop();
+  serve::EngineMetrics M = Eng.metrics();
+  EXPECT_EQ(M.VerifyFailed, 1u);
+  EXPECT_GE(M.VerifyRetries, 1u) << "the retry ladder must have run";
+  expectAccountingClosed(M);
+}
+
+TEST(Engine, FaultSoakEveryRequestResolvesExactlyOnceByteIdentical) {
+  // The soak: a Poisson-ish replay under injected faults (encode
+  // throws, verify throws/hangs, slow ticks), tight deadlines on some
+  // requests, cancels on others, load-shedding admission — then a
+  // bounded drain. Invariants: every handle resolves exactly once with
+  // a typed status, the metrics partition the submissions, and every
+  // undegraded OK translate matches the sequential decode byte for
+  // byte. Run under ASan and TSan in CI.
+  ServeFixture F(5);
+  ASSERT_GE(F.Tasks.size(), 3u);
+  std::vector<std::string> Asm;
+  for (const core::EvalTask &T : F.Tasks)
+    Asm.push_back(T.Prog.TargetAsm);
+  std::vector<std::string> Solo(Asm.size());
+  for (size_t I = 0; I < Asm.size(); ++I)
+    Solo[I] = F.Slade->translate(Asm[I], 2, 24);
+
+  serve::EngineOptions EO;
+  EO.BeamSize = 2;
+  EO.MaxLen = 24;
+  EO.MaxLiveSources = 2;
+  EO.Shards = 2;
+  EO.QueueCapacity = 8;
+  EO.BlockOnFull = false; // Shedding admission.
+  EO.UseDecodeCache = false;
+  EO.VerifyThreads = 2;
+  EO.VerifyCandidateTimeout = 0.05;
+  EO.VerifyMaxRetries = 1;
+  EO.VerifyRetryBackoff = 0.001;
+  EO.Faults.Seed = 20240808;
+  EO.Faults.EncodeThrow = 0.1;
+  EO.Faults.VerifyThrow = 0.2;
+  EO.Faults.VerifyHang = 0.1;
+  EO.Faults.SlowTick = 0.05;
+  EO.Faults.HangSeconds = 0.01;
+  EO.Faults.SlowTickSeconds = 0.001;
+  serve::Engine Eng(*F.Slade, EO);
+
+  std::mt19937 Rng(23);
+  std::exponential_distribution<double> Gap(3000.0);
+  std::vector<serve::Handle> Futs;
+  std::vector<size_t> Pick; // Source index; SIZE_MAX = task mode.
+  for (int K = 0; K < 48; ++K) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(Gap(Rng)));
+    bool TaskMode = (Rng() % 8) == 0;
+    serve::DecompileRequest R;
+    R.Name = "soak" + std::to_string(K);
+    if (TaskMode) {
+      size_t TI = Rng() % F.Tasks.size();
+      R.Task = &F.Tasks[TI];
+      R.Asm = F.Tasks[TI].Prog.TargetAsm;
+      Pick.push_back(SIZE_MAX);
+    } else {
+      size_t SI = Rng() % Asm.size();
+      R.Asm = Asm[SI];
+      Pick.push_back(SI);
+    }
+    if ((Rng() % 4) == 0) // Tight deadline on a quarter of the load.
+      R.Deadline = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(static_cast<int>(Rng() % 20));
+    serve::Handle H = Eng.submit(std::move(R));
+    if ((Rng() % 6) == 0) // Cancel a sixth, at random delay.
+      H.cancel();
+    Futs.push_back(std::move(H));
+  }
+  Eng.drain(std::chrono::steady_clock::now() +
+            std::chrono::seconds(20)); // Generous: normally finishes early.
+
+  size_t ByStatus[7] = {0, 0, 0, 0, 0, 0, 0};
+  for (size_t K = 0; K < Futs.size(); ++K) {
+    serve::RequestResult R = Futs[K].get(); // Exactly-once: get() works.
+    ++ByStatus[static_cast<int>(R.Status)];
+    if (R.ok() && !R.Degraded && Pick[K] != SIZE_MAX)
+      EXPECT_EQ(R.CSource, Solo[Pick[K]])
+          << "undegraded OK request " << K
+          << " must match sequential decode";
+  }
+  serve::EngineMetrics M = Eng.metrics();
+  EXPECT_EQ(M.Submitted, Futs.size());
+  EXPECT_EQ(M.Completed, M.Submitted) << "no request lost or duplicated";
+  EXPECT_EQ(M.Shed, ByStatus[1]);
+  EXPECT_EQ(M.Expired, ByStatus[2]);
+  EXPECT_EQ(M.Cancelled, ByStatus[3]);
+  EXPECT_EQ(M.ShutDown, ByStatus[4]);
+  EXPECT_EQ(M.EncodeFailed, ByStatus[5]);
+  EXPECT_EQ(M.VerifyFailed, ByStatus[6]);
+  expectAccountingClosed(M);
 }
 
 TEST(Scheduler, RepeatedRunsHitTheEncoderCache) {

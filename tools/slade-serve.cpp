@@ -71,6 +71,20 @@ struct CliOptions {
   bool StreamCompare = false; ///< Also replay through the batch-scoped
                               ///< scheduler (greedy batches) and compare
                               ///< latency/throughput.
+  // -- overload-safety knobs (stream mode) --
+  double DeadlineMs = 0; ///< Per-request deadline from arrival (0 = none).
+  bool Shed = false;     ///< Load-shedding admission: a full queue rejects
+                         ///< (QueueFull) instead of blocking the producer.
+  double DrainMs = -1;   ///< Graceful-drain budget after the last arrival
+                         ///< (<0 = unbounded stop()).
+  double VerifyTimeoutMs = 0; ///< Per-candidate verify wall budget.
+  int VerifyRetries = 0;      ///< Retries for thrown verify attempts.
+  // -- deterministic fault injection (default off) --
+  uint64_t FaultSeed = 0;
+  double FaultEncodeThrow = 0;
+  double FaultVerifyThrow = 0;
+  double FaultVerifyHang = 0;
+  double FaultSlowTick = 0;
 };
 
 void usage() {
@@ -115,7 +129,23 @@ void usage() {
       "  --queue N            engine admission-queue bound (default 256)\n"
       "  --arrival-seed S     arrival RNG seed (default 42)\n"
       "  --stream-compare     also replay the same arrivals through the\n"
-      "                       batch-scoped scheduler, compare latency\n");
+      "                       batch-scoped scheduler, compare latency\n"
+      "  --deadline-ms D      per-request deadline, D ms from arrival;\n"
+      "                       expired work is shed with a typed\n"
+      "                       deadline_expired status (default 0 = none)\n"
+      "  --shed               load-shedding admission: a full queue\n"
+      "                       rejects (queue_full) instead of blocking\n"
+      "                       the producer\n"
+      "  --drain-ms D         graceful-drain budget after the last\n"
+      "                       arrival; leftover work resolves\n"
+      "                       shutting_down (default: unbounded)\n"
+      "  --verify-timeout-ms D  per-candidate verify wall budget\n"
+      "  --verify-retries N   retries for thrown verify attempts\n"
+      "  --fault-seed S       deterministic fault-injection seed\n"
+      "  --fault-encode-throw P  P(encode throws) per request\n"
+      "  --fault-verify-throw P  P(verify attempt throws) per candidate\n"
+      "  --fault-verify-hang P   P(verify attempt hangs) per candidate\n"
+      "  --fault-slow-tick P     P(decode tick sleeps) per shard tick\n");
 }
 
 bool parseArgs(int argc, char **argv, CliOptions *O) {
@@ -218,6 +248,53 @@ bool parseArgs(int argc, char **argv, CliOptions *O) {
       O->ArrivalSeed = static_cast<uint64_t>(std::atoll(V));
     } else if (A == "--stream-compare") {
       O->StreamCompare = true;
+    } else if (A == "--deadline-ms") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O->DeadlineMs = std::atof(V);
+    } else if (A == "--shed") {
+      O->Shed = true;
+    } else if (A == "--drain-ms") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O->DrainMs = std::atof(V);
+    } else if (A == "--verify-timeout-ms") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O->VerifyTimeoutMs = std::atof(V);
+    } else if (A == "--verify-retries") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O->VerifyRetries = std::max(0, std::atoi(V));
+    } else if (A == "--fault-seed") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O->FaultSeed = static_cast<uint64_t>(std::atoll(V));
+    } else if (A == "--fault-encode-throw") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O->FaultEncodeThrow = std::atof(V);
+    } else if (A == "--fault-verify-throw") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O->FaultVerifyThrow = std::atof(V);
+    } else if (A == "--fault-verify-hang") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O->FaultVerifyHang = std::atof(V);
+    } else if (A == "--fault-slow-tick") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O->FaultSlowTick = std::atof(V);
     } else if (A == "--no-batch") {
       O->Serve.BatchDecode = false;
     } else if (A == "--no-typeinf") {
@@ -327,6 +404,12 @@ std::string metricsJson(const char *Label, const serve::ServeMetrics &M) {
      << ", \"decode_cache_misses\": " << M.DecodeCacheMisses
      << ", \"decode_cache_bytes\": " << M.DecodeCacheBytes
      << ", \"fusion_probes\": " << M.FusionProbes
+     << ", \"requests_shed\": " << M.RequestsShed
+     << ", \"requests_expired\": " << M.RequestsExpired
+     << ", \"requests_cancelled\": " << M.RequestsCancelled
+     << ", \"requests_failed\": " << M.RequestsFailed
+     << ", \"verify_timeouts\": " << M.VerifyTimeouts
+     << ", \"verify_retries\": " << M.VerifyRetries
      << ", \"queue_wait_p50_s\": " << M.QueueWaitP50
      << ", \"queue_wait_p95_s\": " << M.QueueWaitP95
      << ", \"queue_wait_p99_s\": " << M.QueueWaitP99
@@ -364,8 +447,11 @@ void assignArrivals(std::vector<StreamItem> &Items, double RatePerSec,
 
 struct StreamOutcome {
   std::vector<serve::RequestResult> Results; ///< In item order.
-  std::vector<double> Latency;   ///< Per item: arrival -> completion.
-  std::vector<double> QueueWait; ///< Per item: arrival -> decode start.
+  /// SERVED (status ok) requests only: a shed request resolving in
+  /// microseconds must not fake a fast percentile. The scheduler
+  /// baseline serves everything, so there the vectors cover all items.
+  std::vector<double> Latency;   ///< Arrival -> completion, OK only.
+  std::vector<double> QueueWait; ///< Arrival -> decode start, OK only.
   double WallSeconds = 0;
   double FnPerSec = 0;
   /// Engine counters at replay end (engine replays only): dedup /
@@ -395,15 +481,23 @@ StreamOutcome streamThroughEngine(const core::Decompiler &Slade,
   EO.MaxLiveSources = O.MaxLive;
   EO.Shards = O.Shards;
   EO.QueueCapacity = static_cast<size_t>(O.QueueCap);
+  EO.BlockOnFull = !O.Shed;
+  EO.VerifyCandidateTimeout = O.VerifyTimeoutMs / 1000.0;
+  EO.VerifyMaxRetries = O.VerifyRetries;
+  EO.Faults.Seed = O.FaultSeed;
+  EO.Faults.EncodeThrow = O.FaultEncodeThrow;
+  EO.Faults.VerifyThrow = O.FaultVerifyThrow;
+  EO.Faults.VerifyHang = O.FaultVerifyHang;
+  EO.Faults.SlowTick = O.FaultSlowTick;
 
   StreamOutcome SO;
   size_t N = Items.size();
   SO.Results.resize(N);
-  SO.Latency.resize(N);
-  SO.QueueWait.resize(N);
+  SO.Latency.reserve(N);
+  SO.QueueWait.reserve(N);
   {
     serve::Engine Eng(Slade, EO);
-    std::vector<std::future<serve::RequestResult>> Futs(N);
+    std::vector<serve::Handle> Handles(N);
     auto Start = std::chrono::steady_clock::now();
     for (size_t I = 0; I < N; ++I) {
       std::this_thread::sleep_until(
@@ -414,12 +508,25 @@ StreamOutcome streamThroughEngine(const core::Decompiler &Slade,
       R.Asm = Items[I].Asm;
       if (Items[I].Task)
         R.Asm = Items[I].Task->Prog.TargetAsm;
-      Futs[I] = Eng.submit(std::move(R));
+      if (O.DeadlineMs > 0)
+        R.Deadline = std::chrono::steady_clock::now() +
+                     std::chrono::duration_cast<
+                         std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double>(O.DeadlineMs /
+                                                       1000.0));
+      Handles[I] = Eng.submit(std::move(R));
     }
+    if (O.DrainMs >= 0)
+      Eng.drain(std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(O.DrainMs / 1000.0)));
     for (size_t I = 0; I < N; ++I) {
-      SO.Results[I] = Futs[I].get();
-      SO.Latency[I] = SO.Results[I].TotalSeconds;
-      SO.QueueWait[I] = SO.Results[I].QueueWaitSeconds;
+      SO.Results[I] = Handles[I].get();
+      if (SO.Results[I].ok()) {
+        SO.Latency.push_back(SO.Results[I].TotalSeconds);
+        SO.QueueWait.push_back(SO.Results[I].QueueWaitSeconds);
+      }
     }
     SO.WallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -502,15 +609,30 @@ StreamOutcome streamThroughScheduler(const core::Decompiler &Slade,
 
 void printStreamMetrics(const char *Label, const StreamOutcome &SO) {
   serve::LatencyStats QW = SO.queueWait(), L = SO.latency();
+  size_t Served = SO.HasEngine ? SO.Latency.size() : SO.Results.size();
   std::fprintf(
       stderr,
-      "[%s] %zu requests in %.3fs = %.2f fn/s; queue wait p50/p95/p99 "
-      "%.1f/%.1f/%.1f ms; latency p50/p95/p99 %.1f/%.1f/%.1f ms\n",
-      Label, SO.Results.size(), SO.WallSeconds, SO.FnPerSec, 1e3 * QW.P50,
-      1e3 * QW.P95, 1e3 * QW.P99, 1e3 * L.P50, 1e3 * L.P95, 1e3 * L.P99);
+      "[%s] %zu requests (%zu served) in %.3fs = %.2f fn/s; served queue "
+      "wait p50/p95/p99 %.1f/%.1f/%.1f ms; served latency p50/p95/p99 "
+      "%.1f/%.1f/%.1f ms\n",
+      Label, SO.Results.size(), Served, SO.WallSeconds, SO.FnPerSec,
+      1e3 * QW.P50, 1e3 * QW.P95, 1e3 * QW.P99, 1e3 * L.P50, 1e3 * L.P95,
+      1e3 * L.P99);
   if (!SO.HasEngine)
     return;
   const serve::EngineMetrics &EM = SO.Engine;
+  if (EM.Shed + EM.Expired + EM.Cancelled + EM.ShutDown + EM.EncodeFailed +
+          EM.VerifyFailed + EM.VerifyTimeouts + EM.VerifyRetries >
+      0)
+    std::fprintf(stderr,
+                 "[%s] shed %zu, expired %zu, cancelled %zu, shutdown "
+                 "%zu, encode-failed %zu, verify-failed %zu; verify "
+                 "timeouts %llu / retries %llu; drain %.1f ms\n",
+                 Label, EM.Shed, EM.Expired, EM.Cancelled, EM.ShutDown,
+                 EM.EncodeFailed, EM.VerifyFailed,
+                 static_cast<unsigned long long>(EM.VerifyTimeouts),
+                 static_cast<unsigned long long>(EM.VerifyRetries),
+                 EM.DrainMs);
   std::fprintf(stderr,
                "[%s] %zu attached in flight, decode cache %zu hits / %zu "
                "misses (%.1f KiB); per-shard utilization:",
@@ -540,7 +662,16 @@ std::string streamJson(const char *Label, const StreamOutcome &SO) {
      << ", \"latency_p99_s\": " << L.P99;
   if (SO.HasEngine) {
     const serve::EngineMetrics &EM = SO.Engine;
-    SS << ", \"deduped_in_flight\": " << EM.InFlightDeduped
+    SS << ", \"served\": " << SO.Latency.size()
+       << ", \"shed\": " << EM.Shed << ", \"expired\": " << EM.Expired
+       << ", \"cancelled\": " << EM.Cancelled
+       << ", \"shutdown\": " << EM.ShutDown
+       << ", \"encode_failed\": " << EM.EncodeFailed
+       << ", \"verify_failed\": " << EM.VerifyFailed
+       << ", \"verify_timeouts\": " << EM.VerifyTimeouts
+       << ", \"verify_retries\": " << EM.VerifyRetries
+       << ", \"drain_ms\": " << EM.DrainMs
+       << ", \"deduped_in_flight\": " << EM.InFlightDeduped
        << ", \"decode_cache_hits\": " << EM.DecodeCacheHits
        << ", \"decode_cache_misses\": " << EM.DecodeCacheMisses
        << ", \"decode_cache_bytes\": " << EM.DecodeCacheBytes
@@ -714,8 +845,16 @@ int main(int argc, char **argv) {
       DOpts.MaxLen = O.Serve.MaxLen;
       DOpts.UseTypeInference = O.Serve.UseTypeInference;
       DOpts.VerifyThreads = 1;
-      size_t Mismatches = 0;
+      size_t Mismatches = 0, Checked = 0;
       for (size_t I = 0; I < Items.size(); ++I) {
+        // The oracle covers SERVED requests whose verification ran
+        // unimpaired: shed/expired/cancelled requests never produced a
+        // payload, and a Degraded result lost a candidate to a
+        // contained fault or timeout, so its verify selection may
+        // legitimately differ from the unbounded sequential run.
+        if (!Eng.Results[I].ok() || Eng.Results[I].Degraded)
+          continue;
+        ++Checked;
         if (Items[I].Task) {
           core::HypothesisOutcome Seq =
               Slade.decompile(*Items[I].Task, DOpts);
@@ -729,8 +868,10 @@ int main(int argc, char **argv) {
             ++Mismatches;
         }
       }
-      std::fprintf(stderr, "[check] %zu/%zu byte-identical outputs\n",
-                   Items.size() - Mismatches, Items.size());
+      std::fprintf(stderr,
+                   "[check] %zu/%zu byte-identical outputs (%zu of %zu "
+                   "requests served undegraded and checked)\n",
+                   Checked - Mismatches, Checked, Checked, Items.size());
       if (Mismatches) {
         std::fprintf(stderr, "error: streamed != sequential outputs\n");
         ExitCode = 1;
@@ -739,7 +880,11 @@ int main(int argc, char **argv) {
 
     for (size_t I = 0; I < Items.size(); ++I) {
       const serve::RequestResult &R = Eng.Results[I];
-      if (R.Verified)
+      if (!R.ok())
+        Results << "{\"name\": \"" << serve::jsonEscape(R.Name)
+                << "\", \"status\": \""
+                << serve::requestStatusName(R.Status) << "\"}\n";
+      else if (R.Verified)
         Results << outcomeJson(R.Name, R.Outcome) << "\n";
       else
         Results << "{\"name\": \"" << serve::jsonEscape(R.Name)
