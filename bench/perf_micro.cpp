@@ -9,6 +9,7 @@
 
 #include "BenchUtil.h"
 #include "baselines/RuleDecompiler.h"
+#include "cc/PrefixOracle.h"
 #include "core/Metrics.h"
 #include "core/Trainer.h"
 #include "nn/Beam.h"
@@ -518,6 +519,82 @@ BENCHMARK(BM_EngineDeadlineOverhead)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+//===----------------------------------------------------------------------===//
+// Grammar-constrained decoding (--constrain=syntax)
+//===----------------------------------------------------------------------===//
+
+/// Raw oracle cost per emitted piece: advance over a representative C
+/// function one vocabulary-piece-sized chunk at a time, computing the
+/// terminal mask at each step — the work a constrained decode adds per
+/// token before any logits are touched.
+void BM_OraclePerToken(benchmark::State &State) {
+  cc::PrefixOracle O;
+  const std::string Src(SumSrc);
+  // Chunk the text like tokenizer pieces (words / single puncts).
+  std::vector<std::string> Pieces;
+  size_t I = 0;
+  auto IsWord = [](char C) {
+    return (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+           (C >= '0' && C <= '9') || C == '_';
+  };
+  while (I < Src.size()) {
+    size_t J = I + 1;
+    if (IsWord(Src[I]))
+      while (J < Src.size() && IsWord(Src[J]))
+        ++J;
+    Pieces.push_back(Src.substr(I, J - I));
+    I = J;
+  }
+  for (auto _ : State) {
+    cc::PrefixOracle::State S = O.start();
+    for (const std::string &P : Pieces) {
+      O.advance(S, P);
+      uint64_t M = O.terminalMask(S);
+      benchmark::DoNotOptimize(M);
+    }
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Pieces.size()));
+}
+BENCHMARK(BM_OraclePerToken);
+
+/// Full per-step constraint cost in context: beam search over the demo
+/// system with the vocabulary mask on (Arg 1) vs. off (Arg 0). The gap
+/// between the two, divided by steps, is the per-token overhead the
+/// acceptance gate bounds at <5%% of the decode step (bench/README.md).
+void BM_BeamConstrained(benchmark::State &State) {
+  const StreamBench &B = streamBench();
+  const bool Constrained = State.range(0) != 0;
+  nn::ConstraintStats Stats;
+  nn::BeamConfig BC;
+  BC.BeamSize = 5;
+  BC.MaxLen = 64;
+  if (Constrained) {
+    BC.Constraint = &B.Slade->vocabConstraint();
+    BC.Stats = &Stats;
+  }
+  std::vector<int> Src = B.Slade->tokenizer().encode(B.Asm.front());
+  auto Enc = B.Slade->encodeCached(Src);
+  double Wall = 0;
+  for (auto _ : State) {
+    auto T0 = std::chrono::steady_clock::now();
+    auto Hyps = nn::beamSearch(B.Slade->model(), Enc, BC);
+    Wall += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          T0)
+                .count();
+    benchmark::DoNotOptimize(Hyps);
+  }
+  // Mask-computation share of the constrained decode's wall time: the
+  // honest in-context overhead (total wall also shifts because the
+  // constrained trajectory decodes to different, often longer, outputs).
+  if (Constrained && Wall > 0)
+    State.counters["oracle_pct"] = 100.0 * Stats.OracleSeconds / Wall;
+}
+BENCHMARK(BM_BeamConstrained)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 /// One streaming admission (encode through a warm LRU + admitStreamRow +
 /// slot bookkeeping): the per-request fixed cost of joining the batch.

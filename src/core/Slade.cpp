@@ -154,12 +154,22 @@ HypothesisOutcome slade::core::evaluateHypothesisBounded(
   return HypothesisOutcome(); // Unreachable; MaxAttempts >= 1.
 }
 
+const tok::VocabConstraint &Decompiler::vocabConstraint() const {
+  std::call_once(VCOnce, [this] {
+    VC = std::make_unique<tok::VocabConstraint>(Tok);
+  });
+  return *VC;
+}
+
 std::string Decompiler::translate(const std::string &Asm, int BeamSize,
-                                  int MaxLen) const {
+                                  int MaxLen,
+                                  nn::ConstrainMode Constrain) const {
   std::vector<int> Src = Tok.encode(Asm);
   nn::BeamConfig BC;
   BC.BeamSize = BeamSize;
   BC.MaxLen = MaxLen;
+  if (Constrain == nn::ConstrainMode::Syntax)
+    BC.Constraint = &vocabConstraint();
   std::vector<nn::Hypothesis> Hyps =
       nn::beamSearch(Model, encodeCached(Src), BC);
   if (Hyps.empty())
@@ -173,6 +183,9 @@ HypothesisOutcome Decompiler::decompile(const EvalTask &Task,
   nn::BeamConfig BC;
   BC.BeamSize = Opts.BeamSize;
   BC.MaxLen = Opts.MaxLen;
+  if (Opts.Constrain == nn::ConstrainMode::Syntax)
+    BC.Constraint = &vocabConstraint();
+  BC.Stats = Opts.ConstraintStatsOut;
   std::vector<nn::Hypothesis> Hyps =
       nn::beamSearch(Model, encodeCached(Src), BC);
   if (Hyps.empty())

@@ -18,6 +18,7 @@
 #include "nn/Transformer.h"
 #include "support/ThreadPool.h"
 #include "tok/Tokenizer.h"
+#include "tok/VocabConstraint.h"
 
 #include <chrono>
 #include <functional>
@@ -128,6 +129,13 @@ public:
     /// the k hypotheses). 0 = hardware concurrency; 1 = sequential with
     /// early exit on the first IO-passing candidate.
     int VerifyThreads = 0;
+    /// Grammar-constrained decoding (--constrain). Off is byte-identical
+    /// to the pre-constraint pipeline; Syntax masks vocabulary pieces
+    /// against a cc::PrefixOracle cursor per beam so only prefixes of
+    /// syntactically valid C survive to IO-verification.
+    nn::ConstrainMode Constrain = nn::ConstrainMode::Off;
+    /// Optional sink for the constraint counters of this decompile call.
+    nn::ConstraintStats *ConstraintStatsOut = nullptr;
   };
 
   /// Runs the pipeline on a task; candidates are tried in beam order and
@@ -138,8 +146,14 @@ public:
                               const Options &Opts) const;
 
   /// Raw model output for an assembly string (no verification).
-  std::string translate(const std::string &Asm, int BeamSize,
-                        int MaxLen) const;
+  std::string translate(const std::string &Asm, int BeamSize, int MaxLen,
+                        nn::ConstrainMode Constrain =
+                            nn::ConstrainMode::Off) const;
+
+  /// The shared vocabulary→grammar mask for this tokenizer, built on
+  /// first use (thread-safe) and reused by every constrained decode —
+  /// solo, batch, and streaming alike.
+  const tok::VocabConstraint &vocabConstraint() const;
 
   /// Encodes \p Src through the shared encoder LRU (hit = the whole
   /// encoder pass is skipped). Thread-safe; used by decompile/translate
@@ -180,6 +194,10 @@ private:
   /// concurrent decompile calls serialize their candidate verification.
   mutable std::mutex VerifyMu;
   mutable std::unique_ptr<ThreadPool> VerifyPool;
+  /// Lazily built piece classification (tokenizer-derived, immutable
+  /// once built; shared by all constrained decodes).
+  mutable std::once_flag VCOnce;
+  mutable std::unique_ptr<tok::VocabConstraint> VC;
 };
 
 } // namespace core

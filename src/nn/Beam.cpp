@@ -27,18 +27,20 @@ std::vector<Hypothesis> beamSearchImpl(Stepper &Step, const BeamConfig &Cfg) {
   Step.start();
   std::vector<Hypothesis> Done;
   SelectScratch S;
+  ConstraintCtx CC;
+  CC.init(Cfg);
 
   for (int It = 0; It < Cfg.MaxLen && !Live.empty(); ++It) {
     SelectResult R = selectBeamStep(
         Live, Done,
         [&](size_t BI) { return Step.logits(static_cast<int>(BI)); },
-        Step.vocab(), Cfg, S);
+        Step.vocab(), Cfg, S, &CC);
     if (R.StopNow)
       break;
     if (!Live.empty())
       Step.advance(R.SrcIdx, R.Tokens);
   }
-  return finalizeBeams(std::move(Live), std::move(Done), Cfg);
+  return finalizeBeams(std::move(Live), std::move(Done), Cfg, &CC);
 }
 
 /// Batched stepper: one BatchDecodeState, survivor selection is an
@@ -149,11 +151,14 @@ std::vector<std::vector<Hypothesis>> slade::nn::beamSearchMulti(
   struct JobSearch {
     std::vector<BeamMeta> Live;
     std::vector<Hypothesis> Done;
+    ConstraintCtx CC;
     bool Active = true;
   };
   std::vector<JobSearch> Jobs(N);
-  for (JobSearch &J : Jobs)
+  for (JobSearch &J : Jobs) {
     J.Live.resize(1);
+    J.CC.init(Cfg);
+  }
 
   SelectScratch S;
   std::vector<int> SrcIdx, Tokens; // Global (state-row) survivor indices.
@@ -171,7 +176,7 @@ std::vector<std::vector<Hypothesis>> slade::nn::beamSearchMulti(
             return Logits.data() +
                    (static_cast<size_t>(RowBase) + BI) * Vocab;
           },
-          Vocab, Cfg, S);
+          Vocab, Cfg, S, &Job.CC);
       if (R.StopNow || Job.Live.empty()) {
         Job.Active = false; // Rows drop out of the batch at the reorder.
       } else {
@@ -189,7 +194,7 @@ std::vector<std::vector<Hypothesis>> slade::nn::beamSearchMulti(
 
   for (size_t J = 0; J < N; ++J)
     Out[J] = finalizeBeams(std::move(Jobs[J].Live),
-                           std::move(Jobs[J].Done), Cfg);
+                           std::move(Jobs[J].Done), Cfg, &Jobs[J].CC);
   return Out;
 }
 

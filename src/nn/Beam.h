@@ -19,16 +19,41 @@
 
 #include "nn/Transformer.h"
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 namespace slade {
+namespace tok {
+class VocabConstraint;
+} // namespace tok
 namespace nn {
+
+/// User-facing constraint mode (--constrain={off,syntax}); Off decodes
+/// byte-identically to the pre-constraint pipeline.
+enum class ConstrainMode { Off, Syntax };
+
+/// Per-decode grammar-constraint counters, merged up into serve metrics.
+struct ConstraintStats {
+  uint64_t TokensMasked = 0; ///< Vocab entries masked across all steps.
+  uint64_t BeamsKilled = 0;  ///< Beams whose every candidate was masked.
+  double OracleSeconds = 0;  ///< Wall time inside the oracle/mask code.
+};
 
 struct BeamConfig {
   int BeamSize = 5; ///< Paper: k = 5.
   int MaxLen = 220;
   float LengthPenalty = 1.0f; ///< Score / len^penalty ordering.
+  /// When set, decode is grammar-constrained: pieces that would kill
+  /// every syntactic continuation are masked pre-top-k, fully-masked
+  /// beams are killed mid-flight (releasing their K/V rows), EOS is
+  /// gated on prefix completeness, and unfinished non-complete beams
+  /// are dropped at finalize. nullptr (the default) is byte-identical
+  /// to the pre-constraint decoder.
+  const tok::VocabConstraint *Constraint = nullptr;
+  /// Optional sink for constraint counters (single decode's worth is
+  /// added; the caller aggregates).
+  ConstraintStats *Stats = nullptr;
 };
 
 struct Hypothesis {

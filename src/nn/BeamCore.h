@@ -17,8 +17,10 @@
 #define SLADE_NN_BEAMCORE_H
 
 #include "nn/Beam.h"
+#include "tok/VocabConstraint.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <utility>
 #include <vector>
@@ -98,6 +100,32 @@ struct SelectResult {
   bool StopNow = false;
 };
 
+/// Per-source grammar-constraint state for one decode: each live beam
+/// carries an oracle cursor (States[i] parallels Live[i]); survivor
+/// selection forks/retires cursors exactly like K/V rows. Created from
+/// BeamConfig::Constraint by every driver via init(); selectBeamStep /
+/// finalizeBeams take it as an optional — nullptr (or a null Vocab) is
+/// the unconstrained path, bit-for-bit identical to the pre-constraint
+/// code.
+struct ConstraintCtx {
+  const tok::VocabConstraint *Vocab = nullptr;
+  ConstraintStats *Stats = nullptr;
+  std::vector<cc::PrefixOracle::State> States; ///< Parallel to Live.
+  // Scratch reused across steps.
+  std::vector<uint8_t> Allowed;
+  std::vector<float> MaskedLogits;
+  std::vector<cc::PrefixOracle::State> NextStates;
+
+  void init(const BeamConfig &Cfg) {
+    Vocab = Cfg.Constraint;
+    Stats = Cfg.Stats;
+    States.clear();
+    if (Vocab)
+      States.push_back(Vocab->start());
+  }
+  bool active() const { return Vocab != nullptr; }
+};
+
 /// One expansion step for one source's beams: log-softmax + top-k per
 /// live beam, deterministic candidate ordering (score desc, then beam,
 /// then token — ties never diverge between decode paths), EOS/PAD
@@ -108,15 +136,43 @@ template <typename LogitsOf>
 SelectResult selectBeamStep(std::vector<BeamMeta> &Live,
                             std::vector<Hypothesis> &Done,
                             const LogitsOf &Logits, int Vocab,
-                            const BeamConfig &Cfg, SelectScratch &S) {
+                            const BeamConfig &Cfg, SelectScratch &S,
+                            ConstraintCtx *CC = nullptr) {
   SelectResult R;
   S.Cands.clear();
+  bool Constrained = CC && CC->active();
   for (size_t BI = 0; BI < Live.size(); ++BI) {
-    logSoftmax(Logits(BI), Vocab, S.LogP);
+    const float *Row = Logits(BI);
+    if (Constrained) {
+      // Mask pieces whose text kills every syntactic continuation of
+      // this beam BEFORE softmax/top-k, so probability mass and the
+      // candidate pool only ever cover viable tokens.
+      auto T0 = std::chrono::steady_clock::now();
+      int Masked = CC->Vocab->allowedTokens(CC->States[BI], CC->Allowed);
+      CC->MaskedLogits.assign(Row, Row + Vocab);
+      for (int I = 0; I < Vocab; ++I)
+        if (!CC->Allowed[static_cast<size_t>(I)])
+          CC->MaskedLogits[static_cast<size_t>(I)] = -1e30f;
+      if (CC->Stats) {
+        CC->Stats->TokensMasked += static_cast<uint64_t>(Masked);
+        CC->Stats->OracleSeconds +=
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          T0)
+                .count();
+        if (Masked >= Vocab)
+          ++CC->Stats->BeamsKilled; // Contributes no candidates below.
+      }
+      logSoftmax(CC->MaskedLogits.data(), Vocab, S.LogP);
+    } else {
+      logSoftmax(Row, Vocab, S.LogP);
+    }
     topK(S.LogP, Cfg.BeamSize, S.Heap, S.Top);
-    for (int Tok : S.Top)
+    for (int Tok : S.Top) {
+      if (Constrained && !CC->Allowed[static_cast<size_t>(Tok)])
+        continue; // A fully-masked beam dies here (its K/V row frees).
       S.Cands.push_back({Live[BI].Score + S.LogP[static_cast<size_t>(Tok)],
                          static_cast<int>(BI), Tok});
+    }
   }
   std::sort(S.Cands.begin(), S.Cands.end(),
             [](const Cand &A, const Cand &B) {
@@ -151,16 +207,40 @@ SelectResult selectBeamStep(std::vector<BeamMeta> &Live,
     R.StopNow = true; // Pre-expansion Live falls through penalized.
     return R;
   }
+  if (Constrained) {
+    // Fork the surviving oracle cursors exactly like the K/V rows the
+    // caller is about to reorder (snapshot = copy, advance by the
+    // emitted piece's text).
+    CC->NextStates.clear();
+    CC->NextStates.reserve(R.SrcIdx.size());
+    for (size_t I = 0; I < R.SrcIdx.size(); ++I) {
+      cc::PrefixOracle::State NS =
+          CC->States[static_cast<size_t>(R.SrcIdx[I])];
+      CC->Vocab->advanceToken(NS, R.Tokens[I]);
+      CC->NextStates.push_back(NS);
+    }
+    CC->States.swap(CC->NextStates);
+  }
   Live = std::move(Next);
   return R;
 }
 
 /// Unfinished beams become (penalized) hypotheses so we always return
-/// something; then sort best-first and cap at BeamSize.
+/// something; then sort best-first and cap at BeamSize. Under a
+/// constraint (\p CC), unfinished beams whose text is not a complete
+/// valid translation unit are dropped instead — no syntactically broken
+/// candidate may reach IO-verification (the result may then be empty).
 inline std::vector<Hypothesis> finalizeBeams(std::vector<BeamMeta> &&Live,
                                              std::vector<Hypothesis> &&Done,
-                                             const BeamConfig &Cfg) {
-  for (BeamMeta &M : Live) {
+                                             const BeamConfig &Cfg,
+                                             const ConstraintCtx *CC =
+                                                 nullptr) {
+  bool Constrained = CC && CC->active();
+  for (size_t I = 0; I < Live.size(); ++I) {
+    BeamMeta &M = Live[I];
+    if (Constrained && (I >= CC->States.size() ||
+                        !CC->Vocab->acceptsEnd(CC->States[I])))
+      continue;
     Hypothesis H;
     H.Tokens = std::move(M.Tokens);
     float Len = static_cast<float>(H.Tokens.size()) + 1.0f;

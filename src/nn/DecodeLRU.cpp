@@ -33,7 +33,8 @@ bool DecodeLRU::matches(const Entry &E, uint64_t Hash, uint64_t Version,
                         const std::vector<int> &Src) const {
   return E.Hash == Hash && E.Version == Version &&
          E.BeamSize == Cfg.BeamSize && E.MaxLen == Cfg.MaxLen &&
-         E.LengthPenalty == Cfg.LengthPenalty && E.Src == Src;
+         E.LengthPenalty == Cfg.LengthPenalty &&
+         E.Constrained == (Cfg.Constraint != nullptr) && E.Src == Src;
 }
 
 void DecodeLRU::evictOne() {
@@ -83,7 +84,8 @@ void DecodeLRU::put(const std::vector<int> &Src, uint64_t Version,
       return;
     }
   Order.push_front(Entry{Hash, Version, Cfg.BeamSize, Cfg.MaxLen,
-                         Cfg.LengthPenalty, Src, std::move(Hyps), 0});
+                         Cfg.LengthPenalty, Cfg.Constraint != nullptr, Src,
+                         std::move(Hyps), 0});
   // Account the STORED copy of the key (its capacity is trimmed to size;
   // the caller's vector may carry push_back growth slack).
   Order.front().Bytes = hypothesesBytes(*Order.front().Hyps) +

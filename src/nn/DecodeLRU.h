@@ -89,6 +89,10 @@ private:
     int BeamSize = 0;
     int MaxLen = 0;
     float LengthPenalty = 1.0f;
+    /// Grammar-constrained decodes produce different hypotheses than
+    /// unconstrained ones for the same source — they can never be
+    /// served from each other's entries.
+    bool Constrained = false;
     std::vector<int> Src; ///< Guards against hash collisions.
     std::shared_ptr<const std::vector<Hypothesis>> Hyps;
     size_t Bytes = 0; ///< Accounted on insert (entries are immutable).

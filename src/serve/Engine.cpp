@@ -135,6 +135,8 @@ struct Engine::Job {
   int Seg = -1; ///< Self-K/V segment owned while live.
   std::vector<nn::beamcore::BeamMeta> Live;
   std::vector<nn::Hypothesis> Done;
+  /// Per-beam oracle cursors (grammar constraint; inert when off).
+  nn::beamcore::ConstraintCtx CC;
   /// Tokens to feed this source's rows on the next tick ({Bos} when
   /// freshly admitted). Invariant: NextTokens.size() == Live.size().
   std::vector<int> NextTokens;
@@ -172,6 +174,10 @@ struct Engine::Shard {
   std::atomic<uint64_t> Steps{0};
   std::atomic<uint64_t> StepRows{0};
   std::atomic<double> DecodeSeconds{0.0};
+  // Grammar-constraint accumulators (same single-writer discipline).
+  std::atomic<uint64_t> BeamsKilled{0};
+  std::atomic<uint64_t> TokensMasked{0};
+  std::atomic<double> OracleSeconds{0.0};
   std::thread Thread;
 };
 
@@ -351,6 +357,9 @@ EngineMetrics Engine::metrics() const {
     M.Steps += U.Steps;
     M.StepRows += U.StepRows;
     M.DecodeSeconds += U.DecodeSeconds;
+    M.BeamsKilled += S->BeamsKilled.load(std::memory_order_relaxed);
+    M.TokensMasked += S->TokensMasked.load(std::memory_order_relaxed);
+    M.OracleSeconds += S->OracleSeconds.load(std::memory_order_relaxed);
     M.Shards.push_back(U);
   }
   M.DecodeCacheBytes = D.decodeCache().bytesUsed();
@@ -575,6 +584,10 @@ void Engine::dispatchLoop() {
   nn::BeamConfig BC;
   BC.BeamSize = Opts.BeamSize;
   BC.MaxLen = Opts.MaxLen;
+  // Keying only (DecodeLRU): constrained and unconstrained results for
+  // the same source can never be served from each other's entries.
+  if (Opts.Constrain == nn::ConstrainMode::Syntax)
+    BC.Constraint = &D.vocabConstraint();
 
   Admission A;
   while (Queue.pop(&A)) {
@@ -707,9 +720,14 @@ void Engine::dispatchLoop() {
 void Engine::shardLoop(Shard &S) {
   const nn::Transformer &Model = D.model();
   const int Vocab = Model.config().Vocab;
+  nn::ConstraintStats OracleStats; // Shard-local; deltas bump S.* atomics.
   nn::BeamConfig BC;
   BC.BeamSize = Opts.BeamSize;
   BC.MaxLen = Opts.MaxLen;
+  if (Opts.Constrain == nn::ConstrainMode::Syntax) {
+    BC.Constraint = &D.vocabConstraint();
+    BC.Stats = &OracleStats;
+  }
   const int BeamsPerSource = std::max(1, Opts.BeamSize);
 
   nn::Transformer::BatchDecodeState St = Model.startDecodeStream(
@@ -803,6 +821,7 @@ void Engine::shardLoop(Shard &S) {
         M.Enc->Consts ? M.Enc->Consts->Version : Model.weightVersion();
     J->Seg = Seg;
     J->Live.resize(1); // The BOS hypothesis.
+    J->CC.init(BC);    // Fresh oracle cursor for the BOS beam.
     J->NextTokens = {nn::Transformer::BosId};
     bump(S.Sources, 1);
     {
@@ -999,7 +1018,7 @@ void Engine::shardLoop(Shard &S) {
             return Logits.data() +
                    (static_cast<size_t>(RowBase) + BI) * Vocab;
           },
-          Vocab, BC, Scratch);
+          Vocab, BC, Scratch, &J.CC);
       ++J.Steps;
       // Retire on the EOS quota, beam exhaustion, or the step budget —
       // the same three exits as beamSearchImpl's loop, in the same
@@ -1009,7 +1028,8 @@ void Engine::shardLoop(Shard &S) {
         std::shared_ptr<const std::vector<nn::Hypothesis>> Hyps =
             std::make_shared<std::vector<nn::Hypothesis>>(
                 nn::beamcore::finalizeBeams(std::move(J.Live),
-                                            std::move(J.Done), BC));
+                                            std::move(J.Done), BC,
+                                            &J.CC));
         // LRU insert FIRST, registry drop second: a dispatcher that
         // still sees the key routes an attach here (served from a live
         // job or this cache entry); one that no longer sees it finds
@@ -1034,6 +1054,14 @@ void Engine::shardLoop(Shard &S) {
       RowBase += Rows;
     }
     Jobs.resize(Keep);
+    if (BC.Constraint) {
+      // Publish this tick's oracle counters (single-writer bumps; the
+      // shard-local struct resets so deltas stay per-tick).
+      bump(S.TokensMasked, OracleStats.TokensMasked);
+      bump(S.BeamsKilled, OracleStats.BeamsKilled);
+      bump(S.OracleSeconds, OracleStats.OracleSeconds);
+      OracleStats = nn::ConstraintStats();
+    }
     // Survivor gather; B may drop to zero when every source retired.
     Model.reorderBeams(St, SrcIdx);
   }

@@ -119,6 +119,12 @@ struct EngineOptions {
   /// Deterministic fault injection (serve/FaultInjector.h). Default-off:
   /// all probabilities zero.
   FaultConfig Faults;
+  /// Grammar-constrained decoding (--constrain). Off is byte-identical
+  /// to the pre-constraint engine; Syntax gives every live beam a
+  /// cc::PrefixOracle cursor, masks doomed vocabulary pieces pre-top-k,
+  /// and kills fully-masked beams mid-flight (their K/V rows free
+  /// exactly like deadline aborts).
+  nn::ConstrainMode Constrain = nn::ConstrainMode::Off;
 };
 
 /// The shard count an options value resolves to: the value itself when
@@ -177,6 +183,10 @@ struct EngineMetrics {
   double EncodeSeconds = 0; ///< Encoder passes at dispatch (LRU misses).
   double DecodeSeconds = 0; ///< Time inside stepDecodeBatch ticks.
   double VerifySeconds = 0; ///< Summed pool verify time (overlapped).
+  // -- grammar-constraint counters (zero when Constrain is Off) ----------
+  uint64_t BeamsKilled = 0;  ///< Beams whose every candidate was masked.
+  uint64_t TokensMasked = 0; ///< Vocab entries masked, summed over steps.
+  double OracleSeconds = 0;  ///< Time inside the oracle/mask code.
   // -- typed-outcome counters (the overload/robustness picture) ----------
   size_t Shed = 0;         ///< QueueFull rejections (load-shedding mode).
   size_t Expired = 0;      ///< DeadlineExpired resolutions (any stage).

@@ -173,6 +173,7 @@ Scheduler::decodeAll(const std::vector<std::vector<int>> &Srcs) {
   // regime).
   EO.UseDecodeCache = false;
   EO.QueueCapacity = std::max<size_t>(1, UniqueIdx.size());
+  EO.Constrain = Opts.Constrain;
   M.EngineMaxLive = EO.MaxLiveSources;
   M.EngineShards = ShardCount;
 
@@ -209,6 +210,9 @@ Scheduler::decodeAll(const std::vector<std::vector<int>> &Srcs) {
     M.DecodeCacheHits += EM.DecodeCacheHits;
     M.DecodeCacheMisses += EM.DecodeCacheMisses;
     M.DecodeCacheBytes = EM.DecodeCacheBytes;
+    M.BeamsKilled += EM.BeamsKilled;
+    M.TokensMasked += EM.TokensMasked;
+    M.OracleSeconds += EM.OracleSeconds;
     M.QueueWaitP50 = EM.QueueWait.P50;
     M.QueueWaitP95 = EM.QueueWait.P95;
     M.QueueWaitP99 = EM.QueueWait.P99;

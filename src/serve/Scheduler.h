@@ -76,6 +76,9 @@ struct ServeOptions {
   /// count) — the fused-vs-solo tradeoff shifts when N shards share the
   /// memory system.
   int Shards = 0;
+  /// Grammar-constrained decoding (--constrain), forwarded to the
+  /// engine. Off is byte-identical to the pre-constraint scheduler.
+  nn::ConstrainMode Constrain = nn::ConstrainMode::Off;
 };
 
 /// A raw translation request: assembly text in, C hypothesis out.
@@ -149,6 +152,11 @@ struct ServeMetrics {
   size_t DecodeCacheHits = 0;
   size_t DecodeCacheMisses = 0;
   size_t DecodeCacheBytes = 0;
+  /// Grammar-constraint counters (engine pass-through; zero when
+  /// Constrain is Off).
+  uint64_t BeamsKilled = 0;
+  uint64_t TokensMasked = 0;
+  double OracleSeconds = 0;
 };
 
 class Scheduler {

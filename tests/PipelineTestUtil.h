@@ -12,6 +12,8 @@
 #include "cc/Parser.h"
 #include "cc/Sema.h"
 #include "codegen/Backend.h"
+#include "core/Eval.h"
+#include "core/Trainer.h"
 #include "ir/IRGen.h"
 #include "ir/Passes.h"
 #include "vm/IOHarness.h"
@@ -21,6 +23,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace slade {
 namespace testutil {
@@ -92,6 +95,52 @@ inline uint64_t callInt(const Compiled &C, asmx::Dialect D,
                                         EC);
   EXPECT_EQ(Out.K, vm::RunOutcome::Return) << Out.FaultReason;
   return Out.IntResult;
+}
+
+/// A small deployable system: tokenizer trained on the given pairs, model
+/// left untrained (decoding still runs the full stack and is perfectly
+/// deterministic, which is all pipeline tests need).
+inline core::TrainedSystem
+tinySystem(const std::vector<core::TrainPair> &Pairs) {
+  core::TrainConfig TC;
+  TC.Steps = 0; // Tokenizer only; weights stay at init.
+  TC.VocabSize = 200;
+  TC.DModel = 32;
+  TC.NHeads = 2;
+  TC.FF = 48;
+  TC.EncLayers = 1;
+  TC.DecLayers = 1;
+  TC.Verbose = false;
+  return core::trainSystem(Pairs, TC);
+}
+
+/// Demo-corpus eval tasks plus a Decompiler over a tinySystem: the
+/// standard fixture for decode-path determinism and serving tests.
+struct DecompilerFixture {
+  std::vector<core::EvalTask> Tasks;
+  std::unique_ptr<core::Decompiler> Slade;
+
+  explicit DecompilerFixture(size_t N, uint64_t Seed = 99) {
+    dataset::Corpus Corpus =
+        dataset::buildCorpus(dataset::Suite::ExeBench, 8, N, Seed);
+    Tasks = core::buildTasks(Corpus.Test, asmx::Dialect::X86,
+                             /*Optimize=*/false);
+    std::vector<core::TrainPair> Pairs = core::buildTrainPairs(
+        Corpus.Train, asmx::Dialect::X86, /*Optimize=*/false);
+    core::TrainedSystem Sys = tinySystem(Pairs);
+    Slade = std::make_unique<core::Decompiler>(std::move(Sys.Tok),
+                                               std::move(Sys.Model));
+  }
+};
+
+/// Field-by-field equality for two HypothesisOutcomes of the same job.
+inline void expectSameOutcome(const core::HypothesisOutcome &A,
+                              const core::HypothesisOutcome &B, size_t I) {
+  EXPECT_EQ(A.CSource, B.CSource) << "job " << I;
+  EXPECT_EQ(A.Produced, B.Produced) << "job " << I;
+  EXPECT_EQ(A.Compiles, B.Compiles) << "job " << I;
+  EXPECT_EQ(A.IOCorrect, B.IOCorrect) << "job " << I;
+  EXPECT_EQ(A.EditSim, B.EditSim) << "job " << I;
 }
 
 } // namespace testutil

@@ -1,0 +1,571 @@
+//===- test_constrain.cpp - grammar-constrained decoding tests -------------===//
+//
+// Differential pinning of cc::PrefixOracle against the real cc::Lexer/
+// cc::Parser frontend, plus the snapshot/advance/rollback state property
+// beams rely on, plus byte-identity regression pins for --constrain=off.
+//
+// The oracle's contract has two directions:
+//   soundness:  it never rejects a byte prefix of a parseable program
+//               (checked on every prefix of thousands of generated
+//               functions, contexts, and whole translation units);
+//   usefulness: when it does reject, the prefix really is a dead end —
+//               the parser fails on the prefix extended by any single
+//               token (checked on randomly mutated programs).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cc/AST.h"
+#include "cc/Parser.h"
+#include "cc/PrefixOracle.h"
+#include "dataset/Generator.h"
+#include "serve/Scheduler.h"
+#include "support/RNG.h"
+
+#include "PipelineTestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace slade;
+using namespace slade::cc;
+
+namespace {
+
+bool parsesPartial(const std::string &Src) {
+  TypeContext Ctx;
+  ParseOptions Opts;
+  Opts.Partial = true;
+  return parseC(Src, Ctx, Opts).hasValue();
+}
+
+/// Feeds the whole text byte-by-byte, asserting liveness at every prefix.
+/// Returns the final state.
+PrefixOracle::State feedExpectAlive(const PrefixOracle &O,
+                                    const std::string &Text,
+                                    const char *What) {
+  PrefixOracle::State S = O.start();
+  for (size_t I = 0; I < Text.size(); ++I) {
+    bool Alive = O.advance(S, std::string_view(&Text[I], 1));
+    if (!Alive) {
+      ADD_FAILURE() << What << ": oracle rejected parseable prefix at byte "
+                    << I << " ('" << Text[I] << "')\nprefix: <<<"
+                    << Text.substr(0, I + 1) << ">>>";
+      return S;
+    }
+  }
+  return S;
+}
+
+/// One representative spelling per terminal the lexer can produce,
+/// used as the single-token continuations of the usefulness check.
+const std::vector<std::string> &continuationTokens() {
+  static const std::vector<std::string> Toks = [] {
+    std::vector<std::string> V = {
+        "x", "1", "1.5", "'a'", "\"s\"",
+        // keywords (accepted and rejected ones alike)
+        "void", "int", "unsigned", "const", "static", "struct", "typedef",
+        "extern", "sizeof", "if", "else", "while", "do", "for", "return",
+        "break", "continue", "union", "switch", "goto",
+        // punctuators
+        "(", ")", "{", "}", "[", "]", ";", ",", "?", ":", ".", "->", "++",
+        "--", "*", "&", "+", "-", "!", "~", "=", "+=", "<<=", "==", "&&",
+        "<", ">>", "/", "%", "^", "|", "...",
+    };
+    return V;
+  }();
+  return Toks;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Differential soundness: every prefix of every generated function
+//===----------------------------------------------------------------------===//
+
+TEST(PrefixOracle, AcceptsEveryPrefixOfGeneratedFunctions) {
+  PrefixOracle O;
+  SplitMix64 Rng(0xC0FFEE);
+  const auto &Cats = dataset::synthCategories();
+  size_t NumFns = 0;
+  // >= 2000 functions across both suites and all synth categories; each
+  // is checked standalone AND inside its full context (the form the
+  // parser actually sees during verification).
+  for (int I = 0; I < 1100 && !HasFatalFailure(); ++I) {
+    dataset::Sample Ex =
+        dataset::generateSample(Rng, dataset::Suite::ExeBench, "");
+    dataset::Sample Sy = dataset::generateSample(
+        Rng, dataset::Suite::Synth, Cats[I % Cats.size()]);
+    for (const dataset::Sample *Smp : {&Ex, &Sy}) {
+      ASSERT_TRUE(parsesPartial(Smp->FunctionSource))
+          << "generator emitted an unparseable function: "
+          << Smp->FunctionSource;
+      PrefixOracle::State S =
+          feedExpectAlive(O, Smp->FunctionSource, Smp->Name.c_str());
+      EXPECT_TRUE(O.acceptsEnd(S))
+          << "complete parseable function not accepted as an end state:\n"
+          << Smp->FunctionSource;
+      ++NumFns;
+      if (!Smp->ContextSource.empty()) {
+        std::string Full = Smp->ContextSource + "\n" + Smp->FunctionSource;
+        if (parsesPartial(Full)) {
+          PrefixOracle::State SF = feedExpectAlive(O, Full, Smp->Name.c_str());
+          EXPECT_TRUE(O.acceptsEnd(SF)) << Full;
+        }
+      }
+    }
+  }
+  EXPECT_GE(NumFns, 2000u);
+}
+
+TEST(PrefixOracle, ChunkBoundariesNeverMatter) {
+  // advance() must be chunking-invariant: the vocab adapter feeds
+  // multi-byte pieces, the tests feed single bytes; both must land on
+  // memcmp-identical states.
+  PrefixOracle O;
+  SplitMix64 Rng(77);
+  for (int I = 0; I < 50; ++I) {
+    dataset::Sample Smp =
+        dataset::generateSample(Rng, dataset::Suite::ExeBench, "");
+    const std::string &Text = Smp.FunctionSource;
+    PrefixOracle::State ByByte = O.start();
+    for (char C : Text)
+      O.advance(ByByte, std::string_view(&C, 1));
+    PrefixOracle::State Whole = O.start();
+    O.advance(Whole, Text);
+    ASSERT_EQ(0, std::memcmp(&ByByte, &Whole, sizeof(PrefixOracle::State)));
+    PrefixOracle::State Random = O.start();
+    size_t Pos = 0;
+    while (Pos < Text.size()) {
+      size_t Len = 1 + Rng.next() % 7;
+      Len = std::min(Len, Text.size() - Pos);
+      O.advance(Random, std::string_view(Text.data() + Pos, Len));
+      Pos += Len;
+    }
+    ASSERT_EQ(0, std::memcmp(&ByByte, &Random, sizeof(PrefixOracle::State)));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Usefulness: rejection implies the parser fails on every single-token
+// continuation
+//===----------------------------------------------------------------------===//
+
+TEST(PrefixOracle, RejectionImpliesParserFailureOnAllContinuations) {
+  PrefixOracle O;
+  SplitMix64 Rng(0xBADC0DE);
+  const std::string Bytes = "(){}[];,.*&+-=<>!~?:x1\"'%^|/ ";
+  int Rejections = 0;
+  for (int I = 0; I < 400; ++I) {
+    dataset::Sample Smp =
+        dataset::generateSample(Rng, dataset::Suite::ExeBench, "");
+    std::string Text = Smp.FunctionSource;
+    if (Text.size() < 8)
+      continue;
+    // Mutate: replace or insert a random byte somewhere in the function.
+    size_t Pos = 1 + Rng.next() % (Text.size() - 2);
+    char NewC = Bytes[Rng.next() % Bytes.size()];
+    if (Rng.next() & 1)
+      Text[Pos] = NewC;
+    else
+      Text.insert(Text.begin() + Pos, NewC);
+
+    PrefixOracle::State S = O.start();
+    size_t Died = Text.size();
+    for (size_t B = 0; B < Text.size(); ++B) {
+      if (!O.advance(S, std::string_view(&Text[B], 1))) {
+        Died = B + 1;
+        break;
+      }
+    }
+    if (Died == Text.size())
+      continue; // mutation survived (or is genuinely still extendable)
+    ++Rejections;
+    std::string Prefix = Text.substr(0, Died);
+    EXPECT_FALSE(parsesPartial(Prefix))
+        << "oracle rejected but the prefix parses: <<<" << Prefix << ">>>";
+    for (const std::string &Tok : continuationTokens()) {
+      EXPECT_FALSE(parsesPartial(Prefix + " " + Tok))
+          << "oracle rejected but prefix + '" << Tok << "' parses: <<<"
+          << Prefix << ">>>";
+      if (HasFailure())
+        return;
+    }
+  }
+  // The mutation distribution must actually exercise the reject path.
+  EXPECT_GE(Rejections, 40) << "mutation campaign too weak to test anything";
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshot / advance / rollback state property
+//===----------------------------------------------------------------------===//
+
+TEST(PrefixOracle, SnapshotRollbackBitIdenticalToReplay) {
+  // Beams snapshot oracle cursors, advance them speculatively, get
+  // reordered, and die; survivors must be indistinguishable from a
+  // cursor that only ever saw the surviving byte sequence. Random
+  // interleavings of advance/snapshot/rollback against a from-scratch
+  // replay of the surviving bytes.
+  PrefixOracle O;
+  SplitMix64 Rng(2024);
+  for (int Round = 0; Round < 200; ++Round) {
+    dataset::Sample Smp = dataset::generateSample(
+        Rng, dataset::Suite::Synth,
+        dataset::synthCategories()[Round %
+                                   dataset::synthCategories().size()]);
+    const std::string &Text = Smp.FunctionSource;
+    PrefixOracle::State Cur = O.start();
+    std::vector<PrefixOracle::State> Snaps;
+    std::vector<size_t> SnapPos;
+    std::string Survived;
+    size_t Pos = 0;
+    int Ops = 0;
+    while (Pos < Text.size() && Ops++ < 300) {
+      uint64_t R = Rng.next() % 10;
+      if (R < 6) { // advance a random chunk
+        size_t Len = std::min<size_t>(1 + Rng.next() % 5, Text.size() - Pos);
+        O.advance(Cur, std::string_view(Text.data() + Pos, Len));
+        Survived.append(Text, Pos, Len);
+        Pos += Len;
+      } else if (R < 8) { // snapshot (beam fork)
+        Snaps.push_back(Cur);
+        SnapPos.push_back(Pos);
+      } else if (!Snaps.empty()) { // rollback (beam death / reorder)
+        Cur = Snaps.back();
+        Pos = SnapPos.back();
+        Survived.resize(Pos);
+        Snaps.pop_back();
+        SnapPos.pop_back();
+      }
+    }
+    PrefixOracle::State Fresh = O.start();
+    O.advance(Fresh, Survived);
+    ASSERT_EQ(0, std::memcmp(&Cur, &Fresh, sizeof(PrefixOracle::State)))
+        << "state after snapshot/rollback diverges from scratch replay at "
+        << "round " << Round << " (survived " << Survived.size()
+        << " bytes)";
+  }
+}
+
+TEST(PrefixOracle, TerminalMaskMatchesStepOutcome) {
+  // terminalMask() must agree bit-for-bit with what feeding each token
+  // spelling actually does at a clean boundary.
+  PrefixOracle O;
+  SplitMix64 Rng(99);
+  const struct {
+    const char *Spelling;
+    int Term;
+  } Probe[] = {
+      {"x", PrefixOracle::T_Ident},      {"1", PrefixOracle::T_IntLit},
+      {"int", PrefixOracle::T_KwType},   {"const", PrefixOracle::T_KwQual},
+      {"struct", PrefixOracle::T_KwStruct}, {"(", PrefixOracle::T_LParen},
+      {")", PrefixOracle::T_RParen},     {"{", PrefixOracle::T_LBrace},
+      {"}", PrefixOracle::T_RBrace},     {";", PrefixOracle::T_Semi},
+      {",", PrefixOracle::T_Comma},      {"*", PrefixOracle::T_Star},
+      {"=", PrefixOracle::T_Assign},     {"+=", PrefixOracle::T_OpAssign},
+      {"==", PrefixOracle::T_BinOp},     {"?", PrefixOracle::T_Question},
+      {"return", PrefixOracle::T_KwReturn},
+  };
+  for (int I = 0; I < 30; ++I) {
+    dataset::Sample Smp =
+        dataset::generateSample(Rng, dataset::Suite::ExeBench, "");
+    const std::string &Text = Smp.FunctionSource;
+    PrefixOracle::State S = O.start();
+    for (size_t B = 0; B < Text.size() && !S.Dead; ++B) {
+      O.advance(S, std::string_view(&Text[B], 1));
+      if (Rng.next() % 23 != 0)
+        continue;
+      PrefixOracle::State Bnd = O.boundary(S);
+      if (Bnd.Dead)
+        continue;
+      uint64_t Mask = O.terminalMask(Bnd);
+      for (const auto &P : Probe) {
+        PrefixOracle::State Probe1 = Bnd;
+        // A leading space forces a boundary, then the spelling, then a
+        // trailing space resolves it.
+        bool Accepted = O.advance(Probe1, std::string(" ") + P.Spelling +
+                                              " ");
+        bool MaskSays = (Mask >> P.Term) & 1;
+        EXPECT_EQ(Accepted, MaskSays)
+            << "mask disagrees with stepping '" << P.Spelling
+            << "' after: <<<" << Text.substr(0, B + 1) << ">>>";
+        if (HasFailure())
+          return;
+      }
+    }
+  }
+}
+
+TEST(PrefixOracle, StaticTables) {
+  using POx = PrefixOracle;
+  EXPECT_EQ(POx::keywordTerm("int"), POx::T_KwType);
+  EXPECT_EQ(POx::keywordTerm("__restrict"), POx::T_KwQual);
+  EXPECT_EQ(POx::keywordTerm("union"), -1);
+  EXPECT_EQ(POx::keywordTerm("switch"), -1);
+  EXPECT_EQ(POx::keywordTerm("notakeyword"), POx::T_Ident);
+  // "un" extends to unsigned (accepted) and union (rejected): only the
+  // accepted bit shows up.
+  EXPECT_EQ(POx::keywordPrefixBits("un"), POx::bit(POx::T_KwType));
+  EXPECT_EQ(POx::keywordPrefixBits("zz"), 0u);
+  EXPECT_NE(POx::keywordPrefixBits("re") & POx::bit(POx::T_KwReturn), 0u);
+  EXPECT_NE(POx::keywordPrefixBits("re") & POx::bit(POx::T_KwQual), 0u);
+
+  EXPECT_EQ(POx::punctTerm("+"), POx::T_Plus);
+  EXPECT_EQ(POx::punctTerm("<<="), POx::T_OpAssign);
+  EXPECT_EQ(POx::punctTerm("..."), -1);
+  EXPECT_EQ(POx::punctTerm("@"), -1);
+  EXPECT_TRUE(POx::punctExtends("<", '<'));
+  EXPECT_TRUE(POx::punctExtends("<<", '='));
+  EXPECT_FALSE(POx::punctExtends("<<=", '='));
+  EXPECT_TRUE(POx::punctExtends("..", '.'));
+  // "<" can end up as <, <<, <= (BinOp) or <<= (OpAssign).
+  EXPECT_EQ(POx::punctPrefixBits("<"),
+            POx::bit(POx::T_BinOp) | POx::bit(POx::T_OpAssign));
+  // ".." can only become "..." (never accepted) or flush as two dots —
+  // the chain itself carries no reachable complete punctuator.
+  EXPECT_EQ(POx::punctPrefixBits(".."), 0u);
+}
+
+TEST(PrefixOracle, HandLexerEdgeCases) {
+  // Numeric/lexical corners mirrored from cc::Lexer: each source must
+  // be accepted end-to-end iff the real frontend parses it.
+  PrefixOracle O;
+  const std::pair<const char *, bool> Cases[] = {
+      {"int f() { return 1.; }", true},      // "1." is a float literal
+      {"int f() { return 1e; }", true},      // empty exponent lexes
+      {"int f() { return 0x; }", true},      // "0x" lexes as 0
+      {"int f() { return .5f; }", true},     // ".5" starts a number
+      {"int f() { return 0x1fUL; }", true},
+      {"int f() { return 1..2; }", false},   // float then member-dot
+      {"int f() { return 'ab'; }", false},   // unterminated char value
+      {"int f() { return '''; }", true},     // quote is the char value
+      {"int f() { return \"a\\\"b\"; }", true},
+      {"int f() { return a..b; }", false},   // dot-dot never parses
+      {"int f() { return a...b; }", false},  // "..." never parses
+      {"int f() { int x = 1 /* c */ + 2; return x; }", true},
+      {"int f() { // c\n return 0; }", true},
+      {"#define X 1\nint f() { return 0; }", true}, // '#' line skipped
+      {"int f() { return $; }", false},      // unknown char
+      {"int f(float x) { return x <<= 2; }", true},
+      {"int f() { union u; }", false},       // rejected keyword
+      {"int f() { goto l; }", false},
+  };
+  for (const auto &[Src, Valid] : Cases) {
+    ASSERT_EQ(parsesPartial(Src), Valid) << Src;
+    PrefixOracle::State S = O.start();
+    bool Alive = O.advance(S, Src) && O.acceptsEnd(S);
+    if (Valid)
+      EXPECT_TRUE(Alive) << "oracle rejected parseable: " << Src;
+    // (When !Valid the oracle MAY accept: it is an over-approximation.
+    // The usefulness direction is covered by the mutation test.)
+  }
+}
+
+TEST(PrefixOracle, GenerousDegradationOnDeepNesting) {
+  // Frames are bounded; past the bound the oracle flips to Generous and
+  // accepts everything rather than mis-rejecting a valid deep program.
+  PrefixOracle O;
+  std::string Deep = "int f() { return ";
+  for (int I = 0; I < 80; ++I)
+    Deep += "(1 + ";
+  PrefixOracle::State S = O.start();
+  EXPECT_TRUE(O.advance(S, Deep));
+  EXPECT_TRUE(S.Generous);
+  EXPECT_TRUE(O.acceptsEnd(S)); // generous states refuse nothing
+  EXPECT_TRUE(O.advance(S, ") ] } while"));
+}
+
+//===----------------------------------------------------------------------===//
+// Decode integration: --constrain wiring through beam search and serving
+//===----------------------------------------------------------------------===//
+
+TEST(Constrain, OffModeByteIdenticalAcrossDriversAndShards) {
+  // The regression pin for this PR: with the constraint off (the default,
+  // a nullptr in BeamConfig), every decode driver — sequential
+  // Decompiler::decompile, fused beamSearchMulti, and the sharded
+  // streaming engine behind the Scheduler — must produce byte-identical
+  // outputs, exactly as before the constraint plumbing existed.
+  testutil::DecompilerFixture F(5);
+  ASSERT_GE(F.Tasks.size(), 2u) << "demo corpus unexpectedly rejected";
+
+  core::Decompiler::Options DOpts;
+  DOpts.BeamSize = 3;
+  DOpts.MaxLen = 48;
+  DOpts.VerifyThreads = 1;
+  std::vector<core::HypothesisOutcome> Seq;
+  for (const core::EvalTask &T : F.Tasks)
+    Seq.push_back(F.Slade->decompile(T, DOpts));
+
+  nn::BeamConfig BC;
+  BC.BeamSize = 3;
+  BC.MaxLen = 48;
+  std::vector<std::shared_ptr<const nn::Transformer::EncoderCache>> Encs;
+  for (const core::EvalTask &T : F.Tasks)
+    Encs.push_back(
+        F.Slade->encodeCached(F.Slade->tokenizer().encode(T.Prog.TargetAsm)));
+  std::vector<std::vector<nn::Hypothesis>> Multi =
+      nn::beamSearchMulti(F.Slade->model(), Encs, BC);
+  ASSERT_EQ(Multi.size(), F.Tasks.size());
+  for (size_t I = 0; I < Multi.size(); ++I) {
+    std::vector<nn::Hypothesis> Solo =
+        nn::beamSearch(F.Slade->model(), Encs[I], BC);
+    ASSERT_EQ(Multi[I].size(), Solo.size()) << "job " << I;
+    for (size_t H = 0; H < Solo.size(); ++H) {
+      EXPECT_EQ(Multi[I][H].Tokens, Solo[H].Tokens) << "job " << I;
+      EXPECT_EQ(Multi[I][H].Score, Solo[H].Score) << "job " << I;
+    }
+  }
+
+  for (int Shards : {1, 2, 4}) {
+    serve::ServeOptions SO;
+    SO.BeamSize = 3;
+    SO.MaxLen = 48;
+    SO.Threads = 2;
+    SO.Shards = Shards;
+    SO.Constrain = nn::ConstrainMode::Off;
+    serve::Scheduler Sched(*F.Slade, SO);
+    std::vector<core::HypothesisOutcome> Served =
+        Sched.decompileAll(F.Tasks);
+    ASSERT_EQ(Served.size(), Seq.size());
+    for (size_t I = 0; I < Seq.size(); ++I)
+      testutil::expectSameOutcome(Served[I], Seq[I], I);
+    // Off mode never touches the oracle: the counters must stay zero.
+    const serve::ServeMetrics &M = Sched.metrics();
+    EXPECT_EQ(M.TokensMasked, 0u) << Shards << " shards";
+    EXPECT_EQ(M.BeamsKilled, 0u) << Shards << " shards";
+    EXPECT_EQ(M.OracleSeconds, 0.0) << Shards << " shards";
+  }
+}
+
+TEST(Constrain, SyntaxModeEveryCandidateParses) {
+  // The acceptance gate, as a unit test: under --constrain=syntax no
+  // candidate that would reach IO-verification may be rejected by the
+  // real frontend. A lightly-trained model (enough steps to learn to
+  // close a function and emit EOS, nowhere near convergence) is the
+  // hardest practical input: output is mostly noise, so nearly every
+  // step has tokens to mask, yet beams can still finish.
+  dataset::Corpus Corpus =
+      dataset::buildCorpus(dataset::Suite::ExeBench, 8, 5, /*Seed=*/99);
+  std::vector<core::EvalTask> Tasks = core::buildTasks(
+      Corpus.Test, asmx::Dialect::X86, /*Optimize=*/false);
+  ASSERT_GE(Tasks.size(), 2u) << "demo corpus unexpectedly rejected";
+  core::TrainConfig TC;
+  TC.Steps = 60;
+  TC.VocabSize = 200;
+  TC.DModel = 32;
+  TC.NHeads = 2;
+  TC.FF = 48;
+  TC.EncLayers = 1;
+  TC.DecLayers = 1;
+  TC.Verbose = false;
+  core::TrainedSystem Sys = core::trainSystem(
+      core::buildTrainPairs(Corpus.Train, asmx::Dialect::X86,
+                            /*Optimize=*/false),
+      TC);
+  core::Decompiler Slade(std::move(Sys.Tok), std::move(Sys.Model));
+
+  nn::ConstraintStats Stats;
+  nn::BeamConfig BC;
+  BC.BeamSize = 3;
+  BC.MaxLen = 160;
+  BC.Constraint = &Slade.vocabConstraint();
+  BC.Stats = &Stats;
+  size_t Candidates = 0;
+  for (const core::EvalTask &T : Tasks) {
+    std::vector<int> Src = Slade.tokenizer().encode(T.Prog.TargetAsm);
+    std::vector<nn::Hypothesis> Hyps =
+        nn::beamSearch(Slade.model(), Slade.encodeCached(Src), BC);
+    for (const nn::Hypothesis &H : Hyps) {
+      std::string C = Slade.tokenizer().decode(H.Tokens);
+      ++Candidates;
+      EXPECT_TRUE(parsesPartial(C))
+          << T.Name << ": constrained candidate does not parse:\n" << C;
+    }
+  }
+  // A noisy model must have had tokens masked away; a zero here means
+  // the constraint never engaged and the test proved nothing.
+  EXPECT_GT(Stats.TokensMasked, 0u);
+  EXPECT_GT(Stats.OracleSeconds, 0.0);
+  EXPECT_GT(Candidates, 0u) << "constrained decode produced nothing";
+}
+
+TEST(Constrain, SyntaxModeServingSelectionsParse) {
+  // Same gate through the serving stack: scheduler -> sharded engine ->
+  // constrained BeamCore. Selected hypotheses must parse, and the
+  // engine's constraint counters must surface through ServeMetrics.
+  testutil::DecompilerFixture F(4);
+  ASSERT_GE(F.Tasks.size(), 2u) << "demo corpus unexpectedly rejected";
+
+  serve::ServeOptions SO;
+  SO.BeamSize = 3;
+  SO.MaxLen = 48;
+  SO.Threads = 2;
+  SO.Shards = 2;
+  SO.Constrain = nn::ConstrainMode::Syntax;
+  serve::Scheduler Sched(*F.Slade, SO);
+  std::vector<core::HypothesisOutcome> Served = Sched.decompileAll(F.Tasks);
+  ASSERT_EQ(Served.size(), F.Tasks.size());
+  for (size_t I = 0; I < Served.size(); ++I) {
+    if (!Served[I].Produced)
+      continue;
+    EXPECT_TRUE(parsesPartial(Served[I].CSource))
+        << F.Tasks[I].Name << ": served constrained selection does not "
+        << "parse:\n" << Served[I].CSource;
+  }
+  EXPECT_GT(Sched.metrics().TokensMasked, 0u);
+}
+
+TEST(Constrain, MaskNeverBlocksAParseableProgramsPath) {
+  // Completeness of every allowedTokens fast path: walking the token
+  // sequence of a program known to parse, the TRUE next token must
+  // never be masked, and at the end EOS must be allowed. If this holds
+  // for arbitrary parseable programs, constrained decoding can always
+  // reach every valid output — a mask bug in any fast path (boundary
+  // bits, word continuation, keyword midfix, generic-first-terminal)
+  // would block some real sequence and fail here.
+  //
+  // Note the mask may legitimately be TIGHTER than copy-state-and-
+  // advance: advanceToken keeps an unresolved lexeme tail alive ("!"
+  // pends as a punct chain) while the mask already proves it doomed.
+  testutil::DecompilerFixture F(4);
+  ASSERT_GE(F.Tasks.size(), 1u) << "demo corpus unexpectedly rejected";
+  const tok::Tokenizer &Tok = F.Slade->tokenizer();
+  const tok::VocabConstraint &VC = F.Slade->vocabConstraint();
+
+  SplitMix64 Rng(20240808);
+  std::vector<uint8_t> Allowed;
+  size_t StatesChecked = 0;
+  for (int Round = 0; Round < 60 && !HasFailure(); ++Round) {
+    dataset::Sample Smp = dataset::generateSample(
+        Rng, dataset::Suite::Synth, dataset::synthCategories()
+            [Round % dataset::synthCategories().size()]);
+    std::vector<int> Ids = Tok.encode(Smp.FunctionSource);
+    cc::PrefixOracle::State S = VC.start();
+    std::string Fed;
+    bool Alive = true;
+    for (int Id : Ids) {
+      VC.allowedTokens(S, Allowed);
+      ++StatesChecked;
+      ASSERT_LT(static_cast<size_t>(Id), Allowed.size());
+      EXPECT_TRUE(Allowed[static_cast<size_t>(Id)])
+          << "true next piece " << Id << " [" << VC.pieceText(Id)
+          << "] masked after <<<" << Fed << ">>>";
+      Fed += VC.pieceText(Id);
+      if (!VC.advanceToken(S, Id)) {
+        ADD_FAILURE() << "oracle died on parseable program at <<<" << Fed
+                      << ">>>";
+        Alive = false;
+        break;
+      }
+    }
+    if (Alive) {
+      VC.allowedTokens(S, Allowed);
+      EXPECT_TRUE(Allowed[tok::Tokenizer::EosId])
+          << "EOS masked after complete function:\n"
+          << Smp.FunctionSource;
+    }
+  }
+  EXPECT_GT(StatesChecked, 1000u);
+}

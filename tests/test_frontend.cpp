@@ -54,6 +54,37 @@ TEST(Parser, RejectsGarbage) {
   }
 }
 
+TEST(Parser, RejectsTruncatedInputsWithoutCrashing) {
+  // Beam decode can surface a prefix of a valid program (length cutoff,
+  // killed beam): the parser must fail cleanly — a diagnostic, never a
+  // crash or an accept — on every proper prefix of a valid function.
+  const char *Sources[] = {
+      "int f(int a, int b) { return a * b + 3; }",
+      "struct S { int x[4]; };\nint h(struct S *s) { return s->x[1]; }",
+      "typedef unsigned int u32;\nu32 k(u32 a) { while (a > 9) a /= 2; "
+      "return a; }",
+  };
+  for (const char *Src : Sources) {
+    std::string Full(Src);
+    TypeContext FullCtx;
+    ASSERT_TRUE(parseC(Full, FullCtx, {}).hasValue()) << Src;
+    for (size_t Len = 0; Len < Full.size(); ++Len) {
+      std::string Prefix = Full.substr(0, Len);
+      TypeContext Ctx;
+      ParseOptions Opts;
+      Opts.Partial = true;
+      auto TU = parseC(Prefix, Ctx, Opts);
+      if (!TU.hasValue())
+        continue; // Clean failure: the expected outcome mid-token.
+      // Prefixes that ARE complete translation units (e.g. ending right
+      // after a top-level "};") may legitimately parse; anything the
+      // parser accepts must survive printing without faulting.
+      EXPECT_NO_FATAL_FAILURE({ printTranslationUnit(**TU); })
+          << "prefix len " << Len << " of: " << Src;
+    }
+  }
+}
+
 TEST(Parser, PartialModeAcceptsUnknownTypes) {
   TypeContext Ctx;
   ParseOptions Opts;

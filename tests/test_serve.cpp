@@ -12,6 +12,8 @@
 #include "serve/Jsonl.h"
 #include "serve/Scheduler.h"
 
+#include "PipelineTestUtil.h"
+
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -102,47 +104,10 @@ TEST(Jsonl, CorpusLoadRejectsJobsWithoutPayload) {
 
 // -- scheduler determinism ---------------------------------------------------
 
-/// A small deployable system: tokenizer trained on the demo corpus, model
-/// left untrained (decoding still runs the full stack and is perfectly
-/// deterministic, which is all these tests need).
-core::TrainedSystem tinySystem(const std::vector<core::TrainPair> &Pairs) {
-  core::TrainConfig TC;
-  TC.Steps = 0; // Tokenizer only; weights stay at init.
-  TC.VocabSize = 200;
-  TC.DModel = 32;
-  TC.NHeads = 2;
-  TC.FF = 48;
-  TC.EncLayers = 1;
-  TC.DecLayers = 1;
-  TC.Verbose = false;
-  return core::trainSystem(Pairs, TC);
-}
-
-struct ServeFixture {
-  std::vector<core::EvalTask> Tasks;
-  std::unique_ptr<core::Decompiler> Slade;
-
-  explicit ServeFixture(size_t N) {
-    dataset::Corpus Corpus =
-        dataset::buildCorpus(dataset::Suite::ExeBench, 8, N, /*Seed=*/99);
-    Tasks = core::buildTasks(Corpus.Test, asmx::Dialect::X86,
-                             /*Optimize=*/false);
-    std::vector<core::TrainPair> Pairs = core::buildTrainPairs(
-        Corpus.Train, asmx::Dialect::X86, /*Optimize=*/false);
-    core::TrainedSystem Sys = tinySystem(Pairs);
-    Slade = std::make_unique<core::Decompiler>(std::move(Sys.Tok),
-                                               std::move(Sys.Model));
-  }
-};
-
-void expectSameOutcome(const core::HypothesisOutcome &A,
-                       const core::HypothesisOutcome &B, size_t I) {
-  EXPECT_EQ(A.CSource, B.CSource) << "job " << I;
-  EXPECT_EQ(A.Produced, B.Produced) << "job " << I;
-  EXPECT_EQ(A.Compiles, B.Compiles) << "job " << I;
-  EXPECT_EQ(A.IOCorrect, B.IOCorrect) << "job " << I;
-  EXPECT_EQ(A.EditSim, B.EditSim) << "job " << I;
-}
+// Shared pipeline fixtures (tests/PipelineTestUtil.h): a tiny
+// tokenizer-only system, demo tasks + Decompiler, and outcome equality.
+using testutil::expectSameOutcome;
+using ServeFixture = testutil::DecompilerFixture;
 
 TEST(Scheduler, ConcurrentDecompileMatchesSequentialByteForByte) {
   ServeFixture F(6);

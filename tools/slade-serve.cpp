@@ -20,6 +20,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "cc/Parser.h"
 #include "core/Eval.h"
 #include "core/Trainer.h"
 #include "serve/Engine.h"
@@ -55,6 +56,7 @@ struct CliOptions {
   std::vector<std::string> AsmFiles;
   int DemoN = 0;
   int DemoDup = 1; ///< Requests per demo function (duplicate traffic).
+  nn::ConstrainMode Constrain = nn::ConstrainMode::Off;
   int EncCacheMb = 0; ///< Encoder-LRU byte budget in MiB (0 = count only).
   int DecCacheMb = 0; ///< Decode-LRU byte budget in MiB (0 = count only).
   bool Sequential = false; ///< Baseline: one Decompiler call per job.
@@ -98,6 +100,13 @@ void usage() {
       "  --dup F              repeat each demo function F times (models\n"
       "                       duplicate-heavy serving traffic; default 1)\n"
       "  --beam K             beam size (default 5)\n"
+      "  --constrain M        off|syntax: grammar-constrained decoding.\n"
+      "                       syntax masks vocabulary pieces that cannot\n"
+      "                       extend to a parseable C function and kills\n"
+      "                       beams with no viable continuation; also\n"
+      "                       gates the run: any produced candidate that\n"
+      "                       the C frontend rejects is an error\n"
+      "                       (default off, byte-identical to before)\n"
       "  --maxlen N           max decoded tokens (default 220)\n"
       "  --threads N          worker threads, 0 = hardware (default)\n"
       "  --decode-batch N     max sources decoding concurrently in the\n"
@@ -180,6 +189,19 @@ bool parseArgs(int argc, char **argv, CliOptions *O) {
       if (!V)
         return false;
       O->DemoDup = std::max(1, std::atoi(V));
+    } else if (A == "--constrain") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      if (std::strcmp(V, "syntax") == 0) {
+        O->Constrain = nn::ConstrainMode::Syntax;
+      } else if (std::strcmp(V, "off") == 0) {
+        O->Constrain = nn::ConstrainMode::Off;
+      } else {
+        std::fprintf(stderr, "error: --constrain must be off|syntax\n");
+        return false;
+      }
+      O->Serve.Constrain = O->Constrain;
     } else if (A == "--beam") {
       const char *V = Next();
       if (!V)
@@ -380,6 +402,13 @@ void printMetrics(const char *Label, const serve::ServeMetrics &M) {
                Label, 1e3 * M.QueueWaitP50, 1e3 * M.QueueWaitP95,
                1e3 * M.QueueWaitP99, 1e3 * M.LatencyP50,
                1e3 * M.LatencyP95, 1e3 * M.LatencyP99);
+  if (M.TokensMasked + M.BeamsKilled > 0 || M.OracleSeconds > 0)
+    std::fprintf(stderr,
+                 "[%s] constrain: %llu tokens masked, %llu beams killed, "
+                 "oracle %.3fs\n",
+                 Label, static_cast<unsigned long long>(M.TokensMasked),
+                 static_cast<unsigned long long>(M.BeamsKilled),
+                 M.OracleSeconds);
 }
 
 /// One summary JSONL object per scheduler run, written after the
@@ -410,6 +439,9 @@ std::string metricsJson(const char *Label, const serve::ServeMetrics &M) {
      << ", \"requests_failed\": " << M.RequestsFailed
      << ", \"verify_timeouts\": " << M.VerifyTimeouts
      << ", \"verify_retries\": " << M.VerifyRetries
+     << ", \"beams_killed\": " << M.BeamsKilled
+     << ", \"tokens_masked\": " << M.TokensMasked
+     << ", \"oracle_s\": " << M.OracleSeconds
      << ", \"queue_wait_p50_s\": " << M.QueueWaitP50
      << ", \"queue_wait_p95_s\": " << M.QueueWaitP95
      << ", \"queue_wait_p99_s\": " << M.QueueWaitP99
@@ -481,6 +513,7 @@ StreamOutcome streamThroughEngine(const core::Decompiler &Slade,
   EO.MaxLiveSources = O.MaxLive;
   EO.Shards = O.Shards;
   EO.QueueCapacity = static_cast<size_t>(O.QueueCap);
+  EO.Constrain = O.Constrain;
   EO.BlockOnFull = !O.Shed;
   EO.VerifyCandidateTimeout = O.VerifyTimeoutMs / 1000.0;
   EO.VerifyMaxRetries = O.VerifyRetries;
@@ -633,6 +666,13 @@ void printStreamMetrics(const char *Label, const StreamOutcome &SO) {
                  static_cast<unsigned long long>(EM.VerifyTimeouts),
                  static_cast<unsigned long long>(EM.VerifyRetries),
                  EM.DrainMs);
+  if (EM.TokensMasked + EM.BeamsKilled > 0 || EM.OracleSeconds > 0)
+    std::fprintf(stderr,
+                 "[%s] constrain: %llu tokens masked, %llu beams killed, "
+                 "oracle %.3fs\n",
+                 Label, static_cast<unsigned long long>(EM.TokensMasked),
+                 static_cast<unsigned long long>(EM.BeamsKilled),
+                 EM.OracleSeconds);
   std::fprintf(stderr,
                "[%s] %zu attached in flight, decode cache %zu hits / %zu "
                "misses (%.1f KiB); per-shard utilization:",
@@ -671,6 +711,9 @@ std::string streamJson(const char *Label, const StreamOutcome &SO) {
        << ", \"verify_timeouts\": " << EM.VerifyTimeouts
        << ", \"verify_retries\": " << EM.VerifyRetries
        << ", \"drain_ms\": " << EM.DrainMs
+       << ", \"beams_killed\": " << EM.BeamsKilled
+       << ", \"tokens_masked\": " << EM.TokensMasked
+       << ", \"oracle_s\": " << EM.OracleSeconds
        << ", \"deduped_in_flight\": " << EM.InFlightDeduped
        << ", \"decode_cache_hits\": " << EM.DecodeCacheHits
        << ", \"decode_cache_misses\": " << EM.DecodeCacheMisses
@@ -689,6 +732,45 @@ std::string streamJson(const char *Label, const StreamOutcome &SO) {
   SS << "}";
   return SS.str();
 }
+
+/// Parse-rate gate (--constrain=syntax): every produced candidate that
+/// reached IO-verification must be accepted by the C frontend — a
+/// constrained decode emitting unparseable C means the oracle mask and
+/// the parser disagree, which is a bug, not a quality miss. Unparseable
+/// candidates fail the run.
+struct ParseGate {
+  bool Active = false;
+  size_t Checked = 0;
+  size_t Failed = 0;
+
+  void check(const std::string &Name, const std::string &CSource) {
+    if (!Active || CSource.empty())
+      return;
+    ++Checked;
+    cc::TypeContext Ctx;
+    cc::ParseOptions PO;
+    PO.Partial = true;
+    if (!cc::parseC(CSource, Ctx, PO)) {
+      ++Failed;
+      std::fprintf(stderr,
+                   "[parse-gate] unparseable candidate for %s\n",
+                   Name.c_str());
+    }
+  }
+
+  /// Reports; returns nonzero when any candidate failed to parse.
+  int finish() const {
+    if (!Active)
+      return 0;
+    std::fprintf(stderr,
+                 "[parse-gate] %zu/%zu produced candidates parse\n",
+                 Checked - Failed, Checked);
+    if (Failed)
+      std::fprintf(stderr,
+                   "error: --constrain=syntax produced unparseable C\n");
+    return Failed ? 1 : 0;
+  }
+};
 
 } // namespace
 
@@ -793,6 +875,8 @@ int main(int argc, char **argv) {
                               : std::cout;
 
   int ExitCode = 0;
+  ParseGate Gate;
+  Gate.Active = O.Constrain == nn::ConstrainMode::Syntax;
 
   // -- streaming replay --------------------------------------------------------
   if (O.Stream) {
@@ -845,6 +929,7 @@ int main(int argc, char **argv) {
       DOpts.MaxLen = O.Serve.MaxLen;
       DOpts.UseTypeInference = O.Serve.UseTypeInference;
       DOpts.VerifyThreads = 1;
+      DOpts.Constrain = O.Constrain;
       size_t Mismatches = 0, Checked = 0;
       for (size_t I = 0; I < Items.size(); ++I) {
         // The oracle covers SERVED requests whose verification ran
@@ -863,7 +948,8 @@ int main(int argc, char **argv) {
             ++Mismatches;
         } else {
           std::string Seq = Slade.translate(
-              Items[I].Asm, O.Serve.BeamSize, O.Serve.MaxLen);
+              Items[I].Asm, O.Serve.BeamSize, O.Serve.MaxLen,
+              O.Constrain);
           if (Eng.Results[I].CSource != Seq)
             ++Mismatches;
         }
@@ -880,11 +966,14 @@ int main(int argc, char **argv) {
 
     for (size_t I = 0; I < Items.size(); ++I) {
       const serve::RequestResult &R = Eng.Results[I];
-      if (!R.ok())
+      if (!R.ok()) {
         Results << "{\"name\": \"" << serve::jsonEscape(R.Name)
                 << "\", \"status\": \""
                 << serve::requestStatusName(R.Status) << "\"}\n";
-      else if (R.Verified)
+        continue;
+      }
+      Gate.check(R.Name, R.CSource);
+      if (R.Verified)
         Results << outcomeJson(R.Name, R.Outcome) << "\n";
       else
         Results << "{\"name\": \"" << serve::jsonEscape(R.Name)
@@ -892,6 +981,8 @@ int main(int argc, char **argv) {
                 << "\"}\n";
     }
     Results << streamJson("stream", Eng) << "\n";
+    if (int GateRc = Gate.finish())
+      ExitCode = GateRc;
     return ExitCode;
   }
 
@@ -912,6 +1003,7 @@ int main(int argc, char **argv) {
       DOpts.MaxLen = O.Serve.MaxLen;
       DOpts.UseTypeInference = O.Serve.UseTypeInference;
       DOpts.VerifyThreads = 1;
+      DOpts.Constrain = O.Constrain;
       // Cold-for-cold comparison: the serve run encoded every source
       // already, so drop the cache or the baseline would skip its whole
       // encode phase.
@@ -951,6 +1043,7 @@ int main(int argc, char **argv) {
 
     size_t IOCorrect = 0, Compiles = 0;
     for (size_t I = 0; I < Tasks.size(); ++I) {
+      Gate.check(Tasks[I].Name, Served[I].CSource);
       Results << outcomeJson(Tasks[I].Name, Served[I]) << "\n";
       IOCorrect += Served[I].IOCorrect;
       Compiles += Served[I].Compiles;
@@ -981,7 +1074,7 @@ int main(int argc, char **argv) {
       for (size_t I = 0; I < AsmJobs.size(); ++I) {
         Seq[I].Name = AsmJobs[I].Name;
         Seq[I].CSource = Slade.translate(AsmJobs[I].Asm, O.Serve.BeamSize,
-                                         O.Serve.MaxLen);
+                                         O.Serve.MaxLen, O.Constrain);
       }
       double Secs =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -1010,12 +1103,16 @@ int main(int argc, char **argv) {
         Served = std::move(Seq);
     }
 
-    for (const serve::TranslateResult &R : Served)
+    for (const serve::TranslateResult &R : Served) {
+      Gate.check(R.Name, R.CSource);
       Results << "{\"name\": \"" << serve::jsonEscape(R.Name)
               << "\", \"c\": \"" << serve::jsonEscape(R.CSource) << "\"}\n";
+    }
     if (!O.Sequential || O.Check)
       Results << metricsJson("translate", ServedM) << "\n";
   }
 
+  if (int GateRc = Gate.finish())
+    ExitCode = GateRc;
   return ExitCode;
 }
