@@ -3,6 +3,7 @@
 #include "nn/Beam.h"
 
 #include "nn/BeamCore.h"
+#include "nn/SpecDecode.h"
 
 #include <algorithm>
 #include <cmath>
@@ -109,11 +110,86 @@ struct SequentialStepper {
   }
 };
 
+/// Speculative multi-source driver: the same fused state and per-source
+/// search state as beamSearchMulti, but every decode step runs through
+/// SpecSession propose/verify rounds. Byte-identical to the plain
+/// drivers: every committed selection is a selectBeamStep over exact
+/// full-model logits (a round with gamma 0 IS a plain step), the draft
+/// only changes how many exact steps one batched call yields.
+std::vector<std::vector<Hypothesis>> beamSearchSpecMulti(
+    const Transformer &Model,
+    const std::vector<std::shared_ptr<const Transformer::EncoderCache>>
+        &Sources,
+    const BeamConfig &Cfg) {
+  size_t N = Sources.size();
+  std::vector<std::vector<Hypothesis>> Out(N);
+  if (N == 0)
+    return Out;
+
+  Transformer::BatchDecodeState St =
+      Model.startDecodeBatchMulti(Sources, Cfg.BeamSize, Cfg.MaxLen + 1);
+  SpecSession Sess(Model, *Cfg.Draft);
+  Sess.initBatch(Sources, Cfg.BeamSize, Cfg.MaxLen + 1);
+
+  struct JobSearch {
+    std::vector<BeamMeta> Live;
+    std::vector<Hypothesis> Done;
+    ConstraintCtx CC;
+    SpecSession::Job SJ;
+    bool Active = true;
+  };
+  std::vector<JobSearch> Jobs(N);
+  for (size_t J = 0; J < N; ++J) {
+    JobSearch &JS = Jobs[J];
+    JS.Live.resize(1); // The BOS hypothesis; its feed is the first round's
+                       // pending selection (SJ's default {0} -> {BOS}).
+    JS.CC.init(Cfg);
+    JS.SJ.Seg = static_cast<int>(J);
+    JS.SJ.Live = &JS.Live;
+    JS.SJ.Done = &JS.Done;
+    JS.SJ.CC = &JS.CC;
+    JS.SJ.Gamma = Cfg.DraftGamma;
+    JS.Active = Cfg.MaxLen > 0; // Zero budget decodes nothing, as plain.
+  }
+
+  SpecStats Stats;
+  std::vector<SpecSession::Job *> LiveJobs;
+  for (;;) {
+    LiveJobs.clear();
+    for (JobSearch &JS : Jobs)
+      if (JS.Active)
+        LiveJobs.push_back(&JS.SJ);
+    if (LiveJobs.empty())
+      break;
+    Sess.runRound(St, LiveJobs, Cfg, Stats);
+    for (JobSearch &JS : Jobs)
+      if (JS.Active && JS.SJ.Finished)
+        JS.Active = false;
+  }
+  if (Cfg.SpecTelemetry) {
+    Cfg.SpecTelemetry->Proposed += Stats.Proposed;
+    Cfg.SpecTelemetry->Accepted += Stats.Accepted;
+    Cfg.SpecTelemetry->Rounds += Stats.Rounds;
+    Cfg.SpecTelemetry->DraftSeconds += Stats.DraftSeconds;
+  }
+
+  for (size_t J = 0; J < N; ++J)
+    Out[J] = finalizeBeams(std::move(Jobs[J].Live), std::move(Jobs[J].Done),
+                           Cfg, &Jobs[J].CC);
+  return Out;
+}
+
+bool speculative(const BeamConfig &Cfg) {
+  return Cfg.Draft != nullptr && Cfg.DraftGamma > 0;
+}
+
 } // namespace
 
 std::vector<Hypothesis> slade::nn::beamSearch(const Transformer &Model,
                                               const std::vector<int> &Src,
                                               const BeamConfig &Cfg) {
+  if (speculative(Cfg))
+    return beamSearch(Model, Model.encodeSource(Src), Cfg);
   BatchedStepper Step(Model, Src, Cfg);
   return beamSearchImpl(Step, Cfg);
 }
@@ -122,6 +198,8 @@ std::vector<Hypothesis>
 slade::nn::beamSearch(const Transformer &Model,
                       std::shared_ptr<const Transformer::EncoderCache> Enc,
                       const BeamConfig &Cfg) {
+  if (speculative(Cfg))
+    return beamSearchSpecMulti(Model, {std::move(Enc)}, Cfg)[0];
   BatchedStepper Step(Model, std::move(Enc), Cfg);
   return beamSearchImpl(Step, Cfg);
 }
@@ -131,6 +209,8 @@ std::vector<std::vector<Hypothesis>> slade::nn::beamSearchMulti(
     const std::vector<std::shared_ptr<const Transformer::EncoderCache>>
         &Sources,
     const BeamConfig &Cfg) {
+  if (speculative(Cfg))
+    return beamSearchSpecMulti(Model, Sources, Cfg);
   size_t N = Sources.size();
   std::vector<std::vector<Hypothesis>> Out(N);
   if (N == 0)

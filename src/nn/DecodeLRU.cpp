@@ -18,14 +18,6 @@ uint64_t hashTokens(const std::vector<int> &Src) {
   return H;
 }
 
-size_t hypothesesBytes(const std::vector<Hypothesis> &Hyps) {
-  size_t B = sizeof(std::vector<Hypothesis>) +
-             Hyps.capacity() * sizeof(Hypothesis);
-  for (const Hypothesis &H : Hyps)
-    B += H.Tokens.capacity() * sizeof(int);
-  return B;
-}
-
 } // namespace
 
 bool DecodeLRU::matches(const Entry &E, uint64_t Hash, uint64_t Version,
@@ -61,7 +53,22 @@ DecodeLRU::get(const std::vector<int> &Src, uint64_t Version,
     if (matches(E, Hash, Version, Cfg, Src)) {
       Order.splice(Order.begin(), Order, It->second); // Touch.
       ++St.Hits;
-      return E.Hyps;
+      // Decompress: top-1 verbatim, every other hypothesis from its
+      // shared prefix of Top plus its own suffix.
+      auto Out = std::make_shared<std::vector<Hypothesis>>();
+      if (!E.Empty) {
+        Out->reserve(1 + E.Rest.size());
+        Out->push_back({E.Top, E.TopScore});
+        for (const Entry::Delta &D : E.Rest) {
+          Hypothesis H;
+          H.Tokens.reserve(static_cast<size_t>(D.Prefix) + D.Suffix.size());
+          H.Tokens.assign(E.Top.begin(), E.Top.begin() + D.Prefix);
+          H.Tokens.insert(H.Tokens.end(), D.Suffix.begin(), D.Suffix.end());
+          H.Score = D.Score;
+          Out->push_back(std::move(H));
+        }
+      }
+      return Out;
     }
   }
   ++St.Misses;
@@ -83,15 +90,45 @@ void DecodeLRU::put(const std::vector<int> &Src, uint64_t Version,
       Order.splice(Order.begin(), Order, It->second);
       return;
     }
-  Order.push_front(Entry{Hash, Version, Cfg.BeamSize, Cfg.MaxLen,
-                         Cfg.LengthPenalty, Cfg.Constraint != nullptr, Src,
-                         std::move(Hyps), 0});
-  // Account the STORED copy of the key (its capacity is trimmed to size;
-  // the caller's vector may carry push_back growth slack).
-  Order.front().Bytes = hypothesesBytes(*Order.front().Hyps) +
-                        Order.front().Src.capacity() * sizeof(int) +
-                        sizeof(Entry);
-  Bytes += Order.front().Bytes;
+  Entry E;
+  E.Hash = Hash;
+  E.Version = Version;
+  E.BeamSize = Cfg.BeamSize;
+  E.MaxLen = Cfg.MaxLen;
+  E.LengthPenalty = Cfg.LengthPenalty;
+  E.Constrained = Cfg.Constraint != nullptr;
+  E.Src = Src;
+  // Compress: top-1 whole, the rest as shared-prefix length against
+  // top-1 plus the differing suffix. Beam survivors fork from the same
+  // frontier a handful of steps before finishing, so the prefixes are
+  // long and the suffixes short.
+  const std::vector<Hypothesis> &H = *Hyps;
+  E.Empty = H.empty();
+  if (!E.Empty) {
+    E.Top = H.front().Tokens;
+    E.TopScore = H.front().Score;
+    E.Rest.reserve(H.size() - 1);
+    for (size_t I = 1; I < H.size(); ++I) {
+      Entry::Delta D;
+      size_t P = 0, N = std::min(E.Top.size(), H[I].Tokens.size());
+      while (P < N && E.Top[P] == H[I].Tokens[P])
+        ++P;
+      D.Prefix = static_cast<int>(P);
+      D.Suffix.assign(H[I].Tokens.begin() + static_cast<ptrdiff_t>(P),
+                      H[I].Tokens.end());
+      D.Score = H[I].Score;
+      E.Rest.push_back(std::move(D));
+    }
+  }
+  // Account the STORED form (copies are trimmed to size; the caller's
+  // vectors may carry push_back growth slack).
+  E.Bytes = sizeof(Entry) + E.Src.capacity() * sizeof(int) +
+            E.Top.capacity() * sizeof(int) +
+            E.Rest.capacity() * sizeof(Entry::Delta);
+  for (const Entry::Delta &D : E.Rest)
+    E.Bytes += D.Suffix.capacity() * sizeof(int);
+  Bytes += E.Bytes;
+  Order.push_front(std::move(E));
   Index.emplace(Hash, Order.begin());
   ++St.Insertions;
   // Count bound, then byte budget; the freshly inserted entry (front)

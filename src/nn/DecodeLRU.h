@@ -22,6 +22,14 @@
 /// by (BeamSize, MaxLen, LengthPenalty) so differently-configured
 /// engines sharing one cache can never serve each other's hypotheses.
 ///
+/// Entries are stored prefix-delta compressed: beam survivors diverge
+/// late, so the k hypotheses of one result share long prefixes. The
+/// top-1 token vector is stored whole and every other hypothesis as its
+/// shared-prefix length against top-1 plus the differing suffix —
+/// roughly halving bytes/entry on real beams, which doubles what a
+/// given ByteBudget holds. A hit reconstructs the full vector (a few
+/// hundred token copies against the whole decode it skips).
+///
 /// Eviction is bounded two ways, exactly like nn::EncoderLRU: by entry
 /// count and, when a ByteBudget is set, by the heap bytes the cached
 /// hypotheses hold. The most recently inserted entry always survives,
@@ -56,12 +64,15 @@ public:
 
   /// The cached hypotheses for \p Src decoded under weight \p Version
   /// with \p Cfg, or nullptr on a miss. Never decodes on its own — the
-  /// caller owns the decode (results land via put()).
+  /// caller owns the decode (results land via put()). A hit returns a
+  /// freshly reconstructed vector (entries are stored compressed), so
+  /// consecutive hits do not share one object.
   std::shared_ptr<const std::vector<Hypothesis>>
   get(const std::vector<int> &Src, uint64_t Version, const BeamConfig &Cfg);
 
-  /// Inserts a finished decode. A key already present is refreshed (the
-  /// hypotheses are identical by determinism — no overwrite needed).
+  /// Inserts a finished decode, compressed; the passed pointer is not
+  /// retained. A key already present is refreshed (the hypotheses are
+  /// identical by determinism — no overwrite needed).
   void put(const std::vector<int> &Src, uint64_t Version,
            const BeamConfig &Cfg,
            std::shared_ptr<const std::vector<Hypothesis>> Hyps);
@@ -76,8 +87,8 @@ public:
 
   size_t size() const;
   size_t capacity() const { return Cap; }
-  /// Heap bytes currently held by the cached entries (hypothesis token
-  /// vectors + key token vectors).
+  /// Heap bytes currently held by the cached entries (compressed
+  /// hypotheses + key token vectors).
   size_t bytesUsed() const;
   size_t byteBudget() const { return Budget; }
   void clear();
@@ -94,7 +105,16 @@ private:
     /// served from each other's entries.
     bool Constrained = false;
     std::vector<int> Src; ///< Guards against hash collisions.
-    std::shared_ptr<const std::vector<Hypothesis>> Hyps;
+    /// One non-top hypothesis, prefix-delta compressed against Top.
+    struct Delta {
+      int Prefix = 0;          ///< Leading tokens shared with Top.
+      std::vector<int> Suffix; ///< Tokens after the shared prefix.
+      float Score = 0;
+    };
+    std::vector<int> Top; ///< Hypothesis 0's tokens, stored whole.
+    float TopScore = 0;
+    std::vector<Delta> Rest; ///< Hypotheses 1..k-1.
+    bool Empty = true; ///< Result had no hypotheses (still cached).
     size_t Bytes = 0; ///< Accounted on insert (entries are immutable).
   };
 

@@ -1,0 +1,74 @@
+//===- DraftModel.h - distilled draft decoder for speculation ---*- C++ -*-===//
+///
+/// \file
+/// The shallow proposer of the speculative decode path: a DECODER-ONLY
+/// Transformer (1 layer by default) that shares the full model's
+/// tokenizer, token embedding, and decoder positions, and cross-attends
+/// directly over the FULL model's encoder output — so one encoder pass
+/// per request serves both models and no source tokens are needed at
+/// decode time. It is distilled in-repo from the full model by a
+/// deterministic self-training pass: the teacher greedy-decodes the demo
+/// corpus, the draft is trained teacher-forced on those outputs with the
+/// embeddings frozen, and the result is quantized to int8 (per-row
+/// absmax) for the proposal matmuls.
+///
+/// Draft quality only moves the speculative ACCEPTANCE RATE: the full
+/// model re-scores every proposal in float and the accept/reject rule in
+/// nn/SpecDecode.h falls back to the full model's own selection at the
+/// first disagreement, so decode output is byte-identical to the
+/// non-speculative path no matter what the draft proposes.
+///
+//===----------------------------------------------------------------------===//
+#ifndef SLADE_NN_DRAFTMODEL_H
+#define SLADE_NN_DRAFTMODEL_H
+
+#include "nn/Transformer.h"
+
+#include <memory>
+#include <vector>
+
+namespace slade {
+namespace nn {
+
+struct DraftConfig {
+  int DecLayers = 1;       ///< Shallow proposer depth.
+  int Steps = 120;         ///< Distillation optimizer steps.
+  int BatchSize = 4;       ///< Pairs per optimizer step.
+  int MaxTeacherLen = 220; ///< Teacher greedy-decode budget per source.
+  bool Int8 = true;        ///< Quantize the draft's decode matmuls.
+  uint64_t Seed = 0x5bade; ///< Draft parameter init seed.
+};
+
+class DraftModel {
+public:
+  /// Distills a draft from \p Full over the token-encoded \p Sources
+  /// (the demo corpus's assembly side). Deterministic: teacher targets
+  /// come from greedy decoding, pairs are visited round-robin, and the
+  /// optimizer seed is fixed — two distillations of the same full model
+  /// over the same sources are identical.
+  static DraftModel distill(const Transformer &Full,
+                            const std::vector<std::vector<int>> &Sources,
+                            const DraftConfig &Cfg = DraftConfig());
+
+  /// The draft transformer (decoder-only; its encoder stack is empty and
+  /// its encoder caches must come from deriveDraftCache).
+  const Transformer &model() const { return Draft; }
+
+private:
+  explicit DraftModel(Transformer T) : Draft(std::move(T)) {}
+
+  Transformer Draft;
+};
+
+/// Builds the draft-side encoder cache for one source from the FULL
+/// model's cache: the encoder output is shared verbatim; cross-K/V and
+/// decode constants are the draft's own. Called once per admitted source
+/// by the speculative session.
+std::shared_ptr<const Transformer::EncoderCache>
+deriveDraftCache(const Transformer &Draft,
+                 const Transformer::EncoderCache &FullEnc);
+
+} // namespace nn
+} // namespace slade
+
+#endif // SLADE_NN_DRAFTMODEL_H

@@ -126,6 +126,17 @@ void InferRuntime::linearRows(const float *X, int Rows, const Mat &W,
   gemmAcc(X, W.V.data(), Out, Rows, W.R, OutD);
 }
 
+void InferRuntime::linearRowsI8(const float *X, int Rows,
+                                const QuantizedMat &W, const float *Bias,
+                                float *Out, QuantizedMat &ActQ) const {
+  int OutD = W.R; // One quantized row per output channel.
+  for (int R = 0; R < Rows; ++R)
+    std::memcpy(Out + static_cast<size_t>(R) * OutD, Bias,
+                static_cast<size_t>(OutD) * sizeof(float));
+  quantizeRowsI8Into(X, Rows, W.C, ActQ);
+  gemmI8NT(ActQ, W, Out);
+}
+
 void InferRuntime::encodeInto(const std::vector<int> &Src, EncodeScratch &S,
                               Transformer::EncoderCache &Out) const {
   const TransformerConfig &Cfg = M.Cfg;
@@ -277,6 +288,51 @@ InferRuntime::buildDecodeConstants() const {
   for (int W = 0; W < M.Cfg.Vocab; ++W)
     for (int J = 0; J < D; ++J)
       C->EmbT[static_cast<size_t>(J) * M.Cfg.Vocab + W] = M.TokEmb.at(W, J);
+
+  // Draft models additionally carry row-quantized transposed copies of
+  // the large decode matmuls; the float copies above stay authoritative
+  // for everything else (save/load, the graph oracle).
+  if (M.Int8Decode) {
+    C->UseInt8 = true;
+    std::vector<float> Tmp;
+    // Rows of the quantized copy are the OUTPUT channels: row o is
+    // column o of the [in, out] float weight, so gemmI8NT's row-dot
+    // matches gemmAcc's column reduction.
+    auto QuantT = [&Tmp](const Mat &W, QuantizedMat &Out) {
+      Tmp.resize(static_cast<size_t>(W.C) * W.R);
+      for (int O = 0; O < W.C; ++O)
+        for (int K = 0; K < W.R; ++K)
+          Tmp[static_cast<size_t>(O) * W.R + K] = W.at(K, O);
+      quantizeRowsI8Into(Tmp.data(), W.C, W.R, Out);
+    };
+    size_t NL = M.Dec.size();
+    C->SelfQKVWQ.resize(NL);
+    C->SelfWoQ.resize(NL);
+    C->CrossWqQ.resize(NL);
+    C->CrossWoQ.resize(NL);
+    C->FF1Q.resize(NL);
+    C->FF2Q.resize(NL);
+    for (size_t L = 0; L < NL; ++L) {
+      const Transformer::DecLayer &Lay = M.Dec[L];
+      // Fused Q|K|V rows: [3D, D], rows 0..D-1 from Wq, then Wk, Wv.
+      Tmp.resize(static_cast<size_t>(3) * D * D);
+      for (int O = 0; O < D; ++O)
+        for (int K = 0; K < D; ++K) {
+          Tmp[static_cast<size_t>(O) * D + K] = Lay.Self.Wq.at(K, O);
+          Tmp[(static_cast<size_t>(D) + O) * D + K] = Lay.Self.Wk.at(K, O);
+          Tmp[(static_cast<size_t>(2) * D + O) * D + K] =
+              Lay.Self.Wv.at(K, O);
+        }
+      quantizeRowsI8Into(Tmp.data(), 3 * D, D, C->SelfQKVWQ[L]);
+      QuantT(Lay.Self.Wo, C->SelfWoQ[L]);
+      QuantT(Lay.Cross.Wq, C->CrossWqQ[L]);
+      QuantT(Lay.Cross.Wo, C->CrossWoQ[L]);
+      QuantT(Lay.W1, C->FF1Q[L]);
+      QuantT(Lay.W2, C->FF2Q[L]);
+    }
+    // TokEmb is already [Vocab, D] — its rows ARE the output channels.
+    quantizeRowsI8Into(M.TokEmb.V.data(), M.Cfg.Vocab, D, C->EmbQ);
+  }
   return C;
 }
 
@@ -571,34 +627,36 @@ inline void attendCachedDyn(const float *QRow, float *ORow, int T, int H,
 } // namespace
 
 std::vector<float>
-InferRuntime::stepDecodeBatch(Transformer::BatchDecodeState &St,
-                              const std::vector<int> &Tokens) const {
+InferRuntime::forwardDecodeRows(Transformer::BatchDecodeState &St) const {
   const TransformerConfig &Cfg = M.Cfg;
-  int B = St.B, D = Cfg.DModel, H = Cfg.NHeads, Dh = D / H;
-  assert(static_cast<int>(Tokens.size()) == B && "one token per beam");
+  const std::vector<Transformer::DecodeRowPlan> &Rows = St.FwdRows;
+  int N = static_cast<int>(Rows.size());
+  int D = Cfg.DModel, H = Cfg.NHeads, Dh = D / H;
   const Transformer::DecodeConstants &Consts = *St.Consts;
-  // Each row decodes at ITS source's position: sources joining the batch
-  // mid-flight carry their own clock (SegLen), so the same row's logits
-  // are bit-identical whether it decodes solo or fused with rows at any
-  // other positions.
-  auto RowLen = [&St](int Bi) {
-    return St.SegLen[St.RowSource[static_cast<size_t>(Bi)]];
+  const bool I8 = Consts.UseInt8;
+
+  // The scratch is sized for BMax rows at start; a speculative plan may
+  // carry up to gamma * BMax rows, so grow on demand (grow-only).
+  auto Grow = [](std::vector<float> &V, size_t Need) {
+    if (V.size() < Need)
+      V.resize(Need);
   };
-#ifndef NDEBUG
-  for (int Bi = 0; Bi < B; ++Bi)
-    assert(RowLen(Bi) < St.Cap && "self-cache capacity exhausted");
-#endif
+  size_t RowsD = static_cast<size_t>(N) * D;
+  Grow(St.X, RowsD);
+  Grow(St.Norm, RowsD);
+  Grow(St.QKV, RowsD * 3);
+  Grow(St.AttnOut, RowsD);
+  Grow(St.Proj, RowsD);
+  Grow(St.FF1, static_cast<size_t>(N) * Cfg.FF);
 
   float *X = St.X.data(), *Norm = St.Norm.data(), *QKV = St.QKV.data(),
         *AttnOut = St.AttnOut.data(), *Proj = St.Proj.data(),
         *FF1 = St.FF1.data(), *Scores = St.Scores.data();
-  for (int Bi = 0; Bi < B; ++Bi) {
-    int SL = RowLen(Bi);
-    int Pos = SL < Cfg.MaxLen ? SL : Cfg.MaxLen - 1;
+  for (int R = 0; R < N; ++R) {
+    const Transformer::DecodeRowPlan &Row = Rows[static_cast<size_t>(R)];
     for (int J = 0; J < D; ++J)
-      X[static_cast<size_t>(Bi) * D + J] =
-          M.TokEmb.at(Tokens[static_cast<size_t>(Bi)], J) +
-          M.DecPos.at(Pos, J);
+      X[static_cast<size_t>(R) * D + J] =
+          M.TokEmb.at(Row.Token, J) + M.DecPos.at(Row.Pos, J);
   }
 
   int ScoreStride = std::max(St.Cap, St.MaxTSrc);
@@ -611,105 +669,165 @@ InferRuntime::stepDecodeBatch(Transformer::BatchDecodeState &St,
   for (size_t L = 0; L < M.Dec.size(); ++L) {
     const Transformer::DecLayer &Lay = M.Dec[L];
 
-    // Self attention: one fused Q|K|V GEMM for the whole beam batch.
-    for (int Bi = 0; Bi < B; ++Bi)
-      layerNormRow(X + static_cast<size_t>(Bi) * D, D,
+    // Self attention: one fused Q|K|V GEMM for the whole row batch.
+    for (int R = 0; R < N; ++R)
+      layerNormRow(X + static_cast<size_t>(R) * D, D,
                    Lay.LN1.Gamma.V.data(), Lay.LN1.Beta.V.data(),
-                   Norm + static_cast<size_t>(Bi) * D);
-    for (int Bi = 0; Bi < B; ++Bi)
-      std::memcpy(QKV + static_cast<size_t>(Bi) * 3 * D,
+                   Norm + static_cast<size_t>(R) * D);
+    for (int R = 0; R < N; ++R)
+      std::memcpy(QKV + static_cast<size_t>(R) * 3 * D,
                   Consts.SelfQKVB[L].data(),
                   static_cast<size_t>(3) * D * sizeof(float));
-    gemmAcc(Norm, Consts.SelfQKVW[L].data(), QKV, B, D, 3 * D);
-    // Each beam writes its new K/V row once, at (t=its source's SegLen,
-    // slot=position within its source's row block); the row is never
-    // moved afterwards — descendants find it via Anc. Rows of one source
-    // are contiguous, so the running Local counter is the segment-local
-    // slot. A recycled segment's stale rows are simply overwritten as the
-    // new source's clock advances.
-    for (int Bi = 0, Local = 0; Bi < B; ++Bi) {
-      Local = (Bi > 0 && St.RowSource[static_cast<size_t>(Bi)] ==
-                             St.RowSource[static_cast<size_t>(Bi - 1)])
-                  ? Local + 1
-                  : 0;
-      assert(Local < St.KMax && "source rows not contiguous");
-      size_t Slot =
-          static_cast<size_t>(St.RowSource[static_cast<size_t>(Bi)]) *
-              SegStride +
-          static_cast<size_t>(RowLen(Bi)) * TimeStride +
-          static_cast<size_t>(Local) * D;
-      const float *Row = QKV + static_cast<size_t>(Bi) * 3 * D;
-      std::memcpy(&St.SelfK[L][Slot], Row + D,
-                  static_cast<size_t>(D) * sizeof(float));
-      std::memcpy(&St.SelfV[L][Slot], Row + 2 * D,
-                  static_cast<size_t>(D) * sizeof(float));
-      if (L == 0)
-        St.Anc[static_cast<size_t>(Bi) * St.Cap + RowLen(Bi)] =
-            static_cast<uint16_t>(Local);
+    if (I8) {
+      quantizeRowsI8Into(Norm, N, D, St.ActQ);
+      gemmI8NT(St.ActQ, Consts.SelfQKVWQ[L], QKV);
+    } else {
+      gemmAcc(Norm, Consts.SelfQKVW[L].data(), QKV, N, D, 3 * D);
     }
-    for (int Bi = 0; Bi < B; ++Bi) {
-      int TCtx = RowLen(Bi) + 1;
+    // Each row writes its new K/V once, at its descriptor's (segment,
+    // time, slot); the row is never moved afterwards — descendants find
+    // it via the slot tables. ALL writes land before ANY row attends, so
+    // within one call a row may attend K/V written by earlier plan rows.
+    for (int R = 0; R < N; ++R) {
+      const Transformer::DecodeRowPlan &Row = Rows[static_cast<size_t>(R)];
+      size_t Slot = static_cast<size_t>(Row.Seg) * SegStride +
+                    static_cast<size_t>(Row.WriteT) * TimeStride +
+                    static_cast<size_t>(Row.WriteSlot) * D;
+      const float *Src = QKV + static_cast<size_t>(R) * 3 * D;
+      std::memcpy(&St.SelfK[L][Slot], Src + D,
+                  static_cast<size_t>(D) * sizeof(float));
+      std::memcpy(&St.SelfV[L][Slot], Src + 2 * D,
+                  static_cast<size_t>(D) * sizeof(float));
+    }
+    for (int R = 0; R < N; ++R) {
+      const Transformer::DecodeRowPlan &Row = Rows[static_cast<size_t>(R)];
+      int TCtx = Row.WriteT + 1;
       const float *KBase =
-          St.SelfK[L].data() +
-          static_cast<size_t>(St.RowSource[static_cast<size_t>(Bi)]) *
-              SegStride;
+          St.SelfK[L].data() + static_cast<size_t>(Row.Seg) * SegStride;
       const float *VBase =
-          St.SelfV[L].data() +
-          static_cast<size_t>(St.RowSource[static_cast<size_t>(Bi)]) *
-              SegStride;
-      const uint16_t *AncB = &St.Anc[static_cast<size_t>(Bi) * St.Cap];
+          St.SelfV[L].data() + static_cast<size_t>(Row.Seg) * SegStride;
+      const uint16_t *Sl = Row.Slots;
       attendCachedDyn(
-          QKV + static_cast<size_t>(Bi) * 3 * D,
-          AttnOut + static_cast<size_t>(Bi) * D, TCtx, H, Dh, InvS, Scores,
+          QKV + static_cast<size_t>(R) * 3 * D,
+          AttnOut + static_cast<size_t>(R) * D, TCtx, H, Dh, InvS, Scores,
           ScoreStride,
           [&](int Tt) {
             return KBase + static_cast<size_t>(Tt) * TimeStride +
-                   static_cast<size_t>(AncB[Tt]) * D;
+                   static_cast<size_t>(Sl[Tt]) * D;
           },
           [&](int Tt) {
             return VBase + static_cast<size_t>(Tt) * TimeStride +
-                   static_cast<size_t>(AncB[Tt]) * D;
+                   static_cast<size_t>(Sl[Tt]) * D;
           });
     }
-    linearRows(AttnOut, B, Lay.Self.Wo, Lay.Self.Bo, Proj);
-    for (size_t I = 0; I < static_cast<size_t>(B) * D; ++I)
+    if (I8)
+      linearRowsI8(AttnOut, N, Consts.SelfWoQ[L], Lay.Self.Bo.V.data(),
+                   Proj, St.ActQ);
+    else
+      linearRows(AttnOut, N, Lay.Self.Wo, Lay.Self.Bo, Proj);
+    for (size_t I = 0; I < RowsD; ++I)
       X[I] += Proj[I];
 
     // Cross attention: the K/V caches are shared by every beam of one
     // source; each row attends over its OWN source's cache (rows of
     // different sources may share the batch).
-    for (int Bi = 0; Bi < B; ++Bi)
-      layerNormRow(X + static_cast<size_t>(Bi) * D, D,
+    for (int R = 0; R < N; ++R)
+      layerNormRow(X + static_cast<size_t>(R) * D, D,
                    Lay.LN2.Gamma.V.data(), Lay.LN2.Beta.V.data(),
-                   Norm + static_cast<size_t>(Bi) * D);
-    linearRows(Norm, B, Lay.Cross.Wq, Lay.Cross.Bq, QKV);
-    for (int Bi = 0; Bi < B; ++Bi) {
+                   Norm + static_cast<size_t>(R) * D);
+    if (I8)
+      linearRowsI8(Norm, N, Consts.CrossWqQ[L], Lay.Cross.Bq.V.data(), QKV,
+                   St.ActQ);
+    else
+      linearRows(Norm, N, Lay.Cross.Wq, Lay.Cross.Bq, QKV);
+    for (int R = 0; R < N; ++R) {
       const Transformer::EncoderCache &Enc =
-          *St.RowEnc[static_cast<size_t>(Bi)];
+          *Rows[static_cast<size_t>(R)].Enc;
       const float *CK = Enc.CrossK[L].data(), *CV = Enc.CrossV[L].data();
       attendCachedDyn(
-          QKV + static_cast<size_t>(Bi) * D,
-          AttnOut + static_cast<size_t>(Bi) * D, Enc.TSrc, H, Dh, InvS,
+          QKV + static_cast<size_t>(R) * D,
+          AttnOut + static_cast<size_t>(R) * D, Enc.TSrc, H, Dh, InvS,
           Scores, ScoreStride,
           [&](int Tt) { return CK + static_cast<size_t>(Tt) * D; },
           [&](int Tt) { return CV + static_cast<size_t>(Tt) * D; });
     }
-    linearRows(AttnOut, B, Lay.Cross.Wo, Lay.Cross.Bo, Proj);
-    for (size_t I = 0; I < static_cast<size_t>(B) * D; ++I)
+    if (I8)
+      linearRowsI8(AttnOut, N, Consts.CrossWoQ[L], Lay.Cross.Bo.V.data(),
+                   Proj, St.ActQ);
+    else
+      linearRows(AttnOut, N, Lay.Cross.Wo, Lay.Cross.Bo, Proj);
+    for (size_t I = 0; I < RowsD; ++I)
       X[I] += Proj[I];
 
-    // FFN, batched across beams.
-    for (int Bi = 0; Bi < B; ++Bi)
-      layerNormRow(X + static_cast<size_t>(Bi) * D, D,
+    // FFN, batched across rows.
+    for (int R = 0; R < N; ++R)
+      layerNormRow(X + static_cast<size_t>(R) * D, D,
                    Lay.LN3.Gamma.V.data(), Lay.LN3.Beta.V.data(),
-                   Norm + static_cast<size_t>(Bi) * D);
-    linearRows(Norm, B, Lay.W1, Lay.B1, FF1);
-    for (size_t I = 0; I < static_cast<size_t>(B) * Cfg.FF; ++I)
+                   Norm + static_cast<size_t>(R) * D);
+    if (I8)
+      linearRowsI8(Norm, N, Consts.FF1Q[L], Lay.B1.V.data(), FF1, St.ActQ);
+    else
+      linearRows(Norm, N, Lay.W1, Lay.B1, FF1);
+    for (size_t I = 0; I < static_cast<size_t>(N) * Cfg.FF; ++I)
       FF1[I] = FF1[I] > 0 ? FF1[I] : 0;
-    linearRows(FF1, B, Lay.W2, Lay.B2, Proj);
-    for (size_t I = 0; I < static_cast<size_t>(B) * D; ++I)
+    if (I8)
+      linearRowsI8(FF1, N, Consts.FF2Q[L], Lay.B2.V.data(), Proj, St.ActQ);
+    else
+      linearRows(FF1, N, Lay.W2, Lay.B2, Proj);
+    for (size_t I = 0; I < RowsD; ++I)
       X[I] += Proj[I];
   }
+
+  for (int R = 0; R < N; ++R)
+    layerNormRow(X + static_cast<size_t>(R) * D, D,
+                 M.DecFinal.Gamma.V.data(), M.DecFinal.Beta.V.data(),
+                 Norm + static_cast<size_t>(R) * D);
+  // Logits against the shared embedding: one streaming [N,D]x[D,V] GEMM
+  // over the pre-transposed table.
+  std::vector<float> Logits(static_cast<size_t>(N) * Cfg.Vocab, 0.0f);
+  if (I8) {
+    quantizeRowsI8Into(Norm, N, D, St.ActQ);
+    gemmI8NT(St.ActQ, Consts.EmbQ, Logits.data());
+  } else {
+    gemmAcc(Norm, Consts.EmbT.data(), Logits.data(), N, D, Cfg.Vocab);
+  }
+  return Logits;
+}
+
+std::vector<float>
+InferRuntime::stepDecodeBatch(Transformer::BatchDecodeState &St,
+                              const std::vector<int> &Tokens) const {
+  const TransformerConfig &Cfg = M.Cfg;
+  int B = St.B;
+  assert(static_cast<int>(Tokens.size()) == B && "one token per beam");
+  // Each row decodes at ITS source's position: sources joining the batch
+  // mid-flight carry their own clock (SegLen), so the same row's logits
+  // are bit-identical whether it decodes solo or fused with rows at any
+  // other positions. Rows of one source are contiguous, so the running
+  // Local counter is the segment-local slot.
+  St.FwdRows.resize(static_cast<size_t>(B));
+  for (int Bi = 0, Local = 0; Bi < B; ++Bi) {
+    Local = (Bi > 0 && St.RowSource[static_cast<size_t>(Bi)] ==
+                           St.RowSource[static_cast<size_t>(Bi - 1)])
+                ? Local + 1
+                : 0;
+    assert(Local < St.KMax && "source rows not contiguous");
+    int SL = St.SegLen[St.RowSource[static_cast<size_t>(Bi)]];
+    assert(SL < St.Cap && "self-cache capacity exhausted");
+    // The row's own ancestry table doubles as its slot table: entry [SL]
+    // is this step's slot (recorded before the forward reads it).
+    St.Anc[static_cast<size_t>(Bi) * St.Cap + SL] =
+        static_cast<uint16_t>(Local);
+    Transformer::DecodeRowPlan &R = St.FwdRows[static_cast<size_t>(Bi)];
+    R.Token = Tokens[static_cast<size_t>(Bi)];
+    R.Pos = SL < Cfg.MaxLen ? SL : Cfg.MaxLen - 1;
+    R.WriteT = SL;
+    R.Seg = St.RowSource[static_cast<size_t>(Bi)];
+    R.WriteSlot = static_cast<uint16_t>(Local);
+    R.Enc = St.RowEnc[static_cast<size_t>(Bi)].get();
+    R.Slots = &St.Anc[static_cast<size_t>(Bi) * St.Cap];
+  }
+  std::vector<float> Logits = forwardDecodeRows(St);
   // Advance each stepped source's clock once (its rows are contiguous).
   for (int Bi = 0; Bi < B; ++Bi)
     if (Bi == 0 || St.RowSource[static_cast<size_t>(Bi)] !=
@@ -717,16 +835,131 @@ InferRuntime::stepDecodeBatch(Transformer::BatchDecodeState &St,
       int SL = ++St.SegLen[St.RowSource[static_cast<size_t>(Bi)]];
       St.Len = std::max(St.Len, SL);
     }
-
-  for (int Bi = 0; Bi < B; ++Bi)
-    layerNormRow(X + static_cast<size_t>(Bi) * D, D,
-                 M.DecFinal.Gamma.V.data(), M.DecFinal.Beta.V.data(),
-                 Norm + static_cast<size_t>(Bi) * D);
-  // Logits against the shared embedding: one streaming [B,D]x[D,V] GEMM
-  // over the pre-transposed table.
-  std::vector<float> Logits(static_cast<size_t>(B) * Cfg.Vocab, 0.0f);
-  gemmAcc(Norm, Consts.EmbT.data(), Logits.data(), B, D, Cfg.Vocab);
   return Logits;
+}
+
+std::vector<float>
+InferRuntime::stepDecodeSpec(Transformer::BatchDecodeState &St,
+                             const std::vector<SpecRow> &Plan, int Begin,
+                             int End) const {
+  const TransformerConfig &Cfg = M.Cfg;
+  int NP = static_cast<int>(Plan.size());
+  assert(0 <= Begin && Begin <= End && End <= NP);
+  size_t Cap = static_cast<size_t>(St.Cap);
+  // Full slot tables, one per plan row: SpecChain[p*Cap + t] is the
+  // segment-local slot row p's history occupies at time t, for t in
+  // [0, SegLen + Depth]. The committed prefix comes from the depth-0
+  // ancestor's live ancestry row; the speculative tail accumulates down
+  // the parent chain. Built for the WHOLE plan (cheap uint16 copies) so
+  // any [Begin, End) slice can resolve its ancestors.
+  St.SpecBase.resize(static_cast<size_t>(NP));
+  St.SpecChain.resize(static_cast<size_t>(NP) * Cap);
+  for (int P = 0; P < NP; ++P) {
+    const SpecRow &R = Plan[static_cast<size_t>(P)];
+    size_t SL = static_cast<size_t>(St.SegLen[static_cast<size_t>(R.Seg)]);
+    assert(static_cast<int>(SL) + R.Depth < St.Cap &&
+           "speculative depth exceeds self-cache capacity");
+    assert(R.Slot < St.KMax && "speculative slot out of range");
+    uint16_t *Tab = &St.SpecChain[static_cast<size_t>(P) * Cap];
+    if (R.Depth == 0) {
+      assert(R.Parent >= 0 && R.Parent < St.B && "bad live-row parent");
+      St.SpecBase[static_cast<size_t>(P)] = R.Parent;
+      std::memcpy(Tab, &St.Anc[static_cast<size_t>(R.Parent) * Cap],
+                  SL * sizeof(uint16_t));
+    } else {
+      assert(R.Parent >= 0 && R.Parent < P && "parents must precede");
+      assert(Plan[static_cast<size_t>(R.Parent)].Seg == R.Seg &&
+             Plan[static_cast<size_t>(R.Parent)].Depth == R.Depth - 1 &&
+             "parent must be the same segment, one depth up");
+      St.SpecBase[static_cast<size_t>(P)] =
+          St.SpecBase[static_cast<size_t>(R.Parent)];
+      std::memcpy(Tab, &St.SpecChain[static_cast<size_t>(R.Parent) * Cap],
+                  (SL + static_cast<size_t>(R.Depth)) * sizeof(uint16_t));
+    }
+    Tab[SL + static_cast<size_t>(R.Depth)] = R.Slot;
+  }
+
+  int N = End - Begin;
+  St.FwdRows.resize(static_cast<size_t>(N));
+  for (int I = 0; I < N; ++I) {
+    size_t P = static_cast<size_t>(Begin + I);
+    const SpecRow &R = Plan[P];
+    int SL = St.SegLen[static_cast<size_t>(R.Seg)];
+    Transformer::DecodeRowPlan &F = St.FwdRows[static_cast<size_t>(I)];
+    F.Token = R.Token;
+    int Pos = SL + R.Depth;
+    F.Pos = Pos < Cfg.MaxLen ? Pos : Cfg.MaxLen - 1;
+    F.WriteT = SL + R.Depth;
+    F.Seg = static_cast<uint16_t>(R.Seg);
+    F.WriteSlot = R.Slot;
+    F.Enc = St.RowEnc[static_cast<size_t>(St.SpecBase[P])].get();
+    F.Slots = &St.SpecChain[P * Cap];
+  }
+  return forwardDecodeRows(St);
+}
+
+void InferRuntime::commitSpec(Transformer::BatchDecodeState &St,
+                              const std::vector<SpecRow> &Plan,
+                              const std::vector<int> &NewRows) const {
+  int NewB = static_cast<int>(NewRows.size());
+  assert(NewB <= St.BMax && "beam count exceeds allocation");
+  size_t Cap = static_cast<size_t>(St.Cap);
+  St.AncScratch.resize(static_cast<size_t>(NewB) * Cap);
+  St.RowEncScratch.resize(static_cast<size_t>(NewB));
+  St.RowSourceScratch.resize(static_cast<size_t>(NewB));
+  // Gather each committed row's ancestry into scratch first (the same
+  // two-phase dance as reorderBeams: sources and destinations overlap):
+  // the committed prefix from the depth-0 ancestor's live row, then the
+  // accepted chain's slots. K/V rows never move — stepDecodeSpec already
+  // wrote them at exactly these (time, slot) coordinates.
+  for (int I = 0; I < NewB; ++I) {
+    int P = NewRows[static_cast<size_t>(I)];
+    const SpecRow &R = Plan[static_cast<size_t>(P)];
+    size_t SL = static_cast<size_t>(St.SegLen[static_cast<size_t>(R.Seg)]);
+    uint16_t *Dst = &St.AncScratch[static_cast<size_t>(I) * Cap];
+    int Q = P;
+    for (int E = R.Depth; E >= 0; --E) {
+      Dst[SL + static_cast<size_t>(E)] = Plan[static_cast<size_t>(Q)].Slot;
+      Q = Plan[static_cast<size_t>(Q)].Parent;
+    } // After the depth-0 hop Q is the live ancestor's row index.
+    std::memcpy(Dst, &St.Anc[static_cast<size_t>(Q) * Cap],
+                SL * sizeof(uint16_t));
+    St.RowEncScratch[static_cast<size_t>(I)] =
+        St.RowEnc[static_cast<size_t>(Q)];
+    St.RowSourceScratch[static_cast<size_t>(I)] =
+        static_cast<uint16_t>(R.Seg);
+  }
+  for (int I = 0; I < NewB; ++I) {
+    int P = NewRows[static_cast<size_t>(I)];
+    const SpecRow &R = Plan[static_cast<size_t>(P)];
+    size_t SL = static_cast<size_t>(St.SegLen[static_cast<size_t>(R.Seg)]);
+    std::memcpy(&St.Anc[static_cast<size_t>(I) * Cap],
+                &St.AncScratch[static_cast<size_t>(I) * Cap],
+                (SL + static_cast<size_t>(R.Depth) + 1) * sizeof(uint16_t));
+    St.RowEnc[static_cast<size_t>(I)] =
+        std::move(St.RowEncScratch[static_cast<size_t>(I)]);
+    St.RowSource[static_cast<size_t>(I)] =
+        St.RowSourceScratch[static_cast<size_t>(I)];
+  }
+  // Drop stale encoder bindings past the new row count, then advance
+  // each committed segment's clock by its rows' shared depth + 1.
+  for (int I = NewB; I < St.B; ++I)
+    St.RowEnc[static_cast<size_t>(I)].reset();
+  St.B = NewB;
+  for (int I = 0; I < NewB; ++I) {
+    const SpecRow &R = Plan[static_cast<size_t>(NewRows[static_cast<size_t>(I)])];
+    if (I > 0 &&
+        Plan[static_cast<size_t>(NewRows[static_cast<size_t>(I - 1)])].Seg ==
+            R.Seg) {
+      assert(
+          Plan[static_cast<size_t>(NewRows[static_cast<size_t>(I - 1)])]
+                  .Depth == R.Depth &&
+          "committed rows of one segment must share a depth");
+      continue;
+    }
+    int SL = (St.SegLen[static_cast<size_t>(R.Seg)] += R.Depth + 1);
+    St.Len = std::max(St.Len, SL);
+  }
 }
 
 void InferRuntime::reorderBeams(Transformer::BatchDecodeState &St,

@@ -100,8 +100,25 @@ public:
                     const std::vector<int> &SrcIdx) const;
   void abortStreamSegment(Transformer::BatchDecodeState &St, int Seg) const;
 
+  /// -- speculative decode (see Transformer.h for the contracts) ------------
+
+  std::vector<float> stepDecodeSpec(Transformer::BatchDecodeState &St,
+                                    const std::vector<SpecRow> &Plan,
+                                    int Begin, int End) const;
+  void commitSpec(Transformer::BatchDecodeState &St,
+                  const std::vector<SpecRow> &Plan,
+                  const std::vector<int> &NewRows) const;
+
 private:
   const Transformer &M;
+
+  /// The one batched-decoder forward: embeds, runs every decoder layer
+  /// and the output projection over St.FwdRows, returns logits
+  /// [FwdRows.size(), Vocab]. stepDecodeBatch and stepDecodeSpec are
+  /// thin lowerings onto this, which is what makes speculative logits
+  /// bit-identical to committed stepping by construction.
+  std::vector<float>
+  forwardDecodeRows(Transformer::BatchDecodeState &St) const;
 
   /// Out = X * W, bias added AFTER the product (mirrors the graph's
   /// addRow(matmul(...)) rounding; the decoder's linearRows seeds with
@@ -112,6 +129,10 @@ private:
   /// decode-path layout; one tiled GEMM for all rows).
   void linearRows(const float *X, int Rows, const Mat &W, const Mat &Bias,
                   float *Out) const;
+  /// int8 variant over a pre-quantized transposed weight ([out, in] rows):
+  /// bias-seed, quantize the activations into \p ActQ, one gemmI8NT.
+  void linearRowsI8(const float *X, int Rows, const QuantizedMat &W,
+                    const float *Bias, float *Out, QuantizedMat &ActQ) const;
 };
 
 } // namespace nn

@@ -480,6 +480,18 @@ void Transformer::abortStreamSegment(BatchDecodeState &St, int Seg) const {
   InferRuntime(*this).abortStreamSegment(St, Seg);
 }
 
+std::vector<float> Transformer::stepDecodeSpec(BatchDecodeState &St,
+                                               const std::vector<SpecRow> &Plan,
+                                               int Begin, int End) const {
+  return InferRuntime(*this).stepDecodeSpec(St, Plan, Begin, End);
+}
+
+void Transformer::commitSpec(BatchDecodeState &St,
+                             const std::vector<SpecRow> &Plan,
+                             const std::vector<int> &NewRows) const {
+  InferRuntime(*this).commitSpec(St, Plan, NewRows);
+}
+
 //===----------------------------------------------------------------------===//
 // Checkpointing
 //===----------------------------------------------------------------------===//

@@ -3,6 +3,7 @@
 #include "serve/Engine.h"
 
 #include "nn/BeamCore.h"
+#include "nn/SpecDecode.h"
 
 #include <algorithm>
 #include <cassert>
@@ -141,6 +142,13 @@ struct Engine::Job {
   /// freshly admitted). Invariant: NextTokens.size() == Live.size().
   std::vector<int> NextTokens;
   int Steps = 0; ///< Selection steps taken (caps at MaxLen).
+  /// Speculative serving only (inert on the plain path): the session job
+  /// carries the pending selection and row geometry across rounds; the
+  /// accumulators below feed the Auto acceptance gate.
+  nn::SpecSession::Job SJ;
+  uint64_t SpecProposed = 0, SpecAccepted = 0;
+  int SpecRoundsSeen = 0;
+  bool SpecGateDecided = false;
 };
 
 /// One routed request, in a shard's inbox or pending queue. Attach
@@ -178,6 +186,12 @@ struct Engine::Shard {
   std::atomic<uint64_t> BeamsKilled{0};
   std::atomic<uint64_t> TokensMasked{0};
   std::atomic<double> OracleSeconds{0.0};
+  // Speculative-decode accumulators (same single-writer discipline).
+  std::atomic<uint64_t> DraftProposed{0};
+  std::atomic<uint64_t> DraftAccepted{0};
+  std::atomic<uint64_t> SpecRounds{0};
+  std::atomic<uint64_t> SpecFallbacks{0};
+  std::atomic<double> DraftSeconds{0.0};
   std::thread Thread;
 };
 
@@ -360,6 +374,11 @@ EngineMetrics Engine::metrics() const {
     M.BeamsKilled += S->BeamsKilled.load(std::memory_order_relaxed);
     M.TokensMasked += S->TokensMasked.load(std::memory_order_relaxed);
     M.OracleSeconds += S->OracleSeconds.load(std::memory_order_relaxed);
+    M.DraftProposed += S->DraftProposed.load(std::memory_order_relaxed);
+    M.DraftAccepted += S->DraftAccepted.load(std::memory_order_relaxed);
+    M.SpecRounds += S->SpecRounds.load(std::memory_order_relaxed);
+    M.SpecFallbacks += S->SpecFallbacks.load(std::memory_order_relaxed);
+    M.DraftSeconds += S->DraftSeconds.load(std::memory_order_relaxed);
     M.Shards.push_back(U);
   }
   M.DecodeCacheBytes = D.decodeCache().bytesUsed();
@@ -732,6 +751,19 @@ void Engine::shardLoop(Shard &S) {
 
   nn::Transformer::BatchDecodeState St = Model.startDecodeStream(
       Opts.MaxLiveSources, BeamsPerSource, std::max(1, Opts.MaxLen) + 1);
+  // Speculative serving: a per-shard session owning the draft's mirrored
+  // stream state. With no draft attached the engine silently runs plain
+  // (byte-identical either way; only throughput could have changed).
+  const nn::DraftModel *DM = D.draft();
+  const bool Spec =
+      Opts.Speculate != nn::SpecMode::Off && DM != nullptr &&
+      Opts.DraftGamma > 0;
+  std::unique_ptr<nn::SpecSession> Sess;
+  if (Spec) {
+    Sess = std::make_unique<nn::SpecSession>(Model, DM->model());
+    Sess->initStream(Opts.MaxLiveSources, BeamsPerSource,
+                     std::max(1, Opts.MaxLen) + 1);
+  }
   SlotAllocator Slots(Opts.MaxLiveSources);
   std::vector<std::unique_ptr<Job>> Jobs; // Row order == job order.
   /// Routed messages not yet admitted: attaches waiting to merge and
@@ -742,6 +774,7 @@ void Engine::shardLoop(Shard &S) {
   nn::beamcore::SelectScratch Scratch;
   std::vector<float> Logits;
   std::vector<int> Tokens, SrcIdx;
+  std::vector<nn::SpecSession::Job *> SpecJobs;
   uint64_t Tick = 0; ///< This shard's tick number (fault-injection id).
 
   // Releases a LIVE job's row state without finishing it: aborts its
@@ -749,10 +782,36 @@ void Engine::shardLoop(Shard &S) {
   // drops its router slot/key.
   auto AbortJobRow = [&](Job &J) {
     Model.abortStreamSegment(St, J.Seg);
+    if (Spec)
+      Sess->abortSegment(J.Seg);
     Slots.release(J.Seg);
     Router.retire(J.Registered ? J.SrcKey : std::string(), S.Index);
     std::lock_guard<std::mutex> Lock(MetricsMu);
     --LiveSources;
+  };
+
+  // Retires a FINISHED job: frees its segment, finalizes its beams,
+  // feeds the decode LRU, and completes every client it serves. LRU
+  // insert FIRST, registry drop second: a dispatcher that still sees
+  // the key routes an attach here (served from a live job or this cache
+  // entry); one that no longer sees it finds the cache entry up front.
+  // Only the job that REGISTERED the key may drop it: a readmitted
+  // (unregistered) job retiring must not erase an entry a newer job for
+  // the same source owns.
+  auto RetireJob = [&](Job &&J) {
+    Slots.release(J.Seg);
+    std::shared_ptr<const std::vector<nn::Hypothesis>> Hyps =
+        std::make_shared<std::vector<nn::Hypothesis>>(
+            nn::beamcore::finalizeBeams(std::move(J.Live),
+                                        std::move(J.Done), BC, &J.CC));
+    if (Opts.UseDecodeCache && !J.Src.empty())
+      D.decodeCache().put(J.Src, J.ConstsVersion, BC, Hyps);
+    Router.retire(J.Registered ? J.SrcKey : std::string(), S.Index);
+    {
+      std::lock_guard<std::mutex> Lock(MetricsMu);
+      --LiveSources;
+    }
+    finishJob(std::move(J), std::move(Hyps));
   };
 
   // The per-tick cancellation sweep. Dead attached completions resolve
@@ -823,6 +882,17 @@ void Engine::shardLoop(Shard &S) {
     J->Live.resize(1); // The BOS hypothesis.
     J->CC.init(BC);    // Fresh oracle cursor for the BOS beam.
     J->NextTokens = {nn::Transformer::BosId};
+    if (Spec) {
+      // Mirror the admission on the draft state and point the session
+      // job at this job's search state (heap-stable across the vector's
+      // moves). Its default pending selection IS the BOS feed.
+      Sess->admit(Seg, *M.Enc);
+      J->SJ.Seg = Seg;
+      J->SJ.Live = &J->Live;
+      J->SJ.Done = &J->Done;
+      J->SJ.CC = &J->CC;
+      J->SJ.Gamma = Opts.DraftGamma;
+    }
     bump(S.Sources, 1);
     {
       std::lock_guard<std::mutex> Lock(MetricsMu);
@@ -984,6 +1054,79 @@ void Engine::shardLoop(Shard &S) {
     if (Jobs.empty())
       continue; // Everything attached/completed; re-block on the inbox.
 
+    if (Spec) {
+      // -- one propose/verify round over every live job --------------------
+      // The session updates each job's Live/Done/CC exactly as the
+      // equivalent plain ticks would (one round = one-or-more exact beam
+      // steps per job), so retirement, finalization, and the LRU fill
+      // are the plain path's code verbatim.
+      const bool Multi = Jobs.size() > 1;
+      SpecJobs.clear();
+      for (const std::unique_ptr<Job> &J : Jobs) {
+        if (Multi) {
+          J->Main.Shared = true;
+          for (Completion &C : J->Attached)
+            C.Shared = true;
+        }
+        SpecJobs.push_back(&J->SJ);
+      }
+      nn::SpecStats Round;
+      auto T0 = Clock::now();
+      int PlanRows = Sess->runRound(St, SpecJobs, BC, Round);
+      bump(S.DecodeSeconds, secondsSince(T0));
+      bump(S.Steps, 1);
+      bump(S.StepRows, PlanRows);
+      bump(S.DraftProposed, Round.Proposed);
+      bump(S.DraftAccepted, Round.Accepted);
+      bump(S.SpecRounds, 1);
+      bump(S.DraftSeconds, Round.DraftSeconds);
+      ++Tick;
+      if (Injector.enabled() && Injector.slowTickAt(S.Index, Tick))
+        std::this_thread::sleep_for(
+            secondsToDuration(Injector.config().SlowTickSeconds));
+
+      size_t Keep = 0;
+      for (size_t JI = 0; JI < Jobs.size(); ++JI) {
+        Job &J = *Jobs[JI];
+        J.Steps = J.SJ.StepsDone;
+        // Auto's acceptance gate, decided ONCE per request after its
+        // probe rounds: a request whose draft is not earning its keep
+        // stops proposing — its later rounds are plain steps through
+        // the same machinery (Gamma 0 is absorbing), so the worst case
+        // is bounded at the probe rounds' draft cost.
+        if (Opts.Speculate == nn::SpecMode::Auto && !J.SpecGateDecided) {
+          J.SpecProposed += static_cast<uint64_t>(J.SJ.Proposed);
+          J.SpecAccepted += static_cast<uint64_t>(J.SJ.Accepted);
+          if (++J.SpecRoundsSeen >= Opts.SpecProbeRounds &&
+              !J.SJ.Finished) {
+            J.SpecGateDecided = true;
+            double Acc = J.SpecProposed
+                             ? static_cast<double>(J.SpecAccepted) /
+                                   static_cast<double>(J.SpecProposed)
+                             : 0.0;
+            if (Acc < Opts.SpecMinAcceptance) {
+              J.SJ.Gamma = 0;
+              bump(S.SpecFallbacks, 1);
+            }
+          }
+        }
+        if (J.SJ.Finished)
+          RetireJob(std::move(J));
+        else
+          Jobs[Keep++] = std::move(Jobs[JI]);
+      }
+      Jobs.resize(Keep);
+      if (BC.Constraint) {
+        bump(S.TokensMasked, OracleStats.TokensMasked);
+        bump(S.BeamsKilled, OracleStats.BeamsKilled);
+        bump(S.OracleSeconds, OracleStats.OracleSeconds);
+        OracleStats = nn::ConstraintStats();
+      }
+      // No survivor gather here: commitSpec already adopted the
+      // accepted frontier and dropped retired jobs' rows.
+      continue;
+    }
+
     // -- one fused decode tick over every live row -------------------------
     Tokens.clear();
     for (const std::unique_ptr<Job> &J : Jobs)
@@ -1024,27 +1167,7 @@ void Engine::shardLoop(Shard &S) {
       // the same three exits as beamSearchImpl's loop, in the same
       // order, so the surviving Live/Done sets match a solo search.
       if (R.StopNow || J.Live.empty() || J.Steps >= BC.MaxLen) {
-        Slots.release(J.Seg);
-        std::shared_ptr<const std::vector<nn::Hypothesis>> Hyps =
-            std::make_shared<std::vector<nn::Hypothesis>>(
-                nn::beamcore::finalizeBeams(std::move(J.Live),
-                                            std::move(J.Done), BC,
-                                            &J.CC));
-        // LRU insert FIRST, registry drop second: a dispatcher that
-        // still sees the key routes an attach here (served from a live
-        // job or this cache entry); one that no longer sees it finds
-        // the cache entry up front.
-        if (Opts.UseDecodeCache && !J.Src.empty())
-          D.decodeCache().put(J.Src, J.ConstsVersion, BC, Hyps);
-        // Only the job that REGISTERED the key may drop it: a
-        // readmitted (unregistered) job retiring must not erase an
-        // entry a newer job for the same source owns.
-        Router.retire(J.Registered ? J.SrcKey : std::string(), S.Index);
-        {
-          std::lock_guard<std::mutex> Lock(MetricsMu);
-          --LiveSources;
-        }
-        finishJob(std::move(J), std::move(Hyps));
+        RetireJob(std::move(J));
       } else {
         for (int Idx : R.SrcIdx)
           SrcIdx.push_back(RowBase + Idx);

@@ -174,6 +174,8 @@ Scheduler::decodeAll(const std::vector<std::vector<int>> &Srcs) {
   EO.UseDecodeCache = false;
   EO.QueueCapacity = std::max<size_t>(1, UniqueIdx.size());
   EO.Constrain = Opts.Constrain;
+  EO.Speculate = Opts.Speculate;
+  EO.DraftGamma = Opts.DraftGamma;
   M.EngineMaxLive = EO.MaxLiveSources;
   M.EngineShards = ShardCount;
 
@@ -213,6 +215,15 @@ Scheduler::decodeAll(const std::vector<std::vector<int>> &Srcs) {
     M.BeamsKilled += EM.BeamsKilled;
     M.TokensMasked += EM.TokensMasked;
     M.OracleSeconds += EM.OracleSeconds;
+    M.DraftProposed += EM.DraftProposed;
+    M.DraftAccepted += EM.DraftAccepted;
+    M.SpecRounds += EM.SpecRounds;
+    M.SpecFallbacks += EM.SpecFallbacks;
+    M.DraftSeconds += EM.DraftSeconds;
+    M.SpecAcceptRate =
+        M.DraftProposed ? static_cast<double>(M.DraftAccepted) /
+                              static_cast<double>(M.DraftProposed)
+                        : 0.0;
     M.QueueWaitP50 = EM.QueueWait.P50;
     M.QueueWaitP95 = EM.QueueWait.P95;
     M.QueueWaitP99 = EM.QueueWait.P99;

@@ -79,6 +79,12 @@ struct ServeOptions {
   /// Grammar-constrained decoding (--constrain), forwarded to the
   /// engine. Off is byte-identical to the pre-constraint scheduler.
   nn::ConstrainMode Constrain = nn::ConstrainMode::Off;
+  /// Speculative decoding (--speculate), forwarded to the engine.
+  /// Requires a draft attached to the decompiler (attachDraft); results
+  /// are byte-identical in every mode.
+  nn::SpecMode Speculate = nn::SpecMode::Off;
+  /// Draft proposal depth per speculative round (--draft-gamma).
+  int DraftGamma = 4;
 };
 
 /// A raw translation request: assembly text in, C hypothesis out.
@@ -157,6 +163,14 @@ struct ServeMetrics {
   uint64_t BeamsKilled = 0;
   uint64_t TokensMasked = 0;
   double OracleSeconds = 0;
+  /// Speculative-decode counters (engine pass-through; zero when
+  /// Speculate is Off).
+  uint64_t DraftProposed = 0;  ///< Draft-proposed beam steps.
+  uint64_t DraftAccepted = 0;  ///< Proposals the full model agreed with.
+  uint64_t SpecRounds = 0;     ///< Propose/verify rounds ticked.
+  uint64_t SpecFallbacks = 0;  ///< Requests the Auto gate reverted.
+  double DraftSeconds = 0;     ///< Time inside draft forward + simulate.
+  double SpecAcceptRate = 0;   ///< DraftAccepted / DraftProposed.
 };
 
 class Scheduler {

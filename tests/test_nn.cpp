@@ -968,8 +968,11 @@ TEST(DecodeLRU, KeyedBySourceVersionAndBeamConfig) {
   BC.MaxLen = 16;
   auto H = hypsOf({3, 4, 5});
   Cache.put({1, 2}, /*Version=*/7, BC, H);
-  EXPECT_EQ(Cache.get({1, 2}, 7, BC).get(), H.get())
-      << "hit shares the stored object, no copy";
+  auto Hit = Cache.get({1, 2}, 7, BC);
+  ASSERT_NE(Hit, nullptr);
+  ASSERT_EQ(Hit->size(), 1u);
+  EXPECT_EQ(Hit->front().Tokens, std::vector<int>({3, 4, 5}));
+  EXPECT_EQ(Hit->front().Score, -1.0f);
   EXPECT_EQ(Cache.get({1, 2, 3}, 7, BC), nullptr) << "source keys";
   EXPECT_EQ(Cache.get({1, 2}, 8, BC), nullptr) << "weight version keys";
   BeamConfig Wider = BC;
@@ -989,8 +992,68 @@ TEST(DecodeLRU, KeyedBySourceVersionAndBeamConfig) {
   // Re-inserting an existing key refreshes instead of duplicating.
   Cache.put({1, 2}, 7, BC, hypsOf({9}));
   EXPECT_EQ(Cache.size(), 1u);
-  EXPECT_EQ(Cache.get({1, 2}, 7, BC).get(), H.get())
+  auto Kept = Cache.get({1, 2}, 7, BC);
+  ASSERT_NE(Kept, nullptr);
+  EXPECT_EQ(Kept->front().Tokens, std::vector<int>({3, 4, 5}))
       << "the original entry is kept (identical by determinism)";
+}
+
+TEST(DecodeLRU, PrefixDeltaCompressionRoundTrips) {
+  DecodeLRU Cache(/*Capacity=*/8);
+  BeamConfig BC;
+  BC.BeamSize = 4;
+  // Four hypotheses forking from one 96-token prefix near the end —
+  // the shape a real beam retires with.
+  auto Hyps = std::make_shared<std::vector<Hypothesis>>();
+  std::vector<int> Prefix(96);
+  for (size_t I = 0; I < Prefix.size(); ++I)
+    Prefix[I] = static_cast<int>(3 + I % 40);
+  for (int K = 0; K < 4; ++K) {
+    Hypothesis H;
+    H.Tokens = Prefix;
+    if (K > 0) { // Top-1 keeps the bare prefix; others diverge.
+      H.Tokens.resize(Prefix.size() - static_cast<size_t>(K));
+      for (int S = 0; S <= K; ++S)
+        H.Tokens.push_back(100 + 10 * K + S);
+    }
+    H.Score = -0.5f * static_cast<float>(K);
+    Hyps->push_back(std::move(H));
+  }
+  size_t RawTokenBytes = 0;
+  for (const Hypothesis &H : *Hyps)
+    RawTokenBytes += H.Tokens.size() * sizeof(int);
+  Cache.put({1, 2, 3}, 1, BC, Hyps);
+  auto Hit = Cache.get({1, 2, 3}, 1, BC);
+  ASSERT_NE(Hit, nullptr);
+  ASSERT_EQ(Hit->size(), Hyps->size());
+  for (size_t I = 0; I < Hyps->size(); ++I) {
+    EXPECT_EQ((*Hit)[I].Tokens, (*Hyps)[I].Tokens) << "hypothesis " << I;
+    EXPECT_EQ((*Hit)[I].Score, (*Hyps)[I].Score) << "hypothesis " << I;
+  }
+  EXPECT_LT(Cache.bytesUsed(), RawTokenBytes)
+      << "compressed entry (top-1 + deltas) must undercut even the raw "
+         "token payload of the four hypotheses";
+}
+
+TEST(DecodeLRU, EmptyAndDisjointResultsRoundTrip) {
+  DecodeLRU Cache(/*Capacity=*/8);
+  BeamConfig BC;
+  // A result with no hypotheses is still a (negative) cache entry.
+  Cache.put({5}, 1, BC, std::make_shared<std::vector<Hypothesis>>());
+  auto Empty = Cache.get({5}, 1, BC);
+  ASSERT_NE(Empty, nullptr);
+  EXPECT_TRUE(Empty->empty());
+  // Hypotheses sharing NO prefix (delta degenerates to a full copy).
+  auto Hyps = std::make_shared<std::vector<Hypothesis>>();
+  Hyps->push_back({{10, 11, 12}, -1.0f});
+  Hyps->push_back({{20, 21}, -2.0f});
+  Cache.put({6}, 1, BC, Hyps);
+  auto Hit = Cache.get({6}, 1, BC);
+  ASSERT_NE(Hit, nullptr);
+  ASSERT_EQ(Hit->size(), 2u);
+  EXPECT_EQ((*Hit)[0].Tokens, std::vector<int>({10, 11, 12}));
+  EXPECT_EQ((*Hit)[1].Tokens, std::vector<int>({20, 21}));
+  EXPECT_EQ((*Hit)[1].Score, -2.0f);
 }
 
 TEST(DecodeLRU, CountBoundEvictsLeastRecentlyUsed) {
