@@ -16,6 +16,8 @@
 #include "nn/DraftModel.h"
 #include "nn/Mat.h"
 #include "nn/SpecDecode.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "serve/Engine.h"
 #include "serve/Scheduler.h"
 #include "vm/Interp.h"
@@ -248,6 +250,65 @@ void BM_DecodeStepBatched5(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_DecodeStepBatched5);
+
+/// The observability tax on the decode hot loop: one batched decode
+/// step wrapped in EXACTLY the per-tick instrumentation the engine's
+/// shardLoop runs — the per-shard counter bumps, the enabled() check,
+/// the tick span record, and one per-request sampling decision.
+/// Arg 0: tracing off (the always-compiled default cost).
+/// Arg 1: tracing on, --trace-sample 16 (the recommended sampling).
+/// Arg 2: tracing on, sample everything (worst case).
+/// Budget (bench/README.md): Arg 0 within 1% of BM_DecodeStepBatched5,
+/// Arg 1 within 2%.
+void BM_TraceOverhead(benchmark::State &State) {
+  nn::TransformerConfig MC;
+  MC.Vocab = 512;
+  nn::Transformer Model(MC);
+  std::vector<int> Src(128, 5);
+  auto Enc = Model.encodeSource(Src);
+  nn::Transformer::BatchDecodeState St =
+      Model.startDecodeBatch(Enc, 5, 256);
+  Model.stepDecodeBatch(St, {nn::Transformer::BosId});
+  Model.reorderBeams(St, {0, 0, 0, 0, 0});
+  std::vector<int> Tokens = {7, 8, 9, 10, 11};
+
+  // Private recorder + registry: the benchmark never dirties the global
+  // trace. Instrument shapes mirror Engine::registerInstruments.
+  obs::TraceRecorder R(obs::TraceRecorder::DefaultCapacity);
+  obs::Registry Reg;
+  obs::Counter &Steps = Reg.counter("bm_shard_steps_total", "bench", 1);
+  obs::Counter &Rows = Reg.counter("bm_shard_step_rows_total", "bench", 1);
+  obs::FloatCounter &Secs =
+      Reg.floatCounter("bm_shard_decode_seconds_total", "bench", 1);
+  if (State.range(0) == 1)
+    R.enable(/*SampleEvery=*/16, /*Seed=*/7);
+  else if (State.range(0) == 2)
+    R.enable(1, 7);
+
+  uint64_t Seq = 0;
+  for (auto _ : State) {
+    const bool TraceTick = R.enabled();
+    const uint64_t TickStart = TraceTick ? R.nowNs() : 0;
+    auto T0 = std::chrono::steady_clock::now();
+    auto Logits = Model.stepDecodeBatch(St, Tokens);
+    benchmark::DoNotOptimize(Logits);
+    Secs.add(0, std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - T0)
+                    .count());
+    Steps.add(0, 1);
+    Rows.add(0, Tokens.size());
+    if (TraceTick)
+      R.record(obs::SpanKind::Tick, 0, TickStart, R.nowNs(),
+               Tokens.size());
+    benchmark::DoNotOptimize(R.sampled(++Seq));
+    if (St.Len > 200) {
+      St = Model.startDecodeBatch(Enc, 5, 256);
+      Model.stepDecodeBatch(St, {nn::Transformer::BosId});
+      Model.reorderBeams(St, {0, 0, 0, 0, 0});
+    }
+  }
+}
+BENCHMARK(BM_TraceOverhead)->Arg(0)->Arg(1)->Arg(2);
 
 std::vector<int> encodeBenchSource(int T) {
   std::vector<int> Src;
@@ -590,6 +651,42 @@ void BM_EngineStreamPoisson(benchmark::State &State) {
 BENCHMARK(BM_EngineStreamPoisson)
     ->Arg(1)
     ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// BM_EngineStreamPoisson width 4 with request-lifecycle tracing armed
+/// at the recommended sampling (--trace-sample 16): the end-to-end
+/// serving overhead of tracing-on, budgeted <2% against the untraced
+/// run (bench/README.md). The ring is cleared per iteration so wrap
+/// bookkeeping stays out of the measurement.
+void BM_EngineStreamPoissonTraced(benchmark::State &State) {
+  const StreamBench &B = streamBench();
+  serve::EngineOptions EO;
+  EO.BeamSize = 2;
+  EO.MaxLen = 48;
+  EO.MaxLiveSources = 4;
+  EO.UseDecodeCache = false;
+  std::vector<double> At =
+      poissonArrivals(B.Asm.size(), /*Rate=*/400.0, /*Seed=*/99);
+  obs::trace().enable(/*SampleEvery=*/16, /*Seed=*/0);
+  for (auto _ : State) {
+    serve::Engine Eng(*B.Slade, EO);
+    std::vector<serve::Handle> Handles(B.Asm.size());
+    auto Start = std::chrono::steady_clock::now();
+    for (size_t I = 0; I < B.Asm.size(); ++I) {
+      std::this_thread::sleep_until(
+          Start + std::chrono::duration<double>(At[I]));
+      Handles[I] = Eng.submit({"f", B.Asm[I], {}, {}, nullptr});
+    }
+    for (auto &H : Handles)
+      benchmark::DoNotOptimize(H.get());
+  }
+  obs::trace().disable();
+  obs::trace().clear();
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(B.Asm.size()));
+}
+BENCHMARK(BM_EngineStreamPoissonTraced)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

@@ -3,6 +3,7 @@
 #include "core/Slade.h"
 
 #include "core/Metrics.h"
+#include "obs/Trace.h"
 #include "support/ThreadPool.h"
 #include "typeinf/TypeInference.h"
 
@@ -110,6 +111,13 @@ HypothesisOutcome slade::core::evaluateHypothesisBounded(
   for (int Attempt = 0; Attempt < MaxAttempts; ++Attempt) {
     if (Stats)
       ++Stats->Attempts;
+    // Traced requests span every attempt individually — the destructor
+    // records even when the attempt throws, so retried/faulted attempts
+    // show up in the trace with their true duration.
+    obs::ScopedSpan AttemptSpan(obs::trace(), obs::SpanKind::VerifyAttempt,
+                                Limits.TraceId, Limits.Traced);
+    AttemptSpan.args(static_cast<uint64_t>(Limits.TraceCand),
+                     static_cast<uint64_t>(Attempt));
     try {
       if (Limits.BeforeAttempt)
         Limits.BeforeAttempt(Attempt, CandDeadline);

@@ -86,6 +86,12 @@ struct VerifyLimits {
   std::function<void(int Attempt,
                      std::chrono::steady_clock::time_point CandDeadline)>
       BeforeAttempt;
+  /// Observability (obs/Trace.h): when \p Traced, each attempt records a
+  /// verify_attempt span tagged (TraceId = request Seq, TraceCand =
+  /// candidate index) into the global trace recorder. Inert by default.
+  bool Traced = false;
+  uint64_t TraceId = 0;
+  int TraceCand = 0;
 };
 
 /// What happened while evaluating one candidate under VerifyLimits.

@@ -136,6 +136,13 @@ struct Admission {
   uint64_t Seq = 0;
   /// Shared with the producer's Handle; set = cancel requested.
   std::shared_ptr<std::atomic<bool>> Cancel;
+  /// Observability (obs/Trace.h): the per-request sampling decision,
+  /// made ONCE at submit so a traced request records its whole
+  /// lifecycle across dispatcher, shard, and verify-worker threads, and
+  /// the submit timestamp (recorder-epoch ns) the queue-wait span
+  /// starts from. Both inert (false/0) while tracing is off.
+  bool Traced = false;
+  uint64_t SubmitNs = 0;
 
   bool cancelled() const {
     return Cancel && Cancel->load(std::memory_order_acquire);

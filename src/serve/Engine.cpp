@@ -4,6 +4,7 @@
 
 #include "nn/BeamCore.h"
 #include "nn/SpecDecode.h"
+#include "obs/Trace.h"
 
 #include <algorithm>
 #include <cassert>
@@ -27,22 +28,10 @@ Clock::duration secondsToDuration(double S) {
       std::chrono::duration<double>(S));
 }
 
-/// Percentile over sorted samples (nearest-rank).
-double percentile(const std::vector<double> &Sorted, double P) {
-  if (Sorted.empty())
-    return 0;
-  size_t Rank = static_cast<size_t>(P * static_cast<double>(Sorted.size()));
-  if (Rank >= Sorted.size())
-    Rank = Sorted.size() - 1;
-  return Sorted[Rank];
-}
-
-/// Single-writer accumulator bump: the owning shard thread is the only
-/// writer, so a relaxed load+store pair is race-free (and TSan-clean)
-/// without RMW cost on the hot tick; metrics() just loads.
-template <typename T, typename V> void bump(std::atomic<T> &A, V Delta) {
-  A.store(A.load(std::memory_order_relaxed) + static_cast<T>(Delta),
-          std::memory_order_relaxed);
+/// Seconds -> recorder nanoseconds, for synthesizing sub-spans from
+/// accumulated stats (the oracle-mask time inside a tick).
+uint64_t secondsToNs(double S) {
+  return S > 0 ? static_cast<uint64_t>(S * 1e9) : 0;
 }
 
 } // namespace
@@ -55,20 +44,30 @@ int slade::serve::resolveShardCount(int Requested) {
 }
 
 LatencyStats slade::serve::latencyStatsOf(std::vector<double> Samples) {
+  obs::SampleStats St = obs::sampleStats(std::move(Samples));
   LatencyStats S;
-  if (Samples.empty())
-    return S;
-  std::sort(Samples.begin(), Samples.end());
-  S.P50 = percentile(Samples, 0.50);
-  S.P95 = percentile(Samples, 0.95);
-  S.P99 = percentile(Samples, 0.99);
-  S.Max = Samples.back();
-  double Sum = 0;
-  for (double V : Samples)
-    Sum += V;
-  S.Mean = Sum / static_cast<double>(Samples.size());
+  S.P50 = St.P50;
+  S.P95 = St.P95;
+  S.P99 = St.P99;
+  S.Mean = St.Mean;
+  S.Max = St.Max;
   return S;
 }
+
+namespace {
+
+/// Serve-typed view of a histogram's exact-window stats.
+LatencyStats toLatencyStats(const obs::SampleStats &St) {
+  LatencyStats S;
+  S.P50 = St.P50;
+  S.P95 = St.P95;
+  S.P99 = St.P99;
+  S.Mean = St.Mean;
+  S.Max = St.Max;
+  return S;
+}
+
+} // namespace
 
 /// One request's completion channel: who to tell, when it arrived, when
 /// it must be done, and how to tell it is no longer wanted.
@@ -83,6 +82,11 @@ struct Engine::Completion {
   uint64_t Seq = 0; ///< Submit order: fault-injection id.
   double QueueWait = 0;
   bool Shared = false; ///< Shared >= 1 decode tick with another source.
+  /// Tracing (obs/Trace.h): sampled-at-submit decision plus the span
+  /// anchor timestamps (recorder-epoch ns). Inert while tracing is off.
+  bool Traced = false;
+  uint64_t SubmitNs = 0; ///< Queue-wait span start.
+  uint64_t RouteNs = 0;  ///< Dispatch routed it; admission-wait start.
 
   /// Why this completion can no longer be served — or Ok while it can.
   /// Cancellation wins over expiry when both hold (the client asked
@@ -108,6 +112,8 @@ struct Engine::Completion {
     C.SubmitTime = A.SubmitTime;
     C.Deadline = A.Req.Deadline;
     C.Seq = A.Seq;
+    C.Traced = A.Traced;
+    C.SubmitNs = A.SubmitNs;
     return C;
   }
 };
@@ -149,6 +155,9 @@ struct Engine::Job {
   uint64_t SpecProposed = 0, SpecAccepted = 0;
   int SpecRoundsSeen = 0;
   bool SpecGateDecided = false;
+  /// Decode-span start (row admission), recorder-epoch ns; meaningful
+  /// only when Main.Traced.
+  uint64_t AdmitNs = 0;
 };
 
 /// One routed request, in a shard's inbox or pending queue. Attach
@@ -170,28 +179,15 @@ struct Engine::ShardMsg {
 /// One decode shard: a long-lived thread owning a BatchDecodeState,
 /// a segment allocator, and scratch — nothing on its hot tick is shared
 /// with other shards. Cross-thread surface: the inbox (dispatcher ->
-/// shard) and the single-writer utilization accumulators.
+/// shard) and the shard's single-writer instrument cells (the per-tick
+/// utilization/constraint/spec accumulators moved into the metrics
+/// registry — Engine::Ins, cell == Index — keeping the exact
+/// single-writer relaxed-store discipline they had as raw atomics).
 struct Engine::Shard {
   int Index = 0;
   std::mutex Mu;
   std::condition_variable Cv;
   std::vector<ShardMsg> Inbox;
-  /// Single-writer (the shard thread) utilization accumulators, merged
-  /// at metrics() time.
-  std::atomic<size_t> Sources{0};
-  std::atomic<uint64_t> Steps{0};
-  std::atomic<uint64_t> StepRows{0};
-  std::atomic<double> DecodeSeconds{0.0};
-  // Grammar-constraint accumulators (same single-writer discipline).
-  std::atomic<uint64_t> BeamsKilled{0};
-  std::atomic<uint64_t> TokensMasked{0};
-  std::atomic<double> OracleSeconds{0.0};
-  // Speculative-decode accumulators (same single-writer discipline).
-  std::atomic<uint64_t> DraftProposed{0};
-  std::atomic<uint64_t> DraftAccepted{0};
-  std::atomic<uint64_t> SpecRounds{0};
-  std::atomic<uint64_t> SpecFallbacks{0};
-  std::atomic<double> DraftSeconds{0.0};
   std::thread Thread;
 };
 
@@ -199,10 +195,13 @@ Engine::Engine(const core::Decompiler &D, const EngineOptions &Opts)
     : D(D), Opts(Opts), Injector(Opts.Faults), Queue(Opts.QueueCapacity),
       Router(resolveShardCount(Opts.Shards),
              std::max(1, Opts.MaxLiveSources)),
+      OwnedReg(Opts.Metrics ? nullptr : new obs::Registry),
+      Reg(Opts.Metrics ? *Opts.Metrics : *OwnedReg),
       DrainAtRaw(Clock::time_point::max().time_since_epoch().count()) {
   assert(this->Opts.MaxLiveSources > 0 && "need at least one decode row");
   const int N = resolveShardCount(Opts.Shards);
   this->Opts.Shards = N; // options() reports the resolved count.
+  registerInstruments();
   ShardsVec.reserve(static_cast<size_t>(N));
   for (int I = 0; I < N; ++I) {
     auto S = std::make_unique<Shard>();
@@ -217,7 +216,142 @@ Engine::Engine(const core::Decompiler &D, const EngineOptions &Opts)
   DispatchThread = std::thread([this] { dispatchLoop(); });
 }
 
-Engine::~Engine() { stop(); }
+Engine::~Engine() {
+  stop();
+  // The collector captures `this`: it must not outlive the engine in an
+  // external registry.
+  Reg.removeCollector(CollectorToken);
+}
+
+/// Registers the engine's instrument set. Idempotent per registry name:
+/// two engines sharing one external registry share the counters too
+/// (their cells line up only at equal shard counts — slade-serve's one
+/// engine per registry is the intended shape).
+void Engine::registerInstruments() {
+  const int N = this->Opts.Shards;
+  Ins.Sources = &Reg.counter(
+      "slade_shard_sources_total",
+      "Sources admitted into decode rows, per shard", N);
+  Ins.Steps = &Reg.counter("slade_shard_steps_total",
+                           "Fused decode ticks, per shard", N);
+  Ins.StepRows = &Reg.counter("slade_shard_step_rows_total",
+                              "Beam rows stepped, per shard", N);
+  Ins.DecodeSeconds = &Reg.floatCounter(
+      "slade_shard_decode_seconds_total",
+      "Time inside decode ticks, per shard", N);
+  Ins.BeamsKilled = &Reg.counter(
+      "slade_constraint_beams_killed_total",
+      "Beams whose every candidate was masked", N);
+  Ins.TokensMasked = &Reg.counter(
+      "slade_constraint_tokens_masked_total",
+      "Vocab entries masked, summed over steps", N);
+  Ins.OracleSeconds = &Reg.floatCounter(
+      "slade_constraint_oracle_seconds_total",
+      "Time inside the oracle/mask code", N);
+  Ins.DraftProposed = &Reg.counter("slade_spec_draft_proposed_total",
+                                   "Draft-proposed beam steps", N);
+  Ins.DraftAccepted = &Reg.counter(
+      "slade_spec_draft_accepted_total",
+      "Proposals the full model agreed with", N);
+  Ins.SpecRounds = &Reg.counter("slade_spec_rounds_total",
+                                "Propose/verify rounds ticked", N);
+  Ins.SpecFallbacks = &Reg.counter(
+      "slade_spec_fallbacks_total",
+      "Requests the Auto gate reverted to plain", N);
+  Ins.DraftSeconds = &Reg.floatCounter(
+      "slade_spec_draft_seconds_total",
+      "Time inside draft forward + simulation", N);
+  Ins.LiveSourcesGauge = &Reg.gauge(
+      "slade_engine_live_sources",
+      "Sources currently admitted into decode rows, all shards");
+  Ins.QueueWait = &Reg.histogram(
+      "slade_engine_queue_wait_seconds",
+      "submit() to decode-row admission, OK requests only",
+      obs::Histogram::defaultLatencyBounds(), 1, MaxLatencySamples);
+  Ins.Latency = &Reg.histogram(
+      "slade_engine_latency_seconds",
+      "submit() to completion, OK requests only",
+      obs::Histogram::defaultLatencyBounds(), 1, MaxLatencySamples);
+  CollectorToken =
+      Reg.addCollector([this](obs::MetricSink &Sink) { collectInto(Sink); });
+}
+
+/// The coherent-group collector: every completion-side counter below is
+/// written under MetricsMu, so scraping them one atomic at a time could
+/// tear the accounting invariant (Completed == sum of typed outcomes).
+/// Instead the scrape takes ONE snapshot under the same mutex — the
+/// invariant holds on every exposition, mid-flight included.
+void Engine::collectInto(obs::MetricSink &Sink) const {
+  size_t Sub, Comp, Ok, Fused, Dedup, CacheHits, CacheMisses, Peak;
+  size_t Shed, Expired, Cancelled, ShutDown, EncFailed, VerFailed;
+  uint64_t VTimeouts, VRetries;
+  double EncSec, VerSec, DrMs;
+  {
+    std::lock_guard<std::mutex> Lock(MetricsMu);
+    Sub = Submitted;
+    Comp = Completed;
+    Ok = OkCount;
+    Fused = FusedJobs;
+    Dedup = InFlightDeduped;
+    CacheHits = DecodeCacheHits;
+    CacheMisses = DecodeCacheMisses;
+    Peak = PeakLiveSources;
+    Shed = ShedCount;
+    Expired = ExpiredCount;
+    Cancelled = CancelledCount;
+    ShutDown = ShutDownCount;
+    EncFailed = EncodeFailedCount;
+    VerFailed = VerifyFailedCount;
+    VTimeouts = VerifyTimeouts;
+    VRetries = VerifyRetries;
+    EncSec = EncodeSeconds;
+    VerSec = VerifySeconds;
+    DrMs = DrainMs;
+  }
+  auto D = [](size_t V) { return static_cast<double>(V); };
+  Sink.counter("slade_engine_requests_submitted_total",
+               "Requests accepted by submit()", "", D(Sub));
+  Sink.counter("slade_engine_requests_completed_total",
+               "Typed resolutions, any status", "", D(Comp));
+  const char *H = "Typed resolutions by outcome";
+  Sink.counter("slade_engine_outcome_total", H, "status=\"ok\"", D(Ok));
+  Sink.counter("slade_engine_outcome_total", H, "status=\"queue_full\"",
+               D(Shed));
+  Sink.counter("slade_engine_outcome_total", H,
+               "status=\"deadline_expired\"", D(Expired));
+  Sink.counter("slade_engine_outcome_total", H, "status=\"cancelled\"",
+               D(Cancelled));
+  Sink.counter("slade_engine_outcome_total", H, "status=\"shutting_down\"",
+               D(ShutDown));
+  Sink.counter("slade_engine_outcome_total", H, "status=\"encode_failed\"",
+               D(EncFailed));
+  Sink.counter("slade_engine_outcome_total", H, "status=\"verify_failed\"",
+               D(VerFailed));
+  Sink.counter("slade_engine_fused_jobs_total",
+               "Requests that shared a decode tick", "", D(Fused));
+  Sink.counter("slade_engine_inflight_deduped_total",
+               "Requests attached to a live identical decode", "",
+               D(Dedup));
+  Sink.counter("slade_engine_decode_cache_hits_total",
+               "Requests served from the decoded-hypotheses LRU", "",
+               D(CacheHits));
+  Sink.counter("slade_engine_decode_cache_misses_total",
+               "Decode-LRU lookups that missed", "", D(CacheMisses));
+  Sink.gauge("slade_engine_peak_live_sources",
+             "Peak concurrently-live sources, all shards", "", D(Peak));
+  Sink.counter("slade_engine_encode_seconds_total",
+               "Encoder passes at dispatch", "", EncSec);
+  Sink.counter("slade_engine_verify_seconds_total",
+               "Summed pool verify time (overlapped)", "", VerSec);
+  Sink.counter("slade_engine_verify_timeouts_total",
+               "Candidates cut by the verify timeout", "",
+               static_cast<double>(VTimeouts));
+  Sink.counter("slade_engine_verify_retries_total",
+               "Transient verify attempts retried", "",
+               static_cast<double>(VRetries));
+  Sink.gauge("slade_engine_drain_ms",
+             "Wall ms the terminal drain()/stop() took", "", DrMs);
+}
 
 void Engine::stop() { shutdownImpl(Clock::time_point::max()); }
 
@@ -266,6 +400,15 @@ Handle Engine::submitImpl(DecompileRequest R,
   A.SubmitTime = Clock::now();
   A.Seq = SeqCounter.fetch_add(1, std::memory_order_relaxed);
   A.Cancel = std::make_shared<std::atomic<bool>>(false);
+  // The per-request sampling decision, made exactly once: every later
+  // instrumentation site just tests the flag (tracing-off cost at THIS
+  // site is one relaxed load inside sampled()).
+  obs::TraceRecorder &TR = obs::trace();
+  A.Traced = TR.sampled(A.Seq);
+  if (A.Traced) {
+    A.SubmitNs = TR.nowNs();
+    TR.instant(obs::SpanKind::Submit, A.Seq);
+  }
   Handle H;
   H.Fut = A.Promise.get_future();
   H.CancelFlag = A.Cancel;
@@ -339,9 +482,15 @@ void Engine::drain() {
 EngineMetrics Engine::metrics() const {
   EngineMetrics M;
   {
+    // ONE coherent snapshot of every completion-side counter: all of
+    // them are written under this mutex, so `Completed == Ok + Shed +
+    // Expired + Cancelled + ShutDown + EncodeFailed + VerifyFailed`
+    // and `Completed <= Submitted` hold on every scrape, mid-flight
+    // included (pinned by the concurrent-scrape soak test).
     std::lock_guard<std::mutex> Lock(MetricsMu);
     M.Submitted = Submitted;
     M.Completed = Completed;
+    M.Ok = OkCount;
     M.FusedJobs = FusedJobs;
     M.InFlightDeduped = InFlightDeduped;
     M.DecodeCacheHits = DecodeCacheHits;
@@ -358,29 +507,32 @@ EngineMetrics Engine::metrics() const {
     M.VerifyTimeouts = VerifyTimeouts;
     M.VerifyRetries = VerifyRetries;
     M.DrainMs = DrainMs;
-    M.QueueWait = latencyStatsOf(QueueWaitSamples);
-    M.Latency = latencyStatsOf(LatencySamples);
   }
+  // Exact nearest-rank percentiles over the histograms' bounded sample
+  // windows — the same values the raw sample vectors used to yield.
+  M.QueueWait = toLatencyStats(Ins.QueueWait->stats());
+  M.Latency = toLatencyStats(Ins.Latency->stats());
   M.Shards.reserve(ShardsVec.size());
   for (const std::unique_ptr<Shard> &S : ShardsVec) {
+    const int I = S->Index;
     ShardUtil U;
-    U.Sources = S->Sources.load(std::memory_order_relaxed);
-    U.Steps = S->Steps.load(std::memory_order_relaxed);
-    U.StepRows = S->StepRows.load(std::memory_order_relaxed);
-    U.DecodeSeconds = S->DecodeSeconds.load(std::memory_order_relaxed);
+    U.Sources = Ins.Sources->cellValue(I);
+    U.Steps = Ins.Steps->cellValue(I);
+    U.StepRows = Ins.StepRows->cellValue(I);
+    U.DecodeSeconds = Ins.DecodeSeconds->cellValue(I);
     M.Steps += U.Steps;
     M.StepRows += U.StepRows;
     M.DecodeSeconds += U.DecodeSeconds;
-    M.BeamsKilled += S->BeamsKilled.load(std::memory_order_relaxed);
-    M.TokensMasked += S->TokensMasked.load(std::memory_order_relaxed);
-    M.OracleSeconds += S->OracleSeconds.load(std::memory_order_relaxed);
-    M.DraftProposed += S->DraftProposed.load(std::memory_order_relaxed);
-    M.DraftAccepted += S->DraftAccepted.load(std::memory_order_relaxed);
-    M.SpecRounds += S->SpecRounds.load(std::memory_order_relaxed);
-    M.SpecFallbacks += S->SpecFallbacks.load(std::memory_order_relaxed);
-    M.DraftSeconds += S->DraftSeconds.load(std::memory_order_relaxed);
     M.Shards.push_back(U);
   }
+  M.BeamsKilled = Ins.BeamsKilled->value();
+  M.TokensMasked = Ins.TokensMasked->value();
+  M.OracleSeconds = Ins.OracleSeconds->value();
+  M.DraftProposed = Ins.DraftProposed->value();
+  M.DraftAccepted = Ins.DraftAccepted->value();
+  M.SpecRounds = Ins.SpecRounds->value();
+  M.SpecFallbacks = Ins.SpecFallbacks->value();
+  M.DraftSeconds = Ins.DraftSeconds->value();
   M.DecodeCacheBytes = D.decodeCache().bytesUsed();
   return M;
 }
@@ -400,8 +552,11 @@ void Engine::completeResult(RequestResult &&Res, Completion &&C) {
     case RequestStatus::Ok:
       // Served-latency percentiles cover OK requests ONLY: a shed
       // request resolving in microseconds must not fake a fast p50.
-      recordSample(QueueWaitSamples, QueueWaitCursor, C.QueueWait);
-      recordSample(LatencySamples, LatencyCursor, Res.TotalSeconds);
+      // (Histogram observes under MetricsMu: one writer at a time, and
+      // the Ok/latency bookkeeping stays one coherent unit.)
+      ++OkCount;
+      Ins.QueueWait->observe(0, C.QueueWait);
+      Ins.Latency->observe(0, Res.TotalSeconds);
       break;
     case RequestStatus::QueueFull:
       ++ShedCount;
@@ -424,6 +579,9 @@ void Engine::completeResult(RequestResult &&Res, Completion &&C) {
     }
     ++Completed;
   }
+  if (C.Traced)
+    obs::trace().instant(obs::SpanKind::Resolve, C.Seq,
+                         static_cast<uint64_t>(Res.Status));
   C.Promise.set_value(std::move(Res));
   DrainCv.notify_all();
 }
@@ -433,19 +591,6 @@ void Engine::completeEmpty(Completion &&C, RequestStatus St) {
   Res.Name = C.Name;
   Res.Status = St;
   completeResult(std::move(Res), std::move(C));
-}
-
-/// Appends a latency sample, bounded: once the window is full, new
-/// samples overwrite the oldest (ring), so a long-lived engine holds a
-/// fixed-size recent window instead of its whole history.
-void Engine::recordSample(std::vector<double> &Samples, size_t &Cursor,
-                          double V) {
-  if (Samples.size() < MaxLatencySamples) {
-    Samples.push_back(V);
-  } else {
-    Samples[Cursor] = V;
-    Cursor = (Cursor + 1) % MaxLatencySamples;
-  }
 }
 
 /// Completes one request from a finished (or cached) set of hypotheses.
@@ -487,6 +632,9 @@ void Engine::completeOne(
   verifyPool().submit([this, UseTypeInf, Shared, Hyps] {
     const tok::Tokenizer &Tok = D.tokenizer();
     auto T0 = Clock::now();
+    obs::TraceRecorder &TR = obs::trace();
+    obs::ScopedSpan VerifySpan(TR, obs::SpanKind::Verify, Shared->Seq,
+                               Shared->Traced);
     core::HypothesisOutcome First, Picked;
     bool HaveFirst = false, Passed = false, Degraded = false,
          AnyFaulted = false;
@@ -507,11 +655,16 @@ void Engine::completeOne(
         return;
       }
       std::string CSource = Tok.decode(H.Tokens);
+      obs::ScopedSpan CandSpan(TR, obs::SpanKind::VerifyCand, Shared->Seq,
+                               Shared->Traced);
       core::VerifyLimits VL;
       VL.CandidateTimeoutSeconds = Opts.VerifyCandidateTimeout;
       VL.MaxRetries = Opts.VerifyMaxRetries;
       VL.RetryBackoffSeconds = Opts.VerifyRetryBackoff;
       VL.Deadline = std::min(Shared->Deadline, drainDeadline());
+      VL.Traced = Shared->Traced;
+      VL.TraceId = Shared->Seq;
+      VL.TraceCand = Cand;
       if (Injector.enabled()) {
         uint64_t Seq = Shared->Seq;
         const FaultInjector *FI = &Injector;
@@ -532,6 +685,10 @@ void Engine::completeOne(
       core::VerifyAttemptStats AS;
       core::HypothesisOutcome O = core::evaluateHypothesisBounded(
           *Shared->Task, CSource, UseTypeInf, VL, &AS);
+      CandSpan.args(static_cast<uint64_t>(Cand),
+                    (static_cast<uint64_t>(AS.Retries) << 2) |
+                        (AS.TimedOut ? 2u : 0u) | (AS.Faulted ? 1u : 0u));
+      CandSpan.end();
       if (AS.Retries || AS.TimedOut) {
         std::lock_guard<std::mutex> Lock(MetricsMu);
         VerifyRetries += static_cast<uint64_t>(AS.Retries);
@@ -599,6 +756,8 @@ void Engine::sendToShard(Shard &S, ShardMsg &&Msg) {
 /// shard's decode ticks, and encode failures are contained to the one
 /// request they strike.
 void Engine::dispatchLoop() {
+  obs::TraceRecorder &TR = obs::trace();
+  TR.nameThread("dispatcher");
   const nn::Transformer &Model = D.model();
   nn::BeamConfig BC;
   BC.BeamSize = Opts.BeamSize;
@@ -615,6 +774,13 @@ void Engine::dispatchLoop() {
     // after.
     Completion C = Completion::fromAdmission(std::move(A));
     DecompileRequest Req = std::move(A.Req);
+    // Queue-wait span closes at the pop; the dispatch span covers the
+    // routing work from here to hand-off (every exit path below ends it
+    // via the ScopedSpan destructor).
+    if (C.Traced)
+      TR.record(obs::SpanKind::QueueWait, C.Seq, C.SubmitNs, TR.nowNs());
+    obs::ScopedSpan DispatchSpan(TR, obs::SpanKind::Dispatch, C.Seq,
+                                 C.Traced);
     // Shed before ANY work: a request that can no longer be served must
     // not cost an encode or occupy a decode row.
     RequestStatus Dead = C.deadStatus(Clock::now());
@@ -664,6 +830,8 @@ void Engine::dispatchLoop() {
     // hypotheses identical by construction.)
     int LiveShard = Router.shardOf(SrcKey);
     if (LiveShard >= 0) {
+      if (C.Traced)
+        C.RouteNs = TR.nowNs();
       ShardMsg M;
       M.Attach = true;
       M.C = std::move(C);
@@ -691,6 +859,7 @@ void Engine::dispatchLoop() {
       continue;
     }
     auto T0 = Clock::now();
+    obs::ScopedSpan EncodeSpan(TR, obs::SpanKind::Encode, C.Seq, C.Traced);
     std::shared_ptr<const nn::Transformer::EncoderCache> Enc;
     try {
       if (Injector.enabled() && Injector.encodeThrowAt(C.Seq))
@@ -707,10 +876,13 @@ void Engine::dispatchLoop() {
       completeEmpty(std::move(C), RequestStatus::EncodeFailed);
       continue;
     }
+    EncodeSpan.end();
     {
       std::lock_guard<std::mutex> Lock(MetricsMu);
       EncodeSeconds += secondsSince(T0);
     }
+    if (C.Traced)
+      C.RouteNs = TR.nowNs();
     Router.registerKey(SrcKey, SI);
     ShardMsg M;
     M.Registered = !SrcKey.empty();
@@ -737,6 +909,8 @@ void Engine::dispatchLoop() {
 /// capacity. No cross-shard synchronization on the tick — only the
 /// inbox swap and per-request completion bookkeeping take locks.
 void Engine::shardLoop(Shard &S) {
+  obs::TraceRecorder &TR = obs::trace();
+  TR.nameThread("shard-" + std::to_string(S.Index));
   const nn::Transformer &Model = D.model();
   const int Vocab = Model.config().Vocab;
   nn::ConstraintStats OracleStats; // Shard-local; deltas bump S.* atomics.
@@ -788,6 +962,7 @@ void Engine::shardLoop(Shard &S) {
     Router.retire(J.Registered ? J.SrcKey : std::string(), S.Index);
     std::lock_guard<std::mutex> Lock(MetricsMu);
     --LiveSources;
+    Ins.LiveSourcesGauge->set(static_cast<double>(LiveSources));
   };
 
   // Retires a FINISHED job: frees its segment, finalizes its beams,
@@ -799,6 +974,9 @@ void Engine::shardLoop(Shard &S) {
   // (unregistered) job retiring must not erase an entry a newer job for
   // the same source owns.
   auto RetireJob = [&](Job &&J) {
+    if (J.Main.Traced)
+      TR.record(obs::SpanKind::Decode, J.Main.Seq, J.AdmitNs, TR.nowNs(),
+                static_cast<uint64_t>(J.Steps));
     Slots.release(J.Seg);
     std::shared_ptr<const std::vector<nn::Hypothesis>> Hyps =
         std::make_shared<std::vector<nn::Hypothesis>>(
@@ -810,6 +988,7 @@ void Engine::shardLoop(Shard &S) {
     {
       std::lock_guard<std::mutex> Lock(MetricsMu);
       --LiveSources;
+      Ins.LiveSourcesGauge->set(static_cast<double>(LiveSources));
     }
     finishJob(std::move(J), std::move(Hyps));
   };
@@ -870,8 +1049,12 @@ void Engine::shardLoop(Shard &S) {
     M.C.QueueWait = secondsSince(M.C.SubmitTime);
     for (Completion &AC : M.Attached)
       AC.QueueWait = secondsSince(AC.SubmitTime);
+    if (M.C.Traced)
+      TR.record(obs::SpanKind::AdmissionWait, M.C.Seq, M.C.RouteNs,
+                TR.nowNs());
     auto J = std::make_unique<Job>();
     J->Main = std::move(M.C);
+    J->AdmitNs = J->Main.Traced ? TR.nowNs() : 0;
     J->Attached = std::move(M.Attached);
     J->Registered = M.Registered;
     J->SrcKey = std::move(M.SrcKey);
@@ -893,11 +1076,12 @@ void Engine::shardLoop(Shard &S) {
       J->SJ.CC = &J->CC;
       J->SJ.Gamma = Opts.DraftGamma;
     }
-    bump(S.Sources, 1);
+    Ins.Sources->add(S.Index, 1);
     {
       std::lock_guard<std::mutex> Lock(MetricsMu);
       ++LiveSources;
       PeakLiveSources = std::max(PeakLiveSources, LiveSources);
+      Ins.LiveSourcesGauge->set(static_cast<double>(LiveSources));
     }
     Jobs.push_back(std::move(J));
     return true;
@@ -1071,15 +1255,21 @@ void Engine::shardLoop(Shard &S) {
         SpecJobs.push_back(&J->SJ);
       }
       nn::SpecStats Round;
+      const bool TraceTick = TR.enabled();
+      const uint64_t TickStart = TraceTick ? TR.nowNs() : 0;
       auto T0 = Clock::now();
       int PlanRows = Sess->runRound(St, SpecJobs, BC, Round);
-      bump(S.DecodeSeconds, secondsSince(T0));
-      bump(S.Steps, 1);
-      bump(S.StepRows, PlanRows);
-      bump(S.DraftProposed, Round.Proposed);
-      bump(S.DraftAccepted, Round.Accepted);
-      bump(S.SpecRounds, 1);
-      bump(S.DraftSeconds, Round.DraftSeconds);
+      Ins.DecodeSeconds->add(S.Index, secondsSince(T0));
+      Ins.Steps->add(S.Index, 1);
+      Ins.StepRows->add(S.Index, static_cast<uint64_t>(PlanRows));
+      Ins.DraftProposed->add(S.Index, Round.Proposed);
+      Ins.DraftAccepted->add(S.Index, Round.Accepted);
+      Ins.SpecRounds->add(S.Index, 1);
+      Ins.DraftSeconds->add(S.Index, Round.DraftSeconds);
+      if (TraceTick)
+        TR.record(obs::SpanKind::SpecRound,
+                  static_cast<uint64_t>(S.Index), TickStart, TR.nowNs(),
+                  Round.Proposed, Round.Accepted);
       ++Tick;
       if (Injector.enabled() && Injector.slowTickAt(S.Index, Tick))
         std::this_thread::sleep_for(
@@ -1106,7 +1296,7 @@ void Engine::shardLoop(Shard &S) {
                              : 0.0;
             if (Acc < Opts.SpecMinAcceptance) {
               J.SJ.Gamma = 0;
-              bump(S.SpecFallbacks, 1);
+              Ins.SpecFallbacks->add(S.Index, 1);
             }
           }
         }
@@ -1117,9 +1307,18 @@ void Engine::shardLoop(Shard &S) {
       }
       Jobs.resize(Keep);
       if (BC.Constraint) {
-        bump(S.TokensMasked, OracleStats.TokensMasked);
-        bump(S.BeamsKilled, OracleStats.BeamsKilled);
-        bump(S.OracleSeconds, OracleStats.OracleSeconds);
+        Ins.TokensMasked->add(S.Index, OracleStats.TokensMasked);
+        Ins.BeamsKilled->add(S.Index, OracleStats.BeamsKilled);
+        Ins.OracleSeconds->add(S.Index, OracleStats.OracleSeconds);
+        if (TraceTick && OracleStats.OracleSeconds > 0) {
+          // Synthesized from the tick's accumulated mask time: anchored
+          // to end at now, inside the round span.
+          uint64_t End = TR.nowNs();
+          uint64_t Dur = secondsToNs(OracleStats.OracleSeconds);
+          TR.record(obs::SpanKind::OracleMask,
+                    static_cast<uint64_t>(S.Index),
+                    End > Dur ? End - Dur : 0, End);
+        }
         OracleStats = nn::ConstraintStats();
       }
       // No survivor gather here: commitSpec already adopted the
@@ -1132,11 +1331,13 @@ void Engine::shardLoop(Shard &S) {
     for (const std::unique_ptr<Job> &J : Jobs)
       Tokens.insert(Tokens.end(), J->NextTokens.begin(),
                     J->NextTokens.end());
+    const bool TraceTick = TR.enabled();
+    const uint64_t TickStart = TraceTick ? TR.nowNs() : 0;
     auto T0 = Clock::now();
     Logits = Model.stepDecodeBatch(St, Tokens);
-    bump(S.DecodeSeconds, secondsSince(T0));
-    bump(S.Steps, 1);
-    bump(S.StepRows, Tokens.size());
+    Ins.DecodeSeconds->add(S.Index, secondsSince(T0));
+    Ins.Steps->add(S.Index, 1);
+    Ins.StepRows->add(S.Index, Tokens.size());
     ++Tick;
     if (Injector.enabled() && Injector.slowTickAt(S.Index, Tick))
       std::this_thread::sleep_for(
@@ -1180,11 +1381,22 @@ void Engine::shardLoop(Shard &S) {
     if (BC.Constraint) {
       // Publish this tick's oracle counters (single-writer bumps; the
       // shard-local struct resets so deltas stay per-tick).
-      bump(S.TokensMasked, OracleStats.TokensMasked);
-      bump(S.BeamsKilled, OracleStats.BeamsKilled);
-      bump(S.OracleSeconds, OracleStats.OracleSeconds);
+      Ins.TokensMasked->add(S.Index, OracleStats.TokensMasked);
+      Ins.BeamsKilled->add(S.Index, OracleStats.BeamsKilled);
+      Ins.OracleSeconds->add(S.Index, OracleStats.OracleSeconds);
+      if (TraceTick && OracleStats.OracleSeconds > 0) {
+        // Synthesized from the tick's accumulated mask time: anchored
+        // to end at now, inside the tick span.
+        uint64_t End = TR.nowNs();
+        uint64_t Dur = secondsToNs(OracleStats.OracleSeconds);
+        TR.record(obs::SpanKind::OracleMask, static_cast<uint64_t>(S.Index),
+                  End > Dur ? End - Dur : 0, End);
+      }
       OracleStats = nn::ConstraintStats();
     }
+    if (TraceTick)
+      TR.record(obs::SpanKind::Tick, static_cast<uint64_t>(S.Index),
+                TickStart, TR.nowNs(), Tokens.size());
     // Survivor gather; B may drop to zero when every source retired.
     Model.reorderBeams(St, SrcIdx);
   }

@@ -56,6 +56,7 @@
 #ifndef SLADE_SERVE_ENGINE_H
 #define SLADE_SERVE_ENGINE_H
 
+#include "obs/Metrics.h"
 #include "serve/AdmissionQueue.h"
 #include "serve/FaultInjector.h"
 
@@ -144,6 +145,14 @@ struct EngineOptions {
   /// draft cost of the probe rounds. On never gates.
   double SpecMinAcceptance = 0.35;
   int SpecProbeRounds = 3;
+  /// Metrics registry to register this engine's instruments and
+  /// coherent-snapshot collector in (obs/Metrics.h). Null = the engine
+  /// owns a private registry; either way EngineMetrics/JSONL are thin
+  /// views over the SAME storage, and renderPrometheus on the registry
+  /// exposes it all as Prometheus text. An external registry must
+  /// outlive the engine, and must not be scraped concurrently with the
+  /// engine's destruction.
+  obs::Registry *Metrics = nullptr;
 };
 
 /// The shard count an options value resolves to: the value itself when
@@ -156,9 +165,11 @@ struct LatencyStats {
   double P50 = 0, P95 = 0, P99 = 0, Mean = 0, Max = 0;
 };
 
-/// Nearest-rank percentiles + mean/max over raw samples (seconds). The
-/// ONE percentile implementation, shared by EngineMetrics and the
-/// slade-serve replay reporting so their conventions cannot diverge.
+/// Nearest-rank percentiles + mean/max over raw samples (seconds).
+/// A thin serve-typed wrapper over obs::sampleStats — THE percentile
+/// implementation (obs/Metrics.h), shared by EngineMetrics, the
+/// registry histograms, and the slade-serve replay reporting so their
+/// conventions cannot diverge.
 LatencyStats latencyStatsOf(std::vector<double> Samples);
 
 /// Per-shard decode-loop utilization (EngineMetrics::Shards[i] is shard
@@ -171,18 +182,24 @@ struct ShardUtil {
   double DecodeSeconds = 0; ///< Time inside this shard's ticks.
 };
 
-/// Aggregate engine counters. Percentiles are computed over a bounded
-/// window of recently completed OK requests (the last 65536); shed /
-/// expired / cancelled resolutions never pollute the served-latency
-/// picture. Steps / StepRows / DecodeSeconds are sums over the
-/// per-shard accumulators in Shards.
+/// Aggregate engine counters — a SNAPSHOT VIEW over the engine's
+/// registry instruments (obs/Metrics.h) plus its mutex-guarded
+/// completion counters. Percentiles are computed over a bounded window
+/// of recently completed OK requests (the last 65536, owned by the
+/// registry histograms); shed / expired / cancelled resolutions never
+/// pollute the served-latency picture. Steps / StepRows / DecodeSeconds
+/// are sums over the per-shard instrument cells in Shards.
 ///
-/// Accounting invariant (asserted by the fault soak test): Completed ==
-/// Submitted after a drain, and Completed == Ok-completions + Shed +
-/// Expired + Cancelled + ShutDown + EncodeFailed + VerifyFailed.
+/// Accounting invariant, COHERENT ON EVERY SCRAPE (mid-flight, not just
+/// after drain — every outcome counter and Completed are written and
+/// snapshotted under one mutex; asserted by the fault soak test and the
+/// concurrent-scrape test): Completed == Ok + Shed + Expired +
+/// Cancelled + ShutDown + EncodeFailed + VerifyFailed, and Completed <=
+/// Submitted. After a drain, Completed == Submitted.
 struct EngineMetrics {
   size_t Submitted = 0;
   size_t Completed = 0; ///< Every typed resolution, any status.
+  size_t Ok = 0;        ///< Served completions (RequestStatus::Ok).
   uint64_t Steps = 0;    ///< Fused decode ticks, all shards.
   uint64_t StepRows = 0; ///< Beam rows stepped, summed over ticks.
   /// Requests that shared at least one decode tick with another source
@@ -305,6 +322,10 @@ public:
   /// Resolved decode shard count (options().Shards after 0 = auto).
   int shardCount() const { return static_cast<int>(ShardsVec.size()); }
   EngineMetrics metrics() const;
+  /// The registry backing this engine's instruments (the caller's
+  /// EngineOptions::Metrics, or the engine-owned one). Render it with
+  /// obs::Registry::renderPrometheus for the Prometheus exposition.
+  obs::Registry &metricsRegistry() const { return Reg; }
 
 private:
   struct Completion;
@@ -323,7 +344,10 @@ private:
   void completeResult(RequestResult &&Res, Completion &&C);
   /// Typed no-payload resolution (shed / expired / cancelled / failed).
   void completeEmpty(Completion &&C, RequestStatus St);
-  void recordSample(std::vector<double> &Samples, size_t &Cursor, double V);
+  /// Registers this engine's instruments + coherent-group collector in
+  /// Reg (constructor) / emits the coherent snapshot (scrape).
+  void registerInstruments();
+  void collectInto(obs::MetricSink &Sink) const;
   Handle submitImpl(DecompileRequest R,
                     std::function<void(const RequestResult &)> OnDone,
                     bool Block, bool *Accepted);
@@ -341,6 +365,35 @@ private:
   AdmissionQueue Queue;
   ShardRouter Router;
 
+  /// The metrics storage (obs/Metrics.h): the caller's registry or the
+  /// engine-owned fallback. OwnedReg is declared before Reg so the
+  /// reference can bind to it.
+  std::unique_ptr<obs::Registry> OwnedReg;
+  obs::Registry &Reg;
+  uint64_t CollectorToken = 0;
+  /// Registry-backed instruments — the per-tick/per-shard storage that
+  /// used to live as ad-hoc Shard atomics, and the latency windows that
+  /// used to live as raw sample vectors. One cell per shard, written
+  /// only by the owning shard thread (the engine's single-writer
+  /// discipline, now enforced by the obs::Counter type).
+  struct Instruments {
+    obs::Counter *Sources = nullptr;
+    obs::Counter *Steps = nullptr;
+    obs::Counter *StepRows = nullptr;
+    obs::FloatCounter *DecodeSeconds = nullptr;
+    obs::Counter *BeamsKilled = nullptr;
+    obs::Counter *TokensMasked = nullptr;
+    obs::FloatCounter *OracleSeconds = nullptr;
+    obs::Counter *DraftProposed = nullptr;
+    obs::Counter *DraftAccepted = nullptr;
+    obs::Counter *SpecRounds = nullptr;
+    obs::Counter *SpecFallbacks = nullptr;
+    obs::FloatCounter *DraftSeconds = nullptr;
+    obs::Gauge *LiveSourcesGauge = nullptr;
+    obs::Histogram *QueueWait = nullptr; ///< OK-only, seconds.
+    obs::Histogram *Latency = nullptr;   ///< OK-only, seconds.
+  } Ins;
+
   /// Completion-side aggregation: one mutex for everything written on
   /// the completion paths (dispatcher, shard threads, verify workers) —
   /// per-request, never per-tick. The per-TICK counters live in each
@@ -351,6 +404,7 @@ private:
   std::condition_variable DrainCv;
   size_t Submitted = 0;
   size_t Completed = 0;
+  size_t OkCount = 0;
   size_t FusedJobs = 0;
   size_t InFlightDeduped = 0;
   size_t DecodeCacheHits = 0;
@@ -368,13 +422,10 @@ private:
   uint64_t VerifyTimeouts = 0;
   uint64_t VerifyRetries = 0;
   double DrainMs = 0;
-  /// Bounded windows of recent per-request samples (ring once full), so
-  /// a long-lived engine's memory and metrics() cost stay fixed.
+  /// Bound for the registry histograms' exact-sample windows (ring once
+  /// full), so a long-lived engine's memory and metrics() cost stay
+  /// fixed.
   static constexpr size_t MaxLatencySamples = 1 << 16;
-  std::vector<double> QueueWaitSamples;
-  std::vector<double> LatencySamples;
-  size_t QueueWaitCursor = 0;
-  size_t LatencyCursor = 0;
 
   /// Engine-wide submit sequence: EDF tiebreak + fault-injection id.
   std::atomic<uint64_t> SeqCounter{0};

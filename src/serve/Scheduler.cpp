@@ -176,6 +176,7 @@ Scheduler::decodeAll(const std::vector<std::vector<int>> &Srcs) {
   EO.Constrain = Opts.Constrain;
   EO.Speculate = Opts.Speculate;
   EO.DraftGamma = Opts.DraftGamma;
+  EO.Metrics = Opts.Metrics;
   M.EngineMaxLive = EO.MaxLiveSources;
   M.EngineShards = ShardCount;
 

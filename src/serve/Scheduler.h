@@ -29,6 +29,7 @@
 #define SLADE_SERVE_SCHEDULER_H
 
 #include "core/Slade.h"
+#include "obs/Metrics.h"
 
 #include <cstdint>
 #include <functional>
@@ -85,6 +86,11 @@ struct ServeOptions {
   nn::SpecMode Speculate = nn::SpecMode::Off;
   /// Draft proposal depth per speculative round (--draft-gamma).
   int DraftGamma = 4;
+  /// Optional external metrics registry (obs/Metrics.h), forwarded to
+  /// every engine this scheduler spins up so one Prometheus scrape
+  /// covers the whole process. Must outlive the scheduler's runs; null =
+  /// each engine owns a private registry.
+  obs::Registry *Metrics = nullptr;
 };
 
 /// A raw translation request: assembly text in, C hypothesis out.

@@ -8,6 +8,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Eval.h"
+#include "obs/Metrics.h"
 #include "serve/Engine.h"
 #include "serve/Jsonl.h"
 #include "serve/Scheduler.h"
@@ -21,6 +22,7 @@
 #include <cstdio>
 #include <fstream>
 #include <random>
+#include <sstream>
 #include <thread>
 
 using namespace slade;
@@ -1137,6 +1139,116 @@ TEST(Engine, FaultSoakEveryRequestResolvesExactlyOnceByteIdentical) {
   EXPECT_EQ(M.EncodeFailed, ByStatus[5]);
   EXPECT_EQ(M.VerifyFailed, ByStatus[6]);
   expectAccountingClosed(M);
+}
+
+// -- unified metrics registry: scrape coherence ------------------------------
+
+/// One sample value from a Prometheus exposition, or -1 when absent.
+/// \p Sample is the full sample name including any label set.
+double promSample(const std::string &Text, const std::string &Sample) {
+  size_t At = 0;
+  while ((At = Text.find(Sample, At)) != std::string::npos) {
+    bool LineStart = At == 0 || Text[At - 1] == '\n';
+    size_t After = At + Sample.size();
+    if (LineStart && After < Text.size() && Text[After] == ' ')
+      return std::atof(Text.c_str() + After + 1);
+    At = After;
+  }
+  return -1;
+}
+
+TEST(Engine, PrometheusScrapeIsCoherentMidFlight) {
+  // The scrape-consistency contract: `Completed == sum of the typed
+  // outcome counters` and `Completed <= Submitted` hold on EVERY scrape
+  // taken while the dispatcher, shard threads, and verify workers are
+  // mutating counters concurrently — the outcome group renders from ONE
+  // snapshot under the engine's completion mutex, never one atomic at a
+  // time. Load mixes deadline expiries and cancels into the outcomes so
+  // the invariant is exercised across several status counters at once.
+  ServeFixture F(4);
+  ASSERT_GE(F.Tasks.size(), 2u);
+  std::vector<std::string> Asm;
+  for (const core::EvalTask &T : F.Tasks)
+    Asm.push_back(T.Prog.TargetAsm);
+
+  obs::Registry Reg;
+  serve::EngineOptions EO;
+  EO.BeamSize = 2;
+  EO.MaxLen = 24;
+  EO.MaxLiveSources = 2;
+  EO.Shards = 2;
+  EO.QueueCapacity = 16;
+  EO.UseDecodeCache = false;
+  EO.Metrics = &Reg;
+  serve::Engine Eng(*F.Slade, EO);
+
+  std::atomic<bool> Done{false};
+  std::atomic<size_t> Scrapes{0};
+  std::thread Scraper([&] {
+    while (!Done.load(std::memory_order_acquire)) {
+      std::ostringstream SS;
+      Reg.renderPrometheus(SS);
+      std::string T = SS.str();
+      double Submitted =
+          promSample(T, "slade_engine_requests_submitted_total");
+      double Completed =
+          promSample(T, "slade_engine_requests_completed_total");
+      EXPECT_GE(Submitted, 0) << "family missing from scrape";
+      EXPECT_GE(Completed, 0) << "family missing from scrape";
+      double OutcomeSum = 0;
+      for (const char *St :
+           {"ok", "queue_full", "deadline_expired", "cancelled",
+            "shutting_down", "encode_failed", "verify_failed"}) {
+        double V = promSample(
+            T, std::string("slade_engine_outcome_total{status=\"") + St +
+                   "\"}");
+        EXPECT_GE(V, 0) << "status " << St << " missing from scrape";
+        OutcomeSum += std::max(0.0, V);
+      }
+      EXPECT_DOUBLE_EQ(Completed, OutcomeSum)
+          << "typed outcomes must partition completions on every scrape";
+      EXPECT_LE(Completed, Submitted);
+      Scrapes.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  });
+
+  std::mt19937 Rng(31);
+  std::vector<serve::Handle> Futs;
+  for (int K = 0; K < 40; ++K) {
+    serve::DecompileRequest R;
+    R.Name = "scrape" + std::to_string(K);
+    R.Asm = Asm[static_cast<size_t>(K) % Asm.size()];
+    if ((Rng() % 4) == 0)
+      R.Deadline = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(static_cast<int>(Rng() % 10));
+    serve::Handle H = Eng.submit(std::move(R));
+    if ((Rng() % 5) == 0)
+      H.cancel();
+    Futs.push_back(std::move(H));
+    if ((K % 4) == 3)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  Eng.drain(std::chrono::steady_clock::now() + std::chrono::seconds(20));
+  // Keep scraping across the drained-but-alive window too.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  Done.store(true, std::memory_order_release);
+  Scraper.join();
+  EXPECT_GE(Scrapes.load(), 10u) << "the soak must actually overlap scrapes";
+
+  for (serve::Handle &Fut : Futs)
+    EXPECT_NO_THROW(Fut.get());
+  serve::EngineMetrics M = Eng.metrics();
+  expectAccountingClosed(M);
+  // The new Ok counter closes the partition exactly.
+  EXPECT_EQ(M.Ok + M.Shed + M.Expired + M.Cancelled + M.ShutDown +
+                M.EncodeFailed + M.VerifyFailed,
+            M.Completed);
+  // The registry-owned latency histogram is the JSONL percentile
+  // source: exactly one observation per Ok completion.
+  obs::Histogram &H = Reg.histogram("slade_engine_latency_seconds", "",
+                                    obs::Histogram::defaultLatencyBounds());
+  EXPECT_EQ(H.count(), static_cast<uint64_t>(M.Ok));
 }
 
 TEST(Scheduler, RepeatedRunsHitTheEncoderCache) {

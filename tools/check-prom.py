@@ -1,0 +1,263 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text-exposition file (format version 0.0.4).
+
+Stdlib-only checker used by CI against slade-serve --metrics-out.
+Enforces the subset of the exposition rules the scrapers we care
+about (promtool, the Prometheus server) actually reject, plus the
+repo's own conventions:
+
+  * line grammar: comments, HELP/TYPE, samples with optional labels
+  * metric and label names match the spec charset
+  * TYPE/HELP appear at most once per family, before its samples
+  * samples of one family are contiguous (no interleaving)
+  * sample values parse as Go-style floats (incl. +Inf/-Inf/NaN)
+  * histogram families: _bucket le values ascend, cumulative counts
+    are monotone, the +Inf bucket exists and equals _count
+  * counter family names end in _total (repo convention; warns only)
+
+Exit 0 if clean, 1 with one "path:line: message" per violation.
+"""
+
+import math
+import re
+import sys
+
+METRIC_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+LABEL_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*")
+# name{labels} value [timestamp]
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(.*)\})?"
+    r"\s+(\S+)"
+    r"(?:\s+(-?\d+))?\s*$"
+)
+LABEL_PAIR_RE = re.compile(
+    r'\s*([a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*"((?:[^"\\]|\\.)*)"\s*(,|$)'
+)
+VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def parse_value(text):
+    """Parse a Go-style float sample value; return None if invalid."""
+    if text in ("+Inf", "Inf"):
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def parse_labels(raw, err):
+    """Parse the inside of {...}; returns a dict or None on error."""
+    labels = {}
+    pos = 0
+    while pos < len(raw):
+        m = LABEL_PAIR_RE.match(raw, pos)
+        if not m:
+            err("malformed label pair at %r" % raw[pos : pos + 40])
+            return None
+        name, value = m.group(1), m.group(2)
+        if name in labels:
+            err("duplicate label %r" % name)
+            return None
+        labels[name] = value
+        pos = m.end()
+        if m.group(3) == "" and pos < len(raw):
+            err("trailing junk after label pair: %r" % raw[pos:])
+            return None
+    return labels
+
+
+def family_of(name):
+    """Family a sample belongs to: histogram/summary samples report
+    under the base name's TYPE declaration."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+class Linter:
+    def __init__(self, path):
+        self.path = path
+        self.errors = []
+        self.warnings = []
+        self.types = {}  # family -> declared type
+        self.helped = set()
+        self.seen_samples = set()  # (name, frozen labels)
+        self.closed_families = set()  # families whose sample block ended
+        self.current_family = None
+        self.buckets = {}  # family -> list of (le, count, line)
+        self.counts = {}  # family -> _count value
+
+    def err(self, line_no, msg):
+        self.errors.append("%s:%d: %s" % (self.path, line_no, msg))
+
+    def warn(self, line_no, msg):
+        self.warnings.append("%s:%d: warning: %s" % (self.path, line_no, msg))
+
+    def lint(self, text):
+        for line_no, line in enumerate(text.splitlines(), 1):
+            self.line(line_no, line)
+        self.finish_histograms()
+        return not self.errors
+
+    def line(self, line_no, line):
+        if line.strip() == "":
+            return
+        if line.startswith("#"):
+            self.comment(line_no, line)
+            return
+        m = SAMPLE_RE.match(line)
+        if not m:
+            self.err(line_no, "unparseable sample line: %r" % line[:80])
+            return
+        name, raw_labels, value_text = m.group(1), m.group(2), m.group(3)
+        labels = {}
+        if raw_labels is not None:
+            labels = parse_labels(
+                raw_labels, lambda msg: self.err(line_no, msg)
+            )
+            if labels is None:
+                return
+        value = parse_value(value_text)
+        if value is None:
+            self.err(line_no, "invalid sample value %r" % value_text)
+            return
+
+        family = family_of(name)
+        if family not in self.types and name in self.types:
+            family = name  # e.g. a plain counter named *_count
+        self.track_contiguity(line_no, family)
+
+        key = (name, tuple(sorted(labels.items())))
+        if key in self.seen_samples:
+            self.err(line_no, "duplicate sample %s%r" % (name, labels))
+        self.seen_samples.add(key)
+
+        ftype = self.types.get(family)
+        if ftype == "counter":
+            if not (family.endswith("_total") or family.endswith("_seconds")):
+                self.warn(line_no, "counter %r not named *_total" % family)
+            if value < 0:
+                self.err(line_no, "counter %s is negative: %g" % (name, value))
+        if ftype == "histogram":
+            self.histogram_sample(line_no, family, name, labels, value)
+
+    def comment(self, line_no, line):
+        parts = line.split(None, 3)
+        if len(parts) < 2 or parts[1] not in ("HELP", "TYPE"):
+            return  # free-form comment: legal
+        if len(parts) < 3:
+            self.err(line_no, "%s with no metric name" % parts[1])
+            return
+        name = parts[2]
+        if METRIC_RE.fullmatch(name) is None:
+            self.err(line_no, "invalid metric name %r" % name)
+            return
+        if parts[1] == "HELP":
+            if name in self.helped:
+                self.err(line_no, "second HELP for %r" % name)
+            self.helped.add(name)
+            return
+        kind = parts[3].strip() if len(parts) > 3 else ""
+        if kind not in VALID_TYPES:
+            self.err(line_no, "invalid TYPE %r for %r" % (kind, name))
+            return
+        if name in self.types:
+            self.err(line_no, "second TYPE for %r" % name)
+            return
+        if any(family_of(s[0]) == name for s in self.seen_samples):
+            self.err(line_no, "TYPE for %r after its samples" % name)
+        self.types[name] = kind
+
+    def track_contiguity(self, line_no, family):
+        if family == self.current_family:
+            return
+        if self.current_family is not None:
+            self.closed_families.add(self.current_family)
+        if family in self.closed_families:
+            self.err(
+                line_no,
+                "samples of %r are not contiguous (family resumed)" % family,
+            )
+        self.current_family = family
+
+    def histogram_sample(self, line_no, family, name, labels, value):
+        if name == family + "_bucket":
+            le = labels.get("le")
+            if le is None:
+                self.err(line_no, "%s without an le label" % name)
+                return
+            bound = parse_value(le)
+            if bound is None:
+                self.err(line_no, "invalid le value %r" % le)
+                return
+            self.buckets.setdefault(family, []).append(
+                (bound, value, line_no)
+            )
+        elif name == family + "_count":
+            self.counts[family] = (value, line_no)
+
+    def finish_histograms(self):
+        for family, rows in self.buckets.items():
+            prev_bound = -math.inf
+            prev_count = -1.0
+            for bound, count, line_no in rows:
+                if bound <= prev_bound:
+                    self.err(
+                        line_no,
+                        "%s_bucket le=%g not ascending" % (family, bound),
+                    )
+                if count < prev_count:
+                    self.err(
+                        line_no,
+                        "%s_bucket counts not cumulative at le=%g"
+                        % (family, bound),
+                    )
+                prev_bound, prev_count = bound, count
+            last_bound, last_count, last_line = rows[-1]
+            if not math.isinf(last_bound):
+                self.err(last_line, "%s has no +Inf bucket" % family)
+            if family in self.counts:
+                total, count_line = self.counts[family]
+                if total != last_count:
+                    self.err(
+                        count_line,
+                        "%s_count (%g) != +Inf bucket (%g)"
+                        % (family, total, last_count),
+                    )
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: check-prom.py FILE...", file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        with open(path, "r", encoding="utf-8") as f:
+            text = f.read()
+        linter = Linter(path)
+        ok = linter.lint(text)
+        for w in linter.warnings:
+            print(w, file=sys.stderr)
+        for e in linter.errors:
+            print(e, file=sys.stderr)
+        if ok:
+            samples = len(linter.seen_samples)
+            families = len(linter.types)
+            print(
+                "%s: OK (%d samples, %d typed families)"
+                % (path, samples, families)
+            )
+        else:
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

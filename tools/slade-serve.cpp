@@ -23,12 +23,15 @@
 #include "cc/Parser.h"
 #include "core/Eval.h"
 #include "core/Trainer.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "serve/Engine.h"
 #include "serve/Jsonl.h"
 #include "serve/Scheduler.h"
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -88,6 +91,11 @@ struct CliOptions {
   double FaultVerifyThrow = 0;
   double FaultVerifyHang = 0;
   double FaultSlowTick = 0;
+  // -- observability (obs/; default off) --
+  std::string TraceOut;   ///< Chrome trace_event JSON path ("-" = stdout).
+  int TraceSample = 1;    ///< Trace every Nth request (1 = all).
+  uint64_t TraceSeed = 0; ///< Deterministic sampling seed.
+  std::string MetricsOut; ///< Prometheus exposition path ("-" = stdout).
 };
 
 void usage() {
@@ -166,7 +174,20 @@ void usage() {
       "  --fault-encode-throw P  P(encode throws) per request\n"
       "  --fault-verify-throw P  P(verify attempt throws) per candidate\n"
       "  --fault-verify-hang P   P(verify attempt hangs) per candidate\n"
-      "  --fault-slow-tick P     P(decode tick sleeps) per shard tick\n");
+      "  --fault-slow-tick P     P(decode tick sleeps) per shard tick\n"
+      "  --trace-out FILE     record request-lifecycle spans and write\n"
+      "                       Chrome trace_event JSON at exit ('-' =\n"
+      "                       stdout; open in Perfetto / chrome://tracing)\n"
+      "  --trace-sample N     trace every Nth request, deterministically\n"
+      "                       (default 1 = all; shard-tick spans always\n"
+      "                       record while tracing is on)\n"
+      "  --trace-seed S       trace sampling seed (default 0)\n"
+      "  --metrics-out FILE   write the Prometheus text exposition of\n"
+      "                       the unified metrics registry ('-' =\n"
+      "                       stdout). --stream renders with the engine\n"
+      "                       live (full request-outcome families) and\n"
+      "                       dumps an extra scrape on SIGUSR1; batch\n"
+      "                       modes render at exit\n");
 }
 
 bool parseArgs(int argc, char **argv, CliOptions *O) {
@@ -349,6 +370,30 @@ bool parseArgs(int argc, char **argv, CliOptions *O) {
       if (!V)
         return false;
       O->FaultSlowTick = std::atof(V);
+    } else if (A == "--trace-out") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O->TraceOut = V;
+    } else if (A == "--trace-sample") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O->TraceSample = std::atoi(V);
+      if (O->TraceSample < 1) {
+        std::fprintf(stderr, "error: --trace-sample must be >= 1\n");
+        return false;
+      }
+    } else if (A == "--trace-seed") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O->TraceSeed = static_cast<uint64_t>(std::atoll(V));
+    } else if (A == "--metrics-out") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O->MetricsOut = V;
     } else if (A == "--no-batch") {
       O->Serve.BatchDecode = false;
     } else if (A == "--no-typeinf") {
@@ -503,6 +548,13 @@ std::string metricsJson(const char *Label, const serve::ServeMetrics &M) {
 // Streaming replay (--stream)
 //===----------------------------------------------------------------------===//
 
+/// SIGUSR1 = "scrape now": the stream submit loop checks this between
+/// arrivals and writes the Prometheus exposition mid-run (the registry
+/// scrape is safe while the engine serves — that coherence is the
+/// scrape-during-soak test in test_serve.cpp).
+volatile std::sig_atomic_t MetricsDumpRequested = 0;
+void onMetricsSignal(int) { MetricsDumpRequested = 1; }
+
 /// One replayed request: a verified task or a raw translate job, with its
 /// arrival offset from replay start.
 struct StreamItem {
@@ -572,6 +624,7 @@ StreamOutcome streamThroughEngine(const core::Decompiler &Slade,
   EO.Faults.VerifyThrow = O.FaultVerifyThrow;
   EO.Faults.VerifyHang = O.FaultVerifyHang;
   EO.Faults.SlowTick = O.FaultSlowTick;
+  EO.Metrics = O.Serve.Metrics;
 
   StreamOutcome SO;
   size_t N = Items.size();
@@ -585,6 +638,11 @@ StreamOutcome streamThroughEngine(const core::Decompiler &Slade,
     for (size_t I = 0; I < N; ++I) {
       std::this_thread::sleep_until(
           Start + std::chrono::duration<double>(Items[I].ArriveAt));
+      if (MetricsDumpRequested && O.Serve.Metrics) {
+        MetricsDumpRequested = 0;
+        O.Serve.Metrics->renderPrometheusFile(
+            O.MetricsOut.empty() ? "-" : O.MetricsOut);
+      }
       serve::DecompileRequest R;
       R.Name = Items[I].Name;
       R.Task = Items[I].Task;
@@ -617,6 +675,13 @@ StreamOutcome streamThroughEngine(const core::Decompiler &Slade,
             .count();
     SO.Engine = Eng.metrics();
     SO.HasEngine = true;
+    if (!O.MetricsOut.empty() && O.Serve.Metrics) {
+      // The authoritative scrape: the engine (and its coherent
+      // request-outcome collector) is still registered.
+      if (!O.Serve.Metrics->renderPrometheusFile(O.MetricsOut))
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     O.MetricsOut.c_str());
+    }
   }
   SO.FnPerSec = SO.WallSeconds > 0
                     ? static_cast<double>(N) / SO.WallSeconds
@@ -959,6 +1024,41 @@ int main(int argc, char **argv) {
                  Sources.size(), Secs, O.Serve.DraftGamma);
   }
 
+  // -- observability ----------------------------------------------------------
+  // One registry for the whole process: every engine (streaming or inside
+  // a Scheduler run) registers its instruments here, so a single scrape
+  // covers all of them. Declared before the Scheduler so it outlives
+  // every engine that points at it.
+  obs::Registry Reg;
+  O.Serve.Metrics = &Reg;
+  if (!O.TraceOut.empty())
+    obs::trace().enable(static_cast<uint32_t>(O.TraceSample), O.TraceSeed);
+  if (!O.MetricsOut.empty())
+    std::signal(SIGUSR1, onMetricsSignal);
+  // Trace export requires quiescence: called only after every engine has
+  // been destroyed (stream replay scope / scheduler runs), right before
+  // exit.
+  auto FinishObs = [&O, &Reg](bool MetricsAlreadyWritten) {
+    if (!O.TraceOut.empty()) {
+      obs::TraceRecorder &TR = obs::trace();
+      TR.disable();
+      if (!TR.writeChromeTraceFile(O.TraceOut))
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     O.TraceOut.c_str());
+      else
+        std::fprintf(
+            stderr,
+            "[obs] %zu trace events (%llu dropped), sample 1/%d -> %s\n",
+            TR.eventCount(),
+            static_cast<unsigned long long>(TR.droppedCount()),
+            O.TraceSample, O.TraceOut.c_str());
+    }
+    if (!O.MetricsOut.empty() && !MetricsAlreadyWritten &&
+        !Reg.renderPrometheusFile(O.MetricsOut))
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   O.MetricsOut.c_str());
+  };
+
   serve::Scheduler Sched(Slade, O.Serve);
 
   std::ofstream OutFile;
@@ -1082,6 +1182,7 @@ int main(int argc, char **argv) {
     Results << streamJson("stream", Eng) << "\n";
     if (int GateRc = Gate.finish())
       ExitCode = GateRc;
+    FinishObs(/*MetricsAlreadyWritten=*/true);
     return ExitCode;
   }
 
@@ -1213,5 +1314,6 @@ int main(int argc, char **argv) {
 
   if (int GateRc = Gate.finish())
     ExitCode = GateRc;
+  FinishObs(/*MetricsAlreadyWritten=*/false);
   return ExitCode;
 }
