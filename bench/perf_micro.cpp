@@ -15,6 +15,7 @@
 #include "nn/Beam.h"
 #include "nn/DraftModel.h"
 #include "nn/Mat.h"
+#include "nn/Parallel.h"
 #include "nn/SpecDecode.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
@@ -251,6 +252,70 @@ void BM_DecodeStepBatched5(benchmark::State &State) {
 }
 BENCHMARK(BM_DecodeStepBatched5);
 
+/// Per-call weight packing vs. the pre-packed operand, at the decode
+/// tick's biggest GEMM (the logits projection, [5,64] x [64,512]):
+/// arg 0 = pack B every call (what every GEMM paid before the
+/// weight-version pack cache), arg 1 = pack once outside the loop and
+/// run gemmAccPacked (the cached-PackedWeights hot path).
+void BM_GemmPrepacked(benchmark::State &State) {
+  const int M = 5, K = 64, N = 512;
+  std::vector<float> A(static_cast<size_t>(M) * K),
+      B(static_cast<size_t>(K) * N), C(static_cast<size_t>(M) * N);
+  for (size_t I = 0; I < A.size(); ++I)
+    A[I] = static_cast<float>((I * 37) % 64) / 64.0f - 0.5f;
+  for (size_t I = 0; I < B.size(); ++I)
+    B[I] = static_cast<float>((I * 53) % 64) / 64.0f - 0.5f;
+  const bool Prepacked = State.range(0) != 0;
+  nn::PackedMat P;
+  if (Prepacked)
+    nn::packBInto(B.data(), K, N, P);
+  nn::PackedMat Scratch;
+  for (auto _ : State) {
+    std::fill(C.begin(), C.end(), 0.0f);
+    if (Prepacked) {
+      nn::gemmAccPacked(A.data(), P, C.data(), M);
+    } else {
+      nn::packBInto(B.data(), K, N, Scratch);
+      nn::gemmAccPacked(A.data(), Scratch, C.data(), M);
+    }
+    benchmark::DoNotOptimize(C.data());
+  }
+  State.SetItemsProcessed(State.iterations() * 2LL * M * K * N);
+}
+BENCHMARK(BM_GemmPrepacked)->Arg(0)->Arg(1);
+
+/// One 5-beam batched decode tick with the intra-tick pool installed
+/// (BatchDecodeState::TP), arg = worker threads. Arg 1 is the
+/// sequential path (a one-thread ParallelFor spawns no workers) and
+/// must stay within noise of BM_DecodeStepBatched5 — that delta is the
+/// --tick-threads 1 overhead budget (<2%). On a multi-core host the
+/// higher args show the intra-tick scaling a single request gets.
+void BM_TickThreadScaling(benchmark::State &State) {
+  nn::TransformerConfig MC;
+  MC.Vocab = 512;
+  nn::Transformer Model(MC);
+  std::vector<int> Src(128, 5);
+  auto Enc = Model.encodeSource(Src);
+  nn::ParallelFor TP(static_cast<int>(State.range(0)));
+  nn::Transformer::BatchDecodeState St =
+      Model.startDecodeBatch(Enc, 5, 256);
+  St.TP = &TP;
+  Model.stepDecodeBatch(St, {nn::Transformer::BosId});
+  Model.reorderBeams(St, {0, 0, 0, 0, 0});
+  std::vector<int> Tokens = {7, 8, 9, 10, 11};
+  for (auto _ : State) {
+    auto Logits = Model.stepDecodeBatch(St, Tokens);
+    benchmark::DoNotOptimize(Logits);
+    if (St.Len > 200) {
+      St = Model.startDecodeBatch(Enc, 5, 256);
+      St.TP = &TP;
+      Model.stepDecodeBatch(St, {nn::Transformer::BosId});
+      Model.reorderBeams(St, {0, 0, 0, 0, 0});
+    }
+  }
+}
+BENCHMARK(BM_TickThreadScaling)->Arg(1)->Arg(2)->Arg(4);
+
 /// The observability tax on the decode hot loop: one batched decode
 /// step wrapped in EXACTLY the per-tick instrumentation the engine's
 /// shardLoop runs — the per-shard counter bumps, the enabled() check,
@@ -335,6 +400,26 @@ void BM_EncodeSource(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_EncodeSource)->Arg(17)->Arg(300)->Unit(benchmark::kMicrosecond);
+
+/// The encoder with pre-packed weights: arg 0 = steady state (the
+/// weight-version pack cache is warm — every encode reuses the packed
+/// tiles; compare against the recorded pre-pack BM_EncodeSource/300
+/// number), arg 1 = a weight bump before every encode, so each
+/// iteration pays the full DecodeConstants + PackedWeights rebuild on
+/// top of the encode — the post-train-step cold cost.
+void BM_EncodePrepacked(benchmark::State &State) {
+  nn::Transformer Model(encodeBenchConfig());
+  std::vector<int> Src = encodeBenchSource(300);
+  const bool BumpEachIter = State.range(0) != 0;
+  Model.encodeSource(Src); // Warm the pack cache.
+  for (auto _ : State) {
+    if (BumpEachIter)
+      Model.bumpWeightVersion();
+    auto Enc = Model.encodeSource(Src);
+    benchmark::DoNotOptimize(Enc);
+  }
+}
+BENCHMARK(BM_EncodePrepacked)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
 
 /// The retained training-graph reference path (inference-mode Graph,
 /// per-node arena allocation): the baseline the fast path is measured

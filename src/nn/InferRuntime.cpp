@@ -46,6 +46,7 @@ size_t EncodeScratch::bytes() const {
        {&X, &Norm, &Q, &K, &V, &Qh, &Kh, &Vh, &Scores, &HeadOut, &Attn,
         &Proj, &FF1})
     B += Buf->capacity() * sizeof(float);
+  B += PackB.bytes();
   return B;
 }
 
@@ -104,37 +105,108 @@ size_t slade::nn::encodeScratchRetainedBytes() {
 // Encoder fast path
 //===----------------------------------------------------------------------===//
 
+// Every helper below partitions OUTPUT elements only (row ranges when
+// there are enough rows to feed the pool, column-tile ranges otherwise);
+// each element's K-reduction runs sequentially on one thread, so every
+// split is bit-identical to the sequential kernel.
+
 void InferRuntime::linearRowsBiasAfter(const float *X, int Rows,
-                                       const Mat &W, const Mat &Bias,
-                                       float *Out) const {
-  int OutD = W.C;
-  std::fill(Out, Out + static_cast<size_t>(Rows) * OutD, 0.0f);
-  gemmAcc(X, W.V.data(), Out, Rows, W.R, OutD);
-  for (int R = 0; R < Rows; ++R) {
-    float *Row = Out + static_cast<size_t>(R) * OutD;
-    for (int J = 0; J < OutD; ++J)
-      Row[J] += Bias.V[static_cast<size_t>(J)];
+                                       const PackedMat &W, const float *Bias,
+                                       float *Out, ParallelFor *TP) const {
+  int InD = W.K, OutD = W.N;
+  auto RowRange = [&](int B, int E, int) {
+    std::fill(Out + static_cast<size_t>(B) * OutD,
+              Out + static_cast<size_t>(E) * OutD, 0.0f);
+    gemmAccPacked(X + static_cast<size_t>(B) * InD, W,
+                  Out + static_cast<size_t>(B) * OutD, E - B);
+    for (int R = B; R < E; ++R) {
+      float *Row = Out + static_cast<size_t>(R) * OutD;
+      for (int J = 0; J < OutD; ++J)
+        Row[J] += Bias[static_cast<size_t>(J)];
+    }
+  };
+  if (!TP || TP->threads() <= 1) {
+    RowRange(0, Rows, 0);
+  } else if (Rows >= TP->threads()) {
+    TP->run(Rows, RowRange);
+  } else {
+    TP->run(W.tileCount(), [&](int T0, int T1, int) {
+      int J0 = T0 * GemmTileN, J1 = std::min(OutD, T1 * GemmTileN);
+      for (int R = 0; R < Rows; ++R)
+        std::fill(Out + static_cast<size_t>(R) * OutD + J0,
+                  Out + static_cast<size_t>(R) * OutD + J1, 0.0f);
+      gemmAccPackedTiles(X, W, Out, Rows, T0, T1);
+      for (int R = 0; R < Rows; ++R) {
+        float *Row = Out + static_cast<size_t>(R) * OutD;
+        for (int J = J0; J < J1; ++J)
+          Row[J] += Bias[static_cast<size_t>(J)];
+      }
+    });
   }
 }
 
-void InferRuntime::linearRows(const float *X, int Rows, const Mat &W,
-                              const Mat &Bias, float *Out) const {
-  int OutD = W.C;
-  for (int R = 0; R < Rows; ++R)
-    std::memcpy(Out + static_cast<size_t>(R) * OutD, Bias.V.data(),
-                static_cast<size_t>(OutD) * sizeof(float));
-  gemmAcc(X, W.V.data(), Out, Rows, W.R, OutD);
+void InferRuntime::linearRows(const float *X, int Rows, const PackedMat &W,
+                              const float *Bias, float *Out,
+                              ParallelFor *TP) const {
+  int InD = W.K, OutD = W.N;
+  auto RowRange = [&](int B, int E, int) {
+    for (int R = B; R < E; ++R)
+      std::memcpy(Out + static_cast<size_t>(R) * OutD, Bias,
+                  static_cast<size_t>(OutD) * sizeof(float));
+    gemmAccPacked(X + static_cast<size_t>(B) * InD, W,
+                  Out + static_cast<size_t>(B) * OutD, E - B);
+  };
+  if (!TP || TP->threads() <= 1) {
+    RowRange(0, Rows, 0);
+  } else if (Rows >= TP->threads()) {
+    TP->run(Rows, RowRange);
+  } else {
+    TP->run(W.tileCount(), [&](int T0, int T1, int) {
+      int J0 = T0 * GemmTileN, J1 = std::min(OutD, T1 * GemmTileN);
+      for (int R = 0; R < Rows; ++R)
+        std::memcpy(Out + static_cast<size_t>(R) * OutD + J0, Bias + J0,
+                    static_cast<size_t>(J1 - J0) * sizeof(float));
+      gemmAccPackedTiles(X, W, Out, Rows, T0, T1);
+    });
+  }
 }
 
 void InferRuntime::linearRowsI8(const float *X, int Rows,
                                 const QuantizedMat &W, const float *Bias,
-                                float *Out, QuantizedMat &ActQ) const {
+                                float *Out, QuantizedMat &ActQ,
+                                ParallelFor *TP) const {
   int OutD = W.R; // One quantized row per output channel.
-  for (int R = 0; R < Rows; ++R)
-    std::memcpy(Out + static_cast<size_t>(R) * OutD, Bias,
-                static_cast<size_t>(OutD) * sizeof(float));
+  // Quantization happens once, before the fan-out (gemmI8NTRows reads
+  // every activation row from any chunk). int32 accumulation is exact,
+  // so the row split cannot change a single bit.
   quantizeRowsI8Into(X, Rows, W.C, ActQ);
-  gemmI8NT(ActQ, W, Out);
+  auto RowRange = [&](int B, int E, int) {
+    for (int R = B; R < E; ++R)
+      std::memcpy(Out + static_cast<size_t>(R) * OutD, Bias,
+                  static_cast<size_t>(OutD) * sizeof(float));
+    gemmI8NTRows(ActQ, W, Out, B, E);
+  };
+  if (!TP || TP->threads() <= 1)
+    RowRange(0, Rows, 0);
+  else
+    TP->run(Rows, RowRange);
+}
+
+void InferRuntime::gemmPackedPar(const float *X, const PackedMat &W,
+                                 float *C, int Rows, ParallelFor *TP) const {
+  int InD = W.K, OutD = W.N;
+  if (!TP || TP->threads() <= 1) {
+    gemmAccPacked(X, W, C, Rows);
+  } else if (Rows >= TP->threads()) {
+    TP->run(Rows, [&](int B, int E, int) {
+      gemmAccPacked(X + static_cast<size_t>(B) * InD, W,
+                    C + static_cast<size_t>(B) * OutD, E - B);
+    });
+  } else {
+    TP->run(W.tileCount(), [&](int T0, int T1, int) {
+      gemmAccPackedTiles(X, W, C, Rows, T0, T1);
+    });
+  }
 }
 
 void InferRuntime::encodeInto(const std::vector<int> &Src, EncodeScratch &S,
@@ -153,9 +225,27 @@ void InferRuntime::encodeInto(const std::vector<int> &Src, EncodeScratch &S,
         *Proj = S.Proj.data(), *FF1 = S.FF1.data();
   size_t TD = static_cast<size_t>(T) * D;
 
+  // Weight-version-pinned packed tiles for every persistent matrix this
+  // pass multiplies by — no per-call weight packing anywhere below.
+  std::shared_ptr<const Transformer::PackedWeights> PW = M.packedWeights();
+
+  // Row ranges only: every loop below either writes disjoint rows per
+  // chunk or is a GEMM whose splits are bit-identical (see helpers).
+  auto ForRows = [&](int N, const std::function<void(int)> &RowFn) {
+    if (!TP || TP->threads() <= 1) {
+      for (int I = 0; I < N; ++I)
+        RowFn(I);
+      return;
+    }
+    TP->run(N, [&](int B, int E, int) {
+      for (int I = B; I < E; ++I)
+        RowFn(I);
+    });
+  };
+
   // Token + learned-position embedding (same position clamp as the embed
   // op, though T <= MaxLen makes it a no-op here).
-  for (int I = 0; I < T; ++I) {
+  ForRows(T, [&](int I) {
     int Id = Src[static_cast<size_t>(I)];
     int P = I < M.EncPos.R ? I : M.EncPos.R - 1;
     const float *Tok = M.TokEmb.V.data() + static_cast<size_t>(Id) * D;
@@ -163,63 +253,93 @@ void InferRuntime::encodeInto(const std::vector<int> &Src, EncodeScratch &S,
     float *XRow = X + static_cast<size_t>(I) * D;
     for (int J = 0; J < D; ++J)
       XRow[J] = Tok[J] + Pos[J];
-  }
+  });
 
   float Scale = 1.0f / std::sqrt(static_cast<float>(Dh));
-  for (const Transformer::EncLayer &L : M.Enc) {
+  for (size_t LI = 0; LI < M.Enc.size(); ++LI) {
+    const Transformer::EncLayer &L = M.Enc[LI];
+    const Transformer::PackedWeights::EncLayerPack &LP = PW->Enc[LI];
     // Pre-LN self-attention block. Q/K/V run as the SAME three GEMMs the
     // training graph issues (bias after the product, per-head score and
     // value products over contiguous [T, Dh] slices) so every
     // intermediate rounds identically to the graph path.
-    for (int I = 0; I < T; ++I)
+    ForRows(T, [&](int I) {
       layerNormRow(X + static_cast<size_t>(I) * D, D, L.LN1.Gamma.V.data(),
                    L.LN1.Beta.V.data(), Norm + static_cast<size_t>(I) * D);
-    linearRowsBiasAfter(Norm, T, L.Self.Wq, L.Self.Bq, Q);
-    linearRowsBiasAfter(Norm, T, L.Self.Wk, L.Self.Bk, K);
-    linearRowsBiasAfter(Norm, T, L.Self.Wv, L.Self.Bv, V);
+    });
+    linearRowsBiasAfter(Norm, T, LP.Wq, L.Self.Bq.V.data(), Q, TP);
+    linearRowsBiasAfter(Norm, T, LP.Wk, L.Self.Bk.V.data(), K, TP);
+    linearRowsBiasAfter(Norm, T, LP.Wv, L.Self.Bv.V.data(), V, TP);
     for (int Hd = 0; Hd < H; ++Hd) {
       int Off = Hd * Dh;
       size_t DhBytes = static_cast<size_t>(Dh) * sizeof(float);
-      for (int I = 0; I < T; ++I) {
+      ForRows(T, [&](int I) {
         size_t Row = static_cast<size_t>(I);
         std::memcpy(Qh + Row * Dh, Q + Row * D + Off, DhBytes);
         std::memcpy(Kh + Row * Dh, K + Row * D + Off, DhBytes);
         std::memcpy(Vh + Row * Dh, V + Row * D + Off, DhBytes);
+      });
+      // Kh^T is an activation, so it packs per call — into the arena's
+      // explicit scratch handle, once per head, then every score row
+      // range reuses the pack.
+      packBTransposedInto(Kh, T, Dh, S.PackB);
+      auto ScoreRows = [&](int B, int E, int) {
+        float *SB = Scores + static_cast<size_t>(B) * T;
+        size_t RowsT = static_cast<size_t>(E - B) * T;
+        std::fill(SB, SB + RowsT, 0.0f);
+        gemmAccPacked(Qh + static_cast<size_t>(B) * Dh, S.PackB, SB, E - B);
+        for (size_t I = 0; I < RowsT; ++I)
+          SB[I] *= Scale;
+        for (int I = B; I < E; ++I)
+          softmaxRowInPlace(Scores + static_cast<size_t>(I) * T, T);
+      };
+      auto ValueRows = [&](int B, int E, int) {
+        float *OB = HeadOut + static_cast<size_t>(B) * Dh;
+        std::fill(OB, OB + static_cast<size_t>(E - B) * Dh, 0.0f);
+        gemmAcc(Scores + static_cast<size_t>(B) * T, Vh, OB, E - B, T, Dh);
+        for (int I = B; I < E; ++I)
+          std::memcpy(Attn + static_cast<size_t>(I) * D + Off,
+                      HeadOut + static_cast<size_t>(I) * Dh, DhBytes);
+      };
+      if (!TP || TP->threads() <= 1) {
+        ScoreRows(0, T, 0);
+        ValueRows(0, T, 0);
+      } else {
+        // Two regions: run()'s barrier guarantees a value chunk sees the
+        // score rows even if a different worker computed them.
+        TP->run(T, ScoreRows);
+        TP->run(T, ValueRows);
       }
-      size_t TT = static_cast<size_t>(T) * T;
-      std::fill(Scores, Scores + TT, 0.0f);
-      gemmAccNT(Qh, Kh, Scores, T, Dh, T);
-      for (size_t I = 0; I < TT; ++I)
-        Scores[I] *= Scale;
-      for (int I = 0; I < T; ++I)
-        softmaxRowInPlace(Scores + static_cast<size_t>(I) * T, T);
-      std::fill(HeadOut, HeadOut + static_cast<size_t>(T) * Dh, 0.0f);
-      gemmAcc(Scores, Vh, HeadOut, T, T, Dh);
-      for (int I = 0; I < T; ++I)
-        std::memcpy(Attn + static_cast<size_t>(I) * D + Off,
-                    HeadOut + static_cast<size_t>(I) * Dh, DhBytes);
     }
-    linearRowsBiasAfter(Attn, T, L.Self.Wo, L.Self.Bo, Proj);
-    for (size_t I = 0; I < TD; ++I)
-      X[I] += Proj[I];
+    linearRowsBiasAfter(Attn, T, LP.Wo, L.Self.Bo.V.data(), Proj, TP);
+    ForRows(T, [&](int I) {
+      for (int J = 0; J < D; ++J)
+        X[static_cast<size_t>(I) * D + J] +=
+            Proj[static_cast<size_t>(I) * D + J];
+    });
 
     // Feed-forward block.
-    for (int I = 0; I < T; ++I)
+    ForRows(T, [&](int I) {
       layerNormRow(X + static_cast<size_t>(I) * D, D, L.LN2.Gamma.V.data(),
                    L.LN2.Beta.V.data(), Norm + static_cast<size_t>(I) * D);
-    linearRowsBiasAfter(Norm, T, L.W1, L.B1, FF1);
+    });
+    linearRowsBiasAfter(Norm, T, LP.W1, L.B1.V.data(), FF1, TP);
     for (size_t I = 0; I < static_cast<size_t>(T) * FF; ++I)
       FF1[I] = FF1[I] > 0.0f ? FF1[I] : 0.0f;
-    linearRowsBiasAfter(FF1, T, L.W2, L.B2, Proj);
-    for (size_t I = 0; I < TD; ++I)
-      X[I] += Proj[I];
+    linearRowsBiasAfter(FF1, T, LP.W2, L.B2.V.data(), Proj, TP);
+    ForRows(T, [&](int I) {
+      for (int J = 0; J < D; ++J)
+        X[static_cast<size_t>(I) * D + J] +=
+            Proj[static_cast<size_t>(I) * D + J];
+    });
   }
 
   Out.EncOut.resize(TD);
-  for (int I = 0; I < T; ++I)
+  ForRows(T, [&](int I) {
     layerNormRow(X + static_cast<size_t>(I) * D, D,
                  M.EncFinal.Gamma.V.data(), M.EncFinal.Beta.V.data(),
                  Out.EncOut.data() + static_cast<size_t>(I) * D);
+  });
   Out.TSrc = T;
 }
 
@@ -230,12 +350,15 @@ void InferRuntime::finishEncoderCache(
   // positions.
   Cache.CrossK.resize(M.Dec.size());
   Cache.CrossV.resize(M.Dec.size());
+  std::shared_ptr<const Transformer::PackedWeights> PW = M.packedWeights();
   for (size_t L = 0; L < M.Dec.size(); ++L) {
     const Transformer::Attn &A = M.Dec[L].Cross;
     Cache.CrossK[L].assign(static_cast<size_t>(T) * D, 0.0f);
     Cache.CrossV[L].assign(static_cast<size_t>(T) * D, 0.0f);
-    linearRows(Cache.EncOut.data(), T, A.Wk, A.Bk, Cache.CrossK[L].data());
-    linearRows(Cache.EncOut.data(), T, A.Wv, A.Bv, Cache.CrossV[L].data());
+    linearRows(Cache.EncOut.data(), T, PW->CrossWk[L], A.Bk.V.data(),
+               Cache.CrossK[L].data(), TP);
+    linearRows(Cache.EncOut.data(), T, PW->CrossWv[L], A.Bv.V.data(),
+               Cache.CrossV[L].data(), TP);
   }
   // Decode-session constants (fused Q|K|V projection, transposed output
   // embedding) are per-model, not per-source: borrow the shared
@@ -289,6 +412,31 @@ InferRuntime::buildDecodeConstants() const {
     for (int J = 0; J < D; ++J)
       C->EmbT[static_cast<size_t>(J) * M.Cfg.Vocab + W] = M.TokEmb.at(W, J);
 
+  // Float decode path: pre-pack EVERY persistent weight-side operand into
+  // the blocked tile-major microkernel layout, once per weight version.
+  // The per-tick GEMMs consume these directly and skip per-call packing.
+  // (Skipped for int8 draft models — every decode GEMM there takes the
+  // quantized copies below; the float packs would be dead weight.)
+  if (!M.Int8Decode) {
+    size_t NL = M.Dec.size();
+    C->SelfQKVWP.resize(NL);
+    C->SelfWoP.resize(NL);
+    C->CrossWqP.resize(NL);
+    C->CrossWoP.resize(NL);
+    C->FF1P.resize(NL);
+    C->FF2P.resize(NL);
+    for (size_t L = 0; L < NL; ++L) {
+      const Transformer::DecLayer &Lay = M.Dec[L];
+      packBInto(C->SelfQKVW[L].data(), D, 3 * D, C->SelfQKVWP[L]);
+      packBInto(Lay.Self.Wo.V.data(), D, D, C->SelfWoP[L]);
+      packBInto(Lay.Cross.Wq.V.data(), D, D, C->CrossWqP[L]);
+      packBInto(Lay.Cross.Wo.V.data(), D, D, C->CrossWoP[L]);
+      packBInto(Lay.W1.V.data(), D, M.Cfg.FF, C->FF1P[L]);
+      packBInto(Lay.W2.V.data(), M.Cfg.FF, D, C->FF2P[L]);
+    }
+    packBInto(C->EmbT.data(), D, M.Cfg.Vocab, C->EmbTP);
+  }
+
   // Draft models additionally carry row-quantized transposed copies of
   // the large decode matmuls; the float copies above stay authoritative
   // for everything else (save/load, the graph oracle).
@@ -334,6 +482,31 @@ InferRuntime::buildDecodeConstants() const {
     quantizeRowsI8Into(M.TokEmb.V.data(), M.Cfg.Vocab, D, C->EmbQ);
   }
   return C;
+}
+
+std::shared_ptr<const Transformer::PackedWeights>
+InferRuntime::buildPackedWeights() const {
+  int D = M.Cfg.DModel, FF = M.Cfg.FF;
+  auto P = std::make_shared<Transformer::PackedWeights>();
+  P->Version = M.WeightVersion;
+  P->Enc.resize(M.Enc.size());
+  for (size_t L = 0; L < M.Enc.size(); ++L) {
+    const Transformer::EncLayer &Lay = M.Enc[L];
+    Transformer::PackedWeights::EncLayerPack &E = P->Enc[L];
+    packBInto(Lay.Self.Wq.V.data(), D, D, E.Wq);
+    packBInto(Lay.Self.Wk.V.data(), D, D, E.Wk);
+    packBInto(Lay.Self.Wv.V.data(), D, D, E.Wv);
+    packBInto(Lay.Self.Wo.V.data(), D, D, E.Wo);
+    packBInto(Lay.W1.V.data(), D, FF, E.W1);
+    packBInto(Lay.W2.V.data(), FF, D, E.W2);
+  }
+  P->CrossWk.resize(M.Dec.size());
+  P->CrossWv.resize(M.Dec.size());
+  for (size_t L = 0; L < M.Dec.size(); ++L) {
+    packBInto(M.Dec[L].Cross.Wk.V.data(), D, D, P->CrossWk[L]);
+    packBInto(M.Dec[L].Cross.Wv.V.data(), D, D, P->CrossWv[L]);
+  }
+  return P;
 }
 
 //===----------------------------------------------------------------------===//
@@ -649,6 +822,18 @@ InferRuntime::forwardDecodeRows(Transformer::BatchDecodeState &St) const {
   Grow(St.Proj, RowsD);
   Grow(St.FF1, static_cast<size_t>(N) * Cfg.FF);
 
+  // Intra-tick pool: null (or 1 thread) means the sequential code path,
+  // taken branch-for-branch as before this field existed.
+  ParallelFor *TP = St.TP;
+  if (TP && TP->threads() <= 1)
+    TP = nullptr;
+
+  int ScoreStride = std::max(St.Cap, St.MaxTSrc);
+  // One score slab [H, ScoreStride] per pool chunk so concurrent rows
+  // never share softmax scratch; chunk 0's slab is the sequential one.
+  Grow(St.Scores, static_cast<size_t>(TP ? TP->threads() : 1) * H *
+                      ScoreStride);
+
   float *X = St.X.data(), *Norm = St.Norm.data(), *QKV = St.QKV.data(),
         *AttnOut = St.AttnOut.data(), *Proj = St.Proj.data(),
         *FF1 = St.FF1.data(), *Scores = St.Scores.data();
@@ -659,7 +844,6 @@ InferRuntime::forwardDecodeRows(Transformer::BatchDecodeState &St) const {
           M.TokEmb.at(Row.Token, J) + M.DecPos.at(Row.Pos, J);
   }
 
-  int ScoreStride = std::max(St.Cap, St.MaxTSrc);
   float InvS = 1.0f / std::sqrt(static_cast<float>(Dh));
 
   // Per-source segment geometry: [Cap, KMax, D] time-major per segment.
@@ -680,9 +864,14 @@ InferRuntime::forwardDecodeRows(Transformer::BatchDecodeState &St) const {
                   static_cast<size_t>(3) * D * sizeof(float));
     if (I8) {
       quantizeRowsI8Into(Norm, N, D, St.ActQ);
-      gemmI8NT(St.ActQ, Consts.SelfQKVWQ[L], QKV);
+      if (!TP)
+        gemmI8NT(St.ActQ, Consts.SelfQKVWQ[L], QKV);
+      else
+        TP->run(N, [&](int B, int E, int) {
+          gemmI8NTRows(St.ActQ, Consts.SelfQKVWQ[L], QKV, B, E);
+        });
     } else {
-      gemmAcc(Norm, Consts.SelfQKVW[L].data(), QKV, N, D, 3 * D);
+      gemmPackedPar(Norm, Consts.SelfQKVWP[L], QKV, N, TP);
     }
     // Each row writes its new K/V once, at its descriptor's (segment,
     // time, slot); the row is never moved afterwards — descendants find
@@ -699,32 +888,42 @@ InferRuntime::forwardDecodeRows(Transformer::BatchDecodeState &St) const {
       std::memcpy(&St.SelfV[L][Slot], Src + 2 * D,
                   static_cast<size_t>(D) * sizeof(float));
     }
-    for (int R = 0; R < N; ++R) {
-      const Transformer::DecodeRowPlan &Row = Rows[static_cast<size_t>(R)];
-      int TCtx = Row.WriteT + 1;
-      const float *KBase =
-          St.SelfK[L].data() + static_cast<size_t>(Row.Seg) * SegStride;
-      const float *VBase =
-          St.SelfV[L].data() + static_cast<size_t>(Row.Seg) * SegStride;
-      const uint16_t *Sl = Row.Slots;
-      attendCachedDyn(
-          QKV + static_cast<size_t>(R) * 3 * D,
-          AttnOut + static_cast<size_t>(R) * D, TCtx, H, Dh, InvS, Scores,
-          ScoreStride,
-          [&](int Tt) {
-            return KBase + static_cast<size_t>(Tt) * TimeStride +
-                   static_cast<size_t>(Sl[Tt]) * D;
-          },
-          [&](int Tt) {
-            return VBase + static_cast<size_t>(Tt) * TimeStride +
-                   static_cast<size_t>(Sl[Tt]) * D;
-          });
-    }
+    auto SelfAttendRows = [&](int B, int E, int Chunk) {
+      float *CScores =
+          Scores + static_cast<size_t>(Chunk) * H * ScoreStride;
+      for (int R = B; R < E; ++R) {
+        const Transformer::DecodeRowPlan &Row =
+            Rows[static_cast<size_t>(R)];
+        int TCtx = Row.WriteT + 1;
+        const float *KBase =
+            St.SelfK[L].data() + static_cast<size_t>(Row.Seg) * SegStride;
+        const float *VBase =
+            St.SelfV[L].data() + static_cast<size_t>(Row.Seg) * SegStride;
+        const uint16_t *Sl = Row.Slots;
+        attendCachedDyn(
+            QKV + static_cast<size_t>(R) * 3 * D,
+            AttnOut + static_cast<size_t>(R) * D, TCtx, H, Dh, InvS,
+            CScores, ScoreStride,
+            [&](int Tt) {
+              return KBase + static_cast<size_t>(Tt) * TimeStride +
+                     static_cast<size_t>(Sl[Tt]) * D;
+            },
+            [&](int Tt) {
+              return VBase + static_cast<size_t>(Tt) * TimeStride +
+                     static_cast<size_t>(Sl[Tt]) * D;
+            });
+      }
+    };
+    if (!TP)
+      SelfAttendRows(0, N, 0);
+    else
+      TP->run(N, SelfAttendRows);
     if (I8)
       linearRowsI8(AttnOut, N, Consts.SelfWoQ[L], Lay.Self.Bo.V.data(),
-                   Proj, St.ActQ);
+                   Proj, St.ActQ, TP);
     else
-      linearRows(AttnOut, N, Lay.Self.Wo, Lay.Self.Bo, Proj);
+      linearRows(AttnOut, N, Consts.SelfWoP[L], Lay.Self.Bo.V.data(), Proj,
+                 TP);
     for (size_t I = 0; I < RowsD; ++I)
       X[I] += Proj[I];
 
@@ -737,25 +936,35 @@ InferRuntime::forwardDecodeRows(Transformer::BatchDecodeState &St) const {
                    Norm + static_cast<size_t>(R) * D);
     if (I8)
       linearRowsI8(Norm, N, Consts.CrossWqQ[L], Lay.Cross.Bq.V.data(), QKV,
-                   St.ActQ);
+                   St.ActQ, TP);
     else
-      linearRows(Norm, N, Lay.Cross.Wq, Lay.Cross.Bq, QKV);
-    for (int R = 0; R < N; ++R) {
-      const Transformer::EncoderCache &Enc =
-          *Rows[static_cast<size_t>(R)].Enc;
-      const float *CK = Enc.CrossK[L].data(), *CV = Enc.CrossV[L].data();
-      attendCachedDyn(
-          QKV + static_cast<size_t>(R) * D,
-          AttnOut + static_cast<size_t>(R) * D, Enc.TSrc, H, Dh, InvS,
-          Scores, ScoreStride,
-          [&](int Tt) { return CK + static_cast<size_t>(Tt) * D; },
-          [&](int Tt) { return CV + static_cast<size_t>(Tt) * D; });
-    }
+      linearRows(Norm, N, Consts.CrossWqP[L], Lay.Cross.Bq.V.data(), QKV,
+                 TP);
+    auto CrossAttendRows = [&](int B, int E, int Chunk) {
+      float *CScores =
+          Scores + static_cast<size_t>(Chunk) * H * ScoreStride;
+      for (int R = B; R < E; ++R) {
+        const Transformer::EncoderCache &Enc =
+            *Rows[static_cast<size_t>(R)].Enc;
+        const float *CK = Enc.CrossK[L].data(), *CV = Enc.CrossV[L].data();
+        attendCachedDyn(
+            QKV + static_cast<size_t>(R) * D,
+            AttnOut + static_cast<size_t>(R) * D, Enc.TSrc, H, Dh, InvS,
+            CScores, ScoreStride,
+            [&](int Tt) { return CK + static_cast<size_t>(Tt) * D; },
+            [&](int Tt) { return CV + static_cast<size_t>(Tt) * D; });
+      }
+    };
+    if (!TP)
+      CrossAttendRows(0, N, 0);
+    else
+      TP->run(N, CrossAttendRows);
     if (I8)
       linearRowsI8(AttnOut, N, Consts.CrossWoQ[L], Lay.Cross.Bo.V.data(),
-                   Proj, St.ActQ);
+                   Proj, St.ActQ, TP);
     else
-      linearRows(AttnOut, N, Lay.Cross.Wo, Lay.Cross.Bo, Proj);
+      linearRows(AttnOut, N, Consts.CrossWoP[L], Lay.Cross.Bo.V.data(),
+                 Proj, TP);
     for (size_t I = 0; I < RowsD; ++I)
       X[I] += Proj[I];
 
@@ -765,15 +974,17 @@ InferRuntime::forwardDecodeRows(Transformer::BatchDecodeState &St) const {
                    Lay.LN3.Gamma.V.data(), Lay.LN3.Beta.V.data(),
                    Norm + static_cast<size_t>(R) * D);
     if (I8)
-      linearRowsI8(Norm, N, Consts.FF1Q[L], Lay.B1.V.data(), FF1, St.ActQ);
+      linearRowsI8(Norm, N, Consts.FF1Q[L], Lay.B1.V.data(), FF1, St.ActQ,
+                   TP);
     else
-      linearRows(Norm, N, Lay.W1, Lay.B1, FF1);
+      linearRows(Norm, N, Consts.FF1P[L], Lay.B1.V.data(), FF1, TP);
     for (size_t I = 0; I < static_cast<size_t>(N) * Cfg.FF; ++I)
       FF1[I] = FF1[I] > 0 ? FF1[I] : 0;
     if (I8)
-      linearRowsI8(FF1, N, Consts.FF2Q[L], Lay.B2.V.data(), Proj, St.ActQ);
+      linearRowsI8(FF1, N, Consts.FF2Q[L], Lay.B2.V.data(), Proj, St.ActQ,
+                   TP);
     else
-      linearRows(FF1, N, Lay.W2, Lay.B2, Proj);
+      linearRows(FF1, N, Consts.FF2P[L], Lay.B2.V.data(), Proj, TP);
     for (size_t I = 0; I < RowsD; ++I)
       X[I] += Proj[I];
   }
@@ -787,9 +998,14 @@ InferRuntime::forwardDecodeRows(Transformer::BatchDecodeState &St) const {
   std::vector<float> Logits(static_cast<size_t>(N) * Cfg.Vocab, 0.0f);
   if (I8) {
     quantizeRowsI8Into(Norm, N, D, St.ActQ);
-    gemmI8NT(St.ActQ, Consts.EmbQ, Logits.data());
+    if (!TP)
+      gemmI8NT(St.ActQ, Consts.EmbQ, Logits.data());
+    else
+      TP->run(N, [&](int B, int E, int) {
+        gemmI8NTRows(St.ActQ, Consts.EmbQ, Logits.data(), B, E);
+      });
   } else {
-    gemmAcc(Norm, Consts.EmbT.data(), Logits.data(), N, D, Cfg.Vocab);
+    gemmPackedPar(Norm, Consts.EmbTP, Logits.data(), N, TP);
   }
   return Logits;
 }

@@ -20,6 +20,7 @@
 #ifndef SLADE_NN_INFERRUNTIME_H
 #define SLADE_NN_INFERRUNTIME_H
 
+#include "nn/Parallel.h"
 #include "nn/Transformer.h"
 
 #include <cstddef>
@@ -44,6 +45,13 @@ struct EncodeScratch {
   std::vector<float> Attn;    ///< [T, D] concatenated head outputs.
   std::vector<float> Proj;    ///< [T, D] block output before residual.
   std::vector<float> FF1;     ///< [T, FF] feed-forward hidden.
+  /// Tile-packing scratch for the per-head score GEMM (Kh^T). An explicit
+  /// handle with the same pooled lifetime as the rest of the arena — the
+  /// kernels hold NO hidden thread-local pack buffers, so sanitizer jobs
+  /// (ASan/TSan) see every byte the encoder touches pinned to this
+  /// scratch's owner. (The batched decoder needs no NT pack scratch: all
+  /// its weight-side operands are pre-packed in DecodeConstants.)
+  PackedMat PackB;
 
   /// Grows every buffer to fit a T-token source of \p Cfg's shape.
   /// Never shrinks, so a pooled scratch converges to the corpus maximum.
@@ -58,7 +66,12 @@ size_t encodeScratchRetainedBytes();
 
 class InferRuntime {
 public:
-  explicit InferRuntime(const Transformer &M) : M(M) {}
+  /// \p TP (optional, non-owning) parallelizes the ENCODER-side entry
+  /// points below across its workers; the decoder reads the pool from
+  /// BatchDecodeState::TP instead so long-lived decode state carries its
+  /// own pool. Null = sequential (identical either way by construction).
+  explicit InferRuntime(const Transformer &M, ParallelFor *TP = nullptr)
+      : M(M), TP(TP) {}
 
   /// -- encoder ------------------------------------------------------------
 
@@ -84,6 +97,13 @@ public:
   /// per-model cache slot and calls this on a version miss.
   std::shared_ptr<const Transformer::DecodeConstants>
   buildDecodeConstants() const;
+
+  /// Builds the weight-version-tagged encoder/cross packed-weight tiles
+  /// (every persistent matrix the encoder-side GEMMs consume, pre-packed
+  /// into the blocked tile-major microkernel layout). Cached per weight
+  /// version by Transformer::packedWeights, invalidated together with
+  /// DecodeConstants by bumpWeightVersion().
+  std::shared_ptr<const Transformer::PackedWeights> buildPackedWeights() const;
 
   Transformer::BatchDecodeState startDecodeBatchMulti(
       const std::vector<std::shared_ptr<const Transformer::EncoderCache>>
@@ -111,6 +131,7 @@ public:
 
 private:
   const Transformer &M;
+  ParallelFor *TP = nullptr; ///< Encoder-side pool (null = sequential).
 
   /// The one batched-decoder forward: embeds, runs every decoder layer
   /// and the output projection over St.FwdRows, returns logits
@@ -120,19 +141,29 @@ private:
   std::vector<float>
   forwardDecodeRows(Transformer::BatchDecodeState &St) const;
 
-  /// Out = X * W, bias added AFTER the product (mirrors the graph's
-  /// addRow(matmul(...)) rounding; the decoder's linearRows seeds with
-  /// the bias instead).
-  void linearRowsBiasAfter(const float *X, int Rows, const Mat &W,
-                           const Mat &Bias, float *Out) const;
-  /// Out[r] = X[r] * W + Bias, bias seeded before accumulation (the
-  /// decode-path layout; one tiled GEMM for all rows).
-  void linearRows(const float *X, int Rows, const Mat &W, const Mat &Bias,
-                  float *Out) const;
+  /// Out = X * W over a PRE-PACKED weight, bias added AFTER the product
+  /// (mirrors the graph's addRow(matmul(...)) rounding). Splits output
+  /// rows (or column tiles when Rows is small) across \p TP when set;
+  /// each output element's K-reduction stays on one thread, so results
+  /// are bit-identical at any thread count.
+  void linearRowsBiasAfter(const float *X, int Rows, const PackedMat &W,
+                           const float *Bias, float *Out,
+                           ParallelFor *TP) const;
+  /// Out[r] = X[r] * W + Bias over a PRE-PACKED weight, bias seeded
+  /// before accumulation (the decode-path layout). Same TP splitting
+  /// contract as linearRowsBiasAfter.
+  void linearRows(const float *X, int Rows, const PackedMat &W,
+                  const float *Bias, float *Out, ParallelFor *TP) const;
   /// int8 variant over a pre-quantized transposed weight ([out, in] rows):
-  /// bias-seed, quantize the activations into \p ActQ, one gemmI8NT.
+  /// bias-seed, quantize the activations into \p ActQ, then a row-split
+  /// gemmI8NT (int32 accumulation — exact, so splits are bit-identical).
   void linearRowsI8(const float *X, int Rows, const QuantizedMat &W,
-                    const float *Bias, float *Out, QuantizedMat &ActQ) const;
+                    const float *Bias, float *Out, QuantizedMat &ActQ,
+                    ParallelFor *TP) const;
+  /// C += X * W over a PRE-PACKED weight with no bias handling (caller
+  /// seeds C); row- or tile-split across \p TP like linearRows.
+  void gemmPackedPar(const float *X, const PackedMat &W, float *C, int Rows,
+                     ParallelFor *TP) const;
 };
 
 } // namespace nn

@@ -4,6 +4,7 @@
 
 #include "nn/SimdExp.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
@@ -19,6 +20,8 @@ namespace {
 // four SSE registers) so the inner loop vectorizes under -O2/-O3.
 constexpr int MR = 4;
 constexpr int NR = 16;
+static_assert(NR == slade::nn::GemmTileN,
+              "PackedMat tile width must match the microkernel blocking");
 
 /// MRv x NR tile of C += A * B with A row-major [M,K], B row-major [K,N].
 /// Accumulation over K runs in increasing order per element, so the
@@ -82,7 +85,113 @@ inline void rowBlockAcc(const float *A, const float *B, float *C, int MB,
     Run(std::integral_constant<int, 1>{});
 }
 
+/// MRv-row slice of one pre-packed column tile: the tile is K-major
+/// [K][NR] with pad columns zeroed, so the inner loop is a contiguous
+/// NR-wide load per K step. All NR accumulator lanes run (pad lanes
+/// compute zeros); only the NB real columns are stored. Per-element
+/// accumulation order matches microAcc/edgeAcc exactly.
+template <int MRv>
+inline void microAccPacked(const float *A, const float *Tile, float *C,
+                           int K, int NB, int LdA, int LdC) {
+  float Acc[MRv][NR] = {};
+  for (int Kk = 0; Kk < K; ++Kk) {
+    const float *BRow = Tile + static_cast<size_t>(Kk) * NR;
+    for (int I = 0; I < MRv; ++I) {
+      float AV = A[static_cast<size_t>(I) * LdA + Kk];
+#pragma omp simd
+      for (int J = 0; J < NR; ++J)
+        Acc[I][J] += AV * BRow[J];
+    }
+  }
+  for (int I = 0; I < MRv; ++I) {
+    float *CRow = C + static_cast<size_t>(I) * LdC;
+#pragma omp simd
+    for (int J = 0; J < NB; ++J)
+      CRow[J] += Acc[I][J];
+  }
+}
+
+/// All M rows of one packed tile, dispatching to the widest register
+/// block that fits (same dispatch as rowBlockAcc).
+inline void tileAccPacked(const float *A, const float *Tile, float *C,
+                          int M, int K, int NB, int LdA, int LdC) {
+  int I0 = 0;
+  auto Run = [&](auto Tag) {
+    constexpr int MRv = decltype(Tag)::value;
+    microAccPacked<MRv>(A + static_cast<size_t>(I0) * LdA, Tile,
+                        C + static_cast<size_t>(I0) * LdC, K, NB, LdA,
+                        LdC);
+    I0 += MRv;
+  };
+  while (M - I0 >= 4)
+    Run(std::integral_constant<int, 4>{});
+  if (M - I0 >= 2)
+    Run(std::integral_constant<int, 2>{});
+  if (M - I0 >= 1)
+    Run(std::integral_constant<int, 1>{});
+}
+
 } // namespace
+
+void slade::nn::packBInto(const float *B, int K, int N, PackedMat &Out) {
+  Out.K = K;
+  Out.N = N;
+  int NT = Out.tileCount();
+  size_t Need = static_cast<size_t>(NT) * K * NR;
+  if (Out.Tiles.size() < Need)
+    Out.Tiles.resize(Need);
+  for (int T = 0; T < NT; ++T) {
+    float *Tile = Out.Tiles.data() + static_cast<size_t>(T) * K * NR;
+    int J0 = T * NR;
+    int NB = std::min(NR, N - J0);
+    for (int Kk = 0; Kk < K; ++Kk) {
+      float *Dst = Tile + static_cast<size_t>(Kk) * NR;
+      std::memcpy(Dst, B + static_cast<size_t>(Kk) * N + J0,
+                  static_cast<size_t>(NB) * sizeof(float));
+      if (NB < NR)
+        std::memset(Dst + NB, 0,
+                    static_cast<size_t>(NR - NB) * sizeof(float));
+    }
+  }
+}
+
+void slade::nn::packBTransposedInto(const float *BT, int N, int K,
+                                    PackedMat &Out) {
+  Out.K = K;
+  Out.N = N;
+  int NT = Out.tileCount();
+  size_t Need = static_cast<size_t>(NT) * K * NR;
+  if (Out.Tiles.size() < Need)
+    Out.Tiles.resize(Need);
+  for (int T = 0; T < NT; ++T) {
+    float *Tile = Out.Tiles.data() + static_cast<size_t>(T) * K * NR;
+    int J0 = T * NR;
+    int NB = std::min(NR, N - J0);
+    if (NB < NR)
+      std::memset(Tile, 0, static_cast<size_t>(K) * NR * sizeof(float));
+    for (int J = 0; J < NB; ++J) {
+      const float *Src = BT + static_cast<size_t>(J0 + J) * K;
+      for (int Kk = 0; Kk < K; ++Kk)
+        Tile[static_cast<size_t>(Kk) * NR + J] = Src[Kk];
+    }
+  }
+}
+
+void slade::nn::gemmAccPackedTiles(const float *A, const PackedMat &B,
+                                   float *C, int M, int T0, int T1) {
+  int K = B.K, N = B.N;
+  for (int T = T0; T < T1; ++T) {
+    const float *Tile =
+        B.Tiles.data() + static_cast<size_t>(T) * K * NR;
+    int J0 = T * NR;
+    tileAccPacked(A, Tile, C + J0, M, K, std::min(NR, N - J0), K, N);
+  }
+}
+
+void slade::nn::gemmAccPacked(const float *A, const PackedMat &B, float *C,
+                              int M) {
+  gemmAccPackedTiles(A, B, C, M, 0, B.tileCount());
+}
 
 void slade::nn::gemmAcc(const float *A, const float *B, float *C, int M,
                         int K, int N) {
@@ -93,24 +202,26 @@ void slade::nn::gemmAcc(const float *A, const float *B, float *C, int M,
 }
 
 void slade::nn::gemmAccNT(const float *A, const float *B, float *C, int M,
-                          int K, int N) {
+                          int K, int N, PackedMat &PackScratch) {
   // C += A * B^T. Dot-product tiles straight over B's rows leave the
   // inner loop with K-strided loads (painful exactly where attention
   // needs this kernel: scores with small K = Dh and large N = T), so pack
-  // B^T once into row-major [K, N] and run the same register-blocked
-  // tiles as gemmAcc. Per output element the reduction still runs in
-  // increasing K order. The pack buffer is thread-local and grow-only, so
-  // steady-state calls allocate nothing.
-  static thread_local std::vector<float> Pack;
-  size_t Need = static_cast<size_t>(K) * N;
-  if (Pack.size() < Need)
-    Pack.resize(Need);
-  for (int J = 0; J < N; ++J) {
-    const float *BRow = B + static_cast<size_t>(J) * K;
-    for (int Kk = 0; Kk < K; ++Kk)
-      Pack[static_cast<size_t>(Kk) * N + J] = BRow[Kk];
-  }
-  gemmAcc(A, Pack.data(), C, M, K, N);
+  // B^T once into the tile-major layout and run the register-blocked
+  // tiles. Per output element the reduction still runs in increasing K
+  // order. The pack scratch is caller-owned and grow-only, so hot-path
+  // callers (EncodeScratch) allocate nothing in steady state and the
+  // buffer's lifetime is pinned to theirs.
+  packBTransposedInto(B, N, K, PackScratch);
+  gemmAccPacked(A, PackScratch, C, M);
+}
+
+void slade::nn::gemmAccNT(const float *A, const float *B, float *C, int M,
+                          int K, int N) {
+  // Scratch-less convenience form for the training-graph ops (matmul
+  // backward, matmulNT), which have no state object to own a scratch and
+  // are not on the serving hot path.
+  PackedMat Pack;
+  gemmAccNT(A, B, C, M, K, N, Pack);
 }
 
 void slade::nn::gemmAccTN(const float *A, const float *B, float *C, int M,
@@ -235,9 +346,14 @@ inline int32_t dotI8(const int8_t *A, const int8_t *B, int K) {
 
 void slade::nn::gemmI8NT(const QuantizedMat &A, const QuantizedMat &B,
                          float *C) {
+  gemmI8NTRows(A, B, C, 0, A.R);
+}
+
+void slade::nn::gemmI8NTRows(const QuantizedMat &A, const QuantizedMat &B,
+                             float *C, int I0, int I1) {
   assert(A.C == B.C && "gemmI8NT K mismatch");
-  int M = A.R, N = B.R, K = A.C;
-  for (int I = 0; I < M; ++I) {
+  int N = B.R, K = A.C;
+  for (int I = I0; I < I1; ++I) {
     const int8_t *ARow = A.Q.data() + static_cast<size_t>(I) * K;
     float SA = A.Scale[static_cast<size_t>(I)];
     float *CRow = C + static_cast<size_t>(I) * N;

@@ -86,9 +86,63 @@ void gemmAcc(const float *A, const float *B, float *C, int M, int K, int N);
 /// C += A * B^T. A is [m,k], B is [n,k], C is [m,n].
 void gemmAccNT(const float *A, const float *B, float *C, int M, int K,
                int N);
-/// C += A^T * B. A is [k,m], B is [k,n], C is [m,n].
+/// C += A^T * B. A is [k,m], B is [k,n], C is [m,n]. Training-backward
+/// only (both operands are activations/gradients), so it has no
+/// pre-packed variant.
 void gemmAccTN(const float *A, const float *B, float *C, int M, int K,
                int N);
+
+// -- pre-packed B operands ----------------------------------------------------
+//
+// The microkernels read B in NR-column tiles; a row-major B pays a
+// strided gather per K step and gemmAccNT pays a full transpose-pack per
+// call. Weight matrices are immutable between weightVersion bumps, so
+// they are packed ONCE into the exact tile-major layout the kernels
+// consume and reused by every subsequent GEMM (activation-side operands
+// keep packing per call). Packed results are bit-identical to the
+// row-major kernels: the per-element K-order contract above is
+// unchanged, only the load addresses move.
+
+/// Microkernel column-tile width (floats). Fixed by the register
+/// blocking in Mat.cpp; exposed so scratch sizing and tests can name it.
+constexpr int GemmTileN = 16;
+
+/// A B operand [K, N] pre-packed tile-major: tileCount() tiles of
+/// GemmTileN consecutive columns, each stored K-major
+/// ([tile][K][GemmTileN], contiguous). The last tile's missing columns
+/// are zero-padded so the kernels can always run full-width lanes; the
+/// pad lanes are computed and discarded, never stored. Storage is
+/// grow-only, so re-packing on a weight bump allocates nothing once
+/// warm.
+struct PackedMat {
+  int K = 0, N = 0;
+  std::vector<float> Tiles;
+  int tileCount() const { return (N + GemmTileN - 1) / GemmTileN; }
+  size_t bytes() const { return Tiles.capacity() * sizeof(float); }
+};
+
+/// Packs row-major B [K, N] into \p Out.
+void packBInto(const float *B, int K, int N, PackedMat &Out);
+/// Packs BT [N, K] (i.e. B^T stored row-major) into \p Out as the
+/// implied [K, N] operand — the pre-pack form of gemmAccNT's B.
+void packBTransposedInto(const float *BT, int N, int K, PackedMat &Out);
+
+/// C += A * B with a pre-packed B. A is [m, B.K], C is [m, B.N].
+/// Bit-identical to gemmAcc(A, B_rowmajor, C, M, B.K, B.N).
+void gemmAccPacked(const float *A, const PackedMat &B, float *C, int M);
+/// Column-tile range [T0, T1) of gemmAccPacked: writes only columns
+/// [T0*GemmTileN, min(T1*GemmTileN, N)). Disjoint ranges touch disjoint
+/// C columns, so ranges may run on different threads; each output
+/// element is still a single sequential K-reduction (bit-identical at
+/// any split).
+void gemmAccPackedTiles(const float *A, const PackedMat &B, float *C,
+                        int M, int T0, int T1);
+
+/// gemmAccNT with a caller-owned pack scratch (grow-only) instead of
+/// the implicit per-call buffer — callers on hot paths pin the scratch
+/// lifetime in their state objects (EncodeScratch/BatchDecodeState).
+void gemmAccNT(const float *A, const float *B, float *C, int M, int K,
+               int N, PackedMat &PackScratch);
 
 /// In-place numerically stable softmax over Row[0..N). ONE definition
 /// shared by the autograd softmaxRows op and the graph-free inference
@@ -136,6 +190,11 @@ QuantizedMat quantizeRowsI8(const float *A, int R, int C);
 /// exact; the only rounding is the final per-element
 /// Scale[i]*Scale[j]*acc fused into C.
 void gemmI8NT(const QuantizedMat &A, const QuantizedMat &B, float *C);
+/// Row range [I0, I1) of gemmI8NT — the int8 parallel split unit.
+/// Disjoint ranges write disjoint C rows; per-element results are
+/// independent of the split (exact int32 accumulation).
+void gemmI8NTRows(const QuantizedMat &A, const QuantizedMat &B, float *C,
+                  int I0, int I1);
 
 // -- autograd ops ------------------------------------------------------------
 

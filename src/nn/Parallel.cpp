@@ -1,0 +1,45 @@
+//===- Parallel.cpp - intra-tick data-parallel row splitting -----------------===//
+
+#include "nn/Parallel.h"
+
+#include <algorithm>
+
+using namespace slade;
+using namespace slade::nn;
+
+ParallelFor::ParallelFor(int Threads)
+    : NThreads(Threads > 1 ? Threads : 1) {
+  // The pool exists only when there is real fan-out: ThreadPool spawns
+  // at least one worker, and a one-thread ParallelFor must spawn NONE so
+  // the default configuration stays byte-for-byte (and thread-for-
+  // thread) identical to the pre-pool code.
+  if (NThreads > 1)
+    Pool = std::make_unique<ThreadPool>(
+        static_cast<unsigned>(NThreads - 1));
+}
+
+void ParallelFor::run(
+    int N, const std::function<void(int Begin, int End, int Chunk)> &Fn) {
+  if (N <= 0)
+    return;
+  if (!Pool || N == 1) {
+    Fn(0, N, 0);
+    return;
+  }
+  int T = std::min(NThreads, N);
+  int Chunk = (N + T - 1) / T;
+  T = (N + Chunk - 1) / Chunk; // Actual chunk count after rounding.
+  if (T == 1) {
+    Fn(0, N, 0);
+    return;
+  }
+  ++Regions;
+  // Capturing Fn by reference is safe: this frame outlives every task
+  // (Pool->wait() below is the region barrier).
+  for (int C = 1; C < T; ++C) {
+    int B = C * Chunk, E = std::min(N, B + Chunk);
+    Pool->submit([&Fn, B, E, C] { Fn(B, E, C); });
+  }
+  Fn(0, Chunk, 0);
+  Pool->wait();
+}

@@ -1,0 +1,70 @@
+//===- Parallel.h - intra-tick data-parallel row splitting ------*- C++ -*-===//
+///
+/// \file
+/// A persistent worker pool that splits INDEPENDENT row/tile ranges of
+/// one kernel invocation across threads — the intra-tick counterpart of
+/// the serve engine's across-request sharding. One decode tick (or one
+/// encoder pass) fans its GEMM M-tiles, attention rows, and row-wise
+/// epilogues out over the pool and joins before the next dependent
+/// region starts, so a SINGLE request uses multiple cores.
+///
+/// Bit-exactness by construction: only output-element ranges are ever
+/// partitioned, never reductions — each output element's K-reduction
+/// (and every other accumulation) runs sequentially on exactly one
+/// thread in the same order as the single-threaded kernels, so results
+/// are byte-identical at any thread count. `run` is a barrier: all
+/// chunks complete before it returns, which is the only ordering the
+/// callers' region structure needs (e.g. all K/V writes land before any
+/// row attends).
+///
+/// With 1 thread (the default everywhere) no pool exists and `run`
+/// degenerates to a direct call — byte-for-byte and
+/// instruction-for-instruction today's sequential behavior.
+///
+//===----------------------------------------------------------------------===//
+#ifndef SLADE_NN_PARALLEL_H
+#define SLADE_NN_PARALLEL_H
+
+#include "support/ThreadPool.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace slade {
+namespace nn {
+
+class ParallelFor {
+public:
+  /// \p Threads is the total worker budget for regions run through this
+  /// object, INCLUDING the calling thread: N > 1 spawns N - 1 pool
+  /// workers; N <= 1 spawns nothing.
+  explicit ParallelFor(int Threads = 1);
+
+  /// Workers this object fans out to (>= 1; 1 = fully inline).
+  int threads() const { return NThreads; }
+
+  /// Splits [0, N) into at most threads() contiguous chunks and runs
+  /// \p Fn(Begin, End, Chunk) for each, chunk 0 inline on the calling
+  /// thread, the rest on the pool; returns after ALL chunks finish.
+  /// Chunk indices are dense in [0, threads()), so callers can key
+  /// per-chunk scratch slabs off them. \p Fn must not throw, must not
+  /// call run() on the same object (no nesting), and run() must only be
+  /// called from the thread that owns this object.
+  void run(int N, const std::function<void(int Begin, int End, int Chunk)>
+                      &Fn);
+
+  /// Regions that actually fanned out to the pool (telemetry; stays 0
+  /// at threads() == 1).
+  uint64_t regions() const { return Regions; }
+
+private:
+  int NThreads = 1;
+  std::unique_ptr<ThreadPool> Pool; ///< Null when NThreads <= 1.
+  uint64_t Regions = 0;
+};
+
+} // namespace nn
+} // namespace slade
+
+#endif // SLADE_NN_PARALLEL_H

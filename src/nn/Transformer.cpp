@@ -243,7 +243,7 @@ void Transformer::linearRow(const float *X, const Mat &W, const Mat &B,
 
 std::shared_ptr<const Transformer::DecodeConstants>
 Transformer::decodeConstants() const {
-  DecodeConstCache &Slot = *ConstCache.Box;
+  VersionedCache<DecodeConstants> &Slot = *ConstCache.Box;
   // Lock-free fast path: N decode shards admit sources concurrently and
   // all want the SAME shared copy, so the steady-state read must not
   // serialize them on the rebuild mutex. The slot is only ever accessed
@@ -259,16 +259,64 @@ Transformer::decodeConstants() const {
   if (Cur && Cur->Version == WeightVersion)
     return Cur;
   Cur = InferRuntime(*this).buildDecodeConstants();
+  Slot.Builds.fetch_add(1, std::memory_order_relaxed);
   std::atomic_store_explicit(&Slot.Cur, Cur, std::memory_order_release);
   return Cur;
 }
 
+std::shared_ptr<const Transformer::PackedWeights>
+Transformer::packedWeights() const {
+  VersionedCache<PackedWeights> &Slot = *PackCache.Box;
+  std::shared_ptr<const PackedWeights> Cur =
+      std::atomic_load_explicit(&Slot.Cur, std::memory_order_acquire);
+  if (Cur && Cur->Version == WeightVersion)
+    return Cur;
+  std::lock_guard<std::mutex> Lock(Slot.Mu);
+  Cur = std::atomic_load_explicit(&Slot.Cur, std::memory_order_relaxed);
+  if (Cur && Cur->Version == WeightVersion)
+    return Cur;
+  Cur = InferRuntime(*this).buildPackedWeights();
+  Slot.Builds.fetch_add(1, std::memory_order_relaxed);
+  std::atomic_store_explicit(&Slot.Cur, Cur, std::memory_order_release);
+  return Cur;
+}
+
+void Transformer::bumpWeightVersion() {
+  ++WeightVersion;
+  // THE invalidation path for every weight-version-keyed cache: besides
+  // the version bump (which readers compare against), proactively drop
+  // both cached snapshots so stale packs become unreachable and their
+  // memory is released as soon as in-flight sessions let go. Sessions
+  // holding the old shared_ptr stay valid — they carry the old Version
+  // and are rejected at admission (admitStreamRow) like before.
+  std::atomic_store_explicit(&ConstCache.Box->Cur,
+                             std::shared_ptr<const DecodeConstants>(),
+                             std::memory_order_release);
+  std::atomic_store_explicit(&PackCache.Box->Cur,
+                             std::shared_ptr<const PackedWeights>(),
+                             std::memory_order_release);
+}
+
+Transformer::PackCacheStats Transformer::packCacheStats() const {
+  PackCacheStats S;
+  S.ConstBuilds = ConstCache.Box->Builds.load(std::memory_order_relaxed);
+  S.PackBuilds = PackCache.Box->Builds.load(std::memory_order_relaxed);
+  if (auto C = std::atomic_load_explicit(&ConstCache.Box->Cur,
+                                         std::memory_order_acquire))
+    S.PackedBytes += C->packedBytes();
+  if (auto P = std::atomic_load_explicit(&PackCache.Box->Cur,
+                                         std::memory_order_acquire))
+    S.PackedBytes += P->bytes();
+  return S;
+}
+
 std::shared_ptr<const Transformer::EncoderCache>
-Transformer::encodeSource(const std::vector<int> &Src) const {
+Transformer::encodeSource(const std::vector<int> &Src,
+                          ParallelFor *TP) const {
   // Graph-free fast path: raw buffers from the pooled scratch arena, the
   // same tiled kernels as the training graph, bit-identical outputs
-  // (tested against encodeSourceGraph).
-  return InferRuntime(*this).encodeSource(Src);
+  // (tested against encodeSourceGraph) at any TP thread count.
+  return InferRuntime(*this, TP).encodeSource(Src);
 }
 
 std::shared_ptr<const Transformer::EncoderCache>

@@ -22,6 +22,7 @@
 #include "nn/Mat.h"
 #include "support/Error.h"
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -32,6 +33,7 @@ namespace slade {
 namespace nn {
 
 class InferRuntime;
+class ParallelFor;
 
 struct TransformerConfig {
   int Vocab = 512;
@@ -118,6 +120,61 @@ public:
     std::vector<QuantizedMat> FF1Q;      ///< Per layer [FF, D].
     std::vector<QuantizedMat> FF2Q;      ///< Per layer [D, FF].
     QuantizedMat EmbQ;                   ///< [Vocab, D] (logits GEMM).
+
+    /// -- pre-packed float decoder weights (empty when UseInt8) -----------
+    /// Every persistent B operand of the batched float decode,
+    /// pre-packed into the tile-major layout the microkernels consume
+    /// (nn::PackedMat), so the per-tick GEMMs skip operand packing
+    /// entirely. Living INSIDE the decode constants pins packs and
+    /// constants to one weight version — a decode session can never mix
+    /// fresh packs with stale constants or vice versa.
+    std::vector<PackedMat> SelfQKVWP; ///< Per layer [D, 3D].
+    std::vector<PackedMat> SelfWoP;   ///< Per layer [D, D].
+    std::vector<PackedMat> CrossWqP;  ///< Per layer [D, D].
+    std::vector<PackedMat> CrossWoP;  ///< Per layer [D, D].
+    std::vector<PackedMat> FF1P;      ///< Per layer [D, FF].
+    std::vector<PackedMat> FF2P;      ///< Per layer [FF, D].
+    PackedMat EmbTP;                  ///< [D, Vocab] (logits GEMM).
+
+    /// Heap bytes held by the pre-packed operands (slade_pack_bytes).
+    size_t packedBytes() const {
+      size_t B = EmbTP.bytes();
+      for (const std::vector<PackedMat> *Vec :
+           {&SelfQKVWP, &SelfWoP, &CrossWqP, &CrossWoP, &FF1P, &FF2P})
+        for (const PackedMat &P : *Vec)
+          B += P.bytes();
+      return B;
+    }
+  };
+
+  /// Pre-packed copies of every persistent weight operand consumed
+  /// OUTSIDE the decoder tick: the encoder stack and the
+  /// per-decoder-layer cross K/V projections (finishEncoderCache).
+  /// Weight-versioned and cached exactly like DecodeConstants; draft
+  /// models get their own (their encoders run deriveDraftCache through
+  /// the same code).
+  struct PackedWeights {
+    uint64_t Version = 0;
+    struct EncLayerPack {
+      PackedMat Wq, Wk, Wv, Wo; ///< Self-attention projections [D, D].
+      PackedMat W1, W2;         ///< FFN [D, FF] and [FF, D].
+    };
+    std::vector<EncLayerPack> Enc; ///< Per encoder layer.
+    /// Per decoder layer: the cross-attention K/V projections applied to
+    /// the encoder output when an EncoderCache is built.
+    std::vector<PackedMat> CrossWk, CrossWv; ///< [D, D] each.
+
+    size_t bytes() const {
+      size_t B = 0;
+      for (const EncLayerPack &L : Enc)
+        B += L.Wq.bytes() + L.Wk.bytes() + L.Wv.bytes() + L.Wo.bytes() +
+             L.W1.bytes() + L.W2.bytes();
+      for (const PackedMat &P : CrossWk)
+        B += P.bytes();
+      for (const PackedMat &P : CrossWv)
+        B += P.bytes();
+      return B;
+    }
   };
 
   /// Immutable per-source encoder state: the encoder output, the
@@ -166,12 +223,29 @@ public:
   /// with a model pointer; serving and training must not overlap (weights
   /// mutate in place), so no synchronization is needed on the counter.
   uint64_t weightVersion() const { return WeightVersion; }
-  void bumpWeightVersion() { ++WeightVersion; }
+  /// THE single invalidation path for every weight-version-keyed cache
+  /// (decode constants AND pre-packed weights): bumps the version and
+  /// drops both cached snapshots, so a forward pass after an in-place
+  /// weight mutation can never read stale packs. Out of line so new
+  /// caches have one place to hook into.
+  void bumpWeightVersion();
 
   /// Returns the shared decode constants for the current weight version,
   /// rebuilding them only when the version changed since the last call.
   /// Thread-safe: concurrent decode sessions share one copy.
   std::shared_ptr<const DecodeConstants> decodeConstants() const;
+
+  /// Returns the shared pre-packed encoder/cross weights for the current
+  /// weight version (same caching discipline as decodeConstants).
+  std::shared_ptr<const PackedWeights> packedWeights() const;
+
+  /// Telemetry snapshot of the weight-versioned caches (slade_pack_*).
+  struct PackCacheStats {
+    uint64_t ConstBuilds = 0; ///< DecodeConstants rebuilds, lifetime.
+    uint64_t PackBuilds = 0;  ///< PackedWeights rebuilds, lifetime.
+    size_t PackedBytes = 0;   ///< Current packed bytes, both caches.
+  };
+  PackCacheStats packCacheStats() const;
 
   struct DecodeState {
     std::vector<float> EncOut;             ///< [Tsrc, D].
@@ -186,9 +260,12 @@ public:
   /// Runs the encoder and prepares the shared cross-attention caches.
   /// Executes on the graph-free InferRuntime (raw buffers, pooled
   /// EncodeScratch arena, no tape/per-node allocation); bit-identical to
-  /// encodeSourceGraph.
+  /// encodeSourceGraph. \p TP, when given, splits the encoder's row
+  /// ranges across its workers (nn/Parallel.h) — results stay
+  /// byte-identical at any thread count.
   std::shared_ptr<const EncoderCache>
-  encodeSource(const std::vector<int> &Src) const;
+  encodeSource(const std::vector<int> &Src,
+               ParallelFor *TP = nullptr) const;
 
   /// Reference encoder path through the autograd Graph (inference mode).
   /// Retained as the bit-exactness oracle for the runtime fast path and
@@ -255,6 +332,12 @@ public:
     std::vector<int> SpecBase; ///< Per plan row: live-row ancestor.
     std::vector<uint16_t> SpecChain; ///< Per plan row: [Cap] slot table.
     QuantizedMat ActQ; ///< int8 activation scratch (draft models).
+    /// Optional intra-tick worker pool (nn/Parallel.h): when set, the
+    /// batched forward splits its row/tile ranges across the pool's
+    /// threads. Not owned; null (the default) = sequential. Per-row
+    /// results are byte-identical either way, so the pool can be
+    /// attached or detached between steps freely.
+    ParallelFor *TP = nullptr;
   };
 
   /// Prepares a batched state sharing \p Enc with room for \p MaxBeams
@@ -398,37 +481,41 @@ private:
 
   uint64_t WeightVersion = 1;
   bool Int8Decode = false; ///< Quantize decode constants (draft models).
-  /// Model-level cache slot for the decode constants. Boxed behind a
-  /// shared_ptr so the Transformer stays movable (the box holds the
-  /// mutex) and sessions holding the old constants stay valid after an
+  /// Model-level cache slot for a weight-versioned derived snapshot
+  /// (decode constants, pre-packed weights). Boxed behind a shared_ptr
+  /// so the Transformer stays movable (the box holds the mutex) and
+  /// sessions holding the old snapshot stay valid after an
   /// invalidation. \c Cur is accessed only through the shared_ptr
   /// atomic free functions: steady-state reads (N decode shards
   /// admitting concurrently) are lock-free; the mutex serializes
-  /// version-miss rebuilds only. Copies and moves get a FRESH box: two models must
-  /// never alias one cache slot, or same-version-different-weights
-  /// collisions could decode with the other model's constants.
-  struct DecodeConstCache {
+  /// version-miss rebuilds only. Copies and moves get a FRESH box: two
+  /// models must never alias one cache slot, or same-version-
+  /// different-weights collisions could decode with the other model's
+  /// snapshot.
+  template <typename T> struct VersionedCache {
     std::mutex Mu;
-    std::shared_ptr<const DecodeConstants> Cur;
+    std::shared_ptr<const T> Cur;
+    std::atomic<uint64_t> Builds{0}; ///< Lifetime rebuild count.
   };
-  struct DecodeConstCacheHandle {
-    std::shared_ptr<DecodeConstCache> Box =
-        std::make_shared<DecodeConstCache>();
-    DecodeConstCacheHandle() = default;
-    DecodeConstCacheHandle(const DecodeConstCacheHandle &)
-        : DecodeConstCacheHandle() {}
-    DecodeConstCacheHandle(DecodeConstCacheHandle &&) noexcept
-        : DecodeConstCacheHandle() {}
-    DecodeConstCacheHandle &operator=(const DecodeConstCacheHandle &) {
-      Box = std::make_shared<DecodeConstCache>(); // Weights changed owner.
+  template <typename T> struct VersionedCacheHandle {
+    std::shared_ptr<VersionedCache<T>> Box =
+        std::make_shared<VersionedCache<T>>();
+    VersionedCacheHandle() = default;
+    VersionedCacheHandle(const VersionedCacheHandle &)
+        : VersionedCacheHandle() {}
+    VersionedCacheHandle(VersionedCacheHandle &&) noexcept
+        : VersionedCacheHandle() {}
+    VersionedCacheHandle &operator=(const VersionedCacheHandle &) {
+      Box = std::make_shared<VersionedCache<T>>(); // Changed owner.
       return *this;
     }
-    DecodeConstCacheHandle &operator=(DecodeConstCacheHandle &&) noexcept {
-      Box = std::make_shared<DecodeConstCache>();
+    VersionedCacheHandle &operator=(VersionedCacheHandle &&) noexcept {
+      Box = std::make_shared<VersionedCache<T>>();
       return *this;
     }
   };
-  DecodeConstCacheHandle ConstCache;
+  VersionedCacheHandle<DecodeConstants> ConstCache;
+  VersionedCacheHandle<PackedWeights> PackCache;
 
   Mat *attention(Graph &G, Mat *XQ, Mat *XKV, Attn &P, bool Causal,
                  bool Train);

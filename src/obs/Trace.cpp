@@ -38,6 +38,8 @@ const char *slade::obs::spanKindName(SpanKind K) {
     return "spec_round";
   case SpanKind::OracleMask:
     return "oracle_mask";
+  case SpanKind::ParallelTile:
+    return "parallel_tile";
   case SpanKind::KindCount:
     break;
   }
@@ -46,7 +48,7 @@ const char *slade::obs::spanKindName(SpanKind K) {
 
 bool slade::obs::isShardScope(SpanKind K) {
   return K == SpanKind::Tick || K == SpanKind::SpecRound ||
-         K == SpanKind::OracleMask;
+         K == SpanKind::OracleMask || K == SpanKind::ParallelTile;
 }
 
 namespace {

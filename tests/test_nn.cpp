@@ -12,14 +12,17 @@
 #include "nn/EncoderLRU.h"
 #include "nn/InferRuntime.h"
 #include "nn/Mat.h"
+#include "nn/Parallel.h"
 #include "nn/Transformer.h"
 #include "support/RNG.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <functional>
+#include <string>
 
 using namespace slade;
 using namespace slade::nn;
@@ -282,6 +285,163 @@ TEST(Gemm, TiledMatchesNaiveAcrossShapes) {
           ASSERT_NEAR(C1[I], C2[I], Tol)
               << "gemmAccTN " << M << "x" << K << "x" << N << " at " << I;
       }
+}
+
+TEST(Gemm, PrepackedMatchesUnpackedBitExact) {
+  // Pre-packing is a pure layout change: on every PERSISTENT weight
+  // shape the model pre-packs (fused QKV [D,3D], projections [D,D], FFN
+  // [D,FF] / [FF,D], logits [D,Vocab] — all GemmTileN multiples),
+  // gemmAccPacked over packBInto(B) must reproduce gemmAcc over
+  // row-major B BYTE-for-byte: identical per-element K-order
+  // accumulation through the same microkernel. And on EVERY shape
+  // (including the ragged head-dim score packs, whose padded edge tile
+  // legitimately rounds differently from gemmAcc's scalar edge path),
+  // the intra-tick partitions — M-row ranges and N-column-tile ranges —
+  // and the transposed pack must agree with the one-call packed result
+  // bit-for-bit: that is the invariant the parallel splits rely on.
+  struct Shape {
+    int M, K, N;
+  };
+  const Shape Shapes[] = {
+      {1, 64, 192}, {5, 64, 192},  // fused QKV, beam 1 / 5
+      {4, 64, 64},  {5, 64, 64},   // Wo / cross projections
+      {5, 64, 128}, {5, 128, 64},  // FF1 / FF2
+      {1, 64, 512}, {5, 64, 512},  // logits over the tiny vocab
+      {3, 16, 33},  {7, 48, 100},  // head-dim scores, ragged edges
+  };
+  uint64_t Seed = 9001;
+  for (const Shape &S : Shapes) {
+    auto A = randomVec(static_cast<size_t>(S.M) * S.K, Seed++);
+    auto B = randomVec(static_cast<size_t>(S.K) * S.N, Seed++);
+    auto CInit = randomVec(static_cast<size_t>(S.M) * S.N, Seed++);
+    const size_t CBytes = CInit.size() * sizeof(float);
+    auto Tag = [&] {
+      return std::to_string(S.M) + "x" + std::to_string(S.K) + "x" +
+             std::to_string(S.N);
+    };
+
+    PackedMat P;
+    packBInto(B.data(), S.K, S.N, P);
+    std::vector<float> Packed = CInit;
+    gemmAccPacked(A.data(), P, Packed.data(), S.M);
+
+    if (S.N % GemmTileN == 0) {
+      // Weight shapes: the packed kernel IS the unpacked kernel, bit
+      // for bit (no edge path on either side).
+      std::vector<float> Ref = CInit;
+      nn::gemmAcc(A.data(), B.data(), Ref.data(), S.M, S.K, S.N);
+      ASSERT_EQ(0, std::memcmp(Ref.data(), Packed.data(), CBytes))
+          << "packed vs unpacked " << Tag();
+    } else {
+      // Ragged shapes: epsilon agreement with the naive oracle.
+      std::vector<float> Ref = CInit;
+      naiveGemmAcc(A.data(), B.data(), Ref.data(), S.M, S.K, S.N);
+      float Tol = 1e-4f * static_cast<float>(S.K);
+      for (size_t I = 0; I < Packed.size(); ++I)
+        ASSERT_NEAR(Packed[I], Ref[I], Tol) << Tag() << " at " << I;
+    }
+
+    // Column-tile split halves — the intra-tick N partition.
+    std::vector<float> TileSplit = CInit;
+    int Mid = P.tileCount() / 2;
+    gemmAccPackedTiles(A.data(), P, TileSplit.data(), S.M, 0, Mid);
+    gemmAccPackedTiles(A.data(), P, TileSplit.data(), S.M, Mid,
+                       P.tileCount());
+    ASSERT_EQ(0, std::memcmp(Packed.data(), TileSplit.data(), CBytes))
+        << "tile-split " << Tag();
+
+    // Row-range split — the intra-tick M partition (linearRows).
+    for (int Chunk : {1, 2}) {
+      std::vector<float> RowSplit = CInit;
+      for (int I0 = 0; I0 < S.M; I0 += Chunk)
+        gemmAccPacked(A.data() + static_cast<size_t>(I0) * S.K, P,
+                      RowSplit.data() + static_cast<size_t>(I0) * S.N,
+                      std::min(Chunk, S.M - I0));
+      ASSERT_EQ(0, std::memcmp(Packed.data(), RowSplit.data(), CBytes))
+          << "row-split " << Tag() << " chunk " << Chunk;
+    }
+
+    // The transposed pack (gemmAccNT's pre-pack form) agrees too.
+    std::vector<float> BT(B.size());
+    for (int Kk = 0; Kk < S.K; ++Kk)
+      for (int J = 0; J < S.N; ++J)
+        BT[static_cast<size_t>(J) * S.K + Kk] =
+            B[static_cast<size_t>(Kk) * S.N + J];
+    PackedMat PT;
+    packBTransposedInto(BT.data(), S.N, S.K, PT);
+    std::vector<float> PackedT = CInit;
+    gemmAccPacked(A.data(), PT, PackedT.data(), S.M);
+    ASSERT_EQ(0, std::memcmp(Packed.data(), PackedT.data(), CBytes))
+        << "transposed pack " << Tag();
+  }
+}
+
+TEST(Gemm, Int8RowSplitMatchesFullBitExact) {
+  // The int8 draft path's parallel split unit: any row partition of
+  // gemmI8NTRows must reproduce one gemmI8NT call byte-for-byte — the
+  // int32 accumulation is exact, so per-row results cannot depend on
+  // the partition.
+  struct Shape {
+    int M, K, N;
+  };
+  const Shape Shapes[] = {{1, 64, 192}, {5, 64, 192}, {5, 64, 512},
+                          {4, 64, 64},  {5, 128, 64}, {3, 48, 100}};
+  uint64_t Seed = 4242;
+  for (const Shape &S : Shapes) {
+    auto A = randomVec(static_cast<size_t>(S.M) * S.K, Seed++);
+    auto W = randomVec(static_cast<size_t>(S.N) * S.K, Seed++);
+    QuantizedMat AQ = quantizeRowsI8(A.data(), S.M, S.K);
+    QuantizedMat WQ = quantizeRowsI8(W.data(), S.N, S.K);
+
+    std::vector<float> Ref(static_cast<size_t>(S.M) * S.N, 0.0f);
+    gemmI8NT(AQ, WQ, Ref.data());
+
+    for (int Chunk : {1, 2, 3}) {
+      std::vector<float> Split(Ref.size(), 0.0f);
+      for (int I0 = 0; I0 < S.M; I0 += Chunk)
+        gemmI8NTRows(AQ, WQ, Split.data(), I0,
+                     std::min(S.M, I0 + Chunk));
+      ASSERT_EQ(0, std::memcmp(Ref.data(), Split.data(),
+                               Ref.size() * sizeof(float)))
+          << S.M << "x" << S.K << "x" << S.N << " chunk " << Chunk;
+    }
+  }
+}
+
+TEST(Parallel, RunCoversRangeExactlyOnce) {
+  // Disjoint chunk cover of [0, N): every index exactly once, chunk ids
+  // dense from 0, chunk 0 on the calling thread, and the regions counter
+  // bumps only on real fan-out.
+  ParallelFor TP(4);
+  EXPECT_EQ(TP.threads(), 4);
+  for (int N : {1, 3, 4, 7, 103}) {
+    std::vector<int> Hits(static_cast<size_t>(N), 0);
+    uint64_t R0 = TP.regions();
+    TP.run(N, [&](int B, int E, int Chunk) {
+      EXPECT_GE(Chunk, 0);
+      EXPECT_LT(Chunk, TP.threads());
+      for (int I = B; I < E; ++I)
+        Hits[static_cast<size_t>(I)]++; // Disjoint ranges: no race.
+    });
+    for (int I = 0; I < N; ++I)
+      EXPECT_EQ(Hits[static_cast<size_t>(I)], 1) << "N=" << N << " I=" << I;
+    if (N > 1)
+      EXPECT_EQ(TP.regions(), R0 + 1) << "N=" << N;
+    else
+      EXPECT_EQ(TP.regions(), R0) << "N=1 runs inline, no region";
+  }
+  // A one-thread pool never fans out and never counts regions.
+  ParallelFor Solo(1);
+  EXPECT_EQ(Solo.threads(), 1);
+  int Calls = 0;
+  Solo.run(64, [&](int B, int E, int Chunk) {
+    ++Calls;
+    EXPECT_EQ(B, 0);
+    EXPECT_EQ(E, 64);
+    EXPECT_EQ(Chunk, 0);
+  });
+  EXPECT_EQ(Calls, 1);
+  EXPECT_EQ(Solo.regions(), 0u);
 }
 
 TEST(Graph, InferenceModeSkipsGradients) {
@@ -550,6 +710,117 @@ TEST(InferRuntime, ExplicitScratchReuseMatchesPooledPath) {
   EXPECT_EQ(S.bytes(), BytesAfterLong) << "ensure() never shrinks";
   auto Ref = Model.encodeSourceGraph(Short);
   expectCachesBitExact(Out, *Ref, "scratch-reuse");
+}
+
+TEST(InferRuntime, EncodeSourceBitExactAcrossTickThreads) {
+  // The intra-tick pool partitions encoder row/tile ranges only — never
+  // a reduction — so any thread count must reproduce the sequential
+  // encode BYTE-for-byte, across lengths that hit every edge path.
+  TransformerConfig Cfg;
+  Cfg.Vocab = 96;
+  Cfg.DModel = 32;
+  Cfg.NHeads = 4;
+  Cfg.FF = 48;
+  Cfg.EncLayers = 2;
+  Cfg.DecLayers = 2;
+  Cfg.MaxLen = 320;
+  Transformer Model(Cfg);
+  for (int T : {1, 5, 17, 300}) {
+    std::vector<int> Src;
+    for (int I = 0; I < T; ++I)
+      Src.push_back(3 + (I * 5 + T) % (Cfg.Vocab - 3));
+    auto Seq = Model.encodeSource(Src);
+    for (int Threads : {2, 4}) {
+      ParallelFor TP(Threads);
+      auto Par = Model.encodeSource(Src, &TP);
+      expectCachesBitExact(*Par, *Seq,
+                           ("T=" + std::to_string(T) + " threads=" +
+                            std::to_string(Threads))
+                               .c_str());
+    }
+  }
+}
+
+TEST(Transformer, BatchedStepBitExactAcrossTickThreads) {
+  // Five beams stepped through the batched decoder with the per-shard
+  // pool installed (BatchDecodeState::TP): logits must be byte-identical
+  // to the sequential path at every thread count and every step.
+  TransformerConfig Cfg = tinyConfig();
+  Transformer Model(Cfg);
+  std::vector<int> Src = {7, 3, 9, 4, 5, 8, 6};
+  auto Enc = Model.encodeSource(Src);
+  const int B = 5, Steps = 6;
+
+  auto RunSteps = [&](ParallelFor *TP) {
+    Transformer::BatchDecodeState St = Model.startDecodeBatch(Enc, B, 16);
+    St.TP = TP;
+    std::vector<std::vector<float>> Logits;
+    std::vector<int> Feed(B, Transformer::BosId);
+    for (int S = 0; S < Steps; ++S) {
+      Logits.push_back(Model.stepDecodeBatch(St, Feed));
+      for (int R = 0; R < B; ++R) // Diverge the rows deterministically.
+        Feed[R] = 3 + (S * B + R) % (Cfg.Vocab - 3);
+    }
+    return Logits;
+  };
+
+  auto Seq = RunSteps(nullptr);
+  for (int Threads : {2, 4}) {
+    ParallelFor TP(Threads);
+    auto Par = RunSteps(&TP);
+    ASSERT_EQ(Par.size(), Seq.size());
+    for (size_t S = 0; S < Seq.size(); ++S) {
+      ASSERT_EQ(Par[S].size(), Seq[S].size());
+      ASSERT_EQ(0, std::memcmp(Par[S].data(), Seq[S].data(),
+                               Seq[S].size() * sizeof(float)))
+          << "threads=" << Threads << " step=" << S;
+    }
+    EXPECT_GT(TP.regions(), 0u) << "the pool must actually have fanned out";
+  }
+}
+
+TEST(Transformer, TrainStepInvalidatesPackedWeights) {
+  // bumpWeightVersion() is THE single invalidation path: an optimizer
+  // step must drop the cached PackedWeights alongside DecodeConstants,
+  // and the next forward must rebuild from the NEW weights — verified
+  // against the training-graph oracle, which reads raw weights and can
+  // never see a stale pack.
+  TransformerConfig Cfg = tinyConfig();
+  Transformer Model(Cfg);
+  std::vector<int> Src = {5, 6, 7, 8, 9};
+  auto P0 = Model.packedWeights();
+  EXPECT_EQ(P0->Version, Model.weightVersion());
+  EXPECT_EQ(Model.packedWeights().get(), P0.get())
+      << "same version must reuse the cached pack";
+  Model.encodeSource(Src);
+  Transformer::PackCacheStats S0 = Model.packCacheStats();
+  EXPECT_EQ(S0.PackBuilds, 1u) << "one pack build serves every encode";
+  EXPECT_GT(S0.PackedBytes, 0u);
+
+  AdamW::Config AC;
+  AC.LR = 1e-2f;
+  AC.WarmupSteps = 10;
+  AdamW Opt(Model.params(), AC, &Model);
+  std::vector<int> Tgt = {12, 13, 14};
+  for (int Step = 0; Step < 3; ++Step) {
+    Graph G;
+    Model.pairLoss(G, Src, Tgt, true);
+    G.backward();
+    Opt.step();
+  }
+  EXPECT_GT(Model.weightVersion(), P0->Version);
+
+  // The post-step forward rebuilds (exactly once) and matches the
+  // oracle bit-for-bit on the new weights.
+  auto Fast = Model.encodeSource(Src);
+  auto Ref = Model.encodeSourceGraph(Src);
+  expectCachesBitExact(*Fast, *Ref, "post-step");
+  auto P1 = Model.packedWeights();
+  EXPECT_NE(P1.get(), P0.get());
+  EXPECT_EQ(P1->Version, Model.weightVersion());
+  Transformer::PackCacheStats S1 = Model.packCacheStats();
+  EXPECT_EQ(S1.PackBuilds, S0.PackBuilds + 1);
+  EXPECT_EQ(S1.ConstBuilds, S0.ConstBuilds + 1);
 }
 
 TEST(Transformer, DecodeConstantsSharedAcrossSources) {

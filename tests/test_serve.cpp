@@ -565,6 +565,60 @@ TEST(Engine, BitExactAcrossShardCountsOnRandomizedArrivals) {
   }
 }
 
+TEST(Engine, BitExactAcrossTickThreadsShardsAndConstraint) {
+  // The intra-tick pool contract: every TickThreads x Shards
+  // combination, plain and grammar-constrained, serves byte-identical
+  // results to solo translate. Pool runs must actually fan regions out
+  // (slade_shard_parallel_regions_total > 0) and TickThreads = 1 runs
+  // must fan out NOTHING — it is the sequential path, not an idle pool.
+  ServeFixture F(5);
+  ASSERT_GE(F.Tasks.size(), 3u);
+  std::vector<std::string> Asm;
+  for (const core::EvalTask &T : F.Tasks)
+    Asm.push_back(T.Prog.TargetAsm);
+
+  for (bool Constrained : {false, true}) {
+    nn::ConstrainMode CM =
+        Constrained ? nn::ConstrainMode::Syntax : nn::ConstrainMode::Off;
+    std::vector<std::string> Solo(Asm.size());
+    for (size_t I = 0; I < Asm.size(); ++I)
+      Solo[I] = F.Slade->translate(Asm[I], 2, 24, CM);
+
+    for (int Shards : {1, 2})
+      for (int TickThreads : {1, 2, 4}) {
+        obs::Registry Reg;
+        serve::EngineOptions EO;
+        EO.BeamSize = 2;
+        EO.MaxLen = 24;
+        EO.MaxLiveSources = 2;
+        EO.Shards = Shards;
+        EO.TickThreads = TickThreads;
+        EO.UseDecodeCache = false;
+        EO.Constrain = CM;
+        EO.Metrics = &Reg;
+        serve::Engine Eng(*F.Slade, EO);
+        std::vector<serve::Handle> Futs;
+        for (size_t R = 0; R < 2; ++R)
+          for (size_t I = 0; I < Asm.size(); ++I)
+            Futs.push_back(Eng.submit({"job", Asm[I], {}, {}, nullptr}));
+        for (size_t K = 0; K < Futs.size(); ++K)
+          EXPECT_EQ(Futs[K].get().CSource, Solo[K % Asm.size()])
+              << "constrained=" << Constrained << " shards=" << Shards
+              << " tick-threads=" << TickThreads << " request " << K;
+        uint64_t Regions =
+            Reg.counter("slade_shard_parallel_regions_total", "", Shards)
+                .value();
+        if (TickThreads > 1)
+          EXPECT_GT(Regions, 0u)
+              << "shards=" << Shards << " tick-threads=" << TickThreads
+              << ": the pool never fanned out";
+        else
+          EXPECT_EQ(Regions, 0u)
+              << "tick-threads=1 must take the sequential path";
+      }
+  }
+}
+
 TEST(Engine, CrossShardSingleFlightAttach) {
   // A burst of identical requests with the decode LRU OFF: the first
   // occupies a row on some shard; the dispatcher must route every

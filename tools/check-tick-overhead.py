@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Gate: a 1-wide tick pool must cost <2% on the batched decode tick.
+
+Runs BM_DecodeStepBatched5 (no pool) and BM_TickThreadScaling/1 (the
+same tick body with a ParallelFor(1) installed, which spawns no workers
+and dispatches inline) interleaved in ONE perf_micro process, compares
+the repetition medians, and fails when the pooled path is more than
+BUDGET_PCT slower. This pins the --tick-threads 1 default to the
+sequential path's cost — see bench/README.md (PR 10).
+
+Usage: check-tick-overhead.py <perf_micro-binary> [budget-pct]
+"""
+import json
+import subprocess
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    binary = sys.argv[1]
+    budget_pct = float(sys.argv[2]) if len(sys.argv) > 2 else 2.0
+
+    out = subprocess.run(
+        [
+            binary,
+            "--benchmark_filter=BM_DecodeStepBatched5$|BM_TickThreadScaling/1$",
+            "--benchmark_repetitions=5",
+            "--benchmark_report_aggregates_only=true",
+            "--benchmark_format=json",
+        ],
+        check=True,
+        capture_output=True,
+        text=True,
+    ).stdout
+    report = json.loads(out)
+
+    medians = {}
+    for bench in report["benchmarks"]:
+        if bench.get("aggregate_name") == "median":
+            medians[bench["run_name"]] = bench["real_time"]
+
+    base = medians.get("BM_DecodeStepBatched5")
+    pooled = medians.get("BM_TickThreadScaling/1")
+    if base is None or pooled is None:
+        print(f"missing medians in report: {sorted(medians)}", file=sys.stderr)
+        return 2
+
+    overhead_pct = (pooled - base) / base * 100.0
+    print(
+        f"BM_DecodeStepBatched5 median {base:.2f}, "
+        f"BM_TickThreadScaling/1 median {pooled:.2f} "
+        f"-> overhead {overhead_pct:+.2f}% (budget <{budget_pct:g}%)"
+    )
+    if overhead_pct >= budget_pct:
+        print("tick-threads=1 overhead gate FAILED", file=sys.stderr)
+        return 1
+    print("tick-threads=1 overhead gate OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
